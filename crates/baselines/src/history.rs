@@ -1,0 +1,163 @@
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use infilter_net::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for [`HistoryFilter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryConfig {
+    /// Aggregation granularity of the history (prefix length; Peng et al.
+    /// track /24 networks to bound table size).
+    pub prefix_len: u8,
+    /// Appearances during training before an address range counts as
+    /// "previously seen".
+    pub min_sightings: u32,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> HistoryConfig {
+        HistoryConfig {
+            prefix_len: 24,
+            min_sightings: 1,
+        }
+    }
+}
+
+/// History-based IP filtering (Peng, Leckie, Kotagiri — ICC 2003).
+///
+/// "The edge router keeps a history of all the legitimate IP addresses
+/// which have previously appeared in the network. When the edge router is
+/// overloaded, this history is used to decide whether to admit an incoming
+/// IP packet." Admission is binary and network-wide: unlike InFilter the
+/// scheme uses no per-ingress information, so a spoofed source that *ever*
+/// legitimately appeared anywhere is admitted.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_baselines::{HistoryConfig, HistoryFilter};
+///
+/// let mut h = HistoryFilter::new(HistoryConfig::default());
+/// h.observe("3.0.0.5".parse().unwrap());
+/// h.set_overloaded(true);
+/// assert!(h.admit("3.0.0.9".parse().unwrap()));   // same /24 seen before
+/// assert!(!h.admit("200.1.1.1".parse().unwrap())); // never seen: dropped
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryFilter {
+    cfg: HistoryConfig,
+    history: HashMap<Prefix, u32>,
+    overloaded: bool,
+}
+
+impl HistoryFilter {
+    /// Creates an empty filter (not overloaded).
+    pub fn new(cfg: HistoryConfig) -> HistoryFilter {
+        HistoryFilter {
+            cfg,
+            history: HashMap::new(),
+            overloaded: false,
+        }
+    }
+
+    /// Records a legitimate appearance of `src` (training / calm periods).
+    pub fn observe(&mut self, src: Ipv4Addr) {
+        let key = Prefix::host(src).truncate(self.cfg.prefix_len);
+        *self.history.entry(key).or_insert(0) += 1;
+    }
+
+    /// Whether `src`'s range is in the admission history.
+    pub fn is_known(&self, src: Ipv4Addr) -> bool {
+        let key = Prefix::host(src).truncate(self.cfg.prefix_len);
+        self.history
+            .get(&key)
+            .is_some_and(|&n| n >= self.cfg.min_sightings)
+    }
+
+    /// Toggles the overload state (the filter only drops while overloaded).
+    pub fn set_overloaded(&mut self, overloaded: bool) {
+        self.overloaded = overloaded;
+    }
+
+    /// Whether the filter is currently dropping unknown sources.
+    pub fn is_overloaded(&self) -> bool {
+        self.overloaded
+    }
+
+    /// Admission decision for a packet from `src`.
+    pub fn admit(&self, src: Ipv4Addr) -> bool {
+        !self.overloaded || self.is_known(src)
+    }
+
+    /// Number of distinct ranges in the history.
+    pub fn history_size(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_everything_when_not_overloaded() {
+        let h = HistoryFilter::new(HistoryConfig::default());
+        assert!(h.admit("1.2.3.4".parse().unwrap()));
+        assert!(!h.is_overloaded());
+    }
+
+    #[test]
+    fn overload_gates_on_history() {
+        let mut h = HistoryFilter::new(HistoryConfig::default());
+        h.observe("3.0.0.5".parse().unwrap());
+        h.set_overloaded(true);
+        assert!(h.admit("3.0.0.200".parse().unwrap())); // same /24
+        assert!(!h.admit("3.0.1.200".parse().unwrap())); // different /24
+    }
+
+    #[test]
+    fn min_sightings_requires_repeats() {
+        let mut h = HistoryFilter::new(HistoryConfig {
+            prefix_len: 32,
+            min_sightings: 3,
+        });
+        let a: Ipv4Addr = "9.9.9.9".parse().unwrap();
+        h.observe(a);
+        h.observe(a);
+        assert!(!h.is_known(a));
+        h.observe(a);
+        assert!(h.is_known(a));
+    }
+
+    #[test]
+    fn history_granularity_bounds_table() {
+        let mut fine = HistoryFilter::new(HistoryConfig {
+            prefix_len: 32,
+            min_sightings: 1,
+        });
+        let mut coarse = HistoryFilter::new(HistoryConfig {
+            prefix_len: 16,
+            min_sightings: 1,
+        });
+        for i in 0..100u32 {
+            let a = Ipv4Addr::from(0x0a000000 + i);
+            fine.observe(a);
+            coarse.observe(a);
+        }
+        assert_eq!(fine.history_size(), 100);
+        assert_eq!(coarse.history_size(), 1);
+    }
+
+    #[test]
+    fn blind_spot_spoofed_but_previously_seen_source() {
+        // Documents the weakness InFilter fixes: an attacker spoofing an
+        // address that legitimately appeared before is admitted even
+        // under overload.
+        let mut h = HistoryFilter::new(HistoryConfig::default());
+        h.observe("3.0.0.5".parse().unwrap()); // legit customer
+        h.set_overloaded(true);
+        // Attacker now spoofs 3.0.0.5 — admitted.
+        assert!(h.admit("3.0.0.5".parse().unwrap()));
+    }
+}

@@ -1,0 +1,123 @@
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use infilter_net::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// TTL-derived hop-count filtering.
+///
+/// Legitimate packets from a source arrive with a hop count determined by
+/// the (stable) route from that source; a spoofer cannot observe the
+/// victim-side hop count of the address it forges, so a mismatch signals
+/// spoofing. The filter learns per-/24 expected hop counts from clean
+/// traffic and checks arrivals within a tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_baselines::HopCountFilter;
+///
+/// let mut hcf = HopCountFilter::new(24, 1);
+/// hcf.train("3.0.0.5".parse().unwrap(), 14);
+/// assert!(hcf.check("3.0.0.9".parse().unwrap(), 14));
+/// assert!(hcf.check("3.0.0.9".parse().unwrap(), 15)); // within tolerance
+/// assert!(!hcf.check("3.0.0.9".parse().unwrap(), 4)); // spoofed
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HopCountFilter {
+    prefix_len: u8,
+    tolerance: u8,
+    expected: HashMap<Prefix, u8>,
+}
+
+impl HopCountFilter {
+    /// Creates an empty filter learning at `prefix_len` granularity and
+    /// accepting deviations up to `tolerance` hops.
+    pub fn new(prefix_len: u8, tolerance: u8) -> HopCountFilter {
+        HopCountFilter {
+            prefix_len,
+            tolerance,
+            expected: HashMap::new(),
+        }
+    }
+
+    /// Learns (or refreshes) the expected hop count for `src`'s range.
+    pub fn train(&mut self, src: Ipv4Addr, hops: u8) {
+        let key = Prefix::host(src).truncate(self.prefix_len);
+        self.expected.insert(key, hops);
+    }
+
+    /// The learned hop count for `src`'s range.
+    pub fn expected(&self, src: Ipv4Addr) -> Option<u8> {
+        let key = Prefix::host(src).truncate(self.prefix_len);
+        self.expected.get(&key).copied()
+    }
+
+    /// Whether a packet claiming `src` with observed `hops` is consistent.
+    /// Unknown ranges pass (the scheme can only vet what it has learned).
+    pub fn check(&self, src: Ipv4Addr, hops: u8) -> bool {
+        match self.expected(src) {
+            Some(e) => e.abs_diff(hops) <= self.tolerance,
+            None => true,
+        }
+    }
+
+    /// Number of learned ranges.
+    pub fn table_size(&self) -> usize {
+        self.expected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_sources_pass() {
+        let hcf = HopCountFilter::new(24, 0);
+        assert!(hcf.check("1.2.3.4".parse().unwrap(), 99));
+        assert_eq!(hcf.table_size(), 0);
+    }
+
+    #[test]
+    fn tolerance_is_symmetric() {
+        let mut hcf = HopCountFilter::new(24, 2);
+        hcf.train("9.9.9.1".parse().unwrap(), 10);
+        for hops in 8..=12 {
+            assert!(hcf.check("9.9.9.200".parse().unwrap(), hops), "hops {hops}");
+        }
+        assert!(!hcf.check("9.9.9.200".parse().unwrap(), 7));
+        assert!(!hcf.check("9.9.9.200".parse().unwrap(), 13));
+    }
+
+    #[test]
+    fn retraining_updates_expectation() {
+        let mut hcf = HopCountFilter::new(24, 0);
+        let a: Ipv4Addr = "9.9.9.1".parse().unwrap();
+        hcf.train(a, 10);
+        assert_eq!(hcf.expected(a), Some(10));
+        hcf.train(a, 12); // route change re-learned
+        assert_eq!(hcf.expected(a), Some(12));
+        assert!(hcf.check(a, 12));
+        assert!(!hcf.check(a, 10));
+        assert_eq!(hcf.table_size(), 1);
+    }
+
+    #[test]
+    fn granularity_shares_expectation_within_prefix() {
+        let mut hcf = HopCountFilter::new(16, 0);
+        hcf.train("10.1.0.1".parse().unwrap(), 9);
+        assert_eq!(hcf.expected("10.1.255.255".parse().unwrap()), Some(9));
+        assert_eq!(hcf.expected("10.2.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn blind_spot_spoofer_at_same_distance() {
+        // Documents the known weakness: a spoofer whose own route to the
+        // victim happens to have the same hop count is invisible.
+        let mut hcf = HopCountFilter::new(24, 0);
+        hcf.train("9.9.9.1".parse().unwrap(), 10);
+        // Attacker is also 10 hops away and spoofs 9.9.9.1.
+        assert!(hcf.check("9.9.9.1".parse().unwrap(), 10));
+    }
+}

@@ -1,0 +1,30 @@
+//! Comparator spoofing detectors the paper positions InFilter against
+//! (§2, Related Work).
+//!
+//! * [`Urpf`] — unicast Reverse Path Forwarding: accept a packet only if it
+//!   arrived on the interface the local routing table would use to reach
+//!   its source. The paper's critique: the symmetry assumption "is not
+//!   necessarily true at boundaries between large IP networks", so routing
+//!   asymmetry turns into false positives.
+//! * [`HistoryFilter`] — Peng et al.'s history-based IP filtering: an edge
+//!   router admits packets from previously seen addresses when overloaded.
+//!   The paper's critique: it uses no cross-router information and targets
+//!   high-volume floods, not stealthy single-packet attacks.
+//! * [`HopCountFilter`] — TTL-based hop-count filtering (one of the
+//!   routing-based methods surveyed in [Templeton]): spoofed packets tend
+//!   to arrive with a hop count inconsistent with their claimed source.
+//!
+//! All three expose the same simple contract — train on clean traffic,
+//! then `check` flows — so `infilter-experiments` can run them on the
+//! identical testbed workload as InFilter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod history;
+mod hopcount;
+mod urpf;
+
+pub use history::{HistoryConfig, HistoryFilter};
+pub use hopcount::HopCountFilter;
+pub use urpf::{Urpf, UrpfMode};

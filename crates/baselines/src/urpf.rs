@@ -1,0 +1,130 @@
+use std::net::Ipv4Addr;
+
+use infilter_net::{Prefix, PrefixTrie};
+use serde::{Deserialize, Serialize};
+
+/// Strictness of the reverse-path check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UrpfMode {
+    /// Accept only if the best route to the source leaves through the
+    /// arrival interface.
+    Strict,
+    /// Accept if *any* route to the source exists (catches only fully
+    /// unroutable — e.g. unallocated — sources).
+    Loose,
+}
+
+/// Unicast Reverse Path Forwarding at one router.
+///
+/// The FIB maps source prefixes to the egress interface the router would
+/// use to reach them; [`Urpf::check`] compares that against the interface a
+/// packet actually arrived on. Longest-prefix match applies, as in a real
+/// FIB.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_baselines::{Urpf, UrpfMode};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut urpf = Urpf::new(UrpfMode::Strict);
+/// urpf.add_route("3.0.0.0/11".parse()?, 1);
+/// urpf.add_route("3.32.0.0/11".parse()?, 2);
+///
+/// assert!(urpf.check(1, "3.0.0.5".parse()?));   // symmetric: pass
+/// assert!(!urpf.check(1, "3.33.0.5".parse()?)); // wrong interface: drop
+/// assert!(!urpf.check(1, "9.9.9.9".parse()?));  // no route: drop
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Urpf {
+    mode: UrpfMode,
+    fib: PrefixTrie<u16>,
+}
+
+impl Urpf {
+    /// Creates an empty uRPF checker.
+    pub fn new(mode: UrpfMode) -> Urpf {
+        Urpf {
+            mode,
+            fib: PrefixTrie::new(),
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> UrpfMode {
+        self.mode
+    }
+
+    /// Installs a FIB route: traffic *to* `prefix` leaves via `interface`.
+    pub fn add_route(&mut self, prefix: Prefix, interface: u16) {
+        self.fib.insert(prefix, interface);
+    }
+
+    /// Number of FIB routes.
+    pub fn route_count(&self) -> usize {
+        self.fib.len()
+    }
+
+    /// Does a packet from `src` arriving on `interface` pass the check?
+    pub fn check(&self, interface: u16, src: Ipv4Addr) -> bool {
+        match self.fib.lookup(src) {
+            None => false,
+            Some((_, egress)) => match self.mode {
+                UrpfMode::Strict => *egress == interface,
+                UrpfMode::Loose => true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib() -> Urpf {
+        let mut u = Urpf::new(UrpfMode::Strict);
+        u.add_route("3.0.0.0/11".parse().unwrap(), 1);
+        u.add_route("3.32.0.0/11".parse().unwrap(), 2);
+        u.add_route("0.0.0.0/0".parse().unwrap(), 3); // default via if 3
+        u
+    }
+
+    #[test]
+    fn strict_requires_symmetry() {
+        let u = fib();
+        assert!(u.check(1, "3.0.0.1".parse().unwrap()));
+        assert!(!u.check(2, "3.0.0.1".parse().unwrap()));
+        // Falls to the default route → interface 3.
+        assert!(u.check(3, "200.1.1.1".parse().unwrap()));
+        assert!(!u.check(1, "200.1.1.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn loose_only_requires_a_route() {
+        let mut u = Urpf::new(UrpfMode::Loose);
+        u.add_route("3.0.0.0/11".parse().unwrap(), 1);
+        assert!(u.check(7, "3.0.0.1".parse().unwrap()));
+        assert!(!u.check(7, "9.0.0.1".parse().unwrap()));
+        assert_eq!(u.mode(), UrpfMode::Loose);
+    }
+
+    #[test]
+    fn longest_prefix_decides_egress() {
+        let mut u = fib();
+        // A /24 inside interface 1's space re-routed via interface 2
+        // (asymmetric multihoming — the case the paper says breaks uRPF).
+        u.add_route("3.1.2.0/24".parse().unwrap(), 2);
+        assert!(u.check(2, "3.1.2.9".parse().unwrap()));
+        assert!(!u.check(1, "3.1.2.9".parse().unwrap()));
+        assert!(u.check(1, "3.1.3.9".parse().unwrap()));
+        assert_eq!(u.route_count(), 4);
+    }
+
+    #[test]
+    fn empty_fib_drops_everything_even_loose() {
+        let u = Urpf::new(UrpfMode::Loose);
+        assert!(!u.check(1, "1.2.3.4".parse().unwrap()));
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation sweeps for the KOR NNS structure: build and search cost vs the
+//! paper's parameters (d, M1, M2, M3) and the training-set size. These are
+//! the design choices §4.2 fixes by fiat (d = 720, M1 = 1, M2 = 12,
+//! M3 = 3); the sweep quantifies what each buys.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infilter_nns::{BitVec, NnsParams, NnsStructure, UnaryEncoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn training_points(n: usize, d: usize, seed: u64) -> Vec<BitVec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let enc = UnaryEncoder::new(
+        vec![infilter_nns::FeatureSpec::new(0.0, 1.0); 5],
+        d / 5,
+    )
+    .expect("valid encoder");
+    (0..n)
+        .map(|_| {
+            let f: Vec<f64> = (0..5).map(|_| rng.gen::<f64>()).collect();
+            enc.encode(&f)
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nns_build");
+    group.sample_size(10);
+    // Training-set size sweep at paper parameters.
+    for n in [100usize, 400, 1600] {
+        let points = training_points(n, 720, 3);
+        group.bench_with_input(BenchmarkId::new("paper_params_n", n), &points, |b, pts| {
+            b.iter(|| NnsStructure::build(pts, NnsParams::default(), 1).expect("builds"))
+        });
+    }
+    // Dimension sweep at fixed n.
+    for d in [180usize, 360, 720] {
+        let points = training_points(400, d, 3);
+        let params = NnsParams {
+            d,
+            ..NnsParams::default()
+        };
+        group.bench_with_input(BenchmarkId::new("dimension_d", d), &points, |b, pts| {
+            b.iter(|| NnsStructure::build(pts, params, 1).expect("builds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nns_search");
+    let queries = training_points(256, 720, 9);
+    // M2/M3 sweep: accuracy/size knobs' effect on search latency.
+    for (m2, m3) in [(8usize, 2usize), (12, 3), (16, 4)] {
+        let points = training_points(800, 720, 3);
+        let params = NnsParams {
+            d: 720,
+            m1: 1,
+            m2,
+            m3,
+        };
+        let s = NnsStructure::build(&points, params, 1).expect("builds");
+        let mut idx = 0usize;
+        group.bench_function(BenchmarkId::new("m2_m3", format!("{m2}_{m3}")), |b| {
+            b.iter(|| {
+                let q = &queries[idx % queries.len()];
+                idx += 1;
+                black_box(s.search(q))
+            })
+        });
+    }
+    // Linear-scan oracle for comparison.
+    let points = training_points(800, 720, 3);
+    let mut idx = 0usize;
+    group.bench_function("linear_oracle", |b| {
+        b.iter(|| {
+            let q = &queries[idx % queries.len()];
+            idx += 1;
+            black_box(infilter_nns::linear_nn(&points, q))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_search);
+criterion_main!(benches);

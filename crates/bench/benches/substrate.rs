@@ -1,0 +1,94 @@
+//! Substrate micro-benchmarks: NetFlow v5 codec throughput, prefix-trie
+//! longest-prefix matching, Dagflow replay, and Scan Analysis pushes — the
+//! per-flow fixed costs underneath the §6.4 pipeline numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use infilter_bench::flow_batch;
+use infilter_core::{ScanAnalyzer, ScanConfig};
+use infilter_dagflow::{AddressMapper, Dagflow, DagflowConfig};
+use infilter_net::{Prefix, PrefixTrie, SubBlock};
+use infilter_netflow::Datagram;
+use infilter_traffic::NormalProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_netflow_codec(c: &mut Criterion) {
+    let records = flow_batch(30, 1);
+    let dg = Datagram::new(0, 1000, &records);
+    let bytes = dg.encode();
+    c.bench_function("netflow_encode_30_records", |b| b.iter(|| black_box(dg.encode())));
+    c.bench_function("netflow_decode_30_records", |b| {
+        b.iter(|| Datagram::decode(black_box(&bytes)).expect("valid datagram"))
+    });
+}
+
+fn bench_trie_lookup(c: &mut Criterion) {
+    // The full testbed EIA table: 1000 /11 prefixes.
+    let trie: PrefixTrie<u16> = (0..1000)
+        .map(|i| {
+            let b = SubBlock::from_linear(i).expect("in range");
+            (b.prefix(), (i / 100) as u16)
+        })
+        .collect();
+    let probes: Vec<std::net::Ipv4Addr> = flow_batch(1024, 5).iter().map(|r| r.src_addr).collect();
+    let mut idx = 0usize;
+    c.bench_function("eia_trie_lookup", |b| {
+        b.iter(|| {
+            let a = probes[idx % probes.len()];
+            idx += 1;
+            black_box(trie.lookup(a))
+        })
+    });
+    // Naive scan for contrast.
+    let table: Vec<(Prefix, u16)> = (0..1000)
+        .map(|i| {
+            let b = SubBlock::from_linear(i).expect("in range");
+            (b.prefix(), (i / 100) as u16)
+        })
+        .collect();
+    let mut idx = 0usize;
+    c.bench_function("eia_linear_scan", |b| {
+        b.iter(|| {
+            let a = probes[idx % probes.len()];
+            idx += 1;
+            black_box(table.iter().find(|(p, _)| p.contains(a)).map(|(_, v)| *v))
+        })
+    });
+}
+
+fn bench_dagflow_replay(c: &mut Criterion) {
+    let trace = NormalProfile::default().generate(&mut StdRng::seed_from_u64(2), 1000, 60_000);
+    let dagflow = Dagflow::new(DagflowConfig {
+        sources: AddressMapper::from_sub_blocks((0..100).map(|i| SubBlock::from_linear(i).expect("in range"))),
+        target_prefix: "96.1.0.0/16".parse().expect("static prefix"),
+        export_port: 9001,
+        input_if: 1,
+        src_as: 1,
+    });
+    c.bench_function("dagflow_replay_1000_flows", |b| {
+        b.iter(|| black_box(dagflow.replay_records(&trace, 0)))
+    });
+}
+
+fn bench_scan_analysis(c: &mut Criterion) {
+    let probes = flow_batch(4096, 8);
+    let mut scan = ScanAnalyzer::new(ScanConfig::default());
+    let mut idx = 0usize;
+    c.bench_function("scan_analysis_push", |b| {
+        b.iter(|| {
+            let mut f = probes[idx % probes.len()];
+            f.packets = 1;
+            idx += 1;
+            black_box(scan.push(&f))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_netflow_codec,
+    bench_trie_lookup,
+    bench_dagflow_replay,
+    bench_scan_analysis
+);
+criterion_main!(benches);

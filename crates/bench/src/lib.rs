@@ -1,0 +1,52 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches regenerate the paper's §6.4 latency numbers (BI vs EI
+//! per-flow processing) and add the ablation sweeps DESIGN.md calls out:
+//! KOR structure build/search cost against its parameters, plus substrate
+//! micro-benchmarks (NetFlow codec, prefix-trie lookup).
+
+#![forbid(unsafe_code)]
+
+use infilter_core::{Analyzer, Mode, PeerId};
+use infilter_experiments::{Testbed, TestbedConfig};
+use infilter_netflow::FlowRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a trained analyzer plus a pre-generated stream of flows to feed
+/// it, using the full-scale testbed configuration.
+pub fn analyzer_with_stream(mode: Mode, seed: u64) -> (Analyzer, Vec<(PeerId, FlowRecord)>) {
+    let cfg = TestbedConfig {
+        mode,
+        route_change_pct: 2,
+        seed,
+        ..TestbedConfig::default()
+    };
+    let bed = Testbed::new(cfg);
+    let analyzer = bed.train();
+    let stream = bed
+        .generate_workload()
+        .into_iter()
+        .map(|lf| (lf.peer, lf.record))
+        .collect();
+    (analyzer, stream)
+}
+
+/// A deterministic batch of plausible flow records.
+pub fn flow_batch(n: usize, seed: u64) -> Vec<FlowRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| FlowRecord {
+            src_addr: std::net::Ipv4Addr::from(rng.gen::<u32>()),
+            dst_addr: std::net::Ipv4Addr::from(0x60010000 + rng.gen_range(0..4096)),
+            src_port: rng.gen_range(1024..65535),
+            dst_port: *[80u16, 25, 21, 53, 443, 8080].get(rng.gen_range(0..6)).expect("index in range"),
+            protocol: if rng.gen_bool(0.8) { 6 } else { 17 },
+            packets: rng.gen_range(1..200),
+            octets: rng.gen_range(40..200_000),
+            first_ms: rng.gen_range(0..600_000),
+            last_ms: 600_000,
+            ..FlowRecord::default()
+        })
+        .collect()
+}

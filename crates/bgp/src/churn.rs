@@ -1,0 +1,124 @@
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use infilter_topology::{AsGraph, LinkId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Poisson link failure/repair schedules driving BGP route churn.
+///
+/// Each inter-AS link independently alternates between up (exponential
+/// holding time with mean `1/fail_rate`) and down (mean `mean_downtime_h`).
+/// The schedule is materialised lazily and deterministically per link, so a
+/// snapshot at time `t` can be produced in any order.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_topology::InternetBuilder;
+/// use infilter_bgp::LinkChurn;
+///
+/// let mut net = InternetBuilder::new(3).tier1(3).transit(8).stubs(20).build();
+/// let churn = LinkChurn::new(0.001, 2.0, 99);
+/// churn.apply(net.graph_mut(), 100.0);
+/// // Some links may now be down; reapplying at time 0 restores them all.
+/// churn.apply(net.graph_mut(), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkChurn {
+    fail_rate_per_hour: f64,
+    mean_downtime_h: f64,
+    seed: u64,
+}
+
+impl LinkChurn {
+    /// Creates a churn process. `fail_rate_per_hour` is the per-link failure
+    /// intensity; `mean_downtime_h` the expected outage duration.
+    pub fn new(fail_rate_per_hour: f64, mean_downtime_h: f64, seed: u64) -> LinkChurn {
+        LinkChurn {
+            fail_rate_per_hour,
+            mean_downtime_h,
+            seed,
+        }
+    }
+
+    /// Whether link `id` is up at time `time_h`.
+    pub fn is_up(&self, id: LinkId, time_h: f64) -> bool {
+        if self.fail_rate_per_hour <= 0.0 {
+            return true;
+        }
+        let mut h = DefaultHasher::new();
+        (self.seed, id.0).hash(&mut h);
+        let mut rng = StdRng::seed_from_u64(h.finish());
+        let mut t = 0.0;
+        let mut up = true;
+        loop {
+            let rate = if up {
+                self.fail_rate_per_hour
+            } else {
+                1.0 / self.mean_downtime_h
+            };
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate;
+            if t > time_h {
+                return up;
+            }
+            up = !up;
+        }
+    }
+
+    /// Sets every link's `up` flag in `graph` to its state at `time_h`.
+    pub fn apply(&self, graph: &mut AsGraph, time_h: f64) {
+        let ids: Vec<LinkId> = graph.links().map(|(id, _)| id).collect();
+        for id in ids {
+            let up = self.is_up(id, time_h);
+            graph.link_mut(id).up = up;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_topology::InternetBuilder;
+
+    #[test]
+    fn state_is_deterministic_and_time_zero_is_up() {
+        let churn = LinkChurn::new(0.01, 2.0, 5);
+        for link in 0..20 {
+            assert!(churn.is_up(LinkId(link), 0.0));
+            for t in [1.0, 10.0, 100.0, 500.0] {
+                assert_eq!(churn.is_up(LinkId(link), t), churn.is_up(LinkId(link), t));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let churn = LinkChurn::new(0.0, 2.0, 5);
+        assert!((0..50).all(|l| churn.is_up(LinkId(l), 1e6)));
+    }
+
+    #[test]
+    fn high_rate_produces_some_outages() {
+        let churn = LinkChurn::new(0.5, 2.0, 5);
+        let down = (0..100)
+            .filter(|&l| !churn.is_up(LinkId(l), 50.0))
+            .count();
+        assert!(down > 10, "expected many outages, saw {down}");
+        assert!(down < 100, "not everything should be down");
+    }
+
+    #[test]
+    fn apply_mutates_graph_consistently() {
+        let mut net = InternetBuilder::new(3).tier1(3).transit(8).stubs(20).build();
+        let churn = LinkChurn::new(0.3, 3.0, 42);
+        churn.apply(net.graph_mut(), 40.0);
+        for (id, l) in net.graph().links() {
+            assert_eq!(l.up, churn.is_up(id, 40.0));
+        }
+        // Time zero restores everything.
+        churn.apply(net.graph_mut(), 0.0);
+        assert!(net.graph().links().all(|(_, l)| l.up));
+    }
+}

@@ -1,0 +1,253 @@
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use infilter_net::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// One line of a `show ip bgp` table: a path some collector feed reported
+/// for a prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DumpEntry {
+    /// The advertised prefix.
+    pub prefix: Prefix,
+    /// The feed's next-hop address (cosmetic; the analysis uses AS paths).
+    pub next_hop: Ipv4Addr,
+    /// AS path from the feed AS (first element) to the origin AS (last).
+    pub as_path: Vec<Asn>,
+    /// Whether the collector marked this path best (`*>`).
+    pub best: bool,
+}
+
+/// A Routeviews-style `show ip bgp` snapshot for one or more prefixes of a
+/// target network.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_bgp::BgpDump;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "\
+/// *  4.0.0.0/8        141.142.12.1        1224 38 10514 3356 1 i
+/// *> 4.2.101.0/24     141.142.12.1        1224 38 6325 1 i
+/// ";
+/// let dump = BgpDump::parse(text)?;
+/// assert_eq!(dump.entries.len(), 2);
+/// let rendered = dump.render();
+/// let reparsed = BgpDump::parse(&rendered)?;
+/// assert_eq!(dump, reparsed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpDump {
+    /// The table rows.
+    pub entries: Vec<DumpEntry>,
+}
+
+impl BgpDump {
+    /// Renders the snapshot in `show ip bgp` layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let marker = if e.best { "*>" } else { "* " };
+            let path = e
+                .as_path
+                .iter()
+                .map(|a| a.0.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "{marker} {:<16} {:<19} {path} i\n",
+                e.prefix.to_string(),
+                e.next_hop.to_string(),
+            ));
+        }
+        out
+    }
+
+    /// Parses `show ip bgp` text. Blank lines and lines starting with
+    /// anything other than `*` are skipped (headers, "(some lines deleted)").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDumpError`] when a table row is malformed.
+    pub fn parse(text: &str) -> Result<BgpDump, ParseDumpError> {
+        let mut entries = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if !line.starts_with('*') {
+                continue;
+            }
+            let best = line.starts_with("*>");
+            let rest = line.trim_start_matches("*>").trim_start_matches('*').trim();
+            let mut fields = rest.split_whitespace();
+            let prefix_str = fields
+                .next()
+                .ok_or_else(|| ParseDumpError::new(lineno, "missing prefix"))?;
+            let prefix = Prefix::from_str(prefix_str)
+                .map_err(|e| ParseDumpError::new(lineno, format!("bad prefix: {e}")))?;
+            let next_hop_str = fields
+                .next()
+                .ok_or_else(|| ParseDumpError::new(lineno, "missing next hop"))?;
+            let next_hop: Ipv4Addr = next_hop_str
+                .parse()
+                .map_err(|_| ParseDumpError::new(lineno, "bad next hop"))?;
+            let mut as_path = Vec::new();
+            for f in fields {
+                if f == "i" || f == "e" || f == "?" {
+                    break;
+                }
+                let asn: u32 = f
+                    .parse()
+                    .map_err(|_| ParseDumpError::new(lineno, format!("bad ASN `{f}`")))?;
+                as_path.push(Asn(asn));
+            }
+            entries.push(DumpEntry {
+                prefix,
+                next_hop,
+                as_path,
+                best,
+            });
+        }
+        Ok(BgpDump { entries })
+    }
+
+    /// All distinct prefixes appearing in the dump.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        let mut v: Vec<Prefix> = self.entries.iter().map(|e| e.prefix).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Entries advertising the given prefix.
+    pub fn entries_for(&self, prefix: Prefix) -> impl Iterator<Item = &DumpEntry> {
+        self.entries.iter().filter(move |e| e.prefix == prefix)
+    }
+}
+
+/// Error from [`BgpDump::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDumpError {
+    line: usize,
+    message: String,
+}
+
+impl ParseDumpError {
+    fn new(line: usize, message: impl Into<String>) -> ParseDumpError {
+        ParseDumpError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Zero-based line number of the offending row.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDumpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact sample from the paper's §3.2.
+    const PAPER_SAMPLE: &str = "\
+Network          Next Hop            Path
+* 4.0.0.0        193.0.0.56          3333 9057 3356 1 i
+* 4.0.0.0        217.75.96.60        16150 8434 286 1 i
+* 4.0.0.0        141.142.12.1        1224 38 10514 3356 1 i
+* 4.2.101.0/24   141.142.12.1        1224 38 6325 1 i
+* 4.2.101.0/24   202.249.2.86        7500 2497 1 i
+* 4.2.101.0/24   203.194.0.5         9942 1 i
+* 4.2.101.0/24   66.203.205.62       852 1 i
+* 4.2.101.0/24   167.142.3.6         5056 1 e
+* 4.2.101.0/24   206.220.240.95      10764 1 i
+* 4.2.101.0/24   157.130.182.254     19092 1 i
+* 4.2.101.0/24   203.62.252.26       1221 4637 1 i
+* 4.2.101.0/24   202.232.1.91        2497 1 i
+";
+
+    #[test]
+    fn parses_paper_sample() {
+        let dump = BgpDump::parse(PAPER_SAMPLE).unwrap();
+        assert_eq!(dump.entries.len(), 12);
+        let first = &dump.entries[0];
+        assert_eq!(first.prefix, "4.0.0.0/32".parse().unwrap()); // bare address → host
+        assert_eq!(first.as_path, vec![Asn(3333), Asn(9057), Asn(3356), Asn(1)]);
+        assert!(!first.best);
+        // The `e` (EGP) origin line still parses.
+        let egp = &dump.entries[7];
+        assert_eq!(egp.as_path, vec![Asn(5056), Asn(1)]);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let dump = BgpDump {
+            entries: vec![
+                DumpEntry {
+                    prefix: "4.0.0.0/8".parse().unwrap(),
+                    next_hop: "141.142.12.1".parse().unwrap(),
+                    as_path: vec![Asn(1224), Asn(38), Asn(10514), Asn(3356), Asn(1)],
+                    best: false,
+                },
+                DumpEntry {
+                    prefix: "4.2.101.0/24".parse().unwrap(),
+                    next_hop: "4.2.4.90".parse().unwrap(),
+                    as_path: vec![Asn(1)],
+                    best: true,
+                },
+            ],
+        };
+        let text = dump.render();
+        assert_eq!(BgpDump::parse(&text).unwrap(), dump);
+    }
+
+    #[test]
+    fn skips_headers_and_commentary() {
+        let text = "Network Next Hop Path\n.... (some lines deleted)\n* 9.0.0.0/8 1.2.3.4 10 20 i\n\n";
+        let dump = BgpDump::parse(text).unwrap();
+        assert_eq!(dump.entries.len(), 1);
+        assert_eq!(dump.entries[0].as_path, vec![Asn(10), Asn(20)]);
+    }
+
+    #[test]
+    fn reports_malformed_rows() {
+        let err = BgpDump::parse("* notaprefix 1.2.3.4 10 i").unwrap_err();
+        assert_eq!(err.line(), 0);
+        assert!(err.to_string().contains("bad prefix"));
+
+        let err = BgpDump::parse("* 9.0.0.0/8 nothost 10 i").unwrap_err();
+        assert!(err.to_string().contains("bad next hop"));
+
+        let err = BgpDump::parse("* 9.0.0.0/8 1.2.3.4 10 abc 20 i").unwrap_err();
+        assert!(err.to_string().contains("bad ASN"));
+
+        let err = BgpDump::parse("*").unwrap_err();
+        assert!(err.to_string().contains("missing prefix"));
+    }
+
+    #[test]
+    fn prefixes_are_deduped_and_sorted() {
+        let text = "\
+* 9.0.0.0/8 1.2.3.4 10 i
+* 4.0.0.0/8 1.2.3.4 11 i
+* 9.0.0.0/8 5.6.7.8 12 i
+";
+        let dump = BgpDump::parse(text).unwrap();
+        let p = dump.prefixes();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], "4.0.0.0/8".parse().unwrap());
+        assert_eq!(dump.entries_for(p[1]).count(), 2);
+    }
+}

@@ -1,0 +1,265 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use infilter_net::Asn;
+use infilter_topology::{AsGraph, RouteTable};
+use serde::{Deserialize, Serialize};
+
+use crate::BgpDump;
+
+/// The mapping the InFilter hypothesis is about: for one target network,
+/// which **peer AS** does traffic from each **source AS** use to enter it.
+///
+/// Built either directly from routing state ([`PeerMapping::from_routes`])
+/// or from `show ip bgp` text the way the paper derives it
+/// ([`PeerMapping::from_dump`]): every suffix of an advertised path is the
+/// best path of the AS where the suffix starts, and the path element
+/// adjacent to the origin is that source's peer AS. Most-specific prefixes
+/// win when a source appears on paths for several prefixes.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_bgp::{BgpDump, PeerMapping};
+/// use infilter_net::Asn;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "\
+/// *  4.0.0.0/8        141.142.12.1   1224 38 10514 3356 1 i
+/// *  4.2.101.0/24     141.142.12.1   1224 38 6325 1 i
+/// ";
+/// let dump = BgpDump::parse(text)?;
+/// let mapping = PeerMapping::from_dump(&dump, "4.2.101.20".parse()?);
+/// // The paper: "AS 6325 will be used by traffic from AS 1224 and AS 38"
+/// // because 4.2.101.0/24 is more specific than 4.0.0.0/8.
+/// assert_eq!(mapping.peer_of(Asn(1224)), Some(Asn(6325)));
+/// assert_eq!(mapping.peer_of(Asn(38)), Some(Asn(6325)));
+/// assert_eq!(mapping.peer_of(Asn(10514)), Some(Asn(3356)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerMapping {
+    map: BTreeMap<Asn, BTreeSet<Asn>>,
+    source_to_peer: BTreeMap<Asn, Asn>,
+}
+
+impl PeerMapping {
+    /// Builds the mapping from a per-destination routing table: every AS
+    /// with a route is a source AS; its peer is the AS adjacent to the
+    /// destination on its path.
+    pub fn from_routes(table: &RouteTable) -> PeerMapping {
+        let mut m = PeerMapping::default();
+        for (asn, _) in table.iter() {
+            if asn == table.destination() {
+                continue;
+            }
+            // Direct neighbours are themselves the ingress peer and are kept
+            // (the EIA machinery needs traffic *from* a peer AS to map to
+            // that peer AS).
+            if let Some(peer) = table.ingress_peer(asn) {
+                m.insert(peer, asn);
+            }
+        }
+        m
+    }
+
+    /// Builds the mapping from `show ip bgp` text for the target reached at
+    /// `target_addr`, following the paper's §3.2 derivation. Only entries
+    /// whose prefix contains `target_addr` participate; among those, a
+    /// source AS appearing under several prefixes keeps the assignment from
+    /// the most specific one.
+    pub fn from_dump(dump: &BgpDump, target_addr: Ipv4Addr) -> PeerMapping {
+        // source AS -> (prefix length, peer AS); longer prefix wins.
+        let mut best: BTreeMap<Asn, (u8, Asn)> = BTreeMap::new();
+        for e in &dump.entries {
+            if !e.prefix.contains(target_addr) || e.as_path.len() < 2 {
+                continue;
+            }
+            let origin = *e.as_path.last().expect("len >= 2");
+            let peer_for_suffix = e.as_path[e.as_path.len() - 2];
+            // Every AS on the path is a source whose best path is the
+            // corresponding suffix; all suffixes of one line share the same
+            // origin-adjacent AS. The paper's tables exclude the peer AS
+            // itself (and the origin) from the source sets, so we do too.
+            for &source in &e.as_path[..e.as_path.len() - 1] {
+                if source == origin || source == peer_for_suffix {
+                    continue;
+                }
+                let cand = (e.prefix.len(), peer_for_suffix);
+                match best.get(&source) {
+                    Some(&(len, _)) if len >= e.prefix.len() => {}
+                    _ => {
+                        best.insert(source, cand);
+                    }
+                }
+            }
+        }
+        let mut m = PeerMapping::default();
+        for (source, (_, peer)) in best {
+            m.insert(peer, source);
+        }
+        m
+    }
+
+    /// Builds per-address mappings honouring prefix-level origins in the
+    /// graph: useful when a more specific prefix of the target network is
+    /// originated elsewhere. `tables` maps origin AS → routing table.
+    pub fn for_address(
+        graph: &AsGraph,
+        tables: &BTreeMap<Asn, RouteTable>,
+        addr: Ipv4Addr,
+    ) -> Option<PeerMapping> {
+        let (origin, _) = graph.originator_of(addr)?;
+        tables.get(&origin).map(PeerMapping::from_routes)
+    }
+
+    fn insert(&mut self, peer: Asn, source: Asn) {
+        self.map.entry(peer).or_default().insert(source);
+        self.source_to_peer.insert(source, peer);
+    }
+
+    /// The peer AS assigned to `source`, if known.
+    pub fn peer_of(&self, source: Asn) -> Option<Asn> {
+        self.source_to_peer.get(&source).copied()
+    }
+
+    /// The source-AS set of `peer`.
+    pub fn sources_of(&self, peer: Asn) -> Option<&BTreeSet<Asn>> {
+        self.map.get(&peer)
+    }
+
+    /// Number of distinct peer ASes in the mapping.
+    pub fn peer_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of source ASes covered.
+    pub fn source_count(&self) -> usize {
+        self.source_to_peer.len()
+    }
+
+    /// Iterates over `(peer, source set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &BTreeSet<Asn>)> {
+        self.map.iter().map(|(p, s)| (*p, s))
+    }
+
+    /// The paper's Figure 5 metric: the fraction of source ASes present in
+    /// both mappings whose peer-AS assignment differs. Zero when the
+    /// mappings share no sources.
+    pub fn fractional_change(&self, later: &PeerMapping) -> f64 {
+        let mut common = 0usize;
+        let mut changed = 0usize;
+        for (source, peer) in &self.source_to_peer {
+            if let Some(new_peer) = later.source_to_peer.get(source) {
+                common += 1;
+                if new_peer != peer {
+                    changed += 1;
+                }
+            }
+        }
+        if common == 0 {
+            0.0
+        } else {
+            changed as f64 / common as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_topology::InternetBuilder;
+
+    #[test]
+    fn paper_target_as1_mapping_from_dump() {
+        // Full example from §3.2 (target 4.2.101.20 in AS 1's network).
+        let text = "\
+* 4.0.0.0/8      193.0.0.56          3333 9057 3356 1 i
+* 4.0.0.0/8      217.75.96.60        16150 8434 286 1 i
+* 4.0.0.0/8      141.142.12.1        1224 38 10514 3356 1 i
+* 4.2.101.0/24   141.142.12.1        1224 38 6325 1 i
+* 4.2.101.0/24   202.249.2.86        7500 2497 1 i
+* 4.2.101.0/24   203.62.252.26       1221 4637 1 i
+";
+        let dump = BgpDump::parse(text).unwrap();
+        let m = PeerMapping::from_dump(&dump, "4.2.101.20".parse().unwrap());
+        // Expected mapping from the paper (restricted to these lines):
+        //   3356 ← {3333, 9057, 10514}
+        //   286  ← {16150, 8434}
+        //   6325 ← {1224, 38}
+        //   2497 ← {7500}
+        //   4637 ← {1221}
+        let expect = [
+            (3356, vec![3333, 9057, 10514]),
+            (286, vec![16150, 8434]),
+            (6325, vec![1224, 38]),
+            (2497, vec![7500]),
+            (4637, vec![1221]),
+        ];
+        assert_eq!(m.peer_count(), expect.len());
+        for (peer, sources) in expect {
+            let got = m.sources_of(Asn(peer)).unwrap_or_else(|| {
+                panic!("peer AS{peer} missing; mapping: {m:?}")
+            });
+            let want: BTreeSet<Asn> = sources.into_iter().map(Asn).collect();
+            assert_eq!(*got, want, "peer AS{peer}");
+        }
+    }
+
+    #[test]
+    fn dump_for_address_outside_specific_prefix_uses_coarse() {
+        let text = "\
+* 4.0.0.0/8      141.142.12.1        1224 38 10514 3356 1 i
+* 4.2.101.0/24   141.142.12.1        1224 38 6325 1 i
+";
+        let dump = BgpDump::parse(text).unwrap();
+        // 4.9.9.9 is outside the /24, so only the /8 applies.
+        let m = PeerMapping::from_dump(&dump, "4.9.9.9".parse().unwrap());
+        assert_eq!(m.peer_of(Asn(1224)), Some(Asn(3356)));
+        assert_eq!(m.peer_of(Asn(38)), Some(Asn(3356)));
+    }
+
+    #[test]
+    fn from_routes_matches_route_table_ingress() {
+        let net = InternetBuilder::new(77).tier1(3).transit(10).stubs(40).build();
+        let target = net.targets()[0].asn;
+        let table = RouteTable::compute(net.graph(), target);
+        let m = PeerMapping::from_routes(&table);
+        for (asn, _) in table.iter() {
+            if asn == target {
+                continue;
+            }
+            assert_eq!(m.peer_of(asn), table.ingress_peer(asn), "source {asn}");
+        }
+        // Every peer in the mapping is a direct neighbour of the target.
+        let neighbors: BTreeSet<Asn> = net.graph().neighbors(target).map(|(a, _)| a).collect();
+        for (peer, _) in m.iter() {
+            assert!(neighbors.contains(&peer), "{peer} not adjacent to {target}");
+        }
+    }
+
+    #[test]
+    fn fractional_change_counts_reassignments() {
+        let mut a = PeerMapping::default();
+        a.insert(Asn(1), Asn(100));
+        a.insert(Asn(1), Asn(101));
+        a.insert(Asn(2), Asn(102));
+        a.insert(Asn(2), Asn(103));
+        let mut b = a.clone();
+        assert_eq!(a.fractional_change(&b), 0.0);
+        // Move source 103 from peer 2 to peer 1.
+        b.insert(Asn(1), Asn(103));
+        assert_eq!(a.fractional_change(&b), 0.25);
+        // Sources only present on one side are ignored.
+        b.insert(Asn(3), Asn(999));
+        assert_eq!(a.fractional_change(&b), 0.25);
+    }
+
+    #[test]
+    fn fractional_change_empty_is_zero() {
+        let a = PeerMapping::default();
+        let b = PeerMapping::default();
+        assert_eq!(a.fractional_change(&b), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: dump codec robustness and mapping consistency.
+
+use infilter_bgp::{BgpDump, DumpEntry, PeerMapping};
+use infilter_net::{Asn, Prefix};
+use proptest::prelude::*;
+
+fn arb_entry() -> impl Strategy<Value = DumpEntry> {
+    (
+        any::<u32>(),
+        0u8..=32,
+        any::<u32>(),
+        proptest::collection::vec(1u32..100_000, 1..8),
+        any::<bool>(),
+    )
+        .prop_map(|(net, len, hop, path, best)| DumpEntry {
+            prefix: Prefix::new(net.into(), len),
+            next_hop: hop.into(),
+            as_path: path.into_iter().map(Asn).collect(),
+            best,
+        })
+}
+
+proptest! {
+    #[test]
+    fn dump_render_parse_round_trips(entries in proptest::collection::vec(arb_entry(), 0..24)) {
+        // Bare /32 prefixes render as `a.b.c.d/32`, which parses back
+        // identically, so a full round trip holds for arbitrary entries.
+        let dump = BgpDump { entries };
+        let parsed = BgpDump::parse(&dump.render()).expect("own rendering parses");
+        prop_assert_eq!(parsed, dump);
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(text in "\\PC{0,400}") {
+        let _ = BgpDump::parse(&text);
+    }
+
+    #[test]
+    fn mapping_from_dump_is_internally_consistent(
+        entries in proptest::collection::vec(arb_entry(), 0..24),
+        addr in any::<u32>(),
+    ) {
+        let dump = BgpDump { entries };
+        let mapping = PeerMapping::from_dump(&dump, addr.into());
+        // peer_of and sources_of agree.
+        for (peer, sources) in mapping.iter() {
+            for s in sources {
+                prop_assert_eq!(mapping.peer_of(*s), Some(peer));
+            }
+        }
+        let total: usize = mapping.iter().map(|(_, s)| s.len()).sum();
+        prop_assert_eq!(total, mapping.source_count());
+        // Self-comparison never reports change.
+        prop_assert_eq!(mapping.fractional_change(&mapping.clone()), 0.0);
+    }
+
+    #[test]
+    fn fractional_change_is_bounded(
+        a in proptest::collection::vec(arb_entry(), 0..16),
+        b in proptest::collection::vec(arb_entry(), 0..16),
+        addr in any::<u32>(),
+    ) {
+        let ma = PeerMapping::from_dump(&BgpDump { entries: a }, addr.into());
+        let mb = PeerMapping::from_dump(&BgpDump { entries: b }, addr.into());
+        let c = ma.fractional_change(&mb);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+}

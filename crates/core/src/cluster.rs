@@ -1,0 +1,424 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use infilter_netflow::{FlowRecord, FlowStats};
+use infilter_nns::{BitVec, NnsParams, NnsStructure, UnaryEncoder};
+use infilter_traffic::AppClass;
+use serde::{Deserialize, Serialize};
+
+/// How per-subcluster Hamming-distance thresholds are established during
+/// training (§5.1.3(c): "cluster specific hamming distance thresholds are
+/// also established").
+///
+/// The threshold is a quantile of the leave-one-out nearest-neighbour
+/// distances inside the subcluster, scaled by a slack factor: training
+/// flows are normal by definition, so a query further from the cluster than
+/// (almost) any member is from its own nearest neighbour is anomalous.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPolicy {
+    /// Quantile of the leave-one-out NN distance distribution (0..=1).
+    pub quantile: f64,
+    /// Multiplier applied to the quantile value.
+    pub slack: f64,
+    /// Lower bound so tiny tight clusters don't produce a zero threshold.
+    pub min_threshold: u32,
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> ThresholdPolicy {
+        ThresholdPolicy {
+            quantile: 0.99,
+            slack: 1.5,
+            min_threshold: 8,
+        }
+    }
+}
+
+/// Errors from training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// No training flows at all were provided.
+    EmptyTrainingSet,
+    /// The NNS structure could not be built for a subcluster.
+    Build {
+        /// The subcluster concerned.
+        class: AppClass,
+        /// The underlying error, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "no training flows provided"),
+            TrainError::Build { class, message } => {
+                write!(f, "building {class} subcluster failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// One trained subcluster: encoder, NNS structure and distance threshold.
+#[derive(Debug, Clone)]
+pub struct SubclusterModel {
+    class: AppClass,
+    encoder: UnaryEncoder,
+    structure: NnsStructure,
+    threshold: u32,
+    training_size: usize,
+}
+
+impl SubclusterModel {
+    /// The service class this subcluster models.
+    pub fn class(&self) -> AppClass {
+        self.class
+    }
+
+    /// The established Hamming distance threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Number of training flows.
+    pub fn training_size(&self) -> usize {
+        self.training_size
+    }
+
+    /// Encodes a flow's statistics into this subcluster's Hamming space.
+    pub fn encode(&self, stats: &FlowStats) -> BitVec {
+        self.encoder.encode(&stats.as_features())
+    }
+
+    /// Distance from the flow to its (approximate) nearest normal
+    /// neighbour. `None` when every probe missed — treated as maximally
+    /// anomalous by the pipeline.
+    pub fn nn_distance(&self, stats: &FlowStats) -> Option<u32> {
+        let q = self.encode(stats);
+        self.structure.search(&q).map(|r| r.distance)
+    }
+
+    /// Whether the flow is within the normal-behaviour range.
+    pub fn is_normal(&self, stats: &FlowStats) -> bool {
+        match self.nn_distance(stats) {
+            Some(d) => d <= self.threshold,
+            None => false,
+        }
+    }
+}
+
+/// The Normal cluster partitioned into per-service subclusters with one
+/// NNS structure each (§5.1.3 b–d).
+///
+/// # Examples
+///
+/// ```
+/// use infilter_core::ClusterModel;
+/// use infilter_netflow::FlowRecord;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let train: Vec<FlowRecord> = (0..50)
+///     .map(|i| FlowRecord {
+///         dst_port: 80,
+///         protocol: 6,
+///         packets: 10 + (i % 5),
+///         octets: 5_000 + 120 * i,
+///         first_ms: 0,
+///         last_ms: 900,
+///         ..FlowRecord::default()
+///     })
+///     .collect();
+/// let model = ClusterModel::train(&train, Default::default(), Default::default(), 16, 7)?;
+/// assert!(model.subcluster_for(&train[0]).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    subclusters: BTreeMap<AppClass, SubclusterModel>,
+}
+
+impl ClusterModel {
+    /// Trains the model: partitions `flows` by service class, derives one
+    /// unary encoder per subcluster from its samples, builds the NNS
+    /// structure and establishes the distance threshold.
+    ///
+    /// `bits_per_feature` controls the encoded dimension
+    /// (`d = 5 × bits_per_feature`; the paper's `d = 720` is
+    /// `bits_per_feature = 144`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::EmptyTrainingSet`] when `flows` is empty.
+    /// Classes with no flows simply get no subcluster (flows hitting them
+    /// online are treated as anomalous).
+    pub fn train(
+        flows: &[FlowRecord],
+        nns_params: NnsParams,
+        policy: ThresholdPolicy,
+        bits_per_feature: usize,
+        seed: u64,
+    ) -> Result<ClusterModel, TrainError> {
+        if flows.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        let mut partition: BTreeMap<AppClass, Vec<&FlowRecord>> = BTreeMap::new();
+        for f in flows {
+            partition
+                .entry(AppClass::classify(f.protocol, f.dst_port))
+                .or_default()
+                .push(f);
+        }
+        let mut subclusters = BTreeMap::new();
+        for (class, members) in partition {
+            let samples: Vec<Vec<f64>> = members
+                .iter()
+                .map(|f| f.stats().as_features().to_vec())
+                .collect();
+            let encoder = UnaryEncoder::from_samples(&samples, bits_per_feature).map_err(|e| {
+                TrainError::Build {
+                    class,
+                    message: e.to_string(),
+                }
+            })?;
+            let points: Vec<BitVec> = samples.iter().map(|s| encoder.encode(s)).collect();
+            let params = NnsParams {
+                d: encoder.dimension(),
+                ..nns_params
+            };
+            let structure =
+                NnsStructure::build(&points, params, seed ^ class as u64).map_err(|e| {
+                    TrainError::Build {
+                        class,
+                        message: e.to_string(),
+                    }
+                })?;
+            let threshold = establish_threshold(&points, policy);
+            subclusters.insert(
+                class,
+                SubclusterModel {
+                    class,
+                    encoder,
+                    structure,
+                    threshold,
+                    training_size: points.len(),
+                },
+            );
+        }
+        Ok(ClusterModel { subclusters })
+    }
+
+    /// The subcluster a flow routes to, if one was trained for its class.
+    pub fn subcluster_for(&self, flow: &FlowRecord) -> Option<&SubclusterModel> {
+        self.subclusters
+            .get(&AppClass::classify(flow.protocol, flow.dst_port))
+    }
+
+    /// The subcluster for a service class.
+    pub fn subcluster(&self, class: AppClass) -> Option<&SubclusterModel> {
+        self.subclusters.get(&class)
+    }
+
+    /// Iterates over the trained subclusters.
+    pub fn iter(&self) -> impl Iterator<Item = &SubclusterModel> {
+        self.subclusters.values()
+    }
+
+    /// Number of trained subclusters.
+    pub fn len(&self) -> usize {
+        self.subclusters.len()
+    }
+
+    /// Whether no subcluster was trained (impossible after `train`).
+    pub fn is_empty(&self) -> bool {
+        self.subclusters.is_empty()
+    }
+}
+
+/// Leave-one-out NN distance quantile (exact, linear scan — training is
+/// offline, "the search data structure may be constructed off-line").
+fn establish_threshold(points: &[BitVec], policy: ThresholdPolicy) -> u32 {
+    if points.len() < 2 {
+        return policy.min_threshold;
+    }
+    let mut distances: Vec<u32> = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let mut best = u32::MAX;
+        for (j, q) in points.iter().enumerate() {
+            if i != j {
+                best = best.min(p.hamming(q));
+            }
+        }
+        distances.push(best);
+    }
+    distances.sort_unstable();
+    let idx = ((distances.len() - 1) as f64 * policy.quantile.clamp(0.0, 1.0)).round() as usize;
+    let q = distances[idx] as f64 * policy.slack;
+    (q.round() as u32).max(policy.min_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_flow(i: u32) -> FlowRecord {
+        FlowRecord {
+            dst_port: 80,
+            protocol: 6,
+            packets: 10 + (i % 6),
+            octets: 5000 + 200 * (i % 10),
+            first_ms: 0,
+            last_ms: 800 + 40 * (i % 7),
+            ..FlowRecord::default()
+        }
+    }
+
+    fn dns_flow(i: u32) -> FlowRecord {
+        FlowRecord {
+            dst_port: 53,
+            protocol: 17,
+            packets: 2,
+            octets: 150 + 10 * (i % 4),
+            first_ms: 0,
+            last_ms: 40,
+            ..FlowRecord::default()
+        }
+    }
+
+    fn train_mixed() -> ClusterModel {
+        let mut flows: Vec<FlowRecord> = (0..60).map(http_flow).collect();
+        flows.extend((0..60).map(dns_flow));
+        ClusterModel::train(
+            &flows,
+            NnsParams {
+                d: 0, // overridden per subcluster
+                m1: 2,
+                m2: 8,
+                m3: 2,
+            },
+            ThresholdPolicy::default(),
+            12,
+            42,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partitions_by_service() {
+        let model = train_mixed();
+        assert_eq!(model.len(), 2);
+        assert!(model.subcluster(AppClass::Http).is_some());
+        assert!(model.subcluster(AppClass::Dns).is_some());
+        assert!(model.subcluster(AppClass::Ftp).is_none());
+        assert_eq!(model.subcluster(AppClass::Http).unwrap().training_size(), 60);
+    }
+
+    #[test]
+    fn normal_flows_stay_under_threshold() {
+        let model = train_mixed();
+        let sub = model.subcluster(AppClass::Http).unwrap();
+        let mut normal = 0;
+        for i in 0..60 {
+            if sub.is_normal(&http_flow(i).stats()) {
+                normal += 1;
+            }
+        }
+        assert!(normal >= 55, "only {normal}/60 training flows deemed normal");
+    }
+
+    #[test]
+    fn wildly_abnormal_flow_is_flagged() {
+        let model = train_mixed();
+        let sub = model.subcluster(AppClass::Http).unwrap();
+        // A flood: 100k packets in one second on port 80.
+        let flood = FlowRecord {
+            dst_port: 80,
+            protocol: 6,
+            packets: 100_000,
+            octets: 60_000_000,
+            first_ms: 0,
+            last_ms: 1000,
+            ..FlowRecord::default()
+        };
+        assert!(!sub.is_normal(&flood.stats()));
+    }
+
+    #[test]
+    fn flows_route_to_their_class() {
+        let model = train_mixed();
+        assert_eq!(
+            model.subcluster_for(&http_flow(0)).unwrap().class(),
+            AppClass::Http
+        );
+        assert_eq!(
+            model.subcluster_for(&dns_flow(0)).unwrap().class(),
+            AppClass::Dns
+        );
+        // Untrained class: no subcluster.
+        let ftp = FlowRecord {
+            dst_port: 21,
+            protocol: 6,
+            ..FlowRecord::default()
+        };
+        assert!(model.subcluster_for(&ftp).is_none());
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        assert_eq!(
+            ClusterModel::train(&[], NnsParams::default(), ThresholdPolicy::default(), 8, 0)
+                .unwrap_err(),
+            TrainError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn threshold_respects_policy_floor() {
+        // Identical points → LOO distances all zero → floor applies.
+        let points: Vec<BitVec> = (0..10)
+            .map(|_| BitVec::from_bits((0..16).map(|i| i < 8)))
+            .collect();
+        let t = establish_threshold(
+            &points,
+            ThresholdPolicy {
+                quantile: 0.99,
+                slack: 2.0,
+                min_threshold: 5,
+            },
+        );
+        assert_eq!(t, 5);
+        // Single point: floor too.
+        assert_eq!(
+            establish_threshold(&points[..1], ThresholdPolicy::default()),
+            ThresholdPolicy::default().min_threshold
+        );
+    }
+
+    #[test]
+    fn tighter_quantile_means_lower_threshold() {
+        let flows: Vec<FlowRecord> = (0..80).map(http_flow).collect();
+        let make = |quantile| {
+            let model = ClusterModel::train(
+                &flows,
+                NnsParams {
+                    d: 0,
+                    m1: 1,
+                    m2: 8,
+                    m3: 2,
+                },
+                ThresholdPolicy {
+                    quantile,
+                    slack: 1.0,
+                    min_threshold: 1,
+                },
+                12,
+                1,
+            )
+            .unwrap();
+            model.subcluster(AppClass::Http).unwrap().threshold()
+        };
+        assert!(make(0.5) <= make(1.0));
+    }
+}

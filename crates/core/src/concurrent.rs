@@ -1,0 +1,149 @@
+use std::sync::Arc;
+
+use infilter_netflow::FlowRecord;
+use parking_lot::Mutex;
+
+use crate::{Analyzer, AnalyzerMetrics, IdmefAlert, PeerId, Verdict};
+
+/// A cloneable, thread-safe handle to one [`Analyzer`] — the deployment of
+/// the paper's Figure 9, where several Flow-tools instances feed one
+/// analysis module concurrently.
+///
+/// Verdict computation mutates shared state (scan buffer, EIA adoption,
+/// metrics), so the handle serialises `process` calls behind a
+/// `parking_lot` mutex; the fast path is sub-microsecond, so contention is
+/// dominated by suspect analysis exactly as the §6.4 latency table
+/// suggests.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_core::{AnalyzerConfig, EiaRegistry, Mode, PeerId, SharedAnalyzer, Trainer};
+/// use infilter_netflow::FlowRecord;
+///
+/// let mut eia = EiaRegistry::new(3);
+/// eia.preload(PeerId(1), "3.0.0.0/11".parse().unwrap());
+/// let analyzer = Trainer::new(AnalyzerConfig { mode: Mode::Basic, ..AnalyzerConfig::default() })
+///     .train_basic(eia);
+/// let shared = SharedAnalyzer::new(analyzer);
+///
+/// let handles: Vec<_> = (0..4)
+///     .map(|i| {
+///         let shared = shared.clone();
+///         std::thread::spawn(move || {
+///             let flow = FlowRecord {
+///                 src_addr: std::net::Ipv4Addr::new(3, 0, 0, i),
+///                 ..FlowRecord::default()
+///             };
+///             shared.process(PeerId(1), &flow)
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     assert!(h.join().unwrap().is_legal());
+/// }
+/// assert_eq!(shared.metrics().flows, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedAnalyzer {
+    inner: Arc<Mutex<Analyzer>>,
+}
+
+impl SharedAnalyzer {
+    /// Wraps a trained analyzer.
+    pub fn new(analyzer: Analyzer) -> SharedAnalyzer {
+        SharedAnalyzer {
+            inner: Arc::new(Mutex::new(analyzer)),
+        }
+    }
+
+    /// Processes one flow (serialised across threads).
+    pub fn process(&self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+        self.inner.lock().process(ingress, flow)
+    }
+
+    /// Snapshot of the counters.
+    pub fn metrics(&self) -> AnalyzerMetrics {
+        self.inner.lock().metrics().clone()
+    }
+
+    /// Drains pending IDMEF alerts.
+    pub fn drain_alerts(&self) -> Vec<IdmefAlert> {
+        self.inner.lock().drain_alerts()
+    }
+
+    /// Recovers the analyzer if this is the last handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other handles are still alive.
+    pub fn try_into_inner(self) -> Result<Analyzer, SharedAnalyzer> {
+        Arc::try_unwrap(self.inner)
+            .map(Mutex::into_inner)
+            .map_err(|inner| SharedAnalyzer { inner })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyzerConfig, EiaRegistry, Mode, Trainer};
+
+    fn shared() -> SharedAnalyzer {
+        let mut eia = EiaRegistry::new(3);
+        eia.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+        eia.preload(PeerId(2), "3.32.0.0/11".parse().expect("static prefix"));
+        let analyzer = Trainer::new(AnalyzerConfig {
+            mode: Mode::Basic,
+            ..AnalyzerConfig::default()
+        })
+        .train_basic(eia);
+        SharedAnalyzer::new(analyzer)
+    }
+
+    #[test]
+    fn concurrent_processing_accounts_every_flow() {
+        let s = shared();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut attacks = 0;
+                    for i in 0..100u32 {
+                        // Half legal, half spoofed.
+                        let src = if i % 2 == 0 {
+                            std::net::Ipv4Addr::from(0x0300_0000 + i)
+                        } else {
+                            std::net::Ipv4Addr::from(0x0320_0000 + i)
+                        };
+                        let flow = FlowRecord {
+                            src_addr: src,
+                            dst_port: (t * 100 + i) as u16,
+                            ..FlowRecord::default()
+                        };
+                        if s.process(PeerId(1), &flow).is_attack() {
+                            attacks += 1;
+                        }
+                    }
+                    attacks
+                })
+            })
+            .collect();
+        let total_attacks: u32 = threads.into_iter().map(|h| h.join().expect("no panic")).sum();
+        let m = s.metrics();
+        assert_eq!(m.flows, 800);
+        assert_eq!(m.eia_match, 400);
+        assert_eq!(total_attacks, 400);
+        assert_eq!(s.drain_alerts().len(), 400);
+        assert!(s.drain_alerts().is_empty());
+    }
+
+    #[test]
+    fn try_into_inner_respects_outstanding_handles() {
+        let s = shared();
+        let s2 = s.clone();
+        let s = s.try_into_inner().expect_err("clone still alive");
+        drop(s2);
+        assert!(s.try_into_inner().is_ok());
+    }
+}

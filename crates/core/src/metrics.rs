@@ -1,0 +1,110 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Latency accumulator for one pipeline stage or configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Flows measured.
+    pub count: u64,
+    /// Total processing time, nanoseconds.
+    pub total_nanos: u64,
+    /// Worst single-flow time, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl StageLatency {
+    /// Records one measurement.
+    pub fn record(&mut self, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Mean latency, or zero with no samples.
+    pub fn mean(&self) -> Duration {
+        match self.total_nanos.checked_div(self.count) {
+            Some(mean) => Duration::from_nanos(mean),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Worst observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+}
+
+/// Counters the experiments read off an [`crate::Analyzer`]: how many flows
+/// took each path through Figure 12, plus per-path latencies (§6.4 reports
+/// ≈0.5 ms for BI and 2–6 ms for EI on 2005 hardware).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerMetrics {
+    /// Flows processed in total.
+    pub flows: u64,
+    /// Flows whose EIA check matched (case b: legal, no further analysis).
+    pub eia_match: u64,
+    /// Flows the EIA check flagged as suspect (case a).
+    pub eia_suspect: u64,
+    /// Suspects flagged by Scan Analysis.
+    pub scan_attacks: u64,
+    /// Suspects flagged by NNS analysis.
+    pub nns_attacks: u64,
+    /// Suspects flagged directly (Basic InFilter configuration).
+    pub eia_attacks: u64,
+    /// Suspects cleared by the enhanced analysis.
+    pub forgiven: u64,
+    /// Sources dynamically adopted into EIA sets.
+    pub adoptions: u64,
+    /// Latency over flows that took the fast path (EIA match only).
+    pub fast_path: StageLatency,
+    /// Latency over flows that went through the full suspect analysis.
+    pub suspect_path: StageLatency,
+}
+
+impl AnalyzerMetrics {
+    /// Total flows flagged as attacks by any stage.
+    pub fn attacks(&self) -> u64 {
+        self.scan_attacks + self.nns_attacks + self.eia_attacks
+    }
+
+    /// Fraction of processed flows flagged as attacks.
+    pub fn attack_fraction(&self) -> f64 {
+        if self.flows == 0 {
+            0.0
+        } else {
+            self.attacks() as f64 / self.flows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_accumulates() {
+        let mut l = StageLatency::default();
+        assert_eq!(l.mean(), Duration::ZERO);
+        l.record(Duration::from_micros(10));
+        l.record(Duration::from_micros(30));
+        assert_eq!(l.count, 2);
+        assert_eq!(l.mean(), Duration::from_micros(20));
+        assert_eq!(l.max(), Duration::from_micros(30));
+    }
+
+    #[test]
+    fn attack_totals() {
+        let m = AnalyzerMetrics {
+            flows: 100,
+            scan_attacks: 3,
+            nns_attacks: 5,
+            eia_attacks: 2,
+            ..AnalyzerMetrics::default()
+        };
+        assert_eq!(m.attacks(), 10);
+        assert!((m.attack_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(AnalyzerMetrics::default().attack_fraction(), 0.0);
+    }
+}

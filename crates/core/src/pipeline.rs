@@ -1,0 +1,526 @@
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use infilter_netflow::FlowRecord;
+use infilter_nns::NnsParams;
+use infilter_traffic::AppClass;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AnalyzerMetrics, ClusterModel, EiaRegistry, EiaVerdict, IdmefAlert, ScanAnalyzer, ScanConfig,
+    ScanVerdict, ThresholdPolicy, TrainError,
+};
+pub use crate::eia::PeerId;
+
+/// Software configuration (§6.3): `BI` assesses traffic with EIA analysis
+/// alone; `EI` adds Scan Analysis and NNS on EIA-suspect flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Basic InFilter.
+    Basic,
+    /// Enhanced InFilter.
+    Enhanced,
+}
+
+/// Which detection stage flagged a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackStage {
+    /// EIA mismatch, flagged directly (Basic InFilter only).
+    EiaMismatch {
+        /// The peer the source was expected at, if any.
+        expected: Option<PeerId>,
+    },
+    /// Scan Analysis network-scan counter exceeded.
+    NetworkScan {
+        /// The scanned port.
+        dst_port: u16,
+        /// Distinct hosts hit.
+        distinct_hosts: usize,
+    },
+    /// Scan Analysis host-scan counter exceeded.
+    HostScan {
+        /// The scanned host.
+        dst_addr: Ipv4Addr,
+        /// Distinct ports hit.
+        distinct_ports: usize,
+    },
+    /// NNS distance above the subcluster threshold (or no subcluster /
+    /// no neighbour found).
+    NnsAnomaly {
+        /// Distance to the nearest normal flow (`u32::MAX` if none found).
+        distance: u32,
+        /// The subcluster's threshold.
+        threshold: u32,
+        /// The service subcluster consulted.
+        class: AppClass,
+    },
+}
+
+/// Per-flow outcome of online operation (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// EIA matched: legal, no further processing.
+    Legal,
+    /// Flagged as an attack at the given stage.
+    Attack(AttackStage),
+    /// EIA-suspect but assessed to be within normal behaviour (counts
+    /// toward EIA adoption).
+    Forgiven,
+}
+
+impl Verdict {
+    /// Whether the flow was declared legal (EIA match).
+    pub fn is_legal(&self) -> bool {
+        matches!(self, Verdict::Legal)
+    }
+
+    /// Whether the flow was flagged as an attack.
+    pub fn is_attack(&self) -> bool {
+        matches!(self, Verdict::Attack(_))
+    }
+
+    /// Whether the flow was suspect but forgiven.
+    pub fn is_forgiven(&self) -> bool {
+        matches!(self, Verdict::Forgiven)
+    }
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// BI or EI.
+    pub mode: Mode,
+    /// Scan Analysis parameters.
+    pub scan: ScanConfig,
+    /// NNS structure parameters (`d` is overridden per subcluster).
+    pub nns: NnsParams,
+    /// Bits per flow characteristic (`d = 5 ×` this; paper: 144).
+    pub bits_per_feature: usize,
+    /// Per-subcluster threshold policy.
+    pub thresholds: ThresholdPolicy,
+    /// Sightings before a cleared suspect source is adopted (§5.2(a)).
+    pub adoption_threshold: u32,
+    /// Prefix length adopted sources are generalised to (32 = host).
+    pub adoption_prefix_len: u8,
+    /// RNG seed for NNS structure construction.
+    pub seed: u64,
+}
+
+impl Default for AnalyzerConfig {
+    /// Paper-shaped defaults: EI mode, 200-flow scan buffer, `d = 720`
+    /// (5 × 144), `M1 = 1`, `M2 = 12`, `M3 = 3`.
+    fn default() -> AnalyzerConfig {
+        AnalyzerConfig {
+            mode: Mode::Enhanced,
+            scan: ScanConfig::default(),
+            nns: NnsParams::default(),
+            bits_per_feature: 144,
+            thresholds: ThresholdPolicy::default(),
+            adoption_threshold: 5,
+            adoption_prefix_len: 32,
+            seed: 0x1f11,
+        }
+    }
+}
+
+/// Builds [`Analyzer`]s — the training phase of Figure 11.
+#[derive(Debug, Clone, Default)]
+pub struct Trainer {
+    cfg: AnalyzerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(cfg: AnalyzerConfig) -> Trainer {
+        Trainer { cfg }
+    }
+
+    /// Produces a Basic InFilter analyzer: EIA sets only, no normal
+    /// cluster needed.
+    pub fn train_basic(&self, eia: EiaRegistry) -> Analyzer {
+        Analyzer::assemble(
+            AnalyzerConfig {
+                mode: Mode::Basic,
+                ..self.cfg
+            },
+            eia,
+            None,
+        )
+    }
+
+    /// Produces an Enhanced InFilter analyzer: partitions the normal
+    /// cluster, builds the per-subcluster NNS structures and thresholds
+    /// (§5.1.3 b–d).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when the normal cluster is empty or a
+    /// subcluster cannot be built.
+    pub fn train_enhanced(
+        &self,
+        eia: EiaRegistry,
+        normal_cluster: &[FlowRecord],
+    ) -> Result<Analyzer, TrainError> {
+        let model = ClusterModel::train(
+            normal_cluster,
+            self.cfg.nns,
+            self.cfg.thresholds,
+            self.cfg.bits_per_feature,
+            self.cfg.seed,
+        )?;
+        Ok(Analyzer::assemble(
+            AnalyzerConfig {
+                mode: Mode::Enhanced,
+                ..self.cfg
+            },
+            eia,
+            Some(model),
+        ))
+    }
+}
+
+/// The online InFilter engine: one `process` call per incoming flow.
+///
+/// See the crate documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct Analyzer {
+    cfg: AnalyzerConfig,
+    eia: EiaRegistry,
+    scan: ScanAnalyzer,
+    model: Option<ClusterModel>,
+    metrics: AnalyzerMetrics,
+    alerts: Vec<IdmefAlert>,
+    next_alert_id: u64,
+}
+
+impl Analyzer {
+    fn assemble(cfg: AnalyzerConfig, mut eia: EiaRegistry, model: Option<ClusterModel>) -> Analyzer {
+        // The registry's adoption policy follows the analyzer config.
+        eia.set_adoption_threshold(cfg.adoption_threshold);
+        eia.set_adoption_prefix_len(cfg.adoption_prefix_len);
+        Analyzer {
+            scan: ScanAnalyzer::new(cfg.scan),
+            cfg,
+            eia,
+            model,
+            metrics: AnalyzerMetrics::default(),
+            alerts: Vec::new(),
+            next_alert_id: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.cfg
+    }
+
+    /// Counters and latency accumulators.
+    pub fn metrics(&self) -> &AnalyzerMetrics {
+        &self.metrics
+    }
+
+    /// Alerts emitted so far (IDMEF consumers drain this).
+    pub fn alerts(&self) -> &[IdmefAlert] {
+        &self.alerts
+    }
+
+    /// Removes and returns all pending alerts.
+    pub fn drain_alerts(&mut self) -> Vec<IdmefAlert> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    /// Read access to the EIA registry.
+    pub fn eia(&self) -> &EiaRegistry {
+        &self.eia
+    }
+
+    /// Processes one flow observed at `ingress`, returning the verdict and
+    /// recording metrics, latency and alerts (Figure 12).
+    pub fn process(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+        let started = Instant::now();
+        self.metrics.flows += 1;
+
+        // Stage 1: EIA set analysis.
+        let eia_verdict = self.eia.classify(ingress, flow.src_addr);
+        if let EiaVerdict::Match = eia_verdict {
+            self.metrics.eia_match += 1;
+            self.metrics.fast_path.record(started.elapsed());
+            return Verdict::Legal;
+        }
+        self.metrics.eia_suspect += 1;
+        let expected = match eia_verdict {
+            EiaVerdict::Mismatch { expected } => expected,
+            EiaVerdict::Match => unreachable!("handled above"),
+        };
+
+        let verdict = match self.cfg.mode {
+            Mode::Basic => {
+                // BI flags every suspect directly.
+                self.metrics.eia_attacks += 1;
+                Verdict::Attack(AttackStage::EiaMismatch { expected })
+            }
+            Mode::Enhanced => self.enhanced_analysis(ingress, flow),
+        };
+        if let Verdict::Attack(stage) = verdict {
+            let alert = IdmefAlert::new(self.next_alert_id, flow, ingress, stage);
+            self.next_alert_id += 1;
+            self.alerts.push(alert);
+        }
+        self.metrics.suspect_path.record(started.elapsed());
+        verdict
+    }
+
+    fn enhanced_analysis(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+        // Stage 2: Scan Analysis.
+        match self.scan.push(flow) {
+            ScanVerdict::NetworkScan {
+                dst_port,
+                distinct_hosts,
+            } => {
+                self.metrics.scan_attacks += 1;
+                return Verdict::Attack(AttackStage::NetworkScan {
+                    dst_port,
+                    distinct_hosts,
+                });
+            }
+            ScanVerdict::HostScan {
+                dst_addr,
+                distinct_ports,
+            } => {
+                self.metrics.scan_attacks += 1;
+                return Verdict::Attack(AttackStage::HostScan {
+                    dst_addr,
+                    distinct_ports,
+                });
+            }
+            ScanVerdict::Pass => {}
+        }
+
+        // Stage 3: NNS analysis against the relevant subcluster.
+        let class = AppClass::classify(flow.protocol, flow.dst_port);
+        let assessment = self
+            .model
+            .as_ref()
+            .and_then(|m| m.subcluster(class))
+            .map(|sub| {
+                let stats = flow.stats();
+                (sub.threshold(), sub.nn_distance(&stats))
+            });
+        match assessment {
+            Some((threshold, Some(distance))) if distance <= threshold => {
+                // Within normal behaviour: not an attack; count toward
+                // dynamic EIA adoption (§5.2(a)).
+                self.metrics.forgiven += 1;
+                if self.eia.record_sighting(ingress, flow.src_addr) {
+                    self.metrics.adoptions += 1;
+                }
+                Verdict::Forgiven
+            }
+            Some((threshold, distance)) => {
+                self.metrics.nns_attacks += 1;
+                Verdict::Attack(AttackStage::NnsAnomaly {
+                    distance: distance.unwrap_or(u32::MAX),
+                    threshold,
+                    class,
+                })
+            }
+            None => {
+                // No subcluster for this service: nothing normal ever
+                // looked like this flow.
+                self.metrics.nns_attacks += 1;
+                Verdict::Attack(AttackStage::NnsAnomaly {
+                    distance: u32::MAX,
+                    threshold: 0,
+                    class,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_net::Prefix;
+
+    fn eia() -> EiaRegistry {
+        let mut r = EiaRegistry::new(3);
+        r.preload(PeerId(1), "3.0.0.0/11".parse::<Prefix>().unwrap());
+        r.preload(PeerId(2), "3.32.0.0/11".parse::<Prefix>().unwrap());
+        r
+    }
+
+    fn http_flow(src: &str, i: u32) -> FlowRecord {
+        FlowRecord {
+            src_addr: src.parse().unwrap(),
+            dst_addr: "96.1.0.20".parse().unwrap(),
+            dst_port: 80,
+            protocol: 6,
+            packets: 10 + (i % 6),
+            octets: 5000 + 200 * (i % 10),
+            first_ms: 0,
+            last_ms: 800 + 40 * (i % 7),
+            ..FlowRecord::default()
+        }
+    }
+
+    fn small_cfg(mode: Mode) -> AnalyzerConfig {
+        AnalyzerConfig {
+            mode,
+            nns: NnsParams {
+                d: 0,
+                m1: 2,
+                m2: 8,
+                m3: 2,
+            },
+            bits_per_feature: 12,
+            adoption_threshold: 3,
+            ..AnalyzerConfig::default()
+        }
+    }
+
+    fn trained_ei() -> Analyzer {
+        let normal: Vec<FlowRecord> = (0..80).map(|i| http_flow("3.0.0.1", i)).collect();
+        Trainer::new(small_cfg(Mode::Enhanced))
+            .train_enhanced(eia(), &normal)
+            .unwrap()
+    }
+
+    #[test]
+    fn bi_flags_every_suspect() {
+        let mut a = Trainer::new(small_cfg(Mode::Basic)).train_basic(eia());
+        assert_eq!(a.process(PeerId(1), &http_flow("3.0.0.9", 0)), Verdict::Legal);
+        let v = a.process(PeerId(1), &http_flow("3.33.0.9", 0));
+        assert_eq!(
+            v,
+            Verdict::Attack(AttackStage::EiaMismatch {
+                expected: Some(PeerId(2))
+            })
+        );
+        assert_eq!(a.metrics().eia_attacks, 1);
+        assert_eq!(a.alerts().len(), 1);
+    }
+
+    #[test]
+    fn ei_forgives_normal_looking_route_change() {
+        let mut a = trained_ei();
+        // A perfectly normal http flow arriving at the wrong peer (route
+        // change): EI should forgive what BI would flag.
+        let v = a.process(PeerId(1), &http_flow("3.33.0.9", 5));
+        assert_eq!(v, Verdict::Forgiven);
+        assert_eq!(a.metrics().forgiven, 1);
+        assert!(a.alerts().is_empty());
+    }
+
+    #[test]
+    fn ei_flags_anomalous_suspect() {
+        let mut a = trained_ei();
+        // Spoofed flood: wrong ingress AND wildly abnormal stats.
+        let flood = FlowRecord {
+            packets: 200_000,
+            octets: 120_000_000,
+            first_ms: 0,
+            last_ms: 1000,
+            ..http_flow("3.33.0.9", 0)
+        };
+        match a.process(PeerId(1), &flood) {
+            Verdict::Attack(AttackStage::NnsAnomaly { distance, threshold, class }) => {
+                assert!(distance > threshold);
+                assert_eq!(class, AppClass::Http);
+            }
+            other => panic!("expected NNS anomaly, got {other:?}"),
+        }
+        assert_eq!(a.metrics().nns_attacks, 1);
+        assert_eq!(a.alerts().len(), 1);
+        assert!(a.alerts()[0].to_xml().contains("3.33.0.9"));
+    }
+
+    #[test]
+    fn ei_catches_network_scan_before_nns() {
+        let mut a = trained_ei();
+        let mut scan_flagged = 0;
+        for i in 0..30u32 {
+            let f = FlowRecord {
+                src_addr: "3.40.0.9".parse().unwrap(), // spoofed (peer 2 space)
+                dst_addr: std::net::Ipv4Addr::from(0x60010000 + i),
+                dst_port: 1434,
+                protocol: 17,
+                packets: 1,
+                octets: 404,
+                ..FlowRecord::default()
+            };
+            if matches!(
+                a.process(PeerId(1), &f),
+                Verdict::Attack(AttackStage::NetworkScan { .. })
+            ) {
+                scan_flagged += 1;
+            }
+        }
+        assert!(scan_flagged > 0, "network scan never flagged");
+        assert_eq!(a.metrics().scan_attacks, scan_flagged);
+    }
+
+    #[test]
+    fn untrained_service_is_anomalous() {
+        let mut a = trained_ei();
+        let ftp = FlowRecord {
+            dst_port: 21,
+            protocol: 6,
+            ..http_flow("3.33.0.9", 0)
+        };
+        match a.process(PeerId(1), &ftp) {
+            Verdict::Attack(AttackStage::NnsAnomaly { class, .. }) => {
+                assert_eq!(class, AppClass::Ftp);
+            }
+            other => panic!("expected anomaly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forgiven_sources_get_adopted() {
+        let mut a = trained_ei();
+        for i in 0..3 {
+            let v = a.process(PeerId(1), &http_flow("3.33.0.77", i));
+            assert_eq!(v, Verdict::Forgiven);
+        }
+        assert_eq!(a.metrics().adoptions, 1);
+        // Now the source is expected at peer 1: fast path.
+        assert_eq!(a.process(PeerId(1), &http_flow("3.33.0.77", 9)), Verdict::Legal);
+    }
+
+    #[test]
+    fn metrics_paths_add_up() {
+        let mut a = trained_ei();
+        for i in 0..10 {
+            a.process(PeerId(1), &http_flow("3.0.0.5", i)); // legal
+        }
+        for i in 0..4 {
+            a.process(PeerId(1), &http_flow("3.40.0.5", i)); // suspect
+        }
+        let m = a.metrics();
+        assert_eq!(m.flows, 14);
+        // Three suspects are forgiven, then the source is adopted
+        // (threshold 3), so the fourth takes the fast path.
+        assert_eq!(m.eia_match, 11);
+        assert_eq!(m.eia_suspect, 3);
+        assert_eq!(m.eia_suspect, m.attacks() + m.forgiven);
+        assert_eq!(m.fast_path.count, 11);
+        assert_eq!(m.suspect_path.count, 3);
+    }
+
+    #[test]
+    fn drain_alerts_empties_queue() {
+        let mut a = Trainer::new(small_cfg(Mode::Basic)).train_basic(eia());
+        a.process(PeerId(1), &http_flow("3.40.0.5", 0));
+        assert_eq!(a.drain_alerts().len(), 1);
+        assert!(a.alerts().is_empty());
+    }
+
+    #[test]
+    fn empty_training_cluster_is_an_error() {
+        let err = Trainer::new(small_cfg(Mode::Enhanced))
+            .train_enhanced(eia(), &[])
+            .unwrap_err();
+        assert_eq!(err, TrainError::EmptyTrainingSet);
+    }
+}

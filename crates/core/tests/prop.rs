@@ -1,0 +1,124 @@
+//! Property tests: the pipeline's accounting identities hold for
+//! arbitrary flow streams in both software configurations.
+
+use infilter_core::{AnalyzerConfig, EiaRegistry, Mode, PeerId, Trainer};
+use infilter_netflow::FlowRecord;
+use infilter_nns::NnsParams;
+use proptest::prelude::*;
+
+fn tiny_config(mode: Mode) -> AnalyzerConfig {
+    AnalyzerConfig {
+        mode,
+        nns: NnsParams {
+            d: 0,
+            m1: 1,
+            m2: 6,
+            m3: 2,
+        },
+        bits_per_feature: 8,
+        adoption_threshold: 2,
+        adoption_prefix_len: 24,
+        ..AnalyzerConfig::default()
+    }
+}
+
+fn eia() -> EiaRegistry {
+    let mut r = EiaRegistry::new(2);
+    r.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+    r.preload(PeerId(2), "3.32.0.0/11".parse().expect("static prefix"));
+    r
+}
+
+fn training() -> Vec<FlowRecord> {
+    (0..40u32)
+        .map(|i| FlowRecord {
+            src_addr: std::net::Ipv4Addr::from(0x0300_0000 + i),
+            dst_port: if i % 2 == 0 { 80 } else { 53 },
+            protocol: if i % 2 == 0 { 6 } else { 17 },
+            packets: 4 + i % 8,
+            octets: 2_000 + 100 * (i % 10),
+            first_ms: 0,
+            last_ms: 500 + 20 * (i % 5),
+            ..FlowRecord::default()
+        })
+        .collect()
+}
+
+fn arb_flow() -> impl Strategy<Value = (u16, FlowRecord)> {
+    (
+        1u16..=2,
+        any::<u32>(),
+        0u32..100_000,
+        1u32..5_000,
+        proptest::sample::select(vec![80u16, 53, 1434, 9999]),
+        any::<bool>(),
+    )
+        .prop_map(|(peer, src, octets, packets, dst_port, tcp)| {
+            (
+                peer,
+                FlowRecord {
+                    src_addr: src.into(),
+                    dst_addr: "96.1.0.20".parse().expect("static addr"),
+                    dst_port,
+                    protocol: if tcp { 6 } else { 17 },
+                    packets,
+                    octets: octets.max(packets * 28),
+                    first_ms: 0,
+                    last_ms: 1_000,
+                    ..FlowRecord::default()
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn enhanced_accounting_identities(flows in proptest::collection::vec(arb_flow(), 1..120)) {
+        let mut a = Trainer::new(tiny_config(Mode::Enhanced))
+            .train_enhanced(eia(), &training())
+            .expect("training succeeds");
+        let mut attacks = 0u64;
+        for (peer, f) in &flows {
+            if a.process(PeerId(*peer), f).is_attack() {
+                attacks += 1;
+            }
+        }
+        let m = a.metrics();
+        prop_assert_eq!(m.flows, flows.len() as u64);
+        prop_assert_eq!(m.flows, m.eia_match + m.eia_suspect);
+        prop_assert_eq!(m.eia_suspect, m.attacks() + m.forgiven);
+        prop_assert_eq!(m.eia_attacks, 0, "EI never flags at the EIA stage");
+        prop_assert_eq!(m.attacks(), attacks);
+        prop_assert_eq!(a.alerts().len() as u64, attacks, "one alert per attack verdict");
+        prop_assert_eq!(m.fast_path.count, m.eia_match);
+        prop_assert_eq!(m.suspect_path.count, m.eia_suspect);
+    }
+
+    #[test]
+    fn basic_accounting_identities(flows in proptest::collection::vec(arb_flow(), 1..120)) {
+        let mut a = Trainer::new(tiny_config(Mode::Basic)).train_basic(eia());
+        for (peer, f) in &flows {
+            a.process(PeerId(*peer), f);
+        }
+        let m = a.metrics();
+        prop_assert_eq!(m.flows, m.eia_match + m.eia_suspect);
+        prop_assert_eq!(m.eia_suspect, m.eia_attacks, "BI flags every suspect");
+        prop_assert_eq!(m.scan_attacks, 0);
+        prop_assert_eq!(m.nns_attacks, 0);
+        prop_assert_eq!(m.forgiven, 0);
+        prop_assert_eq!(m.adoptions, 0);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_given_history(flows in proptest::collection::vec(arb_flow(), 1..60)) {
+        let run = || {
+            let mut a = Trainer::new(tiny_config(Mode::Enhanced))
+                .train_enhanced(eia(), &training())
+                .expect("training succeeds");
+            flows.iter().map(|(p, f)| a.process(PeerId(*p), f)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,254 @@
+//! The paper's address-allocation tables.
+//!
+//! Table 3 assigns each of the 10 emulated peer ASes 100 consecutive
+//! sub-blocks as its EIA set (`Peer AS1 ← 1a–13d`, `Peer AS2 ← 13e–25h`, …).
+//! Table 2 derives per-source *allocations* that emulate route instability:
+//! at change level `k` blocks, each source keeps its first `100 − k` blocks
+//! and donates its last `k`; donated block `j` of source `s` is used by
+//! source `s + j + 1 + rotation` (mod 10), so successive allocations move
+//! the borrowed blocks around exactly as in the paper's two examples.
+
+use infilter_net::SubBlock;
+use serde::{Deserialize, Serialize};
+
+/// The sub-blocks one Dagflow source draws from under a given allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceAllocation {
+    /// Blocks from the source's own EIA range (the "Normal Set").
+    pub normal: Vec<SubBlock>,
+    /// Blocks borrowed from other sources (the "Change Set").
+    pub borrowed: Vec<SubBlock>,
+}
+
+impl SourceAllocation {
+    /// All blocks, normal first.
+    pub fn all_blocks(&self) -> Vec<SubBlock> {
+        let mut v = self.normal.clone();
+        v.extend(self.borrowed.iter().copied());
+        v
+    }
+
+    /// The effective route-change fraction of this allocation.
+    pub fn change_fraction(&self) -> f64 {
+        let total = self.normal.len() + self.borrowed.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.borrowed.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Table 3: the EIA set of each of `n_sources` peer ASes —
+/// `blocks_per_source` consecutive sub-blocks starting at `1a`.
+///
+/// # Panics
+///
+/// Panics if the plan exceeds the 1000-sub-block experiment space.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_dagflow::eia_table;
+///
+/// let table = eia_table(10, 100);
+/// assert_eq!(table[0][0].to_string(), "1a");
+/// assert_eq!(table[0][99].to_string(), "13d");
+/// assert_eq!(table[9][99].to_string(), "125h");
+/// ```
+pub fn eia_table(n_sources: usize, blocks_per_source: usize) -> Vec<Vec<SubBlock>> {
+    assert!(
+        n_sources * blocks_per_source <= infilter_net::blocks::EXPERIMENT_SUB_BLOCKS,
+        "allocation exceeds the 1000-sub-block experiment space"
+    );
+    (0..n_sources)
+        .map(|s| {
+            (0..blocks_per_source)
+                .map(|b| {
+                    SubBlock::from_linear(s * blocks_per_source + b).expect("bounds checked above")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Table 2 generalised: `n_allocations` rotated allocations at a route
+/// change level of `change_blocks` borrowed blocks per source.
+///
+/// With `change_blocks = 2` and `rotation = 0` this reproduces the paper's
+/// Allocation 1 verbatim; `rotation = 1` reproduces Allocation 2.
+///
+/// # Panics
+///
+/// Panics if `change_blocks >= blocks_per_source` or the plan exceeds the
+/// experiment address space.
+pub fn rotated_allocations(
+    n_sources: usize,
+    blocks_per_source: usize,
+    change_blocks: usize,
+    n_allocations: usize,
+) -> Vec<Vec<SourceAllocation>> {
+    assert!(
+        change_blocks < blocks_per_source,
+        "cannot borrow {change_blocks} of {blocks_per_source} blocks"
+    );
+    let eia = eia_table(n_sources, blocks_per_source);
+    (0..n_allocations)
+        .map(|rotation| {
+            (0..n_sources)
+                .map(|i| {
+                    let normal = eia[i][..blocks_per_source - change_blocks].to_vec();
+                    // Borrowed block j of this allocation comes from the donor
+                    // source whose donated block j is routed here:
+                    // recipient = donor + offset, offset = j + 1 + rotation
+                    // folded into 1..n so a source never borrows from itself.
+                    let borrowed = (0..change_blocks)
+                        .map(|j| {
+                            let offset = (j + rotation) % (n_sources - 1) + 1;
+                            let donor = (i + n_sources - offset) % n_sources;
+                            eia[donor][blocks_per_source - change_blocks + j]
+                        })
+                        .collect();
+                    SourceAllocation { normal, borrowed }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(blocks: &[SubBlock]) -> Vec<String> {
+        blocks.iter().map(|b| b.to_string()).collect()
+    }
+
+    #[test]
+    fn table3_eia_sets_match_paper() {
+        let table = eia_table(10, 100);
+        let expected = [
+            ("1a", "13d"),
+            ("13e", "25h"),
+            ("26a", "38d"),
+            ("38e", "50h"),
+            ("51a", "63d"),
+            ("63e", "75h"),
+            ("76a", "88d"),
+            ("88e", "100h"),
+            ("101a", "113d"),
+            ("113e", "125h"),
+        ];
+        for (i, (first, last)) in expected.iter().enumerate() {
+            assert_eq!(table[i][0].to_string(), *first, "peer AS{}", i + 1);
+            assert_eq!(table[i][99].to_string(), *last, "peer AS{}", i + 1);
+            assert_eq!(table[i].len(), 100);
+        }
+    }
+
+    #[test]
+    fn allocation1_matches_paper_table2() {
+        let allocs = rotated_allocations(10, 100, 2, 2);
+        let a1 = &allocs[0];
+        // Normal sets.
+        assert_eq!(a1[0].normal[0].to_string(), "1a");
+        assert_eq!(a1[0].normal[97].to_string(), "13b");
+        assert_eq!(a1[1].normal[0].to_string(), "13e");
+        assert_eq!(a1[1].normal[97].to_string(), "25f");
+        // Change sets, straight from Table 2's Allocation 1 column.
+        let expected_change = [
+            vec!["113d", "125g"],
+            vec!["125h", "13c"],
+            vec!["13d", "25g"],
+            vec!["25h", "38c"],
+            vec!["38d", "50g"],
+            vec!["50h", "63c"],
+            vec!["63d", "75g"],
+            vec!["75h", "88c"],
+            vec!["88d", "100g"],
+            vec!["100h", "113c"],
+        ];
+        for (i, want) in expected_change.iter().enumerate() {
+            let mut got = names(&a1[i].borrowed);
+            got.sort();
+            let mut want: Vec<String> = want.iter().map(|s| s.to_string()).collect();
+            want.sort();
+            assert_eq!(got, want, "source S{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn allocation2_matches_paper_table2() {
+        let allocs = rotated_allocations(10, 100, 2, 2);
+        let a2 = &allocs[1];
+        let expected_change = [
+            vec!["100h", "113c"],
+            vec!["113d", "125g"],
+            vec!["13c", "125h"],
+            vec!["13d", "25g"],
+            vec!["25h", "38c"],
+            vec!["38d", "50g"],
+            vec!["50h", "63c"],
+            vec!["63d", "75g"],
+            vec!["75h", "88c"],
+            vec!["88d", "100g"],
+        ];
+        for (i, want) in expected_change.iter().enumerate() {
+            let mut got = names(&a2[i].borrowed);
+            got.sort();
+            let mut want: Vec<String> = want.iter().map(|s| s.to_string()).collect();
+            want.sort();
+            assert_eq!(got, want, "source S{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn every_allocation_partitions_the_space() {
+        for change in [1usize, 2, 4, 8] {
+            let allocs = rotated_allocations(10, 100, change, 4);
+            assert_eq!(allocs.len(), 4);
+            for (r, alloc) in allocs.iter().enumerate() {
+                let mut seen: Vec<usize> = alloc
+                    .iter()
+                    .flat_map(|a| a.all_blocks().into_iter().map(|b| b.linear()))
+                    .collect();
+                seen.sort_unstable();
+                let expect: Vec<usize> = (0..1000).collect();
+                assert_eq!(seen, expect, "change={change} rotation={r}");
+                for a in alloc {
+                    assert_eq!(a.borrowed.len(), change);
+                    assert_eq!(a.normal.len(), 100 - change);
+                    assert!((a.change_fraction() - change as f64 / 100.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_blocks_never_come_from_self() {
+        for rotation in 0..4 {
+            let allocs = rotated_allocations(10, 100, 8, rotation + 1);
+            for (i, a) in allocs[rotation].iter().enumerate() {
+                let own_range = (i * 100)..((i + 1) * 100);
+                for b in &a.borrowed {
+                    assert!(
+                        !own_range.contains(&b.linear()),
+                        "source {i} borrowed its own block {b} at rotation {rotation}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 1000-sub-block")]
+    fn oversized_plan_panics() {
+        eia_table(11, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot borrow")]
+    fn full_borrow_panics() {
+        rotated_allocations(10, 100, 100, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Dagflow substitute: replays flow traces as NetFlow v5 records with
+//! controlled source-address assignment and spoofing (paper §6.1–6.2).
+//!
+//! The paper's Dagflow tool "emulates the generation of NetFlow records by
+//! an IP router without requiring generation of the actual IP traffic":
+//! each instance stands in for one border router, owns a set of `/11`
+//! address sub-blocks it draws source addresses from, exports to a
+//! distinctive UDP port so the analysis software can tell BRs apart, and
+//! can deliberately draw sources from *other* instances' blocks — either to
+//! emulate route instability (a controlled percentage, Table 2) or to spoof
+//! attack traffic.
+//!
+//! * [`alloc`] reproduces the paper's allocation tables: Table 3's EIA sets
+//!   (peer AS *i* owns 100 consecutive sub-blocks) and Table 2's rotated
+//!   "route change" allocations at any change percentage;
+//! * [`AddressMapper`] deterministically maps abstract trace slots onto
+//!   addresses within a weighted set of prefixes (also covering the paper's
+//!   "25 % in 192.4/16, 25 % in 214.96/16, 50 % in 145.25/16" example);
+//! * [`Dagflow`] replays an [`infilter_traffic::Trace`] into
+//!   [`infilter_netflow::FlowRecord`]s and batches them into wire-format
+//!   [`infilter_netflow::Datagram`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+mod mapper;
+mod replay;
+
+pub use alloc::{eia_table, rotated_allocations, SourceAllocation};
+pub use mapper::AddressMapper;
+pub use replay::{Dagflow, DagflowConfig};

@@ -1,0 +1,247 @@
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::net::Ipv4Addr;
+
+use infilter_net::{Prefix, SubBlock};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic mapping from abstract trace slots onto concrete addresses
+/// drawn from a weighted set of prefixes.
+///
+/// The same slot always maps to the same address, so replaying a trace
+/// twice produces identical NetFlow records — and replaying the *same*
+/// trace through a mapper with different prefixes "replaces the source IP
+/// addresses in the generated NetFlow records" exactly as the paper's
+/// Dagflow does for spoofing.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_dagflow::AddressMapper;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's configuration example: 25 % of sources in 192.4/16,
+/// // 25 % in 214.96/16, 50 % in 145.25/16.
+/// let mapper = AddressMapper::weighted(vec![
+///     ("192.4.0.0/16".parse()?, 0.25),
+///     ("214.96.0.0/16".parse()?, 0.25),
+///     ("145.25.0.0/16".parse()?, 0.50),
+/// ]);
+/// let a = mapper.addr_for_slot(42);
+/// assert_eq!(a, mapper.addr_for_slot(42)); // stable
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddressMapper {
+    entries: Vec<(Prefix, f64)>,
+    total_weight: f64,
+    seed: u64,
+    active_subnets: Option<u32>,
+}
+
+impl AddressMapper {
+    /// Uniform mapper over a set of sub-blocks (the common Dagflow case:
+    /// each source owns ~100 equally likely `/11` blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn from_sub_blocks<I: IntoIterator<Item = SubBlock>>(blocks: I) -> AddressMapper {
+        AddressMapper::weighted(blocks.into_iter().map(|b| (b.prefix(), 1.0)).collect())
+    }
+
+    /// Mapper with explicit per-prefix weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is non-positive.
+    pub fn weighted(entries: Vec<(Prefix, f64)>) -> AddressMapper {
+        assert!(!entries.is_empty(), "mapper needs at least one prefix");
+        assert!(
+            entries.iter().all(|&(_, w)| w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        let total_weight = entries.iter().map(|&(_, w)| w).sum();
+        AddressMapper {
+            entries,
+            total_weight,
+            seed: 0xd46_f10e,
+            active_subnets: None,
+        }
+    }
+
+    /// Overrides the hashing seed (distinct mappers stay uncorrelated).
+    pub fn with_seed(mut self, seed: u64) -> AddressMapper {
+        self.seed = seed;
+        self
+    }
+
+    /// Concentrates host selection into `k` "active" `/24` subnets per
+    /// prefix. Real source populations are heavily clustered — a `/11`
+    /// block does not emit traffic uniformly from two million addresses —
+    /// and the active subnets are derived from the prefix alone, so every
+    /// mapper (including a spoofing attacker imitating plausible sources)
+    /// agrees on which subnets are alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn with_active_subnets(mut self, k: u32) -> AddressMapper {
+        assert!(k > 0, "active subnet count must be positive");
+        self.active_subnets = Some(k);
+        self
+    }
+
+    /// The prefixes and weights.
+    pub fn entries(&self) -> &[(Prefix, f64)] {
+        &self.entries
+    }
+
+    /// Maps a slot to an address: the slot hash picks a prefix by weight,
+    /// a second hash picks the host within it.
+    pub fn addr_for_slot(&self, slot: u64) -> Ipv4Addr {
+        let h1 = mix(self.seed, &(slot, 0u8));
+        let frac = (h1 >> 11) as f64 / (1u64 << 53) as f64;
+        let mut pick = frac * self.total_weight;
+        let mut chosen = self.entries.last().expect("non-empty").0;
+        for &(p, w) in &self.entries {
+            if pick < w {
+                chosen = p;
+                break;
+            }
+            pick -= w;
+        }
+        let h2 = mix(self.seed, &(slot, 1u8));
+        match self.active_subnets {
+            None => chosen.nth(h2),
+            Some(k) => {
+                // Pick one of the prefix's k active /24s (prefix-derived,
+                // mapper-independent), then a host inside it.
+                let subnet_count = 1u64 << (24u8.saturating_sub(chosen.len())) as u64;
+                let pick = mix(0xac7e, &(chosen, h2 % k as u64)) % subnet_count;
+                let subnet = Prefix::new(
+                    (u32::from(chosen.network()) + (pick as u32) * 256).into(),
+                    24,
+                );
+                subnet.nth(mix(self.seed, &(slot, 2u8)))
+            }
+        }
+    }
+
+    /// Fraction of the weight mass inside prefixes satisfying `pred` —
+    /// handy for verifying spoofing/route-change percentages.
+    pub fn weight_fraction<F: Fn(Prefix) -> bool>(&self, pred: F) -> f64 {
+        let m: f64 = self
+            .entries
+            .iter()
+            .filter(|&&(p, _)| pred(p))
+            .map(|&(_, w)| w)
+            .sum();
+        m / self.total_weight
+    }
+}
+
+fn mix<T: Hash>(seed: u64, value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_map_inside_the_prefix_set() {
+        let blocks: Vec<SubBlock> = (0..100)
+            .map(|i| SubBlock::from_linear(i).unwrap())
+            .collect();
+        let prefixes: Vec<Prefix> = blocks.iter().map(|b| b.prefix()).collect();
+        let mapper = AddressMapper::from_sub_blocks(blocks);
+        for slot in 0..2000u64 {
+            let a = mapper.addr_for_slot(slot);
+            assert!(
+                prefixes.iter().any(|p| p.contains(a)),
+                "slot {slot} mapped outside the allocation: {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_is_stable_and_seed_sensitive() {
+        let blocks: Vec<SubBlock> = (0..10).map(|i| SubBlock::from_linear(i).unwrap()).collect();
+        let m1 = AddressMapper::from_sub_blocks(blocks.clone());
+        let m2 = AddressMapper::from_sub_blocks(blocks.clone());
+        let m3 = AddressMapper::from_sub_blocks(blocks).with_seed(99);
+        assert_eq!(m1.addr_for_slot(7), m2.addr_for_slot(7));
+        let differs = (0..64u64).any(|s| m1.addr_for_slot(s) != m3.addr_for_slot(s));
+        assert!(differs, "different seeds should change the mapping");
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        let mapper = AddressMapper::weighted(vec![
+            ("192.4.0.0/16".parse().unwrap(), 0.25),
+            ("214.96.0.0/16".parse().unwrap(), 0.25),
+            ("145.25.0.0/16".parse().unwrap(), 0.50),
+        ]);
+        let p145: Prefix = "145.25.0.0/16".parse().unwrap();
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&s| p145.contains(mapper.addr_for_slot(s)))
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.50).abs() < 0.02, "145.25/16 got {frac}");
+        assert_eq!(mapper.weight_fraction(|p| p == p145), 0.5);
+    }
+
+    #[test]
+    fn route_change_fraction_example() {
+        // 98 own blocks + 2 borrowed at weight 1 each → 2 % borrowed mass.
+        let own: Vec<SubBlock> = (0..98).map(|i| SubBlock::from_linear(i).unwrap()).collect();
+        let borrowed: Vec<SubBlock> =
+            (900..902).map(|i| SubBlock::from_linear(i).unwrap()).collect();
+        let borrowed_prefixes: Vec<Prefix> = borrowed.iter().map(|b| b.prefix()).collect();
+        let mapper =
+            AddressMapper::from_sub_blocks(own.into_iter().chain(borrowed.iter().copied()));
+        assert!(
+            (mapper.weight_fraction(|p| borrowed_prefixes.contains(&p)) - 0.02).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn active_subnets_concentrate_hosts() {
+        let blocks: Vec<SubBlock> = (0..4).map(|i| SubBlock::from_linear(i).unwrap()).collect();
+        let prefixes: Vec<Prefix> = blocks.iter().map(|b| b.prefix()).collect();
+        let m = AddressMapper::from_sub_blocks(blocks.clone()).with_active_subnets(2);
+        let mut subnets = std::collections::HashSet::new();
+        for slot in 0..5000u64 {
+            let a = m.addr_for_slot(slot);
+            assert!(prefixes.iter().any(|p| p.contains(a)));
+            subnets.insert(Prefix::host(a).truncate(24));
+        }
+        // At most k=2 active /24s per block.
+        assert!(subnets.len() <= 8, "{} active subnets", subnets.len());
+        assert!(subnets.len() >= 4);
+        // A different mapper over the same prefixes agrees on the subnets.
+        let m2 = AddressMapper::from_sub_blocks(blocks).with_seed(999).with_active_subnets(2);
+        for slot in 0..2000u64 {
+            let sub = Prefix::host(m2.addr_for_slot(slot)).truncate(24);
+            assert!(subnets.contains(&sub), "foreign mapper used inactive {sub}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prefix")]
+    fn empty_mapper_panics() {
+        AddressMapper::weighted(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_panics() {
+        AddressMapper::weighted(vec![("1.0.0.0/8".parse().unwrap(), 0.0)]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: allocation tables partition the address space for any
+//! parameters, and replay address assignment respects the allocation.
+
+use infilter_dagflow::{eia_table, rotated_allocations, AddressMapper};
+use infilter_net::SubBlock;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn allocations_partition_for_any_parameters(
+        n_sources in 2usize..12,
+        change in 1usize..10,
+        rotations in 1usize..6,
+    ) {
+        let blocks_per_source = 1000 / n_sources;
+        prop_assume!(change < blocks_per_source);
+        let allocs = rotated_allocations(n_sources, blocks_per_source, change, rotations);
+        prop_assert_eq!(allocs.len(), rotations);
+        for alloc in &allocs {
+            let mut seen: Vec<usize> = alloc
+                .iter()
+                .flat_map(|a| a.all_blocks().into_iter().map(|b| b.linear()))
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), n_sources * blocks_per_source,
+                "blocks duplicated or lost");
+            // Borrowed never from self.
+            for (i, a) in alloc.iter().enumerate() {
+                let own = (i * blocks_per_source)..((i + 1) * blocks_per_source);
+                for b in &a.borrowed {
+                    prop_assert!(!own.contains(&b.linear()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eia_table_is_contiguous_and_disjoint(n_sources in 1usize..10) {
+        let per = 1000 / n_sources;
+        let table = eia_table(n_sources, per);
+        let mut last = None;
+        for blocks in &table {
+            for b in blocks {
+                if let Some(prev) = last {
+                    prop_assert_eq!(b.linear(), prev + 1usize, "gap in EIA table");
+                }
+                last = Some(b.linear());
+            }
+        }
+    }
+
+    #[test]
+    fn mapper_stays_inside_its_blocks(
+        start in 0usize..900,
+        len in 1usize..64,
+        slots in proptest::collection::vec(any::<u64>(), 1..64),
+        active in 1u32..4,
+    ) {
+        let blocks: Vec<SubBlock> = (start..start + len.min(1000 - start))
+            .map(|i| SubBlock::from_linear(i).expect("in range"))
+            .collect();
+        prop_assume!(!blocks.is_empty());
+        let mapper = AddressMapper::from_sub_blocks(blocks.clone()).with_active_subnets(active);
+        for slot in slots {
+            let addr = mapper.addr_for_slot(slot);
+            prop_assert!(
+                blocks.iter().any(|b| b.prefix().contains(addr)),
+                "slot {slot} escaped to {addr}"
+            );
+        }
+    }
+}

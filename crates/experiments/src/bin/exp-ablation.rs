@@ -1,0 +1,20 @@
+//! Ablation sweeps for the design parameters the paper fixes by fiat
+//! (scan buffer size, adoption threshold, NNS knobs).
+//!
+//! Usage: `exp-ablation [seed] [runs] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let runs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2usize);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    for table in figures::ablation_tables(seed, runs, scale) {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,32 @@
+//! Runs the complete evaluation — every table and figure — in one go.
+//!
+//! Usage: `exp-all [seed] [runs] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let runs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3usize);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+
+    println!("{}", figures::table_1().render());
+    println!("{}", figures::table_2().render());
+    println!("{}", figures::table_3().render());
+    println!("{}", figures::traceroute_validation(seed).render());
+    println!("{}", figures::figure_1(seed).render());
+    println!("{}", figures::figure_5(seed, scale).render());
+    let (det, fp) = figures::figures_15_16(seed, runs, scale);
+    println!("{}", det.render());
+    println!("{}", fp.render());
+    let (bi, ei, fig19) = figures::figures_17_18_19(seed, runs, scale);
+    println!("{}", bi.render());
+    println!("{}", ei.render());
+    println!("{}", fig19.render());
+    println!("{}", figures::latency_table(seed, runs, scale).render());
+    println!("{}", figures::baseline_table(seed, scale).render());
+}

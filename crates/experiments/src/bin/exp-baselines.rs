@@ -1,0 +1,17 @@
+//! Baseline comparison: uRPF / history-based / hop-count filtering vs
+//! InFilter on the identical testbed workload.
+//!
+//! Usage: `exp-baselines [seed] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("{}", figures::baseline_table(seed, scale).render());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 5 (BGP-based validation, §3.2).
+//!
+//! Usage: `exp-bgp [seed] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("{}", figures::figure_5(seed, scale).render());
+}

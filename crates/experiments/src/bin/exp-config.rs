@@ -1,0 +1,11 @@
+//! Prints the paper's configuration tables (Tables 1, 2 and 3).
+//!
+//! Usage: `exp-config`
+
+use infilter_experiments::figures;
+
+fn main() {
+    println!("{}", figures::table_1().render());
+    println!("{}", figures::table_2().render());
+    println!("{}", figures::table_3().render());
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figures 15 and 16 (spoofed-attack detection and false
+//! positives, §6.3.1 and §6.3.2).
+//!
+//! Usage: `exp-detection [seed] [runs] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let runs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3usize);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let (det, fp) = figures::figures_15_16(seed, runs, scale);
+    println!("{}", det.render());
+    println!("{}", fp.render());
+}

@@ -1,0 +1,57 @@
+//! Prints the full outcome of one testbed run — per-kind detection,
+//! pipeline counters, adoption counts — for calibration and debugging.
+//!
+//! Usage: `exp-inspect [seed] [--stress] [--quick] [--bi] [--change N] [--volume V]`
+
+use infilter_core::Mode;
+use infilter_experiments::figures::Scale;
+use infilter_experiments::{AttackPlacement, Testbed, TestbedConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let mut cfg = match scale {
+        Scale::Full => TestbedConfig { seed, ..TestbedConfig::default() },
+        Scale::Quick => TestbedConfig::small(seed),
+    };
+    if args.iter().any(|a| a == "--stress") {
+        cfg.placement = AttackPlacement::AllPeers;
+    }
+    if args.iter().any(|a| a == "--bi") {
+        cfg.mode = Mode::Basic;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--change") {
+        cfg.route_change_pct = args[i + 1].parse().expect("--change N");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--volume") {
+        cfg.attack_volume_pct = args[i + 1].parse().expect("--volume V");
+    }
+
+    let outcome = Testbed::new(cfg).run();
+    println!("attack instances : {}", outcome.attack_instances);
+    println!("detected         : {} ({:.1}%)", outcome.attacks_detected, outcome.detection_rate() * 100.0);
+    println!("normal flows     : {}", outcome.normal_flows);
+    println!("false positives  : {} ({:.3}%)", outcome.false_positives, outcome.false_positive_rate() * 100.0);
+    println!("detection latency: {:.1} ms", outcome.mean_detection_latency_ms);
+    println!("\nper-kind (detected/launched):");
+    for (kind, k) in &outcome.per_kind {
+        println!("  {kind:<14} {}/{}", k.detected, k.launched);
+    }
+    let m = &outcome.metrics;
+    println!("\npipeline counters:");
+    println!("  flows        : {}", m.flows);
+    println!("  eia match    : {}", m.eia_match);
+    println!("  eia suspect  : {}", m.eia_suspect);
+    println!("  scan attacks : {}", m.scan_attacks);
+    println!("  nns attacks  : {}", m.nns_attacks);
+    println!("  eia attacks  : {}", m.eia_attacks);
+    println!("  forgiven     : {}", m.forgiven);
+    println!("  adoptions    : {}", m.adoptions);
+    println!("  fast path    : {:?} mean", m.fast_path.mean());
+    println!("  suspect path : {:?} mean", m.suspect_path.mean());
+}

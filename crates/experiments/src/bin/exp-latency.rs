@@ -1,0 +1,17 @@
+//! Regenerates the §6.4 per-flow latency comparison (BI vs EI).
+//!
+//! Usage: `exp-latency [seed] [runs] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let runs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3usize);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("{}", figures::latency_table(seed, runs, scale).render());
+}

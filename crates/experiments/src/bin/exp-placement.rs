@@ -1,0 +1,18 @@
+//! Sensitivity to the location of attack sources: attack sets at k of the
+//! ten ingress points.
+//!
+//! Usage: `exp-placement [seed] [runs] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let runs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2usize);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("{}", figures::placement_table(seed, runs, scale).render());
+}

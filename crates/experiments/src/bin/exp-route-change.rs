@@ -1,0 +1,20 @@
+//! Regenerates Figures 17, 18 and 19 (route-change sensitivity, §6.3.3).
+//!
+//! Usage: `exp-route-change [seed] [runs] [--quick]`
+
+use infilter_experiments::figures::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let runs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3usize);
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let (bi, ei, fig19) = figures::figures_17_18_19(seed, runs, scale);
+    println!("{}", bi.render());
+    println!("{}", ei.render());
+    println!("{}", fig19.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the §3.1 traceroute validation results and Figure 1.
+//!
+//! Usage: `exp-traceroute [seed]`
+
+use infilter_experiments::figures;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    println!("{}", figures::traceroute_validation(seed).render());
+    println!("{}", figures::figure_1(seed).render());
+}

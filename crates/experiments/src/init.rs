@@ -1,0 +1,203 @@
+//! EIA-set initialisation from routing data — the paper's training options
+//! beyond preloading: "The EIA set at each Peer AS may be computed during
+//! the training phase using either of the methods described in Sections
+//! 3.1 (traceroute) and 3.2 (BGP)" (§5.2).
+
+use std::collections::BTreeMap;
+
+use infilter_bgp::PeerMapping;
+use infilter_core::{EiaRegistry, PeerId};
+use infilter_net::Asn;
+use infilter_topology::{Internet, RouteTable};
+use infilter_traceroute::TracerouteSim;
+
+/// Builds an [`EiaRegistry`] for one target network from BGP-derived
+/// routing state: every ingress neighbour of the target becomes a
+/// [`PeerId`], and each source AS's originated prefixes are preloaded into
+/// the EIA set of the peer its traffic enters through.
+///
+/// Returns the registry plus the peer-AS → [`PeerId`] assignment so the
+/// caller can label incoming flows consistently.
+pub fn eia_from_bgp(
+    internet: &Internet,
+    target_idx: usize,
+    adoption_threshold: u32,
+) -> (EiaRegistry, BTreeMap<Asn, PeerId>) {
+    let target = &internet.targets()[target_idx];
+    let table = RouteTable::compute(internet.graph(), target.asn);
+    let mapping = PeerMapping::from_routes(&table);
+
+    // Stable PeerId assignment: ingress peers in ascending ASN order.
+    let mut peer_ids = BTreeMap::new();
+    for (i, (peer, _)) in mapping.iter().enumerate() {
+        peer_ids.insert(peer, PeerId(i as u16 + 1));
+    }
+
+    let mut eia = EiaRegistry::new(adoption_threshold);
+    for (peer, sources) in mapping.iter() {
+        let pid = peer_ids[&peer];
+        for source in sources {
+            if let Some(info) = internet.graph().as_info(*source) {
+                for prefix in &info.originated {
+                    eia.preload(pid, *prefix);
+                }
+            }
+        }
+    }
+    (eia, peer_ids)
+}
+
+/// Builds an [`EiaRegistry`] from traceroute observations (§3.1's method):
+/// each looking glass probes the target several times; the *modal* last-hop
+/// peer AS across the samples becomes the expected ingress for the looking
+/// glass's address space. Redundant-link flips change interface addresses
+/// but not the peer AS, so the mode is robust to load sharing.
+///
+/// Returns the registry plus the peer-AS → [`PeerId`] assignment (shared
+/// numbering with [`eia_from_bgp`] when the same Internet is used).
+pub fn eia_from_traceroute(
+    sim: &mut TracerouteSim,
+    target_idx: usize,
+    samples: usize,
+    interval_h: f64,
+    adoption_threshold: u32,
+) -> (EiaRegistry, BTreeMap<Asn, PeerId>) {
+    let n_lg = sim.internet().looking_glasses().len();
+    // Per looking glass: count last-hop peer AS occurrences.
+    let mut modal: Vec<Option<Asn>> = Vec::with_capacity(n_lg);
+    for lg in 0..n_lg {
+        let mut counts: BTreeMap<Asn, usize> = BTreeMap::new();
+        for s in 0..samples {
+            let tr = sim.sample(lg, target_idx, s as f64 * interval_h);
+            if let Some((peer_hop, _)) = tr.last_as_hop() {
+                *counts.entry(peer_hop.asn).or_default() += 1;
+            }
+        }
+        modal.push(
+            counts
+                .into_iter()
+                .max_by_key(|&(asn, n)| (n, std::cmp::Reverse(asn)))
+                .map(|(asn, _)| asn),
+        );
+    }
+
+    // Stable PeerId assignment over the peers observed.
+    let mut peers: Vec<Asn> = modal.iter().flatten().copied().collect();
+    peers.sort();
+    peers.dedup();
+    let peer_ids: BTreeMap<Asn, PeerId> = peers
+        .iter()
+        .enumerate()
+        .map(|(i, &asn)| (asn, PeerId(i as u16 + 1)))
+        .collect();
+
+    let mut eia = EiaRegistry::new(adoption_threshold);
+    for (lg_idx, peer) in modal.iter().enumerate() {
+        let Some(peer) = peer else { continue };
+        let lg = &sim.internet().looking_glasses()[lg_idx];
+        if let Some(info) = sim.internet().graph().as_info(lg.asn) {
+            for prefix in &info.originated {
+                eia.preload(peer_ids[peer], *prefix);
+            }
+        }
+    }
+    (eia, peer_ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_topology::InternetBuilder;
+
+    #[test]
+    fn bgp_derived_eia_matches_routed_traffic() {
+        let internet = InternetBuilder::new(17).tier1(3).transit(12).stubs(50).build();
+        let target = internet.targets()[0].asn;
+        let (eia, peer_ids) = eia_from_bgp(&internet, 0, 3);
+        assert!(eia.prefix_count() > 0);
+        assert!(!peer_ids.is_empty());
+
+        // Traffic from every source AS, arriving via its *actual* ingress
+        // peer (per the routing table), must pass the EIA check; arriving
+        // via a different ingress must not.
+        let table = RouteTable::compute(internet.graph(), target);
+        let mut checked = 0;
+        for info in internet.graph().ases() {
+            if info.asn == target {
+                continue;
+            }
+            let Some(ingress) = table.ingress_peer(info.asn) else {
+                continue;
+            };
+            let Some(&pid) = peer_ids.get(&ingress) else {
+                continue;
+            };
+            let addr = info.originated[0].nth(9);
+            assert!(
+                eia.classify(pid, addr).is_match(),
+                "{} via {ingress} should match",
+                info.asn
+            );
+            // Any other peer id must mismatch.
+            let other = peer_ids
+                .values()
+                .find(|&&p| p != pid)
+                .copied()
+                .expect("at least two ingress peers");
+            assert!(!eia.classify(other, addr).is_match());
+            checked += 1;
+        }
+        assert!(checked > 30, "only {checked} ASes checked");
+    }
+
+    #[test]
+    fn traceroute_derived_eia_matches_observed_ingress() {
+        use infilter_traceroute::SimConfig;
+        let internet = InternetBuilder::new(21).tier1(3).transit(12).stubs(50).build();
+        let mut sim = TracerouteSim::new(
+            internet,
+            SimConfig {
+                incomplete_prob: 0.0,
+                reroute_rate_per_hour: 0.0, // stable world for training
+                ..SimConfig::default()
+            },
+        );
+        let (eia, peer_ids) = eia_from_traceroute(&mut sim, 0, 6, 0.5, 3);
+        assert!(eia.prefix_count() > 0);
+        assert!(!peer_ids.is_empty());
+
+        // A fresh probe from each looking glass must match its learned peer.
+        let n_lg = sim.internet().looking_glasses().len();
+        let mut checked = 0;
+        for lg in 0..n_lg {
+            let tr = sim.sample(lg, 0, 100.0);
+            let Some((peer_hop, _)) = tr.last_as_hop() else {
+                continue;
+            };
+            let Some(&pid) = peer_ids.get(&peer_hop.asn) else {
+                continue;
+            };
+            let lg_site = &sim.internet().looking_glasses()[lg];
+            assert!(
+                eia.classify(pid, lg_site.addr).is_match(),
+                "LG {} via {} should match",
+                lg_site.name,
+                peer_hop.asn
+            );
+            checked += 1;
+        }
+        assert!(checked >= n_lg / 2, "only {checked}/{n_lg} looking glasses verified");
+    }
+
+    #[test]
+    fn peer_ids_are_stable_and_distinct() {
+        let internet = InternetBuilder::new(17).tier1(3).transit(12).stubs(50).build();
+        let (_, a) = eia_from_bgp(&internet, 1, 3);
+        let (_, b) = eia_from_bgp(&internet, 1, 3);
+        assert_eq!(a, b);
+        let mut ids: Vec<PeerId> = a.values().copied().collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len());
+    }
+}

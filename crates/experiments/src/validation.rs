@@ -1,0 +1,142 @@
+//! Paper-scale wrappers around the hypothesis-validation campaigns
+//! (§3.1 traceroute, §3.2 BGP / Figure 5).
+
+use infilter_bgp::{BgpSimConfig, BgpValidation, ValidationReport};
+use infilter_topology::{Internet, InternetBuilder};
+use infilter_traceroute::{
+    stability_profile, AggregationLevel, ChangeStats, SimConfig, StabilityPoint, TracerouteSim,
+};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one traceroute campaign (one row of the §3.1 results).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteRunResult {
+    /// Human-readable run name (`24-hour run`, `4-day run`).
+    pub name: String,
+    /// Total traceroute samples attempted.
+    pub samples: usize,
+    /// Samples that completed.
+    pub completed: usize,
+    /// Raw last-hop change fraction (paper: 4.8 % / 6.4 %).
+    pub raw_change: f64,
+    /// Change fraction after `/24` subnet matching.
+    pub subnet_change: f64,
+    /// Change fraction after FQDN smoothing (paper: 0.4 % / 0.6 %).
+    pub aggregated_change: f64,
+}
+
+/// The default measurement Internet (24 looking glasses, 20 targets, the
+/// paper's §3 scale).
+pub fn measurement_internet(seed: u64) -> Internet {
+    InternetBuilder::new(seed).build()
+}
+
+/// Runs the §3.1 campaign: `interval_minutes` sampling for
+/// `duration_hours`, every looking glass to every target.
+pub fn run_traceroute_campaign(
+    internet: Internet,
+    name: &str,
+    interval_minutes: f64,
+    duration_hours: f64,
+    sim: SimConfig,
+) -> (TracerouteRunResult, Vec<StabilityPoint>) {
+    let mut tr = TracerouteSim::new(internet, sim);
+    let series = tr.campaign(interval_minutes / 60.0, duration_hours);
+    let stats = ChangeStats::from_series(series.values());
+    let profile = stability_profile(series.values());
+    (
+        TracerouteRunResult {
+            name: name.to_owned(),
+            samples: stats.samples,
+            completed: stats.completed,
+            raw_change: stats.change_fraction(AggregationLevel::Raw),
+            subnet_change: stats.change_fraction(AggregationLevel::Subnet24),
+            aggregated_change: stats.change_fraction(AggregationLevel::Fqdn),
+        },
+        profile,
+    )
+}
+
+/// Runs both §3.1 runs with the paper's cadences: 30-minute samples for
+/// 24 h, then 60-minute samples for 4 days.
+pub fn run_both_traceroute_runs(seed: u64) -> Vec<TracerouteRunResult> {
+    let sim = SimConfig::default();
+    let (day, _) = run_traceroute_campaign(
+        measurement_internet(seed),
+        "24-hour run (30-min period)",
+        30.0,
+        24.0,
+        sim.clone(),
+    );
+    let (four_day, _) = run_traceroute_campaign(
+        measurement_internet(seed),
+        "4-day run (60-min period)",
+        60.0,
+        96.0,
+        sim,
+    );
+    vec![day, four_day]
+}
+
+/// Runs the §3.2 BGP campaign (30 days × 2-hour snapshots) and returns the
+/// Figure 5 report.
+pub fn run_bgp_campaign(seed: u64, cfg: BgpSimConfig) -> ValidationReport {
+    BgpValidation::new(measurement_internet(seed), cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_internet(seed: u64) -> Internet {
+        InternetBuilder::new(seed).tier1(3).transit(10).stubs(30).build()
+    }
+
+    #[test]
+    fn aggregation_ladder_is_monotone() {
+        let (res, profile) = run_traceroute_campaign(
+            small_internet(3),
+            "test",
+            30.0,
+            6.0,
+            SimConfig::default(),
+        );
+        assert!(res.samples > 0);
+        assert!(res.completed <= res.samples);
+        assert!(res.raw_change >= res.subnet_change);
+        assert!(res.subnet_change >= res.aggregated_change);
+        assert!(!profile.is_empty());
+    }
+
+    #[test]
+    fn incomplete_samples_reduce_completed_count() {
+        let (res, _) = run_traceroute_campaign(
+            small_internet(3),
+            "lossy",
+            30.0,
+            4.0,
+            SimConfig {
+                incomplete_prob: 0.3,
+                ..SimConfig::default()
+            },
+        );
+        assert!(res.completed < res.samples);
+    }
+
+    #[test]
+    fn bgp_campaign_produces_per_target_series() {
+        let report = run_bgp_campaign(
+            4,
+            BgpSimConfig {
+                duration_h: 48.0,
+                ..BgpSimConfig::default()
+            },
+        );
+        assert_eq!(report.targets.len(), 20);
+        assert!(report.overall_max_change <= 1.0);
+        for t in &report.targets {
+            assert!(t.snapshots > 0);
+            assert!(t.avg_peer_count >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! ASCII export/import — the `flow-export` / `flow-import` role: "export
+//! to/import from ASCII format" (§5.1.2).
+//!
+//! One line per flow, tab-separated, with a `#` header describing the
+//! columns; the same shape flow-print emits, so files interchange with
+//! shell tooling (`awk`, `sort`, `grep`).
+
+use std::fmt;
+
+use infilter_netflow::FlowRecord;
+
+use crate::CollectedFlow;
+
+const HEADER: &str = "#export_port\tsrc_addr\tdst_addr\tproto\tsrc_port\tdst_port\tpackets\toctets\tfirst_ms\tlast_ms\ttcp_flags\tinput_if\tsrc_as";
+
+/// Renders flows as tab-separated ASCII with a header line.
+pub fn export_ascii(flows: &[CollectedFlow]) -> String {
+    let mut out = String::with_capacity(flows.len() * 64 + HEADER.len());
+    out.push_str(HEADER);
+    out.push('\n');
+    for f in flows {
+        let r = &f.record;
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:#04x}\t{}\t{}\n",
+            f.export_port,
+            r.src_addr,
+            r.dst_addr,
+            r.protocol,
+            r.src_port,
+            r.dst_port,
+            r.packets,
+            r.octets,
+            r.first_ms,
+            r.last_ms,
+            r.tcp_flags,
+            r.input_if,
+            r.src_as,
+        ));
+    }
+    out
+}
+
+/// Error from [`import_ascii`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsciiImportError {
+    line: usize,
+    message: String,
+}
+
+impl AsciiImportError {
+    fn new(line: usize, message: impl Into<String>) -> AsciiImportError {
+        AsciiImportError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Zero-based offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for AsciiImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsciiImportError {}
+
+/// Parses flows back from the ASCII format. Comment lines (`#`) and blank
+/// lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`AsciiImportError`] on rows with missing or unparsable fields.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_flowtools::{export_ascii, import_ascii, CollectedFlow};
+/// use infilter_netflow::FlowRecord;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let flows = vec![CollectedFlow {
+///     export_port: 9001,
+///     record: FlowRecord { dst_port: 80, packets: 3, octets: 120, ..FlowRecord::default() },
+/// }];
+/// let text = export_ascii(&flows);
+/// assert_eq!(import_ascii(&text)?, flows);
+/// # Ok(())
+/// # }
+/// ```
+pub fn import_ascii(text: &str) -> Result<Vec<CollectedFlow>, AsciiImportError> {
+    let mut flows = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 13 {
+            return Err(AsciiImportError::new(
+                lineno,
+                format!("expected 13 fields, got {}", fields.len()),
+            ));
+        }
+        let num = |i: usize, what: &str| -> Result<u64, AsciiImportError> {
+            let f = fields[i];
+            let parsed = if let Some(hex) = f.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                f.parse()
+            };
+            parsed.map_err(|_| AsciiImportError::new(lineno, format!("bad {what} `{f}`")))
+        };
+        let addr = |i: usize, what: &str| -> Result<std::net::Ipv4Addr, AsciiImportError> {
+            fields[i]
+                .parse()
+                .map_err(|_| AsciiImportError::new(lineno, format!("bad {what} `{}`", fields[i])))
+        };
+        flows.push(CollectedFlow {
+            export_port: num(0, "export port")? as u16,
+            record: FlowRecord {
+                src_addr: addr(1, "source address")?,
+                dst_addr: addr(2, "destination address")?,
+                protocol: num(3, "protocol")? as u8,
+                src_port: num(4, "source port")? as u16,
+                dst_port: num(5, "destination port")? as u16,
+                packets: num(6, "packets")? as u32,
+                octets: num(7, "octets")? as u32,
+                first_ms: num(8, "first_ms")? as u32,
+                last_ms: num(9, "last_ms")? as u32,
+                tcp_flags: num(10, "tcp flags")? as u8,
+                input_if: num(11, "input_if")? as u16,
+                src_as: num(12, "src_as")? as u16,
+                ..FlowRecord::default()
+            },
+        });
+    }
+    Ok(flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows() -> Vec<CollectedFlow> {
+        (0..20u32)
+            .map(|i| CollectedFlow {
+                export_port: 9000 + (i % 4) as u16,
+                record: FlowRecord {
+                    src_addr: std::net::Ipv4Addr::from(0x0300_0000 + i * 7),
+                    dst_addr: "96.1.0.20".parse().unwrap(),
+                    protocol: if i % 3 == 0 { 17 } else { 6 },
+                    src_port: 1024 + i as u16,
+                    dst_port: 80,
+                    packets: i + 1,
+                    octets: (i + 1) * 120,
+                    first_ms: i * 50,
+                    last_ms: i * 50 + 400,
+                    tcp_flags: (i % 32) as u8,
+                    input_if: 1 + (i % 4) as u16,
+                    src_as: (i % 4) as u16,
+                    ..FlowRecord::default()
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let original = flows();
+        let text = export_ascii(&original);
+        assert!(text.starts_with('#'));
+        assert_eq!(text.lines().count(), original.len() + 1);
+        assert_eq!(import_ascii(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = format!("# a comment\n\n{}", export_ascii(&flows()[..2]));
+        assert_eq!(import_ascii(&text).unwrap().len(), 2);
+        assert!(import_ascii("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn field_count_and_value_errors_point_at_the_line() {
+        let err = import_ascii("1\t2\t3\n").unwrap_err();
+        assert_eq!(err.line(), 0);
+        assert!(err.to_string().contains("13 fields"));
+
+        let mut text = export_ascii(&flows()[..1]);
+        text = text.replace("96.1.0.20", "not-an-ip");
+        let err = import_ascii(&text).unwrap_err();
+        assert_eq!(err.line(), 1); // header is line 0
+        assert!(err.to_string().contains("destination address"));
+    }
+
+    #[test]
+    fn shell_friendliness_columns_align_with_header() {
+        let text = export_ascii(&flows()[..1]);
+        let header_cols = text.lines().next().unwrap().split('\t').count();
+        let row_cols = text.lines().nth(1).unwrap().split('\t').count();
+        assert_eq!(header_cols, row_cols);
+        assert_eq!(header_cols, 13);
+    }
+}

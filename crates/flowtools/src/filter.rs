@@ -1,0 +1,235 @@
+//! Flow filtering — the `flow-nfilter` role: "Other tools in the suite …
+//! filter flows based on some parameters" (§5.1.2).
+
+use std::ops::RangeInclusive;
+
+use infilter_net::Prefix;
+use serde::{Deserialize, Serialize};
+
+use crate::CollectedFlow;
+
+/// One filter predicate over a flow's fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowPredicate {
+    /// Source address inside the prefix.
+    SrcInPrefix(Prefix),
+    /// Destination address inside the prefix.
+    DstInPrefix(Prefix),
+    /// IP protocol equals.
+    Protocol(u8),
+    /// Destination port inside the range.
+    DstPort(RangeInclusive<u16>),
+    /// Source port inside the range.
+    SrcPort(RangeInclusive<u16>),
+    /// Flow started inside the window (exporter ms).
+    StartedIn(RangeInclusive<u32>),
+    /// Packet count inside the range.
+    Packets(RangeInclusive<u32>),
+    /// Byte count inside the range.
+    Octets(RangeInclusive<u32>),
+    /// Export port (Dagflow instance / BR) equals.
+    ExportPort(u16),
+    /// Input interface equals.
+    InputIf(u16),
+    /// Negation of an inner predicate.
+    Not(Box<FlowPredicate>),
+}
+
+impl FlowPredicate {
+    /// Evaluates the predicate on one flow.
+    pub fn matches(&self, flow: &CollectedFlow) -> bool {
+        let r = &flow.record;
+        match self {
+            FlowPredicate::SrcInPrefix(p) => p.contains(r.src_addr),
+            FlowPredicate::DstInPrefix(p) => p.contains(r.dst_addr),
+            FlowPredicate::Protocol(proto) => r.protocol == *proto,
+            FlowPredicate::DstPort(range) => range.contains(&r.dst_port),
+            FlowPredicate::SrcPort(range) => range.contains(&r.src_port),
+            FlowPredicate::StartedIn(range) => range.contains(&r.first_ms),
+            FlowPredicate::Packets(range) => range.contains(&r.packets),
+            FlowPredicate::Octets(range) => range.contains(&r.octets),
+            FlowPredicate::ExportPort(port) => flow.export_port == *port,
+            FlowPredicate::InputIf(ifindex) => r.input_if == *ifindex,
+            FlowPredicate::Not(inner) => !inner.matches(flow),
+        }
+    }
+}
+
+/// A conjunctive flow filter (all predicates must match), built fluently.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_flowtools::{CollectedFlow, FlowFilter};
+/// use infilter_netflow::FlowRecord;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let filter = FlowFilter::new()
+///     .src_in("3.0.0.0/11".parse()?)
+///     .dst_port(80..=80)
+///     .protocol(6);
+///
+/// let hit = CollectedFlow {
+///     export_port: 9001,
+///     record: FlowRecord {
+///         src_addr: "3.0.4.4".parse()?,
+///         dst_port: 80,
+///         protocol: 6,
+///         ..FlowRecord::default()
+///     },
+/// };
+/// assert!(filter.matches(&hit));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowFilter {
+    predicates: Vec<FlowPredicate>,
+}
+
+impl FlowFilter {
+    /// Creates a match-everything filter.
+    pub fn new() -> FlowFilter {
+        FlowFilter::default()
+    }
+
+    /// Adds an arbitrary predicate.
+    pub fn and(mut self, predicate: FlowPredicate) -> FlowFilter {
+        self.predicates.push(predicate);
+        self
+    }
+
+    /// Requires the source inside `prefix`.
+    pub fn src_in(self, prefix: Prefix) -> FlowFilter {
+        self.and(FlowPredicate::SrcInPrefix(prefix))
+    }
+
+    /// Requires the destination inside `prefix`.
+    pub fn dst_in(self, prefix: Prefix) -> FlowFilter {
+        self.and(FlowPredicate::DstInPrefix(prefix))
+    }
+
+    /// Requires the protocol.
+    pub fn protocol(self, proto: u8) -> FlowFilter {
+        self.and(FlowPredicate::Protocol(proto))
+    }
+
+    /// Requires the destination port inside `range`.
+    pub fn dst_port(self, range: RangeInclusive<u16>) -> FlowFilter {
+        self.and(FlowPredicate::DstPort(range))
+    }
+
+    /// Requires the flow to start inside the window.
+    pub fn started_in(self, range: RangeInclusive<u32>) -> FlowFilter {
+        self.and(FlowPredicate::StartedIn(range))
+    }
+
+    /// Requires the export port.
+    pub fn export_port(self, port: u16) -> FlowFilter {
+        self.and(FlowPredicate::ExportPort(port))
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Whether the filter matches everything.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Whether all predicates match `flow`.
+    pub fn matches(&self, flow: &CollectedFlow) -> bool {
+        self.predicates.iter().all(|p| p.matches(flow))
+    }
+
+    /// Filters a slice, keeping matches.
+    pub fn apply<'a>(&self, flows: &'a [CollectedFlow]) -> Vec<&'a CollectedFlow> {
+        flows.iter().filter(|f| self.matches(f)).collect()
+    }
+}
+
+/// Convenience: the spoof-relevant filter the analysis deployment would
+/// push down to flow-capture — flows towards the target network only.
+pub fn towards_target(target: Prefix) -> FlowFilter {
+    FlowFilter::new().dst_in(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_netflow::FlowRecord;
+
+    fn flow(src: &str, dst: &str, dst_port: u16, proto: u8, port: u16) -> CollectedFlow {
+        CollectedFlow {
+            export_port: port,
+            record: FlowRecord {
+                src_addr: src.parse().unwrap(),
+                dst_addr: dst.parse().unwrap(),
+                dst_port,
+                protocol: proto,
+                src_port: 40_000,
+                packets: 10,
+                octets: 5_000,
+                first_ms: 1_000,
+                last_ms: 2_000,
+                input_if: 1,
+                ..FlowRecord::default()
+            },
+        }
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let f = FlowFilter::new();
+        assert!(f.is_empty());
+        assert!(f.matches(&flow("1.2.3.4", "5.6.7.8", 80, 6, 9001)));
+    }
+
+    #[test]
+    fn conjunction_requires_all() {
+        let f = FlowFilter::new()
+            .src_in("3.0.0.0/11".parse().unwrap())
+            .dst_port(80..=80)
+            .protocol(6);
+        assert_eq!(f.len(), 3);
+        assert!(f.matches(&flow("3.0.1.1", "96.1.0.2", 80, 6, 1)));
+        assert!(!f.matches(&flow("4.0.1.1", "96.1.0.2", 80, 6, 1))); // wrong src
+        assert!(!f.matches(&flow("3.0.1.1", "96.1.0.2", 443, 6, 1))); // wrong port
+        assert!(!f.matches(&flow("3.0.1.1", "96.1.0.2", 80, 17, 1))); // wrong proto
+    }
+
+    #[test]
+    fn negation_inverts() {
+        let f = FlowFilter::new().and(FlowPredicate::Not(Box::new(FlowPredicate::Protocol(6))));
+        assert!(!f.matches(&flow("1.1.1.1", "2.2.2.2", 80, 6, 1)));
+        assert!(f.matches(&flow("1.1.1.1", "2.2.2.2", 53, 17, 1)));
+    }
+
+    #[test]
+    fn ranges_and_identity_fields() {
+        let flows = vec![
+            flow("1.1.1.1", "96.1.0.1", 80, 6, 9001),
+            flow("1.1.1.2", "96.1.0.2", 53, 17, 9002),
+            flow("1.1.1.3", "8.8.8.8", 80, 6, 9001),
+        ];
+        let filtered = towards_target("96.1.0.0/16".parse().unwrap()).apply(&flows);
+        assert_eq!(filtered.len(), 2);
+        let filtered = FlowFilter::new().export_port(9002).apply(&flows);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered[0].record.dst_port, 53);
+        let filtered = FlowFilter::new().started_in(0..=500).apply(&flows);
+        assert!(filtered.is_empty()); // flows start at 1000
+    }
+
+    #[test]
+    fn packet_and_byte_bounds() {
+        let f = FlowFilter::new()
+            .and(FlowPredicate::Packets(1..=20))
+            .and(FlowPredicate::Octets(4_000..=6_000));
+        assert!(f.matches(&flow("1.1.1.1", "2.2.2.2", 80, 6, 1)));
+        let g = FlowFilter::new().and(FlowPredicate::Packets(11..=20));
+        assert!(!g.matches(&flow("1.1.1.1", "2.2.2.2", 80, 6, 1)));
+    }
+}

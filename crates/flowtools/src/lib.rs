@@ -1,0 +1,34 @@
+//! flow-tools substitute: collection, binary storage and reporting of
+//! NetFlow records (paper §5.1.2).
+//!
+//! The paper deploys the freeware *flow-tools* suite between the NetFlow
+//! exporters and the analysis modules: `flow-capture` receives datagrams
+//! and stores them in a binary format, `flow-report` turns them into
+//! per-flow or grouped ASCII statistics. This crate fills the same slot:
+//!
+//! * [`Collector`] decodes wire datagrams, demultiplexes Dagflow instances
+//!   by export port, and tracks per-port sequence gaps (lost datagrams);
+//! * [`FlowStore`] is the binary on-disk format (`flow-capture`'s role);
+//! * [`Report`] groups flows by any combination of key fields and computes
+//!   the statistics the detection pipeline consumes (`flow-report`'s role).
+//!
+//! A [`pipeline`] helper wires a collector thread to a crossbeam channel
+//! for deployments where capture and analysis run concurrently, as in the
+//! paper's Figure 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod collector;
+mod filter;
+mod report;
+mod store;
+mod udp;
+
+pub use ascii::{export_ascii, import_ascii, AsciiImportError};
+pub use collector::{pipeline, CollectedFlow, Collector, CollectorStats};
+pub use filter::{towards_target, FlowFilter, FlowPredicate};
+pub use report::{GroupField, GroupKeyValue, Report, ReportRow};
+pub use store::{FlowStore, StoreError};
+pub use udp::{UdpExporter, UdpReceiver};

@@ -1,0 +1,272 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CollectedFlow;
+
+/// Fields flows can be grouped by (a subset of `flow-report`'s grouping
+/// keys; "increasing the number of fields increases the granularity of the
+/// computed statistics").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GroupField {
+    /// Source IP address.
+    SrcAddr,
+    /// Destination IP address.
+    DstAddr,
+    /// IP protocol.
+    Protocol,
+    /// Source port.
+    SrcPort,
+    /// Destination port.
+    DstPort,
+    /// Input interface index.
+    InputIf,
+    /// Source AS number.
+    SrcAs,
+    /// Export port (which BR / Dagflow instance reported the flow).
+    ExportPort,
+}
+
+/// One concrete value of a [`GroupField`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GroupKeyValue {
+    /// An address-valued key.
+    Addr(Ipv4Addr),
+    /// An integer-valued key.
+    Num(u32),
+}
+
+impl fmt::Display for GroupKeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupKeyValue::Addr(a) => write!(f, "{a}"),
+            GroupKeyValue::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+fn key_value(field: GroupField, flow: &CollectedFlow) -> GroupKeyValue {
+    let r = &flow.record;
+    match field {
+        GroupField::SrcAddr => GroupKeyValue::Addr(r.src_addr),
+        GroupField::DstAddr => GroupKeyValue::Addr(r.dst_addr),
+        GroupField::Protocol => GroupKeyValue::Num(r.protocol as u32),
+        GroupField::SrcPort => GroupKeyValue::Num(r.src_port as u32),
+        GroupField::DstPort => GroupKeyValue::Num(r.dst_port as u32),
+        GroupField::InputIf => GroupKeyValue::Num(r.input_if as u32),
+        GroupField::SrcAs => GroupKeyValue::Num(r.src_as as u32),
+        GroupField::ExportPort => GroupKeyValue::Num(flow.export_port as u32),
+    }
+}
+
+/// Aggregated statistics for one group of flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// The group's key values, in the order of the grouping fields.
+    pub key: Vec<GroupKeyValue>,
+    /// Number of flows in the group.
+    pub flows: u64,
+    /// Total packets.
+    pub packets: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Sum of flow durations, ms.
+    pub duration_ms: u64,
+    /// Mean bit rate across the group's flows.
+    pub avg_bits_per_sec: f64,
+    /// Mean packet rate across the group's flows.
+    pub avg_packets_per_sec: f64,
+}
+
+/// Grouped flow statistics (the `flow-report` role).
+///
+/// # Examples
+///
+/// ```
+/// use infilter_flowtools::{CollectedFlow, GroupField, Report};
+/// use infilter_netflow::FlowRecord;
+///
+/// let flows = vec![
+///     CollectedFlow { export_port: 1, record: FlowRecord { dst_port: 80, packets: 2, octets: 100, ..FlowRecord::default() } },
+///     CollectedFlow { export_port: 1, record: FlowRecord { dst_port: 80, packets: 3, octets: 200, ..FlowRecord::default() } },
+///     CollectedFlow { export_port: 1, record: FlowRecord { dst_port: 53, packets: 1, octets: 60, ..FlowRecord::default() } },
+/// ];
+/// let report = Report::generate(&flows, &[GroupField::DstPort]);
+/// assert_eq!(report.rows().len(), 2);
+/// let port80 = &report.rows()[1];
+/// assert_eq!(port80.flows, 2);
+/// assert_eq!(port80.bytes, 300);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    fields: Vec<GroupField>,
+    rows: Vec<ReportRow>,
+}
+
+impl Report {
+    /// Groups `flows` by `fields` and aggregates. With no fields, one row
+    /// summarises everything. Rows are ordered by key.
+    pub fn generate(flows: &[CollectedFlow], fields: &[GroupField]) -> Report {
+        #[derive(Default)]
+        struct Acc {
+            flows: u64,
+            packets: u64,
+            bytes: u64,
+            duration_ms: u64,
+            bps_sum: f64,
+            pps_sum: f64,
+        }
+        let mut groups: BTreeMap<Vec<GroupKeyValue>, Acc> = BTreeMap::new();
+        for f in flows {
+            let key: Vec<GroupKeyValue> = fields.iter().map(|&g| key_value(g, f)).collect();
+            let acc = groups.entry(key).or_default();
+            let stats = f.record.stats();
+            acc.flows += 1;
+            acc.packets += stats.packets;
+            acc.bytes += stats.bytes;
+            acc.duration_ms += stats.duration_ms;
+            acc.bps_sum += stats.bits_per_sec;
+            acc.pps_sum += stats.packets_per_sec;
+        }
+        let rows = groups
+            .into_iter()
+            .map(|(key, acc)| ReportRow {
+                key,
+                flows: acc.flows,
+                packets: acc.packets,
+                bytes: acc.bytes,
+                duration_ms: acc.duration_ms,
+                avg_bits_per_sec: acc.bps_sum / acc.flows as f64,
+                avg_packets_per_sec: acc.pps_sum / acc.flows as f64,
+            })
+            .collect();
+        Report {
+            fields: fields.to_vec(),
+            rows,
+        }
+    }
+
+    /// The grouping fields.
+    pub fn fields(&self) -> &[GroupField] {
+        &self.fields
+    }
+
+    /// The aggregated rows, ordered by key.
+    pub fn rows(&self) -> &[ReportRow] {
+        &self.rows
+    }
+
+    /// Renders the report as an ASCII table (the `flow-report` output
+    /// format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fields {
+            out.push_str(&format!("{f:?}\t"));
+        }
+        out.push_str("flows\tpackets\tbytes\tduration_ms\tavg_bps\tavg_pps\n");
+        for row in &self.rows {
+            for k in &row.key {
+                out.push_str(&format!("{k}\t"));
+            }
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{:.1}\t{:.1}\n",
+                row.flows,
+                row.packets,
+                row.bytes,
+                row.duration_ms,
+                row.avg_bits_per_sec,
+                row.avg_packets_per_sec
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use infilter_netflow::FlowRecord;
+    use super::*;
+
+    fn flow(port: u16, src: &str, dst_port: u16, packets: u32, octets: u32) -> CollectedFlow {
+        CollectedFlow {
+            export_port: port,
+            record: FlowRecord {
+                src_addr: src.parse().unwrap(),
+                dst_port,
+                packets,
+                octets,
+                first_ms: 0,
+                last_ms: 1000,
+                protocol: 6,
+                ..FlowRecord::default()
+            },
+        }
+    }
+
+    #[test]
+    fn ungrouped_report_is_one_row() {
+        let flows = vec![flow(1, "10.0.0.1", 80, 2, 100), flow(2, "10.0.0.2", 53, 3, 60)];
+        let r = Report::generate(&flows, &[]);
+        assert_eq!(r.rows().len(), 1);
+        assert_eq!(r.rows()[0].flows, 2);
+        assert_eq!(r.rows()[0].packets, 5);
+        assert_eq!(r.rows()[0].bytes, 160);
+    }
+
+    #[test]
+    fn multi_field_grouping_increases_granularity() {
+        let flows = vec![
+            flow(1, "10.0.0.1", 80, 1, 10),
+            flow(1, "10.0.0.1", 53, 1, 10),
+            flow(2, "10.0.0.1", 80, 1, 10),
+        ];
+        let coarse = Report::generate(&flows, &[GroupField::SrcAddr]);
+        assert_eq!(coarse.rows().len(), 1);
+        let fine = Report::generate(&flows, &[GroupField::SrcAddr, GroupField::DstPort]);
+        assert_eq!(fine.rows().len(), 2);
+        let finest = Report::generate(
+            &flows,
+            &[GroupField::SrcAddr, GroupField::DstPort, GroupField::ExportPort],
+        );
+        assert_eq!(finest.rows().len(), 3);
+    }
+
+    #[test]
+    fn rates_average_over_group_members() {
+        // Two 1-second flows: 800 and 1600 bits → mean 1200 bps.
+        let flows = vec![flow(1, "10.0.0.1", 80, 1, 100), flow(1, "10.0.0.2", 80, 1, 200)];
+        let r = Report::generate(&flows, &[GroupField::DstPort]);
+        assert_eq!(r.rows().len(), 1);
+        assert!((r.rows()[0].avg_bits_per_sec - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_are_key_ordered() {
+        let flows = vec![
+            flow(1, "10.0.0.9", 443, 1, 10),
+            flow(1, "10.0.0.1", 80, 1, 10),
+            flow(1, "10.0.0.5", 25, 1, 10),
+        ];
+        let r = Report::generate(&flows, &[GroupField::SrcAddr]);
+        let keys: Vec<String> = r.rows().iter().map(|row| row.key[0].to_string()).collect();
+        assert_eq!(keys, vec!["10.0.0.1", "10.0.0.5", "10.0.0.9"]);
+    }
+
+    #[test]
+    fn render_contains_headers_and_rows() {
+        let flows = vec![flow(1, "10.0.0.1", 80, 2, 100)];
+        let text = Report::generate(&flows, &[GroupField::DstPort]).render();
+        assert!(text.contains("DstPort"));
+        assert!(text.contains("flows"));
+        assert!(text.contains("80"));
+    }
+
+    #[test]
+    fn empty_input_empty_report() {
+        let r = Report::generate(&[], &[GroupField::SrcAddr]);
+        assert!(r.rows().is_empty());
+        assert!(r.render().contains("flows"));
+    }
+}

@@ -1,0 +1,275 @@
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use infilter_netflow::{Datagram, FlowRecord};
+
+use crate::CollectedFlow;
+
+/// Magic number of the binary flow-store format (`"IFLT"`).
+const MAGIC: [u8; 4] = *b"IFLT";
+const FORMAT_VERSION: u16 = 1;
+
+/// Binary on-disk flow storage — the `flow-capture` role: "flow data ... is
+/// stored in binary format to speed processing and save storage space".
+///
+/// Layout: 8-byte header (magic, version, reserved) followed by fixed-size
+/// records (2-byte export port + the 48-byte NetFlow v5 record encoding).
+///
+/// # Examples
+///
+/// ```no_run
+/// use infilter_flowtools::{CollectedFlow, FlowStore};
+/// use infilter_netflow::FlowRecord;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let flows = vec![CollectedFlow { export_port: 9001, record: FlowRecord::default() }];
+/// FlowStore::write_path("capture.iflt", &flows)?;
+/// let back = FlowStore::read_path("capture.iflt")?;
+/// assert_eq!(back, flows);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FlowStore;
+
+/// Errors from reading a flow store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file did not start with the `IFLT` magic.
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The file ended inside a record.
+    TruncatedRecord {
+        /// Records successfully read before the truncation.
+        complete: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic(m) => write!(f, "bad magic {m:?}, not a flow store"),
+            StoreError::BadVersion(v) => write!(f, "unsupported flow-store version {v}"),
+            StoreError::TruncatedRecord { complete } => {
+                write!(f, "file truncated after {complete} complete records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+const RECORD_LEN: usize = 2 + 48;
+
+impl FlowStore {
+    /// Serialises flows to any writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write<W: Write>(mut w: W, flows: &[CollectedFlow]) -> io::Result<()> {
+        let mut header = BytesMut::with_capacity(8);
+        header.put_slice(&MAGIC);
+        header.put_u16(FORMAT_VERSION);
+        header.put_u16(0); // reserved
+        w.write_all(&header)?;
+        for f in flows {
+            // Reuse the v5 wire encoding by wrapping the record in a
+            // single-record datagram and slicing the record bytes out.
+            let dg = Datagram::new(0, 0, std::slice::from_ref(&f.record));
+            let encoded = dg.encode();
+            let mut rec = BytesMut::with_capacity(RECORD_LEN);
+            rec.put_u16(f.export_port);
+            rec.put_slice(&encoded[24..]);
+            w.write_all(&rec)?;
+        }
+        w.flush()
+    }
+
+    /// Reads flows back from any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure or a malformed file.
+    pub fn read<R: Read>(mut r: R) -> Result<Vec<CollectedFlow>, StoreError> {
+        let mut header = [0u8; 8];
+        r.read_exact(&mut header).map_err(StoreError::Io)?;
+        if header[0..4] != MAGIC {
+            return Err(StoreError::BadMagic([
+                header[0], header[1], header[2], header[3],
+            ]));
+        }
+        let version = u16::from_be_bytes([header[4], header[5]]);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let mut flows = Vec::new();
+        let mut buf = vec![0u8; RECORD_LEN];
+        loop {
+            match read_full(&mut r, &mut buf) {
+                FillResult::Full => {}
+                FillResult::Empty => break,
+                FillResult::Partial => {
+                    return Err(StoreError::TruncatedRecord {
+                        complete: flows.len(),
+                    })
+                }
+                FillResult::Err(e) => return Err(StoreError::Io(e)),
+            }
+            let mut slice = &buf[..];
+            let export_port = slice.get_u16();
+            // Rebuild a single-record datagram to reuse the v5 decoder.
+            let dg = Datagram::new(0, 0, &[FlowRecord::default()]);
+            let mut full = dg.encode().to_vec();
+            full[24..].copy_from_slice(slice);
+            let decoded = Datagram::decode(&full).map_err(|_| StoreError::TruncatedRecord {
+                complete: flows.len(),
+            })?;
+            flows.push(CollectedFlow {
+                export_port,
+                record: decoded.records[0],
+            });
+        }
+        Ok(flows)
+    }
+
+    /// Writes flows to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn write_path<P: AsRef<Path>>(path: P, flows: &[CollectedFlow]) -> io::Result<()> {
+        FlowStore::write(BufWriter::new(File::create(path)?), flows)
+    }
+
+    /// Reads flows from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure or a malformed file.
+    pub fn read_path<P: AsRef<Path>>(path: P) -> Result<Vec<CollectedFlow>, StoreError> {
+        FlowStore::read(BufReader::new(File::open(path)?))
+    }
+}
+
+enum FillResult {
+    Full,
+    Empty,
+    Partial,
+    Err(io::Error),
+}
+
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> FillResult {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return FillResult::Empty,
+            Ok(0) => return FillResult::Partial,
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return FillResult::Err(e),
+        }
+    }
+    FillResult::Full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(n: u32) -> Vec<CollectedFlow> {
+        (0..n)
+            .map(|i| CollectedFlow {
+                export_port: 9000 + (i % 10) as u16,
+                record: FlowRecord {
+                    src_addr: std::net::Ipv4Addr::from(0x03000000 + i),
+                    dst_addr: "96.1.0.20".parse().unwrap(),
+                    packets: i + 1,
+                    octets: (i + 1) * 100,
+                    first_ms: i * 10,
+                    last_ms: i * 10 + 5,
+                    protocol: 6,
+                    dst_port: 80,
+                    ..FlowRecord::default()
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let data = flows(100);
+        let mut buf = Vec::new();
+        FlowStore::write(&mut buf, &data).unwrap();
+        assert_eq!(buf.len(), 8 + 100 * RECORD_LEN);
+        let back = FlowStore::read(&buf[..]).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let mut buf = Vec::new();
+        FlowStore::write(&mut buf, &[]).unwrap();
+        assert_eq!(FlowStore::read(&buf[..]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        FlowStore::write(&mut buf, &flows(1)).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            FlowStore::read(&bad[..]),
+            Err(StoreError::BadMagic(_))
+        ));
+        let mut bad = buf.clone();
+        bad[5] = 9;
+        assert!(matches!(
+            FlowStore::read(&bad[..]),
+            Err(StoreError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_reports_complete_count() {
+        let mut buf = Vec::new();
+        FlowStore::write(&mut buf, &flows(3)).unwrap();
+        buf.truncate(8 + 2 * RECORD_LEN + 10);
+        match FlowStore::read(&buf[..]) {
+            Err(StoreError::TruncatedRecord { complete }) => assert_eq!(complete, 2),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("infilter-flowstore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("capture.iflt");
+        let data = flows(37);
+        FlowStore::write_path(&path, &data).unwrap();
+        assert_eq!(FlowStore::read_path(&path).unwrap(), data);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

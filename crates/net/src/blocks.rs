@@ -1,0 +1,394 @@
+//! The paper's Table 1 address-block scheme.
+//!
+//! Table 1 lists the 143 publicly-routable, allocated unicast `/8` blocks as
+//! of 28 October 2004. Each `/8` is split into eight `/11` sub-blocks which
+//! the paper names with a 1-based block number and a letter `a..h`: `1a` is
+//! `3.0.0.0/11`, `13d` is `15.96.0.0/11` and `125h` — the last sub-block used
+//! in the experiments — is `204.224.0.0/11`. Sub-blocks are also addressed by
+//! their *linear index* `0..1144` (`(block − 1) × 8 + letter`), and the first
+//! 1000 linear indices (`1a` through `125h`) form the experiment address
+//! space.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Prefix;
+
+/// The first octets of the 143 publicly-routable, allocated `/8` unicast
+/// blocks reproduced verbatim from the paper's Table 1.
+pub const SLASH8_FIRST_OCTETS: [u8; 143] = [
+    3, 4, 6, 8, 9, 11, 12, 13, 14, 15, //
+    16, 17, 18, 19, 20, 21, 22, 24, 25, 26, //
+    28, 29, 30, 32, 33, 34, 35, 38, 40, 43, //
+    44, 45, 46, 47, 48, 51, 52, 53, 54, 55, //
+    56, 57, 58, 59, 60, 61, 62, 63, 64, 65, //
+    66, 67, 68, 69, 70, 71, 72, 80, 81, 82, //
+    83, 84, 85, 86, 87, 88, 128, 129, 130, 131, //
+    132, 133, 134, 135, 136, 137, 138, 139, 140, 141, //
+    142, 143, 144, 145, 146, 147, 148, 149, 150, 151, //
+    152, 153, 154, 155, 156, 157, 158, 159, 160, 161, //
+    162, 163, 164, 165, 166, 167, 168, 169, 170, 171, //
+    172, 188, 191, 192, 193, 194, 195, 196, 198, 199, //
+    200, 201, 202, 203, 204, 205, 206, 207, 208, 209, //
+    210, 211, 212, 213, 214, 215, 216, 217, 218, 219, //
+    220, 221, 222,
+];
+
+/// Total number of `/11` sub-blocks (143 blocks × 8).
+pub const TOTAL_SUB_BLOCKS: usize = SLASH8_FIRST_OCTETS.len() * 8;
+
+/// Number of sub-blocks actually used by the paper's experiments
+/// (`1a` through `125h`; the remaining 144 are ignored).
+pub const EXPERIMENT_SUB_BLOCKS: usize = 1000;
+
+/// One `/11` sub-block in the paper's `1a..143h` notation.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_net::SubBlock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sb: SubBlock = "2c".parse()?;
+/// assert_eq!(sb.prefix().to_string(), "4.64.0.0/11");
+/// assert_eq!(sb.to_string(), "2c");
+/// assert_eq!(SubBlock::from_linear(999)?.to_string(), "125h");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubBlock {
+    /// 1-based block number into [`SLASH8_FIRST_OCTETS`] (1..=143).
+    block: u16,
+    /// Sub-block letter index (0 = `a` .. 7 = `h`).
+    letter: u8,
+}
+
+impl SubBlock {
+    /// Creates a sub-block from a 1-based block number and a letter index
+    /// (0 = `a` .. 7 = `h`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubBlockError::BlockOutOfRange`] or
+    /// [`SubBlockError::LetterOutOfRange`] for invalid coordinates.
+    pub fn new(block: u16, letter: u8) -> Result<SubBlock, SubBlockError> {
+        if block == 0 || block as usize > SLASH8_FIRST_OCTETS.len() {
+            return Err(SubBlockError::BlockOutOfRange(block));
+        }
+        if letter > 7 {
+            return Err(SubBlockError::LetterOutOfRange(letter));
+        }
+        Ok(SubBlock { block, letter })
+    }
+
+    /// Creates a sub-block from its linear index `0..1144`
+    /// (`1a` = 0, `1b` = 1, …, `143h` = 1143).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubBlockError::LinearOutOfRange`] if `idx >= 1144`.
+    pub fn from_linear(idx: usize) -> Result<SubBlock, SubBlockError> {
+        if idx >= TOTAL_SUB_BLOCKS {
+            return Err(SubBlockError::LinearOutOfRange(idx));
+        }
+        Ok(SubBlock {
+            block: (idx / 8 + 1) as u16,
+            letter: (idx % 8) as u8,
+        })
+    }
+
+    /// The linear index `0..1144` of this sub-block.
+    pub fn linear(&self) -> usize {
+        (self.block as usize - 1) * 8 + self.letter as usize
+    }
+
+    /// The 1-based block number (column "numerical count" in the paper).
+    pub fn block(&self) -> u16 {
+        self.block
+    }
+
+    /// The letter index (0 = `a` .. 7 = `h`).
+    pub fn letter(&self) -> u8 {
+        self.letter
+    }
+
+    /// Whether this sub-block is inside the 1000-sub-block experiment space.
+    pub fn in_experiment_space(&self) -> bool {
+        self.linear() < EXPERIMENT_SUB_BLOCKS
+    }
+
+    /// The `/11` prefix this sub-block names.
+    pub fn prefix(&self) -> Prefix {
+        let octet = SLASH8_FIRST_OCTETS[self.block as usize - 1];
+        let bits = (octet as u32) << 24 | (self.letter as u32) << 21;
+        Prefix::new(bits.into(), 11)
+    }
+
+    /// Iterates over the 1000 sub-blocks of the experiment address space in
+    /// linear order (`1a`, `1b`, …, `125h`).
+    pub fn experiment_space() -> impl Iterator<Item = SubBlock> {
+        (0..EXPERIMENT_SUB_BLOCKS).map(|i| SubBlock::from_linear(i).expect("index in range"))
+    }
+}
+
+impl fmt::Display for SubBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.block, (b'a' + self.letter) as char)
+    }
+}
+
+impl FromStr for SubBlock {
+    type Err = SubBlockError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let split = s
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_alphabetic())
+            .map(|(i, _)| i)
+            .ok_or_else(|| SubBlockError::Malformed(s.to_owned()))?;
+        let (num, letter) = s.split_at(split);
+        let block: u16 = num
+            .parse()
+            .map_err(|_| SubBlockError::Malformed(s.to_owned()))?;
+        let letter = match letter.as_bytes() {
+            [c @ b'a'..=b'h'] => c - b'a',
+            _ => return Err(SubBlockError::Malformed(s.to_owned())),
+        };
+        SubBlock::new(block, letter)
+    }
+}
+
+/// An inclusive range of sub-blocks in linear order, written `1a-13d` in the
+/// paper's allocation tables.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_net::SubBlockRange;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let r: SubBlockRange = "1a-13d".parse()?;
+/// assert_eq!(r.len(), 100); // each Dagflow EIA set is 100 sub-blocks
+/// assert_eq!(r.to_string(), "1a-13d");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubBlockRange {
+    first: SubBlock,
+    last: SubBlock,
+}
+
+impl SubBlockRange {
+    /// Creates an inclusive range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubBlockError::EmptyRange`] if `last` precedes `first` in
+    /// linear order.
+    pub fn new(first: SubBlock, last: SubBlock) -> Result<SubBlockRange, SubBlockError> {
+        if last.linear() < first.linear() {
+            return Err(SubBlockError::EmptyRange(first, last));
+        }
+        Ok(SubBlockRange { first, last })
+    }
+
+    /// The first sub-block of the range.
+    pub fn first(&self) -> SubBlock {
+        self.first
+    }
+
+    /// The last sub-block of the range (inclusive).
+    pub fn last(&self) -> SubBlock {
+        self.last
+    }
+
+    /// Number of sub-blocks covered.
+    pub fn len(&self) -> usize {
+        self.last.linear() - self.first.linear() + 1
+    }
+
+    /// Ranges are never empty by construction; provided for symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `sb` falls inside the range.
+    pub fn contains(&self, sb: SubBlock) -> bool {
+        (self.first.linear()..=self.last.linear()).contains(&sb.linear())
+    }
+
+    /// Iterates over the sub-blocks of the range in linear order.
+    pub fn iter(&self) -> impl Iterator<Item = SubBlock> {
+        (self.first.linear()..=self.last.linear())
+            .map(|i| SubBlock::from_linear(i).expect("range validated at construction"))
+    }
+
+    /// The `/11` prefixes of every sub-block in the range.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        self.iter().map(|sb| sb.prefix()).collect()
+    }
+}
+
+impl fmt::Display for SubBlockRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.first, self.last)
+    }
+}
+
+impl FromStr for SubBlockRange {
+    type Err = SubBlockError;
+
+    /// Parses `first-last` (e.g. `13e-25h`); a single sub-block (`13c`)
+    /// parses as a one-element range.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('-') {
+            Some((a, b)) => SubBlockRange::new(a.trim().parse()?, b.trim().parse()?),
+            None => {
+                let sb: SubBlock = s.trim().parse()?;
+                SubBlockRange::new(sb, sb)
+            }
+        }
+    }
+}
+
+/// Errors from sub-block construction and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubBlockError {
+    /// Block number was zero or exceeded 143.
+    BlockOutOfRange(u16),
+    /// Letter index exceeded 7 (`h`).
+    LetterOutOfRange(u8),
+    /// Linear index exceeded 1143.
+    LinearOutOfRange(usize),
+    /// String did not match `<number><letter>`.
+    Malformed(String),
+    /// Range end preceded range start.
+    EmptyRange(SubBlock, SubBlock),
+}
+
+impl fmt::Display for SubBlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubBlockError::BlockOutOfRange(b) => write!(f, "block number {b} outside 1..=143"),
+            SubBlockError::LetterOutOfRange(l) => write!(f, "letter index {l} outside 0..=7"),
+            SubBlockError::LinearOutOfRange(i) => write!(f, "linear index {i} outside 0..1144"),
+            SubBlockError::Malformed(s) => write!(f, "malformed sub-block `{s}`"),
+            SubBlockError::EmptyRange(a, b) => write!(f, "range {a}-{b} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SubBlockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_143_blocks_and_1144_sub_blocks() {
+        assert_eq!(SLASH8_FIRST_OCTETS.len(), 143);
+        assert_eq!(TOTAL_SUB_BLOCKS, 1144);
+        // Strictly increasing, all publicly routable (not 0/10/127/224+).
+        assert!(SLASH8_FIRST_OCTETS.windows(2).all(|w| w[0] < w[1]));
+        assert!(!SLASH8_FIRST_OCTETS.contains(&10));
+        assert!(!SLASH8_FIRST_OCTETS.contains(&127));
+        assert!(SLASH8_FIRST_OCTETS.iter().all(|&o| o < 224));
+    }
+
+    #[test]
+    fn paper_notation_examples() {
+        // "3.0/11 would be represented by 1a, 3.32/11 by 1b, 4.64/11 by 2c,
+        //  9.0/11 by 5a, ... 204.224/11 by 125h."
+        let cases = [
+            ("1a", "3.0.0.0/11"),
+            ("1b", "3.32.0.0/11"),
+            ("2c", "4.64.0.0/11"),
+            ("5a", "9.0.0.0/11"),
+            ("125h", "204.224.0.0/11"),
+        ];
+        for (name, prefix) in cases {
+            let sb: SubBlock = name.parse().unwrap();
+            assert_eq!(sb.prefix().to_string(), prefix, "sub-block {name}");
+            assert_eq!(sb.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn experiment_space_is_first_1000() {
+        let all: Vec<SubBlock> = SubBlock::experiment_space().collect();
+        assert_eq!(all.len(), 1000);
+        assert_eq!(all[0].to_string(), "1a");
+        assert_eq!(all[999].to_string(), "125h");
+        assert!(all.iter().all(|sb| sb.in_experiment_space()));
+        let beyond = SubBlock::from_linear(1000).unwrap();
+        assert_eq!(beyond.to_string(), "126a");
+        assert!(!beyond.in_experiment_space());
+    }
+
+    #[test]
+    fn linear_round_trip() {
+        for i in 0..TOTAL_SUB_BLOCKS {
+            let sb = SubBlock::from_linear(i).unwrap();
+            assert_eq!(sb.linear(), i);
+            let reparsed: SubBlock = sb.to_string().parse().unwrap();
+            assert_eq!(reparsed, sb);
+        }
+        assert!(SubBlock::from_linear(TOTAL_SUB_BLOCKS).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_notation() {
+        assert!("0a".parse::<SubBlock>().is_err());
+        assert!("144a".parse::<SubBlock>().is_err());
+        assert!("12i".parse::<SubBlock>().is_err());
+        assert!("12".parse::<SubBlock>().is_err());
+        assert!("ab".parse::<SubBlock>().is_err());
+        assert!("".parse::<SubBlock>().is_err());
+    }
+
+    #[test]
+    fn dagflow_source1_allocation_is_100_blocks() {
+        // Table 2/3: Dagflow source 1 owns 1a-13d = 100 sub-blocks.
+        let r: SubBlockRange = "1a-13d".parse().unwrap();
+        assert_eq!(r.len(), 100);
+        assert!(r.contains("13b".parse().unwrap()));
+        assert!(r.contains("13d".parse().unwrap()));
+        assert!(!r.contains("13e".parse().unwrap()));
+        // And source 2 owns 13e-25h.
+        let r2: SubBlockRange = "13e-25h".parse().unwrap();
+        assert_eq!(r2.len(), 100);
+        assert_eq!(r2.first().to_string(), "13e");
+    }
+
+    #[test]
+    fn single_sub_block_range() {
+        let r: SubBlockRange = "13c".parse().unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_string(), "13c-13c");
+    }
+
+    #[test]
+    fn reversed_range_rejected() {
+        assert!(matches!(
+            "13d-1a".parse::<SubBlockRange>(),
+            Err(SubBlockError::EmptyRange(_, _))
+        ));
+    }
+
+    #[test]
+    fn prefixes_do_not_overlap_across_space() {
+        // Spot-check: consecutive sub-blocks within a /8 tile it exactly.
+        let block9: Vec<Prefix> = (0..8)
+            .map(|l| SubBlock::new(5, l).unwrap().prefix())
+            .collect();
+        for w in block9.windows(2) {
+            assert_eq!(u32::from(w[0].last()) + 1, u32::from(w[1].first()));
+        }
+        assert_eq!(block9[0].first().to_string(), "9.0.0.0");
+        assert_eq!(block9[7].last().to_string(), "9.255.255.255");
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An autonomous-system number.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_net::Asn;
+///
+/// let lvl3 = Asn(3356);
+/// assert_eq!(lvl3.to_string(), "AS3356");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(n: u32) -> Asn {
+        Asn(n)
+    }
+}
+
+/// Identifier of a border router inside the target network.
+///
+/// The paper's topology (its Figure 2) connects each peer AS to the target
+/// network through one border router; `RouterId` names that device.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_net::RouterId;
+///
+/// let br = RouterId(3);
+/// assert_eq!(br.to_string(), "BR3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct RouterId(pub u32);
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BR{}", self.0)
+    }
+}
+
+impl From<u32> for RouterId {
+    fn from(n: u32) -> RouterId {
+        RouterId(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Asn(1).to_string(), "AS1");
+        assert_eq!(RouterId(10).to_string(), "BR10");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Asn(9) < Asn(10514));
+        assert!(RouterId(1) < RouterId(2));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Asn::from(7018u32), Asn(7018));
+        assert_eq!(RouterId::from(4u32), RouterId(4));
+    }
+}

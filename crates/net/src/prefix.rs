@@ -1,0 +1,332 @@
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A validated IPv4 CIDR prefix.
+///
+/// The network address is always stored in canonical form: host bits below
+/// the mask are zero. `10.1.2.3/8` therefore parses to `10.0.0.0/8`.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_net::Prefix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p: Prefix = "192.168.0.0/16".parse()?;
+/// assert!(p.contains("192.168.44.5".parse()?));
+/// assert!(!p.contains("192.169.0.1".parse()?));
+/// assert_eq!(p.to_string(), "192.168.0.0/16");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix from a network address and a mask length, canonicalising
+    /// any set host bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} out of range");
+        let bits = u32::from(addr) & mask(len);
+        Prefix { bits, len }
+    }
+
+    /// The prefix covering the entire IPv4 address space (`0.0.0.0/0`).
+    pub fn default_route() -> Prefix {
+        Prefix { bits: 0, len: 0 }
+    }
+
+    /// Creates the `/32` host prefix for a single address.
+    pub fn host(addr: Ipv4Addr) -> Prefix {
+        Prefix::new(addr, 32)
+    }
+
+    /// The canonical network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits)
+    }
+
+    /// The mask length in bits.
+    #[allow(clippy::len_without_is_empty)] // a prefix length, not a container
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default route.
+    pub fn is_default_route(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The network address as a raw big-endian `u32`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of addresses covered by the prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Tests whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        (u32::from(addr) & mask(self.len)) == self.bits
+    }
+
+    /// Tests whether `other` is fully contained in (or equal to) this prefix.
+    pub fn covers(&self, other: Prefix) -> bool {
+        other.len >= self.len && (other.bits & mask(self.len)) == self.bits
+    }
+
+    /// The first address of the prefix.
+    pub fn first(&self) -> Ipv4Addr {
+        self.network()
+    }
+
+    /// The last address of the prefix.
+    pub fn last(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits | !mask(self.len))
+    }
+
+    /// Truncates the prefix to a shorter length (e.g. an address's `/24`
+    /// subnet for the paper's traceroute aggregation step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is longer than the current length.
+    pub fn truncate(&self, len: u8) -> Prefix {
+        assert!(
+            len <= self.len,
+            "cannot truncate /{} prefix to longer /{len}",
+            self.len
+        );
+        Prefix::new(self.network(), len)
+    }
+
+    /// Splits the prefix into `2^extra_bits` equal child prefixes.
+    ///
+    /// Used by the Table 1 scheme to break each `/8` into eight `/11`
+    /// sub-blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting length would exceed 32 bits.
+    pub fn split(&self, extra_bits: u8) -> impl Iterator<Item = Prefix> + '_ {
+        let new_len = self.len + extra_bits;
+        assert!(new_len <= 32, "split would exceed /32");
+        let step = 1u64 << (32 - new_len);
+        (0..(1u64 << extra_bits)).map(move |i| Prefix {
+            bits: self.bits + (i * step) as u32,
+            len: new_len,
+        })
+    }
+
+    /// Draws a uniformly random address from inside the prefix.
+    pub fn random_addr<R: Rng + ?Sized>(&self, rng: &mut R) -> Ipv4Addr {
+        let offset = rng.gen_range(0..self.size());
+        Ipv4Addr::from(self.bits + offset as u32)
+    }
+
+    /// Returns the `i`-th address of the prefix, wrapping around its size.
+    ///
+    /// Handy for deterministic address assignment in tests and workload
+    /// generators.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        Ipv4Addr::from(self.bits + (i % self.size()) as u32)
+    }
+}
+
+fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// Error returned when parsing a [`Prefix`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    /// The address part was not a valid dotted-quad IPv4 address.
+    InvalidAddr(String),
+    /// The length part was missing or not an integer.
+    InvalidLen(String),
+    /// The length was greater than 32.
+    LenOutOfRange(u8),
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::InvalidAddr(s) => write!(f, "invalid IPv4 address `{s}`"),
+            ParsePrefixError::InvalidLen(s) => write!(f, "invalid prefix length `{s}`"),
+            ParsePrefixError::LenOutOfRange(l) => write!(f, "prefix length {l} exceeds 32"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    /// Parses `a.b.c.d/len`; a bare address parses as a `/32` host prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr_part, len_part) = match s.split_once('/') {
+            Some((a, l)) => (a, Some(l)),
+            None => (s, None),
+        };
+        let addr: Ipv4Addr = addr_part
+            .parse()
+            .map_err(|_| ParsePrefixError::InvalidAddr(addr_part.to_owned()))?;
+        let len: u8 = match len_part {
+            Some(l) => l
+                .parse()
+                .map_err(|_| ParsePrefixError::InvalidLen(l.to_owned()))?,
+            None => 32,
+        };
+        if len > 32 {
+            return Err(ParsePrefixError::LenOutOfRange(len));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+impl From<Ipv4Addr> for Prefix {
+    fn from(addr: Ipv4Addr) -> Prefix {
+        Prefix::host(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalises_host_bits() {
+        let p = Prefix::new("10.1.2.3".parse().unwrap(), 8);
+        assert_eq!(p.network(), "10.0.0.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn parses_and_displays_round_trip() {
+        for s in ["0.0.0.0/0", "4.2.101.0/24", "214.96.0.0/11", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn bare_address_parses_as_host_prefix() {
+        let p: Prefix = "9.8.7.6".parse().unwrap();
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.size(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            "300.0.0.0/8".parse::<Prefix>(),
+            Err(ParsePrefixError::InvalidAddr(_))
+        ));
+        assert!(matches!(
+            "1.0.0.0/x".parse::<Prefix>(),
+            Err(ParsePrefixError::InvalidLen(_))
+        ));
+        assert!(matches!(
+            "1.0.0.0/40".parse::<Prefix>(),
+            Err(ParsePrefixError::LenOutOfRange(40))
+        ));
+    }
+
+    #[test]
+    fn containment() {
+        let p: Prefix = "192.168.0.0/16".parse().unwrap();
+        assert!(p.contains("192.168.255.255".parse().unwrap()));
+        assert!(!p.contains("192.167.255.255".parse().unwrap()));
+        assert!(p.covers("192.168.4.0/24".parse().unwrap()));
+        assert!(!p.covers("192.0.0.0/8".parse().unwrap()));
+        assert!(p.covers(p));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let d = Prefix::default_route();
+        assert!(d.contains("255.255.255.255".parse().unwrap()));
+        assert!(d.contains("0.0.0.0".parse().unwrap()));
+        assert_eq!(d.size(), 1 << 32);
+    }
+
+    #[test]
+    fn split_slash8_into_slash11_matches_paper_example() {
+        // Paper section 6.2: 214/8 splits into 214.0/11, 214.32/11, ... 214.224/11.
+        let p: Prefix = "214.0.0.0/8".parse().unwrap();
+        let subs: Vec<Prefix> = p.split(3).collect();
+        assert_eq!(subs.len(), 8);
+        let expect = [
+            "214.0.0.0/11",
+            "214.32.0.0/11",
+            "214.64.0.0/11",
+            "214.96.0.0/11",
+            "214.128.0.0/11",
+            "214.160.0.0/11",
+            "214.192.0.0/11",
+            "214.224.0.0/11",
+        ];
+        for (s, e) in subs.iter().zip(expect) {
+            assert_eq!(s.to_string(), e);
+        }
+        // Sub-block 214.32/11 covers 214.32.x.y through 214.63.x.y.
+        assert_eq!(subs[1].first(), "214.32.0.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(
+            subs[1].last(),
+            "214.63.255.255".parse::<Ipv4Addr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn truncate_to_subnet() {
+        let p = Prefix::host("10.20.30.40".parse().unwrap());
+        assert_eq!(p.truncate(24).to_string(), "10.20.30.0/24");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncate_longer_panics() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let _ = p.truncate(16);
+    }
+
+    #[test]
+    fn random_addr_stays_inside() {
+        let mut rng = rand::thread_rng();
+        let p: Prefix = "172.16.0.0/12".parse().unwrap();
+        for _ in 0..1000 {
+            assert!(p.contains(p.random_addr(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn nth_wraps() {
+        let p: Prefix = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(p.nth(0), p.nth(4));
+        assert_eq!(p.nth(5), "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+    }
+}

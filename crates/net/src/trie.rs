@@ -1,0 +1,315 @@
+use std::net::Ipv4Addr;
+
+use crate::Prefix;
+
+/// A binary trie keyed by IPv4 prefixes with longest-prefix matching.
+///
+/// This is the shared substrate for the EIA sets of `infilter-core` and the
+/// RIBs of `infilter-bgp`. Nodes exist per prefix bit; each node may carry a
+/// value. [`PrefixTrie::lookup`] walks the address bits and returns the value
+/// attached to the deepest (most specific) matching prefix, which is exactly
+/// the paper's "4.2.101.0/24 is more specific than 4.0.0.0/8" rule.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_net::PrefixTrie;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut t = PrefixTrie::new();
+/// t.insert("0.0.0.0/0".parse()?, 0u32);
+/// t.insert("10.0.0.0/8".parse()?, 1);
+/// t.insert("10.96.0.0/11".parse()?, 2);
+///
+/// assert_eq!(t.lookup("10.100.1.1".parse()?).map(|(_, v)| *v), Some(2));
+/// assert_eq!(t.lookup("10.1.1.1".parse()?).map(|(_, v)| *v), Some(1));
+/// assert_eq!(t.lookup("11.1.1.1".parse()?).map(|(_, v)| *v), Some(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [Option<u32>; 2],
+    value: Option<(Prefix, V)>,
+}
+
+impl<V> Node<V> {
+    fn empty() -> Node<V> {
+        Node {
+            children: [None, None],
+            value: None,
+        }
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> PrefixTrie<V> {
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if the exact
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let bit = bit_at(prefix.bits(), depth);
+            node = match self.nodes[node].children[bit] {
+                Some(c) => c as usize,
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node::empty());
+                    self.nodes[node].children[bit] = Some(idx);
+                    idx as usize
+                }
+            };
+        }
+        let old = self.nodes[node].value.replace((prefix, value));
+        match old {
+            Some((_, v)) => Some(v),
+            None => {
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes the exact prefix, returning its value if present.
+    ///
+    /// Interior nodes are not reclaimed; the trie is optimised for the
+    /// insert-heavy, rarely-shrinking workloads of RIBs and EIA sets.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        let node = self.find_node(prefix)?;
+        let taken = self.nodes[node].value.take();
+        taken.map(|(_, v)| {
+            self.len -= 1;
+            v
+        })
+    }
+
+    /// Returns the value stored at exactly `prefix`, if any.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        let node = self.find_node(prefix)?;
+        match &self.nodes[node].value {
+            Some((p, v)) if *p == prefix => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable reference to the value stored at exactly `prefix`.
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut V> {
+        let node = self.find_node(prefix)?;
+        match &mut self.nodes[node].value {
+            Some((p, v)) if *p == prefix => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `addr`, together with its value.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Prefix, &V)> {
+        let bits = u32::from(addr);
+        let mut node = 0usize;
+        let mut best: Option<(Prefix, &V)> = None;
+        for depth in 0..=32u8 {
+            if let Some((p, v)) = &self.nodes[node].value {
+                best = Some((*p, v));
+            }
+            if depth == 32 {
+                break;
+            }
+            match self.nodes[node].children[bit_at(bits, depth)] {
+                Some(c) => node = c as usize,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes that contain `addr`, from least to most specific.
+    pub fn matches(&self, addr: Ipv4Addr) -> Vec<(Prefix, &V)> {
+        let bits = u32::from(addr);
+        let mut node = 0usize;
+        let mut out = Vec::new();
+        for depth in 0..=32u8 {
+            if let Some((p, v)) = &self.nodes[node].value {
+                out.push((*p, v));
+            }
+            if depth == 32 {
+                break;
+            }
+            match self.nodes[node].children[bit_at(bits, depth)] {
+                Some(c) => node = c as usize,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in depth-first order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &V)> {
+        let mut stack = vec![0usize];
+        std::iter::from_fn(move || {
+            while let Some(node) = stack.pop() {
+                for child in self.nodes[node].children.iter().rev().flatten() {
+                    stack.push(*child as usize);
+                }
+                if let Some((p, v)) = &self.nodes[node].value {
+                    return Some((*p, v));
+                }
+            }
+            None
+        })
+    }
+
+    fn find_node(&self, prefix: Prefix) -> Option<usize> {
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            node = self.nodes[node].children[bit_at(prefix.bits(), depth)]? as usize;
+        }
+        Some(node)
+    }
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        PrefixTrie::new()
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+impl<V> Extend<(Prefix, V)> for PrefixTrie<V> {
+    fn extend<I: IntoIterator<Item = (Prefix, V)>>(&mut self, iter: I) {
+        for (p, v) in iter {
+            self.insert(p, v);
+        }
+    }
+}
+
+fn bit_at(bits: u32, depth: u8) -> usize {
+    ((bits >> (31 - depth)) & 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_lookup_is_none() {
+        let t: PrefixTrie<()> = PrefixTrie::new();
+        assert!(t.lookup(a("1.2.3.4")).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn exact_get_and_replace() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("4.0.0.0/8"), "coarse");
+        t.insert(p("4.2.101.0/24"), "fine");
+        assert_eq!(t.lookup(a("4.2.101.20")).unwrap().1, &"fine");
+        assert_eq!(t.lookup(a("4.2.102.20")).unwrap().1, &"coarse");
+        assert!(t.lookup(a("5.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn default_route_catches_all() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::default_route(), 0);
+        assert_eq!(t.lookup(a("203.0.113.9")).unwrap().1, &0);
+    }
+
+    #[test]
+    fn host_route_is_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("9.0.0.0/8"), 8);
+        t.insert(p("9.9.9.9/32"), 32);
+        assert_eq!(t.lookup(a("9.9.9.9")).unwrap().1, &32);
+        assert_eq!(t.lookup(a("9.9.9.8")).unwrap().1, &8);
+    }
+
+    #[test]
+    fn remove_unshadows() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("8.0.0.0/8"), "outer");
+        t.insert(p("8.8.0.0/16"), "inner");
+        assert_eq!(t.remove(p("8.8.0.0/16")), Some("inner"));
+        assert_eq!(t.lookup(a("8.8.8.8")).unwrap().1, &"outer");
+        assert_eq!(t.remove(p("8.8.0.0/16")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn matches_orders_least_to_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.96.0.0/11"), 11);
+        let m: Vec<u8> = t.matches(a("10.100.0.1")).iter().map(|(_, v)| **v).collect();
+        assert_eq!(m, vec![0, 8, 11]);
+    }
+
+    #[test]
+    fn iter_visits_every_prefix() {
+        let prefixes = ["0.0.0.0/0", "1.0.0.0/8", "1.128.0.0/9", "200.1.2.0/24"];
+        let t: PrefixTrie<u8> = prefixes.iter().map(|s| (p(s), 1)).collect();
+        let mut seen: Vec<String> = t.iter().map(|(pfx, _)| pfx.to_string()).collect();
+        seen.sort();
+        let mut want: Vec<String> = prefixes.iter().map(|s| s.to_string()).collect();
+        want.sort();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("20.0.0.0/8"), vec![1]);
+        t.get_mut(p("20.0.0.0/8")).unwrap().push(2);
+        assert_eq!(t.get(p("20.0.0.0/8")), Some(&vec![1, 2]));
+    }
+}

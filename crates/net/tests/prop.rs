@@ -1,0 +1,108 @@
+//! Property-based tests for prefixes, the trie, and the sub-block scheme.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use infilter_net::{Prefix, PrefixTrie, SubBlock, SubBlockRange};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len))
+}
+
+/// Oracle: linear scan for the most specific containing prefix.
+fn naive_lpm(table: &HashMap<Prefix, u32>, addr: Ipv4Addr) -> Option<(Prefix, u32)> {
+    table
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, *v))
+}
+
+proptest! {
+    #[test]
+    fn prefix_display_parse_round_trip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn prefix_contains_its_bounds(p in arb_prefix()) {
+        prop_assert!(p.contains(p.first()));
+        prop_assert!(p.contains(p.last()));
+        prop_assert_eq!(u64::from(u32::from(p.last())) - u64::from(u32::from(p.first())) + 1,
+                        p.size());
+    }
+
+    #[test]
+    fn covers_is_consistent_with_contains(a in arb_prefix(), b in arb_prefix()) {
+        if a.covers(b) {
+            prop_assert!(a.contains(b.first()));
+            prop_assert!(a.contains(b.last()));
+            prop_assert!(a.len() <= b.len());
+        }
+    }
+
+    #[test]
+    fn trie_matches_naive_lpm(
+        entries in proptest::collection::hash_map(arb_prefix(), any::<u32>(), 0..64),
+        probes in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let trie: PrefixTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(trie.len(), entries.len());
+        for bits in probes {
+            let addr = Ipv4Addr::from(bits);
+            let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+            let want = naive_lpm(&entries, addr);
+            // Values may collide only if two equal-length prefixes both match,
+            // which is impossible: equal-length matching prefixes are equal.
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn trie_remove_restores_oracle(
+        entries in proptest::collection::hash_map(arb_prefix(), any::<u32>(), 1..32),
+        probe in any::<u32>(),
+    ) {
+        let mut table = entries.clone();
+        let mut trie: PrefixTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        // Remove half the entries and re-check the oracle.
+        let victims: Vec<Prefix> = table.keys().copied().take(table.len() / 2).collect();
+        for v in victims {
+            trie.remove(v);
+            table.remove(&v);
+        }
+        let addr = Ipv4Addr::from(probe);
+        prop_assert_eq!(trie.lookup(addr).map(|(p, v)| (p, *v)), naive_lpm(&table, addr));
+    }
+
+    #[test]
+    fn sub_block_linear_round_trip(idx in 0usize..1144) {
+        let sb = SubBlock::from_linear(idx).unwrap();
+        prop_assert_eq!(sb.linear(), idx);
+        let reparsed: SubBlock = sb.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, sb);
+    }
+
+    #[test]
+    fn sub_block_prefixes_are_disjoint(a in 0usize..1144, b in 0usize..1144) {
+        prop_assume!(a != b);
+        let pa = SubBlock::from_linear(a).unwrap().prefix();
+        let pb = SubBlock::from_linear(b).unwrap().prefix();
+        prop_assert!(!pa.covers(pb) && !pb.covers(pa), "{pa} overlaps {pb}");
+    }
+
+    #[test]
+    fn range_len_matches_iteration(first in 0usize..1144, extra in 0usize..64) {
+        let last = (first + extra).min(1143);
+        let r = SubBlockRange::new(
+            SubBlock::from_linear(first).unwrap(),
+            SubBlock::from_linear(last).unwrap(),
+        ).unwrap();
+        prop_assert_eq!(r.len(), r.iter().count());
+        prop_assert_eq!(r.len(), last - first + 1);
+        prop_assert!(r.iter().all(|sb| r.contains(sb)));
+    }
+}

@@ -1,0 +1,350 @@
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FlowKey, FlowRecord, TCP_FIN, TCP_RST};
+
+/// A single packet observation fed to the [`FlowCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketObs {
+    /// Flow key fields of the packet.
+    pub key: FlowKey,
+    /// Layer-3 length in bytes.
+    pub bytes: u32,
+    /// TCP flags (zero for non-TCP).
+    pub tcp_flags: u8,
+    /// Router sysUptime at arrival, milliseconds.
+    pub time_ms: u32,
+}
+
+/// Why a flow left the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExpiryReason {
+    /// Idle longer than [`CacheConfig::idle_timeout_ms`].
+    Idle,
+    /// Active longer than [`CacheConfig::active_timeout_ms`].
+    ActiveTimeout,
+    /// Cache occupancy crossed the high-water mark.
+    CacheFull,
+    /// A TCP FIN or RST terminated the connection.
+    TcpTeardown,
+    /// [`FlowCache::flush`] drained the cache.
+    Flush,
+}
+
+/// Flow cache tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Expire flows idle this long (default 15 s, Cisco's default).
+    pub idle_timeout_ms: u32,
+    /// Expire flows active this long (default 30 min).
+    pub active_timeout_ms: u32,
+    /// Maximum tracked flows; crossing it evicts the oldest flows.
+    pub max_flows: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            idle_timeout_ms: 15_000,
+            active_timeout_ms: 1_800_000,
+            max_flows: 65_536,
+        }
+    }
+}
+
+/// Aggregates packets into flows and expires them per the v5 rules.
+///
+/// Call [`FlowCache::observe`] per packet; expired [`FlowRecord`]s are
+/// returned as they become final. Call [`FlowCache::flush`] at the end of a
+/// trace to drain everything still active.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_netflow::{CacheConfig, FlowCache, FlowKey, PacketObs};
+///
+/// let mut cache = FlowCache::new(CacheConfig::default());
+/// let key = FlowKey {
+///     src_addr: "10.0.0.1".parse().unwrap(),
+///     dst_addr: "10.0.0.2".parse().unwrap(),
+///     protocol: 17,
+///     src_port: 5000,
+///     dst_port: 53,
+///     tos: 0,
+///     input_if: 1,
+/// };
+/// cache.observe(PacketObs { key, bytes: 60, tcp_flags: 0, time_ms: 0 });
+/// let drained = cache.flush(1000);
+/// assert_eq!(drained.len(), 1);
+/// assert_eq!(drained[0].0.packets, 1);
+/// ```
+#[derive(Debug)]
+pub struct FlowCache {
+    cfg: CacheConfig,
+    active: HashMap<FlowKey, FlowRecord>,
+    expired_total: u64,
+}
+
+impl FlowCache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> FlowCache {
+        FlowCache {
+            cfg,
+            active: HashMap::new(),
+            expired_total: 0,
+        }
+    }
+
+    /// Number of currently tracked flows.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total flows expired since creation (the v5 `flow_sequence` source).
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
+    }
+
+    /// Feeds one packet; returns any flows this packet caused to expire
+    /// (timeouts are evaluated lazily against the packet's timestamp).
+    pub fn observe(&mut self, pkt: PacketObs) -> Vec<(FlowRecord, ExpiryReason)> {
+        let mut out = self.sweep(pkt.time_ms);
+
+        let rec = self.active.entry(pkt.key).or_insert_with(|| FlowRecord {
+            src_addr: pkt.key.src_addr,
+            dst_addr: pkt.key.dst_addr,
+            next_hop: Ipv4Addr::UNSPECIFIED,
+            input_if: pkt.key.input_if,
+            src_port: pkt.key.src_port,
+            dst_port: pkt.key.dst_port,
+            protocol: pkt.key.protocol,
+            tos: pkt.key.tos,
+            first_ms: pkt.time_ms,
+            last_ms: pkt.time_ms,
+            ..FlowRecord::default()
+        });
+        rec.packets = rec.packets.saturating_add(1);
+        rec.octets = rec.octets.saturating_add(pkt.bytes);
+        rec.last_ms = pkt.time_ms.max(rec.last_ms);
+        rec.tcp_flags |= pkt.tcp_flags;
+
+        // Rule 4: TCP teardown expires the flow immediately.
+        if pkt.key.protocol == 6 && pkt.tcp_flags & (TCP_FIN | TCP_RST) != 0 {
+            let rec = self.active.remove(&pkt.key).expect("just inserted");
+            self.expired_total += 1;
+            out.push((rec, ExpiryReason::TcpTeardown));
+        }
+
+        // Rule 3: cache near full — evict oldest-started flows.
+        if self.active.len() > self.cfg.max_flows {
+            let mut victims: Vec<FlowKey> = self.active.keys().copied().collect();
+            victims.sort_by_key(|k| (self.active[k].first_ms, *k));
+            let excess = self.active.len() - self.cfg.max_flows;
+            for k in victims.into_iter().take(excess) {
+                let rec = self.active.remove(&k).expect("listed key exists");
+                self.expired_total += 1;
+                out.push((rec, ExpiryReason::CacheFull));
+            }
+        }
+        out
+    }
+
+    /// Expires flows that have timed out as of `now_ms` without feeding a
+    /// packet (rules 1 and 2).
+    pub fn sweep(&mut self, now_ms: u32) -> Vec<(FlowRecord, ExpiryReason)> {
+        let cfg = self.cfg;
+        let mut out = Vec::new();
+        let expired: Vec<FlowKey> = self
+            .active
+            .iter()
+            .filter_map(|(k, r)| {
+                if now_ms.saturating_sub(r.last_ms) > cfg.idle_timeout_ms {
+                    Some((*k, ExpiryReason::Idle))
+                } else if now_ms.saturating_sub(r.first_ms) > cfg.active_timeout_ms {
+                    Some((*k, ExpiryReason::ActiveTimeout))
+                } else {
+                    None
+                }
+            })
+            .map(|(k, why)| {
+                out.push((self.active[&k], why));
+                k
+            })
+            .collect();
+        for k in expired {
+            self.active.remove(&k);
+            self.expired_total += 1;
+        }
+        // Deterministic output order regardless of hash-map iteration.
+        out.sort_by_key(|(r, _)| (r.first_ms, r.key()));
+        out
+    }
+
+    /// Drains every remaining flow (end of trace / exporter shutdown).
+    pub fn flush(&mut self, _now_ms: u32) -> Vec<(FlowRecord, ExpiryReason)> {
+        let mut out: Vec<(FlowRecord, ExpiryReason)> = self
+            .active
+            .drain()
+            .map(|(_, r)| (r, ExpiryReason::Flush))
+            .collect();
+        self.expired_total += out.len() as u64;
+        out.sort_by_key(|(r, _)| (r.first_ms, r.key()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: &str, dport: u16, proto: u8) -> FlowKey {
+        FlowKey {
+            src_addr: src.parse().unwrap(),
+            dst_addr: "96.1.0.20".parse().unwrap(),
+            protocol: proto,
+            src_port: 40000,
+            dst_port: dport,
+            tos: 0,
+            input_if: 1,
+        }
+    }
+
+    fn pkt(k: FlowKey, t: u32) -> PacketObs {
+        PacketObs {
+            key: k,
+            bytes: 100,
+            tcp_flags: 0,
+            time_ms: t,
+        }
+    }
+
+    #[test]
+    fn packets_aggregate_into_one_flow() {
+        let mut c = FlowCache::new(CacheConfig::default());
+        let k = key("10.0.0.1", 80, 17);
+        for t in [0, 100, 200, 300] {
+            assert!(c.observe(pkt(k, t)).is_empty());
+        }
+        assert_eq!(c.active_flows(), 1);
+        let out = c.flush(400);
+        assert_eq!(out.len(), 1);
+        let (r, why) = &out[0];
+        assert_eq!(r.packets, 4);
+        assert_eq!(r.octets, 400);
+        assert_eq!(r.first_ms, 0);
+        assert_eq!(r.last_ms, 300);
+        assert_eq!(*why, ExpiryReason::Flush);
+    }
+
+    #[test]
+    fn idle_timeout_expires() {
+        let mut c = FlowCache::new(CacheConfig {
+            idle_timeout_ms: 1000,
+            ..CacheConfig::default()
+        });
+        let k = key("10.0.0.1", 80, 17);
+        c.observe(pkt(k, 0));
+        // A later packet on a different flow triggers the sweep.
+        let out = c.observe(pkt(key("10.0.0.2", 80, 17), 5000));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, ExpiryReason::Idle);
+        assert_eq!(out[0].0.src_addr, "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn active_timeout_expires_long_lived_flow() {
+        let mut c = FlowCache::new(CacheConfig {
+            idle_timeout_ms: 60_000,
+            active_timeout_ms: 10_000,
+            max_flows: 65_536,
+        });
+        let k = key("10.0.0.1", 80, 6);
+        for t in (0..=12_000).step_by(1000) {
+            let out = c.observe(pkt(k, t));
+            if t > 10_000 {
+                assert_eq!(out.len(), 1, "at t={t}");
+                assert_eq!(out[0].1, ExpiryReason::ActiveTimeout);
+                return;
+            }
+            assert!(out.is_empty(), "unexpected expiry at t={t}");
+        }
+        panic!("active timeout never fired");
+    }
+
+    #[test]
+    fn tcp_fin_expires_immediately() {
+        let mut c = FlowCache::new(CacheConfig::default());
+        let k = key("10.0.0.1", 80, 6);
+        c.observe(PacketObs {
+            key: k,
+            bytes: 60,
+            tcp_flags: crate::TCP_SYN,
+            time_ms: 0,
+        });
+        let out = c.observe(PacketObs {
+            key: k,
+            bytes: 60,
+            tcp_flags: crate::TCP_FIN,
+            time_ms: 100,
+        });
+        assert_eq!(out.len(), 1);
+        let (r, why) = &out[0];
+        assert_eq!(*why, ExpiryReason::TcpTeardown);
+        assert_eq!(r.packets, 2);
+        assert_eq!(r.tcp_flags, crate::TCP_SYN | crate::TCP_FIN);
+        assert_eq!(c.active_flows(), 0);
+    }
+
+    #[test]
+    fn rst_also_tears_down_but_udp_does_not() {
+        let mut c = FlowCache::new(CacheConfig::default());
+        let out = c.observe(PacketObs {
+            key: key("10.0.0.1", 80, 6),
+            bytes: 40,
+            tcp_flags: crate::TCP_RST,
+            time_ms: 0,
+        });
+        assert_eq!(out.len(), 1);
+        // UDP packet with junk "flags" set must not tear down.
+        let out = c.observe(PacketObs {
+            key: key("10.0.0.2", 53, 17),
+            bytes: 40,
+            tcp_flags: crate::TCP_RST,
+            time_ms: 0,
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cache_full_evicts_oldest() {
+        let mut c = FlowCache::new(CacheConfig {
+            max_flows: 3,
+            idle_timeout_ms: u32::MAX,
+            active_timeout_ms: u32::MAX,
+        });
+        for (i, t) in [(1u8, 0u32), (2, 10), (3, 20), (4, 30)] {
+            let out = c.observe(pkt(key(&format!("10.0.0.{i}"), 80, 17), t));
+            if i == 4 {
+                assert_eq!(out.len(), 1);
+                assert_eq!(out[0].1, ExpiryReason::CacheFull);
+                assert_eq!(out[0].0.src_addr, "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+            } else {
+                assert!(out.is_empty());
+            }
+        }
+        assert_eq!(c.active_flows(), 3);
+    }
+
+    #[test]
+    fn distinct_keys_make_distinct_flows() {
+        let mut c = FlowCache::new(CacheConfig::default());
+        c.observe(pkt(key("10.0.0.1", 80, 6), 0));
+        c.observe(pkt(key("10.0.0.1", 81, 6), 0)); // different dst port
+        c.observe(pkt(key("10.0.0.1", 80, 17), 0)); // different proto
+        assert_eq!(c.active_flows(), 3);
+        assert_eq!(c.flush(0).len(), 3);
+        assert_eq!(c.expired_total(), 3);
+    }
+}

@@ -1,0 +1,238 @@
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// The seven NetFlow key fields that identify a flow (paper Figure 10):
+/// source/destination address, IP protocol, source/destination port, TOS
+/// byte and input interface index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IP address.
+    pub src_addr: Ipv4Addr,
+    /// Destination IP address.
+    pub dst_addr: Ipv4Addr,
+    /// IP protocol number (6 = TCP, 17 = UDP, 1 = ICMP, …).
+    pub protocol: u8,
+    /// Source transport port (0 when not applicable).
+    pub src_port: u16,
+    /// Destination transport port (0 when not applicable).
+    pub dst_port: u16,
+    /// Type-of-service byte (DSCP).
+    pub tos: u8,
+    /// SNMP index of the input interface.
+    pub input_if: u16,
+}
+
+/// A NetFlow version 5 flow record (the 48-byte wire record, minus padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Source IP address of the flow.
+    pub src_addr: Ipv4Addr,
+    /// Destination IP address of the flow.
+    pub dst_addr: Ipv4Addr,
+    /// Next-hop router address.
+    pub next_hop: Ipv4Addr,
+    /// SNMP index of the input interface.
+    pub input_if: u16,
+    /// SNMP index of the output interface.
+    pub output_if: u16,
+    /// Packets in the flow.
+    pub packets: u32,
+    /// Total layer-3 bytes in the flow's packets.
+    pub octets: u32,
+    /// SysUptime (ms) at the first packet of the flow.
+    pub first_ms: u32,
+    /// SysUptime (ms) at the last packet of the flow.
+    pub last_ms: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Cumulative OR of TCP flags seen.
+    pub tcp_flags: u8,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// Type-of-service byte.
+    pub tos: u8,
+    /// Autonomous system of the source (origin or peer, per router config).
+    pub src_as: u16,
+    /// Autonomous system of the destination.
+    pub dst_as: u16,
+    /// Source address prefix mask length.
+    pub src_mask: u8,
+    /// Destination address prefix mask length.
+    pub dst_mask: u8,
+}
+
+impl Default for FlowRecord {
+    fn default() -> FlowRecord {
+        FlowRecord {
+            src_addr: Ipv4Addr::UNSPECIFIED,
+            dst_addr: Ipv4Addr::UNSPECIFIED,
+            next_hop: Ipv4Addr::UNSPECIFIED,
+            input_if: 0,
+            output_if: 0,
+            packets: 0,
+            octets: 0,
+            first_ms: 0,
+            last_ms: 0,
+            src_port: 0,
+            dst_port: 0,
+            tcp_flags: 0,
+            protocol: 0,
+            tos: 0,
+            src_as: 0,
+            dst_as: 0,
+            src_mask: 0,
+            dst_mask: 0,
+        }
+    }
+}
+
+impl FlowRecord {
+    /// The key fields identifying this flow.
+    pub fn key(&self) -> FlowKey {
+        FlowKey {
+            src_addr: self.src_addr,
+            dst_addr: self.dst_addr,
+            protocol: self.protocol,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            tos: self.tos,
+            input_if: self.input_if,
+        }
+    }
+
+    /// Flow duration in milliseconds (`last - first`), saturating at zero
+    /// for malformed records.
+    pub fn duration_ms(&self) -> u32 {
+        self.last_ms.saturating_sub(self.first_ms)
+    }
+
+    /// Derives the five per-flow statistics the paper's analysis uses
+    /// (§5.1.2): byte count, packet count, duration, bit rate, packet rate.
+    pub fn stats(&self) -> FlowStats {
+        let duration_ms = self.duration_ms();
+        // Single-packet flows have zero duration; rates treat them as lasting
+        // one millisecond so they stay finite (flow-tools does the same).
+        let dur_s = (duration_ms.max(1) as f64) / 1000.0;
+        FlowStats {
+            bytes: self.octets as u64,
+            packets: self.packets as u64,
+            duration_ms: duration_ms as u64,
+            bits_per_sec: (self.octets as f64 * 8.0) / dur_s,
+            packets_per_sec: self.packets as f64 / dur_s,
+        }
+    }
+}
+
+/// The five observable flow characteristics used as NNS dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Total bytes across all packets of the flow.
+    pub bytes: u64,
+    /// Packet count.
+    pub packets: u64,
+    /// Flow duration in milliseconds.
+    pub duration_ms: u64,
+    /// Average bit rate over the flow's lifetime.
+    pub bits_per_sec: f64,
+    /// Average packet rate over the flow's lifetime.
+    pub packets_per_sec: f64,
+}
+
+impl FlowStats {
+    /// The statistics as an ordered feature vector
+    /// `[bytes, packets, duration_ms, bits/s, packets/s]`.
+    pub fn as_features(&self) -> [f64; 5] {
+        [
+            self.bytes as f64,
+            self.packets as f64,
+            self.duration_ms as f64,
+            self.bits_per_sec,
+            self.packets_per_sec,
+        ]
+    }
+
+    /// Number of features (NNS characteristics).
+    pub const FEATURES: usize = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FlowRecord {
+        FlowRecord {
+            src_addr: "10.1.2.3".parse().unwrap(),
+            dst_addr: "10.4.5.6".parse().unwrap(),
+            protocol: 6,
+            src_port: 1234,
+            dst_port: 80,
+            packets: 10,
+            octets: 5000,
+            first_ms: 1000,
+            last_ms: 3000,
+            ..FlowRecord::default()
+        }
+    }
+
+    #[test]
+    fn key_projects_the_seven_fields() {
+        let r = record();
+        let k = r.key();
+        assert_eq!(k.src_addr, r.src_addr);
+        assert_eq!(k.dst_addr, r.dst_addr);
+        assert_eq!(k.protocol, 6);
+        assert_eq!(k.src_port, 1234);
+        assert_eq!(k.dst_port, 80);
+        assert_eq!(k.tos, 0);
+        assert_eq!(k.input_if, 0);
+    }
+
+    #[test]
+    fn stats_rates_use_duration() {
+        let s = record().stats();
+        assert_eq!(s.bytes, 5000);
+        assert_eq!(s.packets, 10);
+        assert_eq!(s.duration_ms, 2000);
+        assert!((s.bits_per_sec - 20_000.0).abs() < 1e-9);
+        assert!((s.packets_per_sec - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_packet_flow_has_finite_rates() {
+        let r = FlowRecord {
+            packets: 1,
+            octets: 404, // a Slammer-sized UDP packet
+            first_ms: 500,
+            last_ms: 500,
+            protocol: 17,
+            ..FlowRecord::default()
+        };
+        let s = r.stats();
+        assert_eq!(s.duration_ms, 0);
+        assert!(s.bits_per_sec.is_finite());
+        assert!((s.bits_per_sec - 404.0 * 8.0 * 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn malformed_timestamps_saturate() {
+        let r = FlowRecord {
+            first_ms: 10,
+            last_ms: 5,
+            ..FlowRecord::default()
+        };
+        assert_eq!(r.duration_ms(), 0);
+    }
+
+    #[test]
+    fn feature_vector_order_is_stable() {
+        let s = record().stats();
+        let f = s.as_features();
+        assert_eq!(f[0], 5000.0);
+        assert_eq!(f[1], 10.0);
+        assert_eq!(f[2], 2000.0);
+        assert_eq!(FlowStats::FEATURES, 5);
+    }
+}

@@ -1,0 +1,378 @@
+//! NetFlow v1 and v7 wire formats, plus version-dispatched decoding.
+//!
+//! "Several versions of NetFlow are available with version 5 being the
+//! most commonly deployed" (§5.1.1). A collector in front of heterogeneous
+//! routers must accept at least v1 (the original, no sequence numbers, no
+//! AS information) and v7 (v5 plus the Catalyst `router_sc` field). Fields
+//! a version does not carry decode as zero and are dropped on encode.
+
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{Datagram, DecodeError, FlowRecord, Header, MAX_RECORDS_PER_DATAGRAM};
+
+const V1_HEADER_LEN: usize = 16;
+const V1_RECORD_LEN: usize = 48;
+const V7_HEADER_LEN: usize = 24;
+const V7_RECORD_LEN: usize = 52;
+
+/// Encodes records as a NetFlow **v1** datagram (16-byte header, 48-byte
+/// records; no flow sequence, no AS/mask fields).
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_RECORDS_PER_DATAGRAM`] records are given.
+pub fn encode_v1(sys_uptime_ms: u32, records: &[FlowRecord]) -> Bytes {
+    assert!(
+        records.len() <= MAX_RECORDS_PER_DATAGRAM,
+        "{} records exceed the per-datagram limit",
+        records.len()
+    );
+    let mut buf = BytesMut::with_capacity(V1_HEADER_LEN + records.len() * V1_RECORD_LEN);
+    buf.put_u16(1);
+    buf.put_u16(records.len() as u16);
+    buf.put_u32(sys_uptime_ms);
+    buf.put_u32(sys_uptime_ms / 1000);
+    buf.put_u32((sys_uptime_ms % 1000) * 1_000_000);
+    for r in records {
+        buf.put_u32(r.src_addr.into());
+        buf.put_u32(r.dst_addr.into());
+        buf.put_u32(r.next_hop.into());
+        buf.put_u16(r.input_if);
+        buf.put_u16(r.output_if);
+        buf.put_u32(r.packets);
+        buf.put_u32(r.octets);
+        buf.put_u32(r.first_ms);
+        buf.put_u32(r.last_ms);
+        buf.put_u16(r.src_port);
+        buf.put_u16(r.dst_port);
+        buf.put_u16(0); // pad
+        buf.put_u8(r.protocol);
+        buf.put_u8(r.tos);
+        buf.put_u8(r.tcp_flags);
+        buf.put_bytes(0, 7); // tcp_retx fields + pad, unused
+    }
+    buf.freeze()
+}
+
+/// Decodes a NetFlow **v1** datagram.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, wrong version, or a bad count.
+pub fn decode_v1(mut buf: &[u8]) -> Result<Datagram, DecodeError> {
+    if buf.len() < V1_HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            need: V1_HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    let version = buf.get_u16();
+    if version != 1 {
+        return Err(DecodeError::WrongVersion(version));
+    }
+    let count = buf.get_u16();
+    if count as usize > MAX_RECORDS_PER_DATAGRAM {
+        return Err(DecodeError::BadCount(count));
+    }
+    let header = Header {
+        version,
+        count,
+        sys_uptime_ms: buf.get_u32(),
+        unix_secs: buf.get_u32(),
+        unix_nsecs: buf.get_u32(),
+        flow_sequence: 0,
+        engine_type: 0,
+        engine_id: 0,
+        sampling_interval: 0,
+    };
+    let need = count as usize * V1_RECORD_LEN;
+    if buf.len() < need {
+        return Err(DecodeError::Truncated {
+            need: V1_HEADER_LEN + need,
+            have: V1_HEADER_LEN + buf.len(),
+        });
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let mut r = FlowRecord {
+            src_addr: Ipv4Addr::from(buf.get_u32()),
+            dst_addr: Ipv4Addr::from(buf.get_u32()),
+            next_hop: Ipv4Addr::from(buf.get_u32()),
+            input_if: buf.get_u16(),
+            output_if: buf.get_u16(),
+            packets: buf.get_u32(),
+            octets: buf.get_u32(),
+            first_ms: buf.get_u32(),
+            last_ms: buf.get_u32(),
+            src_port: buf.get_u16(),
+            dst_port: buf.get_u16(),
+            ..FlowRecord::default()
+        };
+        let _pad = buf.get_u16();
+        r.protocol = buf.get_u8();
+        r.tos = buf.get_u8();
+        r.tcp_flags = buf.get_u8();
+        buf.advance(7);
+        records.push(r);
+    }
+    Ok(Datagram { header, records })
+}
+
+/// Encodes records as a NetFlow **v7** datagram (24-byte header, 52-byte
+/// records: the v5 fields plus a `router_sc` word, always zero here).
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_RECORDS_PER_DATAGRAM`] records are given.
+pub fn encode_v7(flow_sequence: u32, sys_uptime_ms: u32, records: &[FlowRecord]) -> Bytes {
+    assert!(
+        records.len() <= MAX_RECORDS_PER_DATAGRAM,
+        "{} records exceed the per-datagram limit",
+        records.len()
+    );
+    let mut buf = BytesMut::with_capacity(V7_HEADER_LEN + records.len() * V7_RECORD_LEN);
+    buf.put_u16(7);
+    buf.put_u16(records.len() as u16);
+    buf.put_u32(sys_uptime_ms);
+    buf.put_u32(sys_uptime_ms / 1000);
+    buf.put_u32((sys_uptime_ms % 1000) * 1_000_000);
+    buf.put_u32(flow_sequence);
+    buf.put_u32(0); // reserved
+    for r in records {
+        buf.put_u32(r.src_addr.into());
+        buf.put_u32(r.dst_addr.into());
+        buf.put_u32(r.next_hop.into());
+        buf.put_u16(r.input_if);
+        buf.put_u16(r.output_if);
+        buf.put_u32(r.packets);
+        buf.put_u32(r.octets);
+        buf.put_u32(r.first_ms);
+        buf.put_u32(r.last_ms);
+        buf.put_u16(r.src_port);
+        buf.put_u16(r.dst_port);
+        buf.put_u8(0); // flags (shortcut invalidation)
+        buf.put_u8(r.tcp_flags);
+        buf.put_u8(r.protocol);
+        buf.put_u8(r.tos);
+        buf.put_u16(r.src_as);
+        buf.put_u16(r.dst_as);
+        buf.put_u8(r.src_mask);
+        buf.put_u8(r.dst_mask);
+        buf.put_u16(0); // pad
+        buf.put_u32(0); // router_sc
+    }
+    buf.freeze()
+}
+
+/// Decodes a NetFlow **v7** datagram.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, wrong version, or a bad count.
+pub fn decode_v7(mut buf: &[u8]) -> Result<Datagram, DecodeError> {
+    if buf.len() < V7_HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            need: V7_HEADER_LEN,
+            have: buf.len(),
+        });
+    }
+    let version = buf.get_u16();
+    if version != 7 {
+        return Err(DecodeError::WrongVersion(version));
+    }
+    let count = buf.get_u16();
+    if count as usize > MAX_RECORDS_PER_DATAGRAM {
+        return Err(DecodeError::BadCount(count));
+    }
+    let sys_uptime_ms = buf.get_u32();
+    let unix_secs = buf.get_u32();
+    let unix_nsecs = buf.get_u32();
+    let flow_sequence = buf.get_u32();
+    let _reserved = buf.get_u32();
+    let header = Header {
+        version,
+        count,
+        sys_uptime_ms,
+        unix_secs,
+        unix_nsecs,
+        flow_sequence,
+        engine_type: 0,
+        engine_id: 0,
+        sampling_interval: 0,
+    };
+    let need = count as usize * V7_RECORD_LEN;
+    if buf.len() < need {
+        return Err(DecodeError::Truncated {
+            need: V7_HEADER_LEN + need,
+            have: V7_HEADER_LEN + buf.len(),
+        });
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let src_addr = Ipv4Addr::from(buf.get_u32());
+        let dst_addr = Ipv4Addr::from(buf.get_u32());
+        let next_hop = Ipv4Addr::from(buf.get_u32());
+        let input_if = buf.get_u16();
+        let output_if = buf.get_u16();
+        let packets = buf.get_u32();
+        let octets = buf.get_u32();
+        let first_ms = buf.get_u32();
+        let last_ms = buf.get_u32();
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let _flags = buf.get_u8();
+        let tcp_flags = buf.get_u8();
+        let protocol = buf.get_u8();
+        let tos = buf.get_u8();
+        let src_as = buf.get_u16();
+        let dst_as = buf.get_u16();
+        let src_mask = buf.get_u8();
+        let dst_mask = buf.get_u8();
+        let _pad = buf.get_u16();
+        let _router_sc = buf.get_u32();
+        records.push(FlowRecord {
+            src_addr,
+            dst_addr,
+            next_hop,
+            input_if,
+            output_if,
+            packets,
+            octets,
+            first_ms,
+            last_ms,
+            src_port,
+            dst_port,
+            tcp_flags,
+            protocol,
+            tos,
+            src_as,
+            dst_as,
+            src_mask,
+            dst_mask,
+        });
+    }
+    Ok(Datagram { header, records })
+}
+
+/// Decodes a datagram of any supported version (1, 5 or 7) by inspecting
+/// the leading version field — what a collector fronting heterogeneous
+/// exporters must do.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::WrongVersion`] for unsupported versions and the
+/// usual truncation errors otherwise.
+pub fn decode_any(buf: &[u8]) -> Result<Datagram, DecodeError> {
+    if buf.len() < 2 {
+        return Err(DecodeError::Truncated {
+            need: 2,
+            have: buf.len(),
+        });
+    }
+    match u16::from_be_bytes([buf[0], buf[1]]) {
+        1 => decode_v1(buf),
+        5 => Datagram::decode(buf),
+        7 => decode_v7(buf),
+        other => Err(DecodeError::WrongVersion(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u32) -> FlowRecord {
+        FlowRecord {
+            src_addr: Ipv4Addr::from(0x03000000 + i),
+            dst_addr: "96.1.0.20".parse().unwrap(),
+            next_hop: "89.0.0.1".parse().unwrap(),
+            input_if: 3,
+            output_if: 9,
+            packets: 10 + i,
+            octets: 1000 + i,
+            first_ms: 500,
+            last_ms: 900,
+            src_port: 40_000,
+            dst_port: 80,
+            tcp_flags: 0x1b,
+            protocol: 6,
+            tos: 0,
+            src_as: 65_001,
+            dst_as: 65_002,
+            src_mask: 11,
+            dst_mask: 16,
+        }
+    }
+
+    /// The fields v1 carries, zeroing what it does not.
+    fn v1_view(mut r: FlowRecord) -> FlowRecord {
+        r.src_as = 0;
+        r.dst_as = 0;
+        r.src_mask = 0;
+        r.dst_mask = 0;
+        r
+    }
+
+    #[test]
+    fn v1_round_trip_drops_only_as_fields() {
+        let records: Vec<FlowRecord> = (0..7).map(record).collect();
+        let bytes = encode_v1(42_000, &records);
+        assert_eq!(bytes.len(), 16 + 7 * 48);
+        let decoded = decode_v1(&bytes).unwrap();
+        assert_eq!(decoded.header.version, 1);
+        assert_eq!(decoded.header.flow_sequence, 0);
+        for (got, want) in decoded.records.iter().zip(&records) {
+            assert_eq!(*got, v1_view(*want));
+        }
+    }
+
+    #[test]
+    fn v7_round_trip_preserves_everything() {
+        let records: Vec<FlowRecord> = (0..5).map(record).collect();
+        let bytes = encode_v7(1234, 42_000, &records);
+        assert_eq!(bytes.len(), 24 + 5 * 52);
+        let decoded = decode_v7(&bytes).unwrap();
+        assert_eq!(decoded.header.version, 7);
+        assert_eq!(decoded.header.flow_sequence, 1234);
+        assert_eq!(decoded.records, records);
+    }
+
+    #[test]
+    fn decode_any_dispatches_on_version() {
+        let records: Vec<FlowRecord> = (0..3).map(record).collect();
+        let v1 = decode_any(&encode_v1(0, &records)).unwrap();
+        assert_eq!(v1.header.version, 1);
+        let v5 = decode_any(&Datagram::new(9, 0, &records).encode()).unwrap();
+        assert_eq!(v5.header.version, 5);
+        assert_eq!(v5.records, records);
+        let v7 = decode_any(&encode_v7(9, 0, &records)).unwrap();
+        assert_eq!(v7.header.version, 7);
+        assert_eq!(
+            decode_any(&[0, 9, 0, 0]),
+            Err(DecodeError::WrongVersion(9))
+        );
+        assert!(matches!(
+            decode_any(&[0]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_count_checks_per_version() {
+        let bytes = encode_v1(0, &[record(0)]);
+        assert!(matches!(decode_v1(&bytes[..20]), Err(DecodeError::Truncated { .. })));
+        let bytes = encode_v7(0, 0, &[record(0)]);
+        assert!(matches!(decode_v7(&bytes[..30]), Err(DecodeError::Truncated { .. })));
+        let mut bad = encode_v7(0, 0, &[record(0)]).to_vec();
+        bad[2] = 0;
+        bad[3] = 31;
+        assert_eq!(decode_v7(&bad), Err(DecodeError::BadCount(31)));
+        // Cross-version confusion is rejected.
+        assert!(matches!(
+            decode_v1(&encode_v7(0, 0, &[record(0)])),
+            Err(DecodeError::WrongVersion(7))
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: flow-cache conservation and wire-format robustness.
+
+use infilter_netflow::{CacheConfig, Datagram, FlowCache, FlowKey, PacketObs};
+use proptest::prelude::*;
+
+fn arb_packet() -> impl Strategy<Value = PacketObs> {
+    (
+        0u32..16,   // src addr low bits (few hosts → flows aggregate)
+        0u32..4,    // dst addr low bits
+        0u16..4,    // port variety
+        any::<bool>(),
+        0u32..2000, // bytes
+        0u32..100_000,
+        0u8..8,
+    )
+        .prop_map(|(src, dst, port, tcp, bytes, time_ms, flags)| PacketObs {
+            key: FlowKey {
+                src_addr: (0x0a000000 + src).into(),
+                dst_addr: (0x60010000 + dst).into(),
+                protocol: if tcp { 6 } else { 17 },
+                src_port: 1024 + port,
+                dst_port: 80,
+                tos: 0,
+                input_if: 1,
+            },
+            bytes: bytes.max(28),
+            tcp_flags: if tcp { flags } else { 0 },
+            time_ms,
+        })
+}
+
+proptest! {
+    #[test]
+    fn cache_conserves_packets_and_bytes(
+        mut packets in proptest::collection::vec(arb_packet(), 1..200),
+        max_flows in 1usize..32,
+    ) {
+        packets.sort_by_key(|p| p.time_ms);
+        let mut cache = FlowCache::new(CacheConfig {
+            idle_timeout_ms: 10_000,
+            active_timeout_ms: 50_000,
+            max_flows,
+        });
+        let mut out = Vec::new();
+        for p in &packets {
+            out.extend(cache.observe(*p));
+        }
+        out.extend(cache.flush(u32::MAX));
+        let total_packets: u64 = out.iter().map(|(r, _)| r.packets as u64).sum();
+        let total_bytes: u64 = out.iter().map(|(r, _)| r.octets as u64).sum();
+        prop_assert_eq!(total_packets, packets.len() as u64, "packets conserved");
+        prop_assert_eq!(total_bytes, packets.iter().map(|p| p.bytes as u64).sum::<u64>());
+        // Cache fully drained.
+        prop_assert_eq!(cache.active_flows(), 0);
+        prop_assert_eq!(cache.expired_total(), out.len() as u64);
+        // Every record's interval is sane.
+        for (r, _) in &out {
+            prop_assert!(r.first_ms <= r.last_ms);
+            prop_assert!(r.packets >= 1);
+        }
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        mut packets in proptest::collection::vec(arb_packet(), 1..300),
+        max_flows in 1usize..8,
+    ) {
+        packets.sort_by_key(|p| p.time_ms);
+        let mut cache = FlowCache::new(CacheConfig {
+            idle_timeout_ms: u32::MAX,
+            active_timeout_ms: u32::MAX,
+            max_flows,
+        });
+        for p in &packets {
+            cache.observe(*p);
+            prop_assert!(cache.active_flows() <= max_flows);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Datagram::decode(&bytes);
+    }
+
+    #[test]
+    fn flipping_one_byte_never_panics(
+        n_records in 1usize..8,
+        flip in any::<prop::sample::Index>(),
+        value in any::<u8>(),
+    ) {
+        let records: Vec<_> = (0..n_records)
+            .map(|i| infilter_netflow::FlowRecord {
+                packets: i as u32,
+                ..infilter_netflow::FlowRecord::default()
+            })
+            .collect();
+        let mut bytes = Datagram::new(0, 0, &records).encode().to_vec();
+        let idx = flip.index(bytes.len());
+        bytes[idx] = value;
+        let _ = Datagram::decode(&bytes);
+    }
+}

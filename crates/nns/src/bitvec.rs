@@ -1,0 +1,198 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bit vector over `{0,1}^d`, packed into 64-bit words.
+///
+/// Supports the three primitives the KOR algorithms need: bit access,
+/// Hamming distance (XOR + popcount) and inner product mod 2 (AND +
+/// popcount parity).
+///
+/// # Examples
+///
+/// ```
+/// use infilter_nns::BitVec;
+///
+/// let mut a = BitVec::zeros(10);
+/// a.set(3, true);
+/// a.set(7, true);
+/// let mut b = BitVec::zeros(10);
+/// b.set(3, true);
+/// assert_eq!(a.hamming(&b), 1);
+/// assert_eq!(a.dot_mod2(&b), 1);
+/// assert_eq!(a.count_ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of length `len`.
+    pub fn zeros(len: usize) -> BitVec {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Builds a vector from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> BitVec {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zeros(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// The vector length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> u32 {
+        assert_eq!(self.len, other.len, "length mismatch in hamming distance");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Inner product modulo 2 (the KOR `Test` procedure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot_mod2(&self, other: &BitVec) -> u8 {
+        assert_eq!(self.len, other.len, "length mismatch in inner product");
+        let ones: u32 = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum();
+        (ones & 1) as u8
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.get(129));
+    }
+
+    #[test]
+    fn set_get_round_trip_across_word_boundaries() {
+        let mut v = BitVec::zeros(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            v.set(i, true);
+            assert!(v.get(i), "bit {i}");
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    fn hamming_is_a_metric_on_samples() {
+        let a = BitVec::from_bits([true, false, true, true, false]);
+        let b = BitVec::from_bits([true, true, true, false, false]);
+        let c = BitVec::from_bits([false, true, false, false, true]);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+        assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        assert_eq!(a.hamming(&b), 2);
+    }
+
+    #[test]
+    fn dot_mod2_matches_definition() {
+        let a = BitVec::from_bits([true, true, false, true]);
+        let b = BitVec::from_bits([true, false, true, true]);
+        // overlap at positions 0 and 3 → parity 0.
+        assert_eq!(a.dot_mod2(&b), 0);
+        let c = BitVec::from_bits([true, false, false, false]);
+        assert_eq!(a.dot_mod2(&c), 1);
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let v = BitVec::from_bits([true, true, true, false, false]);
+        assert_eq!(v.to_string(), "11100");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hamming_length_mismatch_panics() {
+        let _ = BitVec::zeros(4).hamming(&BitVec::zeros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = BitVec::zeros(4).get(4);
+    }
+}

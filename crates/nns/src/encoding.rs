@@ -1,0 +1,295 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::BitVec;
+
+/// The value range `[min, max]` of one flow characteristic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Lower bound of the range (`a` in the paper).
+    pub min: f64,
+    /// Upper bound of the range (`b` in the paper).
+    pub max: f64,
+}
+
+impl FeatureSpec {
+    /// Creates a range spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not strictly below `max` or either is non-finite.
+    pub fn new(min: f64, max: f64) -> FeatureSpec {
+        assert!(min.is_finite() && max.is_finite(), "bounds must be finite");
+        assert!(min < max, "empty feature range [{min}, {max}]");
+        FeatureSpec { min, max }
+    }
+}
+
+/// Errors from building a [`UnaryEncoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncoderError {
+    /// No features were given.
+    NoFeatures,
+    /// `bits_per_feature` was zero.
+    NoBits,
+}
+
+impl fmt::Display for EncoderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncoderError::NoFeatures => write!(f, "encoder needs at least one feature"),
+            EncoderError::NoBits => write!(f, "bits per feature must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for EncoderError {}
+
+/// Unary (thermometer) encoder mapping feature vectors into the Hamming
+/// cube (paper §4.2).
+///
+/// Each feature's range is divided into `bits_per_feature` equal intervals;
+/// a value in the `I`-th interval becomes `I` ones followed by zeros, and
+/// the per-feature Hamming distance equals the interval (L1) distance.
+/// Values outside the range clamp to the boundary intervals — out-of-range
+/// traffic (e.g. a flood far bigger than anything in training) saturates at
+/// maximal distance rather than failing.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_nns::{FeatureSpec, UnaryEncoder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's worked example: X1 = 3 in [0,5] over 5 bits → 11100;
+/// // X2 = 6 in [0,10] over 10 bits → 1111110000.
+/// let enc = UnaryEncoder::with_uneven_bits(
+///     vec![(FeatureSpec::new(0.0, 5.0), 5), (FeatureSpec::new(0.0, 10.0), 10)],
+/// )?;
+/// assert_eq!(enc.encode(&[3.0, 6.0]).to_string(), "111001111110000");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnaryEncoder {
+    features: Vec<(FeatureSpec, usize)>,
+    dimension: usize,
+}
+
+impl UnaryEncoder {
+    /// Creates an encoder giving every feature the same number of bits
+    /// (`d = specs.len() × bits_per_feature`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncoderError`] if `specs` is empty or `bits_per_feature`
+    /// is zero.
+    pub fn new(specs: Vec<FeatureSpec>, bits_per_feature: usize) -> Result<UnaryEncoder, EncoderError> {
+        Self::with_uneven_bits(specs.into_iter().map(|s| (s, bits_per_feature)).collect())
+    }
+
+    /// Creates an encoder with a per-feature bit budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncoderError`] if no features are given or any budget is 0.
+    pub fn with_uneven_bits(
+        features: Vec<(FeatureSpec, usize)>,
+    ) -> Result<UnaryEncoder, EncoderError> {
+        if features.is_empty() {
+            return Err(EncoderError::NoFeatures);
+        }
+        if features.iter().any(|&(_, bits)| bits == 0) {
+            return Err(EncoderError::NoBits);
+        }
+        let dimension = features.iter().map(|&(_, b)| b).sum();
+        Ok(UnaryEncoder {
+            features,
+            dimension,
+        })
+    }
+
+    /// Derives feature ranges from training samples (min/max per feature,
+    /// padded by 5 % so near-boundary queries don't saturate immediately).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncoderError::NoFeatures`] if `samples` is empty or has
+    /// empty rows, [`EncoderError::NoBits`] if `bits_per_feature` is zero.
+    pub fn from_samples(
+        samples: &[Vec<f64>],
+        bits_per_feature: usize,
+    ) -> Result<UnaryEncoder, EncoderError> {
+        let n_features = samples.first().map(Vec::len).unwrap_or(0);
+        if n_features == 0 {
+            return Err(EncoderError::NoFeatures);
+        }
+        let mut specs = Vec::with_capacity(n_features);
+        for f in 0..n_features {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for s in samples {
+                lo = lo.min(s[f]);
+                hi = hi.max(s[f]);
+            }
+            let pad = ((hi - lo) * 0.05).max(1e-9);
+            specs.push(FeatureSpec::new(lo - pad, hi + pad));
+        }
+        UnaryEncoder::new(specs, bits_per_feature)
+    }
+
+    /// Total encoded dimension `d`.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of features.
+    pub fn feature_count(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The interval index (number of leading ones) feature `idx` assigns to
+    /// `value`, clamped to `[0, bits]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn interval(&self, idx: usize, value: f64) -> usize {
+        let (spec, bits) = self.features[idx];
+        if !value.is_finite() {
+            return if value > 0.0 { bits } else { 0 };
+        }
+        let frac = (value - spec.min) / (spec.max - spec.min);
+        ((frac * bits as f64).floor().max(0.0) as usize).min(bits)
+    }
+
+    /// Encodes a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the encoder's feature count.
+    pub fn encode(&self, features: &[f64]) -> BitVec {
+        assert_eq!(
+            features.len(),
+            self.features.len(),
+            "expected {} features, got {}",
+            self.features.len(),
+            features.len()
+        );
+        let mut v = BitVec::zeros(self.dimension);
+        let mut offset = 0;
+        for (idx, &value) in features.iter().enumerate() {
+            let (_, bits) = self.features[idx];
+            let ones = self.interval(idx, value);
+            for i in 0..ones {
+                v.set(offset + i, true);
+            }
+            offset += bits;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        let enc = UnaryEncoder::with_uneven_bits(vec![
+            (FeatureSpec::new(0.0, 5.0), 5),
+            (FeatureSpec::new(0.0, 10.0), 10),
+        ])
+        .unwrap();
+        assert_eq!(enc.dimension(), 15);
+        assert_eq!(enc.encode(&[3.0, 6.0]).to_string(), "111001111110000");
+    }
+
+    #[test]
+    fn distance_is_l1_in_interval_space() {
+        let enc = UnaryEncoder::new(vec![FeatureSpec::new(0.0, 100.0)], 50).unwrap();
+        let a = enc.encode(&[10.0]);
+        let b = enc.encode(&[30.0]);
+        // 10 → interval 5, 30 → interval 15: distance 10.
+        assert_eq!(a.hamming(&b), 10);
+        // Monotone: closer values → smaller distance.
+        let c = enc.encode(&[12.0]);
+        assert!(a.hamming(&c) < a.hamming(&b));
+    }
+
+    #[test]
+    fn multi_feature_distance_adds() {
+        let enc = UnaryEncoder::new(
+            vec![FeatureSpec::new(0.0, 10.0), FeatureSpec::new(0.0, 10.0)],
+            10,
+        )
+        .unwrap();
+        let a = enc.encode(&[2.0, 3.0]);
+        let b = enc.encode(&[5.0, 7.0]);
+        assert_eq!(a.hamming(&b), 3 + 4);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let enc = UnaryEncoder::new(vec![FeatureSpec::new(0.0, 10.0)], 8).unwrap();
+        assert_eq!(enc.encode(&[-5.0]).count_ones(), 0);
+        assert_eq!(enc.encode(&[1e12]).count_ones(), 8);
+        assert_eq!(enc.encode(&[f64::INFINITY]).count_ones(), 8);
+        assert_eq!(enc.encode(&[f64::NEG_INFINITY]).count_ones(), 0);
+    }
+
+    #[test]
+    fn nan_clamps_low() {
+        let enc = UnaryEncoder::new(vec![FeatureSpec::new(0.0, 10.0)], 8).unwrap();
+        assert_eq!(enc.encode(&[f64::NAN]).count_ones(), 0);
+    }
+
+    #[test]
+    fn from_samples_covers_training_data() {
+        let samples = vec![vec![5.0, 100.0], vec![10.0, 400.0], vec![7.5, 250.0]];
+        let enc = UnaryEncoder::from_samples(&samples, 16).unwrap();
+        assert_eq!(enc.dimension(), 32);
+        // No training value saturates the encoding, and the extremes are
+        // separated by most of the interval span.
+        for s in &samples {
+            assert!(enc.encode(s).count_ones() < 32);
+        }
+        let lo = enc.encode(&samples[0]);
+        let hi = enc.encode(&samples[1]);
+        assert!(lo.hamming(&hi) >= 24, "distance {}", lo.hamming(&hi));
+    }
+
+    #[test]
+    fn constructor_errors() {
+        assert_eq!(
+            UnaryEncoder::new(vec![], 8).unwrap_err(),
+            EncoderError::NoFeatures
+        );
+        assert_eq!(
+            UnaryEncoder::new(vec![FeatureSpec::new(0.0, 1.0)], 0).unwrap_err(),
+            EncoderError::NoBits
+        );
+        assert_eq!(
+            UnaryEncoder::from_samples(&[], 8).unwrap_err(),
+            EncoderError::NoFeatures
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty feature range")]
+    fn degenerate_spec_panics() {
+        FeatureSpec::new(5.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn encode_wrong_arity_panics() {
+        let enc = UnaryEncoder::new(
+            vec![FeatureSpec::new(0.0, 1.0), FeatureSpec::new(0.0, 1.0)],
+            4,
+        )
+        .unwrap();
+        enc.encode(&[0.5]);
+    }
+}

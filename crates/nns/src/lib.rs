@@ -1,0 +1,49 @@
+//! The Kushilevitz–Ostrovsky–Rabani (KOR) approximate nearest-neighbour
+//! search used by Enhanced InFilter (paper §4.2, Figures 6–8).
+//!
+//! Flows are represented as points in the Hamming cube by **unary encoding**
+//! each of their characteristics: a value falling in the `I`-th of `d_c`
+//! equal intervals becomes `I` ones followed by `d_c − I` zeros, so the
+//! Hamming distance between two encodings is the L1 distance in interval
+//! space. The paper uses five flow characteristics × 144 bits = `d = 720`.
+//!
+//! The search structure holds one substructure per distance scale
+//! `t = 1..=d`. A substructure contains `M1` tables; each table has `M2`
+//! random *test vectors* (each bit set with probability `b/2`, `b = 1/(2t)`)
+//! and `2^M2` entries. A point's **trace** in a table is the `M2`-bit string
+//! of inner products (mod 2) with the test vectors; at build time the point
+//! is entered at every index within Hamming distance `< M3` of its trace.
+//! Search is a binary search over scales: a non-empty entry at scale `t`
+//! means a training point is likely within distance ~`t`, so the search
+//! continues among smaller scales. Paper parameters: `M1 = 1`, `M2 = 12`,
+//! `M3 = 3`.
+//!
+//! # Examples
+//!
+//! ```
+//! use infilter_nns::{FeatureSpec, NnsParams, NnsStructure, UnaryEncoder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let enc = UnaryEncoder::new(
+//!     vec![FeatureSpec::new(0.0, 5.0), FeatureSpec::new(0.0, 10.0)],
+//!     8,
+//! )?;
+//! let train: Vec<_> = [[1.0, 2.0], [4.0, 9.0]].iter().map(|f| enc.encode(f)).collect();
+//! let params = NnsParams { d: enc.dimension(), m1: 1, m2: 6, m3: 2 };
+//! let index = NnsStructure::build(&train, params, 7)?;
+//! let hit = index.search(&enc.encode(&[1.2, 2.3])).unwrap();
+//! assert_eq!(hit.index, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod encoding;
+mod structure;
+
+pub use bitvec::BitVec;
+pub use encoding::{EncoderError, FeatureSpec, UnaryEncoder};
+pub use structure::{linear_nn, BuildError, NnResult, NnsParams, NnsStructure};

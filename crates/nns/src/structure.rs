@@ -1,0 +1,486 @@
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::BitVec;
+
+/// Parameters of the KOR structure (paper Figure 6; defaults from §4.2:
+/// `d = 720`, `M1 = 1`, `M2 = 12`, `M3 = 3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NnsParams {
+    /// Point dimension; also the number of distance-scale substructures.
+    pub d: usize,
+    /// Tables per substructure.
+    pub m1: usize,
+    /// Test vectors per table (table size is `2^m2`).
+    pub m2: usize,
+    /// Trace-ball radius used at build time (points enter every index
+    /// within Hamming distance `< m3` of their trace).
+    pub m3: usize,
+}
+
+impl Default for NnsParams {
+    fn default() -> NnsParams {
+        NnsParams {
+            d: 720,
+            m1: 1,
+            m2: 12,
+            m3: 3,
+        }
+    }
+}
+
+/// The outcome of a search: which training point was found and its exact
+/// Hamming distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NnResult {
+    /// Index of the found point in the training slice passed to
+    /// [`NnsStructure::build`].
+    pub index: usize,
+    /// Exact Hamming distance between the query and that point.
+    pub distance: u32,
+}
+
+/// Errors from [`NnsStructure::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// A training point's length disagreed with `params.d`.
+    DimensionMismatch {
+        /// Index of the offending point.
+        index: usize,
+        /// Its length.
+        got: usize,
+        /// The expected dimension.
+        expected: usize,
+    },
+    /// `m2` exceeds the 24-bit table-size cap or a parameter was zero.
+    BadParams(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyTrainingSet => write!(f, "training set is empty"),
+            BuildError::DimensionMismatch {
+                index,
+                got,
+                expected,
+            } => write!(f, "point {index} has dimension {got}, expected {expected}"),
+            BuildError::BadParams(msg) => write!(f, "bad parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// One table `T_ij`: `M2` test vectors plus a `2^M2`-entry table holding a
+/// training-point index per entry (`u32::MAX` = empty). Where several
+/// points' trace balls overlap an entry, the point whose trace is closest
+/// to the entry index wins (`entry_dist` tracks the current winner's trace
+/// distance); the original algorithm stores all of them and returns an
+/// arbitrary one, so keeping the best-anchored point is a faithful,
+/// memory-bounded refinement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Table {
+    test_vectors: Vec<BitVec>,
+    entries: Vec<u32>,
+    entry_dist: Vec<u8>,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl Table {
+    fn trace(&self, point: &BitVec) -> usize {
+        let mut z = 0usize;
+        for (k, u) in self.test_vectors.iter().enumerate() {
+            if u.dot_mod2(point) == 1 {
+                z |= 1 << k;
+            }
+        }
+        z
+    }
+}
+
+/// The KOR search structure over a cluster of training points.
+///
+/// Build cost is `O(n · d · M1 · (M2·d/64 + ball(M2, M3)))`; search cost is
+/// `O(log d · M1 · M2 · d/64)` — "at most quadratic in the dimension" as the
+/// paper puts it. Memory is `O(d · M1 · 2^M2)` entries, polynomial in the
+/// training-set size as guaranteed by [KOR].
+///
+/// # Examples
+///
+/// ```
+/// use infilter_nns::{BitVec, NnsParams, NnsStructure};
+///
+/// let train = vec![
+///     BitVec::from_bits((0..32).map(|i| i < 4)),   // 4 leading ones
+///     BitVec::from_bits((0..32).map(|i| i < 28)),  // 28 leading ones
+/// ];
+/// let params = NnsParams { d: 32, m1: 2, m2: 8, m3: 2 };
+/// let s = NnsStructure::build(&train, params, 1).unwrap();
+/// let q = BitVec::from_bits((0..32).map(|i| i < 5));
+/// assert_eq!(s.search(&q).unwrap().index, 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NnsStructure {
+    params: NnsParams,
+    /// `substructures[t-1][j]` is table `T_tj` at distance scale `t`.
+    substructures: Vec<Vec<Table>>,
+    points: Vec<BitVec>,
+    seed: u64,
+}
+
+impl NnsStructure {
+    /// Builds the structure over `points` (Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for an empty training set, inconsistent
+    /// dimensions, or unusable parameters.
+    pub fn build(points: &[BitVec], params: NnsParams, seed: u64) -> Result<NnsStructure, BuildError> {
+        if points.is_empty() {
+            return Err(BuildError::EmptyTrainingSet);
+        }
+        if params.d == 0 || params.m1 == 0 || params.m2 == 0 {
+            return Err(BuildError::BadParams("d, m1, m2 must be positive".into()));
+        }
+        if params.m2 > 24 {
+            return Err(BuildError::BadParams(format!(
+                "m2 = {} would allocate 2^{} table entries",
+                params.m2, params.m2
+            )));
+        }
+        if params.m3 > params.m2 {
+            return Err(BuildError::BadParams(format!(
+                "m3 = {} exceeds m2 = {}",
+                params.m3, params.m2
+            )));
+        }
+        for (index, p) in points.iter().enumerate() {
+            if p.len() != params.d {
+                return Err(BuildError::DimensionMismatch {
+                    index,
+                    got: p.len(),
+                    expected: params.d,
+                });
+            }
+        }
+
+        let ball = ball_masks(params.m2, params.m3);
+        let mut substructures = Vec::with_capacity(params.d);
+        for t in 1..=params.d {
+            let mut tables = Vec::with_capacity(params.m1);
+            for j in 0..params.m1 {
+                let mut rng = StdRng::seed_from_u64(mix(seed, &(t, j)));
+                // CreateTestVector with b = 1/(2t): each bit set w.p. b/2.
+                let b = 1.0 / (2.0 * t as f64);
+                let p_one = (b / 2.0).min(0.5);
+                let test_vectors: Vec<BitVec> = (0..params.m2)
+                    .map(|_| BitVec::from_bits((0..params.d).map(|_| rng.gen_bool(p_one))))
+                    .collect();
+                let mut table = Table {
+                    test_vectors,
+                    entries: vec![EMPTY; 1 << params.m2],
+                    entry_dist: vec![u8::MAX; 1 << params.m2],
+                };
+                for (idx, p) in points.iter().enumerate() {
+                    let z = table.trace(p);
+                    for &mask in &ball {
+                        let dist = mask.count_ones() as u8;
+                        let slot = z ^ mask;
+                        if dist < table.entry_dist[slot] {
+                            table.entry_dist[slot] = dist;
+                            table.entries[slot] = idx as u32;
+                        }
+                    }
+                }
+                tables.push(table);
+            }
+            substructures.push(tables);
+        }
+        Ok(NnsStructure {
+            params,
+            substructures,
+            points: points.to_vec(),
+            seed,
+        })
+    }
+
+    /// The build parameters.
+    pub fn params(&self) -> NnsParams {
+        self.params
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the structure holds no points (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The training point at `index`.
+    pub fn point(&self, index: usize) -> &BitVec {
+        &self.points[index]
+    }
+
+    /// Approximate nearest-neighbour search (Figure 8): binary search over
+    /// distance scales; at scale `t` the tables of `S_t` are probed at the
+    /// query's trace; a non-empty entry steers the search to smaller scales.
+    /// Among every candidate the probes surface, the one with the smallest
+    /// *exact* Hamming distance to the query is returned (the original
+    /// algorithm returns the flow of the last non-empty entry; verifying
+    /// candidates exactly is cheap and strictly improves accuracy). Returns
+    /// `None` if every probe missed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from `params.d`.
+    pub fn search(&self, query: &BitVec) -> Option<NnResult> {
+        assert_eq!(query.len(), self.params.d, "query dimension mismatch");
+        let mut lo = 1usize;
+        let mut hi = self.params.d;
+        let mut best: Option<NnResult> = None;
+        while lo <= hi {
+            let t = lo + (hi - lo) / 2;
+            let mut hit = false;
+            for table in &self.substructures[t - 1] {
+                let z = table.trace(query);
+                let entry = table.entries[z];
+                if entry != EMPTY {
+                    hit = true;
+                    let index = entry as usize;
+                    let distance = self.points[index].hamming(query);
+                    if best.is_none_or(|b| (distance, index) < (b.distance, b.index)) {
+                        best = Some(NnResult { index, distance });
+                    }
+                }
+            }
+            if hit {
+                if t == 1 {
+                    break;
+                }
+                hi = t - 1;
+            } else {
+                lo = t + 1;
+            }
+        }
+        best
+    }
+}
+
+/// Exact linear-scan nearest neighbour, used as the oracle in tests and for
+/// threshold calibration. Ties break on the lower index.
+pub fn linear_nn(points: &[BitVec], query: &BitVec) -> Option<NnResult> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(index, p)| NnResult {
+            index,
+            distance: p.hamming(query),
+        })
+        .min_by_key(|r| (r.distance, r.index))
+}
+
+/// All `m2`-bit masks with popcount `< m3` (the trace ball).
+fn ball_masks(m2: usize, m3: usize) -> Vec<usize> {
+    (0..(1usize << m2))
+        .filter(|z| (z.count_ones() as usize) < m3.max(1))
+        .collect()
+}
+
+fn mix<T: Hash>(seed: u64, value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unary_point(d: usize, ones: usize) -> BitVec {
+        BitVec::from_bits((0..d).map(|i| i < ones))
+    }
+
+    #[test]
+    fn ball_masks_match_binomial_sums() {
+        // m2=12, m3=3: C(12,0)+C(12,1)+C(12,2) = 79 — the paper's setting.
+        assert_eq!(ball_masks(12, 3).len(), 79);
+        assert_eq!(ball_masks(6, 1).len(), 1);
+        assert_eq!(ball_masks(6, 2).len(), 7);
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        let params = NnsParams {
+            d: 16,
+            m1: 1,
+            m2: 6,
+            m3: 2,
+        };
+        assert_eq!(
+            NnsStructure::build(&[], params, 0).unwrap_err(),
+            BuildError::EmptyTrainingSet
+        );
+        let wrong = vec![unary_point(8, 2)];
+        assert!(matches!(
+            NnsStructure::build(&wrong, params, 0).unwrap_err(),
+            BuildError::DimensionMismatch {
+                index: 0,
+                got: 8,
+                expected: 16
+            }
+        ));
+        let p = vec![unary_point(16, 2)];
+        assert!(matches!(
+            NnsStructure::build(&p, NnsParams { m2: 30, ..params }, 0).unwrap_err(),
+            BuildError::BadParams(_)
+        ));
+        assert!(matches!(
+            NnsStructure::build(&p, NnsParams { m3: 7, ..params }, 0).unwrap_err(),
+            BuildError::BadParams(_)
+        ));
+        assert!(matches!(
+            NnsStructure::build(&p, NnsParams { m1: 0, ..params }, 0).unwrap_err(),
+            BuildError::BadParams(_)
+        ));
+    }
+
+    #[test]
+    fn query_equal_to_training_point_finds_it_at_distance_zero() {
+        let d = 48;
+        let points: Vec<BitVec> = (0..6).map(|i| unary_point(d, i * 8)).collect();
+        let params = NnsParams {
+            d,
+            m1: 3,
+            m2: 8,
+            m3: 2,
+        };
+        let s = NnsStructure::build(&points, params, 11).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            let r = s.search(p).expect("training point must be found");
+            assert_eq!(r.distance, points[r.index].hamming(p));
+            assert_eq!(
+                r.index, i,
+                "expected exact hit for training point {i}, got {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn near_query_finds_the_near_cluster() {
+        // Two well-separated unary clusters; queries near one must not
+        // resolve to the other.
+        let d = 64;
+        let mut points = Vec::new();
+        for ones in [2usize, 3, 4] {
+            points.push(unary_point(d, ones));
+        }
+        for ones in [58usize, 59, 60] {
+            points.push(unary_point(d, ones));
+        }
+        let params = NnsParams {
+            d,
+            m1: 4,
+            m2: 10,
+            m3: 3,
+        };
+        let s = NnsStructure::build(&points, params, 3).unwrap();
+        let near_low = unary_point(d, 5);
+        let r = s.search(&near_low).expect("hit");
+        assert!(r.index < 3, "query near low cluster resolved to {r:?}");
+        let near_high = unary_point(d, 57);
+        let r = s.search(&near_high).expect("hit");
+        assert!(r.index >= 3, "query near high cluster resolved to {r:?}");
+    }
+
+    #[test]
+    fn approximation_quality_vs_linear_oracle() {
+        // On random unary data the returned distance should rarely exceed a
+        // small multiple of the true NN distance.
+        let d = 96;
+        let mut rng = StdRng::seed_from_u64(9);
+        let points: Vec<BitVec> = (0..40)
+            .map(|_| unary_point(d, rng.gen_range(0..=d)))
+            .collect();
+        let params = NnsParams {
+            d,
+            m1: 4,
+            m2: 10,
+            m3: 3,
+        };
+        let s = NnsStructure::build(&points, params, 5).unwrap();
+        let mut found = 0;
+        let mut acceptable = 0;
+        for _ in 0..60 {
+            let q = unary_point(d, rng.gen_range(0..=d));
+            let exact = linear_nn(&points, &q).unwrap();
+            if let Some(approx) = s.search(&q) {
+                found += 1;
+                // 3x approximation with slack for tiny exact distances.
+                if approx.distance <= exact.distance * 3 + 6 {
+                    acceptable += 1;
+                }
+            }
+        }
+        assert!(found >= 55, "search missed too often: {found}/60");
+        assert!(
+            acceptable * 10 >= found * 9,
+            "approximation too loose: {acceptable}/{found}"
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let d = 48;
+        let points: Vec<BitVec> = (0..8).map(|i| unary_point(d, i * 6)).collect();
+        let params = NnsParams {
+            d,
+            m1: 3,
+            m2: 8,
+            m3: 2,
+        };
+        let s = NnsStructure::build(&points, params, 2).unwrap();
+        let q = unary_point(d, 13);
+        assert_eq!(s.search(&q), s.search(&q));
+    }
+
+    #[test]
+    fn linear_nn_breaks_ties_on_lower_index() {
+        let points = vec![unary_point(8, 2), unary_point(8, 4), unary_point(8, 2)];
+        let q = unary_point(8, 3);
+        let r = linear_nn(&points, &q).unwrap();
+        assert_eq!(r.distance, 1);
+        assert_eq!(r.index, 0);
+        assert!(linear_nn(&[], &q).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn search_wrong_dimension_panics() {
+        let points = vec![unary_point(16, 4)];
+        let s = NnsStructure::build(
+            &points,
+            NnsParams {
+                d: 16,
+                m1: 1,
+                m2: 6,
+                m3: 2,
+            },
+            0,
+        )
+        .unwrap();
+        s.search(&unary_point(8, 2));
+    }
+}

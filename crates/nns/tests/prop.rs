@@ -1,0 +1,81 @@
+//! Property tests for the KOR structure and the unary encoder.
+
+use infilter_nns::{linear_nn, BitVec, FeatureSpec, NnsParams, NnsStructure, UnaryEncoder};
+use proptest::prelude::*;
+
+fn arb_points(d: usize) -> impl Strategy<Value = Vec<BitVec>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<bool>(), d..=d)
+            .prop_map(BitVec::from_bits),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn search_result_distance_is_truthful(points in arb_points(48), query_bits in proptest::collection::vec(any::<bool>(), 48)) {
+        let params = NnsParams { d: 48, m1: 2, m2: 8, m3: 2 };
+        let s = NnsStructure::build(&points, params, 7).expect("builds");
+        let query = BitVec::from_bits(query_bits);
+        if let Some(hit) = s.search(&query) {
+            prop_assert!(hit.index < points.len());
+            prop_assert_eq!(hit.distance, points[hit.index].hamming(&query));
+            // Approximate NN can never beat the exact NN.
+            let exact = linear_nn(&points, &query).expect("non-empty");
+            prop_assert!(hit.distance >= exact.distance);
+        }
+    }
+
+    #[test]
+    fn training_points_are_always_found(points in arb_points(40)) {
+        let params = NnsParams { d: 40, m1: 3, m2: 8, m3: 2 };
+        let s = NnsStructure::build(&points, params, 3).expect("builds");
+        for p in &points {
+            let hit = s.search(p).expect("training point must be findable");
+            // Exact-duplicate traces can alias, but the distance can never
+            // exceed zero for the point itself unless another point shares
+            // its trace at the smallest scale — in which case distances tie.
+            prop_assert_eq!(hit.distance, points[hit.index].hamming(p));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic(points in arb_points(32), seed in any::<u64>()) {
+        let params = NnsParams { d: 32, m1: 1, m2: 6, m3: 2 };
+        let a = NnsStructure::build(&points, params, seed).expect("builds");
+        let b = NnsStructure::build(&points, params, seed).expect("builds");
+        let q = BitVec::zeros(32);
+        prop_assert_eq!(a.search(&q), b.search(&q));
+    }
+
+    #[test]
+    fn encoder_distance_bounded_by_dimension(
+        a in proptest::collection::vec(0.0f64..1e6, 5),
+        b in proptest::collection::vec(0.0f64..1e6, 5),
+    ) {
+        let enc = UnaryEncoder::new(vec![FeatureSpec::new(0.0, 1e6); 5], 24).expect("valid");
+        let ea = enc.encode(&a);
+        let eb = enc.encode(&b);
+        prop_assert!(ea.hamming(&eb) as usize <= enc.dimension());
+        prop_assert_eq!(ea.hamming(&eb), eb.hamming(&ea));
+        prop_assert_eq!(enc.encode(&a).hamming(&ea), 0);
+    }
+
+    #[test]
+    fn unary_encoding_is_monotone_per_feature(v in 0.0f64..1000.0, w in 0.0f64..1000.0) {
+        let enc = UnaryEncoder::new(vec![FeatureSpec::new(0.0, 1000.0)], 100).expect("valid");
+        let ev = enc.encode(&[v]);
+        let ew = enc.encode(&[w]);
+        // Count of ones is monotone in the value.
+        if v <= w {
+            prop_assert!(ev.count_ones() <= ew.count_ones());
+        } else {
+            prop_assert!(ev.count_ones() >= ew.count_ones());
+        }
+        // Distance equals the interval difference exactly.
+        let expected = (ev.count_ones() as i64 - ew.count_ones() as i64).unsigned_abs() as u32;
+        prop_assert_eq!(ev.hamming(&ew), expected);
+    }
+}

@@ -1,0 +1,455 @@
+use std::net::Ipv4Addr;
+
+use infilter_net::{Asn, Prefix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{AsGraph, AsInfo, Fqdn, InterAsLink, LinkEnd, ParallelLink, Relation, Tier};
+
+/// A vantage point that can issue traceroutes, standing in for the paper's
+/// 24 Looking-Glass sites.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookingGlass {
+    /// Human-readable site name (e.g. `lg3.as1017.example.net`).
+    pub name: String,
+    /// The AS hosting the site.
+    pub asn: Asn,
+    /// Source address traceroutes are issued from.
+    pub addr: Ipv4Addr,
+}
+
+/// A monitored destination network, standing in for the paper's 20 US
+/// target networks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetSite {
+    /// The target's AS (a multi-homed transit ISP).
+    pub asn: Asn,
+    /// Representative target host address inside the network.
+    pub addr: Ipv4Addr,
+    /// The prefix the target address belongs to.
+    pub prefix: Prefix,
+}
+
+/// A generated Internet: the AS graph plus the measurement endpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Internet {
+    graph: AsGraph,
+    looking_glasses: Vec<LookingGlass>,
+    targets: Vec<TargetSite>,
+}
+
+impl Internet {
+    /// The AS-level graph.
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// Mutable graph access (for churn processes that fail/restore links).
+    pub fn graph_mut(&mut self) -> &mut AsGraph {
+        &mut self.graph
+    }
+
+    /// The looking-glass vantage points.
+    pub fn looking_glasses(&self) -> &[LookingGlass] {
+        &self.looking_glasses
+    }
+
+    /// The monitored target networks.
+    pub fn targets(&self) -> &[TargetSite] {
+        &self.targets
+    }
+}
+
+/// Seeded generator for three-tier Internet topologies.
+///
+/// Defaults approximate the scale of the paper's measurement study (enough
+/// ASes that 24 looking glasses and 20 targets are well separated) while
+/// staying fast to route over. All sampling is deterministic in the seed.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_topology::InternetBuilder;
+///
+/// let small = InternetBuilder::new(7).tier1(3).transit(10).stubs(30).build();
+/// assert_eq!(small.graph().as_count(), 43);
+/// assert_eq!(small.looking_glasses().len(), 24.min(30));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InternetBuilder {
+    seed: u64,
+    n_tier1: usize,
+    n_transit: usize,
+    n_stub: usize,
+    n_looking_glass: usize,
+    n_targets: usize,
+    parallel_prob: f64,
+    diverse_subnet_prob: f64,
+    extra_peering_prob: f64,
+}
+
+impl InternetBuilder {
+    /// Creates a builder with the given RNG seed and default sizes
+    /// (8 tier-1, 48 transit, 240 stub ASes; 24 looking glasses; 20 targets).
+    pub fn new(seed: u64) -> InternetBuilder {
+        InternetBuilder {
+            seed,
+            n_tier1: 8,
+            n_transit: 48,
+            n_stub: 240,
+            n_looking_glass: 24,
+            n_targets: 20,
+            parallel_prob: 0.4,
+            diverse_subnet_prob: 0.3,
+            extra_peering_prob: 0.15,
+        }
+    }
+
+    /// Number of tier-1 (default-free core) ASes.
+    pub fn tier1(mut self, n: usize) -> InternetBuilder {
+        self.n_tier1 = n;
+        self
+    }
+
+    /// Number of transit ASes.
+    pub fn transit(mut self, n: usize) -> InternetBuilder {
+        self.n_transit = n;
+        self
+    }
+
+    /// Number of stub ASes.
+    pub fn stubs(mut self, n: usize) -> InternetBuilder {
+        self.n_stub = n;
+        self
+    }
+
+    /// Number of looking-glass vantage points (clamped to the stub count).
+    pub fn looking_glasses(mut self, n: usize) -> InternetBuilder {
+        self.n_looking_glass = n;
+        self
+    }
+
+    /// Number of monitored targets (clamped to the transit count).
+    pub fn targets(mut self, n: usize) -> InternetBuilder {
+        self.n_targets = n;
+        self
+    }
+
+    /// Probability that an inter-AS adjacency is a redundant two-link bundle.
+    pub fn parallel_prob(mut self, p: f64) -> InternetBuilder {
+        self.parallel_prob = p;
+        self
+    }
+
+    /// Probability that a redundant bundle spans two different `/24`s.
+    pub fn diverse_subnet_prob(mut self, p: f64) -> InternetBuilder {
+        self.diverse_subnet_prob = p;
+        self
+    }
+
+    /// Probability of an extra transit–transit peering edge.
+    pub fn extra_peering_prob(mut self, p: f64) -> InternetBuilder {
+        self.extra_peering_prob = p;
+        self
+    }
+
+    /// Generates the Internet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tier is empty — the hierarchy needs at least one AS per
+    /// tier to be connected.
+    pub fn build(&self) -> Internet {
+        assert!(
+            self.n_tier1 > 0 && self.n_transit > 0 && self.n_stub > 0,
+            "every tier needs at least one AS"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut graph = AsGraph::new();
+
+        // ASN plan: tier-1 from 1, transit from 100, stubs from 1000.
+        let tier1: Vec<Asn> = (0..self.n_tier1).map(|i| Asn(1 + i as u32)).collect();
+        let transit: Vec<Asn> = (0..self.n_transit).map(|i| Asn(100 + i as u32)).collect();
+        let stubs: Vec<Asn> = (0..self.n_stub).map(|i| Asn(1000 + i as u32)).collect();
+
+        let mut idx = 0u32;
+        let mut add = |graph: &mut AsGraph, asn: Asn, tier: Tier| {
+            let info = AsInfo {
+                asn,
+                tier,
+                infra: infra_prefix(idx),
+                originated: vec![origin_prefix(idx)],
+            };
+            idx += 1;
+            graph.add_as(info);
+        };
+        for &a in &tier1 {
+            add(&mut graph, a, Tier::Tier1);
+        }
+        for &a in &transit {
+            add(&mut graph, a, Tier::Transit);
+        }
+        for &a in &stubs {
+            add(&mut graph, a, Tier::Stub);
+        }
+
+        // Tier-1 clique of peer links.
+        for i in 0..tier1.len() {
+            for j in (i + 1)..tier1.len() {
+                let link = self.make_link(&graph, &mut rng, tier1[i], tier1[j], Relation::PeerPeer);
+                graph.add_link(link);
+            }
+        }
+
+        // Each transit AS buys from 1–3 tier-1s.
+        for &t in &transit {
+            let n_prov = rng.gen_range(1..=3.min(tier1.len()));
+            let mut providers = tier1.clone();
+            providers.shuffle(&mut rng);
+            for &p in providers.iter().take(n_prov) {
+                let link = self.make_link(&graph, &mut rng, p, t, Relation::ProviderCustomer);
+                graph.add_link(link);
+            }
+        }
+
+        // Sparse transit–transit peering.
+        for i in 0..transit.len() {
+            for j in (i + 1)..transit.len() {
+                if rng.gen_bool(self.extra_peering_prob) {
+                    let link =
+                        self.make_link(&graph, &mut rng, transit[i], transit[j], Relation::PeerPeer);
+                    graph.add_link(link);
+                }
+            }
+        }
+
+        // Each stub buys from 1–3 transit ASes.
+        for &s in &stubs {
+            let n_prov = rng.gen_range(1..=3.min(transit.len()));
+            let mut providers = transit.clone();
+            providers.shuffle(&mut rng);
+            for &p in providers.iter().take(n_prov) {
+                let link = self.make_link(&graph, &mut rng, p, s, Relation::ProviderCustomer);
+                graph.add_link(link);
+            }
+        }
+
+        // Looking glasses sit in distinct stubs.
+        let mut lg_pool = stubs.clone();
+        lg_pool.shuffle(&mut rng);
+        let looking_glasses: Vec<LookingGlass> = lg_pool
+            .iter()
+            .take(self.n_looking_glass.min(stubs.len()))
+            .map(|&asn| {
+                let info = graph.as_info(asn).expect("stub exists");
+                LookingGlass {
+                    name: format!("lg.as{}.example.net", asn.0),
+                    addr: info.originated[0].nth(10),
+                    asn,
+                }
+            })
+            .collect();
+
+        // Targets are well-connected transit ISPs (the paper's targets are
+        // large US networks with several peer ASes).
+        let mut target_pool: Vec<Asn> = transit.clone();
+        target_pool.sort_by_key(|&a| std::cmp::Reverse(graph.incident(a).len()));
+        let targets: Vec<TargetSite> = target_pool
+            .iter()
+            .take(self.n_targets.min(transit.len()))
+            .map(|&asn| {
+                let info = graph.as_info(asn).expect("transit exists");
+                let prefix = info.originated[0];
+                TargetSite {
+                    asn,
+                    addr: prefix.nth(20),
+                    prefix,
+                }
+            })
+            .collect();
+
+        Internet {
+            graph,
+            looking_glasses,
+            targets,
+        }
+    }
+
+    fn make_link(
+        &self,
+        graph: &AsGraph,
+        rng: &mut StdRng,
+        a: Asn,
+        b: Asn,
+        relation: Relation,
+    ) -> InterAsLink {
+        let redundant = rng.gen_bool(self.parallel_prob);
+        let diverse = redundant && rng.gen_bool(self.diverse_subnet_prob);
+        let members = if redundant { 2 } else { 1 };
+        // Interface addresses come out of each side's infrastructure space.
+        // Same-subnet bundles share a /24 (host part varies); diverse bundles
+        // get a fresh /24 per member.
+        let infra_a = graph.as_info(a).expect("endpoint exists").infra;
+        let infra_b = graph.as_info(b).expect("endpoint exists").infra;
+        let base_a: u32 = rng.gen_range(0..200);
+        let base_b: u32 = rng.gen_range(0..200);
+        let dev_a = Fqdn(format!("bdr-{}.as{}.example.net", b.0, a.0));
+        let dev_b = Fqdn(format!("bdr-{}.as{}.example.net", a.0, b.0));
+        let bundle = (0..members)
+            .map(|m| {
+                let (sub_a, sub_b) = if diverse {
+                    (base_a + m as u32, base_b + m as u32)
+                } else {
+                    (base_a, base_b)
+                };
+                ParallelLink {
+                    a_end: LinkEnd {
+                        addr: iface_addr(infra_a, sub_a, 1 + m as u32),
+                        fqdn: dev_a.clone(),
+                    },
+                    b_end: LinkEnd {
+                        addr: iface_addr(infra_b, sub_b, 1 + m as u32),
+                        fqdn: dev_b.clone(),
+                    },
+                }
+            })
+            .collect();
+        InterAsLink {
+            a,
+            b,
+            relation,
+            bundle,
+            diverse_subnets: diverse,
+            up: true,
+        }
+    }
+}
+
+/// Infrastructure prefix for the `idx`-th generated AS: a `/20` carved out
+/// of `89.0.0.0/8`, outside both the experiment sub-block space used by the
+/// testbed (3/8–204/8 *is* overlapping, but infrastructure addresses never
+/// appear as flow sources) and private space.
+fn infra_prefix(idx: u32) -> Prefix {
+    Prefix::new(Ipv4Addr::from((89u32 << 24) | (idx << 12)), 20)
+}
+
+/// Prefix originated by the `idx`-th generated AS: a `/16` from `96.0.0.0/4`
+/// style space, deterministic and collision-free for idx < 4096.
+fn origin_prefix(idx: u32) -> Prefix {
+    let first = 96 + (idx / 256);
+    Prefix::new(Ipv4Addr::from((first << 24) | ((idx % 256) << 16)), 16)
+}
+
+/// The `host`-th address of the `sub`-th `/24` inside `infra`.
+fn iface_addr(infra: Prefix, sub: u32, host: u32) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(infra.network()) + (sub << 8) + host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RouteTable;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = InternetBuilder::new(5).tier1(3).transit(8).stubs(20).build();
+        let b = InternetBuilder::new(5).tier1(3).transit(8).stubs(20).build();
+        assert_eq!(a.graph().as_count(), b.graph().as_count());
+        assert_eq!(a.graph().link_count(), b.graph().link_count());
+        let la: Vec<_> = a.graph().links().map(|(_, l)| l.clone()).collect();
+        let lb: Vec<_> = b.graph().links().map(|(_, l)| l.clone()).collect();
+        assert_eq!(la, lb);
+        assert_eq!(a.looking_glasses(), b.looking_glasses());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = InternetBuilder::new(1).build();
+        let b = InternetBuilder::new(2).build();
+        let la: Vec<_> = a.graph().links().map(|(_, l)| l.clone()).collect();
+        let lb: Vec<_> = b.graph().links().map(|(_, l)| l.clone()).collect();
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn every_lg_reaches_every_target() {
+        let net = InternetBuilder::new(42).build();
+        assert_eq!(net.looking_glasses().len(), 24);
+        assert_eq!(net.targets().len(), 20);
+        for target in net.targets() {
+            let table = RouteTable::compute(net.graph(), target.asn);
+            for lg in net.looking_glasses() {
+                assert!(
+                    table.path_from(lg.asn).is_some(),
+                    "{} cannot reach {}",
+                    lg.asn,
+                    target.asn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn targets_are_multihomed_transits() {
+        let net = InternetBuilder::new(42).build();
+        for t in net.targets() {
+            let info = net.graph().as_info(t.asn).unwrap();
+            assert_eq!(info.tier, Tier::Transit);
+            assert!(
+                net.graph().incident(t.asn).len() >= 2,
+                "target {} has fewer than 2 adjacencies",
+                t.asn
+            );
+            assert!(t.prefix.contains(t.addr));
+        }
+    }
+
+    #[test]
+    fn bundles_match_configuration() {
+        let net = InternetBuilder::new(9).parallel_prob(1.0).diverse_subnet_prob(1.0).build();
+        for (_, l) in net.graph().links() {
+            assert_eq!(l.bundle.len(), 2);
+            assert!(l.diverse_subnets);
+            // Diverse bundles really do differ at /24 granularity.
+            let s0 = Prefix::host(l.bundle[0].b_end.addr).truncate(24);
+            let s1 = Prefix::host(l.bundle[1].b_end.addr).truncate(24);
+            assert_ne!(s0, s1);
+            // But the FQDNs agree (same devices, multiple interfaces).
+            assert_eq!(l.bundle[0].a_end.fqdn, l.bundle[1].a_end.fqdn);
+            assert_eq!(l.bundle[0].b_end.fqdn, l.bundle[1].b_end.fqdn);
+        }
+
+        let net = InternetBuilder::new(9).parallel_prob(0.0).build();
+        assert!(net.graph().links().all(|(_, l)| l.bundle.len() == 1));
+    }
+
+    #[test]
+    fn same_subnet_bundles_share_slash24() {
+        let net = InternetBuilder::new(11).parallel_prob(1.0).diverse_subnet_prob(0.0).build();
+        for (_, l) in net.graph().links() {
+            let s0 = Prefix::host(l.bundle[0].b_end.addr).truncate(24);
+            let s1 = Prefix::host(l.bundle[1].b_end.addr).truncate(24);
+            assert_eq!(s0, s1);
+            assert_ne!(l.bundle[0].b_end.addr, l.bundle[1].b_end.addr);
+        }
+    }
+
+    #[test]
+    fn origin_prefixes_unique() {
+        let net = InternetBuilder::new(3).build();
+        let mut seen = std::collections::HashSet::new();
+        for info in net.graph().ases() {
+            for p in &info.originated {
+                assert!(seen.insert(*p), "duplicate originated prefix {p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every tier needs at least one AS")]
+    fn empty_tier_panics() {
+        InternetBuilder::new(0).tier1(0).build();
+    }
+}

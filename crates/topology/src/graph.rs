@@ -1,0 +1,422 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use infilter_net::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// Position of an AS in the three-tier hierarchy used by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Default-free core; tier-1 ASes form a full peering clique.
+    Tier1,
+    /// Regional transit provider; customers of tier-1, providers of stubs.
+    Transit,
+    /// Edge network (enterprise, university, small ISP); originates prefixes
+    /// but transits no traffic.
+    Stub,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tier::Tier1 => "tier1",
+            Tier::Transit => "transit",
+            Tier::Stub => "stub",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Business relationship carried by an inter-AS link.
+///
+/// For [`Relation::ProviderCustomer`], the link's `a` endpoint is the
+/// provider and `b` the customer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// `a` sells transit to `b`.
+    ProviderCustomer,
+    /// Settlement-free peering between `a` and `b`.
+    PeerPeer,
+}
+
+/// A fully-qualified domain name identifying a router device.
+///
+/// In the paper's methodology FQDNs are the strongest aggregation key: all
+/// parallel interfaces of one device resolve to the same name, so a
+/// load-balancing flip never changes the FQDN pair while a genuine route
+/// change (new device) does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fqdn(pub String);
+
+impl fmt::Display for Fqdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Fqdn {
+    fn from(s: &str) -> Fqdn {
+        Fqdn(s.to_owned())
+    }
+}
+
+/// One side of a physical link: interface address plus device FQDN.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkEnd {
+    /// Interface address reported by traceroute for this hop.
+    pub addr: Ipv4Addr,
+    /// Device name shared by all interfaces of the same router.
+    pub fqdn: Fqdn,
+}
+
+/// One physical member of a (possibly redundant) inter-AS bundle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelLink {
+    /// The `a`-side interface.
+    pub a_end: LinkEnd,
+    /// The `b`-side interface.
+    pub b_end: LinkEnd,
+}
+
+/// Index of an [`InterAsLink`] inside its [`AsGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// An adjacency between two ASes: relationship plus the physical bundle.
+///
+/// The bundle holds one or more [`ParallelLink`]s. Real peerings are often
+/// provisioned as redundant/load-shared pairs (paper §3.1 and its Figure 4);
+/// bundles with more than one member and `diverse_subnets == true` reproduce
+/// the links that even `/24` aggregation could not smooth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterAsLink {
+    /// First endpoint (the provider for [`Relation::ProviderCustomer`]).
+    pub a: Asn,
+    /// Second endpoint.
+    pub b: Asn,
+    /// Business relationship.
+    pub relation: Relation,
+    /// Physical members of the bundle; never empty.
+    pub bundle: Vec<ParallelLink>,
+    /// Whether the parallel links sit in different `/24` subnets.
+    pub diverse_subnets: bool,
+    /// Administrative/operational state; failed links drop out of routing.
+    pub up: bool,
+}
+
+impl InterAsLink {
+    /// The opposite endpoint of `asn` on this link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not an endpoint.
+    pub fn other(&self, asn: Asn) -> Asn {
+        if asn == self.a {
+            self.b
+        } else if asn == self.b {
+            self.a
+        } else {
+            panic!("{asn} is not an endpoint of link {}-{}", self.a, self.b)
+        }
+    }
+
+    /// Whether `asn` is one of the endpoints.
+    pub fn touches(&self, asn: Asn) -> bool {
+        self.a == asn || self.b == asn
+    }
+
+    /// The [`LinkEnd`] belonging to `asn` on bundle member `member`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not an endpoint or `member` is out of range.
+    pub fn end_of(&self, asn: Asn, member: usize) -> &LinkEnd {
+        let link = &self.bundle[member];
+        if asn == self.a {
+            &link.a_end
+        } else if asn == self.b {
+            &link.b_end
+        } else {
+            panic!("{asn} is not an endpoint of link {}-{}", self.a, self.b)
+        }
+    }
+}
+
+/// Static description of one AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Hierarchy position.
+    pub tier: Tier,
+    /// Prefix from which router interface/infrastructure addresses are drawn.
+    pub infra: Prefix,
+    /// Prefixes this AS originates into BGP.
+    pub originated: Vec<Prefix>,
+}
+
+/// The AS-level Internet graph.
+///
+/// Nodes are ASes, edges are [`InterAsLink`]s. The graph is undirected at
+/// the adjacency level; relationship direction is carried on the edge.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsGraph {
+    nodes: BTreeMap<Asn, AsInfo>,
+    links: Vec<InterAsLink>,
+    adjacency: BTreeMap<Asn, Vec<LinkId>>,
+}
+
+impl AsGraph {
+    /// Creates an empty graph.
+    pub fn new() -> AsGraph {
+        AsGraph::default()
+    }
+
+    /// Adds an AS. Returns `false` (and changes nothing) if the ASN exists.
+    pub fn add_as(&mut self, info: AsInfo) -> bool {
+        let asn = info.asn;
+        if self.nodes.contains_key(&asn) {
+            return false;
+        }
+        self.nodes.insert(asn, info);
+        self.adjacency.entry(asn).or_default();
+        true
+    }
+
+    /// Adds an inter-AS link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown or the bundle is empty.
+    pub fn add_link(&mut self, link: InterAsLink) -> LinkId {
+        assert!(self.nodes.contains_key(&link.a), "unknown AS {}", link.a);
+        assert!(self.nodes.contains_key(&link.b), "unknown AS {}", link.b);
+        assert!(!link.bundle.is_empty(), "bundle must not be empty");
+        let id = LinkId(self.links.len());
+        self.adjacency.get_mut(&link.a).expect("endpoint exists").push(id);
+        self.adjacency.get_mut(&link.b).expect("endpoint exists").push(id);
+        self.links.push(link);
+        id
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of inter-AS links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Looks up one AS.
+    pub fn as_info(&self, asn: Asn) -> Option<&AsInfo> {
+        self.nodes.get(&asn)
+    }
+
+    /// Iterates over all ASes in ascending ASN order.
+    pub fn ases(&self) -> impl Iterator<Item = &AsInfo> {
+        self.nodes.values()
+    }
+
+    /// The link with the given id.
+    pub fn link(&self, id: LinkId) -> &InterAsLink {
+        &self.links[id.0]
+    }
+
+    /// Mutable access to a link (used by churn processes to fail/restore it).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut InterAsLink {
+        &mut self.links[id.0]
+    }
+
+    /// All links, with their ids.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &InterAsLink)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// Ids of the links incident to `asn` (up or down).
+    pub fn incident(&self, asn: Asn) -> &[LinkId] {
+        self.adjacency.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Neighbour ASes reachable over *up* links, with the connecting link id.
+    pub fn neighbors(&self, asn: Asn) -> impl Iterator<Item = (Asn, LinkId)> + '_ {
+        self.incident(asn).iter().filter_map(move |&id| {
+            let l = self.link(id);
+            l.up.then(|| (l.other(asn), id))
+        })
+    }
+
+    /// The up link between `a` and `b`, if one exists.
+    pub fn link_between(&self, a: Asn, b: Asn) -> Option<LinkId> {
+        self.incident(a).iter().copied().find(|&id| {
+            let l = self.link(id);
+            l.up && l.touches(b)
+        })
+    }
+
+    /// Providers of `asn` (over up links).
+    pub fn providers(&self, asn: Asn) -> Vec<Asn> {
+        self.incident(asn)
+            .iter()
+            .filter_map(|&id| {
+                let l = self.link(id);
+                (l.up && l.relation == Relation::ProviderCustomer && l.b == asn).then_some(l.a)
+            })
+            .collect()
+    }
+
+    /// Customers of `asn` (over up links).
+    pub fn customers(&self, asn: Asn) -> Vec<Asn> {
+        self.incident(asn)
+            .iter()
+            .filter_map(|&id| {
+                let l = self.link(id);
+                (l.up && l.relation == Relation::ProviderCustomer && l.a == asn).then_some(l.b)
+            })
+            .collect()
+    }
+
+    /// Settlement-free peers of `asn` (over up links).
+    pub fn peers(&self, asn: Asn) -> Vec<Asn> {
+        self.incident(asn)
+            .iter()
+            .filter_map(|&id| {
+                let l = self.link(id);
+                (l.up && l.relation == Relation::PeerPeer).then(|| l.other(asn))
+            })
+            .collect()
+    }
+
+    /// The AS originating the most specific prefix containing `addr`.
+    pub fn originator_of(&self, addr: Ipv4Addr) -> Option<(Asn, Prefix)> {
+        self.nodes
+            .values()
+            .flat_map(|info| {
+                info.originated
+                    .iter()
+                    .filter(|p| p.contains(addr))
+                    .map(move |p| (info.asn, *p))
+            })
+            .max_by_key(|(_, p)| p.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(asn: u32, tier: Tier) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            tier,
+            infra: format!("10.{}.0.0/16", asn % 256).parse().unwrap(),
+            originated: vec![format!("96.{}.0.0/16", asn % 256).parse().unwrap()],
+        }
+    }
+
+    fn link(a: u32, b: u32, relation: Relation) -> InterAsLink {
+        InterAsLink {
+            a: Asn(a),
+            b: Asn(b),
+            relation,
+            bundle: vec![ParallelLink {
+                a_end: LinkEnd {
+                    addr: format!("10.{}.0.1", a % 256).parse().unwrap(),
+                    fqdn: Fqdn(format!("bdr.as{a}.net")),
+                },
+                b_end: LinkEnd {
+                    addr: format!("10.{}.0.2", b % 256).parse().unwrap(),
+                    fqdn: Fqdn(format!("bdr.as{b}.net")),
+                },
+            }],
+            diverse_subnets: false,
+            up: true,
+        }
+    }
+
+    fn tiny() -> AsGraph {
+        // 1 -- 2 tier1 peers; 1 provides 10; 2 provides 20; 10 provides 100.
+        let mut g = AsGraph::new();
+        g.add_as(info(1, Tier::Tier1));
+        g.add_as(info(2, Tier::Tier1));
+        g.add_as(info(10, Tier::Transit));
+        g.add_as(info(20, Tier::Transit));
+        g.add_as(info(100, Tier::Stub));
+        g.add_link(link(1, 2, Relation::PeerPeer));
+        g.add_link(link(1, 10, Relation::ProviderCustomer));
+        g.add_link(link(2, 20, Relation::ProviderCustomer));
+        g.add_link(link(10, 100, Relation::ProviderCustomer));
+        g
+    }
+
+    #[test]
+    fn relationships_resolve_correctly() {
+        let g = tiny();
+        assert_eq!(g.providers(Asn(100)), vec![Asn(10)]);
+        assert_eq!(g.customers(Asn(10)), vec![Asn(100)]);
+        assert_eq!(g.providers(Asn(10)), vec![Asn(1)]);
+        assert_eq!(g.peers(Asn(1)), vec![Asn(2)]);
+        assert!(g.peers(Asn(100)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_as_rejected() {
+        let mut g = tiny();
+        assert!(!g.add_as(info(1, Tier::Stub)));
+        assert_eq!(g.as_count(), 5);
+    }
+
+    #[test]
+    fn down_links_hidden_from_routing_views() {
+        let mut g = tiny();
+        let id = g.link_between(Asn(10), Asn(100)).unwrap();
+        g.link_mut(id).up = false;
+        assert!(g.providers(Asn(100)).is_empty());
+        assert!(g.link_between(Asn(10), Asn(100)).is_none());
+        assert_eq!(g.neighbors(Asn(100)).count(), 0);
+        // Restoring brings it back.
+        g.link_mut(id).up = true;
+        assert_eq!(g.providers(Asn(100)), vec![Asn(10)]);
+    }
+
+    #[test]
+    fn originator_prefers_most_specific() {
+        let mut g = tiny();
+        // AS20 also originates a /24 inside AS100's /16 space.
+        let more_specific: Prefix = "96.100.5.0/24".parse().unwrap();
+        g.nodes.get_mut(&Asn(20)).unwrap().originated.push(more_specific);
+        let (asn, p) = g.originator_of("96.100.5.9".parse().unwrap()).unwrap();
+        assert_eq!(asn, Asn(20));
+        assert_eq!(p, more_specific);
+        let (asn, _) = g.originator_of("96.100.6.9".parse().unwrap()).unwrap();
+        assert_eq!(asn, Asn(100));
+    }
+
+    #[test]
+    fn link_end_accessors() {
+        let g = tiny();
+        let id = g.link_between(Asn(1), Asn(10)).unwrap();
+        let l = g.link(id);
+        assert_eq!(l.other(Asn(1)), Asn(10));
+        assert_eq!(l.end_of(Asn(1), 0).fqdn.0, "bdr.as1.net");
+        assert_eq!(l.end_of(Asn(10), 0).fqdn.0, "bdr.as10.net");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let g = tiny();
+        let id = g.link_between(Asn(1), Asn(2)).unwrap();
+        g.link(id).other(Asn(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown AS")]
+    fn add_link_requires_known_endpoints() {
+        let mut g = AsGraph::new();
+        g.add_as(info(1, Tier::Tier1));
+        g.add_link(link(1, 99, Relation::PeerPeer));
+    }
+}

@@ -1,0 +1,320 @@
+//! Interior routing: a link-state (OSPF-style) SPF over each AS's
+//! router-level topology.
+//!
+//! The paper's conjecture for why the *last* AS hop is stable while the
+//! middle of the path churns: inter-AS forwarding follows slowly-changing
+//! BGP policy, but "paths within an AS … are governed by the instantaneous
+//! shortest-path established by the local interior routing protocol such
+//! as Open Shortest Path First". This module gives every AS a real router
+//! graph and Dijkstra SPF, with *cost epochs* standing in for IGP
+//! reconvergence: bumping the epoch re-weighs a subset of links, so
+//! internal paths move the way intra-AS routes do in the wild.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+use std::net::Ipv4Addr;
+
+use infilter_net::Asn;
+use serde::{Deserialize, Serialize};
+
+use crate::{AsInfo, Fqdn};
+
+/// Index of a router inside its AS's [`RouterGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouterIdx(pub usize);
+
+/// The router-level topology of one AS: a ring of core routers plus
+/// deterministic chords, with per-epoch link costs.
+///
+/// Generation is pure in `(asn, router count)`, so every component of the
+/// workspace (traceroute emulation, any future intra-AS tooling) sees the
+/// same internal network without sharing state.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_net::Asn;
+/// use infilter_topology::{AsInfo, RouterGraph, Tier};
+///
+/// let info = AsInfo {
+///     asn: Asn(42),
+///     tier: Tier::Transit,
+///     infra: "89.0.0.0/20".parse().unwrap(),
+///     originated: vec![],
+/// };
+/// let g = RouterGraph::for_as(&info);
+/// let path = g.spf_path(g.border_router(Asn(1)), g.border_router(Asn(2)), 0).unwrap();
+/// assert!(!path.is_empty());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouterGraph {
+    asn: Asn,
+    infra: infilter_net::Prefix,
+    n_routers: usize,
+    /// Undirected edges between router indices.
+    edges: Vec<(usize, usize)>,
+}
+
+impl RouterGraph {
+    /// Builds the router graph of an AS: 3–8 routers (hash-determined),
+    /// connected in a ring with one chord per three routers.
+    pub fn for_as(info: &AsInfo) -> RouterGraph {
+        let n_routers = 3 + (mix(0x16b, &info.asn.0) % 6) as usize;
+        let mut edges = Vec::new();
+        for i in 0..n_routers {
+            edges.push((i, (i + 1) % n_routers));
+        }
+        // Chords for path diversity.
+        for c in 0..n_routers / 3 {
+            let a = (mix(0xc0de, &(info.asn.0, c)) % n_routers as u64) as usize;
+            let b = (a + n_routers / 2) % n_routers;
+            if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                edges.push((a, b));
+            }
+        }
+        RouterGraph {
+            asn: info.asn,
+            infra: info.infra,
+            n_routers,
+            edges,
+        }
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.n_routers
+    }
+
+    /// Router graphs are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The border router facing `neighbor` (stable per adjacency).
+    pub fn border_router(&self, neighbor: Asn) -> RouterIdx {
+        RouterIdx((mix(0xb0d3, &(self.asn.0, neighbor.0)) % self.n_routers as u64) as usize)
+    }
+
+    /// Loopback address of a router (from the AS's infrastructure space,
+    /// above the /24s used for inter-AS link interfaces).
+    pub fn loopback(&self, router: RouterIdx) -> Ipv4Addr {
+        self.infra.nth(0xc00 + router.0 as u64)
+    }
+
+    /// Reverse-DNS name of a router.
+    pub fn fqdn(&self, router: RouterIdx) -> Fqdn {
+        Fqdn(format!("core{}.as{}.example.net", router.0, self.asn.0))
+    }
+
+    /// Link cost at a given IGP epoch: stable per edge, re-rolled for a
+    /// hash-selected third of the edges each epoch (a reconvergence event
+    /// does not re-weigh the whole network).
+    fn cost(&self, a: usize, b: usize, epoch: u64) -> u64 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let base = 10 + mix(0x1057, &(self.asn.0, lo, hi)) % 90;
+        let churns = mix(0xc4a7, &(self.asn.0, lo, hi)) % 3 == 0;
+        if churns {
+            10 + mix(0x3b0c, &(self.asn.0, lo, hi, epoch)) % 90
+        } else {
+            base
+        }
+    }
+
+    /// Dijkstra shortest path from `src` to `dst` under `epoch`'s costs,
+    /// inclusive of both endpoints. `None` only if the indices are out of
+    /// range (the graph itself is always connected).
+    pub fn spf_path(&self, src: RouterIdx, dst: RouterIdx, epoch: u64) -> Option<Vec<RouterIdx>> {
+        if src.0 >= self.n_routers || dst.0 >= self.n_routers {
+            return None;
+        }
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut dist = vec![u64::MAX; self.n_routers];
+        let mut prev = vec![usize::MAX; self.n_routers];
+        let mut heap = BinaryHeap::new();
+        dist[src.0] = 0;
+        heap.push(std::cmp::Reverse((0u64, src.0)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == dst.0 {
+                break;
+            }
+            for &(a, b) in &self.edges {
+                let v = if a == u {
+                    b
+                } else if b == u {
+                    a
+                } else {
+                    continue;
+                };
+                let nd = d + self.cost(u, v, epoch);
+                // Deterministic tie-break: lower predecessor index wins.
+                if nd < dist[v] || (nd == dist[v] && u < prev[v]) {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[dst.0] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![dst.0];
+        let mut cursor = dst.0;
+        while cursor != src.0 {
+            cursor = prev[cursor];
+            path.push(cursor);
+        }
+        path.reverse();
+        Some(path.into_iter().map(RouterIdx).collect())
+    }
+
+    /// Total cost of a router path under `epoch`'s costs (for testing and
+    /// diagnostics).
+    pub fn path_cost(&self, path: &[RouterIdx], epoch: u64) -> u64 {
+        path.windows(2)
+            .map(|w| self.cost(w[0].0, w[1].0, epoch))
+            .sum()
+    }
+}
+
+fn mix<T: Hash>(seed: u64, value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tier;
+
+    fn info(asn: u32) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            tier: Tier::Transit,
+            infra: format!("89.{}.0.0/20", asn % 200).parse().unwrap(),
+            originated: vec![],
+        }
+    }
+
+    fn adjacency_ok(g: &RouterGraph, path: &[RouterIdx]) -> bool {
+        path.windows(2).all(|w| {
+            g.edges
+                .iter()
+                .any(|&(a, b)| (a, b) == (w[0].0, w[1].0) || (b, a) == (w[0].0, w[1].0))
+        })
+    }
+
+    #[test]
+    fn graphs_are_connected_and_deterministic() {
+        for asn in 1..50u32 {
+            let g = RouterGraph::for_as(&info(asn));
+            let g2 = RouterGraph::for_as(&info(asn));
+            assert_eq!(g.len(), g2.len());
+            assert!((3..=8).contains(&g.len()), "AS{asn}: {} routers", g.len());
+            for src in 0..g.len() {
+                for dst in 0..g.len() {
+                    let p = g
+                        .spf_path(RouterIdx(src), RouterIdx(dst), 0)
+                        .unwrap_or_else(|| panic!("AS{asn}: no path {src}->{dst}"));
+                    assert_eq!(p.first(), Some(&RouterIdx(src)));
+                    assert_eq!(p.last(), Some(&RouterIdx(dst)));
+                    assert!(adjacency_ok(&g, &p), "AS{asn}: non-adjacent hop");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spf_matches_floyd_warshall_oracle() {
+        let g = RouterGraph::for_as(&info(7));
+        let n = g.len();
+        for epoch in [0u64, 3] {
+            // Oracle: Floyd–Warshall distances.
+            let mut d = vec![vec![u64::MAX / 4; n]; n];
+            for (i, row) in d.iter_mut().enumerate() {
+                row[i] = 0;
+            }
+            for &(a, b) in &g.edges {
+                let c = g.cost(a, b, epoch);
+                d[a][b] = d[a][b].min(c);
+                d[b][a] = d[b][a].min(c);
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        d[i][j] = d[i][j].min(d[i][k] + d[k][j]);
+                    }
+                }
+            }
+            for (src, row) in d.iter().enumerate() {
+                for (dst, &want) in row.iter().enumerate() {
+                    let p = g.spf_path(RouterIdx(src), RouterIdx(dst), epoch).unwrap();
+                    assert_eq!(g.path_cost(&p, epoch), want, "epoch {epoch}: {src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_move_some_paths_but_not_all() {
+        let mut moved = 0;
+        let mut total = 0;
+        for asn in 1..40u32 {
+            let g = RouterGraph::for_as(&info(asn));
+            for src in 0..g.len() {
+                for dst in 0..g.len() {
+                    if src == dst {
+                        continue;
+                    }
+                    total += 1;
+                    let a = g.spf_path(RouterIdx(src), RouterIdx(dst), 0).unwrap();
+                    let b = g.spf_path(RouterIdx(src), RouterIdx(dst), 1).unwrap();
+                    if a != b {
+                        moved += 1;
+                    }
+                }
+            }
+        }
+        assert!(moved > 0, "IGP epochs must move some internal paths");
+        assert!(
+            moved * 2 < total,
+            "a reconvergence event must not move most paths ({moved}/{total})"
+        );
+    }
+
+    #[test]
+    fn border_routers_are_stable_and_in_range() {
+        let g = RouterGraph::for_as(&info(9));
+        for neighbor in [1u32, 2, 500, 77] {
+            let br = g.border_router(Asn(neighbor));
+            assert!(br.0 < g.len());
+            assert_eq!(br, g.border_router(Asn(neighbor)));
+        }
+    }
+
+    #[test]
+    fn loopbacks_live_in_the_infra_space_and_differ() {
+        let g = RouterGraph::for_as(&info(9));
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..g.len() {
+            let lo = g.loopback(RouterIdx(r));
+            assert!(info(9).infra.contains(lo));
+            assert!(seen.insert(lo), "duplicate loopback {lo}");
+            assert!(g.fqdn(RouterIdx(r)).0.contains("as9"));
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_are_none() {
+        let g = RouterGraph::for_as(&info(9));
+        assert!(g.spf_path(RouterIdx(0), RouterIdx(99), 0).is_none());
+        assert!(g.spf_path(RouterIdx(99), RouterIdx(0), 0).is_none());
+    }
+}

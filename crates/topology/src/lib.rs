@@ -1,0 +1,48 @@
+//! Synthetic AS-level Internet topology for the InFilter validation studies.
+//!
+//! The paper validates the InFilter hypothesis against the real Internet
+//! (traceroutes from 24 Looking-Glass sites, Routeviews BGP dumps). Those
+//! measurement substrates are not reproducible offline, so this crate builds
+//! the closest synthetic equivalent: a three-tier AS graph with
+//! customer/provider and peer/peer relationships, *redundant/load-shared
+//! peering bundles* whose parallel links carry distinct interface addresses
+//! (sometimes in distinct `/24`s) but shared device FQDNs — precisely the
+//! structure that makes the paper's raw/subnet/FQDN aggregation ladder
+//! meaningful.
+//!
+//! The routing model is standard valley-free (Gao–Rexford) path selection:
+//! customer routes preferred over peer routes over provider routes, then
+//! shortest AS path, then lowest next-hop ASN. [`RouteTable::compute`]
+//! produces per-destination routing trees that both the traceroute simulator
+//! and the BGP snapshot generator consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use infilter_topology::{InternetBuilder, RouteTable};
+//!
+//! let internet = InternetBuilder::new(42).tier1(4).transit(12).stubs(40).build();
+//! let target = internet.targets()[0].asn;
+//! let routes = RouteTable::compute(internet.graph(), target);
+//!
+//! // Every looking-glass site can reach the target.
+//! for lg in internet.looking_glasses() {
+//!     let path = routes.path_from(lg.asn).expect("connected topology");
+//!     assert_eq!(*path.last().unwrap(), target);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod graph;
+mod igp;
+mod routing;
+
+pub use gen::{Internet, InternetBuilder, LookingGlass, TargetSite};
+pub use graph::{
+    AsGraph, AsInfo, Fqdn, InterAsLink, LinkEnd, LinkId, ParallelLink, Relation, Tier,
+};
+pub use igp::{RouterGraph, RouterIdx};
+pub use routing::{Route, RouteClass, RouteTable};

@@ -1,0 +1,435 @@
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use infilter_net::Asn;
+use serde::{Deserialize, Serialize};
+
+use crate::AsGraph;
+
+/// The export class of a selected route, in decreasing preference order.
+///
+/// Standard Gao–Rexford economics: routes learned from customers are
+/// preferred (they earn money), then settlement-free peer routes, then
+/// provider routes (they cost money).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RouteClass {
+    /// Destination reached through a customer (or is the local AS itself).
+    Customer,
+    /// Destination reached through a settlement-free peer.
+    Peer,
+    /// Destination reached through a provider.
+    Provider,
+}
+
+/// A selected route at one AS towards the table's destination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Preference class of the best route.
+    pub class: RouteClass,
+    /// AS hops to the destination, *excluding* the local AS and *including*
+    /// the destination (empty at the destination itself). This matches the
+    /// BGP `AS_PATH` attribute the local AS would see.
+    pub as_path: Vec<Asn>,
+}
+
+impl Route {
+    /// The next-hop AS, `None` at the destination itself.
+    pub fn next_hop(&self) -> Option<Asn> {
+        self.as_path.first().copied()
+    }
+
+    /// Path length in AS hops.
+    #[allow(clippy::len_without_is_empty)] // see `is_local` for the zero case
+    pub fn len(&self) -> usize {
+        self.as_path.len()
+    }
+
+    /// Whether this is the destination's own (zero-length) route.
+    pub fn is_local(&self) -> bool {
+        self.as_path.is_empty()
+    }
+}
+
+/// Per-destination routing state for every AS in the graph.
+///
+/// Computed with the three-phase valley-free algorithm:
+///
+/// 1. **Customer routes** — BFS from the destination along
+///    customer→provider edges (ASes whose customer cone contains the
+///    destination).
+/// 2. **Peer routes** — one peer hop off a customer route.
+/// 3. **Provider routes** — propagate any route down provider→customer
+///    edges (an AS exports everything to its customers), found by a
+///    Dijkstra-style relaxation.
+///
+/// Ties inside a class break on path length, then on lowest next-hop ASN
+/// (deterministic, mirroring lowest-router-id tie-breaks in real BGP).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteTable {
+    destination: Asn,
+    routes: BTreeMap<Asn, Route>,
+}
+
+impl RouteTable {
+    /// Computes routes from every AS towards `destination` over the up links
+    /// of `graph`.
+    pub fn compute(graph: &AsGraph, destination: Asn) -> RouteTable {
+        let mut routes: BTreeMap<Asn, Route> = BTreeMap::new();
+        routes.insert(
+            destination,
+            Route {
+                class: RouteClass::Customer,
+                as_path: Vec::new(),
+            },
+        );
+
+        // Phase 1: customer routes. BFS "up" from the destination: an AS x
+        // learns a customer route through a customer c when c already has a
+        // customer route. Among equal-length candidates pick lowest next hop.
+        let mut frontier = VecDeque::from([destination]);
+        while let Some(current) = frontier.pop_front() {
+            let via = routes[&current].clone();
+            for provider in graph.providers(current) {
+                let cand_path = prepend(current, &via.as_path);
+                if better(routes.get(&provider), RouteClass::Customer, &cand_path) {
+                    routes.insert(
+                        provider,
+                        Route {
+                            class: RouteClass::Customer,
+                            as_path: cand_path,
+                        },
+                    );
+                    frontier.push_back(provider);
+                }
+            }
+        }
+
+        // Phase 2: peer routes. An AS exports customer routes (and its own
+        // prefixes) to peers; a peer route is one hop off a customer route.
+        let customer_routed: Vec<(Asn, Route)> = routes
+            .iter()
+            .map(|(a, r)| (*a, r.clone()))
+            .collect();
+        for (owner, route) in &customer_routed {
+            for peer in graph.peers(*owner) {
+                let cand_path = prepend(*owner, &route.as_path);
+                if better(routes.get(&peer), RouteClass::Peer, &cand_path) {
+                    routes.insert(
+                        peer,
+                        Route {
+                            class: RouteClass::Peer,
+                            as_path: cand_path,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Phase 3: provider routes. Everything an AS knows is exported to its
+        // customers. Relax downward with a priority queue ordered by
+        // (path length, next hop) so each AS settles on its best provider
+        // route before exporting further down.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(usize, u32, Asn)>> = routes
+            .iter()
+            .map(|(asn, r)| std::cmp::Reverse((r.len(), r.next_hop().map_or(0, |a| a.0), *asn)))
+            .collect();
+        while let Some(std::cmp::Reverse((len, _, current))) = heap.pop() {
+            let via = routes[&current].clone();
+            if via.len() != len {
+                continue; // stale heap entry
+            }
+            for customer in graph.customers(current) {
+                let cand_path = prepend(current, &via.as_path);
+                if better(routes.get(&customer), RouteClass::Provider, &cand_path) {
+                    let r = Route {
+                        class: RouteClass::Provider,
+                        as_path: cand_path,
+                    };
+                    heap.push(std::cmp::Reverse((
+                        r.len(),
+                        r.next_hop().map_or(0, |a| a.0),
+                        customer,
+                    )));
+                    routes.insert(customer, r);
+                }
+            }
+        }
+
+        RouteTable {
+            destination,
+            routes,
+        }
+    }
+
+    /// The destination AS this table routes towards.
+    pub fn destination(&self) -> Asn {
+        self.destination
+    }
+
+    /// The selected route at `asn`, if the destination is reachable.
+    pub fn route(&self, asn: Asn) -> Option<&Route> {
+        self.routes.get(&asn)
+    }
+
+    /// Full AS path from `asn` to the destination, including both endpoints.
+    pub fn path_from(&self, asn: Asn) -> Option<Vec<Asn>> {
+        let r = self.routes.get(&asn)?;
+        let mut path = Vec::with_capacity(r.len() + 1);
+        path.push(asn);
+        path.extend_from_slice(&r.as_path);
+        Some(path)
+    }
+
+    /// Number of ASes with a route.
+    pub fn reachable_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Iterates over `(asn, route)` pairs in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &Route)> {
+        self.routes.iter().map(|(a, r)| (*a, r))
+    }
+
+    /// The neighbour of the destination on `asn`'s path — the *peer AS*
+    /// through which `asn`'s traffic enters the destination network. `None`
+    /// if unreachable or if `asn` is the destination itself.
+    pub fn ingress_peer(&self, asn: Asn) -> Option<Asn> {
+        let r = self.routes.get(&asn)?;
+        match r.as_path.len() {
+            0 => None,
+            1 => Some(asn), // asn is directly adjacent: it is its own ingress
+            n => Some(r.as_path[n - 2]),
+        }
+    }
+}
+
+fn prepend(head: Asn, rest: &[Asn]) -> Vec<Asn> {
+    let mut v = Vec::with_capacity(rest.len() + 1);
+    v.push(head);
+    v.extend_from_slice(rest);
+    v
+}
+
+/// Is `(class, cand_path)` strictly better than the incumbent?
+fn better(incumbent: Option<&Route>, class: RouteClass, cand_path: &[Asn]) -> bool {
+    match incumbent {
+        None => true,
+        Some(r) => {
+            let cand_key = (class, cand_path.len(), cand_path.first().map_or(0, |a| a.0));
+            let inc_key = (r.class, r.len(), r.next_hop().map_or(0, |a| a.0));
+            cand_key < inc_key
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsInfo, Fqdn, InterAsLink, LinkEnd, ParallelLink, Relation, Tier};
+
+    fn info(asn: u32, tier: Tier) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            tier,
+            infra: format!("10.{}.0.0/16", asn % 256).parse().unwrap(),
+            originated: vec![],
+        }
+    }
+
+    fn link(a: u32, b: u32, relation: Relation) -> InterAsLink {
+        let end = |asn: u32, host: u32| LinkEnd {
+            addr: std::net::Ipv4Addr::from((10 << 24) | (asn << 8) | host),
+            fqdn: Fqdn(format!("bdr.as{asn}.net")),
+        };
+        InterAsLink {
+            a: Asn(a),
+            b: Asn(b),
+            relation,
+            bundle: vec![ParallelLink {
+                a_end: end(a, 1),
+                b_end: end(b, 2),
+            }],
+            diverse_subnets: false,
+            up: true,
+        }
+    }
+
+    /// Classic valley-free test graph:
+    ///
+    /// ```text
+    ///   1 ===== 2        (tier-1 peering)
+    ///   |       |
+    ///  10      20        (transit, customers of 1 / 2)
+    ///   |  \    |
+    /// 100   \  200       (stubs)
+    ///         \ |
+    ///          300       (multihomed stub: customers of 10 and 20)
+    /// ```
+    fn diamond() -> AsGraph {
+        let mut g = AsGraph::new();
+        for (asn, tier) in [
+            (1, Tier::Tier1),
+            (2, Tier::Tier1),
+            (10, Tier::Transit),
+            (20, Tier::Transit),
+            (100, Tier::Stub),
+            (200, Tier::Stub),
+            (300, Tier::Stub),
+        ] {
+            g.add_as(info(asn, tier));
+        }
+        g.add_link(link(1, 2, Relation::PeerPeer));
+        g.add_link(link(1, 10, Relation::ProviderCustomer));
+        g.add_link(link(2, 20, Relation::ProviderCustomer));
+        g.add_link(link(10, 100, Relation::ProviderCustomer));
+        g.add_link(link(20, 200, Relation::ProviderCustomer));
+        g.add_link(link(10, 300, Relation::ProviderCustomer));
+        g.add_link(link(20, 300, Relation::ProviderCustomer));
+        g
+    }
+
+    #[test]
+    fn destination_has_local_route() {
+        let g = diamond();
+        let t = RouteTable::compute(&g, Asn(100));
+        let r = t.route(Asn(100)).unwrap();
+        assert!(r.is_local());
+        assert_eq!(r.class, RouteClass::Customer);
+    }
+
+    #[test]
+    fn providers_get_customer_routes() {
+        let g = diamond();
+        let t = RouteTable::compute(&g, Asn(100));
+        let r10 = t.route(Asn(10)).unwrap();
+        assert_eq!(r10.class, RouteClass::Customer);
+        assert_eq!(r10.as_path, vec![Asn(100)]);
+        let r1 = t.route(Asn(1)).unwrap();
+        assert_eq!(r1.class, RouteClass::Customer);
+        assert_eq!(r1.as_path, vec![Asn(10), Asn(100)]);
+    }
+
+    #[test]
+    fn peers_get_peer_routes_and_customers_inherit() {
+        let g = diamond();
+        let t = RouteTable::compute(&g, Asn(100));
+        let r2 = t.route(Asn(2)).unwrap();
+        assert_eq!(r2.class, RouteClass::Peer);
+        assert_eq!(r2.as_path, vec![Asn(1), Asn(10), Asn(100)]);
+        // 200 hears it from its provider 20.
+        let r200 = t.route(Asn(200)).unwrap();
+        assert_eq!(r200.class, RouteClass::Provider);
+        assert_eq!(
+            t.path_from(Asn(200)).unwrap(),
+            vec![Asn(200), Asn(20), Asn(2), Asn(1), Asn(10), Asn(100)]
+        );
+    }
+
+    #[test]
+    fn multihomed_stub_prefers_shorter_provider_route() {
+        let g = diamond();
+        let t = RouteTable::compute(&g, Asn(100));
+        // 300 can go via 10 (10-100, len 2) or via 20 (20-2-1-10-100, len 5).
+        let r300 = t.route(Asn(300)).unwrap();
+        assert_eq!(r300.class, RouteClass::Provider);
+        assert_eq!(r300.as_path, vec![Asn(10), Asn(100)]);
+    }
+
+    #[test]
+    fn no_valley_paths_are_produced() {
+        // Traffic from 100 to 200 must transit the tier-1 peering, never a
+        // stub. Verify path validity: once the path goes "down" (provider →
+        // customer) it never goes back "up".
+        let g = diamond();
+        for dst in [100u32, 200, 300] {
+            let t = RouteTable::compute(&g, Asn(dst));
+            for (src, _) in t.iter() {
+                let path = t.path_from(src).unwrap();
+                assert_valley_free(&g, &path);
+            }
+        }
+    }
+
+    fn assert_valley_free(g: &AsGraph, path: &[Asn]) {
+        #[derive(PartialEq, PartialOrd)]
+        enum Dir {
+            Up,
+            Flat,
+            Down,
+        }
+        let mut max_seen = Dir::Up;
+        for w in path.windows(2) {
+            let id = g.link_between(w[0], w[1]).expect("adjacent hops linked");
+            let l = g.link(id);
+            let dir = match l.relation {
+                Relation::PeerPeer => Dir::Flat,
+                Relation::ProviderCustomer if l.a == w[1] => Dir::Up, // toward provider
+                Relation::ProviderCustomer => Dir::Down,
+            };
+            assert!(
+                dir >= max_seen,
+                "valley in path {:?}",
+                path.iter().map(|a| a.0).collect::<Vec<_>>()
+            );
+            if dir > max_seen {
+                max_seen = dir;
+            }
+        }
+    }
+
+    #[test]
+    fn link_failure_reroutes() {
+        let mut g = diamond();
+        let id = g.link_between(Asn(10), Asn(300)).unwrap();
+        g.link_mut(id).up = false;
+        let t = RouteTable::compute(&g, Asn(100));
+        // 300 now must go via 20.
+        let r300 = t.route(Asn(300)).unwrap();
+        assert_eq!(r300.next_hop(), Some(Asn(20)));
+        assert_eq!(
+            t.path_from(Asn(300)).unwrap(),
+            vec![Asn(300), Asn(20), Asn(2), Asn(1), Asn(10), Asn(100)]
+        );
+    }
+
+    #[test]
+    fn partition_leaves_no_route() {
+        let mut g = diamond();
+        for b in [Asn(1), Asn(300)] {
+            let id = g.link_between(Asn(10), b).unwrap();
+            g.link_mut(id).up = false;
+        }
+        let id = g.link_between(Asn(10), Asn(100)).unwrap();
+        g.link_mut(id).up = false;
+        let t = RouteTable::compute(&g, Asn(100));
+        assert_eq!(t.reachable_count(), 1); // only 100 itself
+        assert!(t.route(Asn(1)).is_none());
+        assert!(t.path_from(Asn(300)).is_none());
+    }
+
+    #[test]
+    fn ingress_peer_identifies_last_hop() {
+        let g = diamond();
+        let t = RouteTable::compute(&g, Asn(100));
+        // From 200: path 200-20-2-1-10-100 → ingress peer of target 100 is 10.
+        assert_eq!(t.ingress_peer(Asn(200)), Some(Asn(10)));
+        // Direct neighbour 10 is its own ingress.
+        assert_eq!(t.ingress_peer(Asn(10)), Some(Asn(10)));
+        assert_eq!(t.ingress_peer(Asn(100)), None);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic_lowest_next_hop() {
+        // 300 dual-homed to 10 and 20; destination 1 reachable via both at
+        // equal length. Expect next hop 10 (lower ASN).
+        let mut g = AsGraph::new();
+        for (asn, tier) in [(1, Tier::Tier1), (10, Tier::Transit), (20, Tier::Transit), (300, Tier::Stub)] {
+            g.add_as(info(asn, tier));
+        }
+        g.add_link(link(1, 10, Relation::ProviderCustomer));
+        g.add_link(link(1, 20, Relation::ProviderCustomer));
+        g.add_link(link(10, 300, Relation::ProviderCustomer));
+        g.add_link(link(20, 300, Relation::ProviderCustomer));
+        let t = RouteTable::compute(&g, Asn(1));
+        assert_eq!(t.route(Asn(300)).unwrap().next_hop(), Some(Asn(10)));
+    }
+}

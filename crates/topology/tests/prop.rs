@@ -1,0 +1,113 @@
+//! Property tests: valley-free routing invariants on randomly generated
+//! Internets.
+
+use infilter_net::Asn;
+use infilter_topology::{AsGraph, InternetBuilder, Relation, RouteTable};
+use proptest::prelude::*;
+
+fn arb_internet() -> impl Strategy<Value = infilter_topology::Internet> {
+    (any::<u64>(), 2usize..5, 4usize..14, 8usize..40).prop_map(|(seed, t1, tr, st)| {
+        InternetBuilder::new(seed)
+            .tier1(t1)
+            .transit(tr)
+            .stubs(st)
+            .build()
+    })
+}
+
+/// A path is valley-free if it never goes "up" (to a provider) or "flat"
+/// (across a peering) after having gone "down" (to a customer), and
+/// crosses at most one peering edge.
+fn is_valley_free(g: &AsGraph, path: &[Asn]) -> bool {
+    #[derive(PartialEq, PartialOrd)]
+    enum Dir {
+        Up,
+        Flat,
+        Down,
+    }
+    let mut max_seen = Dir::Up;
+    let mut peer_edges = 0;
+    for w in path.windows(2) {
+        let Some(id) = g.link_between(w[0], w[1]) else {
+            return false; // hops must be adjacent
+        };
+        let l = g.link(id);
+        let dir = match l.relation {
+            Relation::PeerPeer => {
+                peer_edges += 1;
+                Dir::Flat
+            }
+            Relation::ProviderCustomer if l.a == w[1] => Dir::Up,
+            Relation::ProviderCustomer => Dir::Down,
+        };
+        if dir < max_seen {
+            return false;
+        }
+        if dir > max_seen {
+            max_seen = dir;
+        }
+    }
+    peer_edges <= 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_routes_are_valley_free_and_loop_free(net in arb_internet()) {
+        for target in net.targets().iter().take(3) {
+            let table = RouteTable::compute(net.graph(), target.asn);
+            for (src, _) in table.iter() {
+                let path = table.path_from(src).expect("listed source has a path");
+                prop_assert!(is_valley_free(net.graph(), &path),
+                    "valley in {:?}", path.iter().map(|a| a.0).collect::<Vec<_>>());
+                let mut dedup = path.clone();
+                dedup.sort();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), path.len(), "loop in path");
+                prop_assert_eq!(*path.last().expect("non-empty"), target.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn ingress_peer_is_second_to_last_hop(net in arb_internet()) {
+        let target = net.targets()[0].asn;
+        let table = RouteTable::compute(net.graph(), target);
+        for (src, _) in table.iter() {
+            if src == target {
+                continue;
+            }
+            let path = table.path_from(src).expect("has a path");
+            let expected = path[path.len() - 2];
+            prop_assert_eq!(table.ingress_peer(src), Some(expected));
+            // The ingress peer is genuinely adjacent to the target.
+            prop_assert!(net.graph().link_between(expected, target).is_some());
+        }
+    }
+
+    #[test]
+    fn link_failure_never_adds_reachability(net in arb_internet(), pick in any::<prop::sample::Index>()) {
+        let target = net.targets()[0].asn;
+        let before = RouteTable::compute(net.graph(), target);
+        let mut g = net.graph().clone();
+        let ids: Vec<_> = g.links().map(|(id, _)| id).collect();
+        let victim = ids[pick.index(ids.len())];
+        g.link_mut(victim).up = false;
+        let after = RouteTable::compute(&g, target);
+        prop_assert!(after.reachable_count() <= before.reachable_count());
+        // Everything still reachable was reachable before.
+        for (asn, _) in after.iter() {
+            prop_assert!(before.route(asn).is_some());
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic(seed in any::<u64>()) {
+        let a = InternetBuilder::new(seed).tier1(2).transit(5).stubs(10).build();
+        let b = InternetBuilder::new(seed).tier1(2).transit(5).stubs(10).build();
+        prop_assert_eq!(a.graph().link_count(), b.graph().link_count());
+        prop_assert_eq!(a.looking_glasses(), b.looking_glasses());
+        prop_assert_eq!(a.targets(), b.targets());
+    }
+}

@@ -1,0 +1,310 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use infilter_net::Prefix;
+use serde::{Deserialize, Serialize};
+
+use crate::Traceroute;
+
+/// The paper's three-step aggregation ladder for deciding whether the last
+/// AS-level hop "changed" between consecutive samples (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregationLevel {
+    /// Compare raw interface addresses (the "non-aggregated case").
+    Raw,
+    /// Compare `/24` subnets of the interface addresses, absorbing
+    /// load-shared links provisioned inside one subnet.
+    Subnet24,
+    /// Compare device FQDNs, absorbing all redundant links ("aggregated
+    /// case" with FQDN smoothing).
+    Fqdn,
+}
+
+impl fmt::Display for AggregationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregationLevel::Raw => "raw",
+            AggregationLevel::Subnet24 => "subnet/24",
+            AggregationLevel::Fqdn => "fqdn",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Last-hop change statistics over a measurement campaign, the quantity the
+/// paper reports as "X % of all samples".
+///
+/// # Examples
+///
+/// ```
+/// use infilter_topology::InternetBuilder;
+/// use infilter_traceroute::{AggregationLevel, ChangeStats, SimConfig, TracerouteSim};
+///
+/// let net = InternetBuilder::new(1).tier1(3).transit(10).stubs(30).build();
+/// let mut sim = TracerouteSim::new(net, SimConfig::default());
+/// let series = sim.campaign(0.5, 6.0);
+/// let stats = ChangeStats::from_series(series.values());
+/// // Aggregation can only reduce the measured change rate.
+/// assert!(stats.change_fraction(AggregationLevel::Fqdn)
+///         <= stats.change_fraction(AggregationLevel::Raw));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChangeStats {
+    /// Total traceroutes attempted.
+    pub samples: usize,
+    /// Traceroutes that completed.
+    pub completed: usize,
+    /// Consecutive pairs of complete samples examined.
+    pub transitions: usize,
+    /// Transitions where a raw interface address changed.
+    pub raw_changes: usize,
+    /// Transitions where the `/24` subnet changed.
+    pub subnet_changes: usize,
+    /// Transitions where a device FQDN changed.
+    pub fqdn_changes: usize,
+}
+
+impl ChangeStats {
+    /// Computes change statistics across many per-pair sample series. Each
+    /// series must be time-ordered; incomplete samples are skipped (they
+    /// reduce the sample count exactly as in the paper).
+    pub fn from_series<'a, I>(series: I) -> ChangeStats
+    where
+        I: IntoIterator<Item = &'a Vec<Traceroute>>,
+    {
+        let mut stats = ChangeStats::default();
+        for s in series {
+            stats.absorb_series(s);
+        }
+        stats
+    }
+
+    /// Folds one time-ordered series into the statistics.
+    pub fn absorb_series(&mut self, series: &[Traceroute]) {
+        self.samples += series.len();
+        let mut prev: Option<&Traceroute> = None;
+        for tr in series {
+            if !tr.complete {
+                continue;
+            }
+            self.completed += 1;
+            if let (Some(p), Some((peer, br))) = (prev, tr.last_as_hop()) {
+                let (pp, pb) = p.last_as_hop().expect("prev was complete");
+                self.transitions += 1;
+                if pp.addr != peer.addr || pb.addr != br.addr {
+                    self.raw_changes += 1;
+                }
+                let sub = |a: std::net::Ipv4Addr| Prefix::host(a).truncate(24);
+                if sub(pp.addr) != sub(peer.addr) || sub(pb.addr) != sub(br.addr) {
+                    self.subnet_changes += 1;
+                }
+                if pp.fqdn != peer.fqdn || pb.fqdn != br.fqdn {
+                    self.fqdn_changes += 1;
+                }
+            }
+            if tr.last_as_hop().is_some() {
+                prev = Some(tr);
+            }
+        }
+    }
+
+    /// Fraction of transitions that changed at the given aggregation level.
+    /// Zero when no transitions were observed.
+    pub fn change_fraction(&self, level: AggregationLevel) -> f64 {
+        if self.transitions == 0 {
+            return 0.0;
+        }
+        let changes = match level {
+            AggregationLevel::Raw => self.raw_changes,
+            AggregationLevel::Subnet24 => self.subnet_changes,
+            AggregationLevel::Fqdn => self.fqdn_changes,
+        };
+        changes as f64 / self.transitions as f64
+    }
+}
+
+/// One point of the Figure 1 stability curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityPoint {
+    /// Hop distance from the target (0 = the target-side border router).
+    pub distance_from_target: usize,
+    /// Fraction of consecutive samples where the device at this distance
+    /// changed (by FQDN).
+    pub change_rate: f64,
+    /// Number of transitions this estimate is based on.
+    pub transitions: usize,
+}
+
+/// Regenerates the paper's Figure 1: per-hop route stability as a function
+/// of distance from the target. Low change rates at both ends (where egress
+/// filtering and InFilter respectively operate) and higher rates mid-path
+/// are the expected shape.
+pub fn stability_profile<'a, I>(series: I) -> Vec<StabilityPoint>
+where
+    I: IntoIterator<Item = &'a Vec<Traceroute>>,
+{
+    let mut changes: HashMap<usize, (usize, usize)> = HashMap::new();
+    for s in series {
+        let mut prev: Option<&Traceroute> = None;
+        for tr in s {
+            if !tr.complete {
+                continue;
+            }
+            if let Some(p) = prev {
+                let common = p.hops.len().min(tr.hops.len());
+                for d in 0..common {
+                    let a = &p.hops[p.hops.len() - 1 - d];
+                    let b = &tr.hops[tr.hops.len() - 1 - d];
+                    let entry = changes.entry(d).or_insert((0, 0));
+                    entry.1 += 1;
+                    if a.fqdn != b.fqdn {
+                        entry.0 += 1;
+                    }
+                }
+            }
+            prev = Some(tr);
+        }
+    }
+    let mut points: Vec<StabilityPoint> = changes
+        .into_iter()
+        .map(|(d, (c, t))| StabilityPoint {
+            distance_from_target: d,
+            change_rate: c as f64 / t as f64,
+            transitions: t,
+        })
+        .collect();
+    points.sort_by_key(|p| p.distance_from_target);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hop;
+    use infilter_net::Asn;
+    use infilter_topology::Fqdn;
+
+    fn hop(addr: &str, fqdn: &str, asn: u32) -> Hop {
+        Hop {
+            addr: addr.parse().unwrap(),
+            fqdn: Fqdn(fqdn.to_owned()),
+            asn: Asn(asn),
+        }
+    }
+
+    /// A 4-hop trace: [mid, peer egress, BR, target host].
+    fn trace(t: f64, peer: Hop, br: Hop) -> Traceroute {
+        Traceroute {
+            time_h: t,
+            hops: vec![
+                hop("80.0.0.1", "mid.as9.example.net", 9),
+                peer,
+                br,
+                hop("96.1.0.20", "target.as100.example.net", 100),
+            ],
+            complete: true,
+        }
+    }
+
+    fn peer_a() -> Hop {
+        hop("89.0.1.1", "bdr-100.as7.example.net", 7)
+    }
+
+    fn br_a() -> Hop {
+        hop("89.1.1.1", "bdr-7.as100.example.net", 100)
+    }
+
+    #[test]
+    fn no_change_counts_zero_everywhere() {
+        let s = vec![trace(0.0, peer_a(), br_a()), trace(0.5, peer_a(), br_a())];
+        let st = ChangeStats::from_series([&s]);
+        assert_eq!(st.transitions, 1);
+        assert_eq!(st.raw_changes, 0);
+        assert_eq!(st.subnet_changes, 0);
+        assert_eq!(st.fqdn_changes, 0);
+        assert_eq!(st.change_fraction(AggregationLevel::Raw), 0.0);
+    }
+
+    #[test]
+    fn same_subnet_flip_is_raw_only() {
+        // Second sample reports a parallel interface in the same /24, same
+        // device: raw change, but both aggregations smooth it.
+        let peer_b = hop("89.0.1.2", "bdr-100.as7.example.net", 7);
+        let br_b = hop("89.1.1.2", "bdr-7.as100.example.net", 100);
+        let s = vec![trace(0.0, peer_a(), br_a()), trace(0.5, peer_b, br_b)];
+        let st = ChangeStats::from_series([&s]);
+        assert_eq!(st.raw_changes, 1);
+        assert_eq!(st.subnet_changes, 0);
+        assert_eq!(st.fqdn_changes, 0);
+    }
+
+    #[test]
+    fn diverse_subnet_flip_needs_fqdn_smoothing() {
+        // Parallel link in a different /24 — exactly the case the paper says
+        // "was addressed by using the FQDN".
+        let peer_b = hop("89.0.2.1", "bdr-100.as7.example.net", 7);
+        let br_b = hop("89.1.2.1", "bdr-7.as100.example.net", 100);
+        let s = vec![trace(0.0, peer_a(), br_a()), trace(0.5, peer_b, br_b)];
+        let st = ChangeStats::from_series([&s]);
+        assert_eq!(st.raw_changes, 1);
+        assert_eq!(st.subnet_changes, 1);
+        assert_eq!(st.fqdn_changes, 0);
+    }
+
+    #[test]
+    fn genuine_reroute_changes_every_level() {
+        let peer_b = hop("89.5.1.1", "bdr-100.as8.example.net", 8);
+        let br_b = hop("89.1.9.1", "bdr-8.as100.example.net", 100);
+        let s = vec![trace(0.0, peer_a(), br_a()), trace(0.5, peer_b, br_b)];
+        let st = ChangeStats::from_series([&s]);
+        assert_eq!(st.raw_changes, 1);
+        assert_eq!(st.subnet_changes, 1);
+        assert_eq!(st.fqdn_changes, 1);
+    }
+
+    #[test]
+    fn incomplete_samples_are_skipped_not_counted_as_changes() {
+        let incomplete = Traceroute {
+            time_h: 0.5,
+            hops: vec![],
+            complete: false,
+        };
+        let peer_b = hop("89.5.1.1", "bdr-100.as8.example.net", 8);
+        let br_b = hop("89.1.9.1", "bdr-8.as100.example.net", 100);
+        let s = vec![
+            trace(0.0, peer_a(), br_a()),
+            incomplete,
+            trace(1.0, peer_b, br_b),
+        ];
+        let st = ChangeStats::from_series([&s]);
+        assert_eq!(st.samples, 3);
+        assert_eq!(st.completed, 2);
+        // The transition bridges the gap (samples 0 → 2).
+        assert_eq!(st.transitions, 1);
+        assert_eq!(st.fqdn_changes, 1);
+    }
+
+    #[test]
+    fn change_fraction_with_no_transitions_is_zero() {
+        let st = ChangeStats::default();
+        assert_eq!(st.change_fraction(AggregationLevel::Raw), 0.0);
+    }
+
+    #[test]
+    fn stability_profile_localises_change() {
+        // Two samples differing only in the mid hop (distance 3 from target).
+        let a = trace(0.0, peer_a(), br_a());
+        let mut b = trace(0.5, peer_a(), br_a());
+        b.hops[0] = hop("80.0.0.9", "othermid.as9.example.net", 9);
+        let s = vec![a, b];
+        let profile = stability_profile([&s]);
+        assert_eq!(profile.len(), 4);
+        for p in &profile {
+            if p.distance_from_target == 3 {
+                assert_eq!(p.change_rate, 1.0);
+            } else {
+                assert_eq!(p.change_rate, 0.0, "distance {}", p.distance_from_target);
+            }
+        }
+    }
+}

@@ -1,0 +1,598 @@
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::net::Ipv4Addr;
+
+use infilter_net::Asn;
+use infilter_topology::{Fqdn, Internet, LinkId, RouteTable, RouterGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One responding router on a traceroute path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hop {
+    /// Interface address that answered.
+    pub addr: Ipv4Addr,
+    /// Reverse-DNS name of the device.
+    pub fqdn: Fqdn,
+    /// AS the device belongs to.
+    pub asn: Asn,
+}
+
+/// The result of one emulated traceroute invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Traceroute {
+    /// Simulation time of the sample, in hours.
+    pub time_h: f64,
+    /// Hops from the looking-glass side towards the target (exclusive of the
+    /// probing host, inclusive of the target-network border router and the
+    /// final target).
+    pub hops: Vec<Hop>,
+    /// `false` if the probe timed out mid-path (the paper notes "some
+    /// traceroutes did not complete, hence fewer samples").
+    pub complete: bool,
+}
+
+impl Traceroute {
+    /// The last AS-level hop: `(peer_as_hop, border_router_hop)` — the two
+    /// entities whose stability the InFilter hypothesis asserts. The border
+    /// router is the first device inside the final (target) AS; the peer hop
+    /// is the device immediately before it. `None` for incomplete traces or
+    /// paths that never leave one AS.
+    pub fn last_as_hop(&self) -> Option<(&Hop, &Hop)> {
+        if !self.complete || self.hops.len() < 2 {
+            return None;
+        }
+        let target_asn = self.hops.last().expect("non-empty").asn;
+        // Index of the first hop of the trailing target-AS run.
+        let br_idx = self
+            .hops
+            .iter()
+            .rposition(|h| h.asn != target_asn)
+            .map(|i| i + 1)?;
+        Some((&self.hops[br_idx - 1], &self.hops[br_idx]))
+    }
+}
+
+/// Stochastic parameters of the traceroute emulation.
+///
+/// All rates are per hour of simulated time; every process is Poisson and
+/// advanced lazily, so sampling cost is independent of the interval length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Rate at which a redundant last-hop bundle flips its reported member
+    /// (per-flow load-sharing drift).
+    pub flip_rate_per_hour: f64,
+    /// Rate of genuine ingress reroutes per looking-glass/target pair.
+    pub reroute_rate_per_hour: f64,
+    /// Mean duration of a reroute episode before the path reverts, hours.
+    pub reroute_duration_h: f64,
+    /// Rate of interior-gateway churn re-rolling mid-path intra-AS hops.
+    pub igp_rate_per_hour: f64,
+    /// Probability that a traceroute fails to complete.
+    pub incomplete_prob: f64,
+    /// RNG seed; two sims with equal seeds and configs emit identical runs.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    /// Defaults calibrated so a 30-minute sampling run lands near the
+    /// paper's 24-hour figures (≈4.8 % raw, ≈0.4 % aggregated last-hop
+    /// change) on the default [`infilter_topology::InternetBuilder`] graph.
+    fn default() -> SimConfig {
+        SimConfig {
+            flip_rate_per_hour: 0.25,
+            reroute_rate_per_hour: 0.0065,
+            reroute_duration_h: 3.0,
+            igp_rate_per_hour: 0.05,
+            incomplete_prob: 0.04,
+            seed: 0x1f11_7e55,
+        }
+    }
+}
+
+/// Emulates the paper's Looking-Glass measurement harness over a synthetic
+/// Internet.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_topology::InternetBuilder;
+/// use infilter_traceroute::{SimConfig, TracerouteSim};
+///
+/// let net = InternetBuilder::new(1).tier1(3).transit(10).stubs(30).build();
+/// let mut sim = TracerouteSim::new(net, SimConfig::default());
+/// let tr = sim.sample(0, 0, 0.0);
+/// if tr.complete {
+///     assert!(tr.hops.len() >= 3);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct TracerouteSim {
+    internet: Internet,
+    cfg: SimConfig,
+    /// Primary routing table per target index.
+    primary: Vec<RouteTable>,
+    /// Alternate routing table per (target index, failed last-hop link).
+    alternates: HashMap<(usize, LinkId), RouteTable>,
+    /// Lazy two-state processes keyed by (lg, target).
+    reroutes: HashMap<(usize, usize), TwoState>,
+    /// Lazy member-flip processes keyed by (lg, target).
+    flips: HashMap<(usize, usize), FlipState>,
+    /// Lazy IGP epoch counters keyed by (lg, target).
+    igp: HashMap<(usize, usize), EpochState>,
+    /// Router-level topologies, one per AS, built on demand.
+    routers: HashMap<Asn, RouterGraph>,
+}
+
+#[derive(Debug)]
+struct TwoState {
+    rng: StdRng,
+    active: bool,
+    next_event_h: f64,
+}
+
+#[derive(Debug)]
+struct FlipState {
+    rng: StdRng,
+    member: usize,
+    next_event_h: f64,
+}
+
+#[derive(Debug)]
+struct EpochState {
+    rng: StdRng,
+    epoch: u64,
+    next_event_h: f64,
+}
+
+impl TracerouteSim {
+    /// Builds the simulator, precomputing the primary routing table for each
+    /// target.
+    pub fn new(internet: Internet, cfg: SimConfig) -> TracerouteSim {
+        let primary = internet
+            .targets()
+            .iter()
+            .map(|t| RouteTable::compute(internet.graph(), t.asn))
+            .collect();
+        TracerouteSim {
+            internet,
+            cfg,
+            primary,
+            alternates: HashMap::new(),
+            reroutes: HashMap::new(),
+            flips: HashMap::new(),
+            igp: HashMap::new(),
+            routers: HashMap::new(),
+        }
+    }
+
+    /// The underlying Internet.
+    pub fn internet(&self) -> &Internet {
+        &self.internet
+    }
+
+    /// Issues one traceroute from looking glass `lg` to target `target` at
+    /// simulation time `time_h` (hours). Sampling the same pair at
+    /// non-decreasing times advances its stochastic processes; out-of-order
+    /// sampling of *different* pairs is fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lg` or `target` is out of range.
+    pub fn sample(&mut self, lg: usize, target: usize, time_h: f64) -> Traceroute {
+        assert!(lg < self.internet.looking_glasses().len(), "lg index out of range");
+        let target_site = self.internet.targets()[target].clone();
+
+        // Per-sample failure, deterministic in (pair, time).
+        let mut sample_rng = StdRng::seed_from_u64(mix(self.cfg.seed, &(lg, target, time_h.to_bits(), 0u8)));
+        if sample_rng.gen_bool(self.cfg.incomplete_prob) {
+            return Traceroute {
+                time_h,
+                hops: Vec::new(),
+                complete: false,
+            };
+        }
+
+        // Resolve the AS path, honouring any active reroute episode.
+        let rerouted = self.reroute_active(lg, target, time_h);
+        let as_path = self.as_path(lg, target, rerouted);
+        let Some(as_path) = as_path else {
+            return Traceroute {
+                time_h,
+                hops: Vec::new(),
+                complete: false,
+            };
+        };
+
+        // IGP epoch scrambles mid-path intra-AS hop identities.
+        let igp_epoch = self.igp_epoch(lg, target, time_h);
+        // Load-sharing member for the *last* inter-AS hop.
+        let member = self.flip_member(lg, target, time_h, &as_path);
+
+        let hops = self.expand(&as_path, igp_epoch, member, &target_site.addr);
+        Traceroute {
+            time_h,
+            hops,
+            complete: true,
+        }
+    }
+
+    /// Runs a full measurement campaign: every looking glass probes every
+    /// target every `interval_h` hours for `duration_h` hours, mirroring the
+    /// paper's 24-hour (30-min period) and 4-day (60-min period) runs.
+    /// Returns one time-ordered series per (lg, target) pair.
+    pub fn campaign(
+        &mut self,
+        interval_h: f64,
+        duration_h: f64,
+    ) -> HashMap<(usize, usize), Vec<Traceroute>> {
+        let n_lg = self.internet.looking_glasses().len();
+        let n_t = self.internet.targets().len();
+        let steps = (duration_h / interval_h).floor() as usize;
+        let mut out: HashMap<(usize, usize), Vec<Traceroute>> = HashMap::new();
+        for step in 0..steps {
+            let t = step as f64 * interval_h;
+            for lg in 0..n_lg {
+                for target in 0..n_t {
+                    out.entry((lg, target)).or_default().push(self.sample(lg, target, t));
+                }
+            }
+        }
+        out
+    }
+
+    fn as_path(&mut self, lg: usize, target: usize, rerouted: bool) -> Option<Vec<Asn>> {
+        let lg_asn = self.internet.looking_glasses()[lg].asn;
+        let primary_path = self.primary[target].path_from(lg_asn)?;
+        if !rerouted || primary_path.len() < 2 {
+            return Some(primary_path);
+        }
+        // A reroute fails the primary ingress link and recomputes.
+        let n = primary_path.len();
+        let ingress_link = self
+            .internet
+            .graph()
+            .link_between(primary_path[n - 2], primary_path[n - 1])?;
+        let alt = self.alternate_table(target, ingress_link);
+        match alt.path_from(lg_asn) {
+            Some(p) => Some(p),
+            None => Some(primary_path), // no alternate ingress: reroute is a no-op
+        }
+    }
+
+    fn alternate_table(&mut self, target: usize, failed: LinkId) -> &RouteTable {
+        let target_asn = self.internet.targets()[target].asn;
+        let internet = &self.internet;
+        self.alternates.entry((target, failed)).or_insert_with(|| {
+            let mut graph = internet.graph().clone();
+            graph.link_mut(failed).up = false;
+            RouteTable::compute(&graph, target_asn)
+        })
+    }
+
+    fn reroute_active(&mut self, lg: usize, target: usize, time_h: f64) -> bool {
+        let cfg = &self.cfg;
+        let seed = mix(cfg.seed, &(lg, target, 1u8));
+        let st = self.reroutes.entry((lg, target)).or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let first = exp_sample(&mut rng, cfg.reroute_rate_per_hour);
+            TwoState {
+                rng,
+                active: false,
+                next_event_h: first,
+            }
+        });
+        while st.next_event_h <= time_h {
+            st.active = !st.active;
+            let rate = if st.active {
+                1.0 / cfg.reroute_duration_h
+            } else {
+                cfg.reroute_rate_per_hour
+            };
+            st.next_event_h += exp_sample(&mut st.rng, rate);
+        }
+        st.active
+    }
+
+    fn flip_member(&mut self, lg: usize, target: usize, time_h: f64, as_path: &[Asn]) -> usize {
+        if as_path.len() < 2 {
+            return 0;
+        }
+        let n = as_path.len();
+        let bundle_size = self
+            .internet
+            .graph()
+            .link_between(as_path[n - 2], as_path[n - 1])
+            .map(|id| self.internet.graph().link(id).bundle.len())
+            .unwrap_or(1);
+        if bundle_size < 2 {
+            return 0;
+        }
+        let cfg = &self.cfg;
+        let seed = mix(cfg.seed, &(lg, target, 2u8));
+        let st = self.flips.entry((lg, target)).or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let first = exp_sample(&mut rng, cfg.flip_rate_per_hour);
+            FlipState {
+                rng,
+                member: 0,
+                next_event_h: first,
+            }
+        });
+        while st.next_event_h <= time_h {
+            st.member += 1;
+            st.next_event_h += exp_sample(&mut st.rng, cfg.flip_rate_per_hour);
+        }
+        st.member % bundle_size
+    }
+
+    fn igp_epoch(&mut self, lg: usize, target: usize, time_h: f64) -> u64 {
+        let cfg = &self.cfg;
+        let seed = mix(cfg.seed, &(lg, target, 3u8));
+        let st = self.igp.entry((lg, target)).or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let first = exp_sample(&mut rng, cfg.igp_rate_per_hour);
+            EpochState {
+                rng,
+                epoch: 0,
+                next_event_h: first,
+            }
+        });
+        while st.next_event_h <= time_h {
+            st.epoch += 1;
+            st.next_event_h += exp_sample(&mut st.rng, cfg.igp_rate_per_hour);
+        }
+        st.epoch
+    }
+
+    /// Expands an AS path into IP-level hops: for each AS, the OSPF-style
+    /// shortest path between the border routers the traffic enters and
+    /// leaves through, then the inter-AS link interface.
+    fn expand(
+        &mut self,
+        as_path: &[Asn],
+        igp_epoch: u64,
+        last_hop_member: usize,
+        target_addr: &Ipv4Addr,
+    ) -> Vec<Hop> {
+        // Materialise router graphs for every AS on the path first (the
+        // borrow of `self.routers` below must not fight `self.internet`).
+        for &asn in as_path {
+            let info = self
+                .internet
+                .graph()
+                .as_info(asn)
+                .expect("path ASes exist")
+                .clone();
+            self.routers
+                .entry(asn)
+                .or_insert_with(|| RouterGraph::for_as(&info));
+        }
+        let graph = self.internet.graph();
+        let mut hops = Vec::new();
+        let n = as_path.len();
+        for (i, &asn) in as_path.iter().enumerate() {
+            let routers = &self.routers[&asn];
+            // Intra-AS segment: SPF between the entry-facing and exit-facing
+            // border routers. IGP cost epochs only move mid-path ASes; the
+            // first and last AS stay at epoch 0, so churn concentrates in
+            // the middle of the path (paper Figure 1: stability is high
+            // near both ends).
+            let epoch = if i == 0 || i + 1 >= n.saturating_sub(1) { 0 } else { igp_epoch };
+            let entry = if i == 0 {
+                // The looking glass's access router.
+                routers.border_router(Asn(u32::MAX))
+            } else {
+                routers.border_router(as_path[i - 1])
+            };
+            let exit = if i + 1 < n {
+                routers.border_router(as_path[i + 1])
+            } else {
+                // Inside the target AS: route towards the target site.
+                routers.border_router(Asn(u32::from(*target_addr)))
+            };
+            let internal = routers
+                .spf_path(entry, exit, epoch)
+                .expect("router graphs are connected");
+            for r in internal {
+                hops.push(Hop {
+                    addr: routers.loopback(r),
+                    fqdn: routers.fqdn(r),
+                    asn,
+                });
+            }
+            // Inter-AS hop towards the next AS: the next AS's receiving
+            // interface. For the final (peer → target) adjacency use the
+            // load-shared member and emit *both* ends so the last AS-level
+            // hop (peer egress, target BR) is visible, as in real traceroute
+            // output.
+            if i + 1 < n {
+                let next = as_path[i + 1];
+                let Some(link_id) = graph.link_between(asn, next) else {
+                    continue;
+                };
+                let link = graph.link(link_id);
+                let is_last_adjacency = i + 2 == n;
+                let member = if is_last_adjacency {
+                    last_hop_member.min(link.bundle.len() - 1)
+                } else {
+                    0
+                };
+                if is_last_adjacency {
+                    let peer_end = link.end_of(asn, member);
+                    hops.push(Hop {
+                        addr: peer_end.addr,
+                        fqdn: peer_end.fqdn.clone(),
+                        asn,
+                    });
+                }
+                let recv_end = link.end_of(next, member);
+                hops.push(Hop {
+                    addr: recv_end.addr,
+                    fqdn: recv_end.fqdn.clone(),
+                    asn: next,
+                });
+            }
+        }
+        // Final hop: the target host itself.
+        if let Some(&last_asn) = as_path.last() {
+            hops.push(Hop {
+                addr: *target_addr,
+                fqdn: Fqdn(format!("target.as{}.example.net", last_asn.0)),
+                asn: last_asn,
+            });
+        }
+        hops
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, rate_per_hour: f64) -> f64 {
+    if rate_per_hour <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate_per_hour
+}
+
+fn mix<T: Hash>(seed: u64, value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_topology::InternetBuilder;
+
+    fn small_sim(seed: u64) -> TracerouteSim {
+        let net = InternetBuilder::new(seed).tier1(3).transit(10).stubs(30).build();
+        TracerouteSim::new(
+            net,
+            SimConfig {
+                incomplete_prob: 0.0,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let mut a = small_sim(4);
+        let mut b = small_sim(4);
+        for t in [0.0, 0.5, 1.0, 7.5] {
+            assert_eq!(a.sample(0, 0, t), b.sample(0, 0, t));
+        }
+    }
+
+    #[test]
+    fn path_ends_inside_target_as() {
+        let mut sim = small_sim(4);
+        let target_asn = sim.internet().targets()[1].asn;
+        let tr = sim.sample(2, 1, 0.0);
+        assert!(tr.complete);
+        assert_eq!(tr.hops.last().unwrap().asn, target_asn);
+    }
+
+    #[test]
+    fn last_as_hop_exposes_peer_and_br() {
+        let mut sim = small_sim(4);
+        let tr = sim.sample(0, 0, 0.0);
+        let (peer, br) = tr.last_as_hop().unwrap();
+        let target_asn = sim.internet().targets()[0].asn;
+        assert_eq!(br.asn, target_asn);
+        assert_ne!(peer.asn, target_asn);
+        // The BR hop belongs to the peer→target adjacency.
+        assert!(br.fqdn.0.contains(&format!("as{}", target_asn.0)));
+    }
+
+    #[test]
+    fn incomplete_probability_one_never_completes() {
+        let net = InternetBuilder::new(4).tier1(3).transit(10).stubs(30).build();
+        let mut sim = TracerouteSim::new(
+            net,
+            SimConfig {
+                incomplete_prob: 1.0,
+                ..SimConfig::default()
+            },
+        );
+        let tr = sim.sample(0, 0, 0.0);
+        assert!(!tr.complete);
+        assert!(tr.hops.is_empty());
+        assert!(tr.last_as_hop().is_none());
+    }
+
+    #[test]
+    fn zero_rates_freeze_the_path() {
+        let net = InternetBuilder::new(4).tier1(3).transit(10).stubs(30).build();
+        let mut sim = TracerouteSim::new(
+            net,
+            SimConfig {
+                flip_rate_per_hour: 0.0,
+                reroute_rate_per_hour: 0.0,
+                igp_rate_per_hour: 0.0,
+                incomplete_prob: 0.0,
+                ..SimConfig::default()
+            },
+        );
+        let first = sim.sample(1, 2, 0.0);
+        for step in 1..50 {
+            let tr = sim.sample(1, 2, step as f64 * 0.5);
+            assert_eq!(tr.hops, first.hops, "path moved with all rates zero");
+        }
+    }
+
+    #[test]
+    fn high_flip_rate_changes_last_hop_addresses_not_fqdns() {
+        let net = InternetBuilder::new(4)
+            .tier1(3)
+            .transit(10)
+            .stubs(30)
+            .parallel_prob(1.0)
+            .build();
+        let mut sim = TracerouteSim::new(
+            net,
+            SimConfig {
+                flip_rate_per_hour: 50.0,
+                reroute_rate_per_hour: 0.0,
+                igp_rate_per_hour: 0.0,
+                incomplete_prob: 0.0,
+                ..SimConfig::default()
+            },
+        );
+        let mut addr_changes = 0;
+        let mut fqdn_changes = 0;
+        let mut prev: Option<Traceroute> = None;
+        for step in 0..100 {
+            let tr = sim.sample(0, 0, step as f64 * 0.5);
+            if let (Some(p), Some((peer, br))) = (&prev, tr.last_as_hop()) {
+                let (pp, pb) = p.last_as_hop().unwrap();
+                if pp.addr != peer.addr || pb.addr != br.addr {
+                    addr_changes += 1;
+                }
+                if pp.fqdn != peer.fqdn || pb.fqdn != br.fqdn {
+                    fqdn_changes += 1;
+                }
+            }
+            prev = Some(tr);
+        }
+        assert!(addr_changes > 20, "expected frequent raw flips, saw {addr_changes}");
+        assert_eq!(fqdn_changes, 0, "load sharing must not change device names");
+    }
+
+    #[test]
+    fn campaign_produces_expected_sample_counts() {
+        let mut sim = small_sim(4);
+        let series = sim.campaign(0.5, 4.0);
+        let n_lg = sim.internet().looking_glasses().len();
+        let n_t = sim.internet().targets().len();
+        assert_eq!(series.len(), n_lg * n_t);
+        for s in series.values() {
+            assert_eq!(s.len(), 8);
+            assert!(s.windows(2).all(|w| w[0].time_h < w[1].time_h));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Textual traceroute output — rendering and parsing.
+//!
+//! The paper's measurement harness was "a Java script that executed the
+//! appropriate traceroute command periodically on each of the Looking
+//! Glass sites… The output was parsed to determine whether there was a
+//! change in the last hop". This module closes the same loop: a
+//! [`Traceroute`] renders to classic `traceroute(8)` output, and
+//! [`parse_output`] recovers the hops (address + FQDN) from such text, so
+//! the analysis pipeline can run on the textual artifact exactly as the
+//! paper's did.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use infilter_net::Asn;
+use infilter_topology::Fqdn;
+
+use crate::{Hop, Traceroute};
+
+/// Renders a traceroute in the classic `fqdn (addr)  x ms` format.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_topology::InternetBuilder;
+/// use infilter_traceroute::{render_output, parse_output, SimConfig, TracerouteSim};
+///
+/// let net = InternetBuilder::new(1).tier1(3).transit(10).stubs(30).build();
+/// let mut sim = TracerouteSim::new(net, SimConfig { incomplete_prob: 0.0, ..SimConfig::default() });
+/// let tr = sim.sample(0, 0, 0.0);
+/// let text = render_output(&tr);
+/// let hops = parse_output(&text).unwrap();
+/// assert_eq!(hops.len(), tr.hops.len());
+/// assert_eq!(hops.last().unwrap().addr, tr.hops.last().unwrap().addr);
+/// ```
+pub fn render_output(tr: &Traceroute) -> String {
+    let mut out = String::new();
+    if !tr.complete {
+        out.push_str("traceroute: probe timed out\n");
+        return out;
+    }
+    for (i, hop) in tr.hops.iter().enumerate() {
+        // Deterministic cosmetic RTT: grows with hop index.
+        let rtt = 2.0 + i as f64 * 7.5;
+        out.push_str(&format!(
+            "{:>2}  {} ({})  {:.3} ms\n",
+            i + 1,
+            hop.fqdn,
+            hop.addr,
+            rtt
+        ));
+    }
+    out
+}
+
+/// A hop recovered from traceroute text: what the paper's parser had to
+/// work with (no AS numbers on the wire — those are annotations the
+/// simulator knows but text does not carry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedHop {
+    /// Hop index as printed (1-based).
+    pub index: usize,
+    /// Reverse-DNS name, if the responder had one.
+    pub fqdn: Fqdn,
+    /// Responding interface address.
+    pub addr: Ipv4Addr,
+}
+
+impl ParsedHop {
+    /// Converts to a [`Hop`] with an unknown (zero) ASN — textual output
+    /// carries no AS information, exactly the paper's situation before its
+    /// FQDN/subnet smoothing heuristics.
+    pub fn into_hop(self) -> Hop {
+        Hop {
+            addr: self.addr,
+            fqdn: self.fqdn,
+            asn: Asn(0),
+        }
+    }
+}
+
+/// Error from [`parse_output`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOutputError {
+    line: usize,
+    message: String,
+}
+
+impl ParseOutputError {
+    /// Zero-based offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseOutputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseOutputError {}
+
+/// Parses classic traceroute output into hops. Lines that don't look like
+/// hop lines (headers, `* * *` timeouts) are skipped; malformed hop lines
+/// are errors.
+///
+/// # Errors
+///
+/// Returns [`ParseOutputError`] when a hop line has an unparsable address.
+pub fn parse_output(text: &str) -> Result<Vec<ParsedHop>, ParseOutputError> {
+    let mut hops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        // Hop lines start with an index.
+        let Some((idx_str, rest)) = line.split_once(char::is_whitespace) else {
+            continue;
+        };
+        let Ok(index) = idx_str.parse::<usize>() else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest.starts_with('*') {
+            continue; // silent hop
+        }
+        // `fqdn (addr)  rtt ms` or bare `addr  rtt ms`.
+        let (fqdn, addr_str) = match (rest.find('('), rest.find(')')) {
+            (Some(open), Some(close)) if open < close => {
+                (rest[..open].trim().to_owned(), &rest[open + 1..close])
+            }
+            _ => {
+                let first = rest.split_whitespace().next().unwrap_or_default();
+                (first.to_owned(), first)
+            }
+        };
+        let addr: Ipv4Addr = addr_str.trim().parse().map_err(|_| ParseOutputError {
+            line: lineno,
+            message: format!("bad address `{addr_str}`"),
+        })?;
+        hops.push(ParsedHop {
+            index,
+            fqdn: Fqdn(fqdn),
+            addr,
+        });
+    }
+    Ok(hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_classic_format() {
+        let text = "\
+traceroute to 96.1.0.20 (96.1.0.20), 30 hops max
+ 1  gw.campus.example.net (10.0.0.1)  1.2 ms
+ 2  core1-3.as9.example.net (89.0.1.17)  8.911 ms
+ 3  * * *
+ 4  bdr-100.as7.example.net (89.0.2.1)  22.01 ms
+ 5  96.1.0.20 (96.1.0.20)  30.5 ms
+";
+        let hops = parse_output(text).unwrap();
+        assert_eq!(hops.len(), 4); // the silent hop is skipped
+        assert_eq!(hops[0].fqdn.0, "gw.campus.example.net");
+        assert_eq!(hops[1].addr, "89.0.1.17".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(hops[3].index, 5);
+    }
+
+    #[test]
+    fn bare_address_hops_parse() {
+        let hops = parse_output(" 1  192.0.2.1  5 ms\n").unwrap();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].fqdn.0, "192.0.2.1");
+    }
+
+    #[test]
+    fn malformed_address_is_an_error() {
+        let err = parse_output(" 3  router (not-an-address)  5 ms\n").unwrap_err();
+        assert_eq!(err.line(), 0);
+        assert!(err.to_string().contains("bad address"));
+    }
+
+    #[test]
+    fn incomplete_trace_renders_and_parses_empty() {
+        let tr = Traceroute {
+            time_h: 0.0,
+            hops: vec![],
+            complete: false,
+        };
+        let text = render_output(&tr);
+        assert!(text.contains("timed out"));
+        assert!(parse_output(&text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parsed_hop_converts_with_unknown_asn() {
+        let hop = ParsedHop {
+            index: 1,
+            fqdn: Fqdn("x.example.net".into()),
+            addr: "10.0.0.1".parse().unwrap(),
+        }
+        .into_hop();
+        assert_eq!(hop.asn, Asn(0));
+        assert_eq!(hop.fqdn.0, "x.example.net");
+    }
+}

@@ -1,0 +1,429 @@
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{AppClass, FlowTemplate, Trace};
+
+/// The twelve attacks of the paper's evaluation (§6.2): the named stealthy
+/// tools (Puke, Jolt, Teardrop, Land), the Slammer worm, the TFN2K DDoS
+/// flood, spoofed nmap-style host/network scans, and four service exploits
+/// (http, ftp, smtp, dns) standing in for the Nessus-derived traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Forged ICMP unreachable storm against one client (stealthy).
+    Puke,
+    /// Oversized fragmented ICMP ping of death variant (stealthy).
+    Jolt,
+    /// Overlapping UDP fragments crashing the reassembler (stealthy).
+    Teardrop,
+    /// TCP SYN with source equal to destination (stealthy).
+    Land,
+    /// SQL Slammer: one 376–404-byte UDP packet to port 1434 per victim,
+    /// sprayed across many hosts (network-scan footprint).
+    Slammer,
+    /// TFN2K distributed flood: sustained many-flow volume attack.
+    Tfn2k,
+    /// Spoofed idle scan of many ports on one host.
+    HostScan,
+    /// Spoofed sweep of one port across many hosts.
+    NetworkScan,
+    /// HTTP service exploit (oversized request, near-normal otherwise).
+    HttpExploit,
+    /// FTP service exploit (command-channel overflow).
+    FtpExploit,
+    /// SMTP service exploit (malformed long transaction).
+    SmtpExploit,
+    /// DNS service exploit (oversized response/TXT abuse).
+    DnsExploit,
+}
+
+impl AttackKind {
+    /// All twelve attacks in a stable order.
+    pub const ALL: [AttackKind; 12] = [
+        AttackKind::Puke,
+        AttackKind::Jolt,
+        AttackKind::Teardrop,
+        AttackKind::Land,
+        AttackKind::Slammer,
+        AttackKind::Tfn2k,
+        AttackKind::HostScan,
+        AttackKind::NetworkScan,
+        AttackKind::HttpExploit,
+        AttackKind::FtpExploit,
+        AttackKind::SmtpExploit,
+        AttackKind::DnsExploit,
+    ];
+
+    /// Whether the attack involves one or very few packets — the class the
+    /// paper stresses COTS signature IDSes missed.
+    pub fn is_stealthy(&self) -> bool {
+        matches!(
+            self,
+            AttackKind::Puke
+                | AttackKind::Jolt
+                | AttackKind::Teardrop
+                | AttackKind::Land
+                | AttackKind::HttpExploit
+                | AttackKind::FtpExploit
+                | AttackKind::SmtpExploit
+                | AttackKind::DnsExploit
+        )
+    }
+
+    /// Whether the attack's footprint is a scan (fixed port across hosts or
+    /// many ports on one host) that Scan Analysis should catch.
+    pub fn is_scan(&self) -> bool {
+        matches!(
+            self,
+            AttackKind::Slammer | AttackKind::HostScan | AttackKind::NetworkScan
+        )
+    }
+
+    /// Generates one instance of the attack. `dst_slots` bounds the victim
+    /// slot space (the target network size); flows start at time zero.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, dst_slots: u64) -> AttackInstance {
+        let flows = match self {
+            AttackKind::Puke => {
+                let victim = rng.gen_range(0..dst_slots);
+                vec![icmp_flow(rng, victim, 3, 3 * 56, 40)]
+            }
+            AttackKind::Jolt => {
+                let victim = rng.gen_range(0..dst_slots);
+                // A single "packet" fragmented far past 64 KB.
+                vec![icmp_flow(rng, victim, 44, 66_000, 15)]
+            }
+            AttackKind::Teardrop => {
+                let victim = rng.gen_range(0..dst_slots);
+                vec![FlowTemplate {
+                    start_ms: 0,
+                    app: AppClass::OtherUdp,
+                    protocol: 17,
+                    src_slot: rng.gen(),
+                    dst_slot: victim,
+                    src_port: rng.gen_range(1024..65535),
+                    dst_port: rng.gen_range(1024..65535),
+                    packets: 2,
+                    bytes: 36 + 24,
+                    duration_ms: 1,
+                    tcp_flags: 0,
+                }]
+            }
+            AttackKind::Land => {
+                let victim = rng.gen_range(0..dst_slots);
+                vec![FlowTemplate {
+                    start_ms: 0,
+                    app: AppClass::OtherTcp,
+                    protocol: 6,
+                    src_slot: rng.gen(),
+                    dst_slot: victim,
+                    src_port: 139,
+                    dst_port: 139,
+                    packets: 1,
+                    bytes: 40,
+                    duration_ms: 0,
+                    tcp_flags: crate::attack::TCP_SYN,
+                }]
+            }
+            AttackKind::Slammer => {
+                // One single-packet UDP flow per victim host, fixed port.
+                let victims = 30.min(dst_slots.max(1)) as usize;
+                (0..victims)
+                    .map(|i| FlowTemplate {
+                        start_ms: (i as u64) * 8_000,
+                        app: AppClass::OtherUdp,
+                        protocol: 17,
+                        src_slot: rng.gen(),
+                        dst_slot: (rng.gen_range(0..dst_slots.max(1)) + i as u64) % dst_slots.max(1),
+                        src_port: rng.gen_range(1024..65535),
+                        dst_port: 1434,
+                        packets: 1,
+                        bytes: 404,
+                        duration_ms: 0,
+                        tcp_flags: 0,
+                    })
+                    .collect()
+            }
+            AttackKind::Tfn2k => {
+                let victim = rng.gen_range(0..dst_slots);
+                (0..240)
+                    .map(|i| {
+                        let proto_pick = rng.gen_range(0..3);
+                        let (app, protocol, dst_port, flags) = match proto_pick {
+                            0 => (AppClass::OtherTcp, 6, 80, TCP_SYN),
+                            1 => (AppClass::OtherUdp, 17, rng.gen_range(1..1024), 0),
+                            _ => (AppClass::Icmp, 1, 0, 0),
+                        };
+                        FlowTemplate {
+                            start_ms: i / 4,
+                            app,
+                            protocol,
+                            src_slot: rng.gen(),
+                            dst_slot: victim,
+                            src_port: rng.gen_range(1024..65535),
+                            dst_port,
+                            packets: rng.gen_range(400..1200),
+                            bytes: rng.gen_range(400..1200) * 60,
+                            duration_ms: rng.gen_range(800..2500),
+                            tcp_flags: flags,
+                        }
+                    })
+                    .collect()
+            }
+            AttackKind::HostScan => {
+                let victim = rng.gen_range(0..dst_slots);
+                (0..60u16)
+                    .map(|i| FlowTemplate {
+                        start_ms: (i as u64) * 2_000,
+                        app: AppClass::OtherTcp,
+                        protocol: 6,
+                        src_slot: rng.gen(),
+                        dst_slot: victim,
+                        src_port: rng.gen_range(1024..65535),
+                        dst_port: 1 + i * 7,
+                        packets: 1,
+                        bytes: 40,
+                        duration_ms: 0,
+                        tcp_flags: TCP_SYN,
+                    })
+                    .collect()
+            }
+            AttackKind::NetworkScan => {
+                let port = 445;
+                (0..50u64)
+                    .map(|i| FlowTemplate {
+                        start_ms: i * 5_000,
+                        app: AppClass::OtherTcp,
+                        protocol: 6,
+                        src_slot: rng.gen(),
+                        dst_slot: (i * 17) % dst_slots.max(1),
+                        src_port: rng.gen_range(1024..65535),
+                        dst_port: port,
+                        packets: 1,
+                        bytes: 40,
+                        duration_ms: 0,
+                        tcp_flags: TCP_SYN,
+                    })
+                    .collect()
+            }
+            // The http/smtp exploits ride inside a median-looking session
+            // (stealthy payload, normal envelope); ftp/dns exploits have a
+            // tell-tale shape (tiny command-channel overflow, oversized
+            // datagram).
+            AttackKind::HttpExploit => {
+                exploit_flows(rng, dst_slots, AppClass::Http, 13, 8_300, 850)
+            }
+            AttackKind::FtpExploit => exploit_flows(rng, dst_slots, AppClass::Ftp, 4, 2_600, 3),
+            AttackKind::SmtpExploit => {
+                exploit_flows(rng, dst_slots, AppClass::Smtp, 18, 8_200, 1_400)
+            }
+            AttackKind::DnsExploit => exploit_flows(rng, dst_slots, AppClass::Dns, 1, 4_100, 0),
+        };
+        AttackInstance {
+            kind: *self,
+            trace: Trace::new(flows),
+        }
+    }
+
+    /// Short lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::Puke => "puke",
+            AttackKind::Jolt => "jolt",
+            AttackKind::Teardrop => "teardrop",
+            AttackKind::Land => "land",
+            AttackKind::Slammer => "slammer",
+            AttackKind::Tfn2k => "tfn2k",
+            AttackKind::HostScan => "host-scan",
+            AttackKind::NetworkScan => "network-scan",
+            AttackKind::HttpExploit => "http-exploit",
+            AttackKind::FtpExploit => "ftp-exploit",
+            AttackKind::SmtpExploit => "smtp-exploit",
+            AttackKind::DnsExploit => "dns-exploit",
+        }
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const TCP_SYN: u8 = 0x02;
+
+fn icmp_flow<R: Rng + ?Sized>(
+    rng: &mut R,
+    victim: u64,
+    packets: u32,
+    bytes: u32,
+    duration_ms: u32,
+) -> FlowTemplate {
+    FlowTemplate {
+        start_ms: 0,
+        app: AppClass::Icmp,
+        protocol: 1,
+        src_slot: rng.gen(),
+        dst_slot: victim,
+        src_port: 0,
+        dst_port: 0,
+        packets,
+        bytes,
+        duration_ms,
+        tcp_flags: 0,
+    }
+}
+
+/// A service exploit: the tool tries three victim hosts, three payload
+/// retries each, recycling one forged source per victim — nine flows from
+/// three spoofed sources, all on the service's well-known port.
+fn exploit_flows<R: Rng + ?Sized>(
+    rng: &mut R,
+    dst_slots: u64,
+    app: AppClass,
+    packets: u32,
+    bytes: u32,
+    duration_ms: u32,
+) -> Vec<FlowTemplate> {
+    let src_base: u64 = rng.gen();
+    let src_port = rng.gen_range(1024..65535);
+    let mut flows = Vec::with_capacity(9);
+    for victim in 0..3u64 {
+        let dst_slot = rng.gen_range(0..dst_slots.max(1));
+        for retry in 0..3u64 {
+            flows.push(FlowTemplate {
+                start_ms: (victim * 3 + retry) * 2_000,
+                app,
+                protocol: app.protocol(),
+                src_slot: src_base.wrapping_add(victim),
+                dst_slot,
+                src_port,
+                dst_port: app.well_known_port(),
+                packets,
+                bytes,
+                duration_ms,
+                tcp_flags: if app.protocol() == 6 { TCP_SYN } else { 0 },
+            });
+        }
+    }
+    flows
+}
+
+/// One generated attack: its kind plus the replayable trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackInstance {
+    /// Which attack this is.
+    pub kind: AttackKind,
+    /// The attack's flows.
+    pub trace: Trace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xa77ac)
+    }
+
+    #[test]
+    fn twelve_unique_attacks() {
+        let set: HashSet<AttackKind> = AttackKind::ALL.into_iter().collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn stealthy_attacks_are_tiny() {
+        let mut r = rng();
+        for kind in AttackKind::ALL.into_iter().filter(AttackKind::is_stealthy) {
+            let inst = kind.generate(&mut r, 1024);
+            assert!(
+                inst.trace.len() <= 9,
+                "{kind} generated {} flows",
+                inst.trace.len()
+            );
+            let total_packets: u32 = inst.trace.flows.iter().map(|f| f.packets).sum();
+            assert!(total_packets <= 200, "{kind}: {total_packets} packets");
+        }
+    }
+
+    #[test]
+    fn slammer_matches_published_footprint() {
+        let inst = AttackKind::Slammer.generate(&mut rng(), 1024);
+        assert!(inst.trace.len() >= 20);
+        for f in &inst.trace.flows {
+            assert_eq!(f.protocol, 17);
+            assert_eq!(f.dst_port, 1434);
+            assert_eq!(f.packets, 1, "Slammer is a single-packet worm");
+            assert_eq!(f.bytes, 404);
+        }
+        // Many distinct victims.
+        let victims: HashSet<u64> = inst.trace.flows.iter().map(|f| f.dst_slot).collect();
+        assert!(victims.len() >= 15);
+    }
+
+    #[test]
+    fn host_scan_hits_many_ports_on_one_host() {
+        let inst = AttackKind::HostScan.generate(&mut rng(), 1024);
+        let victims: HashSet<u64> = inst.trace.flows.iter().map(|f| f.dst_slot).collect();
+        assert_eq!(victims.len(), 1);
+        let ports: HashSet<u16> = inst.trace.flows.iter().map(|f| f.dst_port).collect();
+        assert!(ports.len() >= 50);
+    }
+
+    #[test]
+    fn network_scan_hits_one_port_on_many_hosts() {
+        let inst = AttackKind::NetworkScan.generate(&mut rng(), 1024);
+        let victims: HashSet<u64> = inst.trace.flows.iter().map(|f| f.dst_slot).collect();
+        assert!(victims.len() >= 30);
+        let ports: HashSet<u16> = inst.trace.flows.iter().map(|f| f.dst_port).collect();
+        assert_eq!(ports.len(), 1);
+    }
+
+    #[test]
+    fn tfn2k_is_voluminous() {
+        let inst = AttackKind::Tfn2k.generate(&mut rng(), 1024);
+        assert!(inst.trace.len() >= 200);
+        let total_packets: u64 = inst.trace.flows.iter().map(|f| f.packets as u64).sum();
+        assert!(total_packets > 50_000, "flood too small: {total_packets}");
+        // Single victim.
+        let victims: HashSet<u64> = inst.trace.flows.iter().map(|f| f.dst_slot).collect();
+        assert_eq!(victims.len(), 1);
+    }
+
+    #[test]
+    fn exploits_land_in_their_service_subcluster() {
+        let mut r = rng();
+        for (kind, app) in [
+            (AttackKind::HttpExploit, AppClass::Http),
+            (AttackKind::FtpExploit, AppClass::Ftp),
+            (AttackKind::SmtpExploit, AppClass::Smtp),
+            (AttackKind::DnsExploit, AppClass::Dns),
+        ] {
+            let inst = kind.generate(&mut r, 1024);
+            for f in &inst.trace.flows {
+                assert_eq!(AppClass::classify(f.protocol, f.dst_port), app, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for kind in AttackKind::ALL {
+            let a = kind.generate(&mut StdRng::seed_from_u64(5), 512);
+            let b = kind.generate(&mut StdRng::seed_from_u64(5), 512);
+            assert_eq!(a, b, "{kind}");
+        }
+    }
+
+    #[test]
+    fn dst_slots_one_is_handled() {
+        for kind in AttackKind::ALL {
+            let inst = kind.generate(&mut rng(), 1);
+            assert!(inst.trace.flows.iter().all(|f| f.dst_slot == 0), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal distribution samplers.
+//!
+//! The workspace's dependency policy allows `rand` but not `rand_distr`, so
+//! the two heavy-tailed distributions traffic modelling needs are
+//! implemented here: log-normal via Box–Muller and Pareto via inverse-CDF.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Log-normal distribution parameterised by the underlying normal's mean
+/// and standard deviation.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_traffic::LogNormal;
+/// use rand::SeedableRng;
+///
+/// let d = LogNormal::new(6.0, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution; `sigma` must be non-negative and both
+    /// parameters finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite parameters or negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Builds the distribution from the desired *median* and a shape factor
+    /// (sigma of the underlying normal). `median = exp(mu)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is not strictly positive.
+    pub fn from_median(median: f64, sigma: f64) -> LogNormal {
+        assert!(median > 0.0, "median must be positive");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Pareto {
+        assert!(x_min > 0.0, "x_min must be positive");
+        assert!(alpha > 0.0, "alpha must be positive");
+        Pareto { x_min, alpha }
+    }
+
+    /// Draws one sample (always `>= x_min`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// One standard-normal variate via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::from_median(1000.0, 0.8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - 1000.0).abs() / 1000.0 < 0.05,
+            "empirical median {median}"
+        );
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::from_median(50.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 50.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_tail() {
+        let d = Pareto::new(40.0, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 40.0));
+        // Heavy tail: some samples should exceed 20x the minimum.
+        assert!(samples.iter().any(|&x| x > 800.0));
+        // P(X > 2*x_min) = 2^-alpha ≈ 0.435.
+        let frac = samples.iter().filter(|&&x| x > 80.0).count() as f64 / samples.len() as f64;
+        assert!((frac - 0.435).abs() < 0.03, "tail fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn negative_sigma_panics() {
+        LogNormal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x_min must be positive")]
+    fn bad_pareto_panics() {
+        Pareto::new(0.0, 1.0);
+    }
+}

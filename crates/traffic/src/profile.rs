@@ -1,0 +1,318 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dist::LogNormal;
+use crate::{FlowTemplate, Trace};
+
+/// Application classes, matching the paper's subcluster partition
+/// (§5.1.3(c)): http, smtp, ftp, dns, all other udp, all other tcp, icmp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppClass {
+    /// TCP port 80.
+    Http,
+    /// TCP port 25.
+    Smtp,
+    /// TCP port 21.
+    Ftp,
+    /// UDP port 53.
+    Dns,
+    /// UDP on any other port.
+    OtherUdp,
+    /// TCP on any other port.
+    OtherTcp,
+    /// ICMP.
+    Icmp,
+}
+
+impl AppClass {
+    /// All classes in a stable order.
+    pub const ALL: [AppClass; 7] = [
+        AppClass::Http,
+        AppClass::Smtp,
+        AppClass::Ftp,
+        AppClass::Dns,
+        AppClass::OtherUdp,
+        AppClass::OtherTcp,
+        AppClass::Icmp,
+    ];
+
+    /// The IP protocol number of the class.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            AppClass::Http | AppClass::Smtp | AppClass::Ftp | AppClass::OtherTcp => 6,
+            AppClass::Dns | AppClass::OtherUdp => 17,
+            AppClass::Icmp => 1,
+        }
+    }
+
+    /// The well-known destination port (0 for ICMP).
+    pub fn well_known_port(&self) -> u16 {
+        match self {
+            AppClass::Http => 80,
+            AppClass::Smtp => 25,
+            AppClass::Ftp => 21,
+            AppClass::Dns => 53,
+            AppClass::OtherUdp => 7777,
+            AppClass::OtherTcp => 8443,
+            AppClass::Icmp => 0,
+        }
+    }
+
+    /// Classifies a `(protocol, dst_port)` pair, the rule used to route
+    /// flows to subclusters.
+    pub fn classify(protocol: u8, dst_port: u16) -> AppClass {
+        match (protocol, dst_port) {
+            (6, 80) => AppClass::Http,
+            (6, 25) => AppClass::Smtp,
+            (6, 21) => AppClass::Ftp,
+            (17, 53) => AppClass::Dns,
+            (17, _) => AppClass::OtherUdp,
+            (6, _) => AppClass::OtherTcp,
+            _ => AppClass::Icmp,
+        }
+    }
+
+    /// Short lowercase name (`http`, `smtp`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppClass::Http => "http",
+            AppClass::Smtp => "smtp",
+            AppClass::Ftp => "ftp",
+            AppClass::Dns => "dns",
+            AppClass::OtherUdp => "udp",
+            AppClass::OtherTcp => "tcp",
+            AppClass::Icmp => "icmp",
+        }
+    }
+}
+
+impl std::fmt::Display for AppClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-class flow-shape parameters.
+#[derive(Debug, Clone, Copy)]
+struct ClassShape {
+    weight: f64,
+    packets: LogNormal,
+    bytes_per_packet: LogNormal,
+    duration_ms: LogNormal,
+}
+
+/// Generator of "normal" Internet traffic, the substitute for the paper's
+/// CAIDA/NLANR capture files.
+///
+/// The mixture weights and per-class log-normal shapes approximate a
+/// backbone mix of the early 2000s (HTTP-dominated, short DNS flows, a
+/// heavy FTP tail).
+///
+/// # Examples
+///
+/// ```
+/// use infilter_traffic::NormalProfile;
+/// use rand::SeedableRng;
+///
+/// let profile = NormalProfile::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let trace = profile.generate(&mut rng, 100, 60_000);
+/// assert_eq!(trace.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NormalProfile {
+    shapes: Vec<(AppClass, ClassShape)>,
+    /// Number of distinct source slots flows are drawn from.
+    pub source_slots: u64,
+    /// Number of distinct destination slots inside the target network.
+    pub dest_slots: u64,
+}
+
+impl Default for NormalProfile {
+    fn default() -> NormalProfile {
+        let shapes = vec![
+            (
+                AppClass::Http,
+                ClassShape {
+                    weight: 0.55,
+                    packets: LogNormal::from_median(12.0, 0.9),
+                    bytes_per_packet: LogNormal::from_median(600.0, 0.35),
+                    duration_ms: LogNormal::from_median(900.0, 1.0),
+                },
+            ),
+            (
+                AppClass::Smtp,
+                ClassShape {
+                    weight: 0.08,
+                    packets: LogNormal::from_median(18.0, 0.7),
+                    bytes_per_packet: LogNormal::from_median(450.0, 0.4),
+                    duration_ms: LogNormal::from_median(1500.0, 0.8),
+                },
+            ),
+            (
+                AppClass::Ftp,
+                ClassShape {
+                    weight: 0.04,
+                    packets: LogNormal::from_median(80.0, 1.2),
+                    bytes_per_packet: LogNormal::from_median(900.0, 0.3),
+                    duration_ms: LogNormal::from_median(8000.0, 1.1),
+                },
+            ),
+            (
+                AppClass::Dns,
+                ClassShape {
+                    weight: 0.16,
+                    packets: LogNormal::from_median(2.0, 0.4),
+                    bytes_per_packet: LogNormal::from_median(90.0, 0.3),
+                    duration_ms: LogNormal::from_median(40.0, 0.8),
+                },
+            ),
+            (
+                AppClass::OtherUdp,
+                ClassShape {
+                    weight: 0.06,
+                    packets: LogNormal::from_median(6.0, 1.0),
+                    bytes_per_packet: LogNormal::from_median(250.0, 0.6),
+                    duration_ms: LogNormal::from_median(500.0, 1.0),
+                },
+            ),
+            (
+                AppClass::OtherTcp,
+                ClassShape {
+                    weight: 0.09,
+                    packets: LogNormal::from_median(15.0, 1.1),
+                    bytes_per_packet: LogNormal::from_median(500.0, 0.5),
+                    duration_ms: LogNormal::from_median(2000.0, 1.2),
+                },
+            ),
+            (
+                AppClass::Icmp,
+                ClassShape {
+                    weight: 0.02,
+                    packets: LogNormal::from_median(3.0, 0.6),
+                    bytes_per_packet: LogNormal::from_median(64.0, 0.2),
+                    duration_ms: LogNormal::from_median(1000.0, 0.6),
+                },
+            ),
+        ];
+        NormalProfile {
+            shapes,
+            source_slots: 1 << 24,
+            dest_slots: 4096,
+        }
+    }
+}
+
+impl NormalProfile {
+    /// Draws one normal flow starting at `start_ms`.
+    pub fn sample_flow<R: Rng + ?Sized>(&self, rng: &mut R, start_ms: u64) -> FlowTemplate {
+        let total: f64 = self.shapes.iter().map(|(_, s)| s.weight).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = self.shapes.last().expect("non-empty shapes");
+        for entry in &self.shapes {
+            if pick < entry.1.weight {
+                chosen = entry;
+                break;
+            }
+            pick -= entry.1.weight;
+        }
+        let (app, shape) = (chosen.0, chosen.1);
+        let packets = shape.packets.sample(rng).round().max(1.0) as u32;
+        let bpp = shape.bytes_per_packet.sample(rng).clamp(28.0, 1500.0);
+        let bytes = (packets as f64 * bpp).round() as u32;
+        let duration_ms = if packets == 1 {
+            0
+        } else {
+            shape.duration_ms.sample(rng).round().max(1.0) as u32
+        };
+        FlowTemplate {
+            start_ms,
+            app,
+            protocol: app.protocol(),
+            src_slot: rng.gen_range(0..self.source_slots),
+            dst_slot: rng.gen_range(0..self.dest_slots),
+            src_port: rng.gen_range(1024..65535),
+            dst_port: app.well_known_port(),
+            packets,
+            bytes,
+            duration_ms,
+            tcp_flags: if app.protocol() == 6 { 0x1b } else { 0 },
+        }
+    }
+
+    /// Generates a trace of `n_flows` flows with start times uniform over
+    /// `span_ms`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, n_flows: usize, span_ms: u64) -> Trace {
+        (0..n_flows)
+            .map(|_| {
+                let start = rng.gen_range(0..span_ms.max(1));
+                self.sample_flow(rng, start)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn classify_round_trips_well_known_ports() {
+        for app in AppClass::ALL {
+            assert_eq!(AppClass::classify(app.protocol(), app.well_known_port()), app);
+        }
+    }
+
+    #[test]
+    fn classify_routes_unknown_ports_to_catch_alls() {
+        assert_eq!(AppClass::classify(6, 9999), AppClass::OtherTcp);
+        assert_eq!(AppClass::classify(17, 1434), AppClass::OtherUdp);
+        assert_eq!(AppClass::classify(1, 0), AppClass::Icmp);
+        assert_eq!(AppClass::classify(47, 0), AppClass::Icmp); // GRE lumps with icmp bucket
+    }
+
+    #[test]
+    fn mixture_respects_weights_roughly() {
+        let profile = NormalProfile::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = profile.generate(&mut rng, 20_000, 1_000_000);
+        let mut counts: HashMap<AppClass, usize> = HashMap::new();
+        for f in &trace.flows {
+            *counts.entry(f.app).or_default() += 1;
+        }
+        let http_frac = counts[&AppClass::Http] as f64 / trace.len() as f64;
+        assert!((http_frac - 0.55).abs() < 0.03, "http fraction {http_frac}");
+        let dns_frac = counts[&AppClass::Dns] as f64 / trace.len() as f64;
+        assert!((dns_frac - 0.16).abs() < 0.02, "dns fraction {dns_frac}");
+        // Every class appears at this sample size.
+        assert_eq!(counts.len(), 7);
+    }
+
+    #[test]
+    fn flows_are_physically_plausible() {
+        let profile = NormalProfile::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = profile.generate(&mut rng, 5000, 60_000);
+        for f in &trace.flows {
+            assert!(f.packets >= 1);
+            assert!(f.bytes >= f.packets * 28, "flow smaller than headers: {f:?}");
+            let bpp = f.bytes_per_packet();
+            assert!((28.0..=1501.0).contains(&bpp), "bytes/packet {bpp}");
+            assert_eq!(f.protocol, f.app.protocol());
+            if f.packets == 1 {
+                assert_eq!(f.duration_ms, 0, "single-packet flow with duration");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let profile = NormalProfile::default();
+        let a = profile.generate(&mut StdRng::seed_from_u64(9), 50, 1000);
+        let b = profile.generate(&mut StdRng::seed_from_u64(9), 50, 1000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+
+use crate::AppClass;
+
+/// One flow of a replayable trace, with abstract source/destination slots
+/// instead of concrete addresses.
+///
+/// Dagflow later maps `src_slot` into the address sub-blocks allocated to a
+/// source (or, for spoofed traffic, into *someone else's* blocks) and
+/// `dst_slot` into the target network's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowTemplate {
+    /// Flow start relative to trace start, milliseconds.
+    pub start_ms: u64,
+    /// Application class the flow belongs to (drives subcluster selection).
+    pub app: AppClass,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// Abstract source identity; equal slots replay as equal addresses.
+    pub src_slot: u64,
+    /// Abstract destination identity within the target network.
+    pub dst_slot: u64,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Packets in the flow.
+    pub packets: u32,
+    /// Total bytes in the flow.
+    pub bytes: u32,
+    /// Flow duration in milliseconds.
+    pub duration_ms: u32,
+    /// Cumulative TCP flags (zero for non-TCP).
+    pub tcp_flags: u8,
+}
+
+impl FlowTemplate {
+    /// End time of the flow relative to trace start.
+    pub fn end_ms(&self) -> u64 {
+        self.start_ms + self.duration_ms as u64
+    }
+
+    /// Mean bytes per packet, for sanity checks.
+    pub fn bytes_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+}
+
+/// A replayable flow-level trace — the crate's stand-in for the paper's
+/// DAG-format capture files.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Flows ordered by `start_ms`.
+    pub flows: Vec<FlowTemplate>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting flows by start time.
+    pub fn new(mut flows: Vec<FlowTemplate>) -> Trace {
+        flows.sort_by_key(|f| f.start_ms);
+        Trace { flows }
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the trace has no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Time spanned from first flow start to last flow end, ms.
+    pub fn span_ms(&self) -> u64 {
+        let first = self.flows.first().map(|f| f.start_ms).unwrap_or(0);
+        let last = self.flows.iter().map(FlowTemplate::end_ms).max().unwrap_or(0);
+        last.saturating_sub(first)
+    }
+
+    /// Concatenates another trace, shifting its flows by `offset_ms`.
+    pub fn append_shifted(&mut self, other: &Trace, offset_ms: u64) {
+        self.flows.extend(other.flows.iter().map(|f| FlowTemplate {
+            start_ms: f.start_ms + offset_ms,
+            ..*f
+        }));
+        self.flows.sort_by_key(|f| f.start_ms);
+    }
+}
+
+impl FromIterator<FlowTemplate> for Trace {
+    fn from_iter<I: IntoIterator<Item = FlowTemplate>>(iter: I) -> Trace {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(start: u64, dur: u32) -> FlowTemplate {
+        FlowTemplate {
+            start_ms: start,
+            app: AppClass::Http,
+            protocol: 6,
+            src_slot: 1,
+            dst_slot: 2,
+            src_port: 40000,
+            dst_port: 80,
+            packets: 10,
+            bytes: 5000,
+            duration_ms: dur,
+            tcp_flags: 0,
+        }
+    }
+
+    #[test]
+    fn trace_sorts_by_start() {
+        let t = Trace::new(vec![flow(100, 10), flow(0, 10), flow(50, 10)]);
+        let starts: Vec<u64> = t.flows.iter().map(|f| f.start_ms).collect();
+        assert_eq!(starts, vec![0, 50, 100]);
+    }
+
+    #[test]
+    fn span_covers_longest_flow() {
+        let t = Trace::new(vec![flow(0, 500), flow(100, 10)]);
+        assert_eq!(t.span_ms(), 500);
+        assert_eq!(Trace::default().span_ms(), 0);
+    }
+
+    #[test]
+    fn append_shifted_moves_times() {
+        let mut a = Trace::new(vec![flow(0, 10)]);
+        let b = Trace::new(vec![flow(5, 10)]);
+        a.append_shifted(&b, 1000);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.flows[1].start_ms, 1005);
+    }
+
+    #[test]
+    fn bytes_per_packet_handles_zero() {
+        let mut f = flow(0, 10);
+        assert_eq!(f.bytes_per_packet(), 500.0);
+        f.packets = 0;
+        assert_eq!(f.bytes_per_packet(), 0.0);
+    }
+}

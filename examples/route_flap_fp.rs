@@ -1,0 +1,53 @@
+//! Route-change false positives: the same workload through Basic and
+//! Enhanced InFilter, showing the enhanced analysis absorbing the false
+//! positives that genuine routing changes cause (§6.3.3, Figure 19).
+//!
+//! Run with `cargo run --release --example route_flap_fp`.
+
+use infilter::core::Mode;
+use infilter::experiments::{Testbed, TestbedConfig};
+
+fn main() {
+    println!("route-change sensitivity: BI vs EI (8% attack volume)\n");
+    println!("{:<14} {:>14} {:>14} {:>12}", "route change", "BI false pos", "EI false pos", "reduction");
+
+    for change in [1usize, 2, 4, 8] {
+        let run = |mode: Mode| {
+            let cfg = TestbedConfig {
+                mode,
+                route_change_pct: change,
+                attack_volume_pct: 8.0,
+                normal_flows_per_peer: 1200,
+                training_flows: 1000,
+                seed: 31,
+                ..TestbedConfig::default()
+            };
+            Testbed::new(cfg).run()
+        };
+        let bi = run(Mode::Basic);
+        let ei = run(Mode::Enhanced);
+        let reduction = if bi.false_positive_rate() > 0.0 {
+            1.0 - ei.false_positive_rate() / bi.false_positive_rate()
+        } else {
+            0.0
+        };
+        println!(
+            "{:<14} {:>13.2}% {:>13.2}% {:>11.1}%",
+            format!("{change}%"),
+            bi.false_positive_rate() * 100.0,
+            ei.false_positive_rate() * 100.0,
+            reduction * 100.0
+        );
+        assert!(
+            ei.false_positive_rate() <= bi.false_positive_rate(),
+            "the enhanced analysis must never raise the false positive rate"
+        );
+        // BI flags every suspect, so its detection stays ~perfect.
+        assert!(bi.detection_rate() > 0.9);
+    }
+
+    println!("\nBasic InFilter cannot tell a route change from a spoofed source;");
+    println!("Enhanced InFilter forgives suspects whose flow statistics match the");
+    println!("normal cluster, trading a small detection loss for far fewer false");
+    println!("positives — exactly the paper's Figure 19 contrast.");
+}

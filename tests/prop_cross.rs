@@ -1,0 +1,145 @@
+//! Cross-crate property tests: wire formats, stores, encodings and EIA
+//! invariants under arbitrary inputs.
+
+use infilter::core::{EiaRegistry, PeerId};
+use infilter::flowtools::{CollectedFlow, FlowStore};
+use infilter::net::SubBlock;
+use infilter::netflow::{Datagram, FlowRecord};
+use infilter::nns::{FeatureSpec, UnaryEncoder};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        (any::<u32>(), any::<u32>()),
+        (any::<u8>(), any::<u8>(), any::<u16>(), any::<u16>()),
+    )
+        .prop_map(
+            |(src, dst, sport, dport, proto, packets, octets, (first, last), (flags, tos, sas, das))| {
+                FlowRecord {
+                    src_addr: src.into(),
+                    dst_addr: dst.into(),
+                    next_hop: (src ^ dst).into(),
+                    input_if: sport % 64,
+                    output_if: dport % 64,
+                    packets,
+                    octets,
+                    first_ms: first,
+                    last_ms: last,
+                    src_port: sport,
+                    dst_port: dport,
+                    tcp_flags: flags,
+                    protocol: proto,
+                    tos,
+                    src_as: sas,
+                    dst_as: das,
+                    src_mask: (sas % 33) as u8,
+                    dst_mask: (das % 33) as u8,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn netflow_datagram_round_trips(
+        records in proptest::collection::vec(arb_record(), 0..30),
+        seq in any::<u32>(),
+        uptime in any::<u32>(),
+    ) {
+        let dg = Datagram::new(seq, uptime, &records);
+        let decoded = Datagram::decode(&dg.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, dg);
+    }
+
+    #[test]
+    fn truncated_datagrams_never_panic(
+        records in proptest::collection::vec(arb_record(), 1..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = Datagram::new(0, 0, &records).encode();
+        let cut = cut.index(bytes.len());
+        // Any truncation either errors or (cut == len) succeeds; no panic.
+        let _ = Datagram::decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn flow_store_round_trips(
+        flows in proptest::collection::vec(
+            (any::<u16>(), arb_record()).prop_map(|(port, record)| CollectedFlow {
+                export_port: port,
+                record,
+            }),
+            0..64,
+        )
+    ) {
+        let mut buf = Vec::new();
+        FlowStore::write(&mut buf, &flows).expect("in-memory write");
+        prop_assert_eq!(FlowStore::read(&buf[..]).expect("read back"), flows);
+    }
+
+    #[test]
+    fn unary_distance_is_monotone_in_value_distance(
+        a in 0.0f64..1000.0,
+        b in 0.0f64..1000.0,
+        c in 0.0f64..1000.0,
+    ) {
+        let enc = UnaryEncoder::new(vec![FeatureSpec::new(0.0, 1000.0)], 64)
+            .expect("valid encoder");
+        let ea = enc.encode(&[a]);
+        let eb = enc.encode(&[b]);
+        let ec = enc.encode(&[c]);
+        if (a - b).abs() <= (a - c).abs() {
+            // Quantisation grants ±1 interval of slack.
+            prop_assert!(ea.hamming(&eb) <= ea.hamming(&ec) + 1,
+                "|{a}-{b}| <= |{a}-{c}| but d={} > d={}", ea.hamming(&eb), ea.hamming(&ec));
+        }
+    }
+
+    #[test]
+    fn eia_preloaded_blocks_always_match_their_peer(
+        block in 0usize..1000,
+        host in any::<u64>(),
+    ) {
+        let mut eia = EiaRegistry::new(0);
+        for i in 0..10u16 {
+            for b in 0..100usize {
+                let sb = SubBlock::from_linear(i as usize * 100 + b).expect("in range");
+                eia.preload(PeerId(i + 1), sb.prefix());
+            }
+        }
+        let sb = SubBlock::from_linear(block).expect("in range");
+        let addr = sb.prefix().nth(host);
+        let home = PeerId((block / 100) as u16 + 1);
+        prop_assert!(eia.classify(home, addr).is_match());
+        // And it must mismatch everywhere else.
+        let other = PeerId((home.0 % 10) + 1);
+        if other != home {
+            prop_assert!(!eia.classify(other, addr).is_match());
+        }
+    }
+
+    #[test]
+    fn eia_adoption_is_idempotent_and_localised(
+        sightings in 3u32..20,
+        host in any::<u64>(),
+    ) {
+        let mut eia = EiaRegistry::new(3);
+        eia.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+        let foreign: infilter::net::Prefix = "9.0.0.0/11".parse().expect("static prefix");
+        let addr = foreign.nth(host);
+        for _ in 0..sightings {
+            eia.record_sighting(PeerId(1), addr);
+        }
+        prop_assert!(eia.classify(PeerId(1), addr).is_match());
+        prop_assert_eq!(eia.adopted_count(), 1, "re-sighting must not re-adopt");
+        // Peer 1's own space is untouched.
+        prop_assert!(eia.classify(PeerId(1), "3.0.0.1".parse().expect("static addr")).is_match());
+    }
+}

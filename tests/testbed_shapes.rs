@@ -1,0 +1,105 @@
+//! Shape assertions over the §6 evaluation testbed — the qualitative
+//! claims of Figures 15–19 at debug-friendly scale.
+
+use infilter::core::Mode;
+use infilter::experiments::{AttackPlacement, Testbed, TestbedConfig};
+
+fn avg<F: Fn(u64) -> TestbedConfig>(seeds: &[u64], make: F) -> (f64, f64) {
+    let mut det = 0.0;
+    let mut fp = 0.0;
+    for &s in seeds {
+        let o = Testbed::new(make(s)).run();
+        det += o.detection_rate();
+        fp += o.false_positive_rate();
+    }
+    (det / seeds.len() as f64, fp / seeds.len() as f64)
+}
+
+#[test]
+fn enhanced_infilter_detects_most_attacks_with_low_false_positives() {
+    let (det, fp) = avg(&[11, 12], TestbedConfig::small);
+    assert!(det >= 0.7, "EI detection {det:.2} (paper: ~0.83)");
+    assert!(det < 1.0, "EI trades some detection for FP suppression");
+    assert!(fp < 0.02, "EI false positives {fp:.4} (paper: ~0.0125)");
+}
+
+#[test]
+fn basic_infilter_detects_everything_but_pays_in_false_positives() {
+    let make = |s| TestbedConfig {
+        mode: Mode::Basic,
+        route_change_pct: 4,
+        ..TestbedConfig::small(s)
+    };
+    let (det, fp) = avg(&[21, 22], make);
+    assert!(det > 0.95, "BI detection {det:.2} (paper: ~1.0)");
+    assert!(fp > 0.03, "BI FP under 4% route change should exceed 3%, got {fp:.4}");
+}
+
+#[test]
+fn enhanced_cuts_basic_false_positives_under_route_churn() {
+    // Figure 19's contrast at 8% attack volume and 8% route change.
+    let run = |mode| {
+        avg(&[31, 32], |s| TestbedConfig {
+            mode,
+            route_change_pct: 8,
+            attack_volume_pct: 8.0,
+            ..TestbedConfig::small(s)
+        })
+    };
+    let (bi_det, bi_fp) = run(Mode::Basic);
+    let (ei_det, ei_fp) = run(Mode::Enhanced);
+    assert!(
+        ei_fp < bi_fp * 0.8,
+        "EI must cut BI's FP substantially: BI {bi_fp:.4} vs EI {ei_fp:.4}"
+    );
+    assert!(bi_det >= ei_det, "BI flags everything it suspects");
+    assert!(ei_det > 0.6, "EI detection under churn {ei_det:.2}");
+}
+
+#[test]
+fn false_positives_grow_with_route_instability() {
+    // Figures 17/18: FP is monotone-ish in the route change level.
+    let fp_at = |change| {
+        avg(&[41, 42], |s| TestbedConfig {
+            route_change_pct: change,
+            unexpected_source_fraction: 0.0,
+            ..TestbedConfig::small(s)
+        })
+        .1
+    };
+    let low = fp_at(1);
+    let high = fp_at(8);
+    assert!(
+        high > low * 2.0,
+        "8% churn FP ({high:.4}) should far exceed 1% churn FP ({low:.4})"
+    );
+}
+
+#[test]
+fn stress_load_degrades_detection() {
+    // Figure 15: ten attack sets vs one. Slow scans drown in the shared
+    // suspect buffer under load.
+    let run = |placement| {
+        avg(&[51, 52], |s| TestbedConfig {
+            placement,
+            ..TestbedConfig::small(s)
+        })
+    };
+    let (single_det, _) = run(AttackPlacement::SinglePeer);
+    let (stress_det, _) = run(AttackPlacement::AllPeers);
+    assert!(
+        stress_det < single_det + 0.01,
+        "stress detection {stress_det:.3} should not beat single-set {single_det:.3}"
+    );
+    assert!(stress_det > 0.5, "stress detection collapsed: {stress_det:.3}");
+}
+
+#[test]
+fn detection_latency_is_reported_for_detected_attacks() {
+    let outcome = Testbed::new(TestbedConfig::small(61)).run();
+    assert!(outcome.attacks_detected > 0);
+    assert!(outcome.mean_detection_latency_ms >= 0.0);
+    // Suspect-path work costs more than the EIA fast path.
+    let m = &outcome.metrics;
+    assert!(m.suspect_path.mean() > m.fast_path.mean());
+}

@@ -1,0 +1,125 @@
+//! Shape assertions over the §3 hypothesis-validation campaigns.
+
+use infilter::bgp::{BgpSimConfig, BgpValidation};
+use infilter::topology::InternetBuilder;
+use infilter::traceroute::{
+    stability_profile, AggregationLevel, ChangeStats, SimConfig, TracerouteSim,
+};
+
+fn small_internet(seed: u64) -> infilter::topology::Internet {
+    InternetBuilder::new(seed).tier1(3).transit(12).stubs(40).build()
+}
+
+#[test]
+fn aggregation_ladder_shrinks_the_change_rate() {
+    let mut sim = TracerouteSim::new(small_internet(3), SimConfig::default());
+    let series = sim.campaign(0.5, 24.0);
+    let stats = ChangeStats::from_series(series.values());
+    let raw = stats.change_fraction(AggregationLevel::Raw);
+    let subnet = stats.change_fraction(AggregationLevel::Subnet24);
+    let fqdn = stats.change_fraction(AggregationLevel::Fqdn);
+    assert!(raw > 0.0, "load-shared bundles must show raw churn");
+    assert!(subnet <= raw);
+    assert!(fqdn <= subnet);
+    assert!(
+        fqdn < raw / 2.5,
+        "FQDN smoothing must slash the raw rate: raw {raw:.4}, fqdn {fqdn:.4}"
+    );
+}
+
+#[test]
+fn longer_sampling_interval_sees_more_change_per_sample() {
+    // The paper's 4-day/60-min run reports higher per-sample change than
+    // the 24-hour/30-min run; reroute episodes accumulate per interval.
+    let cfg = SimConfig {
+        flip_rate_per_hour: 0.0,
+        incomplete_prob: 0.0,
+        ..SimConfig::default()
+    };
+    let mut fast = TracerouteSim::new(small_internet(3), cfg.clone());
+    let fast_stats = ChangeStats::from_series(fast.campaign(0.5, 96.0).values());
+    let mut slow = TracerouteSim::new(small_internet(3), cfg);
+    let slow_stats = ChangeStats::from_series(slow.campaign(2.0, 96.0).values());
+    assert!(
+        slow_stats.change_fraction(AggregationLevel::Fqdn)
+            >= fast_stats.change_fraction(AggregationLevel::Fqdn),
+        "per-sample change should not shrink with a longer interval: \
+         30-min {:.4} vs 2-hour {:.4}",
+        fast_stats.change_fraction(AggregationLevel::Fqdn),
+        slow_stats.change_fraction(AggregationLevel::Fqdn)
+    );
+}
+
+#[test]
+fn figure_1_profile_is_stable_near_the_target() {
+    let mut sim = TracerouteSim::new(small_internet(7), SimConfig::default());
+    let series = sim.campaign(0.5, 24.0);
+    let profile = stability_profile(series.values());
+    assert!(profile.len() >= 4);
+    // The last AS-level hop (distances 0..2 cover target host, BR, peer
+    // egress) must be far more stable than the most volatile mid-path hop.
+    let near_target: f64 = profile
+        .iter()
+        .filter(|p| p.distance_from_target <= 2)
+        .map(|p| p.change_rate)
+        .fold(0.0, f64::max);
+    let mid_path: f64 = profile
+        .iter()
+        .filter(|p| p.distance_from_target > 2)
+        .map(|p| p.change_rate)
+        .fold(0.0, f64::max);
+    assert!(
+        mid_path > near_target,
+        "mid-path ({mid_path:.4}) should churn more than the last hop ({near_target:.4})"
+    );
+}
+
+#[test]
+fn bgp_change_grows_with_churn_rate() {
+    let run = |rate| {
+        let cfg = BgpSimConfig {
+            duration_h: 240.0,
+            link_fail_rate_per_hour: rate,
+            missing_prob: 0.0,
+            ..BgpSimConfig::default()
+        };
+        BgpValidation::new(small_internet(5), cfg).run()
+    };
+    let calm = run(0.0005);
+    let stormy = run(0.02);
+    assert!(
+        stormy.overall_avg_change > calm.overall_avg_change,
+        "more link churn must move more sources: calm {:.4} vs stormy {:.4}",
+        calm.overall_avg_change,
+        stormy.overall_avg_change
+    );
+    // Even the stormy Internet keeps the mapping mostly stable — the
+    // InFilter hypothesis itself.
+    assert!(stormy.overall_avg_change < 0.2);
+}
+
+#[test]
+fn default_campaigns_land_near_paper_magnitudes() {
+    // Wide tolerances: the claim is the order of magnitude, not the digit.
+    let mut sim = TracerouteSim::new(InternetBuilder::new(42).build(), SimConfig::default());
+    let stats = ChangeStats::from_series(sim.campaign(0.5, 24.0).values());
+    let raw = stats.change_fraction(AggregationLevel::Raw);
+    let fqdn = stats.change_fraction(AggregationLevel::Fqdn);
+    assert!((0.015..0.10).contains(&raw), "raw change {raw:.4} vs paper 4.8%");
+    assert!((0.001..0.015).contains(&fqdn), "aggregated {fqdn:.4} vs paper 0.4%");
+
+    let report = BgpValidation::new(
+        InternetBuilder::new(42).build(),
+        BgpSimConfig {
+            duration_h: 240.0,
+            ..BgpSimConfig::default()
+        },
+    )
+    .run();
+    assert!(
+        (0.002..0.06).contains(&report.overall_avg_change),
+        "avg source-AS change {:.4} vs paper 1.6%",
+        report.overall_avg_change
+    );
+    assert!(report.overall_max_change < 0.15);
+}
