@@ -10,11 +10,8 @@ use rand::{Rng, SeedableRng};
 
 fn training_points(n: usize, d: usize, seed: u64) -> Vec<BitVec> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let enc = UnaryEncoder::new(
-        vec![infilter_nns::FeatureSpec::new(0.0, 1.0); 5],
-        d / 5,
-    )
-    .expect("valid encoder");
+    let enc = UnaryEncoder::new(vec![infilter_nns::FeatureSpec::new(0.0, 1.0); 5], d / 5)
+        .expect("valid encoder");
     (0..n)
         .map(|_| {
             let f: Vec<f64> = (0..5).map(|_| rng.gen::<f64>()).collect();

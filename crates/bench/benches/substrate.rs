@@ -16,7 +16,9 @@ fn bench_netflow_codec(c: &mut Criterion) {
     let records = flow_batch(30, 1);
     let dg = Datagram::new(0, 1000, &records);
     let bytes = dg.encode();
-    c.bench_function("netflow_encode_30_records", |b| b.iter(|| black_box(dg.encode())));
+    c.bench_function("netflow_encode_30_records", |b| {
+        b.iter(|| black_box(dg.encode()))
+    });
     c.bench_function("netflow_decode_30_records", |b| {
         b.iter(|| Datagram::decode(black_box(&bytes)).expect("valid datagram"))
     });
@@ -59,7 +61,9 @@ fn bench_trie_lookup(c: &mut Criterion) {
 fn bench_dagflow_replay(c: &mut Criterion) {
     let trace = NormalProfile::default().generate(&mut StdRng::seed_from_u64(2), 1000, 60_000);
     let dagflow = Dagflow::new(DagflowConfig {
-        sources: AddressMapper::from_sub_blocks((0..100).map(|i| SubBlock::from_linear(i).expect("in range"))),
+        sources: AddressMapper::from_sub_blocks(
+            (0..100).map(|i| SubBlock::from_linear(i).expect("in range")),
+        ),
         target_prefix: "96.1.0.0/16".parse().expect("static prefix"),
         export_port: 9001,
         input_if: 1,

@@ -40,7 +40,9 @@ pub fn flow_batch(n: usize, seed: u64) -> Vec<FlowRecord> {
             src_addr: std::net::Ipv4Addr::from(rng.gen::<u32>()),
             dst_addr: std::net::Ipv4Addr::from(0x60010000 + rng.gen_range(0..4096)),
             src_port: rng.gen_range(1024..65535),
-            dst_port: *[80u16, 25, 21, 53, 443, 8080].get(rng.gen_range(0..6)).expect("index in range"),
+            dst_port: *[80u16, 25, 21, 53, 443, 8080]
+                .get(rng.gen_range(0..6))
+                .expect("index in range"),
             protocol: if rng.gen_bool(0.8) { 6 } else { 17 },
             packets: rng.gen_range(1..200),
             octets: rng.gen_range(40..200_000),

@@ -102,16 +102,18 @@ mod tests {
     #[test]
     fn high_rate_produces_some_outages() {
         let churn = LinkChurn::new(0.5, 2.0, 5);
-        let down = (0..100)
-            .filter(|&l| !churn.is_up(LinkId(l), 50.0))
-            .count();
+        let down = (0..100).filter(|&l| !churn.is_up(LinkId(l), 50.0)).count();
         assert!(down > 10, "expected many outages, saw {down}");
         assert!(down < 100, "not everything should be down");
     }
 
     #[test]
     fn apply_mutates_graph_consistently() {
-        let mut net = InternetBuilder::new(3).tier1(3).transit(8).stubs(20).build();
+        let mut net = InternetBuilder::new(3)
+            .tier1(3)
+            .transit(8)
+            .stubs(20)
+            .build();
         let churn = LinkChurn::new(0.3, 3.0, 42);
         churn.apply(net.graph_mut(), 40.0);
         for (id, l) in net.graph().links() {

@@ -215,7 +215,8 @@ Network          Next Hop            Path
 
     #[test]
     fn skips_headers_and_commentary() {
-        let text = "Network Next Hop Path\n.... (some lines deleted)\n* 9.0.0.0/8 1.2.3.4 10 20 i\n\n";
+        let text =
+            "Network Next Hop Path\n.... (some lines deleted)\n* 9.0.0.0/8 1.2.3.4 10 20 i\n\n";
         let dump = BgpDump::parse(text).unwrap();
         assert_eq!(dump.entries.len(), 1);
         assert_eq!(dump.entries[0].as_path, vec![Asn(10), Asn(20)]);

@@ -199,9 +199,9 @@ mod tests {
         ];
         assert_eq!(m.peer_count(), expect.len());
         for (peer, sources) in expect {
-            let got = m.sources_of(Asn(peer)).unwrap_or_else(|| {
-                panic!("peer AS{peer} missing; mapping: {m:?}")
-            });
+            let got = m
+                .sources_of(Asn(peer))
+                .unwrap_or_else(|| panic!("peer AS{peer} missing; mapping: {m:?}"));
             let want: BTreeSet<Asn> = sources.into_iter().map(Asn).collect();
             assert_eq!(*got, want, "peer AS{peer}");
         }
@@ -222,7 +222,11 @@ mod tests {
 
     #[test]
     fn from_routes_matches_route_table_ingress() {
-        let net = InternetBuilder::new(77).tier1(3).transit(10).stubs(40).build();
+        let net = InternetBuilder::new(77)
+            .tier1(3)
+            .transit(10)
+            .stubs(40)
+            .build();
         let target = net.targets()[0].asn;
         let table = RouteTable::compute(net.graph(), target);
         let m = PeerMapping::from_routes(&table);

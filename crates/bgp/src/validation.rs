@@ -172,10 +172,7 @@ impl BgpValidation {
         }
         ValidationReport {
             overall_avg_change: mean(&all_changes),
-            overall_max_change: targets
-                .iter()
-                .map(|t| t.avg_change)
-                .fold(0.0, f64::max),
+            overall_max_change: targets.iter().map(|t| t.avg_change).fold(0.0, f64::max),
             targets,
         }
     }
@@ -242,7 +239,11 @@ mod tests {
     use infilter_topology::InternetBuilder;
 
     fn small_net(seed: u64) -> Internet {
-        InternetBuilder::new(seed).tier1(3).transit(10).stubs(40).build()
+        InternetBuilder::new(seed)
+            .tier1(3)
+            .transit(10)
+            .stubs(40)
+            .build()
     }
 
     #[test]
@@ -272,7 +273,10 @@ mod tests {
             ..BgpSimConfig::default()
         };
         let report = BgpValidation::new(small_net(1), cfg).run();
-        assert!(report.overall_avg_change > 0.0, "churn should move some sources");
+        assert!(
+            report.overall_avg_change > 0.0,
+            "churn should move some sources"
+        );
         assert!(report.overall_max_change <= 1.0);
     }
 
@@ -286,7 +290,11 @@ mod tests {
         };
         let report = BgpValidation::new(small_net(2), cfg).run();
         let t = &report.targets[0];
-        assert!(t.snapshots < 50, "expected ~half missing, got {}", t.snapshots);
+        assert!(
+            t.snapshots < 50,
+            "expected ~half missing, got {}",
+            t.snapshots
+        );
         assert!(t.snapshots > 10);
     }
 

@@ -46,7 +46,12 @@ pub struct IdmefAlert {
 
 impl IdmefAlert {
     /// Builds an alert from the offending flow.
-    pub fn new(message_id: u64, flow: &FlowRecord, ingress: PeerId, stage: AttackStage) -> IdmefAlert {
+    pub fn new(
+        message_id: u64,
+        flow: &FlowRecord,
+        ingress: PeerId,
+        stage: AttackStage,
+    ) -> IdmefAlert {
         IdmefAlert {
             message_id,
             create_time_ms: flow.last_ms,
@@ -166,20 +171,26 @@ impl IdmefAlert {
             .parse()
             .map_err(|_| bad("create time"))?;
         let source_block = extract(xml, "<idmef:Source>", "</idmef:Source>")?;
-        let source: std::net::Ipv4Addr = extract(source_block, "<idmef:address>", "</idmef:address>")?
-            .parse()
-            .map_err(|_| bad("source address"))?;
+        let source: std::net::Ipv4Addr =
+            extract(source_block, "<idmef:address>", "</idmef:address>")?
+                .parse()
+                .map_err(|_| bad("source address"))?;
         let target_block = extract(xml, "<idmef:Target>", "</idmef:Target>")?;
-        let target: std::net::Ipv4Addr = extract(target_block, "<idmef:address>", "</idmef:address>")?
-            .parse()
-            .map_err(|_| bad("target address"))?;
+        let target: std::net::Ipv4Addr =
+            extract(target_block, "<idmef:address>", "</idmef:address>")?
+                .parse()
+                .map_err(|_| bad("target address"))?;
         let target_port: u16 = extract(target_block, "<idmef:port>", "</idmef:port>")?
             .parse()
             .map_err(|_| bad("target port"))?;
         let protocol: u8 = extract(target_block, "<idmef:protocol>", "</idmef:protocol>")?
             .parse()
             .map_err(|_| bad("protocol"))?;
-        let ingress_text = extract(xml, "meaning=\"ingress-peer-as\">", "</idmef:AdditionalData>")?;
+        let ingress_text = extract(
+            xml,
+            "meaning=\"ingress-peer-as\">",
+            "</idmef:AdditionalData>",
+        )?;
         let ingress = PeerId(
             ingress_text
                 .trim()
@@ -263,15 +274,26 @@ mod tests {
         // Balanced tags (cheap well-formedness check).
         assert_eq!(xml.matches("<idmef:Alert").count(), 1);
         assert_eq!(xml.matches("</idmef:Alert>").count(), 1);
-        assert_eq!(xml.matches("<idmef:Source>").count(), xml.matches("</idmef:Source>").count());
+        assert_eq!(
+            xml.matches("<idmef:Source>").count(),
+            xml.matches("</idmef:Source>").count()
+        );
     }
 
     #[test]
     fn xml_parses_back_to_the_same_alert_essentials() {
         let stages = [
-            AttackStage::EiaMismatch { expected: Some(PeerId(2)) },
-            AttackStage::NetworkScan { dst_port: 1434, distinct_hosts: 25 },
-            AttackStage::HostScan { dst_addr: "96.1.0.20".parse().unwrap(), distinct_ports: 30 },
+            AttackStage::EiaMismatch {
+                expected: Some(PeerId(2)),
+            },
+            AttackStage::NetworkScan {
+                dst_port: 1434,
+                distinct_hosts: 25,
+            },
+            AttackStage::HostScan {
+                dst_addr: "96.1.0.20".parse().unwrap(),
+                distinct_ports: 30,
+            },
             AttackStage::NnsAnomaly {
                 distance: 99,
                 threshold: 10,
@@ -299,7 +321,12 @@ mod tests {
 
     #[test]
     fn parse_rejects_mangled_xml() {
-        let alert = IdmefAlert::new(7, &flow(), PeerId(1), AttackStage::EiaMismatch { expected: None });
+        let alert = IdmefAlert::new(
+            7,
+            &flow(),
+            PeerId(1),
+            AttackStage::EiaMismatch { expected: None },
+        );
         let xml = alert.to_xml();
         assert!(IdmefAlert::parse_xml(&xml.replace("<idmef:CreateTime>", "<nope>")).is_err());
         assert!(IdmefAlert::parse_xml(&xml.replace("PeerAS1", "Peer1")).is_err());
@@ -311,7 +338,12 @@ mod tests {
     #[test]
     fn classification_per_stage() {
         let f = flow();
-        let eia = IdmefAlert::new(1, &f, PeerId(1), AttackStage::EiaMismatch { expected: None });
+        let eia = IdmefAlert::new(
+            1,
+            &f,
+            PeerId(1),
+            AttackStage::EiaMismatch { expected: None },
+        );
         assert!(eia.classification().contains("unexpected ingress"));
         let host = IdmefAlert::new(
             2,

@@ -171,41 +171,28 @@ impl ClusterModel {
                 .or_default()
                 .push(f);
         }
-        let mut subclusters = BTreeMap::new();
-        for (class, members) in partition {
-            let samples: Vec<Vec<f64>> = members
+        // Subclusters are independent (own encoder, own NNS structure, own
+        // seed), so they build in parallel — training is the expensive
+        // phase, dominated by the O(n²) leave-one-out threshold scan and
+        // the NNS permutation tables.
+        let built: Vec<Result<SubclusterModel, TrainError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partition
                 .iter()
-                .map(|f| f.stats().as_features().to_vec())
+                .map(|(&class, members)| {
+                    scope.spawn(move || {
+                        build_subcluster(class, members, nns_params, policy, bits_per_feature, seed)
+                    })
+                })
                 .collect();
-            let encoder = UnaryEncoder::from_samples(&samples, bits_per_feature).map_err(|e| {
-                TrainError::Build {
-                    class,
-                    message: e.to_string(),
-                }
-            })?;
-            let points: Vec<BitVec> = samples.iter().map(|s| encoder.encode(s)).collect();
-            let params = NnsParams {
-                d: encoder.dimension(),
-                ..nns_params
-            };
-            let structure =
-                NnsStructure::build(&points, params, seed ^ class as u64).map_err(|e| {
-                    TrainError::Build {
-                        class,
-                        message: e.to_string(),
-                    }
-                })?;
-            let threshold = establish_threshold(&points, policy);
-            subclusters.insert(
-                class,
-                SubclusterModel {
-                    class,
-                    encoder,
-                    structure,
-                    threshold,
-                    training_size: points.len(),
-                },
-            );
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("subcluster build must not panic"))
+                .collect()
+        });
+        let mut subclusters = BTreeMap::new();
+        for sub in built {
+            let sub = sub?;
+            subclusters.insert(sub.class, sub);
         }
         Ok(ClusterModel { subclusters })
     }
@@ -235,6 +222,47 @@ impl ClusterModel {
     pub fn is_empty(&self) -> bool {
         self.subclusters.is_empty()
     }
+}
+
+/// Builds one subcluster end to end: encoder from the members' feature
+/// ranges, NNS structure over the encoded points, threshold from the
+/// leave-one-out distance distribution.
+fn build_subcluster(
+    class: AppClass,
+    members: &[&FlowRecord],
+    nns_params: NnsParams,
+    policy: ThresholdPolicy,
+    bits_per_feature: usize,
+    seed: u64,
+) -> Result<SubclusterModel, TrainError> {
+    let samples: Vec<Vec<f64>> = members
+        .iter()
+        .map(|f| f.stats().as_features().to_vec())
+        .collect();
+    let encoder =
+        UnaryEncoder::from_samples(&samples, bits_per_feature).map_err(|e| TrainError::Build {
+            class,
+            message: e.to_string(),
+        })?;
+    let points: Vec<BitVec> = samples.iter().map(|s| encoder.encode(s)).collect();
+    let params = NnsParams {
+        d: encoder.dimension(),
+        ..nns_params
+    };
+    let structure = NnsStructure::build(&points, params, seed ^ class as u64).map_err(|e| {
+        TrainError::Build {
+            class,
+            message: e.to_string(),
+        }
+    })?;
+    let threshold = establish_threshold(&points, policy);
+    Ok(SubclusterModel {
+        class,
+        encoder,
+        structure,
+        threshold,
+        training_size: points.len(),
+    })
 }
 
 /// Leave-one-out NN distance quantile (exact, linear scan — training is
@@ -312,7 +340,10 @@ mod tests {
         assert!(model.subcluster(AppClass::Http).is_some());
         assert!(model.subcluster(AppClass::Dns).is_some());
         assert!(model.subcluster(AppClass::Ftp).is_none());
-        assert_eq!(model.subcluster(AppClass::Http).unwrap().training_size(), 60);
+        assert_eq!(
+            model.subcluster(AppClass::Http).unwrap().training_size(),
+            60
+        );
     }
 
     #[test]
@@ -325,7 +356,10 @@ mod tests {
                 normal += 1;
             }
         }
-        assert!(normal >= 55, "only {normal}/60 training flows deemed normal");
+        assert!(
+            normal >= 55,
+            "only {normal}/60 training flows deemed normal"
+        );
     }
 
     #[test]

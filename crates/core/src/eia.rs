@@ -39,6 +39,51 @@ impl EiaVerdict {
     }
 }
 
+/// An immutable, point-in-time view of the EIA sets: the longest-prefix
+/// trie without the adoption bookkeeping.
+///
+/// This is the read side of the concurrency split in
+/// [`crate::ConcurrentAnalyzer`]: snapshots are published behind an
+/// [`crate::SnapshotCell`] and classified against without any lock, while
+/// sightings and adoptions go through the authoritative [`EiaRegistry`] on
+/// the (rarely taken) write side.
+#[derive(Debug, Clone)]
+pub struct EiaSnapshot {
+    trie: PrefixTrie<PeerId>,
+    adopted: u64,
+}
+
+impl EiaSnapshot {
+    /// The peer whose EIA set contains `addr` (most specific prefix wins).
+    pub fn expected_peer(&self, addr: Ipv4Addr) -> Option<PeerId> {
+        self.trie.lookup(addr).map(|(_, p)| *p)
+    }
+
+    /// The basic InFilter check against this snapshot.
+    pub fn classify(&self, observed: PeerId, addr: Ipv4Addr) -> EiaVerdict {
+        verdict_for(self.expected_peer(addr), observed)
+    }
+
+    /// Number of prefixes across all EIA sets at snapshot time.
+    pub fn prefix_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Sources that had been adopted dynamically at snapshot time.
+    pub fn adopted_count(&self) -> u64 {
+        self.adopted
+    }
+}
+
+/// Shared match rule so [`EiaRegistry`] and [`EiaSnapshot`] can never
+/// disagree on what a given lookup result means.
+fn verdict_for(expected: Option<PeerId>, observed: PeerId) -> EiaVerdict {
+    match expected {
+        Some(p) if p == observed => EiaVerdict::Match,
+        expected => EiaVerdict::Mismatch { expected },
+    }
+}
+
 /// The per-peer Expected IP Address sets, backed by one shared
 /// longest-prefix-match trie (most-specific prefix decides ownership, the
 /// paper's `4.2.101.0/24` vs `4.0.0.0/8` rule).
@@ -122,9 +167,15 @@ impl EiaRegistry {
     /// The basic InFilter check: does a flow from `addr` arriving at
     /// `observed` match expectations?
     pub fn classify(&self, observed: PeerId, addr: Ipv4Addr) -> EiaVerdict {
-        match self.expected_peer(addr) {
-            Some(p) if p == observed => EiaVerdict::Match,
-            expected => EiaVerdict::Mismatch { expected },
+        verdict_for(self.expected_peer(addr), observed)
+    }
+
+    /// Clones the current EIA sets into an immutable snapshot for lock-free
+    /// readers.
+    pub fn snapshot(&self) -> EiaSnapshot {
+        EiaSnapshot {
+            trie: self.trie.clone(),
+            adopted: self.adopted,
         }
     }
 
@@ -249,6 +300,28 @@ mod tests {
         // Neither peer reached 3 sightings on its own.
         assert!(!r.classify(PeerId(1), a).is_match());
         assert!(!r.classify(PeerId(2), a).is_match());
+    }
+
+    #[test]
+    fn snapshot_agrees_with_registry_and_is_immutable() {
+        let mut r = registry();
+        let snap = r.snapshot();
+        for s in ["3.0.5.5", "3.40.5.5", "200.1.1.1"] {
+            assert_eq!(
+                snap.classify(PeerId(1), addr(s)),
+                r.classify(PeerId(1), addr(s))
+            );
+        }
+        assert_eq!(snap.prefix_count(), r.prefix_count());
+        // Adoption after the snapshot is invisible to it.
+        let a = addr("77.1.2.3");
+        for _ in 0..3 {
+            r.record_sighting(PeerId(1), a);
+        }
+        assert!(r.classify(PeerId(1), a).is_match());
+        assert!(!snap.classify(PeerId(1), a).is_match());
+        assert_eq!(snap.adopted_count(), 0);
+        assert_eq!(r.snapshot().adopted_count(), 1);
     }
 
     #[test]

@@ -54,13 +54,17 @@ mod eia;
 mod metrics;
 mod pipeline;
 mod scan;
+mod snapshot;
 mod traceback;
 
 pub use alert::{IdmefAlert, ParseAlertError};
 pub use cluster::{ClusterModel, SubclusterModel, ThresholdPolicy, TrainError};
+#[allow(deprecated)]
 pub use concurrent::SharedAnalyzer;
-pub use eia::{EiaRegistry, EiaVerdict, PeerId};
-pub use metrics::{AnalyzerMetrics, StageLatency};
+pub use concurrent::{ConcurrentAnalyzer, ConcurrentConfig};
+pub use eia::{EiaRegistry, EiaSnapshot, EiaVerdict, PeerId};
+pub use metrics::{AnalyzerMetrics, AtomicStageLatency, ConcurrentMetrics, StageLatency};
 pub use pipeline::{Analyzer, AnalyzerConfig, AttackStage, Mode, Trainer, Verdict};
 pub use scan::{ScanAnalyzer, ScanConfig, ScanVerdict};
+pub use snapshot::{CachedSnapshot, SnapshotCell};
 pub use traceback::{IngressActivity, TracebackReport};

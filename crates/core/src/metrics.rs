@@ -1,3 +1,4 @@
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
@@ -79,9 +80,123 @@ impl AnalyzerMetrics {
     }
 }
 
+/// Lock-free latency accumulator: the concurrent counterpart of
+/// [`StageLatency`]. All updates are relaxed — the counters are statistics,
+/// not synchronisation.
+#[derive(Debug, Default)]
+pub struct AtomicStageLatency {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl AtomicStageLatency {
+    /// Records one measurement.
+    pub fn record(&self, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Under concurrent updates the three fields are
+    /// read independently, so they may be off by in-flight records relative
+    /// to each other — fine for monitoring, which is all this is for.
+    pub fn snapshot(&self) -> StageLatency {
+        StageLatency {
+            count: self.count.load(Ordering::Relaxed),
+            total_nanos: self.total_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lock-free counters for [`crate::ConcurrentAnalyzer`]: the same fields as
+/// [`AnalyzerMetrics`], each an [`AtomicU64`] updated with relaxed ordering
+/// so the per-flow hot loop never takes a lock or issues a fence.
+///
+/// Latency is *sampled* (1-in-N flows, see
+/// [`crate::ConcurrentConfig::latency_sample_every`]) so `Instant::now()`
+/// — two `rdtsc`-class reads per flow — stays off the fast path.
+#[derive(Debug, Default)]
+pub struct ConcurrentMetrics {
+    /// Flows processed in total.
+    pub flows: AtomicU64,
+    /// Flows whose EIA check matched.
+    pub eia_match: AtomicU64,
+    /// Flows the EIA check flagged as suspect.
+    pub eia_suspect: AtomicU64,
+    /// Suspects flagged by Scan Analysis.
+    pub scan_attacks: AtomicU64,
+    /// Suspects flagged by NNS analysis.
+    pub nns_attacks: AtomicU64,
+    /// Suspects flagged directly (Basic InFilter configuration).
+    pub eia_attacks: AtomicU64,
+    /// Suspects cleared by the enhanced analysis.
+    pub forgiven: AtomicU64,
+    /// Sources dynamically adopted into EIA sets.
+    pub adoptions: AtomicU64,
+    /// Sampled latency over fast-path flows.
+    pub fast_path: AtomicStageLatency,
+    /// Sampled latency over suspect-path flows.
+    pub suspect_path: AtomicStageLatency,
+}
+
+impl ConcurrentMetrics {
+    /// Bumps a counter by one (relaxed).
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time [`AnalyzerMetrics`] copy. Counters are read
+    /// independently; under concurrent load, derived identities (e.g.
+    /// `flows == eia_match + eia_suspect`) may be transiently off by
+    /// in-flight flows but are exact once processing quiesces.
+    pub fn snapshot(&self) -> AnalyzerMetrics {
+        AnalyzerMetrics {
+            flows: self.flows.load(Ordering::Relaxed),
+            eia_match: self.eia_match.load(Ordering::Relaxed),
+            eia_suspect: self.eia_suspect.load(Ordering::Relaxed),
+            scan_attacks: self.scan_attacks.load(Ordering::Relaxed),
+            nns_attacks: self.nns_attacks.load(Ordering::Relaxed),
+            eia_attacks: self.eia_attacks.load(Ordering::Relaxed),
+            forgiven: self.forgiven.load(Ordering::Relaxed),
+            adoptions: self.adoptions.load(Ordering::Relaxed),
+            fast_path: self.fast_path.snapshot(),
+            suspect_path: self.suspect_path.snapshot(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn atomic_latency_matches_sequential() {
+        let l = AtomicStageLatency::default();
+        l.record(Duration::from_micros(10));
+        l.record(Duration::from_micros(30));
+        let snap = l.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.mean(), Duration::from_micros(20));
+        assert_eq!(snap.max(), Duration::from_micros(30));
+    }
+
+    #[test]
+    fn concurrent_metrics_snapshot_round_trips() {
+        let m = ConcurrentMetrics::default();
+        m.flows.fetch_add(14, Ordering::Relaxed);
+        m.eia_match.fetch_add(11, Ordering::Relaxed);
+        m.eia_suspect.fetch_add(3, Ordering::Relaxed);
+        m.nns_attacks.fetch_add(2, Ordering::Relaxed);
+        m.forgiven.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.flows, 14);
+        assert_eq!(s.eia_match, 11);
+        assert_eq!(s.attacks(), 2);
+        assert_eq!(s.eia_suspect, s.attacks() + s.forgiven);
+    }
 
     #[test]
     fn latency_accumulates() {

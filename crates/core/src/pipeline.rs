@@ -6,11 +6,11 @@ use infilter_nns::NnsParams;
 use infilter_traffic::AppClass;
 use serde::{Deserialize, Serialize};
 
+pub use crate::eia::PeerId;
 use crate::{
     AnalyzerMetrics, ClusterModel, EiaRegistry, EiaVerdict, IdmefAlert, ScanAnalyzer, ScanConfig,
     ScanVerdict, ThresholdPolicy, TrainError,
 };
-pub use crate::eia::PeerId;
 
 /// Software configuration (§6.3): `BI` assesses traffic with EIA analysis
 /// alone; `EI` adds Scan Analysis and NNS on EIA-suspect flows.
@@ -104,6 +104,12 @@ pub struct AnalyzerConfig {
     pub adoption_prefix_len: u8,
     /// RNG seed for NNS structure construction.
     pub seed: u64,
+    /// Record per-flow latency on every N-th flow (`1` = every flow, the
+    /// historical behaviour; `0` disables latency recording entirely).
+    /// Taking two `Instant::now()` readings per flow is measurable on the
+    /// sub-microsecond fast path, so throughput-sensitive deployments
+    /// sample.
+    pub latency_sample_every: u64,
 }
 
 impl Default for AnalyzerConfig {
@@ -119,6 +125,7 @@ impl Default for AnalyzerConfig {
             adoption_threshold: 5,
             adoption_prefix_len: 32,
             seed: 0x1f11,
+            latency_sample_every: 1,
         }
     }
 }
@@ -194,7 +201,11 @@ pub struct Analyzer {
 }
 
 impl Analyzer {
-    fn assemble(cfg: AnalyzerConfig, mut eia: EiaRegistry, model: Option<ClusterModel>) -> Analyzer {
+    fn assemble(
+        cfg: AnalyzerConfig,
+        mut eia: EiaRegistry,
+        model: Option<ClusterModel>,
+    ) -> Analyzer {
         // The registry's adoption policy follows the analyzer config.
         eia.set_adoption_threshold(cfg.adoption_threshold);
         eia.set_adoption_prefix_len(cfg.adoption_prefix_len);
@@ -235,16 +246,23 @@ impl Analyzer {
     }
 
     /// Processes one flow observed at `ingress`, returning the verdict and
-    /// recording metrics, latency and alerts (Figure 12).
+    /// recording metrics, (sampled) latency and alerts (Figure 12).
     pub fn process(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
-        let started = Instant::now();
+        let sample = self.cfg.latency_sample_every;
+        let started = if sample != 0 && self.metrics.flows.is_multiple_of(sample) {
+            Some(Instant::now())
+        } else {
+            None
+        };
         self.metrics.flows += 1;
 
         // Stage 1: EIA set analysis.
         let eia_verdict = self.eia.classify(ingress, flow.src_addr);
         if let EiaVerdict::Match = eia_verdict {
             self.metrics.eia_match += 1;
-            self.metrics.fast_path.record(started.elapsed());
+            if let Some(started) = started {
+                self.metrics.fast_path.record(started.elapsed());
+            }
             return Verdict::Legal;
         }
         self.metrics.eia_suspect += 1;
@@ -266,48 +284,22 @@ impl Analyzer {
             self.next_alert_id += 1;
             self.alerts.push(alert);
         }
-        self.metrics.suspect_path.record(started.elapsed());
+        if let Some(started) = started {
+            self.metrics.suspect_path.record(started.elapsed());
+        }
         verdict
     }
 
     fn enhanced_analysis(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
         // Stage 2: Scan Analysis.
-        match self.scan.push(flow) {
-            ScanVerdict::NetworkScan {
-                dst_port,
-                distinct_hosts,
-            } => {
-                self.metrics.scan_attacks += 1;
-                return Verdict::Attack(AttackStage::NetworkScan {
-                    dst_port,
-                    distinct_hosts,
-                });
-            }
-            ScanVerdict::HostScan {
-                dst_addr,
-                distinct_ports,
-            } => {
-                self.metrics.scan_attacks += 1;
-                return Verdict::Attack(AttackStage::HostScan {
-                    dst_addr,
-                    distinct_ports,
-                });
-            }
-            ScanVerdict::Pass => {}
+        if let Some(stage) = scan_stage(&mut self.scan, flow) {
+            self.metrics.scan_attacks += 1;
+            return Verdict::Attack(stage);
         }
 
         // Stage 3: NNS analysis against the relevant subcluster.
-        let class = AppClass::classify(flow.protocol, flow.dst_port);
-        let assessment = self
-            .model
-            .as_ref()
-            .and_then(|m| m.subcluster(class))
-            .map(|sub| {
-                let stats = flow.stats();
-                (sub.threshold(), sub.nn_distance(&stats))
-            });
-        match assessment {
-            Some((threshold, Some(distance))) if distance <= threshold => {
+        match nns_stage(self.model.as_ref(), flow) {
+            SuspectOutcome::Cleared => {
                 // Within normal behaviour: not an attack; count toward
                 // dynamic EIA adoption (§5.2(a)).
                 self.metrics.forgiven += 1;
@@ -316,25 +308,75 @@ impl Analyzer {
                 }
                 Verdict::Forgiven
             }
-            Some((threshold, distance)) => {
+            SuspectOutcome::Attack(stage) => {
                 self.metrics.nns_attacks += 1;
-                Verdict::Attack(AttackStage::NnsAnomaly {
-                    distance: distance.unwrap_or(u32::MAX),
-                    threshold,
-                    class,
-                })
-            }
-            None => {
-                // No subcluster for this service: nothing normal ever
-                // looked like this flow.
-                self.metrics.nns_attacks += 1;
-                Verdict::Attack(AttackStage::NnsAnomaly {
-                    distance: u32::MAX,
-                    threshold: 0,
-                    class,
-                })
+                Verdict::Attack(stage)
             }
         }
+    }
+
+    /// Decomposes into the parts the concurrent analyzer is built from.
+    /// Pending alerts are forfeited; the alert id sequence carries over.
+    pub(crate) fn into_parts(self) -> (AnalyzerConfig, EiaRegistry, Option<ClusterModel>, u64) {
+        (self.cfg, self.eia, self.model, self.next_alert_id)
+    }
+}
+
+/// What the post-scan suspect analysis concluded. `Cleared` means the flow
+/// looked like normal behaviour and counts toward EIA adoption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SuspectOutcome {
+    /// Flag the flow at the given stage.
+    Attack(AttackStage),
+    /// Within normal behaviour (Figure 12's "forgiven" arc).
+    Cleared,
+}
+
+/// Stage 2 (Scan Analysis) as a pure function of detector state + flow, so
+/// the single-threaded [`Analyzer`] and the sharded
+/// [`crate::ConcurrentAnalyzer`] flag identically by construction.
+pub(crate) fn scan_stage(scan: &mut ScanAnalyzer, flow: &FlowRecord) -> Option<AttackStage> {
+    match scan.push(flow) {
+        ScanVerdict::NetworkScan {
+            dst_port,
+            distinct_hosts,
+        } => Some(AttackStage::NetworkScan {
+            dst_port,
+            distinct_hosts,
+        }),
+        ScanVerdict::HostScan {
+            dst_addr,
+            distinct_ports,
+        } => Some(AttackStage::HostScan {
+            dst_addr,
+            distinct_ports,
+        }),
+        ScanVerdict::Pass => None,
+    }
+}
+
+/// Stage 3 (NNS assessment): read-only against the trained model, hence
+/// safe to run outside any shard lock.
+pub(crate) fn nns_stage(model: Option<&ClusterModel>, flow: &FlowRecord) -> SuspectOutcome {
+    let class = AppClass::classify(flow.protocol, flow.dst_port);
+    let assessment = model.and_then(|m| m.subcluster(class)).map(|sub| {
+        let stats = flow.stats();
+        (sub.threshold(), sub.nn_distance(&stats))
+    });
+    match assessment {
+        Some((threshold, Some(distance))) if distance <= threshold => SuspectOutcome::Cleared,
+        Some((threshold, distance)) => SuspectOutcome::Attack(AttackStage::NnsAnomaly {
+            distance: distance.unwrap_or(u32::MAX),
+            threshold,
+            class,
+        }),
+        // No subcluster for this service: nothing normal ever looked like
+        // this flow.
+        None => SuspectOutcome::Attack(AttackStage::NnsAnomaly {
+            distance: u32::MAX,
+            threshold: 0,
+            class,
+        }),
     }
 }
 
@@ -389,7 +431,10 @@ mod tests {
     #[test]
     fn bi_flags_every_suspect() {
         let mut a = Trainer::new(small_cfg(Mode::Basic)).train_basic(eia());
-        assert_eq!(a.process(PeerId(1), &http_flow("3.0.0.9", 0)), Verdict::Legal);
+        assert_eq!(
+            a.process(PeerId(1), &http_flow("3.0.0.9", 0)),
+            Verdict::Legal
+        );
         let v = a.process(PeerId(1), &http_flow("3.33.0.9", 0));
         assert_eq!(
             v,
@@ -424,7 +469,11 @@ mod tests {
             ..http_flow("3.33.0.9", 0)
         };
         match a.process(PeerId(1), &flood) {
-            Verdict::Attack(AttackStage::NnsAnomaly { distance, threshold, class }) => {
+            Verdict::Attack(AttackStage::NnsAnomaly {
+                distance,
+                threshold,
+                class,
+            }) => {
                 assert!(distance > threshold);
                 assert_eq!(class, AppClass::Http);
             }
@@ -485,7 +534,10 @@ mod tests {
         }
         assert_eq!(a.metrics().adoptions, 1);
         // Now the source is expected at peer 1: fast path.
-        assert_eq!(a.process(PeerId(1), &http_flow("3.33.0.77", 9)), Verdict::Legal);
+        assert_eq!(
+            a.process(PeerId(1), &http_flow("3.33.0.77", 9)),
+            Verdict::Legal
+        );
     }
 
     #[test]

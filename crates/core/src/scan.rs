@@ -117,12 +117,21 @@ impl ScanAnalyzer {
     /// Panics if `buffer_size` is zero.
     pub fn new(cfg: ScanConfig) -> ScanAnalyzer {
         assert!(cfg.buffer_size > 0, "scan buffer must not be empty");
+        // The counter maps can never hold more keys than buffered flows, so
+        // pre-sizing them to the buffer eliminates rehashing on the suspect
+        // path for the life of the analyzer.
         ScanAnalyzer {
             cfg,
             buffer: VecDeque::with_capacity(cfg.buffer_size),
-            hosts_by_port: HashMap::new(),
-            ports_by_host: HashMap::new(),
+            hosts_by_port: HashMap::with_capacity(cfg.buffer_size),
+            ports_by_host: HashMap::with_capacity(cfg.buffer_size),
         }
+    }
+
+    /// Outer counter-map entries currently held — bounded by the number of
+    /// buffered flows, because eviction removes emptied entries.
+    pub fn counter_entries(&self) -> usize {
+        self.hosts_by_port.len() + self.ports_by_host.len()
     }
 
     /// Current number of buffered suspect flows.
@@ -380,6 +389,28 @@ mod tests {
         }
         assert_eq!(s.distinct_hosts_for_port(0, 1434), 6);
         assert_eq!(s.distinct_ports_for_host(0, Ipv4Addr::from(0x60010032)), 6);
+    }
+
+    #[test]
+    fn counter_maps_do_not_accumulate_dead_entries() {
+        // Churn far more distinct (host, port) suspects through the buffer
+        // than it holds: evicted flows must fully clean their counter
+        // entries up, keeping map population bounded by the buffer.
+        let mut s = ScanAnalyzer::new(ScanConfig {
+            buffer_size: 16,
+            network_scan_threshold: 1000,
+            host_scan_threshold: 1000,
+            max_packets_per_probe: 2,
+        });
+        for i in 0..5_000u32 {
+            s.push(&flow(i, (i % 60_000) as u16));
+        }
+        assert_eq!(s.buffered(), 16);
+        assert!(
+            s.counter_entries() <= 32,
+            "{} counter entries for 16 buffered flows",
+            s.counter_entries()
+        );
     }
 
     #[test]

@@ -56,16 +56,16 @@ impl TracebackReport {
     pub fn from_alerts(alerts: &[IdmefAlert]) -> TracebackReport {
         let mut ingresses: BTreeMap<PeerId, IngressActivity> = BTreeMap::new();
         for a in alerts {
-            let entry = ingresses.entry(a.ingress).or_insert_with(|| IngressActivity {
-                first_ms: u32::MAX,
-                ..IngressActivity::default()
-            });
+            let entry = ingresses
+                .entry(a.ingress)
+                .or_insert_with(|| IngressActivity {
+                    first_ms: u32::MAX,
+                    ..IngressActivity::default()
+                });
             entry.alerts += 1;
             match a.stage {
                 AttackStage::EiaMismatch { .. } => entry.eia += 1,
-                AttackStage::NetworkScan { .. } | AttackStage::HostScan { .. } => {
-                    entry.scans += 1
-                }
+                AttackStage::NetworkScan { .. } | AttackStage::HostScan { .. } => entry.scans += 1,
                 AttackStage::NnsAnomaly { .. } => entry.anomalies += 1,
             }
             if !entry.victims.contains(&a.target) {
@@ -107,7 +107,8 @@ impl TracebackReport {
 
     /// Renders a short operator-facing summary.
     pub fn render(&self) -> String {
-        let mut out = String::from("ingress     alerts  eia  scans  anomalies  victims  window(ms)\n");
+        let mut out =
+            String::from("ingress     alerts  eia  scans  anomalies  victims  window(ms)\n");
         for (peer, a) in self.ranked() {
             out.push_str(&format!(
                 "{:<10}  {:>6}  {:>3}  {:>5}  {:>9}  {:>7}  {}..{}\n",
@@ -183,7 +184,10 @@ mod tests {
     #[test]
     fn tie_breaks_on_lower_peer_id() {
         let stage = AttackStage::EiaMismatch { expected: None };
-        let alerts = vec![alert(0, 7, "96.1.0.1", stage, 1), alert(1, 3, "96.1.0.1", stage, 1)];
+        let alerts = vec![
+            alert(0, 7, "96.1.0.1", stage, 1),
+            alert(1, 3, "96.1.0.1", stage, 1),
+        ];
         let r = TracebackReport::from_alerts(&alerts);
         assert_eq!(r.hottest_ingress(), Some(PeerId(3)));
     }

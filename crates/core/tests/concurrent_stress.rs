@@ -1,0 +1,291 @@
+//! Stress and parity tests for [`ConcurrentAnalyzer`]: heavy multi-thread
+//! load must account every flow exactly, and the concurrent engine must
+//! agree verdict-for-verdict with the single-threaded [`Analyzer`].
+
+use infilter_core::{
+    Analyzer, AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, EiaRegistry, Mode, PeerId,
+    Trainer, Verdict,
+};
+use infilter_netflow::FlowRecord;
+use infilter_nns::NnsParams;
+use proptest::prelude::*;
+
+const THREADS: u32 = 8;
+const FLOWS_PER_THREAD: u32 = 10_000;
+
+fn eia() -> EiaRegistry {
+    let mut r = EiaRegistry::new(2);
+    r.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+    r.preload(PeerId(2), "3.32.0.0/11".parse().expect("static prefix"));
+    r
+}
+
+fn tiny_config(mode: Mode) -> AnalyzerConfig {
+    AnalyzerConfig {
+        mode,
+        nns: NnsParams {
+            d: 0,
+            m1: 1,
+            m2: 6,
+            m3: 2,
+        },
+        bits_per_feature: 8,
+        adoption_threshold: 2,
+        adoption_prefix_len: 24,
+        ..AnalyzerConfig::default()
+    }
+}
+
+fn training() -> Vec<FlowRecord> {
+    (0..40u32)
+        .map(|i| FlowRecord {
+            src_addr: std::net::Ipv4Addr::from(0x0300_0000 + i),
+            dst_port: if i % 2 == 0 { 80 } else { 53 },
+            protocol: if i % 2 == 0 { 6 } else { 17 },
+            packets: 4 + i % 8,
+            octets: 2_000 + 100 * (i % 10),
+            first_ms: 0,
+            last_ms: 500 + 20 * (i % 5),
+            ..FlowRecord::default()
+        })
+        .collect()
+}
+
+/// 8 threads × 10k flows against Basic InFilter: verdicts depend only on
+/// the (never-changing) EIA sets, so every count is exact no matter how
+/// the threads interleave.
+#[test]
+fn stress_basic_exact_accounting() {
+    let engine = ConcurrentAnalyzer::new(
+        Trainer::new(tiny_config(Mode::Basic)).train_basic(eia()),
+        ConcurrentConfig::default(),
+    );
+
+    let per_thread: Vec<(u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = &engine;
+                s.spawn(move || {
+                    let (mut legal, mut attacks) = (0u64, 0u64);
+                    for i in 0..FLOWS_PER_THREAD {
+                        // Even flows from peer 1's own /11, odd flows
+                        // spoofed from peer 2's space.
+                        let src = if i % 2 == 0 {
+                            0x0300_0000 + (t * FLOWS_PER_THREAD + i) % 0x0020_0000
+                        } else {
+                            0x0320_0000 + (t * FLOWS_PER_THREAD + i) % 0x0020_0000
+                        };
+                        let flow = FlowRecord {
+                            src_addr: std::net::Ipv4Addr::from(src),
+                            dst_addr: std::net::Ipv4Addr::from(0x6001_0000 + i % 512),
+                            dst_port: (i % 1024) as u16,
+                            ..FlowRecord::default()
+                        };
+                        match engine.process(PeerId(1), &flow) {
+                            Verdict::Legal => legal += 1,
+                            Verdict::Attack(_) => attacks += 1,
+                            Verdict::Forgiven => panic!("BI never forgives"),
+                        }
+                    }
+                    (legal, attacks)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker must not panic"))
+            .collect()
+    });
+
+    let total = u64::from(THREADS * FLOWS_PER_THREAD);
+    let legal: u64 = per_thread.iter().map(|(l, _)| l).sum();
+    let attacks: u64 = per_thread.iter().map(|(_, a)| a).sum();
+    assert_eq!(legal, total / 2);
+    assert_eq!(attacks, total / 2);
+
+    let m = engine.metrics();
+    assert_eq!(m.flows, total);
+    assert_eq!(m.eia_match, legal);
+    assert_eq!(m.eia_suspect, attacks);
+    assert_eq!(m.eia_attacks, attacks);
+    assert_eq!((m.scan_attacks, m.nns_attacks, m.forgiven), (0, 0, 0));
+
+    let alerts = engine.drain_alerts();
+    assert_eq!(alerts.len() as u64, attacks, "one alert per attack verdict");
+    let mut ids: Vec<u64> = alerts.iter().map(|a| a.message_id).collect();
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "alert ids must be unique");
+    assert!(engine.drain_alerts().is_empty());
+}
+
+/// Enhanced mode under the same load: interleaving may shift *which* stage
+/// flags a given suspect, but the accounting identities must hold exactly
+/// once the threads quiesce.
+#[test]
+fn stress_enhanced_identities_hold() {
+    let engine = ConcurrentAnalyzer::new(
+        Trainer::new(tiny_config(Mode::Enhanced))
+            .train_enhanced(eia(), &training())
+            .expect("training succeeds"),
+        ConcurrentConfig::default(),
+    );
+
+    let observed: Vec<(u64, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = &engine;
+                s.spawn(move || {
+                    let (mut legal, mut attacks, mut forgiven) = (0u64, 0u64, 0u64);
+                    for i in 0..FLOWS_PER_THREAD {
+                        let spoofed = i % 16 == 0;
+                        let flow = FlowRecord {
+                            src_addr: std::net::Ipv4Addr::from(if spoofed {
+                                0x0320_0000 + (t * FLOWS_PER_THREAD + i)
+                            } else {
+                                0x0300_0000 + i % 0x0020_0000
+                            }),
+                            dst_addr: std::net::Ipv4Addr::from(0x6001_0000 + i % 64),
+                            dst_port: if i % 2 == 0 { 80 } else { 53 },
+                            protocol: if i % 2 == 0 { 6 } else { 17 },
+                            packets: 4 + i % 8,
+                            octets: 2_000 + 100 * (i % 10),
+                            first_ms: 0,
+                            last_ms: 500 + 20 * (i % 5),
+                            ..FlowRecord::default()
+                        };
+                        match engine.process(PeerId(1), &flow) {
+                            Verdict::Legal => legal += 1,
+                            Verdict::Attack(_) => attacks += 1,
+                            Verdict::Forgiven => forgiven += 1,
+                        }
+                    }
+                    (legal, attacks, forgiven)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker must not panic"))
+            .collect()
+    });
+
+    let attacks: u64 = observed.iter().map(|(_, a, _)| a).sum();
+    let forgiven: u64 = observed.iter().map(|(_, _, f)| f).sum();
+    let m = engine.metrics();
+    assert_eq!(m.flows, u64::from(THREADS * FLOWS_PER_THREAD));
+    assert_eq!(m.flows, m.eia_match + m.eia_suspect);
+    assert_eq!(m.eia_suspect, m.attacks() + m.forgiven);
+    assert_eq!(m.attacks(), attacks);
+    assert_eq!(m.forgiven, forgiven);
+    assert_eq!(m.eia_attacks, 0, "EI never flags at the EIA stage");
+    assert_eq!(engine.drain_alerts().len() as u64, attacks);
+}
+
+fn arb_flow() -> impl Strategy<Value = (u16, FlowRecord)> {
+    (
+        1u16..=2,
+        any::<u32>(),
+        0u32..100_000,
+        1u32..5_000,
+        proptest::sample::select(vec![80u16, 53, 1434, 9999]),
+        any::<bool>(),
+    )
+        .prop_map(|(peer, src, octets, packets, dst_port, tcp)| {
+            (
+                peer,
+                FlowRecord {
+                    src_addr: src.into(),
+                    dst_addr: "96.1.0.20".parse().expect("static addr"),
+                    dst_port,
+                    protocol: if tcp { 6 } else { 17 },
+                    packets,
+                    octets: octets.max(packets * 28),
+                    first_ms: 0,
+                    last_ms: 1_000,
+                    ..FlowRecord::default()
+                },
+            )
+        })
+}
+
+/// Single-threaded, with one shard and immediate adoption publication, the
+/// concurrent engine is *defined* to be verdict-equivalent to [`Analyzer`]
+/// — both run the same `scan_stage`/`nns_stage` code over the same state
+/// in the same order.
+fn parity_concurrent_config() -> ConcurrentConfig {
+    ConcurrentConfig {
+        shards: 1,
+        adoption_publish_batch: 1,
+        ..ConcurrentConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn concurrent_matches_sequential_verdicts_enhanced(
+        flows in proptest::collection::vec(arb_flow(), 1..120),
+    ) {
+        let trainer = Trainer::new(tiny_config(Mode::Enhanced));
+        let mut sequential: Analyzer =
+            trainer.train_enhanced(eia(), &training()).expect("training succeeds");
+        let concurrent = ConcurrentAnalyzer::new(
+            trainer.train_enhanced(eia(), &training()).expect("training succeeds"),
+            parity_concurrent_config(),
+        );
+
+        for (peer, f) in &flows {
+            let want = sequential.process(PeerId(*peer), f);
+            let got = concurrent.process(PeerId(*peer), f);
+            prop_assert_eq!(got, want);
+        }
+
+        let (ms, mc) = (sequential.metrics().clone(), concurrent.metrics());
+        prop_assert_eq!(ms.flows, mc.flows);
+        prop_assert_eq!(ms.eia_match, mc.eia_match);
+        prop_assert_eq!(ms.eia_suspect, mc.eia_suspect);
+        prop_assert_eq!(ms.scan_attacks, mc.scan_attacks);
+        prop_assert_eq!(ms.nns_attacks, mc.nns_attacks);
+        prop_assert_eq!(ms.forgiven, mc.forgiven);
+        prop_assert_eq!(ms.adoptions, mc.adoptions);
+        prop_assert_eq!(
+            sequential.drain_alerts().len(),
+            concurrent.drain_alerts().len()
+        );
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_verdicts_basic(
+        flows in proptest::collection::vec(arb_flow(), 1..120),
+    ) {
+        let trainer = Trainer::new(tiny_config(Mode::Basic));
+        let mut sequential = trainer.train_basic(eia());
+        let concurrent =
+            ConcurrentAnalyzer::new(trainer.train_basic(eia()), parity_concurrent_config());
+        for (peer, f) in &flows {
+            let want = sequential.process(PeerId(*peer), f);
+            let got = concurrent.process(PeerId(*peer), f);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn batch_equals_singles(flows in proptest::collection::vec(arb_flow(), 1..80)) {
+        let trainer = Trainer::new(tiny_config(Mode::Enhanced));
+        let singles = ConcurrentAnalyzer::new(
+            trainer.train_enhanced(eia(), &training()).expect("training succeeds"),
+            parity_concurrent_config(),
+        );
+        let batched = ConcurrentAnalyzer::new(
+            trainer.train_enhanced(eia(), &training()).expect("training succeeds"),
+            parity_concurrent_config(),
+        );
+        let records: Vec<FlowRecord> = flows.iter().map(|(_, f)| f.clone()).collect();
+        let one_by_one: Vec<Verdict> =
+            records.iter().map(|f| singles.process(PeerId(1), f)).collect();
+        prop_assert_eq!(batched.process_batch(PeerId(1), &records), one_by_one);
+    }
+}

@@ -201,14 +201,13 @@ mod tests {
     fn route_change_fraction_example() {
         // 98 own blocks + 2 borrowed at weight 1 each → 2 % borrowed mass.
         let own: Vec<SubBlock> = (0..98).map(|i| SubBlock::from_linear(i).unwrap()).collect();
-        let borrowed: Vec<SubBlock> =
-            (900..902).map(|i| SubBlock::from_linear(i).unwrap()).collect();
+        let borrowed: Vec<SubBlock> = (900..902)
+            .map(|i| SubBlock::from_linear(i).unwrap())
+            .collect();
         let borrowed_prefixes: Vec<Prefix> = borrowed.iter().map(|b| b.prefix()).collect();
         let mapper =
             AddressMapper::from_sub_blocks(own.into_iter().chain(borrowed.iter().copied()));
-        assert!(
-            (mapper.weight_fraction(|p| borrowed_prefixes.contains(&p)) - 0.02).abs() < 1e-12
-        );
+        assert!((mapper.weight_fraction(|p| borrowed_prefixes.contains(&p)) - 0.02).abs() < 1e-12);
     }
 
     #[test]
@@ -226,7 +225,9 @@ mod tests {
         assert!(subnets.len() <= 8, "{} active subnets", subnets.len());
         assert!(subnets.len() >= 4);
         // A different mapper over the same prefixes agrees on the subnets.
-        let m2 = AddressMapper::from_sub_blocks(blocks).with_seed(999).with_active_subnets(2);
+        let m2 = AddressMapper::from_sub_blocks(blocks)
+            .with_seed(999)
+            .with_active_subnets(2);
         for slot in 0..2000u64 {
             let sub = Prefix::host(m2.addr_for_slot(slot)).truncate(24);
             assert!(subnets.contains(&sub), "foreign mapper used inactive {sub}");

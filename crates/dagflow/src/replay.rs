@@ -25,7 +25,6 @@ pub struct DagflowConfig {
     pub src_as: u16,
 }
 
-
 /// One emulated border router replaying traces as NetFlow v5.
 ///
 /// # Examples
@@ -257,7 +256,10 @@ mod tests {
         let datagrams = dagflow.replay_datagrams(&trace, 0);
         assert_eq!(datagrams.len(), 4); // 30+30+30+5
         assert!(datagrams.iter().all(|(port, _)| *port == 9007));
-        let seqs: Vec<u32> = datagrams.iter().map(|(_, d)| d.header.flow_sequence).collect();
+        let seqs: Vec<u32> = datagrams
+            .iter()
+            .map(|(_, d)| d.header.flow_sequence)
+            .collect();
         assert_eq!(seqs, vec![0, 30, 60, 90]);
         assert_eq!(dagflow.flow_sequence(), 95);
         // Wire round-trip of every datagram.
@@ -280,7 +282,10 @@ mod tests {
         let thin_packets: u64 = thin.iter().map(|r| r.packets as u64).sum();
         // Counters scale roughly 1/10 (within a loose band: the +1 floors
         // on small flows bias upward).
-        assert!(thin_packets * 4 < full_packets, "{thin_packets} vs {full_packets}");
+        assert!(
+            thin_packets * 4 < full_packets,
+            "{thin_packets} vs {full_packets}"
+        );
         // A single-packet flow survives only 1-in-10 times on average.
         let single: Vec<infilter_traffic::FlowTemplate> = (0..300)
             .map(|i| infilter_traffic::FlowTemplate {
@@ -300,7 +305,10 @@ mod tests {
         let survived = sampled
             .replay_records(&infilter_traffic::Trace::new(single), 0)
             .len();
-        assert!((10..=70).contains(&survived), "{survived}/300 single-packet flows survived 1:10 sampling");
+        assert!(
+            (10..=70).contains(&survived),
+            "{survived}/300 single-packet flows survived 1:10 sampling"
+        );
     }
 
     #[test]
@@ -320,7 +328,10 @@ mod tests {
     fn replay_is_deterministic() {
         let dagflow = Dagflow::new(config(0..100, 9001));
         let trace = NormalProfile::default().generate(&mut StdRng::seed_from_u64(2), 50, 5000);
-        assert_eq!(dagflow.replay_records(&trace, 0), dagflow.replay_records(&trace, 0));
+        assert_eq!(
+            dagflow.replay_records(&trace, 0),
+            dagflow.replay_records(&trace, 0)
+        );
     }
 
     #[test]

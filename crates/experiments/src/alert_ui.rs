@@ -112,7 +112,9 @@ impl AlertConsole {
             self.total_alerts(),
             self.parse_errors
         );
-        out.push_str("classification                                                count  last seen (ms)\n");
+        out.push_str(
+            "classification                                                count  last seen (ms)\n",
+        );
         for (text, c) in &self.classifications {
             out.push_str(&format!("{text:<60}  {:>5}  {}\n", c.count, c.last_seen_ms));
         }
@@ -155,10 +157,16 @@ mod tests {
                 .receive_xml(&scan_alert(i, 1, 100 * i as u32).to_xml())
                 .expect("own XML parses");
         }
-        console.receive_xml(&scan_alert(5, 3, 900).to_xml()).expect("parses");
+        console
+            .receive_xml(&scan_alert(5, 3, 900).to_xml())
+            .expect("parses");
         assert_eq!(console.total_alerts(), 6);
         assert_eq!(console.classifications().len(), 1);
-        let c = console.classifications().values().next().expect("one class");
+        let c = console
+            .classifications()
+            .values()
+            .next()
+            .expect("one class");
         assert_eq!(c.count, 6);
         assert_eq!(c.last_seen_ms, 900);
         assert_eq!(console.traceback().hottest_ingress(), Some(PeerId(1)));
@@ -174,7 +182,9 @@ mod tests {
         assert!(console.receive_xml("<garbage/>").is_err());
         assert_eq!(console.parse_errors(), 1);
         assert_eq!(console.total_alerts(), 0);
-        console.receive_xml(&scan_alert(0, 1, 5).to_xml()).expect("parses");
+        console
+            .receive_xml(&scan_alert(0, 1, 5).to_xml())
+            .expect("parses");
         assert_eq!(console.total_alerts(), 1);
     }
 }

@@ -242,7 +242,10 @@ mod tests {
             .iter()
             .find(|r| r.name.starts_with("History"))
             .unwrap();
-        let infilter = results.iter().find(|r| r.name.starts_with("InFilter")).unwrap();
+        let infilter = results
+            .iter()
+            .find(|r| r.name.starts_with("InFilter"))
+            .unwrap();
         assert!(
             history.false_positive_rate > 10.0 * infilter.false_positive_rate,
             "history {history:?} vs infilter {infilter:?}"

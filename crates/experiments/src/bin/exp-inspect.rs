@@ -16,7 +16,10 @@ fn main() {
         Scale::Full
     };
     let mut cfg = match scale {
-        Scale::Full => TestbedConfig { seed, ..TestbedConfig::default() },
+        Scale::Full => TestbedConfig {
+            seed,
+            ..TestbedConfig::default()
+        },
         Scale::Quick => TestbedConfig::small(seed),
     };
     if args.iter().any(|a| a == "--stress") {
@@ -34,10 +37,21 @@ fn main() {
 
     let outcome = Testbed::new(cfg).run();
     println!("attack instances : {}", outcome.attack_instances);
-    println!("detected         : {} ({:.1}%)", outcome.attacks_detected, outcome.detection_rate() * 100.0);
+    println!(
+        "detected         : {} ({:.1}%)",
+        outcome.attacks_detected,
+        outcome.detection_rate() * 100.0
+    );
     println!("normal flows     : {}", outcome.normal_flows);
-    println!("false positives  : {} ({:.3}%)", outcome.false_positives, outcome.false_positive_rate() * 100.0);
-    println!("detection latency: {:.1} ms", outcome.mean_detection_latency_ms);
+    println!(
+        "false positives  : {} ({:.3}%)",
+        outcome.false_positives,
+        outcome.false_positive_rate() * 100.0
+    );
+    println!(
+        "detection latency: {:.1} ms",
+        outcome.mean_detection_latency_ms
+    );
     println!("\nper-kind (detected/launched):");
     for (kind, k) in &outcome.per_kind {
         println!("  {kind:<14} {}/{}", k.detected, k.launched);

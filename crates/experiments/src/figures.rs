@@ -49,7 +49,11 @@ pub struct AveragedOutcome {
 
 /// Runs `make_cfg(seed + i)` for `runs` seeds and averages ("each data
 /// point was obtained by averaging 5 runs", §6.3).
-pub fn averaged<F: Fn(u64) -> TestbedConfig>(base_seed: u64, runs: usize, make_cfg: F) -> AveragedOutcome {
+pub fn averaged<F: Fn(u64) -> TestbedConfig>(
+    base_seed: u64,
+    runs: usize,
+    make_cfg: F,
+) -> AveragedOutcome {
     let mut det = 0.0;
     let mut fp = 0.0;
     let mut lat = 0.0;
@@ -78,7 +82,14 @@ pub fn traceroute_validation(seed: u64) -> TextTable {
     let results = validation::run_both_traceroute_runs(seed);
     let mut t = TextTable::new(
         "Section 3.1 — Traceroute validation (paper: raw 4.8%/6.4%, aggregated 0.4%/0.6%)",
-        &["run", "samples", "completed", "raw", "subnet/24", "aggregated (fqdn)"],
+        &[
+            "run",
+            "samples",
+            "completed",
+            "raw",
+            "subnet/24",
+            "aggregated (fqdn)",
+        ],
     );
     for r in results {
         t.row(&[
@@ -128,10 +139,20 @@ pub fn figure_5(seed: u64, scale: Scale) -> TextTable {
     let report = validation::run_bgp_campaign(seed, cfg);
     let mut t = TextTable::new(
         "Figure 5 — Source-AS set change per target (paper: avg 1.6%, max 5%)",
-        &["target", "peer ASes (avg)", "snapshots", "avg change", "max change"],
+        &[
+            "target",
+            "peer ASes (avg)",
+            "snapshots",
+            "avg change",
+            "max change",
+        ],
     );
     let mut targets = report.targets.clone();
-    targets.sort_by(|a, b| a.avg_peer_count.partial_cmp(&b.avg_peer_count).expect("finite"));
+    targets.sort_by(|a, b| {
+        a.avg_peer_count
+            .partial_cmp(&b.avg_peer_count)
+            .expect("finite")
+    });
     for ts in &targets {
         t.row(&[
             ts.target.to_string(),
@@ -200,7 +221,12 @@ pub fn figures_17_18_19(seed: u64, runs: usize, scale: Scale) -> (TextTable, Tex
     );
     let mut fig19 = TextTable::new(
         "Figure 19 — FP rate at 8% attack volume (paper: BI 7.4%, EI 5.25%, ~30% reduction)",
-        &["route change", "Basic InFilter", "Enhanced InFilter", "reduction"],
+        &[
+            "route change",
+            "Basic InFilter",
+            "Enhanced InFilter",
+            "reduction",
+        ],
     );
     for change in [1usize, 2, 4, 8] {
         let mut bi_row = vec![format!("{change}%")];
@@ -225,13 +251,12 @@ pub fn figures_17_18_19(seed: u64, runs: usize, scale: Scale) -> (TextTable, Tex
         }
         bi.row(&bi_row);
         ei.row(&ei_row);
-        let reduction = if at8.0 > 0.0 { 1.0 - at8.1 / at8.0 } else { 0.0 };
-        fig19.row(&[
-            format!("{change}%"),
-            pct(at8.0),
-            pct(at8.1),
-            pct(reduction),
-        ]);
+        let reduction = if at8.0 > 0.0 {
+            1.0 - at8.1 / at8.0
+        } else {
+            0.0
+        };
+        fig19.row(&[format!("{change}%"), pct(at8.0), pct(at8.1), pct(reduction)]);
     }
     (bi, ei, fig19)
 }
@@ -250,7 +275,12 @@ pub fn latency_table(seed: u64, runs: usize, scale: Scale) -> TextTable {
     });
     let mut t = TextTable::new(
         "Section 6.4 — Per-flow processing latency (paper, 2005 hardware: BI ~0.5 ms, EI 2–6 ms)",
-        &["configuration", "fast path (µs)", "suspect path (µs)", "detection latency (ms)"],
+        &[
+            "configuration",
+            "fast path (µs)",
+            "suspect path (µs)",
+            "detection latency (ms)",
+        ],
     );
     t.row(&[
         "Basic InFilter".to_owned(),
@@ -338,10 +368,7 @@ pub fn table_2() -> TextTable {
 /// Table 3: the EIA set of each emulated peer AS.
 pub fn table_3() -> TextTable {
     let eia = eia_table(10, 100);
-    let mut t = TextTable::new(
-        "Table 3 — EIA set allocations",
-        &["peer AS", "EIA set"],
-    );
+    let mut t = TextTable::new("Table 3 — EIA set allocations", &["peer AS", "EIA set"]);
     for (i, blocks) in eia.iter().enumerate() {
         t.row(&[
             format!("Peer AS{}", i + 1),
@@ -354,7 +381,6 @@ pub fn table_3() -> TextTable {
     }
     t
 }
-
 
 /// Sensitivity to the location of attack sources (§6.3's third design
 /// axis): attack sets at 1, 2, 4, 7 and 10 of the ten ingresses.
@@ -444,7 +470,12 @@ pub fn ablation_tables(seed: u64, runs: usize, scale: Scale) -> Vec<TextTable> {
 
     let mut t = TextTable::new(
         "Ablation — Encoding bits per flow characteristic (paper: 144, d = 720)",
-        &["bits (d)", "detection", "false positives", "suspect path (µs)"],
+        &[
+            "bits (d)",
+            "detection",
+            "false positives",
+            "suspect path (µs)",
+        ],
     );
     for bits in [36usize, 72, 144] {
         let o = averaged(seed, runs, |s| TestbedConfig {

@@ -111,7 +111,11 @@ mod tests {
 
     #[test]
     fn bgp_derived_eia_matches_routed_traffic() {
-        let internet = InternetBuilder::new(17).tier1(3).transit(12).stubs(50).build();
+        let internet = InternetBuilder::new(17)
+            .tier1(3)
+            .transit(12)
+            .stubs(50)
+            .build();
         let target = internet.targets()[0].asn;
         let (eia, peer_ids) = eia_from_bgp(&internet, 0, 3);
         assert!(eia.prefix_count() > 0);
@@ -153,7 +157,11 @@ mod tests {
     #[test]
     fn traceroute_derived_eia_matches_observed_ingress() {
         use infilter_traceroute::SimConfig;
-        let internet = InternetBuilder::new(21).tier1(3).transit(12).stubs(50).build();
+        let internet = InternetBuilder::new(21)
+            .tier1(3)
+            .transit(12)
+            .stubs(50)
+            .build();
         let mut sim = TracerouteSim::new(
             internet,
             SimConfig {
@@ -186,12 +194,19 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked >= n_lg / 2, "only {checked}/{n_lg} looking glasses verified");
+        assert!(
+            checked >= n_lg / 2,
+            "only {checked}/{n_lg} looking glasses verified"
+        );
     }
 
     #[test]
     fn peer_ids_are_stable_and_distinct() {
-        let internet = InternetBuilder::new(17).tier1(3).transit(12).stubs(50).build();
+        let internet = InternetBuilder::new(17)
+            .tier1(3)
+            .transit(12)
+            .stubs(50)
+            .build();
         let (_, a) = eia_from_bgp(&internet, 1, 3);
         let (_, b) = eia_from_bgp(&internet, 1, 3);
         assert_eq!(a, b);

@@ -288,7 +288,9 @@ impl Testbed {
         let mut latency_sum = 0.0;
         let mut latency_n = 0usize;
         for i in 0..attack_instances {
-            let entry = per_kind.entry(instance_kind[i].name().to_owned()).or_default();
+            let entry = per_kind
+                .entry(instance_kind[i].name().to_owned())
+                .or_default();
             entry.launched += 1;
             if let Some(t) = instance_first_detection[i] {
                 attacks_detected += 1;
@@ -333,6 +335,7 @@ impl Testbed {
             adoption_threshold: cfg.adoption_threshold,
             adoption_prefix_len: cfg.adoption_prefix_len,
             seed: cfg.seed ^ 0x7e57,
+            ..AnalyzerConfig::default()
         };
         let trainer = Trainer::new(analyzer_cfg);
         match cfg.mode {
@@ -391,8 +394,9 @@ impl Testbed {
         let mut flows: Vec<LabeledFlow> = Vec::new();
 
         // --- Normal traffic: one Dagflow per peer per allocation phase.
-        let change_blocks =
-            (cfg.route_change_pct * cfg.blocks_per_peer).div_ceil(100).min(cfg.blocks_per_peer - 1);
+        let change_blocks = (cfg.route_change_pct * cfg.blocks_per_peer)
+            .div_ceil(100)
+            .min(cfg.blocks_per_peer - 1);
         let allocations = if change_blocks == 0 {
             Vec::new()
         } else {
@@ -769,7 +773,9 @@ mod adoption_probe {
             .collect();
         let flows: Vec<&LabeledFlow> = workload
             .iter()
-            .filter(|lf| matches!(lf.label, Label::Attack { instance } if http_idx.contains(&instance)))
+            .filter(
+                |lf| matches!(lf.label, Label::Attack { instance } if http_idx.contains(&instance)),
+            )
             .collect();
         assert_eq!(flows.len(), 9, "expected 3 victims x 3 retries");
         // Three distinct forged sources, each reused three times — enough

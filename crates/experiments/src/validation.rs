@@ -89,18 +89,17 @@ mod tests {
     use super::*;
 
     fn small_internet(seed: u64) -> Internet {
-        InternetBuilder::new(seed).tier1(3).transit(10).stubs(30).build()
+        InternetBuilder::new(seed)
+            .tier1(3)
+            .transit(10)
+            .stubs(30)
+            .build()
     }
 
     #[test]
     fn aggregation_ladder_is_monotone() {
-        let (res, profile) = run_traceroute_campaign(
-            small_internet(3),
-            "test",
-            30.0,
-            6.0,
-            SimConfig::default(),
-        );
+        let (res, profile) =
+            run_traceroute_campaign(small_internet(3), "test", 30.0, 6.0, SimConfig::default());
         assert!(res.samples > 0);
         assert!(res.completed <= res.samples);
         assert!(res.raw_change >= res.subnet_change);

@@ -186,8 +186,8 @@ impl Report {
 
 #[cfg(test)]
 mod tests {
-    use infilter_netflow::FlowRecord;
     use super::*;
+    use infilter_netflow::FlowRecord;
 
     fn flow(port: u16, src: &str, dst_port: u16, packets: u32, octets: u32) -> CollectedFlow {
         CollectedFlow {
@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn ungrouped_report_is_one_row() {
-        let flows = vec![flow(1, "10.0.0.1", 80, 2, 100), flow(2, "10.0.0.2", 53, 3, 60)];
+        let flows = vec![
+            flow(1, "10.0.0.1", 80, 2, 100),
+            flow(2, "10.0.0.2", 53, 3, 60),
+        ];
         let r = Report::generate(&flows, &[]);
         assert_eq!(r.rows().len(), 1);
         assert_eq!(r.rows()[0].flows, 2);
@@ -228,7 +231,11 @@ mod tests {
         assert_eq!(fine.rows().len(), 2);
         let finest = Report::generate(
             &flows,
-            &[GroupField::SrcAddr, GroupField::DstPort, GroupField::ExportPort],
+            &[
+                GroupField::SrcAddr,
+                GroupField::DstPort,
+                GroupField::ExportPort,
+            ],
         );
         assert_eq!(finest.rows().len(), 3);
     }
@@ -236,7 +243,10 @@ mod tests {
     #[test]
     fn rates_average_over_group_members() {
         // Two 1-second flows: 800 and 1600 bits → mean 1200 bps.
-        let flows = vec![flow(1, "10.0.0.1", 80, 1, 100), flow(1, "10.0.0.2", 80, 1, 200)];
+        let flows = vec![
+            flow(1, "10.0.0.1", 80, 1, 100),
+            flow(1, "10.0.0.2", 80, 1, 200),
+        ];
         let r = Report::generate(&flows, &[GroupField::DstPort]);
         assert_eq!(r.rows().len(), 1);
         assert!((r.rows()[0].avg_bits_per_sec - 1200.0).abs() < 1e-9);

@@ -96,11 +96,12 @@ impl UdpReceiver {
         let mut buf = [0u8; 2048];
         match self.socket.recv_from(&mut buf) {
             Ok((n, _)) => Ok(Some(
-                self.collector.ingest(self.port, &buf[..n]).unwrap_or_default(),
+                self.collector
+                    .ingest(self.port, &buf[..n])
+                    .unwrap_or_default(),
             )),
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 Ok(None)
             }
@@ -166,7 +167,9 @@ mod tests {
     #[test]
     fn timeout_returns_none() {
         let mut rx = UdpReceiver::bind(0).expect("bind receiver");
-        let got = rx.recv_once(Duration::from_millis(50)).expect("no socket error");
+        let got = rx
+            .recv_once(Duration::from_millis(50))
+            .expect("no socket error");
         assert!(got.is_none());
     }
 
@@ -174,13 +177,20 @@ mod tests {
     fn garbage_datagrams_are_counted_not_fatal() {
         let mut rx = UdpReceiver::bind(0).expect("bind receiver");
         let tx = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
-        tx.send_to(&[1, 2, 3], rx.local_addr().expect("addr")).expect("send");
+        tx.send_to(&[1, 2, 3], rx.local_addr().expect("addr"))
+            .expect("send");
         let batch = rx
             .recv_once(Duration::from_millis(300))
             .expect("no socket error")
             .expect("datagram arrived");
         assert!(batch.is_empty());
-        assert_eq!(rx.collector().stats(rx.port()).expect("stats").decode_errors, 1);
+        assert_eq!(
+            rx.collector()
+                .stats(rx.port())
+                .expect("stats")
+                .decode_errors,
+            1
+        );
     }
 
     #[test]
@@ -188,11 +198,16 @@ mod tests {
         let mut rx = UdpReceiver::bind(0).expect("bind receiver");
         let tx = UdpExporter::new().expect("exporter");
         let addr = rx.local_addr().expect("addr");
-        tx.send(addr, &Datagram::new(0, 0, &[record(0)])).expect("send");
+        tx.send(addr, &Datagram::new(0, 0, &[record(0)]))
+            .expect("send");
         // Skip sequence 1..=3: three flows "lost in the network".
-        tx.send(addr, &Datagram::new(4, 0, &[record(1)])).expect("send");
+        tx.send(addr, &Datagram::new(4, 0, &[record(1)]))
+            .expect("send");
         let flows = rx.drain(Duration::from_millis(300)).expect("drain");
         assert_eq!(flows.len(), 2);
-        assert_eq!(rx.collector().stats(rx.port()).expect("stats").lost_flows, 3);
+        assert_eq!(
+            rx.collector().stats(rx.port()).expect("stats").lost_flows,
+            3
+        );
     }
 }

@@ -43,4 +43,4 @@ mod trie;
 pub use blocks::{SubBlock, SubBlockRange};
 pub use ids::{Asn, RouterId};
 pub use prefix::{ParsePrefixError, Prefix};
-pub use trie::PrefixTrie;
+pub use trie::{Matches, PrefixTrie};

@@ -51,10 +51,25 @@ impl<V> Node<V> {
 impl<V> PrefixTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> PrefixTrie<V> {
+        PrefixTrie::with_capacity(0)
+    }
+
+    /// Creates an empty trie with arena space for `nodes` trie nodes, so
+    /// bulk loads (RIB dumps, EIA preloads) avoid re-allocating the arena.
+    /// A prefix of length `L` needs at most `L` nodes beyond the root;
+    /// shared leading bits need fewer.
+    pub fn with_capacity(nodes: usize) -> PrefixTrie<V> {
+        let mut arena = Vec::with_capacity(nodes.saturating_add(1));
+        arena.push(Node::empty());
         PrefixTrie {
-            nodes: vec![Node::empty()],
+            nodes: arena,
             len: 0,
         }
+    }
+
+    /// Node arena slots allocated (including the root).
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.capacity()
     }
 
     /// Number of prefixes stored.
@@ -145,24 +160,16 @@ impl<V> PrefixTrie<V> {
         best
     }
 
-    /// All stored prefixes that contain `addr`, from least to most specific.
-    pub fn matches(&self, addr: Ipv4Addr) -> Vec<(Prefix, &V)> {
-        let bits = u32::from(addr);
-        let mut node = 0usize;
-        let mut out = Vec::new();
-        for depth in 0..=32u8 {
-            if let Some((p, v)) = &self.nodes[node].value {
-                out.push((*p, v));
-            }
-            if depth == 32 {
-                break;
-            }
-            match self.nodes[node].children[bit_at(bits, depth)] {
-                Some(c) => node = c as usize,
-                None => break,
-            }
+    /// All stored prefixes that contain `addr`, yielded lazily from least
+    /// to most specific. No allocation: callers that only want the first
+    /// match (or to short-circuit) pay for exactly the nodes they walk.
+    pub fn matches(&self, addr: Ipv4Addr) -> Matches<'_, V> {
+        Matches {
+            trie: self,
+            bits: u32::from(addr),
+            node: Some(0),
+            depth: 0,
         }
-        out
     }
 
     /// Iterates over all `(prefix, value)` pairs in depth-first order.
@@ -211,6 +218,45 @@ impl<V> Extend<(Prefix, V)> for PrefixTrie<V> {
         for (p, v) in iter {
             self.insert(p, v);
         }
+    }
+}
+
+/// Lazy iterator over the prefixes containing one address, least specific
+/// first. Created by [`PrefixTrie::matches`].
+#[derive(Debug, Clone)]
+pub struct Matches<'a, V> {
+    trie: &'a PrefixTrie<V>,
+    bits: u32,
+    node: Option<usize>,
+    depth: u8,
+}
+
+impl<'a, V> Iterator for Matches<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<(Prefix, &'a V)> {
+        loop {
+            let node = self.node?;
+            let hit = self.trie.nodes[node].value.as_ref().map(|(p, v)| (*p, v));
+            self.node = if self.depth == 32 {
+                None
+            } else {
+                let bit = bit_at(self.bits, self.depth);
+                self.depth += 1;
+                self.trie.nodes[node].children[bit].map(|c| c as usize)
+            };
+            if hit.is_some() {
+                return hit;
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // At most one prefix per remaining depth (plus the current node).
+        (
+            0,
+            Some(self.node.map_or(0, |_| usize::from(33 - self.depth))),
+        )
     }
 }
 
@@ -290,8 +336,53 @@ mod tests {
         t.insert(p("0.0.0.0/0"), 0);
         t.insert(p("10.0.0.0/8"), 8);
         t.insert(p("10.96.0.0/11"), 11);
-        let m: Vec<u8> = t.matches(a("10.100.0.1")).iter().map(|(_, v)| **v).collect();
+        let m: Vec<u8> = t.matches(a("10.100.0.1")).map(|(_, v)| *v).collect();
         assert_eq!(m, vec![0, 8, 11]);
+    }
+
+    #[test]
+    fn matches_is_lazy_and_short_circuits() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.96.0.0/11"), 11);
+        let mut it = t.matches(a("10.100.0.1"));
+        assert_eq!(it.next().map(|(_, v)| *v), Some(0));
+        // First match found without walking the rest of the path; the
+        // iterator can still resume.
+        assert_eq!(it.next().map(|(_, v)| *v), Some(8));
+        assert_eq!(it.next().map(|(_, v)| *v), Some(11));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None);
+        // Lookup and matches agree: last match IS the longest match.
+        assert_eq!(
+            t.matches(a("10.100.0.1")).last().map(|(_, v)| *v),
+            t.lookup(a("10.100.0.1")).map(|(_, v)| *v)
+        );
+        // A miss yields nothing.
+        assert_eq!(t.matches(a("11.0.0.1")).count(), 1); // only the default route
+    }
+
+    #[test]
+    fn matches_on_empty_trie_is_empty() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        assert_eq!(t.matches(a("1.2.3.4")).count(), 0);
+        let (lo, hi) = t.matches(a("1.2.3.4")).size_hint();
+        assert_eq!(lo, 0);
+        assert!(hi.unwrap() >= 1);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_arena() {
+        let mut t: PrefixTrie<u8> = PrefixTrie::with_capacity(64);
+        let base = t.node_capacity();
+        assert!(base >= 65);
+        // A /32 plus a /24 sharing no bits need at most 56 new nodes:
+        // well within the reservation, so the arena never regrows.
+        t.insert(p("10.0.0.1/32"), 1);
+        t.insert(p("200.1.2.0/24"), 2);
+        assert_eq!(t.node_capacity(), base);
+        assert_eq!(t.lookup(a("10.0.0.1")).unwrap().1, &1);
     }
 
     #[test]

@@ -349,10 +349,7 @@ mod tests {
         assert_eq!(v5.records, records);
         let v7 = decode_any(&encode_v7(9, 0, &records)).unwrap();
         assert_eq!(v7.header.version, 7);
-        assert_eq!(
-            decode_any(&[0, 9, 0, 0]),
-            Err(DecodeError::WrongVersion(9))
-        );
+        assert_eq!(decode_any(&[0, 9, 0, 0]), Err(DecodeError::WrongVersion(9)));
         assert!(matches!(
             decode_any(&[0]),
             Err(DecodeError::Truncated { .. })
@@ -362,9 +359,15 @@ mod tests {
     #[test]
     fn truncation_and_count_checks_per_version() {
         let bytes = encode_v1(0, &[record(0)]);
-        assert!(matches!(decode_v1(&bytes[..20]), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_v1(&bytes[..20]),
+            Err(DecodeError::Truncated { .. })
+        ));
         let bytes = encode_v7(0, 0, &[record(0)]);
-        assert!(matches!(decode_v7(&bytes[..30]), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            decode_v7(&bytes[..30]),
+            Err(DecodeError::Truncated { .. })
+        ));
         let mut bad = encode_v7(0, 0, &[record(0)]).to_vec();
         bad[2] = 0;
         bad[3] = 31;

@@ -5,9 +5,9 @@ use proptest::prelude::*;
 
 fn arb_packet() -> impl Strategy<Value = PacketObs> {
     (
-        0u32..16,   // src addr low bits (few hosts → flows aggregate)
-        0u32..4,    // dst addr low bits
-        0u16..4,    // port variety
+        0u32..16, // src addr low bits (few hosts → flows aggregate)
+        0u32..4,  // dst addr low bits
+        0u16..4,  // port variety
         any::<bool>(),
         0u32..2000, // bytes
         0u32..100_000,

@@ -85,7 +85,10 @@ impl UnaryEncoder {
     ///
     /// Returns [`EncoderError`] if `specs` is empty or `bits_per_feature`
     /// is zero.
-    pub fn new(specs: Vec<FeatureSpec>, bits_per_feature: usize) -> Result<UnaryEncoder, EncoderError> {
+    pub fn new(
+        specs: Vec<FeatureSpec>,
+        bits_per_feature: usize,
+    ) -> Result<UnaryEncoder, EncoderError> {
         Self::with_uneven_bits(specs.into_iter().map(|s| (s, bits_per_feature)).collect())
     }
 

@@ -144,7 +144,11 @@ impl NnsStructure {
     ///
     /// Returns [`BuildError`] for an empty training set, inconsistent
     /// dimensions, or unusable parameters.
-    pub fn build(points: &[BitVec], params: NnsParams, seed: u64) -> Result<NnsStructure, BuildError> {
+    pub fn build(
+        points: &[BitVec],
+        params: NnsParams,
+        seed: u64,
+    ) -> Result<NnsStructure, BuildError> {
         if points.is_empty() {
             return Err(BuildError::EmptyTrainingSet);
         }

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 fn arb_points(d: usize) -> impl Strategy<Value = Vec<BitVec>> {
     proptest::collection::vec(
-        proptest::collection::vec(any::<bool>(), d..=d)
-            .prop_map(BitVec::from_bits),
+        proptest::collection::vec(any::<bool>(), d..=d).prop_map(BitVec::from_bits),
         1..24,
     )
 }

@@ -218,8 +218,13 @@ impl InternetBuilder {
         for i in 0..transit.len() {
             for j in (i + 1)..transit.len() {
                 if rng.gen_bool(self.extra_peering_prob) {
-                    let link =
-                        self.make_link(&graph, &mut rng, transit[i], transit[j], Relation::PeerPeer);
+                    let link = self.make_link(
+                        &graph,
+                        &mut rng,
+                        transit[i],
+                        transit[j],
+                        Relation::PeerPeer,
+                    );
                     graph.add_link(link);
                 }
             }
@@ -354,8 +359,16 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = InternetBuilder::new(5).tier1(3).transit(8).stubs(20).build();
-        let b = InternetBuilder::new(5).tier1(3).transit(8).stubs(20).build();
+        let a = InternetBuilder::new(5)
+            .tier1(3)
+            .transit(8)
+            .stubs(20)
+            .build();
+        let b = InternetBuilder::new(5)
+            .tier1(3)
+            .transit(8)
+            .stubs(20)
+            .build();
         assert_eq!(a.graph().as_count(), b.graph().as_count());
         assert_eq!(a.graph().link_count(), b.graph().link_count());
         let la: Vec<_> = a.graph().links().map(|(_, l)| l.clone()).collect();
@@ -408,7 +421,10 @@ mod tests {
 
     #[test]
     fn bundles_match_configuration() {
-        let net = InternetBuilder::new(9).parallel_prob(1.0).diverse_subnet_prob(1.0).build();
+        let net = InternetBuilder::new(9)
+            .parallel_prob(1.0)
+            .diverse_subnet_prob(1.0)
+            .build();
         for (_, l) in net.graph().links() {
             assert_eq!(l.bundle.len(), 2);
             assert!(l.diverse_subnets);
@@ -427,7 +443,10 @@ mod tests {
 
     #[test]
     fn same_subnet_bundles_share_slash24() {
-        let net = InternetBuilder::new(11).parallel_prob(1.0).diverse_subnet_prob(0.0).build();
+        let net = InternetBuilder::new(11)
+            .parallel_prob(1.0)
+            .diverse_subnet_prob(0.0)
+            .build();
         for (_, l) in net.graph().links() {
             let s0 = Prefix::host(l.bundle[0].b_end.addr).truncate(24);
             let s1 = Prefix::host(l.bundle[1].b_end.addr).truncate(24);

@@ -194,8 +194,14 @@ impl AsGraph {
         assert!(self.nodes.contains_key(&link.b), "unknown AS {}", link.b);
         assert!(!link.bundle.is_empty(), "bundle must not be empty");
         let id = LinkId(self.links.len());
-        self.adjacency.get_mut(&link.a).expect("endpoint exists").push(id);
-        self.adjacency.get_mut(&link.b).expect("endpoint exists").push(id);
+        self.adjacency
+            .get_mut(&link.a)
+            .expect("endpoint exists")
+            .push(id);
+        self.adjacency
+            .get_mut(&link.b)
+            .expect("endpoint exists")
+            .push(id);
         self.links.push(link);
         id
     }
@@ -386,7 +392,11 @@ mod tests {
         let mut g = tiny();
         // AS20 also originates a /24 inside AS100's /16 space.
         let more_specific: Prefix = "96.100.5.0/24".parse().unwrap();
-        g.nodes.get_mut(&Asn(20)).unwrap().originated.push(more_specific);
+        g.nodes
+            .get_mut(&Asn(20))
+            .unwrap()
+            .originated
+            .push(more_specific);
         let (asn, p) = g.originator_of("96.100.5.9".parse().unwrap()).unwrap();
         assert_eq!(asn, Asn(20));
         assert_eq!(p, more_specific);

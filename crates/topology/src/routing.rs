@@ -105,10 +105,8 @@ impl RouteTable {
 
         // Phase 2: peer routes. An AS exports customer routes (and its own
         // prefixes) to peers; a peer route is one hop off a customer route.
-        let customer_routed: Vec<(Asn, Route)> = routes
-            .iter()
-            .map(|(a, r)| (*a, r.clone()))
-            .collect();
+        let customer_routed: Vec<(Asn, Route)> =
+            routes.iter().map(|(a, r)| (*a, r.clone())).collect();
         for (owner, route) in &customer_routed {
             for peer in graph.peers(*owner) {
                 let cand_path = prepend(*owner, &route.as_path);
@@ -422,7 +420,12 @@ mod tests {
         // 300 dual-homed to 10 and 20; destination 1 reachable via both at
         // equal length. Expect next hop 10 (lower ASN).
         let mut g = AsGraph::new();
-        for (asn, tier) in [(1, Tier::Tier1), (10, Tier::Transit), (20, Tier::Transit), (300, Tier::Stub)] {
+        for (asn, tier) in [
+            (1, Tier::Tier1),
+            (10, Tier::Transit),
+            (20, Tier::Transit),
+            (300, Tier::Stub),
+        ] {
             g.add_as(info(asn, tier));
         }
         g.add_link(link(1, 10, Relation::ProviderCustomer));

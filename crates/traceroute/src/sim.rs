@@ -182,11 +182,15 @@ impl TracerouteSim {
     ///
     /// Panics if `lg` or `target` is out of range.
     pub fn sample(&mut self, lg: usize, target: usize, time_h: f64) -> Traceroute {
-        assert!(lg < self.internet.looking_glasses().len(), "lg index out of range");
+        assert!(
+            lg < self.internet.looking_glasses().len(),
+            "lg index out of range"
+        );
         let target_site = self.internet.targets()[target].clone();
 
         // Per-sample failure, deterministic in (pair, time).
-        let mut sample_rng = StdRng::seed_from_u64(mix(self.cfg.seed, &(lg, target, time_h.to_bits(), 0u8)));
+        let mut sample_rng =
+            StdRng::seed_from_u64(mix(self.cfg.seed, &(lg, target, time_h.to_bits(), 0u8)));
         if sample_rng.gen_bool(self.cfg.incomplete_prob) {
             return Traceroute {
                 time_h,
@@ -236,7 +240,9 @@ impl TracerouteSim {
             let t = step as f64 * interval_h;
             for lg in 0..n_lg {
                 for target in 0..n_t {
-                    out.entry((lg, target)).or_default().push(self.sample(lg, target, t));
+                    out.entry((lg, target))
+                        .or_default()
+                        .push(self.sample(lg, target, t));
                 }
             }
         }
@@ -380,7 +386,11 @@ impl TracerouteSim {
             // first and last AS stay at epoch 0, so churn concentrates in
             // the middle of the path (paper Figure 1: stability is high
             // near both ends).
-            let epoch = if i == 0 || i + 1 >= n.saturating_sub(1) { 0 } else { igp_epoch };
+            let epoch = if i == 0 || i + 1 >= n.saturating_sub(1) {
+                0
+            } else {
+                igp_epoch
+            };
             let entry = if i == 0 {
                 // The looking glass's access router.
                 routers.border_router(Asn(u32::MAX))
@@ -469,7 +479,11 @@ mod tests {
     use infilter_topology::InternetBuilder;
 
     fn small_sim(seed: u64) -> TracerouteSim {
-        let net = InternetBuilder::new(seed).tier1(3).transit(10).stubs(30).build();
+        let net = InternetBuilder::new(seed)
+            .tier1(3)
+            .transit(10)
+            .stubs(30)
+            .build();
         TracerouteSim::new(
             net,
             SimConfig {
@@ -511,7 +525,11 @@ mod tests {
 
     #[test]
     fn incomplete_probability_one_never_completes() {
-        let net = InternetBuilder::new(4).tier1(3).transit(10).stubs(30).build();
+        let net = InternetBuilder::new(4)
+            .tier1(3)
+            .transit(10)
+            .stubs(30)
+            .build();
         let mut sim = TracerouteSim::new(
             net,
             SimConfig {
@@ -527,7 +545,11 @@ mod tests {
 
     #[test]
     fn zero_rates_freeze_the_path() {
-        let net = InternetBuilder::new(4).tier1(3).transit(10).stubs(30).build();
+        let net = InternetBuilder::new(4)
+            .tier1(3)
+            .transit(10)
+            .stubs(30)
+            .build();
         let mut sim = TracerouteSim::new(
             net,
             SimConfig {
@@ -579,7 +601,10 @@ mod tests {
             }
             prev = Some(tr);
         }
-        assert!(addr_changes > 20, "expected frequent raw flips, saw {addr_changes}");
+        assert!(
+            addr_changes > 20,
+            "expected frequent raw flips, saw {addr_changes}"
+        );
         assert_eq!(fqdn_changes, 0, "load sharing must not change device names");
     }
 

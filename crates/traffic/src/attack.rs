@@ -134,7 +134,8 @@ impl AttackKind {
                         app: AppClass::OtherUdp,
                         protocol: 17,
                         src_slot: rng.gen(),
-                        dst_slot: (rng.gen_range(0..dst_slots.max(1)) + i as u64) % dst_slots.max(1),
+                        dst_slot: (rng.gen_range(0..dst_slots.max(1)) + i as u64)
+                            % dst_slots.max(1),
                         src_port: rng.gen_range(1024..65535),
                         dst_port: 1434,
                         packets: 1,

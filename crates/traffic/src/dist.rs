@@ -35,7 +35,10 @@ impl LogNormal {
     ///
     /// Panics on non-finite parameters or negative `sigma`.
     pub fn new(mu: f64, sigma: f64) -> LogNormal {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         LogNormal { mu, sigma }
     }

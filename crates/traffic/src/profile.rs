@@ -262,7 +262,10 @@ mod tests {
     #[test]
     fn classify_round_trips_well_known_ports() {
         for app in AppClass::ALL {
-            assert_eq!(AppClass::classify(app.protocol(), app.well_known_port()), app);
+            assert_eq!(
+                AppClass::classify(app.protocol(), app.well_known_port()),
+                app
+            );
         }
     }
 
@@ -298,7 +301,10 @@ mod tests {
         let trace = profile.generate(&mut rng, 5000, 60_000);
         for f in &trace.flows {
             assert!(f.packets >= 1);
-            assert!(f.bytes >= f.packets * 28, "flow smaller than headers: {f:?}");
+            assert!(
+                f.bytes >= f.packets * 28,
+                "flow smaller than headers: {f:?}"
+            );
             let bpp = f.bytes_per_packet();
             assert!((28.0..=1501.0).contains(&bpp), "bytes/packet {bpp}");
             assert_eq!(f.protocol, f.app.protocol());

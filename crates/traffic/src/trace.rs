@@ -78,7 +78,12 @@ impl Trace {
     /// Time spanned from first flow start to last flow end, ms.
     pub fn span_ms(&self) -> u64 {
         let first = self.flows.first().map(|f| f.start_ms).unwrap_or(0);
-        let last = self.flows.iter().map(FlowTemplate::end_ms).max().unwrap_or(0);
+        let last = self
+            .flows
+            .iter()
+            .map(FlowTemplate::end_ms)
+            .max()
+            .unwrap_or(0);
         last.saturating_sub(first)
     }
 

@@ -39,14 +39,26 @@ fn main() {
 
     println!("\nper attack kind:");
     for (kind, k) in &outcome.per_kind {
-        let mark = if k.detected == k.launched { "ok  " } else { "MISS" };
+        let mark = if k.detected == k.launched {
+            "ok  "
+        } else {
+            "MISS"
+        };
         println!("  [{mark}] {kind:<14} {}/{}", k.detected, k.launched);
     }
 
     let m = &outcome.metrics;
     println!("\nhow the pipeline split the load:");
-    println!("  EIA fast path   : {} flows ({:?}/flow)", m.eia_match, m.fast_path.mean());
-    println!("  suspects        : {} flows ({:?}/flow)", m.eia_suspect, m.suspect_path.mean());
+    println!(
+        "  EIA fast path   : {} flows ({:?}/flow)",
+        m.eia_match,
+        m.fast_path.mean()
+    );
+    println!(
+        "  suspects        : {} flows ({:?}/flow)",
+        m.eia_suspect,
+        m.suspect_path.mean()
+    );
     println!("  scan detections : {}", m.scan_attacks);
     println!("  NNS detections  : {}", m.nns_attacks);
     println!("  forgiven        : {}", m.forgiven);

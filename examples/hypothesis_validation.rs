@@ -22,7 +22,10 @@ fn main() {
     let series = sim.campaign(0.5, 24.0);
     let stats = ChangeStats::from_series(series.values());
     println!("traceroute validation (24 h, 30-min period):");
-    println!("  samples      : {} ({} completed)", stats.samples, stats.completed);
+    println!(
+        "  samples      : {} ({} completed)",
+        stats.samples, stats.completed
+    );
     println!(
         "  raw change   : {:.2}%   (paper: 4.8%)",
         stats.change_fraction(AggregationLevel::Raw) * 100.0

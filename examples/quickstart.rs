@@ -34,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Train the Enhanced InFilter pipeline (EIA → Scan Analysis → NNS).
     let cfg = AnalyzerConfig {
-        nns: NnsParams { d: 0, m1: 2, m2: 10, m3: 3 },
+        nns: NnsParams {
+            d: 0,
+            m1: 2,
+            m2: 10,
+            m3: 3,
+        },
         bits_per_feature: 32,
         ..AnalyzerConfig::default()
     };
@@ -45,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         src_addr: "3.0.5.5".parse()?,
         ..normal[0]
     };
-    println!("legal flow at peer 1      → {:?}", analyzer.process(PeerId(1), &legal));
+    println!(
+        "legal flow at peer 1      → {:?}",
+        analyzer.process(PeerId(1), &legal)
+    );
 
     // A normal-looking flow arriving through the wrong peer (a genuine
     // route change): suspected, then forgiven by the NNS stage.
@@ -53,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         src_addr: "3.33.0.5".parse()?,
         ..normal[1]
     };
-    println!("rerouted flow at peer 1   → {:?}", analyzer.process(PeerId(1), &rerouted));
+    println!(
+        "rerouted flow at peer 1   → {:?}",
+        analyzer.process(PeerId(1), &rerouted)
+    );
 
     // A spoofed flood: wrong ingress AND anomalous statistics.
     let spoofed = FlowRecord {
@@ -64,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         last_ms: 1_000,
         ..normal[0]
     };
-    println!("spoofed flood at peer 1   → {:?}", analyzer.process(PeerId(1), &spoofed));
+    println!(
+        "spoofed flood at peer 1   → {:?}",
+        analyzer.process(PeerId(1), &spoofed)
+    );
 
     // 5. The attack produced an IDMEF alert with traceback attribution.
     for alert in analyzer.drain_alerts() {

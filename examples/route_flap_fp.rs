@@ -9,7 +9,10 @@ use infilter::experiments::{Testbed, TestbedConfig};
 
 fn main() {
     println!("route-change sensitivity: BI vs EI (8% attack volume)\n");
-    println!("{:<14} {:>14} {:>14} {:>12}", "route change", "BI false pos", "EI false pos", "reduction");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12}",
+        "route change", "BI false pos", "EI false pos", "reduction"
+    );
 
     for change in [1usize, 2, 4, 8] {
         let run = |mode: Mode| {

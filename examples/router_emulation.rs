@@ -92,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         decoded.extend(Datagram::decode(&dg.encode())?.records);
         datagram_count += 1;
     }
-    println!("\nexported {} records in {datagram_count} v5 datagrams", decoded.len());
+    println!(
+        "\nexported {} records in {datagram_count} v5 datagrams",
+        decoded.len()
+    );
 
     let mut eia = EiaRegistry::new(3);
     eia.preload(PeerId(1), "3.0.0.0/11".parse()?);
@@ -103,7 +106,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .copied()
         .collect();
     let mut analyzer = Trainer::new(AnalyzerConfig {
-        nns: NnsParams { d: 0, m1: 2, m2: 10, m3: 3 },
+        nns: NnsParams {
+            d: 0,
+            m1: 2,
+            m2: 10,
+            m3: 3,
+        },
         bits_per_feature: 32,
         ..AnalyzerConfig::default()
     })

@@ -40,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let training = trainer_dagflow.replay_records(&training_trace, 0);
     let cfg = AnalyzerConfig {
-        nns: NnsParams { d: 0, m1: 2, m2: 10, m3: 3 },
+        nns: NnsParams {
+            d: 0,
+            m1: 2,
+            m2: 10,
+            m3: 3,
+        },
         bits_per_feature: 32,
         ..AnalyzerConfig::default()
     };

@@ -1,9 +1,13 @@
 //! The paper's Figure 9 deployment, end to end over real sockets and
 //! threads: per-BR UDP receivers feed a shared analysis module.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use infilter::core::{AnalyzerConfig, EiaRegistry, PeerId, SharedAnalyzer, TracebackReport, Trainer};
+use infilter::core::{
+    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, EiaRegistry, PeerId, TracebackReport,
+    Trainer,
+};
 use infilter::dagflow::{eia_table, AddressMapper, Dagflow, DagflowConfig};
 use infilter::flowtools::{UdpExporter, UdpReceiver};
 use infilter::net::Prefix;
@@ -45,7 +49,10 @@ fn figure9_deployment_over_udp_and_threads() {
     })
     .train_enhanced(eia, &trainer_flow.replay_records(&training_trace, 0))
     .expect("training succeeds");
-    let shared = SharedAnalyzer::new(analyzer);
+    let shared = Arc::new(ConcurrentAnalyzer::new(
+        analyzer,
+        ConcurrentConfig::default(),
+    ));
 
     // One UDP receiver per emulated BR, each on its own thread.
     let mut receiver_threads = Vec::new();
@@ -94,7 +101,11 @@ fn figure9_deployment_over_udp_and_threads() {
         .into_iter()
         .map(|h| h.join().expect("receiver thread"))
         .sum();
-    assert_eq!(processed, 120 + scan.trace.len(), "no datagrams lost on loopback");
+    assert_eq!(
+        processed,
+        120 + scan.trace.len(),
+        "no datagrams lost on loopback"
+    );
 
     let metrics = shared.metrics();
     assert_eq!(metrics.flows as usize, processed);
@@ -104,5 +115,8 @@ fn figure9_deployment_over_udp_and_threads() {
     let alerts = shared.drain_alerts();
     let report = TracebackReport::from_alerts(&alerts);
     assert_eq!(report.hottest_ingress(), Some(PeerId(2)));
-    assert!(report.ingress(PeerId(1)).is_none(), "no alerts for clean BR1");
+    assert!(
+        report.ingress(PeerId(1)).is_none(),
+        "no alerts for clean BR1"
+    );
 }

@@ -75,9 +75,16 @@ fn full_wire_path_detects_spoofed_worm_and_passes_legit_traffic() {
         .into_iter()
         .chain(attack_flow.replay_datagrams(&worm.trace, 5_000))
     {
-        stream.extend(collector.ingest(port, &dg.encode()).expect("valid datagrams"));
+        stream.extend(
+            collector
+                .ingest(port, &dg.encode())
+                .expect("valid datagrams"),
+        );
     }
-    assert_eq!(collector.stats(9003).expect("legit port seen").lost_flows, 0);
+    assert_eq!(
+        collector.stats(9003).expect("legit port seen").lost_flows,
+        0
+    );
 
     // Persist and reload through the binary flow store before analysis.
     let mut buf = Vec::new();
@@ -94,7 +101,10 @@ fn full_wire_path_detects_spoofed_worm_and_passes_legit_traffic() {
             _ => {}
         }
     }
-    assert_eq!(legit_flagged, 0, "legit traffic from its own space must pass");
+    assert_eq!(
+        legit_flagged, 0,
+        "legit traffic from its own space must pass"
+    );
     assert!(worm_flagged > 0, "the spoofed worm must be flagged");
     assert!(
         !analyzer.alerts().is_empty(),

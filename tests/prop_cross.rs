@@ -21,7 +21,17 @@ fn arb_record() -> impl Strategy<Value = FlowRecord> {
         (any::<u8>(), any::<u8>(), any::<u16>(), any::<u16>()),
     )
         .prop_map(
-            |(src, dst, sport, dport, proto, packets, octets, (first, last), (flags, tos, sas, das))| {
+            |(
+                src,
+                dst,
+                sport,
+                dport,
+                proto,
+                packets,
+                octets,
+                (first, last),
+                (flags, tos, sas, das),
+            )| {
                 FlowRecord {
                     src_addr: src.into(),
                     dst_addr: dst.into(),

@@ -32,7 +32,10 @@ fn basic_infilter_detects_everything_but_pays_in_false_positives() {
     };
     let (det, fp) = avg(&[21, 22], make);
     assert!(det > 0.95, "BI detection {det:.2} (paper: ~1.0)");
-    assert!(fp > 0.03, "BI FP under 4% route change should exceed 3%, got {fp:.4}");
+    assert!(
+        fp > 0.03,
+        "BI FP under 4% route change should exceed 3%, got {fp:.4}"
+    );
 }
 
 #[test]
@@ -91,7 +94,10 @@ fn stress_load_degrades_detection() {
         stress_det < single_det + 0.01,
         "stress detection {stress_det:.3} should not beat single-set {single_det:.3}"
     );
-    assert!(stress_det > 0.5, "stress detection collapsed: {stress_det:.3}");
+    assert!(
+        stress_det > 0.5,
+        "stress detection collapsed: {stress_det:.3}"
+    );
 }
 
 #[test]

@@ -7,7 +7,11 @@ use infilter::traceroute::{
 };
 
 fn small_internet(seed: u64) -> infilter::topology::Internet {
-    InternetBuilder::new(seed).tier1(3).transit(12).stubs(40).build()
+    InternetBuilder::new(seed)
+        .tier1(3)
+        .transit(12)
+        .stubs(40)
+        .build()
 }
 
 #[test]
@@ -105,8 +109,14 @@ fn default_campaigns_land_near_paper_magnitudes() {
     let stats = ChangeStats::from_series(sim.campaign(0.5, 24.0).values());
     let raw = stats.change_fraction(AggregationLevel::Raw);
     let fqdn = stats.change_fraction(AggregationLevel::Fqdn);
-    assert!((0.015..0.10).contains(&raw), "raw change {raw:.4} vs paper 4.8%");
-    assert!((0.001..0.015).contains(&fqdn), "aggregated {fqdn:.4} vs paper 0.4%");
+    assert!(
+        (0.015..0.10).contains(&raw),
+        "raw change {raw:.4} vs paper 4.8%"
+    );
+    assert!(
+        (0.001..0.015).contains(&fqdn),
+        "aggregated {fqdn:.4} vs paper 0.4%"
+    );
 
     let report = BgpValidation::new(
         InternetBuilder::new(42).build(),
