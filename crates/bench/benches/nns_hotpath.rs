@@ -1,0 +1,112 @@
+//! The flat-arena NNS hot path vs the seed `Vec<BitVec>`-per-table layout,
+//! at the paper's parameters (d = 720, M1 = 1, M2 = 12, M3 = 3):
+//!
+//! * per-query search latency, flat vs reference layout;
+//! * encode cost, fresh-allocation `encode` vs buffer-reusing `encode_into`;
+//! * build time, serial vs scale-parallel.
+//!
+//! Run with `--test` in CI as a layout-regression smoke.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use infilter_nns::reference::RefNnsStructure;
+use infilter_nns::{BitVec, FeatureSpec, NnsParams, NnsStructure, UnaryEncoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAPER: NnsParams = NnsParams {
+    d: 720,
+    m1: 1,
+    m2: 12,
+    m3: 3,
+};
+
+fn encoder() -> UnaryEncoder {
+    UnaryEncoder::new(vec![FeatureSpec::new(0.0, 1.0); 5], PAPER.d / 5).expect("valid encoder")
+}
+
+fn feature_rows(n: usize, seed: u64) -> Vec<[f64; 5]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| std::array::from_fn(|_| rng.gen())).collect()
+}
+
+fn training_points(n: usize, seed: u64) -> Vec<BitVec> {
+    let enc = encoder();
+    feature_rows(n, seed)
+        .iter()
+        .map(|f| enc.encode(f))
+        .collect()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nns_hotpath_search");
+    let points = training_points(800, 3);
+    let queries = training_points(256, 9);
+    let flat = NnsStructure::build(&points, PAPER, 1).expect("builds");
+    let reference = RefNnsStructure::build(&points, PAPER, 1).expect("builds");
+    let mut idx = 0usize;
+    group.bench_function("flat_arena", |b| {
+        b.iter(|| {
+            let q = &queries[idx % queries.len()];
+            idx += 1;
+            black_box(flat.search(q))
+        })
+    });
+    let mut idx = 0usize;
+    group.bench_function("reference_vec_bitvec", |b| {
+        b.iter(|| {
+            let q = &queries[idx % queries.len()];
+            idx += 1;
+            black_box(reference.search(q))
+        })
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nns_hotpath_encode");
+    let enc = encoder();
+    let rows = feature_rows(256, 17);
+    let mut idx = 0usize;
+    group.bench_function("encode_fresh", |b| {
+        b.iter(|| {
+            let f = &rows[idx % rows.len()];
+            idx += 1;
+            black_box(enc.encode(f))
+        })
+    });
+    let mut idx = 0usize;
+    let mut scratch = BitVec::zeros(0);
+    group.bench_function("encode_into_reused", |b| {
+        b.iter(|| {
+            let f = &rows[idx % rows.len()];
+            idx += 1;
+            enc.encode_into(f, &mut scratch);
+            black_box(scratch.count_ones())
+        })
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nns_hotpath_build");
+    group.sample_size(10);
+    let points = training_points(800, 3);
+    group.bench_function("reference_serial", |b| {
+        b.iter(|| RefNnsStructure::build(&points, PAPER, 1).expect("builds"))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    NnsStructure::build_with_threads(&points, PAPER, 1, threads).expect("builds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_encode, bench_build);
+criterion_main!(benches);

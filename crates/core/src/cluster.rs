@@ -92,12 +92,26 @@ impl SubclusterModel {
         self.encoder.encode(&stats.as_features())
     }
 
+    /// Encodes a flow's statistics into a caller-owned scratch buffer,
+    /// reusing its allocation (see [`UnaryEncoder::encode_into`]).
+    pub fn encode_into(&self, stats: &FlowStats, scratch: &mut BitVec) {
+        self.encoder.encode_into(&stats.as_features(), scratch);
+    }
+
     /// Distance from the flow to its (approximate) nearest normal
     /// neighbour. `None` when every probe missed — treated as maximally
     /// anomalous by the pipeline.
     pub fn nn_distance(&self, stats: &FlowStats) -> Option<u32> {
         let q = self.encode(stats);
         self.structure.search(&q).map(|r| r.distance)
+    }
+
+    /// [`SubclusterModel::nn_distance`] with a reusable query buffer: after
+    /// the first call, encode + search touch the heap zero times (the hot
+    /// suspect path in the analyzers).
+    pub fn nn_distance_with(&self, stats: &FlowStats, scratch: &mut BitVec) -> Option<u32> {
+        self.encode_into(stats, scratch);
+        self.structure.search(scratch).map(|r| r.distance)
     }
 
     /// Whether the flow is within the normal-behaviour range.

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use infilter_netflow::FlowRecord;
+use infilter_nns::BitVec;
 use parking_lot::Mutex;
 
 use crate::eia::EiaSnapshot;
@@ -89,6 +90,11 @@ const MAX_CACHED_CELLS: usize = 32;
 thread_local! {
     static EIA_CACHE: RefCell<Vec<(u64, Option<CachedSnapshot<EiaSnapshot>>)>> =
         const { RefCell::new(Vec::new()) };
+    /// Per-thread NNS query buffer: suspect-flow encode + search reuses one
+    /// allocation per collector thread instead of allocating per flow. Safe
+    /// to share across analyzers — `encode_into` resets length and contents
+    /// on every use.
+    static ENCODE_SCRATCH: RefCell<BitVec> = RefCell::new(BitVec::zeros(0));
 }
 
 /// The concurrent InFilter engine: `process` takes `&self` and scales with
@@ -253,8 +259,11 @@ impl ConcurrentAnalyzer {
             return Verdict::Attack(stage);
         }
 
-        // Stage 3: NNS search — read-only, outside every lock.
-        match nns_stage(self.model.as_deref(), flow) {
+        // Stage 3: NNS search — read-only, outside every lock, with the
+        // thread-local query buffer.
+        let outcome = ENCODE_SCRATCH
+            .with(|scratch| nns_stage(self.model.as_deref(), flow, &mut scratch.borrow_mut()));
+        match outcome {
             SuspectOutcome::Cleared => {
                 ConcurrentMetrics::bump(&self.metrics.forgiven);
                 if self.record_sighting(ingress, flow.src_addr) {

@@ -2,7 +2,7 @@ use std::net::Ipv4Addr;
 use std::time::Instant;
 
 use infilter_netflow::FlowRecord;
-use infilter_nns::NnsParams;
+use infilter_nns::{BitVec, NnsParams};
 use infilter_traffic::AppClass;
 use serde::{Deserialize, Serialize};
 
@@ -198,6 +198,9 @@ pub struct Analyzer {
     metrics: AnalyzerMetrics,
     alerts: Vec<IdmefAlert>,
     next_alert_id: u64,
+    /// Reusable NNS query buffer: suspect-flow encode + search performs
+    /// zero heap allocations after the first suspect.
+    nns_scratch: BitVec,
 }
 
 impl Analyzer {
@@ -217,6 +220,7 @@ impl Analyzer {
             metrics: AnalyzerMetrics::default(),
             alerts: Vec::new(),
             next_alert_id: 0,
+            nns_scratch: BitVec::zeros(0),
         }
     }
 
@@ -298,7 +302,7 @@ impl Analyzer {
         }
 
         // Stage 3: NNS analysis against the relevant subcluster.
-        match nns_stage(self.model.as_ref(), flow) {
+        match nns_stage(self.model.as_ref(), flow, &mut self.nns_scratch) {
             SuspectOutcome::Cleared => {
                 // Within normal behaviour: not an attack; count toward
                 // dynamic EIA adoption (§5.2(a)).
@@ -356,12 +360,17 @@ pub(crate) fn scan_stage(scan: &mut ScanAnalyzer, flow: &FlowRecord) -> Option<A
 }
 
 /// Stage 3 (NNS assessment): read-only against the trained model, hence
-/// safe to run outside any shard lock.
-pub(crate) fn nns_stage(model: Option<&ClusterModel>, flow: &FlowRecord) -> SuspectOutcome {
+/// safe to run outside any shard lock. `scratch` is the caller's reusable
+/// query buffer — after its first use the whole stage is allocation-free.
+pub(crate) fn nns_stage(
+    model: Option<&ClusterModel>,
+    flow: &FlowRecord,
+    scratch: &mut BitVec,
+) -> SuspectOutcome {
     let class = AppClass::classify(flow.protocol, flow.dst_port);
     let assessment = model.and_then(|m| m.subcluster(class)).map(|sub| {
         let stats = flow.stats();
-        (sub.threshold(), sub.nn_distance(&stats))
+        (sub.threshold(), sub.nn_distance_with(&stats, scratch))
     });
     match assessment {
         Some((threshold, Some(distance))) if distance <= threshold => SuspectOutcome::Cleared,

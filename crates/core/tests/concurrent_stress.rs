@@ -283,7 +283,7 @@ proptest! {
             trainer.train_enhanced(eia(), &training()).expect("training succeeds"),
             parity_concurrent_config(),
         );
-        let records: Vec<FlowRecord> = flows.iter().map(|(_, f)| f.clone()).collect();
+        let records: Vec<FlowRecord> = flows.iter().map(|(_, f)| *f).collect();
         let one_by_one: Vec<Verdict> =
             records.iter().map(|f| singles.process(PeerId(1), f)).collect();
         prop_assert_eq!(batched.process_batch(PeerId(1), &records), one_by_one);

@@ -1,0 +1,100 @@
+//! Proves the suspect-flow NNS hot path is allocation-free: a counting
+//! global allocator wraps the system allocator, and after one warmup call
+//! the encode + search of a suspect flow must perform zero heap
+//! allocations.
+//!
+//! This file intentionally holds a single `#[test]` — a second test running
+//! concurrently in the same binary would allocate under the shared counter
+//! and make the assertion flaky.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use infilter_core::{ClusterModel, ThresholdPolicy};
+use infilter_netflow::FlowRecord;
+use infilter_nns::{BitVec, NnsParams};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn http_flow(i: u32) -> FlowRecord {
+    FlowRecord {
+        dst_port: 80,
+        protocol: 6,
+        packets: 10 + (i % 6),
+        octets: 5000 + 200 * (i % 10),
+        first_ms: 0,
+        last_ms: 800 + 40 * (i % 7),
+        ..FlowRecord::default()
+    }
+}
+
+#[test]
+fn suspect_path_encode_and_search_allocate_nothing_after_warmup() {
+    let flows: Vec<FlowRecord> = (0..60).map(http_flow).collect();
+    let model = ClusterModel::train(
+        &flows,
+        NnsParams {
+            d: 0, // overridden per subcluster
+            m1: 2,
+            m2: 8,
+            m3: 2,
+        },
+        ThresholdPolicy::default(),
+        12,
+        42,
+    )
+    .expect("training succeeds");
+    let sub = model.iter().next().expect("one subcluster");
+
+    // Warmup: the scratch buffer grows to the encoder's dimension once.
+    let mut scratch = BitVec::zeros(0);
+    let stats = http_flow(3).stats();
+    sub.nn_distance_with(&stats, &mut scratch)
+        .expect("training flow has a neighbour");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..200u32 {
+        let stats = http_flow(i).stats();
+        let d = sub.nn_distance_with(&stats, &mut scratch);
+        assert!(d.is_some(), "training-shaped flow must find a neighbour");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "suspect-path encode+search allocated {} times over 200 flows",
+        after - before
+    );
+
+    // The per-call allocating API really does allocate — the counter works.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let _ = sub.nn_distance(&stats);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(after > before, "counter failed to observe an allocation");
+}

@@ -38,13 +38,92 @@ impl BitVec {
     }
 
     /// Builds a vector from an iterator of bits.
+    ///
+    /// Fills 64-bit words directly as the iterator drains — no intermediate
+    /// `Vec<bool>`, no per-bit bounds checks.
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> BitVec {
-        let bits: Vec<bool> = bits.into_iter().collect();
-        let mut v = BitVec::zeros(bits.len());
-        for (i, b) in bits.into_iter().enumerate() {
-            v.set(i, b);
+        let bits = bits.into_iter();
+        let mut words = Vec::with_capacity(bits.size_hint().0.div_ceil(64));
+        let mut len = 0usize;
+        let mut current = 0u64;
+        for b in bits {
+            if b {
+                current |= 1u64 << (len % 64);
+            }
+            len += 1;
+            if len.is_multiple_of(64) {
+                words.push(current);
+                current = 0;
+            }
         }
-        v
+        if !len.is_multiple_of(64) {
+            words.push(current);
+        }
+        BitVec { len, words }
+    }
+
+    /// Resets to an all-zero vector of length `len`, reusing the existing
+    /// word allocation when it is large enough (the scratch-buffer pattern
+    /// the zero-allocation encode path relies on).
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Sets the `count` bits starting at `start` to one, whole words at a
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > len`.
+    pub fn set_ones(&mut self, start: usize, count: usize) {
+        assert!(
+            start + count <= self.len,
+            "bit range {start}..{} out of range {}",
+            start + count,
+            self.len
+        );
+        if count == 0 {
+            return;
+        }
+        let last = start + count - 1;
+        let (w0, b0) = (start / 64, start % 64);
+        let (w1, b1) = (last / 64, last % 64);
+        if w0 == w1 {
+            // ((1 << count) - 1) computed in u128 so count == 64 is exact.
+            self.words[w0] |= (((1u128 << count) - 1) as u64) << b0;
+        } else {
+            self.words[w0] |= !0u64 << b0;
+            for w in &mut self.words[w0 + 1..w1] {
+                *w = !0;
+            }
+            self.words[w1] |= !0u64 >> (63 - b1);
+        }
+    }
+
+    /// The backing 64-bit words, least-significant bit first; bits past
+    /// `len` in the last word are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Hamming distance between two equally long word slices (XOR +
+    /// popcount) — the flat-arena counterpart of [`BitVec::hamming`].
+    pub fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len(), "word-count mismatch");
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    }
+
+    /// Inner product modulo 2 of two equally long word slices (AND +
+    /// popcount parity) — the flat-arena counterpart of
+    /// [`BitVec::dot_mod2`].
+    pub fn dot_mod2_words(a: &[u64], b: &[u64]) -> u8 {
+        debug_assert_eq!(a.len(), b.len(), "word-count mismatch");
+        // Parity is preserved under word-wise XOR folding, so one popcount
+        // at the end replaces one per word.
+        let folded = a.iter().zip(b).fold(0u64, |acc, (x, y)| acc ^ (x & y));
+        (folded.count_ones() & 1) as u8
     }
 
     /// The vector length in bits.
@@ -182,6 +261,70 @@ mod tests {
     fn display_renders_bits() {
         let v = BitVec::from_bits([true, true, true, false, false]);
         assert_eq!(v.to_string(), "11100");
+    }
+
+    #[test]
+    fn from_bits_matches_per_bit_set_across_word_boundaries() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 130] {
+            let bits: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let fast = BitVec::from_bits(bits.iter().copied());
+            let mut slow = BitVec::zeros(len);
+            for (i, &b) in bits.iter().enumerate() {
+                slow.set(i, b);
+            }
+            assert_eq!(fast, slow, "len {len}");
+            assert_eq!(fast.len(), len);
+        }
+    }
+
+    #[test]
+    fn set_ones_spans_words() {
+        for (start, count) in [
+            (0usize, 0usize),
+            (0, 1),
+            (3, 61),
+            (3, 62),
+            (60, 8),
+            (0, 130),
+        ] {
+            let mut fast = BitVec::zeros(130);
+            fast.set_ones(start, count);
+            let mut slow = BitVec::zeros(130);
+            for i in start..start + count {
+                slow.set(i, true);
+            }
+            assert_eq!(fast, slow, "start {start} count {count}");
+        }
+        let mut exact = BitVec::zeros(64);
+        exact.set_ones(0, 64);
+        assert_eq!(exact.count_ones(), 64);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zeroes() {
+        let mut v = BitVec::from_bits((0..130).map(|_| true));
+        let ptr = v.words().as_ptr();
+        v.reset(130);
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.words().as_ptr(), ptr, "reset must reuse the allocation");
+        v.reset(64);
+        assert_eq!(v.len(), 64);
+        assert_eq!(v.words().len(), 1);
+    }
+
+    #[test]
+    fn word_helpers_match_bit_level_ops() {
+        let a = BitVec::from_bits((0..150).map(|i| i % 3 == 0));
+        let b = BitVec::from_bits((0..150).map(|i| i % 5 == 0));
+        assert_eq!(BitVec::hamming_words(a.words(), b.words()), a.hamming(&b));
+        assert_eq!(BitVec::dot_mod2_words(a.words(), b.words()), a.dot_mod2(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_ones_out_of_range_panics() {
+        BitVec::zeros(16).set_ones(10, 8);
     }
 
     #[test]

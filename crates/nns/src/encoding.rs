@@ -173,6 +173,22 @@ impl UnaryEncoder {
     ///
     /// Panics if `features.len()` differs from the encoder's feature count.
     pub fn encode(&self, features: &[f64]) -> BitVec {
+        let mut v = BitVec::zeros(self.dimension);
+        self.encode_into(features, &mut v);
+        v
+    }
+
+    /// Encodes a feature vector into a caller-owned buffer, reusing its
+    /// allocation — after the first call with a given buffer, encoding a
+    /// suspect flow touches the heap zero times.
+    ///
+    /// The buffer is reset to the encoder's dimension; any previous
+    /// contents and length are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the encoder's feature count.
+    pub fn encode_into(&self, features: &[f64], out: &mut BitVec) {
         assert_eq!(
             features.len(),
             self.features.len(),
@@ -180,17 +196,13 @@ impl UnaryEncoder {
             self.features.len(),
             features.len()
         );
-        let mut v = BitVec::zeros(self.dimension);
+        out.reset(self.dimension);
         let mut offset = 0;
         for (idx, &value) in features.iter().enumerate() {
             let (_, bits) = self.features[idx];
-            let ones = self.interval(idx, value);
-            for i in 0..ones {
-                v.set(offset + i, true);
-            }
+            out.set_ones(offset, self.interval(idx, value));
             offset += bits;
         }
-        v
     }
 }
 
@@ -261,6 +273,24 @@ mod tests {
         let lo = enc.encode(&samples[0]);
         let hi = enc.encode(&samples[1]);
         assert!(lo.hamming(&hi) >= 24, "distance {}", lo.hamming(&hi));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let enc = UnaryEncoder::new(
+            vec![FeatureSpec::new(0.0, 10.0), FeatureSpec::new(0.0, 100.0)],
+            20,
+        )
+        .unwrap();
+        let mut scratch = BitVec::zeros(0);
+        for features in [[3.0, 40.0], [0.0, 0.0], [10.0, 100.0], [-5.0, 1e9]] {
+            enc.encode_into(&features, &mut scratch);
+            assert_eq!(scratch, enc.encode(&features), "features {features:?}");
+        }
+        // A dirty, differently sized buffer is fully overwritten.
+        let mut dirty = BitVec::from_bits((0..7).map(|_| true));
+        enc.encode_into(&[3.0, 40.0], &mut dirty);
+        assert_eq!(dirty, enc.encode(&[3.0, 40.0]));
     }
 
     #[test]

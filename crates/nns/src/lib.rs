@@ -42,6 +42,8 @@
 
 mod bitvec;
 mod encoding;
+#[doc(hidden)]
+pub mod reference;
 mod structure;
 
 pub use bitvec::BitVec;

@@ -1,0 +1,161 @@
+//! The seed `Vec<BitVec>`-per-table KOR layout, kept verbatim as a
+//! test-and-bench reference implementation.
+//!
+//! The production [`crate::NnsStructure`] stores the same tables in flat
+//! contiguous word arenas; the parity proptests assert its `search` returns
+//! bit-identical results to this layout for the same seed, and the
+//! `nns_hotpath` bench measures the layout change in isolation. Not part of
+//! the public API surface.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::structure::{mix, validate, EMPTY};
+use crate::{BitVec, BuildError, NnResult, NnsParams};
+
+/// One table `T_ij` in the seed layout: `M2` individually boxed test
+/// vectors plus the `2^M2`-entry table, with the build-only `entry_dist`
+/// scratch persisted alongside (the flat layout drops it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Table {
+    test_vectors: Vec<BitVec>,
+    entries: Vec<u32>,
+    entry_dist: Vec<u8>,
+}
+
+impl Table {
+    fn trace(&self, point: &BitVec) -> usize {
+        let mut z = 0usize;
+        for (k, u) in self.test_vectors.iter().enumerate() {
+            if u.dot_mod2(point) == 1 {
+                z |= 1 << k;
+            }
+        }
+        z
+    }
+}
+
+/// The seed pointer-per-test-vector KOR structure (reference only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RefNnsStructure {
+    params: NnsParams,
+    /// `substructures[t-1][j]` is table `T_tj` at distance scale `t`.
+    substructures: Vec<Vec<Table>>,
+    points: Vec<BitVec>,
+    seed: u64,
+}
+
+impl RefNnsStructure {
+    /// Serial seed-layout build — identical tables to
+    /// [`crate::NnsStructure::build`] with the same `(points, params,
+    /// seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for the same inputs the flat build rejects.
+    pub fn build(
+        points: &[BitVec],
+        params: NnsParams,
+        seed: u64,
+    ) -> Result<RefNnsStructure, BuildError> {
+        validate(points, params)?;
+        let ball: Vec<usize> = (0..(1usize << params.m2))
+            .filter(|z| (z.count_ones() as usize) < params.m3.max(1))
+            .collect();
+        let mut substructures = Vec::with_capacity(params.d);
+        for t in 1..=params.d {
+            let mut tables = Vec::with_capacity(params.m1);
+            for j in 0..params.m1 {
+                let mut rng = StdRng::seed_from_u64(mix(seed, &(t, j)));
+                let b = 1.0 / (2.0 * t as f64);
+                let p_one = (b / 2.0).min(0.5);
+                let test_vectors: Vec<BitVec> = (0..params.m2)
+                    .map(|_| BitVec::from_bits((0..params.d).map(|_| rng.gen_bool(p_one))))
+                    .collect();
+                let mut table = Table {
+                    test_vectors,
+                    entries: vec![EMPTY; 1 << params.m2],
+                    entry_dist: vec![u8::MAX; 1 << params.m2],
+                };
+                for (idx, p) in points.iter().enumerate() {
+                    let z = table.trace(p);
+                    for &mask in &ball {
+                        let dist = mask.count_ones() as u8;
+                        let slot = z ^ mask;
+                        if dist < table.entry_dist[slot] {
+                            table.entry_dist[slot] = dist;
+                            table.entries[slot] = idx as u32;
+                        }
+                    }
+                }
+                tables.push(table);
+            }
+            substructures.push(tables);
+        }
+        Ok(RefNnsStructure {
+            params,
+            substructures,
+            points: points.to_vec(),
+            seed,
+        })
+    }
+
+    /// Seed-layout search — same binary-search-over-scales algorithm as
+    /// [`crate::NnsStructure::search`], pointer-chasing included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from `params.d`.
+    pub fn search(&self, query: &BitVec) -> Option<NnResult> {
+        assert_eq!(query.len(), self.params.d, "query dimension mismatch");
+        let mut lo = 1usize;
+        let mut hi = self.params.d;
+        let mut best: Option<NnResult> = None;
+        while lo <= hi {
+            let t = lo + (hi - lo) / 2;
+            let mut hit = false;
+            for table in &self.substructures[t - 1] {
+                let z = table.trace(query);
+                let entry = table.entries[z];
+                if entry != EMPTY {
+                    hit = true;
+                    let index = entry as usize;
+                    let distance = self.points[index].hamming(query);
+                    if best.is_none_or(|b| (distance, index) < (b.distance, b.index)) {
+                        best = Some(NnResult { index, distance });
+                    }
+                }
+            }
+            if hit {
+                if t == 1 {
+                    break;
+                }
+                hi = t - 1;
+            } else {
+                lo = t + 1;
+            }
+        }
+        best
+    }
+
+    /// Tables of test vectors and entries flattened in scale-major order —
+    /// lets tests compare seed-layout build output word for word against
+    /// the flat arenas.
+    pub fn flatten(&self) -> (Vec<u64>, Vec<u32>) {
+        let stride = self.params.d.div_ceil(64);
+        let mut test_vectors = Vec::new();
+        let mut entries = Vec::new();
+        for tables in &self.substructures {
+            for table in tables {
+                for tv in &table.test_vectors {
+                    let mut row = tv.words().to_vec();
+                    row.resize(stride, 0);
+                    test_vectors.extend_from_slice(&row);
+                }
+                entries.extend_from_slice(&table.entries);
+            }
+        }
+        (test_vectors, entries)
+    }
+}

@@ -1,5 +1,6 @@
 //! Property tests for the KOR structure and the unary encoder.
 
+use infilter_nns::reference::RefNnsStructure;
 use infilter_nns::{linear_nn, BitVec, FeatureSpec, NnsParams, NnsStructure, UnaryEncoder};
 use proptest::prelude::*;
 
@@ -47,6 +48,48 @@ proptest! {
         let b = NnsStructure::build(&points, params, seed).expect("builds");
         let q = BitVec::zeros(32);
         prop_assert_eq!(a.search(&q), b.search(&q));
+    }
+
+    #[test]
+    fn flat_layout_search_matches_reference_layout(
+        points in arb_points(40),
+        queries in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 40), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let params = NnsParams { d: 40, m1: 2, m2: 7, m3: 3 };
+        let flat = NnsStructure::build(&points, params, seed).expect("builds");
+        let reference = RefNnsStructure::build(&points, params, seed).expect("builds");
+        for q in queries {
+            let q = BitVec::from_bits(q);
+            prop_assert_eq!(flat.search(&q), reference.search(&q));
+        }
+        for p in &points {
+            prop_assert_eq!(flat.search(p), reference.search(p));
+        }
+    }
+
+    #[test]
+    fn flat_build_arenas_match_reference_tables(points in arb_points(33), seed in any::<u64>()) {
+        // Word-for-word: the flat arenas hold exactly the reference layout's
+        // test vectors and entries, in scale-major order.
+        let params = NnsParams { d: 33, m1: 2, m2: 6, m3: 2 };
+        let flat = NnsStructure::build(&points, params, seed).expect("builds");
+        let reference = RefNnsStructure::build(&points, params, seed).expect("builds");
+        let (ref_tv, ref_entries) = reference.flatten();
+        prop_assert_eq!(flat.test_vector_words(), &ref_tv[..]);
+        prop_assert_eq!(flat.entry_slots(), &ref_entries[..]);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial(
+        points in arb_points(24),
+        seed in any::<u64>(),
+        threads in 2usize..12,
+    ) {
+        let params = NnsParams { d: 24, m1: 2, m2: 6, m3: 2 };
+        let serial = NnsStructure::build_with_threads(&points, params, seed, 1).expect("builds");
+        let parallel = NnsStructure::build_with_threads(&points, params, seed, threads).expect("builds");
+        prop_assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Serde roundtrip of the flat `NnsStructure` and serialized-size
+//! comparison against the seed `Vec<BitVec>`-per-table layout.
+
+use infilter_nns::reference::RefNnsStructure;
+use infilter_nns::{BitVec, NnsParams, NnsStructure};
+
+fn training_points(d: usize, n: usize) -> Vec<BitVec> {
+    (0..n)
+        .map(|i| BitVec::from_bits((0..d).map(|b| (b * 7 + i * 13) % 5 < 2)))
+        .collect()
+}
+
+#[test]
+fn flat_structure_roundtrips_through_serde() {
+    let params = NnsParams {
+        d: 72,
+        m1: 2,
+        m2: 8,
+        m3: 3,
+    };
+    let points = training_points(params.d, 12);
+    let s = NnsStructure::build(&points, params, 42).unwrap();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: NnsStructure = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, s);
+    // The deserialized structure answers queries identically.
+    for p in &points {
+        assert_eq!(back.search(p), s.search(p));
+    }
+    let q = BitVec::from_bits((0..params.d).map(|b| b % 3 == 0));
+    assert_eq!(back.search(&q), s.search(&q));
+}
+
+#[test]
+fn flat_layout_serializes_smaller_than_seed_layout() {
+    // The flat layout drops the build-only `entry_dist` scratch (2^m2 bytes
+    // per table) and the per-BitVec framing of every test vector and
+    // training point, so the same model must serialize strictly smaller.
+    let params = NnsParams {
+        d: 72,
+        m1: 2,
+        m2: 8,
+        m3: 3,
+    };
+    let points = training_points(params.d, 12);
+    let flat = serde_json::to_string(&NnsStructure::build(&points, params, 42).unwrap())
+        .unwrap()
+        .len();
+    let seed_layout = serde_json::to_string(&RefNnsStructure::build(&points, params, 42).unwrap())
+        .unwrap()
+        .len();
+    assert!(
+        flat < seed_layout,
+        "flat layout serialized to {flat} bytes, seed layout to {seed_layout}"
+    );
+}
