@@ -1,0 +1,88 @@
+//! Cost of the observability layer itself: histogram/ring primitives, and
+//! the end-to-end fast path with telemetry enabled vs disabled — the
+//! numbers behind the "< 3% fast-path overhead" budget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use infilter_core::{
+    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, EiaRegistry, Mode, PeerId,
+    TelemetryConfig, Trainer,
+};
+use infilter_netflow::FlowRecord;
+use infilter_telemetry::{AtomicHistogram, Histogram, Ring};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_primitives");
+    let mut histogram = Histogram::new();
+    let mut v = 1u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record(black_box(v >> 40));
+        })
+    });
+    let atomic = AtomicHistogram::new();
+    group.bench_function("atomic_histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            atomic.record(black_box(v >> 40));
+        })
+    });
+    let ring: Ring<u64> = Ring::new(256);
+    group.bench_function("ring_push", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            ring.push(black_box(v));
+        })
+    });
+    group.finish();
+}
+
+fn engine(telemetry: TelemetryConfig) -> ConcurrentAnalyzer {
+    let mut eia = EiaRegistry::new(3);
+    eia.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+    let analyzer = Trainer::new(AnalyzerConfig {
+        mode: Mode::Basic,
+        telemetry,
+        ..AnalyzerConfig::default()
+    })
+    .train_basic(eia);
+    ConcurrentAnalyzer::new(analyzer, ConcurrentConfig::default())
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_fast_path");
+    let flows: Vec<FlowRecord> = (0..1024u32)
+        .map(|i| FlowRecord {
+            src_addr: std::net::Ipv4Addr::from(0x0300_0000 + i),
+            dst_addr: std::net::Ipv4Addr::from(0x6001_0000 + i % 64),
+            dst_port: (i % 1024) as u16,
+            ..FlowRecord::default()
+        })
+        .collect();
+    // Whole-batch iterations (1024 EIA-match flows each) so per-call jitter
+    // averages out; the per-flow cost is the reported time / 1024.
+    group.throughput(criterion::Throughput::Elements(flows.len() as u64));
+    for (name, cfg) in [
+        ("enabled", TelemetryConfig::default()),
+        (
+            "disabled",
+            TelemetryConfig {
+                enabled: false,
+                ..TelemetryConfig::default()
+            },
+        ),
+    ] {
+        let engine = engine(cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for flow in &flows {
+                    black_box(engine.process(PeerId(1), flow));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_fast_path);
+criterion_main!(benches);

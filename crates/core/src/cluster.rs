@@ -2,7 +2,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use infilter_netflow::{FlowRecord, FlowStats};
-use infilter_nns::{BitVec, NnsParams, NnsStructure, UnaryEncoder};
+use infilter_nns::{BitVec, NnsParams, NnsStructure, SearchStats, UnaryEncoder};
 use infilter_traffic::AppClass;
 use serde::{Deserialize, Serialize};
 
@@ -112,6 +112,21 @@ impl SubclusterModel {
     pub fn nn_distance_with(&self, stats: &FlowStats, scratch: &mut BitVec) -> Option<u32> {
         self.encode_into(stats, scratch);
         self.structure.search(scratch).map(|r| r.distance)
+    }
+
+    /// [`SubclusterModel::nn_distance_with`] plus search-work accounting:
+    /// `search_stats` accumulates scales/tables/candidates probed (the
+    /// telemetry observation hook). Same result, still allocation-free.
+    pub fn nn_distance_observed(
+        &self,
+        stats: &FlowStats,
+        scratch: &mut BitVec,
+        search_stats: &mut SearchStats,
+    ) -> Option<u32> {
+        self.encode_into(stats, scratch);
+        self.structure
+            .search_observed(scratch, search_stats)
+            .map(|r| r.distance)
     }
 
     /// Whether the flow is within the normal-behaviour range.

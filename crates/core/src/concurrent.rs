@@ -30,11 +30,12 @@ use parking_lot::Mutex;
 
 use crate::eia::EiaSnapshot;
 use crate::metrics::ConcurrentMetrics;
-use crate::pipeline::{nns_stage, scan_stage, SuspectOutcome};
+use crate::observe::{PipelineTelemetry, SuspectObservation};
+use crate::pipeline::{nns_stage, saturating_nanos, scan_stage, SuspectOutcome};
 use crate::snapshot::{CachedSnapshot, SnapshotCell};
 use crate::{
-    Analyzer, AnalyzerMetrics, AttackStage, ClusterModel, EiaRegistry, EiaVerdict, IdmefAlert,
-    Mode, PeerId, ScanAnalyzer, Verdict,
+    Analyzer, AnalyzerMetrics, AttackStage, ClusterModel, EiaRegistry, EiaVerdict, FlowDecision,
+    IdmefAlert, Mode, PeerId, ScanAnalyzer, Verdict,
 };
 
 /// Tuning for [`ConcurrentAnalyzer`].
@@ -143,6 +144,7 @@ pub struct ConcurrentAnalyzer {
     shards: Vec<Mutex<Shard>>,
     model: Option<Arc<ClusterModel>>,
     metrics: ConcurrentMetrics,
+    telemetry: PipelineTelemetry,
     alert_seq: AtomicU64,
 }
 
@@ -171,6 +173,7 @@ impl ConcurrentAnalyzer {
             shards,
             model: model.map(Arc::new),
             metrics: ConcurrentMetrics::default(),
+            telemetry: PipelineTelemetry::new(cfg.telemetry, ccfg.shards),
             alert_seq: AtomicU64::new(next_alert_id),
             cfg,
             ccfg,
@@ -198,6 +201,31 @@ impl ConcurrentAnalyzer {
         self.eia.load()
     }
 
+    /// Histograms, counter families, and the per-shard flight recorder.
+    pub fn telemetry(&self) -> &PipelineTelemetry {
+        &self.telemetry
+    }
+
+    /// The most recent `n` flight-recorder decisions across all shards,
+    /// newest first.
+    pub fn explain_last(&self, n: usize) -> Vec<FlowDecision> {
+        self.telemetry.explain_last(n)
+    }
+
+    /// Renders the full metric set as one Prometheus text-format (0.0.4)
+    /// exposition page. Briefly locks each shard to read scan occupancy.
+    pub fn prometheus_text(&self) -> String {
+        let occupancy: Vec<(usize, usize)> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.lock();
+                (shard.scan.buffered(), shard.scan.counter_entries())
+            })
+            .collect();
+        crate::observe::render_exposition(&self.metrics.snapshot(), &self.telemetry, &occupancy)
+    }
+
     /// Processes one flow observed at `ingress` (Figure 12), callable from
     /// any number of threads simultaneously.
     pub fn process(&self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
@@ -215,8 +243,16 @@ impl ConcurrentAnalyzer {
         drop(snapshot);
         if let EiaVerdict::Match = eia_verdict {
             ConcurrentMetrics::bump(&self.metrics.eia_match);
+            let mut elapsed_ns = 0;
             if let Some(started) = started {
-                self.metrics.fast_path.record(started.elapsed());
+                let elapsed = started.elapsed();
+                elapsed_ns = saturating_nanos(elapsed);
+                self.metrics.fast_path.record(elapsed);
+                self.telemetry.observe_fast_latency(elapsed_ns);
+            }
+            if self.telemetry.fast_sample_due(n) {
+                self.telemetry
+                    .record_fast_path(self.shard_for(flow), ingress, flow, elapsed_ns);
             }
             return Verdict::Legal;
         }
@@ -226,19 +262,39 @@ impl ConcurrentAnalyzer {
             EiaVerdict::Match => unreachable!("handled above"),
         };
 
-        let verdict = match self.cfg.mode {
+        // Suspects are rare enough to always time when telemetry is on; the
+        // sampled `AtomicStageLatency` stays gated on `started` so its
+        // semantics (1-in-N) are unchanged.
+        let suspect_started =
+            started.or_else(|| self.telemetry.enabled().then(std::time::Instant::now));
+        let (verdict, observed) = match self.cfg.mode {
             Mode::Basic => {
                 ConcurrentMetrics::bump(&self.metrics.eia_attacks);
-                Verdict::Attack(AttackStage::EiaMismatch { expected })
+                (
+                    Verdict::Attack(AttackStage::EiaMismatch { expected }),
+                    SuspectObservation::default(),
+                )
             }
             Mode::Enhanced => self.enhanced_analysis(ingress, flow),
         };
         if let Verdict::Attack(stage) = verdict {
             self.emit_alert(flow, ingress, stage);
         }
-        if let Some(started) = started {
-            self.metrics.suspect_path.record(started.elapsed());
+        let elapsed = suspect_started.map(|s| s.elapsed());
+        if started.is_some() {
+            self.metrics
+                .suspect_path
+                .record(elapsed.expect("timed when sampled"));
         }
+        self.telemetry.record_suspect(
+            self.shard_for(flow),
+            ingress,
+            expected,
+            flow,
+            &observed,
+            verdict,
+            elapsed.map_or(0, saturating_nanos),
+        );
         verdict
     }
 
@@ -248,26 +304,39 @@ impl ConcurrentAnalyzer {
         flows.iter().map(|f| self.process(ingress, f)).collect()
     }
 
-    fn enhanced_analysis(&self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+    fn enhanced_analysis(
+        &self,
+        ingress: PeerId,
+        flow: &FlowRecord,
+    ) -> (Verdict, SuspectObservation) {
         // Stage 2: Scan Analysis under this suspect's shard lock only.
-        let scan_hit = {
+        let (scan_hit, mut observed) = {
             let mut shard = self.shards[self.shard_for(flow)].lock();
             scan_stage(&mut shard.scan, flow)
         };
         if let Some(stage) = scan_hit {
             ConcurrentMetrics::bump(&self.metrics.scan_attacks);
-            return Verdict::Attack(stage);
+            return (Verdict::Attack(stage), observed);
         }
 
         // Stage 3: NNS search — read-only, outside every lock, with the
         // thread-local query buffer.
-        let outcome = ENCODE_SCRATCH
-            .with(|scratch| nns_stage(self.model.as_deref(), flow, &mut scratch.borrow_mut()));
-        match outcome {
+        let timed = self.telemetry.enabled();
+        let (outcome, nns) = ENCODE_SCRATCH.with(|scratch| {
+            nns_stage(
+                self.model.as_deref(),
+                flow,
+                &mut scratch.borrow_mut(),
+                timed,
+            )
+        });
+        observed.nns = Some(nns);
+        let verdict = match outcome {
             SuspectOutcome::Cleared => {
                 ConcurrentMetrics::bump(&self.metrics.forgiven);
                 if self.record_sighting(ingress, flow.src_addr) {
                     ConcurrentMetrics::bump(&self.metrics.adoptions);
+                    self.telemetry.record_adoption(ingress);
                 }
                 Verdict::Forgiven
             }
@@ -275,7 +344,8 @@ impl ConcurrentAnalyzer {
                 ConcurrentMetrics::bump(&self.metrics.nns_attacks);
                 Verdict::Attack(stage)
             }
-        }
+        };
+        (verdict, observed)
     }
 
     /// Routes a suspect to its shard: unrelated destinations spread across
@@ -315,6 +385,7 @@ impl ConcurrentAnalyzer {
             ws.dirty += 1;
             if ws.dirty >= self.ccfg.adoption_publish_batch.max(1) {
                 self.eia.publish(ws.registry.snapshot());
+                self.telemetry.record_republish();
                 ws.dirty = 0;
             }
         }
@@ -327,6 +398,7 @@ impl ConcurrentAnalyzer {
         let mut ws = self.write_side.lock();
         if ws.dirty > 0 {
             self.eia.publish(ws.registry.snapshot());
+            self.telemetry.record_republish();
             ws.dirty = 0;
         }
     }

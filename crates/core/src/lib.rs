@@ -52,6 +52,7 @@ mod cluster;
 mod concurrent;
 mod eia;
 mod metrics;
+mod observe;
 mod pipeline;
 mod scan;
 mod snapshot;
@@ -64,6 +65,9 @@ pub use concurrent::SharedAnalyzer;
 pub use concurrent::{ConcurrentAnalyzer, ConcurrentConfig};
 pub use eia::{EiaRegistry, EiaSnapshot, EiaVerdict, PeerId};
 pub use metrics::{AnalyzerMetrics, AtomicStageLatency, ConcurrentMetrics, StageLatency};
+pub use observe::{
+    FlowDecision, PeerCounters, PipelineTelemetry, TelemetryConfig, METRIC_FAMILIES,
+};
 pub use pipeline::{Analyzer, AnalyzerConfig, AttackStage, Mode, Trainer, Verdict};
 pub use scan::{ScanAnalyzer, ScanConfig, ScanVerdict};
 pub use snapshot::{CachedSnapshot, SnapshotCell};

@@ -15,11 +15,13 @@ pub struct StageLatency {
 }
 
 impl StageLatency {
-    /// Records one measurement.
+    /// Records one measurement. The running total saturates at `u64::MAX`
+    /// (~584 years of accumulated nanoseconds) instead of wrapping, so a
+    /// long-lived analyzer can never report a tiny mean after overflow.
     pub fn record(&mut self, elapsed: Duration) {
         let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.count += 1;
-        self.total_nanos += nanos;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
         self.max_nanos = self.max_nanos.max(nanos);
     }
 
@@ -78,6 +80,21 @@ impl AnalyzerMetrics {
             self.attacks() as f64 / self.flows as f64
         }
     }
+
+    /// The eight path counters as `(name, value)` pairs — the shape the
+    /// telemetry delta-rate reporter and exposition renderer consume.
+    pub fn named_counters(&self) -> [(&'static str, u64); 8] {
+        [
+            ("flows", self.flows),
+            ("eia_match", self.eia_match),
+            ("eia_suspect", self.eia_suspect),
+            ("scan_attacks", self.scan_attacks),
+            ("nns_attacks", self.nns_attacks),
+            ("eia_attacks", self.eia_attacks),
+            ("forgiven", self.forgiven),
+            ("adoptions", self.adoptions),
+        ]
+    }
 }
 
 /// Lock-free latency accumulator: the concurrent counterpart of
@@ -91,11 +108,18 @@ pub struct AtomicStageLatency {
 }
 
 impl AtomicStageLatency {
-    /// Records one measurement.
+    /// Records one measurement. Like [`StageLatency::record`], the total
+    /// saturates at `u64::MAX` instead of wrapping; the clamp uses a CAS
+    /// loop only because `fetch_add` cannot saturate, and latency recording
+    /// is sampled anyway.
     pub fn record(&self, elapsed: Duration) {
         let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let _ = self
+            .total_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |total| {
+                Some(total.saturating_add(nanos))
+            });
         self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
@@ -207,6 +231,49 @@ mod tests {
         assert_eq!(l.count, 2);
         assert_eq!(l.mean(), Duration::from_micros(20));
         assert_eq!(l.max(), Duration::from_micros(30));
+    }
+
+    #[test]
+    fn total_nanos_saturates_instead_of_wrapping() {
+        let mut l = StageLatency {
+            count: 1,
+            total_nanos: u64::MAX - 5,
+            max_nanos: 0,
+        };
+        l.record(Duration::from_nanos(100));
+        assert_eq!(l.total_nanos, u64::MAX, "must clamp, not wrap");
+        assert_eq!(l.count, 2);
+
+        let a = AtomicStageLatency::default();
+        a.record(Duration::from_nanos(u64::MAX));
+        a.record(Duration::from_secs(1));
+        let snap = a.snapshot();
+        assert_eq!(snap.total_nanos, u64::MAX, "must clamp, not wrap");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max_nanos, u64::MAX);
+    }
+
+    #[test]
+    fn named_counters_cover_every_path() {
+        let m = AnalyzerMetrics {
+            flows: 10,
+            eia_match: 7,
+            eia_suspect: 3,
+            forgiven: 2,
+            nns_attacks: 1,
+            ..AnalyzerMetrics::default()
+        };
+        let named = m.named_counters();
+        let get = |name: &str| {
+            named
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .expect("counter present")
+        };
+        assert_eq!(get("flows"), 10);
+        assert_eq!(get("eia_match") + get("eia_suspect"), 10);
+        assert_eq!(get("forgiven") + get("nns_attacks"), get("eia_suspect"));
     }
 
     #[test]

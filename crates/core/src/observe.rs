@@ -1,0 +1,783 @@
+//! Pipeline observability: stage histograms, per-peer/per-shard counter
+//! families, the flow-decision flight recorder, and Prometheus exposition.
+//!
+//! Everything here rides the generic primitives in `infilter-telemetry`;
+//! this module supplies the domain: which stages get histograms, what a
+//! recorded decision looks like ([`FlowDecision`] — the full Figure-12
+//! chain), and how it all renders as one exposition page.
+//!
+//! Cost model (the reason this can stay enabled by default):
+//!
+//! * **Fast path** (EIA match): one precomputed-mask test against
+//!   [`TelemetryConfig::record_fast_path_every`]; the latency histogram is
+//!   only fed on flows the engine already sampled with `Instant::now()`.
+//! * **Suspect path** (rare): two time reads, a handful of relaxed
+//!   histogram increments, one counter-family lookup, and one non-blocking
+//!   ring push — all allocation-free in steady state.
+
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use infilter_netflow::FlowRecord;
+use infilter_telemetry::{AtomicHistogram, Family, Histogram, PromText, Ring};
+use serde::{Deserialize, Serialize};
+
+use crate::{AnalyzerMetrics, PeerId, Verdict};
+
+/// Observability knobs, carried inside [`crate::AnalyzerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch for histograms and the flight recorder. The eight
+    /// path counters in [`AnalyzerMetrics`] are always exact regardless.
+    pub enabled: bool,
+    /// Flight-recorder slots *per shard*. Memory is bounded at
+    /// `shards × capacity × size_of::<FlowDecision>()` (≈48 B per slot).
+    pub recorder_capacity: usize,
+    /// Record every N-th fast-path (EIA-match) flow into the flight
+    /// recorder so "explain the last N verdicts" shows legal traffic too.
+    /// `0` records suspects only. Suspects are always recorded. Rounded up
+    /// to the next power of two so the per-flow due check is a mask test
+    /// rather than a 64-bit division.
+    pub record_fast_path_every: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: true,
+            recorder_capacity: 256,
+            record_fast_path_every: 1024,
+        }
+    }
+}
+
+/// One fully-resolved decision as the flight recorder saw it: the complete
+/// Figure-12 path — who sent it, what EIA expected, the scan counters and
+/// NNS distance *at decision time*, and the final verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDecision {
+    /// Global decision sequence number (total order across shards).
+    pub seq: u64,
+    /// Peer AS the flow arrived through.
+    pub ingress: PeerId,
+    /// Peer AS the EIA sets expected the source at, if any.
+    pub expected: Option<PeerId>,
+    /// Flow source address.
+    pub src_addr: Ipv4Addr,
+    /// Flow destination address.
+    pub dst_addr: Ipv4Addr,
+    /// Flow destination port.
+    pub dst_port: u16,
+    /// IP protocol.
+    pub protocol: u8,
+    /// Distinct hosts this (ingress, port) had probed when decided.
+    pub scan_distinct_hosts: u32,
+    /// Distinct ports this (ingress, host) had probed when decided.
+    pub scan_distinct_ports: u32,
+    /// Nearest-normal-neighbour Hamming distance (`u32::MAX`: NNS not
+    /// consulted — fast path, Basic mode, or scan-flagged — or no
+    /// neighbour found).
+    pub nns_distance: u32,
+    /// The consulted subcluster's distance threshold (0 if none).
+    pub nns_threshold: u32,
+    /// The verdict the pipeline returned.
+    pub verdict: Verdict,
+    /// Wall time spent deciding, when timed (0 otherwise), nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl FlowDecision {
+    /// One-line human rendering for "explain the last N verdicts" output.
+    pub fn describe(&self) -> String {
+        let expected = match self.expected {
+            Some(peer) => format!("{peer}"),
+            None => "nowhere".to_string(),
+        };
+        let nns = if self.nns_distance == u32::MAX {
+            "-".to_string()
+        } else {
+            format!("{}/{}", self.nns_distance, self.nns_threshold)
+        };
+        format!(
+            "#{seq} {src}->{dst}:{port} proto {proto} via {ingress} (expected {expected}) \
+             scan {hosts}h/{ports}p nns {nns} -> {verdict:?} [{ns}ns]",
+            seq = self.seq,
+            src = self.src_addr,
+            dst = self.dst_addr,
+            port = self.dst_port,
+            proto = self.protocol,
+            ingress = self.ingress,
+            hosts = self.scan_distinct_hosts,
+            ports = self.scan_distinct_ports,
+            verdict = self.verdict,
+            ns = self.elapsed_ns,
+        )
+    }
+}
+
+/// Per-peer-AS counter cell: how each peer's traffic moves through the
+/// suspect pipeline — the EIA-drift signal the paper's §5.2 adoption
+/// machinery reacts to.
+#[derive(Debug, Default)]
+pub struct PeerCounters {
+    /// EIA-suspect flows from this peer.
+    pub suspects: AtomicU64,
+    /// Suspects flagged as attacks (any stage).
+    pub attacks: AtomicU64,
+    /// Suspects forgiven by the enhanced analysis.
+    pub forgiven: AtomicU64,
+    /// Sources adopted into this peer's EIA set.
+    pub adoptions: AtomicU64,
+}
+
+/// What the suspect stages observed on the way to a verdict — handed from
+/// `scan_stage`/`nns_stage` to [`PipelineTelemetry::record_suspect`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SuspectObservation {
+    /// Distinct hosts probed by this flow's (ingress, dst_port) key.
+    pub scan_distinct_hosts: u32,
+    /// Distinct ports probed by this flow's (ingress, dst_addr) key.
+    pub scan_distinct_ports: u32,
+    /// NNS observation, when stage 3 ran.
+    pub nns: Option<NnsObservation>,
+}
+
+/// What one NNS consultation measured.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NnsObservation {
+    /// Nearest-neighbour distance (`u32::MAX` when every probe missed).
+    pub distance: u32,
+    /// The subcluster threshold compared against.
+    pub threshold: u32,
+    /// Search wall time, nanoseconds (0 when untimed).
+    pub search_ns: u64,
+    /// Hash tables probed by the search.
+    pub tables_probed: u32,
+}
+
+/// All telemetry state for one analyzer: histograms, counter families,
+/// and the per-shard flight recorder. Every method takes `&self`; all
+/// internal state is atomic or behind non-blocking locks, so the sharded
+/// engine records from any thread.
+#[derive(Debug)]
+pub struct PipelineTelemetry {
+    cfg: TelemetryConfig,
+    /// `record_fast_path_every` rounded up to a power of two, minus one;
+    /// `None` when fast-path sampling is off.
+    fast_sample_mask: Option<u64>,
+    seq: AtomicU64,
+    fast_path_ns: AtomicHistogram,
+    suspect_path_ns: AtomicHistogram,
+    nns_search_ns: AtomicHistogram,
+    nns_distance: AtomicHistogram,
+    nns_tables_probed: AtomicHistogram,
+    scan_distinct_hosts: AtomicHistogram,
+    scan_distinct_ports: AtomicHistogram,
+    peers: Family<u16, PeerCounters>,
+    shard_suspects: Vec<AtomicU64>,
+    republishes: AtomicU64,
+    recorders: Vec<Ring<FlowDecision>>,
+}
+
+impl PipelineTelemetry {
+    /// Creates telemetry for an engine with `shards` suspect shards (the
+    /// single-threaded analyzer passes 1).
+    pub(crate) fn new(cfg: TelemetryConfig, shards: usize) -> PipelineTelemetry {
+        let capacity = if cfg.enabled {
+            cfg.recorder_capacity
+        } else {
+            0
+        };
+        let fast_sample_mask = (cfg.enabled && cfg.record_fast_path_every != 0)
+            .then(|| cfg.record_fast_path_every.next_power_of_two() - 1);
+        PipelineTelemetry {
+            cfg,
+            fast_sample_mask,
+            seq: AtomicU64::new(0),
+            fast_path_ns: AtomicHistogram::new(),
+            suspect_path_ns: AtomicHistogram::new(),
+            nns_search_ns: AtomicHistogram::new(),
+            nns_distance: AtomicHistogram::new(),
+            nns_tables_probed: AtomicHistogram::new(),
+            scan_distinct_hosts: AtomicHistogram::new(),
+            scan_distinct_ports: AtomicHistogram::new(),
+            peers: Family::new(),
+            shard_suspects: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            republishes: AtomicU64::new(0),
+            recorders: (0..shards).map(|_| Ring::new(capacity)).collect(),
+        }
+    }
+
+    /// The knobs in force.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    /// Whether histograms and the flight recorder are on.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Whether flow number `n` is due for a sampled fast-path recording.
+    /// Kept separate from [`record_fast_path`] so the hot path pays only
+    /// this check (one mask test) when the answer is no.
+    ///
+    /// [`record_fast_path`]: PipelineTelemetry::record_fast_path
+    #[inline]
+    pub(crate) fn fast_sample_due(&self, n: u64) -> bool {
+        self.fast_sample_mask.is_some_and(|mask| n & mask == 0)
+    }
+
+    /// Feeds the fast-path latency histogram (call only on flows the
+    /// engine already timed).
+    #[inline]
+    pub(crate) fn observe_fast_latency(&self, nanos: u64) {
+        if self.cfg.enabled {
+            self.fast_path_ns.record(nanos);
+        }
+    }
+
+    /// Records a sampled fast-path (legal) flow into the flight recorder.
+    pub(crate) fn record_fast_path(
+        &self,
+        shard: usize,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        elapsed_ns: u64,
+    ) {
+        self.recorders[shard].push(FlowDecision {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ingress,
+            expected: Some(ingress),
+            src_addr: flow.src_addr,
+            dst_addr: flow.dst_addr,
+            dst_port: flow.dst_port,
+            protocol: flow.protocol,
+            scan_distinct_hosts: 0,
+            scan_distinct_ports: 0,
+            nns_distance: u32::MAX,
+            nns_threshold: 0,
+            verdict: Verdict::Legal,
+            elapsed_ns,
+        });
+    }
+
+    /// Records one resolved suspect: histograms, per-peer and per-shard
+    /// counters, and the flight-recorder entry. Allocation-free after the
+    /// peer's counter cell exists.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_suspect(
+        &self,
+        shard: usize,
+        ingress: PeerId,
+        expected: Option<PeerId>,
+        flow: &FlowRecord,
+        obs: &SuspectObservation,
+        verdict: Verdict,
+        elapsed_ns: u64,
+    ) {
+        let peer = self.peers.get(&ingress.0);
+        peer.suspects.fetch_add(1, Ordering::Relaxed);
+        match verdict {
+            Verdict::Attack(_) => peer.attacks.fetch_add(1, Ordering::Relaxed),
+            Verdict::Forgiven => peer.forgiven.fetch_add(1, Ordering::Relaxed),
+            Verdict::Legal => 0, // unreachable: suspects are never Legal
+        };
+        self.shard_suspects[shard].fetch_add(1, Ordering::Relaxed);
+
+        if !self.cfg.enabled {
+            return;
+        }
+        self.suspect_path_ns.record(elapsed_ns);
+        self.scan_distinct_hosts
+            .record(u64::from(obs.scan_distinct_hosts));
+        self.scan_distinct_ports
+            .record(u64::from(obs.scan_distinct_ports));
+        let (nns_distance, nns_threshold) = match obs.nns {
+            Some(nns) => {
+                self.nns_search_ns.record(nns.search_ns);
+                self.nns_tables_probed.record(u64::from(nns.tables_probed));
+                if nns.distance != u32::MAX {
+                    self.nns_distance.record(u64::from(nns.distance));
+                }
+                (nns.distance, nns.threshold)
+            }
+            None => (u32::MAX, 0),
+        };
+        self.recorders[shard].push(FlowDecision {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ingress,
+            expected,
+            src_addr: flow.src_addr,
+            dst_addr: flow.dst_addr,
+            dst_port: flow.dst_port,
+            protocol: flow.protocol,
+            scan_distinct_hosts: obs.scan_distinct_hosts,
+            scan_distinct_ports: obs.scan_distinct_ports,
+            nns_distance,
+            nns_threshold,
+            verdict,
+            elapsed_ns,
+        });
+    }
+
+    /// Counts an adoption against the adopting peer.
+    pub(crate) fn record_adoption(&self, ingress: PeerId) {
+        self.peers
+            .get(&ingress.0)
+            .adoptions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one EIA snapshot republish.
+    pub(crate) fn record_republish(&self) {
+        self.republishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The most recent `n` decisions across all shards, newest first,
+    /// merged by sequence number.
+    pub fn explain_last(&self, n: usize) -> Vec<FlowDecision> {
+        let mut all: Vec<FlowDecision> = self
+            .recorders
+            .iter()
+            .flat_map(|ring| ring.last(n))
+            .collect();
+        all.sort_by_key(|d| std::cmp::Reverse(d.seq));
+        all.truncate(n);
+        all
+    }
+
+    /// Fast-path (EIA-match) latency distribution, nanoseconds.
+    pub fn fast_path_latency(&self) -> Histogram {
+        self.fast_path_ns.snapshot()
+    }
+
+    /// Suspect-path latency distribution, nanoseconds.
+    pub fn suspect_path_latency(&self) -> Histogram {
+        self.suspect_path_ns.snapshot()
+    }
+
+    /// NNS search latency distribution, nanoseconds.
+    pub fn nns_search_latency(&self) -> Histogram {
+        self.nns_search_ns.snapshot()
+    }
+
+    /// Nearest-neighbour Hamming distance distribution over suspects whose
+    /// search found a neighbour.
+    pub fn nns_distance_histogram(&self) -> Histogram {
+        self.nns_distance.snapshot()
+    }
+
+    /// Hash tables probed per NNS search.
+    pub fn nns_tables_histogram(&self) -> Histogram {
+        self.nns_tables_probed.snapshot()
+    }
+
+    /// Scan-counter (distinct hosts) distribution at decision time.
+    pub fn scan_hosts_histogram(&self) -> Histogram {
+        self.scan_distinct_hosts.snapshot()
+    }
+
+    /// Scan-counter (distinct ports) distribution at decision time.
+    pub fn scan_ports_histogram(&self) -> Histogram {
+        self.scan_distinct_ports.snapshot()
+    }
+
+    /// Per-peer counter cells, sorted by peer number.
+    pub fn peer_counters(&self) -> Vec<(u16, Arc<PeerCounters>)> {
+        self.peers.snapshot()
+    }
+
+    /// Suspects routed to each shard (the shard-imbalance signal).
+    pub fn shard_suspects(&self) -> Vec<u64> {
+        self.shard_suspects
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// EIA snapshot republishes so far.
+    pub fn republishes(&self) -> u64 {
+        self.republishes.load(Ordering::Relaxed)
+    }
+
+    /// Flight-recorder entries discarded (slot contention / capacity 0).
+    pub fn recorder_dropped(&self) -> u64 {
+        self.recorders.iter().map(Ring::dropped).sum()
+    }
+}
+
+/// Every metric family the exposition page emits — the contract the
+/// `exp-observe --smoke` CI check verifies against live output.
+pub const METRIC_FAMILIES: &[&str] = &[
+    "infilter_flows_total",
+    "infilter_eia_match_total",
+    "infilter_eia_suspect_total",
+    "infilter_attacks_total",
+    "infilter_forgiven_total",
+    "infilter_adoptions_total",
+    "infilter_snapshot_republish_total",
+    "infilter_recorder_dropped_total",
+    "infilter_peer_suspects_total",
+    "infilter_peer_attacks_total",
+    "infilter_peer_forgiven_total",
+    "infilter_peer_adoptions_total",
+    "infilter_shard_suspects_total",
+    "infilter_shard_scan_buffered",
+    "infilter_shard_scan_entries",
+    "infilter_fast_path_latency_ns",
+    "infilter_suspect_path_latency_ns",
+    "infilter_nns_search_latency_ns",
+    "infilter_nns_distance",
+    "infilter_nns_tables_probed",
+    "infilter_scan_distinct_hosts",
+    "infilter_scan_distinct_ports",
+];
+
+/// `le` bounds for latency histograms, nanoseconds (250 ns – 10 ms).
+const LATENCY_BOUNDS_NS: &[u64] = &[
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000, 10_000_000,
+];
+
+/// `le` bounds for Hamming distances (paper: d = 720, thresholds ≪ d).
+const DISTANCE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// `le` bounds for scan counters (thresholds default to ≤ 32ish).
+const SCAN_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Renders one Prometheus 0.0.4 exposition page from a counter snapshot,
+/// the telemetry state, and per-shard scan occupancy `(buffered flows,
+/// counter entries)` gauges polled at scrape time.
+pub(crate) fn render_exposition(
+    metrics: &AnalyzerMetrics,
+    telemetry: &PipelineTelemetry,
+    shard_occupancy: &[(usize, usize)],
+) -> String {
+    let mut page = PromText::new();
+    page.counter(
+        "infilter_flows_total",
+        "Flows processed (Figure 12 entries).",
+        metrics.flows,
+    );
+    page.counter(
+        "infilter_eia_match_total",
+        "Flows whose EIA check matched (fast path).",
+        metrics.eia_match,
+    );
+    page.counter(
+        "infilter_eia_suspect_total",
+        "Flows the EIA check flagged as suspect.",
+        metrics.eia_suspect,
+    );
+    page.counter_family(
+        "infilter_attacks_total",
+        "Flows flagged as attacks, by deciding stage.",
+        &[
+            (vec![("stage", "eia".to_string())], metrics.eia_attacks),
+            (vec![("stage", "scan".to_string())], metrics.scan_attacks),
+            (vec![("stage", "nns".to_string())], metrics.nns_attacks),
+        ],
+    );
+    page.counter(
+        "infilter_forgiven_total",
+        "Suspects cleared by the enhanced analysis.",
+        metrics.forgiven,
+    );
+    page.counter(
+        "infilter_adoptions_total",
+        "Sources dynamically adopted into EIA sets.",
+        metrics.adoptions,
+    );
+    page.counter(
+        "infilter_snapshot_republish_total",
+        "EIA snapshot republications to the read side.",
+        telemetry.republishes(),
+    );
+    page.counter(
+        "infilter_recorder_dropped_total",
+        "Flight-recorder entries dropped on slot contention.",
+        telemetry.recorder_dropped(),
+    );
+
+    let peers = telemetry.peer_counters();
+    let peer_samples = |pick: fn(&PeerCounters) -> &AtomicU64| -> Vec<_> {
+        peers
+            .iter()
+            .map(|(id, cell)| {
+                (
+                    vec![("peer", id.to_string())],
+                    pick(cell).load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    };
+    page.counter_family(
+        "infilter_peer_suspects_total",
+        "EIA-suspect flows by ingress peer AS.",
+        &peer_samples(|c| &c.suspects),
+    );
+    page.counter_family(
+        "infilter_peer_attacks_total",
+        "Attack verdicts by ingress peer AS.",
+        &peer_samples(|c| &c.attacks),
+    );
+    page.counter_family(
+        "infilter_peer_forgiven_total",
+        "Forgiven suspects by ingress peer AS.",
+        &peer_samples(|c| &c.forgiven),
+    );
+    page.counter_family(
+        "infilter_peer_adoptions_total",
+        "EIA adoptions by ingress peer AS.",
+        &peer_samples(|c| &c.adoptions),
+    );
+
+    let shard_samples: Vec<_> = telemetry
+        .shard_suspects()
+        .into_iter()
+        .enumerate()
+        .map(|(shard, count)| (vec![("shard", shard.to_string())], count))
+        .collect();
+    page.counter_family(
+        "infilter_shard_suspects_total",
+        "Suspects routed to each shard (imbalance signal).",
+        &shard_samples,
+    );
+    let occupancy = |pick: fn(&(usize, usize)) -> usize| -> Vec<_> {
+        shard_occupancy
+            .iter()
+            .enumerate()
+            .map(|(shard, counts)| (vec![("shard", shard.to_string())], pick(counts) as u64))
+            .collect()
+    };
+    page.gauge_family(
+        "infilter_shard_scan_buffered",
+        "Flows currently buffered by each shard's Scan Analysis.",
+        &occupancy(|c| c.0),
+    );
+    page.gauge_family(
+        "infilter_shard_scan_entries",
+        "Live scan-counter entries held by each shard.",
+        &occupancy(|c| c.1),
+    );
+
+    page.histogram(
+        "infilter_fast_path_latency_ns",
+        "Sampled per-flow latency, EIA-match fast path.",
+        &telemetry.fast_path_latency(),
+        LATENCY_BOUNDS_NS,
+    );
+    page.histogram(
+        "infilter_suspect_path_latency_ns",
+        "Per-flow latency through the full suspect analysis.",
+        &telemetry.suspect_path_latency(),
+        LATENCY_BOUNDS_NS,
+    );
+    page.histogram(
+        "infilter_nns_search_latency_ns",
+        "NNS nearest-neighbour search latency.",
+        &telemetry.nns_search_latency(),
+        LATENCY_BOUNDS_NS,
+    );
+    page.histogram(
+        "infilter_nns_distance",
+        "Hamming distance to the nearest normal neighbour.",
+        &telemetry.nns_distance_histogram(),
+        DISTANCE_BOUNDS,
+    );
+    page.histogram(
+        "infilter_nns_tables_probed",
+        "Hash tables probed per NNS search.",
+        &telemetry.nns_tables_histogram(),
+        SCAN_BOUNDS,
+    );
+    page.histogram(
+        "infilter_scan_distinct_hosts",
+        "Distinct hosts counted for the suspect's (ingress, port) at decision time.",
+        &telemetry.scan_hosts_histogram(),
+        SCAN_BOUNDS,
+    );
+    page.histogram(
+        "infilter_scan_distinct_ports",
+        "Distinct ports counted for the suspect's (ingress, host) at decision time.",
+        &telemetry.scan_ports_histogram(),
+        SCAN_BOUNDS,
+    );
+    page.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowRecord {
+        FlowRecord {
+            src_addr: "3.33.0.9".parse().expect("static addr"),
+            dst_addr: "96.1.0.20".parse().expect("static addr"),
+            dst_port: 80,
+            protocol: 6,
+            ..FlowRecord::default()
+        }
+    }
+
+    #[test]
+    fn suspects_are_always_recorded_and_ordered() {
+        let telemetry = PipelineTelemetry::new(TelemetryConfig::default(), 2);
+        for i in 0..3u32 {
+            telemetry.record_suspect(
+                (i % 2) as usize,
+                PeerId(1),
+                Some(PeerId(2)),
+                &flow(),
+                &SuspectObservation {
+                    scan_distinct_hosts: i,
+                    scan_distinct_ports: 1,
+                    nns: Some(NnsObservation {
+                        distance: 10 + i,
+                        threshold: 12,
+                        search_ns: 700,
+                        tables_probed: 9,
+                    }),
+                },
+                if i == 2 {
+                    Verdict::Forgiven
+                } else {
+                    Verdict::Attack(crate::AttackStage::EiaMismatch { expected: None })
+                },
+                1_000,
+            );
+        }
+        let last = telemetry.explain_last(10);
+        assert_eq!(last.len(), 3);
+        assert!(last.windows(2).all(|w| w[0].seq > w[1].seq), "newest first");
+        assert_eq!(last[0].verdict, Verdict::Forgiven);
+        assert_eq!(last[0].nns_distance, 12);
+        assert_eq!(telemetry.shard_suspects(), vec![2, 1]);
+        let peers = telemetry.peer_counters();
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[0].1.suspects.load(Ordering::Relaxed), 3);
+        assert_eq!(peers[0].1.attacks.load(Ordering::Relaxed), 2);
+        assert_eq!(peers[0].1.forgiven.load(Ordering::Relaxed), 1);
+        assert_eq!(telemetry.suspect_path_latency().count(), 3);
+        assert_eq!(telemetry.nns_distance_histogram().count(), 3);
+    }
+
+    #[test]
+    fn disabling_keeps_counters_but_not_histograms() {
+        let telemetry = PipelineTelemetry::new(
+            TelemetryConfig {
+                enabled: false,
+                ..TelemetryConfig::default()
+            },
+            1,
+        );
+        telemetry.record_suspect(
+            0,
+            PeerId(1),
+            None,
+            &flow(),
+            &SuspectObservation::default(),
+            Verdict::Forgiven,
+            0,
+        );
+        assert_eq!(telemetry.suspect_path_latency().count(), 0);
+        assert!(telemetry.explain_last(5).is_empty());
+        assert_eq!(
+            telemetry.peer_counters()[0]
+                .1
+                .suspects
+                .load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(telemetry.shard_suspects(), vec![1]);
+    }
+
+    #[test]
+    fn fast_path_sampling_gates_on_the_configured_stride() {
+        let telemetry = PipelineTelemetry::new(
+            TelemetryConfig {
+                record_fast_path_every: 4,
+                ..TelemetryConfig::default()
+            },
+            1,
+        );
+        let due: Vec<u64> = (0..10).filter(|&n| telemetry.fast_sample_due(n)).collect();
+        assert_eq!(due, vec![0, 4, 8]);
+        telemetry.record_fast_path(0, PeerId(1), &flow(), 250);
+        let last = telemetry.explain_last(1);
+        assert_eq!(last[0].verdict, Verdict::Legal);
+        assert_eq!(last[0].nns_distance, u32::MAX);
+    }
+
+    #[test]
+    fn exposition_contains_every_advertised_family() {
+        let telemetry = PipelineTelemetry::new(TelemetryConfig::default(), 2);
+        telemetry.record_suspect(
+            0,
+            PeerId(3),
+            Some(PeerId(1)),
+            &flow(),
+            &SuspectObservation {
+                scan_distinct_hosts: 2,
+                scan_distinct_ports: 1,
+                nns: Some(NnsObservation {
+                    distance: 40,
+                    threshold: 30,
+                    search_ns: 900,
+                    tables_probed: 10,
+                }),
+            },
+            Verdict::Attack(crate::AttackStage::EiaMismatch { expected: None }),
+            2_000,
+        );
+        telemetry.record_republish();
+        let metrics = AnalyzerMetrics {
+            flows: 5,
+            eia_match: 4,
+            eia_suspect: 1,
+            eia_attacks: 1,
+            ..AnalyzerMetrics::default()
+        };
+        let page = render_exposition(&metrics, &telemetry, &[(3, 2), (0, 0)]);
+        for family in METRIC_FAMILIES {
+            assert!(
+                page.contains(&format!("# TYPE {family} ")),
+                "family {family} missing from exposition:\n{page}"
+            );
+        }
+        assert!(page.contains("infilter_attacks_total{stage=\"eia\"} 1"));
+        assert!(page.contains("infilter_peer_suspects_total{peer=\"3\"} 1"));
+        assert!(page.contains("infilter_shard_scan_buffered{shard=\"0\"} 3"));
+        assert!(page.contains("infilter_snapshot_republish_total 1"));
+    }
+
+    #[test]
+    fn describe_renders_the_whole_chain() {
+        let decision = FlowDecision {
+            seq: 7,
+            ingress: PeerId(1),
+            expected: Some(PeerId(2)),
+            src_addr: "3.33.0.9".parse().expect("static addr"),
+            dst_addr: "96.1.0.20".parse().expect("static addr"),
+            dst_port: 80,
+            protocol: 6,
+            scan_distinct_hosts: 3,
+            scan_distinct_ports: 1,
+            nns_distance: 55,
+            nns_threshold: 42,
+            verdict: Verdict::Attack(crate::AttackStage::NnsAnomaly {
+                distance: 55,
+                threshold: 42,
+                class: infilter_traffic::AppClass::Http,
+            }),
+            elapsed_ns: 1_500,
+        };
+        let line = decision.describe();
+        assert!(line.contains("#7"));
+        assert!(line.contains("3.33.0.9->96.1.0.20:80"));
+        assert!(line.contains("expected PeerAS2"));
+        assert!(line.contains("55/42"));
+        assert!(line.contains("1500ns"));
+    }
+}

@@ -7,9 +7,10 @@ use infilter_traffic::AppClass;
 use serde::{Deserialize, Serialize};
 
 pub use crate::eia::PeerId;
+use crate::observe::{NnsObservation, PipelineTelemetry, SuspectObservation, TelemetryConfig};
 use crate::{
-    AnalyzerMetrics, ClusterModel, EiaRegistry, EiaVerdict, IdmefAlert, ScanAnalyzer, ScanConfig,
-    ScanVerdict, ThresholdPolicy, TrainError,
+    AnalyzerMetrics, ClusterModel, EiaRegistry, EiaVerdict, FlowDecision, IdmefAlert, ScanAnalyzer,
+    ScanConfig, ScanVerdict, ThresholdPolicy, TrainError,
 };
 
 /// Software configuration (§6.3): `BI` assesses traffic with EIA analysis
@@ -110,6 +111,9 @@ pub struct AnalyzerConfig {
     /// sub-microsecond fast path, so throughput-sensitive deployments
     /// sample.
     pub latency_sample_every: u64,
+    /// Observability knobs: stage histograms, flight-recorder capacity,
+    /// fast-path sampling (see [`TelemetryConfig`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for AnalyzerConfig {
@@ -126,6 +130,7 @@ impl Default for AnalyzerConfig {
             adoption_prefix_len: 32,
             seed: 0x1f11,
             latency_sample_every: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -196,6 +201,7 @@ pub struct Analyzer {
     scan: ScanAnalyzer,
     model: Option<ClusterModel>,
     metrics: AnalyzerMetrics,
+    telemetry: PipelineTelemetry,
     alerts: Vec<IdmefAlert>,
     next_alert_id: u64,
     /// Reusable NNS query buffer: suspect-flow encode + search performs
@@ -214,6 +220,7 @@ impl Analyzer {
         eia.set_adoption_prefix_len(cfg.adoption_prefix_len);
         Analyzer {
             scan: ScanAnalyzer::new(cfg.scan),
+            telemetry: PipelineTelemetry::new(cfg.telemetry, 1),
             cfg,
             eia,
             model,
@@ -234,6 +241,26 @@ impl Analyzer {
         &self.metrics
     }
 
+    /// Histograms, counter families, and the flight recorder.
+    pub fn telemetry(&self) -> &PipelineTelemetry {
+        &self.telemetry
+    }
+
+    /// The most recent `n` flight-recorder decisions, newest first.
+    pub fn explain_last(&self, n: usize) -> Vec<FlowDecision> {
+        self.telemetry.explain_last(n)
+    }
+
+    /// Renders the full metric set as one Prometheus text-format (0.0.4)
+    /// exposition page.
+    pub fn prometheus_text(&self) -> String {
+        crate::observe::render_exposition(
+            &self.metrics,
+            &self.telemetry,
+            &[(self.scan.buffered(), self.scan.counter_entries())],
+        )
+    }
+
     /// Alerts emitted so far (IDMEF consumers drain this).
     pub fn alerts(&self) -> &[IdmefAlert] {
         &self.alerts
@@ -252,8 +279,9 @@ impl Analyzer {
     /// Processes one flow observed at `ingress`, returning the verdict and
     /// recording metrics, (sampled) latency and alerts (Figure 12).
     pub fn process(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+        let n = self.metrics.flows;
         let sample = self.cfg.latency_sample_every;
-        let started = if sample != 0 && self.metrics.flows.is_multiple_of(sample) {
+        let started = if sample != 0 && n.is_multiple_of(sample) {
             Some(Instant::now())
         } else {
             None
@@ -264,8 +292,16 @@ impl Analyzer {
         let eia_verdict = self.eia.classify(ingress, flow.src_addr);
         if let EiaVerdict::Match = eia_verdict {
             self.metrics.eia_match += 1;
+            let mut elapsed_ns = 0;
             if let Some(started) = started {
-                self.metrics.fast_path.record(started.elapsed());
+                let elapsed = started.elapsed();
+                elapsed_ns = saturating_nanos(elapsed);
+                self.metrics.fast_path.record(elapsed);
+                self.telemetry.observe_fast_latency(elapsed_ns);
+            }
+            if self.telemetry.fast_sample_due(n) {
+                self.telemetry
+                    .record_fast_path(0, ingress, flow, elapsed_ns);
             }
             return Verdict::Legal;
         }
@@ -274,12 +310,19 @@ impl Analyzer {
             EiaVerdict::Mismatch { expected } => expected,
             EiaVerdict::Match => unreachable!("handled above"),
         };
+        // Suspects are rare and slow, so when telemetry is on they are all
+        // timed, not just the latency-sampled ones (the histogram needs the
+        // tail; `metrics.suspect_path` keeps its sampled semantics).
+        let suspect_started = started.or_else(|| self.telemetry.enabled().then(Instant::now));
 
-        let verdict = match self.cfg.mode {
+        let (verdict, observed) = match self.cfg.mode {
             Mode::Basic => {
                 // BI flags every suspect directly.
                 self.metrics.eia_attacks += 1;
-                Verdict::Attack(AttackStage::EiaMismatch { expected })
+                (
+                    Verdict::Attack(AttackStage::EiaMismatch { expected }),
+                    SuspectObservation::default(),
+                )
             }
             Mode::Enhanced => self.enhanced_analysis(ingress, flow),
         };
@@ -288,27 +331,48 @@ impl Analyzer {
             self.next_alert_id += 1;
             self.alerts.push(alert);
         }
-        if let Some(started) = started {
-            self.metrics.suspect_path.record(started.elapsed());
+        let elapsed = suspect_started.map(|s| s.elapsed());
+        if started.is_some() {
+            self.metrics
+                .suspect_path
+                .record(elapsed.expect("timed when sampled"));
         }
+        self.telemetry.record_suspect(
+            0,
+            ingress,
+            expected,
+            flow,
+            &observed,
+            verdict,
+            elapsed.map_or(0, saturating_nanos),
+        );
         verdict
     }
 
-    fn enhanced_analysis(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+    fn enhanced_analysis(
+        &mut self,
+        ingress: PeerId,
+        flow: &FlowRecord,
+    ) -> (Verdict, SuspectObservation) {
         // Stage 2: Scan Analysis.
-        if let Some(stage) = scan_stage(&mut self.scan, flow) {
+        let (scan_hit, mut observed) = scan_stage(&mut self.scan, flow);
+        if let Some(stage) = scan_hit {
             self.metrics.scan_attacks += 1;
-            return Verdict::Attack(stage);
+            return (Verdict::Attack(stage), observed);
         }
 
         // Stage 3: NNS analysis against the relevant subcluster.
-        match nns_stage(self.model.as_ref(), flow, &mut self.nns_scratch) {
+        let timed = self.telemetry.enabled();
+        let (outcome, nns) = nns_stage(self.model.as_ref(), flow, &mut self.nns_scratch, timed);
+        observed.nns = Some(nns);
+        let verdict = match outcome {
             SuspectOutcome::Cleared => {
                 // Within normal behaviour: not an attack; count toward
                 // dynamic EIA adoption (§5.2(a)).
                 self.metrics.forgiven += 1;
                 if self.eia.record_sighting(ingress, flow.src_addr) {
                     self.metrics.adoptions += 1;
+                    self.telemetry.record_adoption(ingress);
                 }
                 Verdict::Forgiven
             }
@@ -316,7 +380,8 @@ impl Analyzer {
                 self.metrics.nns_attacks += 1;
                 Verdict::Attack(stage)
             }
-        }
+        };
+        (verdict, observed)
     }
 
     /// Decomposes into the parts the concurrent analyzer is built from.
@@ -336,11 +401,21 @@ pub(crate) enum SuspectOutcome {
     Cleared,
 }
 
+/// Converts a [`Duration`](std::time::Duration) to nanoseconds, clamped.
+pub(crate) fn saturating_nanos(elapsed: std::time::Duration) -> u64 {
+    elapsed.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// Stage 2 (Scan Analysis) as a pure function of detector state + flow, so
 /// the single-threaded [`Analyzer`] and the sharded
-/// [`crate::ConcurrentAnalyzer`] flag identically by construction.
-pub(crate) fn scan_stage(scan: &mut ScanAnalyzer, flow: &FlowRecord) -> Option<AttackStage> {
-    match scan.push(flow) {
+/// [`crate::ConcurrentAnalyzer`] flag identically by construction. Also
+/// reports the suspect's scan counters *at decision time* (two map lookups)
+/// for the flight recorder and scan-counter histograms.
+pub(crate) fn scan_stage(
+    scan: &mut ScanAnalyzer,
+    flow: &FlowRecord,
+) -> (Option<AttackStage>, SuspectObservation) {
+    let stage = match scan.push(flow) {
         ScanVerdict::NetworkScan {
             dst_port,
             distinct_hosts,
@@ -356,23 +431,47 @@ pub(crate) fn scan_stage(scan: &mut ScanAnalyzer, flow: &FlowRecord) -> Option<A
             distinct_ports,
         }),
         ScanVerdict::Pass => None,
-    }
+    };
+    let observed = SuspectObservation {
+        scan_distinct_hosts: scan.distinct_hosts_for_port(flow.input_if, flow.dst_port) as u32,
+        scan_distinct_ports: scan.distinct_ports_for_host(flow.input_if, flow.dst_addr) as u32,
+        nns: None,
+    };
+    (stage, observed)
 }
 
 /// Stage 3 (NNS assessment): read-only against the trained model, hence
 /// safe to run outside any shard lock. `scratch` is the caller's reusable
 /// query buffer — after its first use the whole stage is allocation-free.
+/// When `timed`, the search is wrapped in two `Instant` reads for the NNS
+/// latency histogram; work counters are accounted either way.
 pub(crate) fn nns_stage(
     model: Option<&ClusterModel>,
     flow: &FlowRecord,
     scratch: &mut BitVec,
-) -> SuspectOutcome {
+    timed: bool,
+) -> (SuspectOutcome, NnsObservation) {
     let class = AppClass::classify(flow.protocol, flow.dst_port);
+    let mut observed = NnsObservation {
+        distance: u32::MAX,
+        ..NnsObservation::default()
+    };
     let assessment = model.and_then(|m| m.subcluster(class)).map(|sub| {
         let stats = flow.stats();
-        (sub.threshold(), sub.nn_distance_with(&stats, scratch))
+        let mut search_stats = infilter_nns::SearchStats::default();
+        let started = timed.then(Instant::now);
+        let distance = sub.nn_distance_observed(&stats, scratch, &mut search_stats);
+        if let Some(started) = started {
+            observed.search_ns = saturating_nanos(started.elapsed());
+        }
+        observed.tables_probed = search_stats.tables_probed;
+        observed.threshold = sub.threshold();
+        if let Some(distance) = distance {
+            observed.distance = distance;
+        }
+        (sub.threshold(), distance)
     });
-    match assessment {
+    let outcome = match assessment {
         Some((threshold, Some(distance))) if distance <= threshold => SuspectOutcome::Cleared,
         Some((threshold, distance)) => SuspectOutcome::Attack(AttackStage::NnsAnomaly {
             distance: distance.unwrap_or(u32::MAX),
@@ -386,7 +485,8 @@ pub(crate) fn nns_stage(
             threshold: 0,
             class,
         }),
-    }
+    };
+    (outcome, observed)
 }
 
 #[cfg(test)]

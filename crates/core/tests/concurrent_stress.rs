@@ -105,10 +105,27 @@ fn stress_basic_exact_accounting() {
 
     let m = engine.metrics();
     assert_eq!(m.flows, total);
+    assert_eq!(m.flows, m.eia_match + m.eia_suspect);
     assert_eq!(m.eia_match, legal);
     assert_eq!(m.eia_suspect, attacks);
     assert_eq!(m.eia_attacks, attacks);
     assert_eq!((m.scan_attacks, m.nns_attacks, m.forgiven), (0, 0, 0));
+
+    // Telemetry agrees with the exact counters: per-peer and per-shard
+    // suspect counts each sum to eia_suspect, and the suspect-path latency
+    // histogram saw every suspect exactly once.
+    let telemetry = engine.telemetry();
+    let peer_suspects: u64 = telemetry
+        .peer_counters()
+        .iter()
+        .map(|(_, c)| c.suspects.load(std::sync::atomic::Ordering::Relaxed))
+        .sum();
+    assert_eq!(peer_suspects, m.eia_suspect);
+    assert_eq!(
+        telemetry.shard_suspects().iter().sum::<u64>(),
+        m.eia_suspect
+    );
+    assert_eq!(telemetry.suspect_path_latency().count(), m.eia_suspect);
 
     let alerts = engine.drain_alerts();
     assert_eq!(alerts.len() as u64, attacks, "one alert per attack verdict");
@@ -181,6 +198,45 @@ fn stress_enhanced_identities_hold() {
     assert_eq!(m.forgiven, forgiven);
     assert_eq!(m.eia_attacks, 0, "EI never flags at the EIA stage");
     assert_eq!(engine.drain_alerts().len() as u64, attacks);
+
+    // Telemetry-vs-counter identities under full 8-thread contention: the
+    // per-peer family partitions suspects into attacks + forgiven, and the
+    // histograms saw exactly one sample per suspect.
+    let telemetry = engine.telemetry();
+    let peers = telemetry.peer_counters();
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    let (mut p_suspects, mut p_attacks, mut p_forgiven) = (0u64, 0u64, 0u64);
+    for (_, cell) in &peers {
+        p_suspects += load(&cell.suspects);
+        p_attacks += load(&cell.attacks);
+        p_forgiven += load(&cell.forgiven);
+        assert_eq!(
+            load(&cell.suspects),
+            load(&cell.attacks) + load(&cell.forgiven),
+            "per-peer partition must be exact"
+        );
+    }
+    assert_eq!(p_suspects, m.eia_suspect);
+    assert_eq!(p_attacks, m.attacks());
+    assert_eq!(p_forgiven, m.forgiven);
+    assert_eq!(
+        telemetry.shard_suspects().iter().sum::<u64>(),
+        m.eia_suspect
+    );
+    assert_eq!(telemetry.suspect_path_latency().count(), m.eia_suspect);
+    assert_eq!(
+        telemetry.scan_hosts_histogram().count(),
+        telemetry.scan_ports_histogram().count()
+    );
+    // Every suspect either stopped at the scan stage or consulted NNS.
+    assert_eq!(
+        telemetry.nns_search_latency().count() + m.scan_attacks,
+        m.eia_suspect
+    );
+    // The flight recorder holds real decisions, newest-first.
+    let last = engine.explain_last(64);
+    assert!(!last.is_empty());
+    assert!(last.windows(2).all(|w| w[0].seq > w[1].seq));
 }
 
 fn arb_flow() -> impl Strategy<Value = (u16, FlowRecord)> {

@@ -97,4 +97,57 @@ fn suspect_path_encode_and_search_allocate_nothing_after_warmup() {
     let _ = sub.nn_distance(&stats);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert!(after > before, "counter failed to observe an allocation");
+
+    // --- Whole pipeline, telemetry on: a repeated forgiven suspect through
+    // `Analyzer::process` (EIA mismatch → scan → NNS → histograms, counter
+    // family, flight-recorder push) allocates nothing in steady state.
+    // Adoption is disabled (threshold 0) so the sighting map is never
+    // touched; everything else reuses warmed-up capacity.
+    let mut eia = infilter_core::EiaRegistry::new(0);
+    eia.preload(
+        infilter_core::PeerId(1),
+        "3.0.0.0/11".parse().expect("static prefix"),
+    );
+    eia.preload(
+        infilter_core::PeerId(2),
+        "3.32.0.0/11".parse().expect("static prefix"),
+    );
+    let mut analyzer = infilter_core::Trainer::new(infilter_core::AnalyzerConfig {
+        mode: infilter_core::Mode::Enhanced,
+        nns: NnsParams {
+            d: 0,
+            m1: 2,
+            m2: 8,
+            m3: 2,
+        },
+        bits_per_feature: 12,
+        adoption_threshold: 0,
+        ..infilter_core::AnalyzerConfig::default()
+    })
+    .train_enhanced(eia, &flows)
+    .expect("training succeeds");
+    assert!(analyzer.telemetry().enabled(), "telemetry must be on");
+    let suspect = FlowRecord {
+        src_addr: "3.33.0.9".parse().expect("static addr"),
+        ..http_flow(3)
+    };
+    // Warmup past the scan buffer and recorder capacity.
+    for _ in 0..300u32 {
+        assert!(analyzer
+            .process(infilter_core::PeerId(1), &suspect)
+            .is_forgiven());
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..200u32 {
+        assert!(analyzer
+            .process(infilter_core::PeerId(1), &suspect)
+            .is_forgiven());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "suspect pipeline with telemetry allocated {} times over 200 flows",
+        after - before
+    );
 }

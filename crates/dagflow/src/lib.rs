@@ -29,4 +29,4 @@ mod replay;
 
 pub use alloc::{eia_table, rotated_allocations, SourceAllocation};
 pub use mapper::AddressMapper;
-pub use replay::{Dagflow, DagflowConfig};
+pub use replay::{Dagflow, DagflowConfig, ReplayStats};

@@ -2,10 +2,26 @@ use std::net::Ipv4Addr;
 
 use infilter_net::Prefix;
 use infilter_netflow::{Datagram, FlowRecord, MAX_RECORDS_PER_DATAGRAM};
+use infilter_telemetry::Histogram;
 use infilter_traffic::Trace;
 use serde::{Deserialize, Serialize};
 
 use crate::AddressMapper;
+
+/// Cumulative export-side statistics for one [`Dagflow`] instance,
+/// accumulated across every [`Dagflow::replay_datagrams`] call.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStats {
+    /// Flow records exported on the wire.
+    pub flows: u64,
+    /// Datagrams emitted.
+    pub datagrams: u64,
+    /// Trace flows dropped by packet sampling before export.
+    pub sampled_out: u64,
+    /// Distribution of records per datagram (1..=30); the tail bucket at
+    /// [`MAX_RECORDS_PER_DATAGRAM`] shows how full export packets run.
+    pub records_per_datagram: Histogram,
+}
 
 /// Configuration of one Dagflow instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +71,7 @@ pub struct Dagflow {
     cfg: DagflowConfig,
     flow_sequence: u32,
     sampling: u16,
+    stats: ReplayStats,
 }
 
 impl Dagflow {
@@ -64,6 +81,7 @@ impl Dagflow {
             cfg,
             flow_sequence: 0,
             sampling: 1,
+            stats: ReplayStats::default(),
         }
     }
 
@@ -102,6 +120,12 @@ impl Dagflow {
     /// Total flows exported so far.
     pub fn flow_sequence(&self) -> u32 {
         self.flow_sequence
+    }
+
+    /// Export-side statistics accumulated over every
+    /// [`Dagflow::replay_datagrams`] call on this instance.
+    pub fn replay_stats(&self) -> &ReplayStats {
+        &self.stats
     }
 
     /// Maps one trace onto flow records, offsetting all timestamps by
@@ -143,6 +167,7 @@ impl Dagflow {
     /// counter.
     pub fn replay_datagrams(&mut self, trace: &Trace, offset_ms: u32) -> Vec<(u16, Datagram)> {
         let records = self.replay_records(trace, offset_ms);
+        self.stats.sampled_out += (trace.flows.len() - records.len()) as u64;
         let mut out = Vec::with_capacity(records.len().div_ceil(MAX_RECORDS_PER_DATAGRAM));
         for chunk in records.chunks(MAX_RECORDS_PER_DATAGRAM) {
             let uptime = chunk.iter().map(|r| r.last_ms).max().unwrap_or(0);
@@ -151,6 +176,9 @@ impl Dagflow {
                 Datagram::new(self.flow_sequence, uptime, chunk),
             ));
             self.flow_sequence = self.flow_sequence.wrapping_add(chunk.len() as u32);
+            self.stats.flows += chunk.len() as u64;
+            self.stats.datagrams += 1;
+            self.stats.records_per_datagram.record(chunk.len() as u64);
         }
         out
     }
@@ -332,6 +360,26 @@ mod tests {
             dagflow.replay_records(&trace, 0),
             dagflow.replay_records(&trace, 0)
         );
+    }
+
+    #[test]
+    fn replay_stats_account_every_export() {
+        let mut dagflow = Dagflow::new(config(0..100, 9007));
+        let trace = NormalProfile::default().generate(&mut StdRng::seed_from_u64(2), 95, 5000);
+        dagflow.replay_datagrams(&trace, 0);
+        dagflow.replay_datagrams(&trace, 10_000);
+        let stats = dagflow.replay_stats();
+        assert_eq!(stats.flows, 190);
+        assert_eq!(stats.datagrams, 8); // (30+30+30+5) × 2
+        assert_eq!(stats.sampled_out, 0);
+        assert_eq!(stats.records_per_datagram.count(), 8);
+        assert_eq!(stats.records_per_datagram.max(), 30);
+        // Sampling losses show up in sampled_out and nowhere else.
+        let mut sampled = Dagflow::new(config(0..100, 9007)).with_sampling(10);
+        sampled.replay_datagrams(&trace, 0);
+        let s = sampled.replay_stats();
+        assert_eq!(s.flows + s.sampled_out, 95);
+        assert!(s.sampled_out > 0, "1:10 sampling must drop small flows");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Observability demonstrator: replays a two-peer workload with one
+//! spoofed attack through the concurrent engine and reports what the
+//! telemetry layer saw — delta rates, the flight-recorder verdict trail,
+//! and the Prometheus exposition page.
+//!
+//! Usage: `exp-observe [seed] [flows_per_peer] [--smoke] [--serve ADDR:PORT]`
+//!
+//! * `--smoke` runs a small workload and exits non-zero if the exposition
+//!   misses any advertised metric family or the injected attack never
+//!   reached the flight recorder (the CI contract).
+//! * `--serve ADDR:PORT` runs the workload, then serves the exposition
+//!   over HTTP until interrupted (scrape it with a real Prometheus).
+
+use infilter_core::Verdict;
+use infilter_experiments::observe::{self, ObserveConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let serve = args
+        .iter()
+        .position(|a| a == "--serve")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let positional: Vec<&String> = args[1..]
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(*a) != serve.as_ref())
+        .collect();
+    let seed = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let flows_per_peer = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 400 } else { 1500 });
+
+    let report = observe::run(ObserveConfig {
+        seed,
+        flows_per_peer,
+        ..ObserveConfig::default()
+    });
+
+    println!(
+        "replayed {} wire flows in {} datagrams (seed {seed})",
+        report.wire_flows, report.datagrams
+    );
+    if let Some(rates) = report.rates.last() {
+        println!("\nfinal interval rates:");
+        for sample in rates {
+            println!(
+                "  {:<14} {:>10}  (+{:>7}, {:>12.1}/s)",
+                sample.name, sample.value, sample.delta, sample.per_sec
+            );
+        }
+    }
+    println!("\nlast {} verdicts (newest first):", report.decisions.len());
+    for decision in &report.decisions {
+        println!("  {}", decision.describe());
+    }
+
+    if smoke {
+        let missing = observe::missing_families(&report.exposition);
+        let attack_recorded = report
+            .decisions
+            .iter()
+            .any(|d| matches!(d.verdict, Verdict::Attack(_)));
+        if !missing.is_empty() {
+            eprintln!("SMOKE FAIL: exposition missing metric families: {missing:?}");
+            std::process::exit(1);
+        }
+        if report.metrics.attacks() == 0 || !attack_recorded {
+            eprintln!(
+                "SMOKE FAIL: injected attack not observed (attacks={}, recorded={attack_recorded})",
+                report.metrics.attacks()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\nSMOKE OK: {} metric families exposed, {} attacks flagged",
+            infilter_core::METRIC_FAMILIES.len(),
+            report.metrics.attacks()
+        );
+        return;
+    }
+
+    match serve {
+        None => {
+            println!("\n{}", report.exposition);
+        }
+        Some(addr) => {
+            serve_exposition(&addr, &report.exposition);
+        }
+    }
+}
+
+/// Minimal blocking HTTP loop: answers every request with the exposition
+/// page under the Prometheus 0.0.4 content type.
+fn serve_exposition(addr: &str, exposition: &str) {
+    use std::io::{Read, Write};
+    let listener =
+        std::net::TcpListener::bind(addr).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    println!("\nserving exposition on http://{addr}/metrics (ctrl-c to stop)");
+    let body = exposition.as_bytes();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(body);
+    }
+}

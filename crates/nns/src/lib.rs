@@ -48,4 +48,4 @@ mod structure;
 
 pub use bitvec::BitVec;
 pub use encoding::{EncoderError, FeatureSpec, UnaryEncoder};
-pub use structure::{linear_nn, BuildError, NnResult, NnsParams, NnsStructure};
+pub use structure::{linear_nn, BuildError, NnResult, NnsParams, NnsStructure, SearchStats};

@@ -101,6 +101,12 @@ impl RefNnsStructure {
         })
     }
 
+    /// The seed this structure was built with (pairs with
+    /// [`crate::NnsStructure::build`] for bit-identical comparisons).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Seed-layout search — same binary-search-over-scales algorithm as
     /// [`crate::NnsStructure::search`], pointer-chasing included.
     ///

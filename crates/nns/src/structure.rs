@@ -330,6 +330,15 @@ impl NnsStructure {
     ///
     /// Panics if the query dimension differs from `params.d`.
     pub fn search(&self, query: &BitVec) -> Option<NnResult> {
+        self.search_observed(query, &mut SearchStats::default())
+    }
+
+    /// [`NnsStructure::search`] with work accounting: increments `stats`
+    /// with the scales visited, tables probed, and candidates verified, so
+    /// callers can histogram how hard each lookup worked. Same result,
+    /// same zero-allocation guarantee; the counters are a few register
+    /// increments against hundreds of table probes.
+    pub fn search_observed(&self, query: &BitVec, stats: &mut SearchStats) -> Option<NnResult> {
         assert_eq!(query.len(), self.params.d, "query dimension mismatch");
         let qw = query.words();
         let stride = self.params.d.div_ceil(64);
@@ -340,14 +349,17 @@ impl NnsStructure {
         let mut best: Option<NnResult> = None;
         while lo <= hi {
             let t = lo + (hi - lo) / 2;
+            stats.scales_probed += 1;
             let mut hit = false;
             for j in 0..self.params.m1 {
                 let table = (t - 1) * self.params.m1 + j;
                 let tests = &self.test_vectors[table * tv_per_table..][..tv_per_table];
                 let z = trace(tests, stride, self.params.m2, qw);
+                stats.tables_probed += 1;
                 let entry = self.entries[table * table_size + z];
                 if entry != EMPTY {
                     hit = true;
+                    stats.candidates_verified += 1;
                     let index = entry as usize;
                     let point = &self.point_words[index * stride..][..stride];
                     let distance = BitVec::hamming_words(point, qw);
@@ -367,6 +379,18 @@ impl NnsStructure {
         }
         best
     }
+}
+
+/// Work counters accumulated by [`NnsStructure::search_observed`] — the
+/// observation hook the pipeline's telemetry histograms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distance scales the binary search visited.
+    pub scales_probed: u32,
+    /// Hash tables probed (`scales_probed × m1`).
+    pub tables_probed: u32,
+    /// Non-empty entries whose exact Hamming distance was computed.
+    pub candidates_verified: u32,
 }
 
 /// Builds the tables for the contiguous run of distance scales starting at

@@ -1,0 +1,118 @@
+//! Keyed families of counter cells (per-peer, per-interface, …).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, RwLock};
+
+/// A lazily-populated map from label key to a shared, default-constructed
+/// cell of counters.
+///
+/// The common case — the key already exists — takes only a read lock plus
+/// an `Arc` clone, so concurrent writers on *different* keys never contend
+/// beyond the shared-reader lock. The write lock is taken once per new key.
+/// Intended for low-rate paths (suspects, adoptions), not per-flow hot code.
+#[derive(Debug, Default)]
+pub struct Family<K, C> {
+    cells: RwLock<HashMap<K, Arc<C>>>,
+}
+
+impl<K: Eq + Hash + Clone + Ord, C: Default> Family<K, C> {
+    /// Creates an empty family.
+    pub fn new() -> Family<K, C> {
+        Family {
+            cells: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the cell for `key`, creating it on first use.
+    pub fn get(&self, key: &K) -> Arc<C> {
+        if let Some(cell) = self
+            .cells
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(key)
+        {
+            return Arc::clone(cell);
+        }
+        let mut cells = self
+            .cells
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(cells.entry(key.clone()).or_default())
+    }
+
+    /// Number of distinct keys seen.
+    pub fn len(&self) -> usize {
+        self.cells
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// True when no key has been touched yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All cells, sorted by key for deterministic exposition output.
+    pub fn snapshot(&self) -> Vec<(K, Arc<C>)> {
+        let mut out: Vec<(K, Arc<C>)> = self
+            .cells
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|(k, c)| (k.clone(), Arc::clone(c)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Default)]
+    struct Cell {
+        hits: AtomicU64,
+    }
+
+    #[test]
+    fn same_key_shares_a_cell() {
+        let family: Family<u16, Cell> = Family::new();
+        family.get(&7).hits.fetch_add(1, Ordering::Relaxed);
+        family.get(&7).hits.fetch_add(1, Ordering::Relaxed);
+        family.get(&9).hits.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(family.len(), 2);
+        let snap = family.snapshot();
+        assert_eq!(snap[0].0, 7);
+        assert_eq!(snap[0].1.hits.load(Ordering::Relaxed), 2);
+        assert_eq!(snap[1].0, 9);
+        assert_eq!(snap[1].1.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_all_counted() {
+        let family: std::sync::Arc<Family<u16, Cell>> = std::sync::Arc::new(Family::new());
+        let threads: Vec<_> = (0..4u16)
+            .map(|t| {
+                let family = family.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        family.get(&(t % 2)).hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("bumper must not panic");
+        }
+        let total: u64 = family
+            .snapshot()
+            .iter()
+            .map(|(_, c)| c.hits.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, 4_000);
+    }
+}

@@ -1,0 +1,388 @@
+//! Log-linear ("HDR-style") histograms over `u64` values.
+//!
+//! Values below `2^SUB_BUCKET_BITS` are counted exactly; above that each
+//! power-of-two octave is split into `2^SUB_BUCKET_BITS` equal sub-buckets,
+//! so any recorded value lands in a bucket whose width is at most
+//! `value >> SUB_BUCKET_BITS`. Percentile readouts therefore carry a
+//! relative error bounded by `2^-SUB_BUCKET_BITS` (~3.1%) while the whole
+//! table stays a fixed 1 920 buckets — small enough to keep one histogram
+//! per pipeline stage resident and merge-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BUCKET_BITS`
+/// linear sub-buckets, bounding relative quantile error by `2^-5 = 3.125%`.
+pub const SUB_BUCKET_BITS: u32 = 5;
+
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const SUB_MASK: u64 = (SUB_BUCKETS - 1) as u64;
+
+/// Total bucket count: one exact bucket per value in `0..2^b`, then
+/// `2^b` sub-buckets for each of the `64 - b` remaining octaves.
+pub const BUCKETS: usize = (65 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS;
+
+/// Maps a value to its bucket index (monotone non-decreasing in `value`).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let magnitude = 63 - value.leading_zeros();
+    let shift = magnitude - SUB_BUCKET_BITS;
+    (((shift + 1) as usize) << SUB_BUCKET_BITS) + ((value >> shift) & SUB_MASK) as usize
+}
+
+/// Highest value mapping to bucket `index` (the inverse used for readout;
+/// reporting the bucket top makes quantiles an over-estimate by at most one
+/// bucket width, i.e. `exact <= reported <= exact + (exact >> SUB_BUCKET_BITS)`).
+#[inline]
+fn bucket_top(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let shift = (index >> SUB_BUCKET_BITS) as u32 - 1;
+    let base = (SUB_BUCKETS as u64 + (index as u64 & SUB_MASK)) << shift;
+    base + ((1u64 << shift) - 1)
+}
+
+/// Percentile summary of one latency histogram, in the histogram's unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median (bucket-top, <=3.1% high).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+/// A single-writer log-linear histogram. See the module docs for the
+/// bucketing scheme; use [`AtomicHistogram`] when several threads record.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest bucket-top `v` such that at least `ceil(q * count)` recorded
+    /// values are `<= v`. `q` is clamped to `(0, 1]`; returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(f64::MIN_POSITIVE, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_top(index);
+            }
+        }
+        self.max
+    }
+
+    /// p50/p90/p99/p999 plus count and exact max, in one pass-friendly struct.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            max: self.max(),
+        }
+    }
+
+    /// Approximate count of recorded values `<= value`: counts every bucket
+    /// up to and including `value`'s bucket, so the answer may over-count by
+    /// at most one bucket width (`value >> SUB_BUCKET_BITS`).
+    pub fn count_le(&self, value: u64) -> u64 {
+        self.counts[..=bucket_index(value)].iter().sum()
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates non-empty buckets as `(bucket_top, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (bucket_top(i), c))
+    }
+}
+
+/// Lock-free multi-writer histogram: every field is a relaxed atomic, so
+/// [`AtomicHistogram::record`] is wait-free on the reader-free hot path and
+/// imposes no ordering on surrounding code. Readers take a [`snapshot`]
+/// (not a consistent cut — counts may lag sums by in-flight records, which
+/// is fine for monitoring).
+///
+/// [`snapshot`]: AtomicHistogram::snapshot
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty atomic histogram.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (relaxed; safe from any thread).
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, value);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain [`Histogram`] for readout.
+    pub fn snapshot(&self) -> Histogram {
+        Histogram {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// `fetch_add` that clamps at `u64::MAX` instead of wrapping. Uses a CAS
+/// loop, so reserve it for sampled / rare-path sums.
+fn saturating_fetch_add(cell: &AtomicU64, value: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(value);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_top(bucket_index(v)), v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS as u64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounds_error() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift).saturating_add(off)))
+            .collect();
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must not decrease (v={v})");
+            assert!(idx < BUCKETS);
+            let top = bucket_top(idx);
+            assert!(top >= v, "bucket top below value (v={v} top={top})");
+            assert!(
+                top - v <= (v >> SUB_BUCKET_BITS),
+                "bucket wider than 2^-b relative (v={v} top={top})"
+            );
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_top(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_match_exact_on_uniform_ramp() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (1..=10_000u64).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = values[((q * values.len() as f64).ceil() as usize).max(1) - 1];
+            let approx = h.percentile(q);
+            assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            assert!(
+                approx - exact <= exact >> SUB_BUCKET_BITS,
+                "q={q}: {approx} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+
+        let a = AtomicHistogram::new();
+        a.record(u64::MAX);
+        a.record(u64::MAX);
+        assert_eq!(a.snapshot().sum(), u64::MAX);
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain() {
+        let plain = {
+            let mut h = Histogram::new();
+            for v in [0, 1, 31, 32, 33, 1_000, 123_456_789] {
+                h.record(v);
+            }
+            h
+        };
+        let atomic = AtomicHistogram::new();
+        for v in [0, 1, 31, 32, 33, 1_000, 123_456_789] {
+            atomic.record(v);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.sum(), plain.sum());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+        assert_eq!(snap.summary(), plain.summary());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000);
+        assert_eq!(a.count_le(100), 2);
+    }
+
+    #[test]
+    fn count_le_is_cumulative() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 10, 100, 1_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(10), 3);
+        assert_eq!(h.count_le(u64::MAX), 5);
+    }
+}

@@ -1,0 +1,34 @@
+//! Observability primitives for the InFilter pipeline.
+//!
+//! This crate is deliberately **generic and dependency-free**: it knows
+//! nothing about flows, peers, or verdicts. `infilter-core` depends on it
+//! and supplies the domain types (the flight-recorder payload, the metric
+//! names, the bucket bounds). The pieces:
+//!
+//! * [`Histogram`] / [`AtomicHistogram`] — log-linear HDR-style value
+//!   histograms with bounded relative error and p50/p90/p99/p999 readout.
+//!   The atomic variant is lock-free (relaxed per-bucket counters) so the
+//!   sharded analyzer can record from many threads without coordination.
+//! * [`Ring`] — a fixed-capacity, non-blocking flight-recorder ring buffer.
+//!   Writers never wait: a slot that is momentarily held by another writer
+//!   is skipped and counted in [`Ring::dropped`].
+//! * [`Family`] — a keyed family of default-constructed counter cells
+//!   (e.g. per-peer counters), read-lock fast path on the hot side.
+//! * [`PromText`] — a Prometheus text-format (0.0.4) exposition renderer.
+//! * [`DeltaReporter`] — turns successive counter snapshots into
+//!   per-interval deltas and rates for periodic reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod family;
+mod histogram;
+mod prometheus;
+mod report;
+mod ring;
+
+pub use family::Family;
+pub use histogram::{AtomicHistogram, Histogram, LatencySummary, BUCKETS, SUB_BUCKET_BITS};
+pub use prometheus::PromText;
+pub use report::{DeltaReporter, RateSample};
+pub use ring::Ring;

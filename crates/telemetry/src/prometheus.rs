@@ -1,0 +1,170 @@
+//! Prometheus text exposition format 0.0.4 renderer.
+//!
+//! Reference: the Prometheus "Exposition formats" spec — `# HELP` / `# TYPE`
+//! headers per family, one `name{label="value"} value` sample per line,
+//! histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+
+use crate::histogram::Histogram;
+use std::fmt::Write as _;
+
+/// Incremental builder for one exposition page.
+///
+/// Emit each metric family exactly once (headers are written per call), then
+/// take the page with [`PromText::render`].
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+/// One labelled sample in a family: `(label pairs, value)`.
+pub type Sample<'a> = (Vec<(&'a str, String)>, u64);
+
+impl PromText {
+    /// Creates an empty page.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn head(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, String)], value: impl std::fmt::Display) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (key, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{key}=\"{}\"", escape_label(val));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// An unlabelled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.head(name, help, "counter");
+        self.sample(name, &[], value);
+    }
+
+    /// A counter family with one sample per label set.
+    pub fn counter_family(&mut self, name: &str, help: &str, samples: &[Sample<'_>]) {
+        self.head(name, help, "counter");
+        for (labels, value) in samples {
+            self.sample(name, labels, value);
+        }
+    }
+
+    /// An unlabelled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.head(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// A gauge family with one sample per label set.
+    pub fn gauge_family(&mut self, name: &str, help: &str, samples: &[Sample<'_>]) {
+        self.head(name, help, "gauge");
+        for (labels, value) in samples {
+            self.sample(name, labels, value);
+        }
+    }
+
+    /// A histogram family: cumulative `_bucket{le=...}` counts for each of
+    /// `bounds` (plus `+Inf`), then `_sum` and `_count`. Bounds are snapped
+    /// to the histogram's log-linear bucket grid (<=3.1% wide), so each
+    /// `le` count may over-count by at most one native bucket.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &Histogram, bounds: &[u64]) {
+        self.head(name, help, "histogram");
+        let bucket = format!("{name}_bucket");
+        for &bound in bounds {
+            self.sample(
+                &bucket,
+                &[("le", bound.to_string())],
+                hist.count_le(bound).min(hist.count()),
+            );
+        }
+        self.sample(&bucket, &[("le", "+Inf".to_string())], hist.count());
+        self.sample(&format!("{name}_sum"), &[], hist.sum());
+        self.sample(&format!("{name}_count"), &[], hist.count());
+    }
+
+    /// Finishes the page.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden rendering: the full page, byte for byte.
+    #[test]
+    fn golden_exposition_page() {
+        let mut hist = Histogram::new();
+        for v in [3u64, 40, 41, 900] {
+            hist.record(v);
+        }
+        let mut page = PromText::new();
+        page.counter("demo_flows_total", "Flows processed.", 12);
+        page.counter_family(
+            "demo_peer_suspects_total",
+            "Suspects per peer.",
+            &[
+                (vec![("peer", "1".to_string())], 3),
+                (vec![("peer", "2".to_string())], 9),
+            ],
+        );
+        page.gauge("demo_occupancy", "Buffered flows.", 2.5);
+        page.histogram("demo_latency_ns", "Latency.", &hist, &[10, 100, 1_000]);
+        let expected = "\
+# HELP demo_flows_total Flows processed.
+# TYPE demo_flows_total counter
+demo_flows_total 12
+# HELP demo_peer_suspects_total Suspects per peer.
+# TYPE demo_peer_suspects_total counter
+demo_peer_suspects_total{peer=\"1\"} 3
+demo_peer_suspects_total{peer=\"2\"} 9
+# HELP demo_occupancy Buffered flows.
+# TYPE demo_occupancy gauge
+demo_occupancy 2.5
+# HELP demo_latency_ns Latency.
+# TYPE demo_latency_ns histogram
+demo_latency_ns_bucket{le=\"10\"} 1
+demo_latency_ns_bucket{le=\"100\"} 3
+demo_latency_ns_bucket{le=\"1000\"} 4
+demo_latency_ns_bucket{le=\"+Inf\"} 4
+demo_latency_ns_sum 984
+demo_latency_ns_count 4
+";
+        assert_eq!(page.render(), expected);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut page = PromText::new();
+        page.counter_family(
+            "demo_total",
+            "Help with\nnewline and \\ slash.",
+            &[(vec![("name", "quo\"te\\path\nline".to_string())], 1)],
+        );
+        let out = page.render();
+        assert!(out.contains("# HELP demo_total Help with\\nnewline and \\\\ slash."));
+        assert!(out.contains("name=\"quo\\\"te\\\\path\\nline\""));
+    }
+}

@@ -1,0 +1,97 @@
+//! Periodic-snapshot delta/rate reporting over monotone counters.
+
+use std::collections::BTreeMap;
+
+/// One counter's movement over a reporting interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSample {
+    /// Counter name as supplied in the snapshot.
+    pub name: String,
+    /// Current cumulative value.
+    pub value: u64,
+    /// Increase since the previous snapshot (0 on the first observation,
+    /// and clamped to 0 if a counter ever moves backwards, e.g. on reset).
+    pub delta: u64,
+    /// `delta / elapsed_secs` (0.0 when `elapsed_secs` is not positive).
+    pub per_sec: f64,
+}
+
+/// Turns successive `(name, value)` counter snapshots into per-interval
+/// deltas and rates. The caller supplies elapsed wall time, keeping the
+/// reporter deterministic and trivially testable.
+#[derive(Debug, Default)]
+pub struct DeltaReporter {
+    previous: BTreeMap<String, u64>,
+}
+
+impl DeltaReporter {
+    /// Creates a reporter with no history.
+    pub fn new() -> DeltaReporter {
+        DeltaReporter::default()
+    }
+
+    /// Absorbs a snapshot and returns one [`RateSample`] per counter,
+    /// sorted by name.
+    pub fn observe<'a>(
+        &mut self,
+        counters: impl IntoIterator<Item = (&'a str, u64)>,
+        elapsed_secs: f64,
+    ) -> Vec<RateSample> {
+        let mut out = Vec::new();
+        let mut next = BTreeMap::new();
+        for (name, value) in counters {
+            let delta = value.saturating_sub(self.previous.get(name).copied().unwrap_or(value));
+            let per_sec = if elapsed_secs > 0.0 {
+                delta as f64 / elapsed_secs
+            } else {
+                0.0
+            };
+            out.push(RateSample {
+                name: name.to_string(),
+                value,
+                delta,
+                per_sec,
+            });
+            next.insert(name.to_string(), value);
+        }
+        self.previous = next;
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_has_zero_delta() {
+        let mut reporter = DeltaReporter::new();
+        let samples = reporter.observe([("flows", 100u64)], 1.0);
+        assert_eq!(samples[0].delta, 0);
+        assert_eq!(samples[0].value, 100);
+    }
+
+    #[test]
+    fn deltas_and_rates_track_growth() {
+        let mut reporter = DeltaReporter::new();
+        reporter.observe([("flows", 100u64), ("attacks", 2u64)], 1.0);
+        let samples = reporter.observe([("flows", 350u64), ("attacks", 2u64)], 2.0);
+        let flows = samples.iter().find(|s| s.name == "flows").expect("present");
+        assert_eq!(flows.delta, 250);
+        assert!((flows.per_sec - 125.0).abs() < 1e-9);
+        let attacks = samples
+            .iter()
+            .find(|s| s.name == "attacks")
+            .expect("present");
+        assert_eq!(attacks.delta, 0);
+    }
+
+    #[test]
+    fn backwards_counter_clamps_to_zero() {
+        let mut reporter = DeltaReporter::new();
+        reporter.observe([("flows", 100u64)], 1.0);
+        let samples = reporter.observe([("flows", 40u64)], 1.0);
+        assert_eq!(samples[0].delta, 0);
+    }
+}

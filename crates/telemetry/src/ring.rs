@@ -1,0 +1,142 @@
+//! A fixed-capacity, non-blocking flight-recorder ring buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Multi-writer ring buffer holding the last ~`capacity` entries.
+///
+/// Writers claim a slot with one `fetch_add` on the cursor and then take the
+/// slot's mutex with `try_lock`: if another writer (or a reader) holds it —
+/// which can only happen when the ring has wrapped all the way around within
+/// one write, or during a concurrent [`last`] scan — the entry is *dropped*
+/// and counted, never blocking the pipeline. Readers lock slots one at a
+/// time, so a snapshot is per-slot consistent but not a global cut; entries
+/// carry their own sequence numbers if the caller needs a total order.
+///
+/// [`last`]: Ring::last
+#[derive(Debug)]
+pub struct Ring<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl<T: Clone> Ring<T> {
+    /// Creates a ring with room for `capacity` entries. A zero capacity
+    /// yields a ring that drops (and counts) everything pushed into it.
+    pub fn new(capacity: usize) -> Ring<T> {
+        Ring {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total entries ever pushed (including dropped ones).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Entries discarded because their slot was contended (or capacity is 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records an entry, overwriting the oldest. Never blocks: on slot
+    /// contention the entry is counted in [`Ring::dropped`] instead.
+    pub fn push(&self, entry: T) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if self.slots.is_empty() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Ok(mut guard) => *guard = Some(entry),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                *poisoned.into_inner() = Some(entry);
+            }
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Returns up to `n` of the most recent entries, newest first.
+    pub fn last(&self, n: usize) -> Vec<T> {
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let reach = (self.slots.len() as u64).min(cursor).min(n as u64);
+        let mut out = Vec::with_capacity(reach as usize);
+        for back in 1..=reach {
+            let slot = &self.slots[((cursor - back) % self.slots.len() as u64) as usize];
+            let entry = match slot.lock() {
+                Ok(guard) => guard.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            };
+            if let Some(entry) = entry {
+                out.push(entry);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_newest_entries() {
+        let ring = Ring::new(4);
+        for i in 0..10u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.last(4), vec![9, 8, 7, 6]);
+        assert_eq!(ring.last(2), vec![9, 8]);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let ring = Ring::new(0);
+        ring.push(1u32);
+        ring.push(2);
+        assert!(ring.last(8).is_empty());
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn partial_fill_returns_only_written() {
+        let ring = Ring::new(8);
+        ring.push(41u32);
+        ring.push(42);
+        assert_eq!(ring.last(8), vec![42, 41]);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_block_and_account_exactly() {
+        let ring = std::sync::Arc::new(Ring::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        ring.push(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer must not panic");
+        }
+        assert_eq!(ring.pushed(), 4_000);
+        assert!(ring.last(64).len() <= 64);
+        assert!(!ring.last(64).is_empty());
+    }
+}

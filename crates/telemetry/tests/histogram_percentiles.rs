@@ -1,0 +1,43 @@
+//! Property test: histogram percentiles track exact order statistics within
+//! the advertised `2^-SUB_BUCKET_BITS` relative error bound.
+
+use infilter_telemetry::{Histogram, SUB_BUCKET_BITS};
+use proptest::prelude::*;
+
+/// Exact order statistic matching `Histogram::percentile`'s definition:
+/// the smallest value `v` with `ceil(q * n)` samples `<= v`.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_stay_within_bucket_error(
+        mut values in proptest::collection::vec(0u64..=u64::MAX >> 1, 1..512),
+        permilles in proptest::collection::vec(1u64..=1000, 1..8),
+    ) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for q in permilles.into_iter().map(|p| p as f64 / 1000.0) {
+            let exact = exact_percentile(&values, q);
+            let approx = hist.percentile(q);
+            // The histogram reports the top of the exact value's bucket:
+            // never below the exact answer, never more than one bucket
+            // width (value >> SUB_BUCKET_BITS) above it.
+            prop_assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+            prop_assert!(
+                approx - exact <= exact >> SUB_BUCKET_BITS,
+                "q={q}: approx {approx} too far above exact {exact}"
+            );
+        }
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.max(), *values.last().expect("non-empty"));
+        prop_assert_eq!(hist.min(), values[0]);
+    }
+}

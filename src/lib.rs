@@ -16,6 +16,7 @@ pub use infilter_flowtools as flowtools;
 pub use infilter_net as net;
 pub use infilter_netflow as netflow;
 pub use infilter_nns as nns;
+pub use infilter_telemetry as telemetry;
 pub use infilter_topology as topology;
 pub use infilter_traceroute as traceroute;
 pub use infilter_traffic as traffic;
