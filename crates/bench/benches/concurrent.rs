@@ -3,8 +3,8 @@
 //! Measures flows/second over a ≥99%-legal mix (the deployment regime:
 //! almost every flow takes the EIA fast path) for
 //!
-//! * `mutex` — the original [`SharedAnalyzer`]: one global lock, so added
-//!   threads serialise; and
+//! * `mutex` — one [`Analyzer`] behind a global lock (the pre-sharding
+//!   design): added threads serialise; and
 //! * `sharded` — [`ConcurrentAnalyzer`]: lock-free snapshot EIA check plus
 //!   sharded suspect state, which is expected to scale near-linearly.
 //!
@@ -15,16 +15,14 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use infilter_core::{
-    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, EiaRegistry, Mode, PeerId, Trainer,
-    Verdict,
+    Analyzer, AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, EiaRegistry, Mode, PeerId,
+    Trainer, Verdict,
 };
 use infilter_netflow::FlowRecord;
 use infilter_nns::NnsParams;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-#[allow(deprecated)]
-use infilter_core::SharedAnalyzer;
 
 const STREAM_LEN: usize = 32_768;
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
@@ -40,18 +38,18 @@ fn eia() -> EiaRegistry {
 /// benchmark iterations (adopted suspects would migrate to the fast path
 /// and skew later samples).
 fn config(mode: Mode) -> AnalyzerConfig {
-    AnalyzerConfig {
-        mode,
-        nns: NnsParams {
+    AnalyzerConfig::builder()
+        .mode(mode)
+        .nns(NnsParams {
             d: 0,
             m1: 1,
             m2: 8,
             m3: 2,
-        },
-        bits_per_feature: 16,
-        adoption_threshold: 0,
-        ..AnalyzerConfig::default()
-    }
+        })
+        .bits_per_feature(16)
+        .adoption_threshold(0)
+        .build()
+        .expect("valid config")
 }
 
 fn training() -> Vec<FlowRecord> {
@@ -137,15 +135,14 @@ fn bench_mode(c: &mut Criterion, label: &str, mode: Mode) {
     group.sample_size(10);
 
     for &threads in &THREAD_COUNTS {
-        #[allow(deprecated)]
-        let mutexed = SharedAnalyzer::new(train(mode));
+        let mutexed: Mutex<Analyzer> = Mutex::new(train(mode));
         group.bench_with_input(
             BenchmarkId::new("mutex", threads),
             &threads,
             |b, &threads| {
                 b.iter_custom(|iters| {
                     (0..iters)
-                        .map(|_| timed_run(threads, &flows, |p, f| mutexed.process(p, f)))
+                        .map(|_| timed_run(threads, &flows, |p, f| mutexed.lock().process(p, f)))
                         .sum()
                 });
             },

@@ -1,0 +1,175 @@
+//! Throughput of the ingest path per degradation rung.
+//!
+//! Measures flows/second through `process_batch_with_effort` at each rung
+//! of the load-shedding ladder — full EI, skip-NNS, and BI-only — over a
+//! suspect-heavy mix (1 flow in 4 arrives at the wrong peer, the regime
+//! where the rungs actually differ; a ≥99 %-legal mix takes the fast path
+//! regardless of effort). Also measures the intake-ring enqueue/dequeue
+//! overhead the daemon adds around the engine.
+//!
+//! Run with `cargo bench --bench ingest`; `-- --test` gives the CI smoke
+//! run. Results are recorded in EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use infilter_core::{
+    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, Effort, EiaRegistry, Mode, PeerId,
+    Trainer,
+};
+use infilter_ingest::{Batch, IngestMetrics, Intake};
+use infilter_netflow::FlowRecord;
+use infilter_nns::NnsParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BATCHES: usize = 1024;
+const RECORDS_PER_BATCH: usize = 30; // one full NetFlow v5 datagram
+
+fn eia() -> EiaRegistry {
+    let mut r = EiaRegistry::new(0);
+    r.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+    r.preload(PeerId(2), "3.32.0.0/11".parse().expect("static prefix"));
+    r
+}
+
+/// Adoption disabled so the legal/suspect mix stays stationary across
+/// iterations.
+fn config() -> AnalyzerConfig {
+    AnalyzerConfig::builder()
+        .mode(Mode::Enhanced)
+        .nns(NnsParams {
+            d: 0,
+            m1: 1,
+            m2: 8,
+            m3: 2,
+        })
+        .bits_per_feature(16)
+        .adoption_threshold(0)
+        .build()
+        .expect("valid config")
+}
+
+fn training() -> Vec<FlowRecord> {
+    (0..128u32)
+        .map(|i| FlowRecord {
+            src_addr: std::net::Ipv4Addr::from(0x0300_0000 + i),
+            dst_addr: "96.1.0.20".parse().expect("static addr"),
+            dst_port: if i % 2 == 0 { 80 } else { 53 },
+            protocol: if i % 2 == 0 { 6 } else { 17 },
+            packets: 4 + i % 8,
+            octets: 2_000 + 100 * (i % 10),
+            first_ms: 0,
+            last_ms: 500 + 20 * (i % 5),
+            ..FlowRecord::default()
+        })
+        .collect()
+}
+
+fn engine() -> ConcurrentAnalyzer {
+    let analyzer = Trainer::new(config())
+        .train_enhanced(eia(), &training())
+        .expect("training succeeds");
+    ConcurrentAnalyzer::new(analyzer, ConcurrentConfig::default())
+}
+
+/// Datagram-sized batches, 1 flow in 4 spoofed (suspect-path heavy).
+fn batches(seed: u64) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..BATCHES)
+        .map(|_| {
+            let records = (0..RECORDS_PER_BATCH)
+                .map(|i| {
+                    let spoofed = i % 4 == 0;
+                    let base = if spoofed { 0x0320_0000u32 } else { 0x0300_0000 };
+                    FlowRecord {
+                        src_addr: (base + rng.gen_range(0..0x0020_0000u32)).into(),
+                        dst_addr: std::net::Ipv4Addr::from(0x6001_0000 + rng.gen_range(0..256u32)),
+                        dst_port: if rng.gen_bool(0.7) { 80 } else { 53 },
+                        protocol: if rng.gen_bool(0.7) { 6 } else { 17 },
+                        packets: rng.gen_range(4..12),
+                        octets: rng.gen_range(2_000..3_000),
+                        first_ms: 0,
+                        last_ms: 600,
+                        input_if: 1,
+                        ..FlowRecord::default()
+                    }
+                })
+                .collect();
+            Batch {
+                ingress: PeerId(1),
+                records,
+            }
+        })
+        .collect()
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let work = batches(0x1f11);
+    let total_flows = (BATCHES * RECORDS_PER_BATCH) as u64;
+    let mut group = c.benchmark_group("ingest_ladder");
+    group.throughput(Throughput::Elements(total_flows));
+    group.sample_size(10);
+
+    for effort in Effort::ALL {
+        let engine = engine();
+        group.bench_with_input(
+            BenchmarkId::new("effort", effort.as_label()),
+            &effort,
+            |b, &effort| {
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|_| {
+                            let start = Instant::now();
+                            for batch in &work {
+                                black_box(engine.process_batch_with_effort(
+                                    batch.ingress,
+                                    &batch.records,
+                                    effort,
+                                ));
+                            }
+                            start.elapsed()
+                        })
+                        .sum()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_intake_ring(c: &mut Criterion) {
+    let work = batches(0x2f22);
+    let total_flows = (BATCHES * RECORDS_PER_BATCH) as u64;
+    let mut group = c.benchmark_group("ingest_ring");
+    group.throughput(Throughput::Elements(total_flows));
+    group.sample_size(10);
+
+    let intake = Arc::new(Intake::new(
+        4,
+        BATCHES + 1,
+        Arc::new(IngestMetrics::default()),
+    ));
+    group.bench_function("push_pop", |b| {
+        b.iter_custom(|iters| {
+            let mut out = Vec::with_capacity(BATCHES);
+            (0..iters)
+                .map(|_| {
+                    let start = Instant::now();
+                    for batch in &work {
+                        intake.push_batch(batch.clone());
+                    }
+                    out.clear();
+                    intake.pop_round(BATCHES, &mut out);
+                    black_box(out.len());
+                    start.elapsed()
+                })
+                .sum()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder, bench_intake_ring);
+criterion_main!(benches);

@@ -40,11 +40,13 @@ fn bench_primitives(c: &mut Criterion) {
 fn engine(telemetry: TelemetryConfig) -> ConcurrentAnalyzer {
     let mut eia = EiaRegistry::new(3);
     eia.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
-    let analyzer = Trainer::new(AnalyzerConfig {
-        mode: Mode::Basic,
-        telemetry,
-        ..AnalyzerConfig::default()
-    })
+    let analyzer = Trainer::new(
+        AnalyzerConfig::builder()
+            .mode(Mode::Basic)
+            .telemetry(telemetry)
+            .build()
+            .expect("valid config"),
+    )
     .train_basic(eia);
     ConcurrentAnalyzer::new(analyzer, ConcurrentConfig::default())
 }

@@ -1,10 +1,10 @@
 //! Concurrent flow processing: the sharded, lock-free fast path.
 //!
 //! The paper's Figure 9 deployment feeds one analysis module from several
-//! Flow-tools instances at once. The original [`SharedAnalyzer`] serialised
-//! them behind one global mutex, so adding collector threads added
-//! contention instead of throughput. [`ConcurrentAnalyzer`] restructures
-//! the engine around what the workload actually is — read-mostly:
+//! Flow-tools instances at once. An earlier design serialised them behind
+//! one global mutex, so adding collector threads added contention instead
+//! of throughput. [`ConcurrentAnalyzer`] restructures the engine around
+//! what the workload actually is — read-mostly:
 //!
 //! * **EIA check (every flow)** runs against an immutable [`EiaSnapshot`]
 //!   published through a [`SnapshotCell`] and cached per thread, so the
@@ -34,8 +34,8 @@ use crate::observe::{PipelineTelemetry, SuspectObservation};
 use crate::pipeline::{nns_stage, saturating_nanos, scan_stage, SuspectOutcome};
 use crate::snapshot::{CachedSnapshot, SnapshotCell};
 use crate::{
-    Analyzer, AnalyzerMetrics, AttackStage, ClusterModel, EiaRegistry, EiaVerdict, FlowDecision,
-    IdmefAlert, Mode, PeerId, ScanAnalyzer, Verdict,
+    Analyzer, AnalyzerMetrics, AttackStage, ClusterModel, Effort, EiaRegistry, EiaVerdict,
+    FlowDecision, IdmefAlert, Mode, PeerId, ScanAnalyzer, Verdict,
 };
 
 /// Tuning for [`ConcurrentAnalyzer`].
@@ -115,8 +115,10 @@ thread_local! {
 ///
 /// let mut eia = EiaRegistry::new(3);
 /// eia.preload(PeerId(1), "3.0.0.0/11".parse().unwrap());
-/// let analyzer = Trainer::new(AnalyzerConfig { mode: Mode::Basic, ..AnalyzerConfig::default() })
-///     .train_basic(eia);
+/// let analyzer = Trainer::new(
+///     AnalyzerConfig::builder().mode(Mode::Basic).build().unwrap(),
+/// )
+/// .train_basic(eia);
 /// let engine = ConcurrentAnalyzer::new(analyzer, ConcurrentConfig::default());
 ///
 /// std::thread::scope(|s| {
@@ -229,6 +231,18 @@ impl ConcurrentAnalyzer {
     /// Processes one flow observed at `ingress` (Figure 12), callable from
     /// any number of threads simultaneously.
     pub fn process(&self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+        self.process_with_effort(ingress, flow, Effort::Full)
+    }
+
+    /// [`ConcurrentAnalyzer::process`] at an explicit degradation rung (see
+    /// [`Effort`]): the ingest daemon's load-shedding ladder calls this with
+    /// the rung its queue watermarks selected.
+    pub fn process_with_effort(
+        &self,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        effort: Effort,
+    ) -> Verdict {
         let n = self.metrics.flows.fetch_add(1, Ordering::Relaxed);
         let sample = self.ccfg.latency_sample_every;
         let started = if sample != 0 && n.is_multiple_of(sample) {
@@ -267,15 +281,15 @@ impl ConcurrentAnalyzer {
         // semantics (1-in-N) are unchanged.
         let suspect_started =
             started.or_else(|| self.telemetry.enabled().then(std::time::Instant::now));
-        let (verdict, observed) = match self.cfg.mode {
-            Mode::Basic => {
+        let (verdict, observed) = match (self.cfg.mode, effort) {
+            (Mode::Basic, _) | (Mode::Enhanced, Effort::BiOnly) => {
                 ConcurrentMetrics::bump(&self.metrics.eia_attacks);
                 (
                     Verdict::Attack(AttackStage::EiaMismatch { expected }),
                     SuspectObservation::default(),
                 )
             }
-            Mode::Enhanced => self.enhanced_analysis(ingress, flow),
+            (Mode::Enhanced, effort) => self.enhanced_analysis(ingress, flow, effort),
         };
         if let Verdict::Attack(stage) = verdict {
             self.emit_alert(flow, ingress, stage);
@@ -301,13 +315,28 @@ impl ConcurrentAnalyzer {
     /// Processes a batch of flows from one ingress — the natural unit a
     /// NetFlow export packet yields — amortising the snapshot lookup.
     pub fn process_batch(&self, ingress: PeerId, flows: &[FlowRecord]) -> Vec<Verdict> {
-        flows.iter().map(|f| self.process(ingress, f)).collect()
+        self.process_batch_with_effort(ingress, flows, Effort::Full)
+    }
+
+    /// [`ConcurrentAnalyzer::process_batch`] at an explicit degradation
+    /// rung.
+    pub fn process_batch_with_effort(
+        &self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+    ) -> Vec<Verdict> {
+        flows
+            .iter()
+            .map(|f| self.process_with_effort(ingress, f, effort))
+            .collect()
     }
 
     fn enhanced_analysis(
         &self,
         ingress: PeerId,
         flow: &FlowRecord,
+        effort: Effort,
     ) -> (Verdict, SuspectObservation) {
         // Stage 2: Scan Analysis under this suspect's shard lock only.
         let (scan_hit, mut observed) = {
@@ -317,6 +346,13 @@ impl ConcurrentAnalyzer {
         if let Some(stage) = scan_hit {
             ConcurrentMetrics::bump(&self.metrics.scan_attacks);
             return (Verdict::Attack(stage), observed);
+        }
+        if effort == Effort::SkipNns {
+            // Degraded: clear the scan-pass suspect without the NNS search
+            // and without an adoption sighting (see the single-threaded
+            // analyzer for the rationale).
+            ConcurrentMetrics::bump(&self.metrics.forgiven);
+            return (Verdict::Forgiven, observed);
         }
 
         // Stage 3: NNS search — read-only, outside every lock, with the
@@ -403,6 +439,21 @@ impl ConcurrentAnalyzer {
         }
     }
 
+    /// Replaces the write-side EIA registry wholesale and republishes its
+    /// snapshot — the hot-reload path. Adoption knobs from the analyzer
+    /// config are reapplied so a freshly parsed registry behaves like the
+    /// one it replaces. Returns the preloaded prefix count now live.
+    pub fn reload_eia(&self, mut eia: crate::EiaRegistry) -> usize {
+        eia.set_adoption_threshold(self.cfg.adoption_threshold);
+        eia.set_adoption_prefix_len(self.cfg.adoption_prefix_len);
+        let mut ws = self.write_side.lock();
+        ws.registry = eia;
+        ws.dirty = 0;
+        self.eia.publish(ws.registry.snapshot());
+        self.telemetry.record_republish();
+        ws.registry.prefix_count()
+    }
+
     fn emit_alert(&self, flow: &FlowRecord, ingress: PeerId, stage: AttackStage) {
         let id = self.alert_seq.fetch_add(1, Ordering::Relaxed);
         let alert = IdmefAlert::new(id, flow, ingress, stage);
@@ -422,54 +473,6 @@ impl ConcurrentAnalyzer {
     }
 }
 
-/// A cloneable, thread-safe handle serialising one [`Analyzer`] behind a
-/// global mutex — the design [`ConcurrentAnalyzer`] replaces, kept as the
-/// baseline the `concurrent` benchmark measures speedup against.
-#[deprecated(
-    since = "0.2.0",
-    note = "serialises all threads behind one mutex; use ConcurrentAnalyzer"
-)]
-#[derive(Debug, Clone)]
-pub struct SharedAnalyzer {
-    inner: Arc<Mutex<Analyzer>>,
-}
-
-#[allow(deprecated)]
-impl SharedAnalyzer {
-    /// Wraps a trained analyzer.
-    pub fn new(analyzer: Analyzer) -> SharedAnalyzer {
-        SharedAnalyzer {
-            inner: Arc::new(Mutex::new(analyzer)),
-        }
-    }
-
-    /// Processes one flow (serialised across threads).
-    pub fn process(&self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
-        self.inner.lock().process(ingress, flow)
-    }
-
-    /// Snapshot of the counters.
-    pub fn metrics(&self) -> AnalyzerMetrics {
-        self.inner.lock().metrics().clone()
-    }
-
-    /// Drains pending IDMEF alerts.
-    pub fn drain_alerts(&self) -> Vec<IdmefAlert> {
-        self.inner.lock().drain_alerts()
-    }
-
-    /// Recovers the analyzer if this is the last handle.
-    ///
-    /// # Errors
-    ///
-    /// Returns `Err(self)` when other handles are still alive.
-    pub fn try_into_inner(self) -> Result<Analyzer, SharedAnalyzer> {
-        Arc::try_unwrap(self.inner)
-            .map(Mutex::into_inner)
-            .map_err(|inner| SharedAnalyzer { inner })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +487,38 @@ mod tests {
             ..AnalyzerConfig::default()
         })
         .train_basic(eia)
+    }
+
+    fn ei_analyzer() -> Analyzer {
+        let mut eia = EiaRegistry::new(3);
+        eia.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+        eia.preload(PeerId(2), "3.32.0.0/11".parse().expect("static prefix"));
+        let normal: Vec<FlowRecord> = (0..80)
+            .map(|i| FlowRecord {
+                src_addr: "3.0.0.1".parse().unwrap(),
+                dst_addr: "96.1.0.20".parse().unwrap(),
+                dst_port: 80,
+                protocol: 6,
+                packets: 10 + (i % 6),
+                octets: 5000 + 200 * (i % 10),
+                first_ms: 0,
+                last_ms: 800 + 40 * (i % 7),
+                ..FlowRecord::default()
+            })
+            .collect();
+        Trainer::new(AnalyzerConfig {
+            mode: Mode::Enhanced,
+            nns: infilter_nns::NnsParams {
+                d: 0,
+                m1: 2,
+                m2: 8,
+                m3: 2,
+            },
+            bits_per_feature: 12,
+            ..AnalyzerConfig::default()
+        })
+        .train_enhanced(eia, &normal)
+        .expect("training succeeds")
     }
 
     #[test]
@@ -642,61 +677,43 @@ mod tests {
         assert_eq!(engine.eia_snapshot().adopted_count(), 1);
     }
 
-    #[allow(deprecated)]
-    mod shared {
-        use super::*;
+    #[test]
+    fn reload_eia_republishes_immediately() {
+        let engine = ConcurrentAnalyzer::new(bi_analyzer(), ConcurrentConfig::default());
+        let spoofed = FlowRecord {
+            src_addr: "9.0.0.1".parse().unwrap(),
+            ..FlowRecord::default()
+        };
+        assert!(engine.process(PeerId(1), &spoofed).is_attack());
+        let mut fresh = EiaRegistry::new(3);
+        fresh.preload(PeerId(1), "9.0.0.0/11".parse().expect("static prefix"));
+        assert_eq!(engine.reload_eia(fresh), 1);
+        // Readers see the new table without flush_adoptions.
+        assert!(!engine.process(PeerId(1), &spoofed).is_attack());
+    }
 
-        fn shared() -> SharedAnalyzer {
-            SharedAnalyzer::new(bi_analyzer())
-        }
-
-        #[test]
-        fn concurrent_processing_accounts_every_flow() {
-            let s = shared();
-            let threads: Vec<_> = (0..8)
-                .map(|t| {
-                    let s = s.clone();
-                    std::thread::spawn(move || {
-                        let mut attacks = 0;
-                        for i in 0..100u32 {
-                            // Half legal, half spoofed.
-                            let src = if i % 2 == 0 {
-                                std::net::Ipv4Addr::from(0x0300_0000 + i)
-                            } else {
-                                std::net::Ipv4Addr::from(0x0320_0000 + i)
-                            };
-                            let flow = FlowRecord {
-                                src_addr: src,
-                                dst_port: (t * 100 + i) as u16,
-                                ..FlowRecord::default()
-                            };
-                            if s.process(PeerId(1), &flow).is_attack() {
-                                attacks += 1;
-                            }
-                        }
-                        attacks
-                    })
-                })
-                .collect();
-            let total_attacks: u32 = threads
-                .into_iter()
-                .map(|h| h.join().expect("no panic"))
-                .sum();
-            let m = s.metrics();
-            assert_eq!(m.flows, 800);
-            assert_eq!(m.eia_match, 400);
-            assert_eq!(total_attacks, 400);
-            assert_eq!(s.drain_alerts().len(), 400);
-            assert!(s.drain_alerts().is_empty());
-        }
-
-        #[test]
-        fn try_into_inner_respects_outstanding_handles() {
-            let s = shared();
-            let s2 = s.clone();
-            let s = s.try_into_inner().expect_err("clone still alive");
-            drop(s2);
-            assert!(s.try_into_inner().is_ok());
-        }
+    #[test]
+    fn degraded_efforts_shed_stages_concurrently() {
+        let engine = ConcurrentAnalyzer::new(ei_analyzer(), ConcurrentConfig::default());
+        let spoofed = FlowRecord {
+            src_addr: "77.0.0.1".parse().unwrap(),
+            dst_port: 7,
+            ..FlowRecord::default()
+        };
+        // SkipNns: scan-pass suspects are forgiven without an NNS search
+        // or an adoption sighting.
+        assert_eq!(
+            engine.process_with_effort(PeerId(1), &spoofed, Effort::SkipNns),
+            Verdict::Forgiven
+        );
+        assert_eq!(engine.metrics().forgiven, 1);
+        assert_eq!(engine.eia_snapshot().adopted_count(), 0);
+        // BiOnly: suspects are flagged straight off the EIA mismatch.
+        assert!(engine
+            .process_with_effort(PeerId(1), &spoofed, Effort::BiOnly)
+            .is_attack());
+        let m = engine.metrics();
+        assert_eq!(m.eia_attacks, 1);
+        assert_eq!(m.eia_suspect, m.attacks() + m.forgiven);
     }
 }

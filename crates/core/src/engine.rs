@@ -1,0 +1,192 @@
+//! The unified engine surface: one trait both analyzers implement.
+//!
+//! The repo grew three front-ends — [`Analyzer`], [`ConcurrentAnalyzer`],
+//! and a deprecated mutex wrapper — each with a slightly different
+//! signature set, so every consumer (the `infilterd` daemon, `exp-observe`,
+//! benches, tests) had to pick one concretely. [`Engine`] is the common
+//! denominator: the full per-flow pipeline plus the operational surface a
+//! collector needs (metrics, telemetry, Prometheus text, alert draining,
+//! EIA hot-reload).
+//!
+//! The trait takes `&mut self` throughout. That is the *weaker* capability:
+//! [`ConcurrentAnalyzer`]'s inherent methods stay `&self` (share it across
+//! threads as before), but a generic consumer that owns its engine — the
+//! daemon's single worker thread, a test harness — can drive either
+//! implementation through one signature without caring which it holds.
+
+use std::sync::Arc;
+
+use infilter_netflow::FlowRecord;
+
+use crate::eia::EiaSnapshot;
+use crate::observe::PipelineTelemetry;
+use crate::{
+    Analyzer, AnalyzerConfig, AnalyzerMetrics, ConcurrentAnalyzer, Effort, EiaRegistry,
+    FlowDecision, IdmefAlert, PeerId, Verdict,
+};
+
+/// The full InFilter pipeline plus its operational surface, abstracted over
+/// the single-threaded and concurrent engines.
+///
+/// Provided methods cover the common conveniences (`process`,
+/// `process_batch`) so implementors only supply the effort-aware core.
+pub trait Engine {
+    /// Runs one flow through the pipeline at an explicit degradation rung.
+    fn process_with_effort(
+        &mut self,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        effort: Effort,
+    ) -> Verdict;
+
+    /// The analyzer configuration this engine was trained with.
+    fn config(&self) -> &AnalyzerConfig;
+
+    /// Snapshot of the pipeline counters.
+    fn metrics(&self) -> AnalyzerMetrics;
+
+    /// The latency/telemetry recorder.
+    fn telemetry(&self) -> &PipelineTelemetry;
+
+    /// Renders the full Prometheus text-format exposition page.
+    fn prometheus_text(&self) -> String;
+
+    /// The most recent flight-recorder decisions, newest first.
+    fn explain_last(&self, n: usize) -> Vec<FlowDecision>;
+
+    /// Drains pending IDMEF alerts in generation order.
+    fn drain_alerts(&mut self) -> Vec<IdmefAlert>;
+
+    /// The EIA table readers currently see.
+    fn eia_snapshot(&self) -> Arc<EiaSnapshot>;
+
+    /// Replaces the EIA registry wholesale (hot-reload), returning the
+    /// preloaded prefix count now live.
+    fn reload_eia(&mut self, eia: EiaRegistry) -> usize;
+
+    /// Publishes any adoptions still buffered below a publish batch.
+    /// A no-op for engines that publish eagerly.
+    fn flush_adoptions(&mut self) {}
+
+    /// Runs one flow at full effort.
+    fn process(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+        self.process_with_effort(ingress, flow, Effort::Full)
+    }
+
+    /// Runs a batch from one ingress at full effort.
+    fn process_batch(&mut self, ingress: PeerId, flows: &[FlowRecord]) -> Vec<Verdict> {
+        self.process_batch_with_effort(ingress, flows, Effort::Full)
+    }
+
+    /// Runs a batch from one ingress at an explicit degradation rung.
+    fn process_batch_with_effort(
+        &mut self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+    ) -> Vec<Verdict> {
+        flows
+            .iter()
+            .map(|f| self.process_with_effort(ingress, f, effort))
+            .collect()
+    }
+}
+
+impl Engine for Analyzer {
+    fn process_with_effort(
+        &mut self,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        effort: Effort,
+    ) -> Verdict {
+        Analyzer::process_with_effort(self, ingress, flow, effort)
+    }
+
+    fn config(&self) -> &AnalyzerConfig {
+        Analyzer::config(self)
+    }
+
+    fn metrics(&self) -> AnalyzerMetrics {
+        Analyzer::metrics(self).clone()
+    }
+
+    fn telemetry(&self) -> &PipelineTelemetry {
+        Analyzer::telemetry(self)
+    }
+
+    fn prometheus_text(&self) -> String {
+        Analyzer::prometheus_text(self)
+    }
+
+    fn explain_last(&self, n: usize) -> Vec<FlowDecision> {
+        Analyzer::explain_last(self, n)
+    }
+
+    fn drain_alerts(&mut self) -> Vec<IdmefAlert> {
+        Analyzer::drain_alerts(self)
+    }
+
+    fn eia_snapshot(&self) -> Arc<EiaSnapshot> {
+        Arc::new(self.eia().snapshot())
+    }
+
+    fn reload_eia(&mut self, eia: EiaRegistry) -> usize {
+        Analyzer::reload_eia(self, eia)
+    }
+}
+
+impl Engine for ConcurrentAnalyzer {
+    fn process_with_effort(
+        &mut self,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        effort: Effort,
+    ) -> Verdict {
+        ConcurrentAnalyzer::process_with_effort(self, ingress, flow, effort)
+    }
+
+    fn config(&self) -> &AnalyzerConfig {
+        ConcurrentAnalyzer::config(self)
+    }
+
+    fn metrics(&self) -> AnalyzerMetrics {
+        ConcurrentAnalyzer::metrics(self)
+    }
+
+    fn telemetry(&self) -> &PipelineTelemetry {
+        ConcurrentAnalyzer::telemetry(self)
+    }
+
+    fn prometheus_text(&self) -> String {
+        ConcurrentAnalyzer::prometheus_text(self)
+    }
+
+    fn explain_last(&self, n: usize) -> Vec<FlowDecision> {
+        ConcurrentAnalyzer::explain_last(self, n)
+    }
+
+    fn drain_alerts(&mut self) -> Vec<IdmefAlert> {
+        ConcurrentAnalyzer::drain_alerts(self)
+    }
+
+    fn eia_snapshot(&self) -> Arc<EiaSnapshot> {
+        ConcurrentAnalyzer::eia_snapshot(self)
+    }
+
+    fn reload_eia(&mut self, eia: EiaRegistry) -> usize {
+        ConcurrentAnalyzer::reload_eia(self, eia)
+    }
+
+    fn flush_adoptions(&mut self) {
+        ConcurrentAnalyzer::flush_adoptions(self)
+    }
+
+    fn process_batch_with_effort(
+        &mut self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+    ) -> Vec<Verdict> {
+        ConcurrentAnalyzer::process_batch_with_effort(self, ingress, flows, effort)
+    }
+}

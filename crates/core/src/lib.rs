@@ -32,7 +32,7 @@
 //! eia.preload(PeerId(2), "4.64.0.0/11".parse()?);
 //!
 //! // Basic InFilter: no training needed.
-//! let mut analyzer = Trainer::new(AnalyzerConfig { mode: Mode::Basic, ..AnalyzerConfig::default() })
+//! let mut analyzer = Trainer::new(AnalyzerConfig::builder().mode(Mode::Basic).build()?)
 //!     .train_basic(eia);
 //!
 //! let legal = FlowRecord { src_addr: "3.0.0.9".parse()?, ..FlowRecord::default() };
@@ -51,6 +51,7 @@ mod alert;
 mod cluster;
 mod concurrent;
 mod eia;
+mod engine;
 mod metrics;
 mod observe;
 mod pipeline;
@@ -60,15 +61,17 @@ mod traceback;
 
 pub use alert::{IdmefAlert, ParseAlertError};
 pub use cluster::{ClusterModel, SubclusterModel, ThresholdPolicy, TrainError};
-#[allow(deprecated)]
-pub use concurrent::SharedAnalyzer;
 pub use concurrent::{ConcurrentAnalyzer, ConcurrentConfig};
 pub use eia::{EiaRegistry, EiaSnapshot, EiaVerdict, PeerId};
+pub use engine::Engine;
 pub use metrics::{AnalyzerMetrics, AtomicStageLatency, ConcurrentMetrics, StageLatency};
 pub use observe::{
     FlowDecision, PeerCounters, PipelineTelemetry, TelemetryConfig, METRIC_FAMILIES,
 };
-pub use pipeline::{Analyzer, AnalyzerConfig, AttackStage, Mode, Trainer, Verdict};
+pub use pipeline::{
+    Analyzer, AnalyzerConfig, AnalyzerConfigBuilder, AttackStage, ConfigError, Effort, Mode,
+    Trainer, Verdict,
+};
 pub use scan::{ScanAnalyzer, ScanConfig, ScanVerdict};
 pub use snapshot::{CachedSnapshot, SnapshotCell};
 pub use traceback::{IngressActivity, TracebackReport};

@@ -69,6 +69,61 @@ pub enum Verdict {
     Forgiven,
 }
 
+/// How much of the Enhanced pipeline to run for one flow — the rung of the
+/// load-shedding *graceful-degradation ladder* the ingest daemon climbs
+/// under overload. Levels are ordered by decreasing cost (and decreasing
+/// detection fidelity), so `Effort::Full < Effort::SkipNns <
+/// Effort::BiOnly` compares by severity of degradation.
+///
+/// The effort only matters for [`Mode::Enhanced`] engines: a
+/// [`Mode::Basic`] engine already runs the cheapest pipeline at every
+/// level.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Effort {
+    /// Full Enhanced InFilter: EIA check → Scan Analysis → NNS search.
+    #[default]
+    Full,
+    /// Shed the NNS stage: EIA check → Scan Analysis only. Scan-pass
+    /// suspects are cleared as [`Verdict::Forgiven`] but do **not** count
+    /// toward dynamic EIA adoption — no stage vouched for their normality.
+    SkipNns,
+    /// Basic InFilter only: every EIA-suspect flow is flagged directly,
+    /// exactly as [`Mode::Basic`] would.
+    BiOnly,
+}
+
+impl Effort {
+    /// Stable lowercase label for metrics and config files.
+    pub fn as_label(&self) -> &'static str {
+        match self {
+            Effort::Full => "full",
+            Effort::SkipNns => "skip_nns",
+            Effort::BiOnly => "bi_only",
+        }
+    }
+
+    /// The next-cheaper rung (saturating at [`Effort::BiOnly`]).
+    pub fn degrade(self) -> Effort {
+        match self {
+            Effort::Full => Effort::SkipNns,
+            Effort::SkipNns | Effort::BiOnly => Effort::BiOnly,
+        }
+    }
+
+    /// The next-richer rung (saturating at [`Effort::Full`]).
+    pub fn recover(self) -> Effort {
+        match self {
+            Effort::BiOnly => Effort::SkipNns,
+            Effort::SkipNns | Effort::Full => Effort::Full,
+        }
+    }
+
+    /// All rungs, cheapest-degradation first.
+    pub const ALL: [Effort; 3] = [Effort::Full, Effort::SkipNns, Effort::BiOnly];
+}
+
 impl Verdict {
     /// Whether the flow was declared legal (EIA match).
     pub fn is_legal(&self) -> bool {
@@ -87,7 +142,13 @@ impl Verdict {
 }
 
 /// Analyzer configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with
+/// [`AnalyzerConfig::builder`] (which range-checks every knob) or start
+/// from [`AnalyzerConfig::default`] and mutate fields — future fields then
+/// arrive without breaking downstream crates.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct AnalyzerConfig {
     /// BI or EI.
     pub mode: Mode,
@@ -132,6 +193,205 @@ impl Default for AnalyzerConfig {
             latency_sample_every: 1,
             telemetry: TelemetryConfig::default(),
         }
+    }
+}
+
+impl AnalyzerConfig {
+    /// Starts a validating builder from the paper-shaped defaults.
+    pub fn builder() -> AnalyzerConfigBuilder {
+        AnalyzerConfigBuilder::default()
+    }
+}
+
+/// A configuration knob rejected by [`AnalyzerConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: &'static str,
+    why: String,
+}
+
+impl ConfigError {
+    fn new(field: &'static str, why: impl Into<String>) -> ConfigError {
+        ConfigError {
+            field,
+            why: why.into(),
+        }
+    }
+
+    /// The rejected field's name, as written at the builder.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: {}", self.field, self.why)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`AnalyzerConfig`].
+///
+/// Every setter is infallible; [`AnalyzerConfigBuilder::build`] performs
+/// the cross-field range checks and reports the first violation.
+///
+/// ```
+/// use infilter_core::{AnalyzerConfig, Mode};
+///
+/// let cfg = AnalyzerConfig::builder()
+///     .mode(Mode::Basic)
+///     .adoption_threshold(3)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.mode, Mode::Basic);
+///
+/// assert!(AnalyzerConfig::builder().bits_per_feature(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzerConfigBuilder {
+    cfg: AnalyzerConfig,
+}
+
+impl AnalyzerConfigBuilder {
+    /// BI or EI.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Scan Analysis parameters.
+    pub fn scan(mut self, scan: ScanConfig) -> Self {
+        self.cfg.scan = scan;
+        self
+    }
+
+    /// NNS structure parameters.
+    pub fn nns(mut self, nns: NnsParams) -> Self {
+        self.cfg.nns = nns;
+        self
+    }
+
+    /// Bits per flow characteristic (`d = 5 ×` this).
+    pub fn bits_per_feature(mut self, bits: usize) -> Self {
+        self.cfg.bits_per_feature = bits;
+        self
+    }
+
+    /// Per-subcluster threshold policy.
+    pub fn thresholds(mut self, thresholds: ThresholdPolicy) -> Self {
+        self.cfg.thresholds = thresholds;
+        self
+    }
+
+    /// Sightings before a cleared suspect source is adopted (0 disables
+    /// adoption).
+    pub fn adoption_threshold(mut self, sightings: u32) -> Self {
+        self.cfg.adoption_threshold = sightings;
+        self
+    }
+
+    /// Prefix length adopted sources are generalised to (32 = host).
+    pub fn adoption_prefix_len(mut self, len: u8) -> Self {
+        self.cfg.adoption_prefix_len = len;
+        self
+    }
+
+    /// RNG seed for NNS structure construction.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Record per-flow latency on every N-th flow (0 disables).
+    pub fn latency_sample_every(mut self, every: u64) -> Self {
+        self.cfg.latency_sample_every = every;
+        self
+    }
+
+    /// Observability knobs.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Range-checks every knob and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] encountered; the checks cover the
+    /// NNS shape (`M1`/`M2`/`M3`, bits per feature), the scan buffer and
+    /// thresholds, and the adoption parameters.
+    pub fn build(self) -> Result<AnalyzerConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.bits_per_feature == 0 || c.bits_per_feature > 4096 {
+            return Err(ConfigError::new(
+                "bits_per_feature",
+                format!("{} outside 1..=4096", c.bits_per_feature),
+            ));
+        }
+        if c.nns.m1 == 0 || c.nns.m1 > 64 {
+            return Err(ConfigError::new(
+                "nns.m1",
+                format!("{} outside 1..=64 tables per substructure", c.nns.m1),
+            ));
+        }
+        if c.nns.m2 == 0 || c.nns.m2 > 24 {
+            return Err(ConfigError::new(
+                "nns.m2",
+                format!("{} outside 1..=24 (table size is 2^m2)", c.nns.m2),
+            ));
+        }
+        if c.nns.m3 == 0 || c.nns.m3 > c.nns.m2 {
+            return Err(ConfigError::new(
+                "nns.m3",
+                format!("{} outside 1..=m2 ({})", c.nns.m3, c.nns.m2),
+            ));
+        }
+        if c.nns.d != 0 && c.nns.d < c.nns.m2 {
+            return Err(ConfigError::new(
+                "nns.d",
+                format!("{} test-vector bits cannot fill m2 = {}", c.nns.d, c.nns.m2),
+            ));
+        }
+        if c.scan.buffer_size == 0 {
+            return Err(ConfigError::new(
+                "scan.buffer_size",
+                "must hold at least one flow",
+            ));
+        }
+        if c.scan.network_scan_threshold < 2 {
+            return Err(ConfigError::new(
+                "scan.network_scan_threshold",
+                "a single destination is not a scan; need >= 2",
+            ));
+        }
+        if c.scan.host_scan_threshold < 2 {
+            return Err(ConfigError::new(
+                "scan.host_scan_threshold",
+                "a single port is not a scan; need >= 2",
+            ));
+        }
+        if c.scan.max_packets_per_probe == 0 {
+            return Err(ConfigError::new(
+                "scan.max_packets_per_probe",
+                "zero would exempt every flow from scan counting",
+            ));
+        }
+        if c.adoption_prefix_len < 8 || c.adoption_prefix_len > 32 {
+            return Err(ConfigError::new(
+                "adoption_prefix_len",
+                format!("{} outside 8..=32", c.adoption_prefix_len),
+            ));
+        }
+        if c.telemetry.enabled && c.telemetry.recorder_capacity == 0 {
+            return Err(ConfigError::new(
+                "telemetry.recorder_capacity",
+                "enabled telemetry needs at least one flight-recorder slot",
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -276,9 +536,35 @@ impl Analyzer {
         &self.eia
     }
 
+    /// Replaces the EIA registry wholesale — the config hot-reload path.
+    /// The new registry takes over this analyzer's adoption policy;
+    /// dynamic adoptions accumulated in the old registry are discarded
+    /// (the reloaded config is the source of truth). Returns the number
+    /// of preloaded prefixes now in force.
+    pub fn reload_eia(&mut self, mut eia: EiaRegistry) -> usize {
+        eia.set_adoption_threshold(self.cfg.adoption_threshold);
+        eia.set_adoption_prefix_len(self.cfg.adoption_prefix_len);
+        self.eia = eia;
+        self.eia.prefix_count()
+    }
+
     /// Processes one flow observed at `ingress`, returning the verdict and
     /// recording metrics, (sampled) latency and alerts (Figure 12).
     pub fn process(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
+        self.process_with_effort(ingress, flow, Effort::Full)
+    }
+
+    /// [`Analyzer::process`] at an explicit degradation rung: at
+    /// [`Effort::SkipNns`] scan-pass suspects are cleared without the NNS
+    /// search (and without counting toward adoption); at
+    /// [`Effort::BiOnly`] every suspect is flagged directly, as Basic
+    /// InFilter would.
+    pub fn process_with_effort(
+        &mut self,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        effort: Effort,
+    ) -> Verdict {
         let n = self.metrics.flows;
         let sample = self.cfg.latency_sample_every;
         let started = if sample != 0 && n.is_multiple_of(sample) {
@@ -315,16 +601,17 @@ impl Analyzer {
         // tail; `metrics.suspect_path` keeps its sampled semantics).
         let suspect_started = started.or_else(|| self.telemetry.enabled().then(Instant::now));
 
-        let (verdict, observed) = match self.cfg.mode {
-            Mode::Basic => {
-                // BI flags every suspect directly.
+        let (verdict, observed) = match (self.cfg.mode, effort) {
+            (Mode::Basic, _) | (Mode::Enhanced, Effort::BiOnly) => {
+                // BI (or the deepest degradation rung) flags every suspect
+                // directly.
                 self.metrics.eia_attacks += 1;
                 (
                     Verdict::Attack(AttackStage::EiaMismatch { expected }),
                     SuspectObservation::default(),
                 )
             }
-            Mode::Enhanced => self.enhanced_analysis(ingress, flow),
+            (Mode::Enhanced, effort) => self.enhanced_analysis(ingress, flow, effort),
         };
         if let Verdict::Attack(stage) = verdict {
             let alert = IdmefAlert::new(self.next_alert_id, flow, ingress, stage);
@@ -353,12 +640,21 @@ impl Analyzer {
         &mut self,
         ingress: PeerId,
         flow: &FlowRecord,
+        effort: Effort,
     ) -> (Verdict, SuspectObservation) {
         // Stage 2: Scan Analysis.
         let (scan_hit, mut observed) = scan_stage(&mut self.scan, flow);
         if let Some(stage) = scan_hit {
             self.metrics.scan_attacks += 1;
             return (Verdict::Attack(stage), observed);
+        }
+        if effort == Effort::SkipNns {
+            // Degraded: the NNS stage is shed, so the scan-pass suspect is
+            // cleared — but never recorded as a sighting, because nothing
+            // vouched for its normality (adoption must not erode the EIA
+            // sets under overload).
+            self.metrics.forgiven += 1;
+            return (Verdict::Forgiven, observed);
         }
 
         // Stage 3: NNS analysis against the relevant subcluster.
@@ -667,6 +963,61 @@ mod tests {
         assert_eq!(m.eia_suspect, m.attacks() + m.forgiven);
         assert_eq!(m.fast_path.count, 11);
         assert_eq!(m.suspect_path.count, 3);
+    }
+
+    #[test]
+    fn degraded_efforts_shed_stages() {
+        let mut a = trained_ei();
+        // SkipNns clears scan-pass suspects without consulting NNS and
+        // without counting toward adoption (threshold here is 3).
+        for i in 0..5 {
+            assert_eq!(
+                a.process_with_effort(PeerId(1), &http_flow("3.33.0.88", i), Effort::SkipNns),
+                Verdict::Forgiven
+            );
+        }
+        assert_eq!(a.metrics().adoptions, 0, "shed suspects must not adopt");
+        assert_eq!(a.metrics().forgiven, 5);
+        // BiOnly flags the same suspect directly, like Mode::Basic.
+        let v = a.process_with_effort(PeerId(1), &http_flow("3.33.0.88", 9), Effort::BiOnly);
+        assert_eq!(
+            v,
+            Verdict::Attack(AttackStage::EiaMismatch {
+                expected: Some(PeerId(2))
+            })
+        );
+        assert_eq!(a.metrics().eia_attacks, 1);
+        // The counter identity the telemetry layer asserts still holds.
+        let m = a.metrics();
+        assert_eq!(m.eia_suspect, m.attacks() + m.forgiven);
+    }
+
+    #[test]
+    fn effort_ladder_orders_and_steps() {
+        assert!(Effort::Full < Effort::SkipNns);
+        assert!(Effort::SkipNns < Effort::BiOnly);
+        assert_eq!(Effort::Full.degrade(), Effort::SkipNns);
+        assert_eq!(Effort::SkipNns.degrade(), Effort::BiOnly);
+        assert_eq!(Effort::BiOnly.degrade(), Effort::BiOnly);
+        assert_eq!(Effort::BiOnly.recover(), Effort::SkipNns);
+        assert_eq!(Effort::Full.recover(), Effort::Full);
+        assert_eq!(
+            Effort::ALL.map(|e| e.as_label()),
+            ["full", "skip_nns", "bi_only"]
+        );
+    }
+
+    #[test]
+    fn reload_eia_swaps_the_registry() {
+        let mut a = Trainer::new(small_cfg(Mode::Basic)).train_basic(eia());
+        // 9.0.0.9 is nobody's source today: attack.
+        assert!(a.process(PeerId(1), &http_flow("9.0.0.9", 0)).is_attack());
+        let mut fresh = EiaRegistry::new(3);
+        fresh.preload(PeerId(1), "9.0.0.0/11".parse::<Prefix>().unwrap());
+        assert_eq!(a.reload_eia(fresh), 1);
+        assert!(a.process(PeerId(1), &http_flow("9.0.0.9", 0)).is_legal());
+        // The old registry's prefixes are gone.
+        assert!(a.process(PeerId(1), &http_flow("3.0.0.9", 0)).is_attack());
     }
 
     #[test]

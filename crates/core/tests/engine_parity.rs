@@ -1,0 +1,216 @@
+//! The [`Engine`] parity suite: every test here is written once, generic
+//! over `E: Engine`, and run against both implementations — the
+//! single-threaded [`Analyzer`] and the sharded [`ConcurrentAnalyzer`].
+//! Anything the trait promises (verdicts, counters, alerts, effort
+//! degradation, EIA hot-reload, the exposition page) must hold
+//! identically for both, so callers like `infilterd` can swap engines
+//! freely.
+
+use infilter_core::{
+    Analyzer, AnalyzerConfig, AttackStage, ConcurrentAnalyzer, ConcurrentConfig, Effort,
+    EiaRegistry, Engine, Mode, PeerId, Trainer, Verdict, METRIC_FAMILIES,
+};
+use infilter_netflow::FlowRecord;
+use infilter_nns::NnsParams;
+
+fn eia() -> EiaRegistry {
+    let mut r = EiaRegistry::new(3);
+    r.preload(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"));
+    r.preload(PeerId(2), "3.32.0.0/11".parse().expect("static prefix"));
+    r
+}
+
+fn config(mode: Mode) -> AnalyzerConfig {
+    AnalyzerConfig::builder()
+        .mode(mode)
+        .nns(NnsParams {
+            d: 0,
+            m1: 2,
+            m2: 8,
+            m3: 2,
+        })
+        .bits_per_feature(12)
+        .build()
+        .expect("valid config")
+}
+
+fn training() -> Vec<FlowRecord> {
+    (0..80)
+        .map(|i| FlowRecord {
+            src_addr: "3.0.0.1".parse().unwrap(),
+            dst_addr: "96.1.0.20".parse().unwrap(),
+            dst_port: 80,
+            protocol: 6,
+            packets: 10 + (i % 6),
+            octets: 5000 + 200 * (i % 10),
+            first_ms: 0,
+            last_ms: 800 + 40 * (i % 7),
+            ..FlowRecord::default()
+        })
+        .collect()
+}
+
+/// Training is deterministic, so both engines are built from identically
+/// trained analyzers.
+fn analyzer(mode: Mode) -> Analyzer {
+    match mode {
+        Mode::Basic => Trainer::new(config(mode)).train_basic(eia()),
+        Mode::Enhanced => Trainer::new(config(mode))
+            .train_enhanced(eia(), &training())
+            .expect("training succeeds"),
+    }
+}
+
+fn concurrent(mode: Mode) -> ConcurrentAnalyzer {
+    ConcurrentAnalyzer::new(analyzer(mode), ConcurrentConfig::default())
+}
+
+fn legal_flow(i: u32) -> FlowRecord {
+    FlowRecord {
+        src_addr: (0x0300_0000u32 + i).into(),
+        dst_addr: "96.1.0.20".parse().unwrap(),
+        dst_port: 80,
+        protocol: 6,
+        packets: 12,
+        octets: 6000,
+        last_ms: 900,
+        ..FlowRecord::default()
+    }
+}
+
+/// Sourced from peer 2's block but arriving through peer 1: the paper's
+/// spoof signature.
+fn spoofed_flow(i: u32) -> FlowRecord {
+    FlowRecord {
+        src_addr: (0x0320_0000u32 + i).into(),
+        ..legal_flow(0)
+    }
+}
+
+/// The same mixed workload for every engine: legal traffic, spoofed
+/// traffic, and a batch. Returns the verdict sequence.
+fn run_workload<E: Engine>(engine: &mut E) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    for i in 0..20 {
+        verdicts.push(engine.process(PeerId(1), &legal_flow(i)));
+    }
+    for i in 0..10 {
+        verdicts.push(engine.process(PeerId(1), &spoofed_flow(i)));
+    }
+    let batch: Vec<FlowRecord> = (20..30).map(legal_flow).collect();
+    verdicts.extend(engine.process_batch(PeerId(1), &batch));
+    engine.flush_adoptions();
+    verdicts
+}
+
+fn assert_workload_parity(mode: Mode) {
+    let mut single = analyzer(mode);
+    let mut sharded = concurrent(mode);
+    let v_single = run_workload(&mut single);
+    let v_sharded = run_workload(&mut sharded);
+    assert_eq!(v_single, v_sharded, "verdict-for-verdict parity ({mode:?})");
+    let (m1, m2) = (single.metrics(), Engine::metrics(&sharded));
+    assert_eq!(m1.flows, m2.flows);
+    assert_eq!(m1.eia_match, m2.eia_match);
+    assert_eq!(m1.eia_suspect, m2.eia_suspect);
+    assert_eq!(m1.attacks(), m2.attacks());
+    assert_eq!(
+        single.drain_alerts().len(),
+        Engine::drain_alerts(&mut sharded).len(),
+        "both engines alert on the same flows"
+    );
+}
+
+#[test]
+fn basic_workload_parity() {
+    assert_workload_parity(Mode::Basic);
+}
+
+#[test]
+fn enhanced_workload_parity() {
+    assert_workload_parity(Mode::Enhanced);
+}
+
+/// The degradation ladder means the same thing on both engines: SkipNns
+/// forgives a scan-clean suspect without the NNS stage; BiOnly flags it
+/// immediately like Basic mode.
+fn assert_effort_semantics<E: Engine>(engine: &mut E) {
+    assert_eq!(
+        engine.process_with_effort(PeerId(1), &spoofed_flow(900), Effort::SkipNns),
+        Verdict::Forgiven,
+        "SkipNns must forgive a scan-clean suspect"
+    );
+    let bi_only = engine.process_with_effort(PeerId(1), &spoofed_flow(901), Effort::BiOnly);
+    assert!(
+        matches!(bi_only, Verdict::Attack(AttackStage::EiaMismatch { .. })),
+        "BiOnly must flag the EIA mismatch outright, got {bi_only:?}"
+    );
+    assert!(
+        engine
+            .process_with_effort(PeerId(1), &legal_flow(902), Effort::BiOnly)
+            .is_legal(),
+        "legal traffic passes at any effort"
+    );
+}
+
+#[test]
+fn effort_semantics_match() {
+    assert_effort_semantics(&mut analyzer(Mode::Enhanced));
+    assert_effort_semantics(&mut concurrent(Mode::Enhanced));
+}
+
+/// Hot-reloading the EIA registry takes effect on the very next flow on
+/// both engines: a previously spoofed-looking source becomes legal once
+/// the new table assigns its block to the ingress peer.
+fn assert_reload_applies<E: Engine>(engine: &mut E) {
+    let before = engine.eia_snapshot();
+    let mut wider = EiaRegistry::new(3);
+    wider.preload(PeerId(1), "3.0.0.0/11".parse().unwrap());
+    wider.preload(PeerId(1), "3.32.0.0/11".parse().unwrap());
+    wider.preload(PeerId(2), "3.64.0.0/11".parse().unwrap());
+    let prefixes = engine.reload_eia(wider);
+    assert_eq!(prefixes, 3, "reload reports the new table size");
+    assert!(
+        engine.process(PeerId(1), &spoofed_flow(7)).is_legal(),
+        "the reloaded table must apply to the next flow"
+    );
+    assert!(
+        !std::sync::Arc::ptr_eq(&before, &engine.eia_snapshot()),
+        "reload must republish the snapshot"
+    );
+}
+
+#[test]
+fn eia_reload_applies_immediately() {
+    assert_reload_applies(&mut analyzer(Mode::Enhanced));
+    assert_reload_applies(&mut concurrent(Mode::Enhanced));
+}
+
+/// The observability surface holds for both: the exposition page carries
+/// every advertised family and the flight recorder explains suspects.
+fn assert_observable<E: Engine>(engine: &mut E) {
+    run_workload(engine);
+    let page = engine.prometheus_text();
+    for family in METRIC_FAMILIES {
+        assert!(
+            page.contains(&format!("# TYPE {family} ")),
+            "exposition missing {family}"
+        );
+    }
+    let trail = engine.explain_last(8);
+    assert!(!trail.is_empty(), "flight recorder must hold decisions");
+    // The spoofed flows take the suspect path; normal-shaped ones are
+    // Forgiven rather than flagged, but either way the recorder holds them.
+    assert!(
+        trail.iter().any(|d| d.verdict != Verdict::Legal),
+        "the spoofed flows must appear in the trail"
+    );
+    assert!(engine.config().mode == Mode::Enhanced);
+    assert!(engine.telemetry().enabled());
+}
+
+#[test]
+fn observability_surface_matches() {
+    assert_observable(&mut analyzer(Mode::Enhanced));
+    assert_observable(&mut concurrent(Mode::Enhanced));
+}

@@ -33,17 +33,19 @@ fn training() -> Vec<FlowRecord> {
 }
 
 fn enhanced() -> Analyzer {
-    Trainer::new(AnalyzerConfig {
-        mode: Mode::Enhanced,
-        nns: NnsParams {
-            d: 0,
-            m1: 1,
-            m2: 6,
-            m3: 2,
-        },
-        bits_per_feature: 8,
-        ..AnalyzerConfig::default()
-    })
+    Trainer::new(
+        AnalyzerConfig::builder()
+            .mode(Mode::Enhanced)
+            .nns(NnsParams {
+                d: 0,
+                m1: 1,
+                m2: 6,
+                m3: 2,
+            })
+            .bits_per_feature(8)
+            .build()
+            .expect("valid config"),
+    )
     .train_enhanced(eia(), &training())
     .expect("training succeeds")
 }

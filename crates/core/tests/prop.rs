@@ -7,19 +7,19 @@ use infilter_nns::NnsParams;
 use proptest::prelude::*;
 
 fn tiny_config(mode: Mode) -> AnalyzerConfig {
-    AnalyzerConfig {
-        mode,
-        nns: NnsParams {
+    AnalyzerConfig::builder()
+        .mode(mode)
+        .nns(NnsParams {
             d: 0,
             m1: 1,
             m2: 6,
             m3: 2,
-        },
-        bits_per_feature: 8,
-        adoption_threshold: 2,
-        adoption_prefix_len: 24,
-        ..AnalyzerConfig::default()
-    }
+        })
+        .bits_per_feature(8)
+        .adoption_threshold(2)
+        .adoption_prefix_len(24)
+        .build()
+        .expect("valid config")
 }
 
 fn eia() -> EiaRegistry {

@@ -112,18 +112,20 @@ fn suspect_path_encode_and_search_allocate_nothing_after_warmup() {
         infilter_core::PeerId(2),
         "3.32.0.0/11".parse().expect("static prefix"),
     );
-    let mut analyzer = infilter_core::Trainer::new(infilter_core::AnalyzerConfig {
-        mode: infilter_core::Mode::Enhanced,
-        nns: NnsParams {
-            d: 0,
-            m1: 2,
-            m2: 8,
-            m3: 2,
-        },
-        bits_per_feature: 12,
-        adoption_threshold: 0,
-        ..infilter_core::AnalyzerConfig::default()
-    })
+    let mut analyzer = infilter_core::Trainer::new(
+        infilter_core::AnalyzerConfig::builder()
+            .mode(infilter_core::Mode::Enhanced)
+            .nns(NnsParams {
+                d: 0,
+                m1: 2,
+                m2: 8,
+                m3: 2,
+            })
+            .bits_per_feature(12)
+            .adoption_threshold(0)
+            .build()
+            .expect("valid config"),
+    )
     .train_enhanced(eia, &flows)
     .expect("training succeeds");
     assert!(analyzer.telemetry().enabled(), "telemetry must be on");

@@ -26,7 +26,9 @@
 pub mod alloc;
 mod mapper;
 mod replay;
+mod udp;
 
 pub use alloc::{eia_table, rotated_allocations, SourceAllocation};
 pub use mapper::AddressMapper;
 pub use replay::{Dagflow, DagflowConfig, ReplayStats};
+pub use udp::UdpReplayStats;

@@ -3,13 +3,17 @@
 //! telemetry layer saw — delta rates, the flight-recorder verdict trail,
 //! and the Prometheus exposition page.
 //!
-//! Usage: `exp-observe [seed] [flows_per_peer] [--smoke] [--serve ADDR:PORT]`
+//! Usage: `exp-observe [seed] [flows_per_peer] [--smoke] [--serve ADDR:PORT]
+//! [--replay-to ADDR:PORT]`
 //!
 //! * `--smoke` runs a small workload and exits non-zero if the exposition
 //!   misses any advertised metric family or the injected attack never
 //!   reached the flight recorder (the CI contract).
 //! * `--serve ADDR:PORT` runs the workload, then serves the exposition
 //!   over HTTP until interrupted (scrape it with a real Prometheus).
+//! * `--replay-to ADDR:PORT` skips the in-process engine and instead ships
+//!   the same workload over live UDP to a NetFlow v5 collector — point it
+//!   at a running `infilterd` to load-test the daemon.
 
 use infilter_core::Verdict;
 use infilter_experiments::observe::{self, ObserveConfig};
@@ -22,9 +26,16 @@ fn main() {
         .position(|a| a == "--serve")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let replay_to = args
+        .iter()
+        .position(|a| a == "--replay-to")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let positional: Vec<&String> = args[1..]
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(*a) != serve.as_ref())
+        .filter(|a| {
+            !a.starts_with("--") && Some(*a) != serve.as_ref() && Some(*a) != replay_to.as_ref()
+        })
         .collect();
     let seed = positional
         .first()
@@ -34,6 +45,25 @@ fn main() {
         .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(if smoke { 400 } else { 1500 });
+
+    if let Some(addr) = replay_to {
+        let cfg = ObserveConfig {
+            seed,
+            flows_per_peer,
+            ..ObserveConfig::default()
+        };
+        match observe::replay_workload_to(cfg, &*addr, std::time::Duration::from_micros(400)) {
+            Ok(stats) => println!(
+                "replayed {} flows in {} datagrams ({} bytes) to udp://{addr}",
+                stats.flows, stats.datagrams, stats.bytes
+            ),
+            Err(e) => {
+                eprintln!("replay to {addr} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let report = observe::run(ObserveConfig {
         seed,

@@ -10,7 +10,7 @@
 use infilter_core::{
     AnalyzerMetrics, ConcurrentAnalyzer, ConcurrentConfig, FlowDecision, PeerId, METRIC_FAMILIES,
 };
-use infilter_dagflow::{eia_table, AddressMapper, Dagflow, DagflowConfig};
+use infilter_dagflow::{eia_table, AddressMapper, Dagflow, DagflowConfig, UdpReplayStats};
 use infilter_net::SubBlock;
 use infilter_netflow::Datagram;
 use infilter_telemetry::{DeltaReporter, RateSample};
@@ -168,6 +168,64 @@ pub fn run(cfg: ObserveConfig) -> ObserveReport {
         datagrams: wire.len(),
         wire_flows: exported_flows,
     }
+}
+
+/// Ships the exact workload [`run`] replays in-process — two peers' normal
+/// traffic plus the spoofed Slammer burst and host scan through peer 1 —
+/// over live UDP to a NetFlow v5 collector instead, making `exp-observe`
+/// the load generator for a running `infilterd`.
+///
+/// # Errors
+///
+/// Propagates socket bind/send failures.
+pub fn replay_workload_to<A: std::net::ToSocketAddrs + Copy>(
+    cfg: ObserveConfig,
+    to: A,
+    pace: std::time::Duration,
+) -> std::io::Result<UdpReplayStats> {
+    let bed_cfg = TestbedConfig {
+        normal_flows_per_peer: cfg.flows_per_peer,
+        ..TestbedConfig::small(cfg.seed)
+    };
+    let eia = eia_table(bed_cfg.n_peers, bed_cfg.blocks_per_peer);
+    let mut total = UdpReplayStats::default();
+    let mut tally = |s: UdpReplayStats| {
+        total.datagrams += s.datagrams;
+        total.flows += s.flows;
+        total.bytes += s.bytes;
+    };
+    for (peer, blocks) in eia.iter().enumerate().take(2) {
+        let trace = NormalProfile::default().generate(
+            &mut StdRng::seed_from_u64(cfg.seed ^ (0xa0 + peer as u64)),
+            cfg.flows_per_peer,
+            bed_cfg.span_ms,
+        );
+        let mut dagflow = Dagflow::new(DagflowConfig {
+            sources: AddressMapper::from_sub_blocks(blocks.iter().copied()),
+            target_prefix: bed_cfg.target_prefix,
+            export_port: 9001 + peer as u16,
+            input_if: peer as u16 + 1,
+            src_as: peer as u16 + 1,
+        });
+        tally(dagflow.replay_to(&trace, 0, to, pace)?);
+    }
+    let foreign: Vec<SubBlock> = (bed_cfg.blocks_per_peer
+        ..bed_cfg.n_peers * bed_cfg.blocks_per_peer)
+        .map(|i| SubBlock::from_linear(i).expect("in range"))
+        .collect();
+    let mut attack = Dagflow::new(DagflowConfig {
+        sources: AddressMapper::from_sub_blocks(foreign),
+        target_prefix: bed_cfg.target_prefix,
+        export_port: 9001,
+        input_if: 1,
+        src_as: 1,
+    });
+    let slammer = AttackKind::Slammer.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0xbad), 1024);
+    tally(attack.replay_to(&slammer.trace, bed_cfg.span_ms as u32 / 2, to, pace)?);
+    let host_scan =
+        AttackKind::HostScan.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0x5ca7), 1024);
+    tally(attack.replay_to(&host_scan.trace, bed_cfg.span_ms as u32 / 3, to, pace)?);
+    Ok(total)
 }
 
 #[cfg(test)]

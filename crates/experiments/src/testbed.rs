@@ -326,17 +326,17 @@ impl Testbed {
                 eia.preload(PeerId(i as u16 + 1), b.prefix());
             }
         }
-        let analyzer_cfg = AnalyzerConfig {
-            mode: cfg.mode,
-            scan: cfg.scan,
-            nns: cfg.nns,
-            bits_per_feature: cfg.bits_per_feature,
-            thresholds: cfg.thresholds,
-            adoption_threshold: cfg.adoption_threshold,
-            adoption_prefix_len: cfg.adoption_prefix_len,
-            seed: cfg.seed ^ 0x7e57,
-            ..AnalyzerConfig::default()
-        };
+        let analyzer_cfg = AnalyzerConfig::builder()
+            .mode(cfg.mode)
+            .scan(cfg.scan)
+            .nns(cfg.nns)
+            .bits_per_feature(cfg.bits_per_feature)
+            .thresholds(cfg.thresholds)
+            .adoption_threshold(cfg.adoption_threshold)
+            .adoption_prefix_len(cfg.adoption_prefix_len)
+            .seed(cfg.seed ^ 0x7e57)
+            .build()
+            .expect("testbed config in range");
         let trainer = Trainer::new(analyzer_cfg);
         match cfg.mode {
             Mode::Basic => trainer.train_basic(eia),

@@ -1,0 +1,116 @@
+//! The `infilterd` binary: NetFlow v5 UDP collector around the InFilter
+//! engine.
+//!
+//! Usage:
+//!
+//! ```text
+//! infilterd --config infilterd.conf     # serve until POST /shutdown
+//! infilterd --smoke [seed]              # CI gate: loopback end-to-end run
+//! infilterd --print-config              # dump the built-in defaults
+//! ```
+
+use infilter_ingest::bootstrap::{run_until_shutdown, BootstrapConfig};
+use infilter_ingest::{smoke, DaemonConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    if args.iter().any(|a| a == "--print-config") {
+        print_default_config();
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        let seed = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        match smoke::run_smoke(seed) {
+            Ok(report) => {
+                println!(
+                    "SMOKE OK: {}/{} flows ingested, {} decode errors rejected, \
+                     {} attacks flagged, {} IDMEF alerts",
+                    report.received_flows,
+                    report.sent_flows,
+                    report.decode_errors,
+                    report.attacks,
+                    report.alerts
+                );
+            }
+            Err(why) => {
+                eprintln!("SMOKE FAIL: {why}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let cfg = match args.iter().position(|a| a == "--config") {
+        Some(i) => {
+            let Some(path) = args.get(i + 1) else {
+                eprintln!("--config needs a path");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match DaemonConfig::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            eprintln!("infilterd: no --config given; use --help");
+            std::process::exit(2);
+        }
+    };
+    if let Err(why) = run_until_shutdown(&cfg, &BootstrapConfig::default()) {
+        eprintln!("infilterd: {why}");
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    println!(
+        "infilterd — NetFlow v5 ingest daemon for the InFilter engine\n\n\
+         USAGE:\n  infilterd --config <path>    serve until POST /shutdown\n  \
+         infilterd --smoke [seed]     run the loopback end-to-end gate\n  \
+         infilterd --print-config     dump a commented default config\n\n\
+         The config file is `key = value` lines plus `peer <id> <prefix>`\n\
+         EIA entries; POST a fresh table to /reload to hot-swap the EIA\n\
+         registry without a restart."
+    );
+}
+
+fn print_default_config() {
+    let d = DaemonConfig::default();
+    println!(
+        "# infilterd defaults\nlisten = {}\nserve = {}\nlisteners = {}\nrings = {}\n\
+         ring_capacity = {}\nshards = {}\nmode = enhanced\nbatch_budget = {}\n\
+         alert_spool = {}\nskip_nns_above = {}\nbi_only_above = {}\nrecover_below = {}\n\
+         recover_after = {}\n# peer 1 3.0.0.0/11\n# peer 2 3.32.0.0/11",
+        d.listen,
+        d.serve,
+        d.listeners,
+        d.rings,
+        d.ring_capacity,
+        d.shards,
+        d.batch_budget,
+        d.alert_spool,
+        d.ladder.skip_nns_above,
+        d.ladder.bi_only_above,
+        d.ladder.recover_below,
+        d.ladder.recover_after,
+    );
+}

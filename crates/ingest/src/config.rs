@@ -1,0 +1,306 @@
+//! Plain-text daemon configuration: `key = value` lines, `#` comments.
+//!
+//! Two file formats live here. The daemon config proper
+//! ([`DaemonConfig::parse`]) carries the socket addresses, thread counts
+//! and degradation watermarks. The EIA table ([`parse_eia_table`]) is a
+//! separate file of `peer <id> <prefix>` lines so operators can hot-reload
+//! the expected-address sets (route changes, new customers) without
+//! restarting the collector — `POST /reload` with the new table re-parses
+//! it and republishes the snapshot through the engine.
+
+use std::fmt;
+
+use infilter_core::{EiaRegistry, Mode, PeerId};
+use infilter_net::Prefix;
+
+use crate::ladder::LadderConfig;
+
+/// Everything `infilterd` needs to come up, with testing-friendly
+/// defaults (loopback, ephemeral ports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonConfig {
+    /// UDP socket NetFlow v5 exporters send to.
+    pub listen: String,
+    /// TCP socket serving `/metrics`, `/alerts`, `/explain`, `/reload`,
+    /// `/healthz`.
+    pub serve: String,
+    /// UDP listener threads decoding datagrams into the intake rings.
+    pub listeners: usize,
+    /// Intake rings (batches are routed by `ingress % rings`).
+    pub rings: usize,
+    /// Bounded capacity of each intake ring, in batches.
+    pub ring_capacity: usize,
+    /// Suspect-path shards for the concurrent engine.
+    pub shards: usize,
+    /// BI or EI.
+    pub mode: Mode,
+    /// Maximum batches the worker drains per step before re-checking the
+    /// control channel.
+    pub batch_budget: usize,
+    /// IDMEF alerts spooled for `/alerts` before the oldest are dropped.
+    pub alert_spool: usize,
+    /// Degradation-ladder watermarks.
+    pub ladder: LadderConfig,
+    /// Per-peer expected prefixes (the preloaded EIA table).
+    pub peers: Vec<(PeerId, Prefix)>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            listen: "127.0.0.1:0".to_string(),
+            serve: "127.0.0.1:0".to_string(),
+            listeners: 2,
+            rings: 4,
+            ring_capacity: 512,
+            shards: 4,
+            mode: Mode::Enhanced,
+            batch_budget: 64,
+            alert_spool: 4096,
+            ladder: LadderConfig::default(),
+            peers: Vec::new(),
+        }
+    }
+}
+
+/// A rejected line or value in a config or EIA-table file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong with it.
+    pub why: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.why)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, why: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        why: why.into(),
+    }
+}
+
+impl DaemonConfig {
+    /// Parses the daemon config format. Unknown keys are errors (a typoed
+    /// watermark silently falling back to its default is how overload
+    /// protection quietly disappears in production).
+    ///
+    /// ```text
+    /// listen = 127.0.0.1:2055
+    /// serve  = 127.0.0.1:9100
+    /// listeners = 2
+    /// mode = enhanced
+    /// skip_nns_above = 0.50
+    /// bi_only_above  = 0.80
+    /// recover_below  = 0.25
+    /// recover_after  = 64
+    /// peer 1 3.0.0.0/11
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending line.
+    pub fn parse(text: &str) -> Result<DaemonConfig, ParseError> {
+        let mut cfg = DaemonConfig::default();
+        for (i, raw) in text.lines().enumerate() {
+            let n = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("peer ") {
+                cfg.peers.push(parse_peer_line(rest, n)?);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(n, format!("expected `key = value`, got `{line}`")));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "listen" => cfg.listen = value.to_string(),
+                "serve" => cfg.serve = value.to_string(),
+                "listeners" => cfg.listeners = parse_num(key, value, n)?,
+                "rings" => cfg.rings = parse_num(key, value, n)?,
+                "ring_capacity" => cfg.ring_capacity = parse_num(key, value, n)?,
+                "shards" => cfg.shards = parse_num(key, value, n)?,
+                "batch_budget" => cfg.batch_budget = parse_num(key, value, n)?,
+                "alert_spool" => cfg.alert_spool = parse_num(key, value, n)?,
+                "mode" => {
+                    cfg.mode = match value {
+                        "basic" | "bi" => Mode::Basic,
+                        "enhanced" | "ei" => Mode::Enhanced,
+                        other => return Err(err(n, format!("unknown mode `{other}`"))),
+                    }
+                }
+                "skip_nns_above" => cfg.ladder.skip_nns_above = parse_frac(key, value, n)?,
+                "bi_only_above" => cfg.ladder.bi_only_above = parse_frac(key, value, n)?,
+                "recover_below" => cfg.ladder.recover_below = parse_frac(key, value, n)?,
+                "recover_after" => cfg.ladder.recover_after = parse_num(key, value, n)?,
+                other => return Err(err(n, format!("unknown key `{other}`"))),
+            }
+        }
+        cfg.validate().map_err(|why| err(0, why))?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.listeners == 0 {
+            return Err("listeners must be >= 1".into());
+        }
+        if self.rings == 0 {
+            return Err("rings must be >= 1".into());
+        }
+        if self.ring_capacity == 0 {
+            return Err("ring_capacity must be >= 1".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be >= 1".into());
+        }
+        if self.batch_budget == 0 {
+            return Err("batch_budget must be >= 1".into());
+        }
+        if self.alert_spool == 0 {
+            return Err("alert_spool must be >= 1".into());
+        }
+        self.ladder.validate()
+    }
+
+    /// Builds the preloaded EIA registry from the `peer` lines.
+    pub fn eia_registry(&self, adoption_threshold: u32) -> EiaRegistry {
+        let mut eia = EiaRegistry::new(adoption_threshold);
+        for &(peer, prefix) in &self.peers {
+            eia.preload(peer, prefix);
+        }
+        eia
+    }
+}
+
+/// Parses an EIA table (`peer <id> <prefix>` lines, `#` comments) — the
+/// body `POST /reload` accepts. `key = value` daemon directives are
+/// skipped, so operators can reload straight from the full config file
+/// they serve with (`--data-binary @infilterd.conf`); only the peer
+/// lines take effect, and anything else is still an error.
+///
+/// # Errors
+///
+/// Returns the first offending line; an empty table is an error (reloading
+/// to an empty registry would flag every flow at every peer).
+pub fn parse_eia_table(text: &str) -> Result<Vec<(PeerId, Prefix)>, ParseError> {
+    let mut peers = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.contains('=') {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("peer ")
+            .ok_or_else(|| err(n, format!("expected `peer <id> <prefix>`, got `{line}`")))?;
+        peers.push(parse_peer_line(rest, n)?);
+    }
+    if peers.is_empty() {
+        return Err(err(0, "EIA table holds no peer lines"));
+    }
+    Ok(peers)
+}
+
+fn parse_peer_line(rest: &str, n: usize) -> Result<(PeerId, Prefix), ParseError> {
+    let mut parts = rest.split_whitespace();
+    let id: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(n, "peer line needs a numeric id"))?;
+    let prefix: Prefix = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(n, "peer line needs a CIDR prefix"))?;
+    if parts.next().is_some() {
+        return Err(err(n, "trailing tokens after `peer <id> <prefix>`"));
+    }
+    Ok((PeerId(id), prefix))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str, n: usize) -> Result<T, ParseError> {
+    value
+        .parse()
+        .map_err(|_| err(n, format!("{key} wants an integer, got `{value}`")))
+}
+
+fn parse_frac(key: &str, value: &str, n: usize) -> Result<f64, ParseError> {
+    let v: f64 = value
+        .parse()
+        .map_err(|_| err(n, format!("{key} wants a fraction, got `{value}`")))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(err(n, format!("{key} must be within 0.0..=1.0, got {v}")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_config() {
+        let cfg = DaemonConfig::parse(
+            "# infilterd\nlisten = 0.0.0.0:2055\nserve = 127.0.0.1:9100\n\
+             listeners = 3\nmode = basic # BI only\nskip_nns_above = 0.6\n\
+             peer 1 3.0.0.0/11\npeer 2 3.32.0.0/11\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.listen, "0.0.0.0:2055");
+        assert_eq!(cfg.listeners, 3);
+        assert_eq!(cfg.mode, Mode::Basic);
+        assert_eq!(cfg.ladder.skip_nns_above, 0.6);
+        assert_eq!(cfg.peers.len(), 2);
+        assert_eq!(cfg.peers[0].0, PeerId(1));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(DaemonConfig::parse("skip_nns_abvoe = 0.5\n")
+            .unwrap_err()
+            .why
+            .contains("unknown key"));
+        assert!(DaemonConfig::parse("bi_only_above = 1.5\n")
+            .unwrap_err()
+            .why
+            .contains("0.0..=1.0"));
+        assert!(DaemonConfig::parse("listeners = 0\n").is_err());
+        assert!(DaemonConfig::parse("peer one 3.0.0.0/11\n").is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_watermarks() {
+        let e = DaemonConfig::parse("skip_nns_above = 0.9\nbi_only_above = 0.5\n").unwrap_err();
+        assert!(e.why.contains("bi_only_above"), "{e}");
+    }
+
+    #[test]
+    fn eia_table_round_trips() {
+        let peers =
+            parse_eia_table("# table\npeer 1 3.0.0.0/11\npeer 2 3.32.0.0/11\n").expect("parses");
+        assert_eq!(peers.len(), 2);
+        assert!(parse_eia_table("").is_err());
+        assert!(parse_eia_table("route 1 3.0.0.0/11").is_err());
+    }
+
+    #[test]
+    fn eia_table_accepts_a_full_daemon_config() {
+        let peers = parse_eia_table(
+            "listen = 127.0.0.1:2055\nserve = 127.0.0.1:9100\nmode = enhanced\n\
+             peer 1 3.0.0.0/11\npeer 2 3.32.0.0/11\n",
+        )
+        .expect("daemon directives are skipped");
+        assert_eq!(peers.len(), 2);
+        // A config with no peer lines still refuses to empty the registry.
+        assert!(parse_eia_table("listen = 127.0.0.1:2055\n").is_err());
+    }
+}

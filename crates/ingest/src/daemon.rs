@@ -1,0 +1,436 @@
+//! The daemon proper: UDP listeners, one engine-owning worker, and the
+//! TCP control plane, glued by the shared [`Intake`] and a control
+//! channel.
+//!
+//! Threading model:
+//!
+//! * **N listener threads** share the UDP socket (cloned handles, short
+//!   read timeout so shutdown is prompt). They only receive, decode and
+//!   enqueue — never touch the engine — so socket drain rate is
+//!   independent of analysis cost.
+//! * **One worker thread** owns the engine (this single-owner design is
+//!   what lets the daemon be generic over [`Engine`]'s `&mut self`
+//!   surface) and runs the [`IngestPump`] loop, interleaving control
+//!   requests between pump steps.
+//! * **One control thread** serves HTTP on the `serve` socket:
+//!   `GET /metrics`, `GET /alerts`, `GET /explain`, `GET /healthz`,
+//!   `POST /reload` (EIA hot-reload), `POST /shutdown`. Requests that need
+//!   engine state are forwarded to the worker over a channel with a
+//!   per-request reply channel; `/healthz` answers locally, so liveness
+//!   checks keep working even if the worker wedges.
+//!
+//! Shutdown ([`DaemonHandle::shutdown`]) is graceful by construction:
+//! listeners stop accepting, the worker drains every ring to empty,
+//! flushes buffered EIA adoptions, and hands back a [`FinalReport`] with
+//! the closing telemetry and any still-spooled alerts.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use infilter_core::{AnalyzerMetrics, Engine, FlowDecision, IdmefAlert, PeerId};
+use infilter_net::Prefix;
+
+use crate::config::{parse_eia_table, DaemonConfig};
+use crate::intake::Intake;
+use crate::metrics::{IngestMetrics, IngestSnapshot};
+use crate::pump::IngestPump;
+
+/// Largest datagram the listeners accept. NetFlow v5 caps at
+/// 24 + 30 × 48 = 1464 bytes; the headroom tolerates padded senders.
+const MAX_DATAGRAM: usize = 2048;
+
+/// How long a listener blocks in `recv_from` before re-checking the
+/// shutdown flag.
+const RECV_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Worker nap when the rings are empty and no control work is pending.
+const IDLE_NAP: Duration = Duration::from_micros(500);
+
+/// What the worker hands back when the daemon shuts down.
+#[derive(Debug)]
+pub struct FinalReport {
+    /// Closing engine counters.
+    pub engine: AnalyzerMetrics,
+    /// Closing collector counters.
+    pub ingest: IngestSnapshot,
+    /// Alerts still spooled at shutdown (oldest first).
+    pub alerts: Vec<IdmefAlert>,
+    /// The final exposition page (engine + ingest families).
+    pub exposition: String,
+}
+
+/// Requests the control plane forwards to the engine-owning worker.
+enum Control {
+    Metrics(mpsc::Sender<String>),
+    Alerts(usize, mpsc::Sender<Vec<IdmefAlert>>),
+    Explain(usize, mpsc::Sender<Vec<FlowDecision>>),
+    Reload(Vec<(PeerId, Prefix)>, mpsc::Sender<usize>),
+    Finish(mpsc::Sender<FinalReport>),
+}
+
+/// A running daemon: the spawned threads plus the addresses they bound.
+pub struct Daemon {
+    udp_addr: SocketAddr,
+    http_addr: SocketAddr,
+    control: mpsc::Sender<Control>,
+    stop: Arc<AtomicBool>,
+    stop_requested: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the sockets and spawns the listener, worker and control
+    /// threads around an already-trained engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either socket cannot bind or clone.
+    pub fn spawn<E>(engine: E, cfg: &DaemonConfig) -> std::io::Result<Daemon>
+    where
+        E: Engine + Send + 'static,
+    {
+        let metrics = Arc::new(IngestMetrics::default());
+        let intake = Arc::new(Intake::new(cfg.rings, cfg.ring_capacity, metrics));
+        let pump = IngestPump::new(
+            engine,
+            Arc::clone(&intake),
+            cfg.ladder,
+            cfg.batch_budget,
+            cfg.alert_spool,
+        );
+
+        let udp = UdpSocket::bind(&cfg.listen)?;
+        udp.set_read_timeout(Some(RECV_TIMEOUT))?;
+        let udp_addr = udp.local_addr()?;
+        let http = TcpListener::bind(&cfg.serve)?;
+        http.set_nonblocking(true)?;
+        let http_addr = http.local_addr()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_requested = Arc::new(AtomicBool::new(false));
+        let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
+        let mut threads = Vec::new();
+
+        for i in 0..cfg.listeners.max(1) {
+            let socket = udp.try_clone()?;
+            let intake = Arc::clone(&intake);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("infilterd-rx{i}"))
+                    .spawn(move || listener_loop(&socket, &intake, &stop))
+                    .expect("spawn listener"),
+            );
+        }
+
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("infilterd-worker".to_string())
+                    .spawn(move || worker_loop(pump, &ctl_rx, &stop))
+                    .expect("spawn worker"),
+            );
+        }
+
+        {
+            let ctl_tx = ctl_tx.clone();
+            let stop = Arc::clone(&stop);
+            let stop_requested = Arc::clone(&stop_requested);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("infilterd-http".to_string())
+                    .spawn(move || http_loop(&http, &ctl_tx, &stop, &stop_requested))
+                    .expect("spawn control plane"),
+            );
+        }
+
+        Ok(Daemon {
+            udp_addr,
+            http_addr,
+            control: ctl_tx,
+            stop,
+            stop_requested,
+            threads,
+        })
+    }
+
+    /// The UDP address exporters should send NetFlow v5 to.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+
+    /// The TCP address serving the control plane.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// Whether `POST /shutdown` has been received.
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until `POST /shutdown` arrives on the control plane.
+    pub fn wait(&self) {
+        while !self.stop_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain every ring through the
+    /// engine, flush adoptions, join all threads, and return the final
+    /// telemetry.
+    pub fn shutdown(mut self) -> FinalReport {
+        let (tx, rx) = mpsc::channel();
+        // The worker drains before replying; listeners keep feeding until
+        // `stop` flips, which Finish handling does first.
+        let _ = self.control.send(Control::Finish(tx));
+        let report = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("worker produces a final report");
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        report
+    }
+}
+
+fn listener_loop(socket: &UdpSocket, intake: &Intake, stop: &AtomicBool) {
+    let mut buf = [0u8; MAX_DATAGRAM];
+    while !stop.load(Ordering::Relaxed) {
+        match socket.recv_from(&mut buf) {
+            Ok((n, _)) => intake.push_payload(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn worker_loop<E: Engine>(
+    mut pump: IngestPump<E>,
+    ctl: &mpsc::Receiver<Control>,
+    stop: &AtomicBool,
+) {
+    loop {
+        let mut finish = None;
+        while let Ok(msg) = ctl.try_recv() {
+            match msg {
+                Control::Metrics(reply) => {
+                    let _ = reply.send(pump.prometheus_text());
+                }
+                Control::Alerts(max, reply) => {
+                    let _ = reply.send(pump.take_alerts(max));
+                }
+                Control::Explain(n, reply) => {
+                    let _ = reply.send(pump.engine().explain_last(n));
+                }
+                Control::Reload(peers, reply) => {
+                    let threshold = pump.engine().config().adoption_threshold;
+                    let mut eia = infilter_core::EiaRegistry::new(threshold);
+                    for (peer, prefix) in peers {
+                        eia.preload(peer, prefix);
+                    }
+                    let _ = reply.send(pump.engine_mut().reload_eia(eia));
+                }
+                Control::Finish(reply) => {
+                    finish = Some(reply);
+                }
+            }
+        }
+        if let Some(reply) = finish {
+            // Stop the listeners first so the drain converges, then flush.
+            stop.store(true, Ordering::SeqCst);
+            pump.drain();
+            pump.engine_mut().flush_adoptions();
+            let exposition = pump.prometheus_text();
+            let report = FinalReport {
+                engine: pump.engine().metrics(),
+                ingest: pump.metrics().snapshot(),
+                alerts: pump.take_alerts(0),
+                exposition,
+            };
+            let _ = reply.send(report);
+            return;
+        }
+        if stop.load(Ordering::Relaxed) {
+            // Shutdown without a Finish request (handle dropped): drain
+            // and exit so the join in `shutdown` never hangs.
+            pump.drain();
+            return;
+        }
+        if pump.step() == 0 {
+            std::thread::sleep(IDLE_NAP);
+        }
+    }
+}
+
+fn http_loop(
+    listener: &TcpListener,
+    ctl: &mpsc::Sender<Control>,
+    stop: &AtomicBool,
+    stop_requested: &AtomicBool,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_request(stream, ctl, stop_requested);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reply deadline for worker-backed routes; a wedged worker turns into
+/// 503s, not hung scrapes.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn handle_request(
+    mut stream: TcpStream,
+    ctl: &mpsc::Sender<Control>,
+    stop_requested: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let (request_line, body) = read_request(&mut stream)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path_only = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = match (method, path_only) {
+        ("GET", "/healthz") => ("200 OK", "text/plain", "ok\n".to_string()),
+        ("GET", "/metrics") => match ask(ctl, Control::Metrics) {
+            Some(page) => ("200 OK", "text/plain; version=0.0.4", page),
+            None => unavailable(),
+        },
+        ("GET", "/alerts") => {
+            let max = query_param(path, "max").unwrap_or(0);
+            match ask(ctl, |reply| Control::Alerts(max, reply)) {
+                Some(alerts) => {
+                    let xml: String = alerts.iter().map(|a| a.to_xml() + "\n").collect();
+                    ("200 OK", "application/xml", xml)
+                }
+                None => unavailable(),
+            }
+        }
+        ("GET", "/explain") => {
+            let n = query_param(path, "n").unwrap_or(16);
+            match ask(ctl, |reply| Control::Explain(n, reply)) {
+                Some(decisions) => {
+                    let text: String = decisions.iter().map(|d| d.describe() + "\n").collect();
+                    ("200 OK", "text/plain", text)
+                }
+                None => unavailable(),
+            }
+        }
+        ("POST", "/reload") => match parse_eia_table(&body) {
+            Ok(peers) => match ask(ctl, |reply| Control::Reload(peers, reply)) {
+                Some(prefixes) => (
+                    "200 OK",
+                    "text/plain",
+                    format!("reloaded {prefixes} prefixes\n"),
+                ),
+                None => unavailable(),
+            },
+            Err(e) => (
+                "400 Bad Request",
+                "text/plain",
+                format!("bad EIA table: {e}\n"),
+            ),
+        },
+        ("POST", "/shutdown") => {
+            stop_requested.store(true, Ordering::SeqCst);
+            ("200 OK", "text/plain", "shutting down\n".to_string())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("no route for {method} {path_only}\n"),
+        ),
+    };
+
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+fn unavailable() -> (&'static str, &'static str, String) {
+    (
+        "503 Service Unavailable",
+        "text/plain",
+        "worker unavailable\n".to_string(),
+    )
+}
+
+/// Extracts a numeric query parameter (`/alerts?max=50`).
+fn query_param(path: &str, key: &str) -> Option<usize> {
+    let query = path.split_once('?')?.1;
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.parse().ok())?
+    })
+}
+
+/// Sends one control request carrying a fresh reply channel; `None` if
+/// the worker is gone or silent past the deadline.
+fn ask<T, F>(ctl: &mpsc::Sender<Control>, make: F) -> Option<T>
+where
+    F: FnOnce(mpsc::Sender<T>) -> Control,
+{
+    let (tx, rx) = mpsc::channel();
+    ctl.send(make(tx)).ok()?;
+    rx.recv_timeout(REPLY_TIMEOUT).ok()
+}
+
+/// Reads the request line, headers and (given `Content-Length`) the body.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String)> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 1024];
+    let header_end = loop {
+        match raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            Some(i) => break i + 4,
+            None => {
+                let n = stream.read(&mut buf)?;
+                if n == 0 {
+                    break raw.len();
+                }
+                raw.extend_from_slice(&buf[..n]);
+                if raw.len() > 64 * 1024 {
+                    break raw.len();
+                }
+            }
+        }
+    };
+    let head = String::from_utf8_lossy(&raw[..header_end.min(raw.len())]).to_string();
+    let request_line = head.lines().next().unwrap_or("").to_string();
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = raw[header_end.min(raw.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok((request_line, String::from_utf8_lossy(&body).to_string()))
+}

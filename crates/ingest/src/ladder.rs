@@ -1,0 +1,205 @@
+//! The graceful-degradation ladder: queue-depth watermarks trade analysis
+//! depth for drain rate instead of dropping flows blind.
+//!
+//! Three rungs, shedding the most expensive stage first:
+//!
+//! ```text
+//!   occupancy      0.0 ───────── skip_nns_above ───── bi_only_above ── 1.0
+//!   effort         Full (EI)  │  SkipNns (BI+scan)  │  BiOnly (BI)
+//!                  EIA+scan+NNS  EIA+scan, no NNS      EIA check only
+//! ```
+//!
+//! Degradation is immediate (one hot sample is enough — the queue is
+//! already backing up), recovery is hysteretic: the occupancy must sit
+//! below `recover_below` for `recover_after` consecutive observations
+//! before the ladder climbs back one rung, so a queue oscillating around a
+//! watermark doesn't flap the pipeline between efforts.
+
+use infilter_core::Effort;
+
+/// Watermarks driving the ladder, as fractions of ring capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderConfig {
+    /// Occupancy above which the NNS stage is shed (EI → BI+scan).
+    pub skip_nns_above: f64,
+    /// Occupancy above which scan analysis is shed too (→ BI only).
+    pub bi_only_above: f64,
+    /// Occupancy below which calm observations count toward recovery.
+    pub recover_below: f64,
+    /// Consecutive calm observations before climbing back one rung.
+    pub recover_after: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> LadderConfig {
+        LadderConfig {
+            skip_nns_above: 0.50,
+            bi_only_above: 0.80,
+            recover_below: 0.25,
+            recover_after: 64,
+        }
+    }
+}
+
+impl LadderConfig {
+    /// Checks the watermarks are ordered and within `0.0..=1.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("skip_nns_above", self.skip_nns_above),
+            ("bi_only_above", self.bi_only_above),
+            ("recover_below", self.recover_below),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be within 0.0..=1.0, got {v}"));
+            }
+        }
+        if self.bi_only_above <= self.skip_nns_above {
+            return Err(format!(
+                "bi_only_above ({}) must exceed skip_nns_above ({})",
+                self.bi_only_above, self.skip_nns_above
+            ));
+        }
+        if self.recover_below >= self.skip_nns_above {
+            return Err(format!(
+                "recover_below ({}) must sit below skip_nns_above ({})",
+                self.recover_below, self.skip_nns_above
+            ));
+        }
+        if self.recover_after == 0 {
+            return Err("recover_after must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One effort change the ladder decided on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The rung left behind.
+    pub from: Effort,
+    /// The rung now in force.
+    pub to: Effort,
+}
+
+/// The ladder's mutable state: current rung plus the calm-streak counter.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    cfg: LadderConfig,
+    effort: Effort,
+    calm: u32,
+}
+
+impl Ladder {
+    /// Starts at full effort.
+    pub fn new(cfg: LadderConfig) -> Ladder {
+        Ladder {
+            cfg,
+            effort: Effort::Full,
+            calm: 0,
+        }
+    }
+
+    /// The rung currently in force.
+    pub fn effort(&self) -> Effort {
+        self.effort
+    }
+
+    /// Feeds one queue-occupancy observation (`0.0..=1.0`); returns the
+    /// transition if the rung changed.
+    pub fn observe(&mut self, occupancy: f64) -> Option<Transition> {
+        let from = self.effort;
+        let floor = if occupancy > self.cfg.bi_only_above {
+            Effort::BiOnly
+        } else if occupancy > self.cfg.skip_nns_above {
+            Effort::SkipNns
+        } else {
+            Effort::Full
+        };
+        if floor > self.effort {
+            // Degrade immediately, possibly jumping a rung.
+            self.effort = floor;
+            self.calm = 0;
+        } else if occupancy < self.cfg.recover_below && self.effort != Effort::Full {
+            self.calm += 1;
+            if self.calm >= self.cfg.recover_after {
+                self.effort = self.effort.recover();
+                self.calm = 0;
+            }
+        } else {
+            self.calm = 0;
+        }
+        (self.effort != from).then_some(Transition {
+            from,
+            to: self.effort,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Ladder {
+        Ladder::new(LadderConfig {
+            recover_after: 3,
+            ..LadderConfig::default()
+        })
+    }
+
+    #[test]
+    fn degrades_immediately_and_in_jumps() {
+        let mut l = ladder();
+        assert_eq!(l.observe(0.3), None);
+        assert_eq!(
+            l.observe(0.6),
+            Some(Transition {
+                from: Effort::Full,
+                to: Effort::SkipNns
+            })
+        );
+        // Straight past both watermarks from Full.
+        let mut l2 = ladder();
+        assert_eq!(
+            l2.observe(0.95),
+            Some(Transition {
+                from: Effort::Full,
+                to: Effort::BiOnly
+            })
+        );
+    }
+
+    #[test]
+    fn recovery_needs_a_calm_streak() {
+        let mut l = ladder();
+        l.observe(0.95);
+        assert_eq!(l.effort(), Effort::BiOnly);
+        // Two calm samples, then a hot one: streak resets.
+        assert_eq!(l.observe(0.1), None);
+        assert_eq!(l.observe(0.1), None);
+        assert_eq!(l.observe(0.4), None);
+        assert_eq!(l.observe(0.1), None);
+        assert_eq!(l.observe(0.1), None);
+        let t = l.observe(0.1).expect("third consecutive calm sample");
+        assert_eq!(t.to, Effort::SkipNns);
+        // One rung at a time on the way back up.
+        for _ in 0..2 {
+            assert_eq!(l.observe(0.0), None);
+        }
+        assert_eq!(l.observe(0.0).expect("recovers").to, Effort::Full);
+        assert_eq!(l.observe(0.0), None);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(LadderConfig::default().validate(), Ok(()));
+        let bad = LadderConfig {
+            recover_below: 0.9,
+            ..LadderConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Collector-side counters: what arrived on the wire, what was shed, and
+//! which degradation rung processed what.
+//!
+//! These complement the engine's [`infilter_core::AnalyzerMetrics`] (which
+//! counts *analysis* outcomes) with the ingest story: datagrams received,
+//! decode rejections by reason, batches shed at full rings, and the
+//! effort-ladder history. All counters are relaxed atomics bumped from the
+//! listener threads and the worker; the exposition renders a consistent-
+//! enough snapshot (Prometheus scrapes tolerate torn reads across
+//! families).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use infilter_core::Effort;
+use infilter_netflow::DecodeError;
+use infilter_telemetry::PromText;
+
+/// The ingest metric families `infilterd` appends to the engine
+/// exposition, in page order — the CI contract for the daemon, mirroring
+/// [`infilter_core::METRIC_FAMILIES`].
+pub const INGEST_FAMILIES: &[&str] = &[
+    "infilterd_datagrams_total",
+    "infilterd_flows_total",
+    "infilterd_decode_errors_total",
+    "infilterd_shed_batches_total",
+    "infilterd_shed_flows_total",
+    "infilterd_queue_depth",
+    "infilterd_queue_capacity",
+    "infilterd_effort",
+    "infilterd_effort_transitions_total",
+    "infilterd_flows_by_effort_total",
+    "infilterd_alerts_spooled",
+    "infilterd_alerts_dropped_total",
+];
+
+/// Shared collector counters (one instance per daemon, `Arc`ed across the
+/// listener threads and the worker).
+#[derive(Debug, Default)]
+pub struct IngestMetrics {
+    /// Well-formed datagrams accepted off the socket.
+    pub datagrams: AtomicU64,
+    /// Flow records carried in accepted datagrams.
+    pub flows: AtomicU64,
+    /// Datagrams rejected: shorter than their claimed structure.
+    pub decode_truncated: AtomicU64,
+    /// Datagrams rejected: version field was not 5.
+    pub decode_wrong_version: AtomicU64,
+    /// Datagrams rejected: record count exceeded the v5 limit.
+    pub decode_bad_count: AtomicU64,
+    /// Batches dropped because their intake ring was full.
+    pub shed_batches: AtomicU64,
+    /// Flow records inside those dropped batches.
+    pub shed_flows: AtomicU64,
+    /// Flows processed at each rung, indexed by [`Effort`] order.
+    pub flows_by_effort: [AtomicU64; 3],
+    /// Ladder transitions *into* each rung, indexed by [`Effort`] order.
+    pub transitions_to: [AtomicU64; 3],
+    /// IDMEF alerts dropped from a full spool (oldest first).
+    pub alerts_dropped: AtomicU64,
+}
+
+impl IngestMetrics {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted datagram carrying `flows` records.
+    pub fn record_datagram(&self, flows: u64) {
+        Self::bump(&self.datagrams, 1);
+        Self::bump(&self.flows, flows);
+    }
+
+    /// Counts one rejected datagram by decode failure reason.
+    pub fn record_decode_error(&self, e: &DecodeError) {
+        let counter = match e {
+            DecodeError::Truncated { .. } => &self.decode_truncated,
+            DecodeError::WrongVersion(_) => &self.decode_wrong_version,
+            DecodeError::BadCount(_) => &self.decode_bad_count,
+        };
+        Self::bump(counter, 1);
+    }
+
+    /// Counts one batch of `flows` records shed at a full ring.
+    pub fn record_shed(&self, flows: u64) {
+        Self::bump(&self.shed_batches, 1);
+        Self::bump(&self.shed_flows, flows);
+    }
+
+    /// Counts `flows` records processed at `effort`.
+    pub fn record_processed(&self, effort: Effort, flows: u64) {
+        Self::bump(&self.flows_by_effort[effort as usize], flows);
+    }
+
+    /// Counts one ladder transition into `to`.
+    pub fn record_transition(&self, to: Effort) {
+        Self::bump(&self.transitions_to[to as usize], 1);
+    }
+
+    /// Counts `n` alerts dropped from a full spool.
+    pub fn record_alerts_dropped(&self, n: u64) {
+        Self::bump(&self.alerts_dropped, n);
+    }
+
+    /// Total ladder transitions recorded so far (any rung).
+    pub fn transitions_total(&self) -> u64 {
+        self.transitions_to
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A plain-value copy for reports.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        IngestSnapshot {
+            datagrams: load(&self.datagrams),
+            flows: load(&self.flows),
+            decode_errors: load(&self.decode_truncated)
+                + load(&self.decode_wrong_version)
+                + load(&self.decode_bad_count),
+            shed_batches: load(&self.shed_batches),
+            shed_flows: load(&self.shed_flows),
+            flows_by_effort: [
+                load(&self.flows_by_effort[0]),
+                load(&self.flows_by_effort[1]),
+                load(&self.flows_by_effort[2]),
+            ],
+            transitions: self.transitions_total(),
+            alerts_dropped: load(&self.alerts_dropped),
+        }
+    }
+
+    /// Renders the `infilterd_*` families (appended to the engine page by
+    /// the daemon). `depths` is `(occupied, capacity)` per intake ring;
+    /// `effort` the rung currently in force; `spooled` the alerts waiting
+    /// in the `/alerts` spool.
+    pub fn render(&self, depths: &[(usize, usize)], effort: Effort, spooled: usize) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut page = PromText::new();
+        page.counter(
+            "infilterd_datagrams_total",
+            "NetFlow v5 datagrams accepted off the socket",
+            load(&self.datagrams),
+        );
+        page.counter(
+            "infilterd_flows_total",
+            "Flow records carried in accepted datagrams",
+            load(&self.flows),
+        );
+        page.counter_family(
+            "infilterd_decode_errors_total",
+            "Datagrams rejected by the wire decoder, by reason",
+            &[
+                (
+                    vec![("reason", "truncated".to_string())],
+                    load(&self.decode_truncated),
+                ),
+                (
+                    vec![("reason", "wrong_version".to_string())],
+                    load(&self.decode_wrong_version),
+                ),
+                (
+                    vec![("reason", "bad_count".to_string())],
+                    load(&self.decode_bad_count),
+                ),
+            ],
+        );
+        page.counter(
+            "infilterd_shed_batches_total",
+            "Batches dropped at a full intake ring",
+            load(&self.shed_batches),
+        );
+        page.counter(
+            "infilterd_shed_flows_total",
+            "Flow records inside dropped batches",
+            load(&self.shed_flows),
+        );
+        let depth_samples: Vec<_> = depths
+            .iter()
+            .enumerate()
+            .map(|(i, &(occupied, _))| (vec![("ring", i.to_string())], occupied as u64))
+            .collect();
+        page.gauge_family(
+            "infilterd_queue_depth",
+            "Batches waiting in each intake ring",
+            &depth_samples,
+        );
+        let cap_samples: Vec<_> = depths
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, cap))| (vec![("ring", i.to_string())], cap as u64))
+            .collect();
+        page.gauge_family(
+            "infilterd_queue_capacity",
+            "Bounded capacity of each intake ring",
+            &cap_samples,
+        );
+        page.gauge(
+            "infilterd_effort",
+            "Degradation rung in force (0=full, 1=skip_nns, 2=bi_only)",
+            effort as usize as f64,
+        );
+        let transition_samples: Vec<_> = Effort::ALL
+            .iter()
+            .map(|e| {
+                (
+                    vec![("to", e.as_label().to_string())],
+                    load(&self.transitions_to[*e as usize]),
+                )
+            })
+            .collect();
+        page.counter_family(
+            "infilterd_effort_transitions_total",
+            "Ladder transitions into each rung",
+            &transition_samples,
+        );
+        let effort_samples: Vec<_> = Effort::ALL
+            .iter()
+            .map(|e| {
+                (
+                    vec![("effort", e.as_label().to_string())],
+                    load(&self.flows_by_effort[*e as usize]),
+                )
+            })
+            .collect();
+        page.counter_family(
+            "infilterd_flows_by_effort_total",
+            "Flow records processed at each rung",
+            &effort_samples,
+        );
+        page.gauge(
+            "infilterd_alerts_spooled",
+            "IDMEF alerts waiting in the /alerts spool",
+            spooled as f64,
+        );
+        page.counter(
+            "infilterd_alerts_dropped_total",
+            "IDMEF alerts dropped from a full spool",
+            load(&self.alerts_dropped),
+        );
+        page.render()
+    }
+}
+
+/// Plain-value copy of [`IngestMetrics`] for the final report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestSnapshot {
+    /// Datagrams accepted.
+    pub datagrams: u64,
+    /// Flow records received.
+    pub flows: u64,
+    /// Datagrams rejected by the decoder (all reasons).
+    pub decode_errors: u64,
+    /// Batches shed at full rings.
+    pub shed_batches: u64,
+    /// Flow records inside shed batches.
+    pub shed_flows: u64,
+    /// Flows processed per rung ([full, skip_nns, bi_only]).
+    pub flows_by_effort: [u64; 3],
+    /// Ladder transitions.
+    pub transitions: u64,
+    /// Alerts dropped from the spool.
+    pub alerts_dropped: u64,
+}
+
+/// Ingest families advertised in [`INGEST_FAMILIES`] but absent from a
+/// rendered page — the daemon-side analogue of
+/// `infilter_experiments::observe::missing_families`.
+pub fn missing_ingest_families(exposition: &str) -> Vec<&'static str> {
+    INGEST_FAMILIES
+        .iter()
+        .filter(|family| !exposition.contains(&format!("# TYPE {family} ")))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_covers_the_advertised_contract() {
+        let m = IngestMetrics::default();
+        m.record_datagram(30);
+        m.record_decode_error(&DecodeError::WrongVersion(9));
+        m.record_shed(30);
+        m.record_processed(Effort::SkipNns, 30);
+        m.record_transition(Effort::SkipNns);
+        let page = m.render(&[(3, 512), (0, 512)], Effort::SkipNns, 7);
+        assert_eq!(missing_ingest_families(&page), Vec::<&str>::new());
+        assert!(page.contains("infilterd_decode_errors_total{reason=\"wrong_version\"} 1"));
+        assert!(page.contains("infilterd_queue_depth{ring=\"0\"} 3"));
+        assert!(page.contains("infilterd_effort 1"));
+        let snap = m.snapshot();
+        assert_eq!(snap.flows, 30);
+        assert_eq!(snap.shed_flows, 30);
+        assert_eq!(snap.flows_by_effort[1], 30);
+        assert_eq!(snap.transitions, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! The worker-side pump: drains the intake rings into the engine at the
+//! effort the degradation ladder allows.
+//!
+//! [`IngestPump`] is deliberately socket-free — the daemon's worker thread
+//! wraps it, and the overload tests drive it directly by pushing batches
+//! into the shared [`Intake`] — so the full ladder behaviour (degrade,
+//! shed, recover, counters) is testable in-process without UDP timing
+//! flakiness.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use infilter_core::{Effort, Engine, IdmefAlert};
+
+use crate::intake::{Batch, Intake};
+use crate::ladder::{Ladder, LadderConfig};
+use crate::metrics::IngestMetrics;
+
+/// Pairs an owned engine with the shared intake and the ladder state.
+#[derive(Debug)]
+pub struct IngestPump<E: Engine> {
+    engine: E,
+    intake: Arc<Intake>,
+    ladder: Ladder,
+    alerts: VecDeque<IdmefAlert>,
+    alert_spool: usize,
+    batch_budget: usize,
+    scratch: Vec<Batch>,
+}
+
+impl<E: Engine> IngestPump<E> {
+    /// Wires an engine to the intake.
+    pub fn new(
+        engine: E,
+        intake: Arc<Intake>,
+        ladder: LadderConfig,
+        batch_budget: usize,
+        alert_spool: usize,
+    ) -> IngestPump<E> {
+        IngestPump {
+            engine,
+            intake,
+            ladder: Ladder::new(ladder),
+            alerts: VecDeque::new(),
+            alert_spool: alert_spool.max(1),
+            batch_budget: batch_budget.max(1),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The shared intake (the producer side).
+    pub fn intake(&self) -> &Arc<Intake> {
+        &self.intake
+    }
+
+    /// The shared ingest counters.
+    pub fn metrics(&self) -> &Arc<IngestMetrics> {
+        self.intake().metrics()
+    }
+
+    /// The engine, for final reports and parity checks.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The engine, mutably (hot-reload goes through here).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// The degradation rung currently in force.
+    pub fn effort(&self) -> Effort {
+        self.ladder.effort()
+    }
+
+    /// One pump step: observe queue depth, adjust the ladder, drain up to
+    /// the batch budget at the resulting effort, spool new alerts. Returns
+    /// the number of flow records processed (0 = the rings were empty; the
+    /// caller may sleep).
+    pub fn step(&mut self) -> usize {
+        if let Some(t) = self.ladder.observe(self.intake.occupancy()) {
+            self.metrics().record_transition(t.to);
+        }
+        let effort = self.ladder.effort();
+        self.scratch.clear();
+        self.intake.pop_round(self.batch_budget, &mut self.scratch);
+        let mut processed = 0;
+        let batches = std::mem::take(&mut self.scratch);
+        for batch in &batches {
+            self.engine
+                .process_batch_with_effort(batch.ingress, &batch.records, effort);
+            processed += batch.records.len();
+        }
+        self.scratch = batches;
+        if processed > 0 {
+            self.metrics().record_processed(effort, processed as u64);
+            self.spool_alerts();
+        }
+        processed
+    }
+
+    /// Pumps until the rings are empty (shutdown flush; also useful in
+    /// tests). Each step re-observes the ladder, so recovery happens on
+    /// the way down.
+    pub fn drain(&mut self) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.step();
+            if n == 0 && self.intake.is_empty() {
+                return total;
+            }
+            total += n;
+        }
+    }
+
+    fn spool_alerts(&mut self) {
+        for alert in self.engine.drain_alerts() {
+            if self.alerts.len() >= self.alert_spool {
+                self.alerts.pop_front();
+                self.metrics().record_alerts_dropped(1);
+            }
+            self.alerts.push_back(alert);
+        }
+    }
+
+    /// Takes up to `max` spooled alerts, oldest first (0 = all).
+    pub fn take_alerts(&mut self, max: usize) -> Vec<IdmefAlert> {
+        self.spool_alerts();
+        let n = if max == 0 {
+            self.alerts.len()
+        } else {
+            max.min(self.alerts.len())
+        };
+        self.alerts.drain(..n).collect()
+    }
+
+    /// Alerts currently waiting in the spool.
+    pub fn spooled(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// The combined exposition page: the engine families followed by the
+    /// `infilterd_*` families.
+    pub fn prometheus_text(&self) -> String {
+        let mut page = self.engine.prometheus_text();
+        page.push_str(&self.metrics().render(
+            &self.intake.depths(),
+            self.ladder.effort(),
+            self.alerts.len(),
+        ));
+        page
+    }
+}

@@ -1,0 +1,272 @@
+//! The end-to-end smoke gate behind `infilterd --smoke`: spawn the daemon
+//! on loopback, have Dagflow replay a Slammer-laced two-peer trace over
+//! real UDP, drive every control-plane route, and assert the full chain —
+//! wire decode, intake, engine verdicts, IDMEF alerts, Prometheus
+//! exposition, EIA hot-reload, graceful shutdown — held together.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+use infilter_core::METRIC_FAMILIES;
+use infilter_dagflow::{eia_table, AddressMapper, Dagflow, DagflowConfig};
+use infilter_net::SubBlock;
+use infilter_traffic::{AttackKind, NormalProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bootstrap::{bootstrap_engine, BootstrapConfig};
+use crate::config::DaemonConfig;
+use crate::metrics::missing_ingest_families;
+use crate::Daemon;
+
+/// Pace between UDP sends: loopback receive buffers are small enough that
+/// an unpaced burst of ~100 datagrams drops at the kernel and the smoke
+/// flakes on loaded CI machines.
+const SEND_PACE: Duration = Duration::from_micros(400);
+
+/// What the smoke run measured; printed by `infilterd --smoke`.
+#[derive(Debug)]
+pub struct SmokeReport {
+    /// Flow records Dagflow put on the wire.
+    pub sent_flows: u64,
+    /// Flow records the daemon accepted (UDP may shed a few).
+    pub received_flows: u64,
+    /// Malformed payloads injected and rejected.
+    pub decode_errors: u64,
+    /// Attack verdicts at shutdown.
+    pub attacks: u64,
+    /// IDMEF alerts drained over HTTP plus those left at shutdown.
+    pub alerts: usize,
+}
+
+/// Runs the gate.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first failed assertion.
+pub fn run_smoke(seed: u64) -> Result<SmokeReport, String> {
+    let blocks_per_peer = 40;
+    let eia = eia_table(2, blocks_per_peer);
+    let mut cfg = DaemonConfig {
+        listeners: 2,
+        rings: 2,
+        ring_capacity: 256,
+        shards: 2,
+        ..DaemonConfig::default()
+    };
+    for (i, blocks) in eia.iter().enumerate() {
+        for b in blocks {
+            cfg.peers
+                .push((infilter_core::PeerId(i as u16 + 1), b.prefix()));
+        }
+    }
+    let boot = BootstrapConfig {
+        seed,
+        ..BootstrapConfig::default()
+    };
+    let engine = bootstrap_engine(&cfg, &boot).map_err(|e| e.to_string())?;
+    let daemon = Daemon::spawn(engine, &cfg).map_err(|e| format!("spawn: {e}"))?;
+    let udp = daemon.udp_addr();
+    let http = daemon.http_addr();
+
+    // Two peers' normal traffic, then the foreign-sourced attacks through
+    // peer 1 (§6.3.1 placement), all over real UDP.
+    let mut sent_flows = 0u64;
+    for (peer, blocks) in eia.iter().enumerate() {
+        let trace = NormalProfile::default().generate(
+            &mut StdRng::seed_from_u64(seed ^ (0xa0 + peer as u64)),
+            400,
+            30_000,
+        );
+        let mut dagflow = Dagflow::new(DagflowConfig {
+            sources: AddressMapper::from_sub_blocks(blocks.iter().copied()),
+            target_prefix: boot.target_prefix,
+            export_port: 9001 + peer as u16,
+            input_if: peer as u16 + 1,
+            src_as: peer as u16 + 1,
+        });
+        sent_flows += dagflow
+            .replay_to(&trace, 0, udp, SEND_PACE)
+            .map_err(|e| format!("normal replay: {e}"))?
+            .flows;
+    }
+    let foreign: Vec<SubBlock> = (blocks_per_peer..2 * blocks_per_peer)
+        .map(|i| SubBlock::from_linear(i).expect("in range"))
+        .collect();
+    let mut attack = Dagflow::new(DagflowConfig {
+        sources: AddressMapper::from_sub_blocks(foreign),
+        target_prefix: boot.target_prefix,
+        export_port: 9001,
+        input_if: 1,
+        src_as: 1,
+    });
+    let slammer = AttackKind::Slammer.generate(&mut StdRng::seed_from_u64(seed ^ 0xbad), 1024);
+    sent_flows += attack
+        .replay_to(&slammer.trace, 15_000, udp, SEND_PACE)
+        .map_err(|e| format!("slammer replay: {e}"))?
+        .flows;
+    let host_scan = AttackKind::HostScan.generate(&mut StdRng::seed_from_u64(seed ^ 0x5ca7), 1024);
+    sent_flows += attack
+        .replay_to(&host_scan.trace, 10_000, udp, SEND_PACE)
+        .map_err(|e| format!("host-scan replay: {e}"))?
+        .flows;
+
+    // Malformed payloads: truncated, wrong version, and noise. All must be
+    // counted and dropped without wedging anything.
+    let garbage = UdpSocket::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    for payload in [&[0u8; 4][..], &[0u8; 24][..], &[0xffu8; 100][..]] {
+        garbage.send_to(payload, udp).map_err(|e| e.to_string())?;
+    }
+
+    // Let the intake settle: wait until the accepted+rejected datagram
+    // counters stop moving.
+    let mut last = (0u64, Instant::now());
+    let page = loop {
+        std::thread::sleep(Duration::from_millis(60));
+        let page = http_get(http, "/metrics")?;
+        let seen = metric_value(&page, "infilterd_datagrams_total").unwrap_or(0.0) as u64
+            + metric_value(&page, "infilterd_decode_errors_total{reason=\"truncated\"}")
+                .unwrap_or(0.0) as u64
+            + metric_value(
+                &page,
+                "infilterd_decode_errors_total{reason=\"wrong_version\"}",
+            )
+            .unwrap_or(0.0) as u64;
+        if seen > 0 && seen == last.0 && last.1.elapsed() > Duration::from_millis(250) {
+            break page;
+        }
+        if seen != last.0 {
+            last = (seen, Instant::now());
+        }
+        if last.1.elapsed() > Duration::from_secs(20) {
+            return Err("intake never settled within 20s".into());
+        }
+    };
+
+    // The exposition contract: every advertised family, engine and ingest.
+    let missing: Vec<&str> = METRIC_FAMILIES
+        .iter()
+        .filter(|f| !page.contains(&format!("# TYPE {f} ")))
+        .copied()
+        .chain(missing_ingest_families(&page))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!("exposition missing families: {missing:?}"));
+    }
+
+    if http_get(http, "/healthz")? != "ok\n" {
+        return Err("healthz did not answer ok".into());
+    }
+    let alerts_xml = http_get(http, "/alerts?max=50")?;
+    let drained_alerts = alerts_xml.matches("<idmef:Alert").count();
+    if drained_alerts == 0 {
+        return Err("no IDMEF alerts drained over /alerts".into());
+    }
+    if !http_get(http, "/explain")?.contains("->") {
+        return Err("explain trail empty".into());
+    }
+
+    // Hot-reload: re-POST the same table; the daemon must accept it and
+    // keep classifying (a wrong table here would flag the next poll).
+    let table: String = cfg
+        .peers
+        .iter()
+        .map(|(peer, prefix)| format!("peer {} {prefix}\n", peer.0))
+        .collect();
+    let reload = http_post(http, "/reload", &table)?;
+    if !reload.contains("reloaded") {
+        return Err(format!("reload failed: {reload}"));
+    }
+    let bad_reload = http_post(http, "/reload", "nonsense\n")?;
+    if !bad_reload.contains("bad EIA table") {
+        return Err("malformed reload body was not rejected".into());
+    }
+
+    let report = daemon.shutdown();
+    if report.engine.attacks() == 0 {
+        return Err("no attack verdicts after a Slammer-laced replay".into());
+    }
+    if report.ingest.decode_errors != 3 {
+        return Err(format!(
+            "expected 3 decode errors, counted {}",
+            report.ingest.decode_errors
+        ));
+    }
+    if report.ingest.flows == 0 || report.ingest.flows > sent_flows {
+        return Err(format!(
+            "implausible flow accounting: received {} of {sent_flows}",
+            report.ingest.flows
+        ));
+    }
+    // UDP on loopback may shed a little under load; the gate demands most
+    // of the trace arrived so detection assertions are meaningful.
+    if (report.ingest.flows as f64) < 0.8 * sent_flows as f64 {
+        return Err(format!(
+            "too much UDP loss: received {} of {sent_flows}",
+            report.ingest.flows
+        ));
+    }
+    Ok(SmokeReport {
+        sent_flows,
+        received_flows: report.ingest.flows,
+        decode_errors: report.ingest.decode_errors,
+        attacks: report.engine.attacks(),
+        alerts: drained_alerts + report.alerts.len(),
+    })
+}
+
+/// First sample value for `name` in a Prometheus text page. `name` may
+/// include a label set (exact string match on the sample line).
+pub fn metric_value(page: &str, name: &str) -> Option<f64> {
+    page.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+fn http_roundtrip(addr: SocketAddr, request: &str) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| "malformed HTTP response".to_string())?;
+    if !response.starts_with("HTTP/1.1 200") && !response.starts_with("HTTP/1.1 400") {
+        return Err(format!(
+            "unexpected status: {}",
+            response.lines().next().unwrap_or("")
+        ));
+    }
+    Ok(body)
+}
+
+/// Minimal HTTP GET against the control plane.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    http_roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: infilterd\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// Minimal HTTP POST against the control plane.
+pub fn http_post(addr: SocketAddr, path: &str, body: &str) -> Result<String, String> {
+    http_roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: infilterd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}

@@ -1,0 +1,108 @@
+//! Daemon end-to-end over real loopback sockets: UDP NetFlow in, verdicts
+//! and IDMEF alerts out, the control plane answering, and a graceful
+//! HTTP-initiated shutdown. Basic mode keeps it fast and deterministic —
+//! the full Enhanced-mode gate lives behind `infilterd --smoke`.
+
+use std::time::{Duration, Instant};
+
+use infilter_core::{Mode, PeerId};
+use infilter_dagflow::{eia_table, AddressMapper, Dagflow, DagflowConfig};
+use infilter_ingest::bootstrap::{bootstrap_engine, BootstrapConfig};
+use infilter_ingest::smoke::{http_get, http_post, metric_value};
+use infilter_ingest::{missing_ingest_families, Daemon, DaemonConfig};
+use infilter_net::SubBlock;
+use infilter_traffic::NormalProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PACE: Duration = Duration::from_micros(200);
+
+#[test]
+fn daemon_ingests_alerts_and_shuts_down_gracefully() {
+    let blocks_per_peer = 40;
+    let eia = eia_table(2, blocks_per_peer);
+    let mut cfg = DaemonConfig {
+        mode: Mode::Basic,
+        listeners: 2,
+        rings: 2,
+        ..DaemonConfig::default()
+    };
+    for (i, blocks) in eia.iter().enumerate() {
+        for b in blocks {
+            cfg.peers.push((PeerId(i as u16 + 1), b.prefix()));
+        }
+    }
+    let boot = BootstrapConfig::default();
+    let engine = bootstrap_engine(&cfg, &boot).expect("bootstrap");
+    let daemon = Daemon::spawn(engine, &cfg).expect("spawn");
+    let (udp, http) = (daemon.udp_addr(), daemon.http_addr());
+
+    // Peer 1's own traffic, then spoofed flows drawn from peer 2's blocks
+    // arriving through peer 1 — the Basic-mode attack signature.
+    let trace = NormalProfile::default().generate(&mut StdRng::seed_from_u64(11), 120, 20_000);
+    let mut own = Dagflow::new(DagflowConfig {
+        sources: AddressMapper::from_sub_blocks(eia[0].iter().copied()),
+        target_prefix: boot.target_prefix,
+        export_port: 9001,
+        input_if: 1,
+        src_as: 1,
+    });
+    let mut sent = own.replay_to(&trace, 0, udp, PACE).expect("replay").flows;
+    let foreign: Vec<SubBlock> = (blocks_per_peer..2 * blocks_per_peer)
+        .map(|i| SubBlock::from_linear(i).expect("in range"))
+        .collect();
+    let spoof_trace = NormalProfile::default().generate(&mut StdRng::seed_from_u64(13), 40, 5_000);
+    let mut spoofer = Dagflow::new(DagflowConfig {
+        sources: AddressMapper::from_sub_blocks(foreign),
+        target_prefix: boot.target_prefix,
+        export_port: 9001,
+        input_if: 1,
+        src_as: 1,
+    });
+    sent += spoofer
+        .replay_to(&spoof_trace, 25_000, udp, PACE)
+        .expect("spoofed replay")
+        .flows;
+
+    // Wait for the intake to see the whole replay (UDP may shed a little).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let page = http_get(http, "/metrics").expect("metrics route");
+        let flows = metric_value(&page, "infilterd_flows_total").unwrap_or(0.0) as u64;
+        if flows >= sent * 8 / 10 {
+            assert_eq!(missing_ingest_families(&page), Vec::<&str>::new());
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "intake saw only {flows} of {sent} flows within 15s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    assert_eq!(http_get(http, "/healthz").expect("healthz"), "ok\n");
+    assert!(http_get(http, "/nope").is_err(), "unknown routes 404");
+
+    // HTTP-initiated shutdown: the flag flips, wait() unblocks, and the
+    // graceful teardown drains everything into the final report.
+    assert!(!daemon.stop_requested());
+    let reply = http_post(http, "/shutdown", "").expect("shutdown route");
+    assert!(reply.contains("shutting down"));
+    daemon.wait();
+    let report = daemon.shutdown();
+    assert!(report.engine.flows > 0);
+    assert_eq!(report.engine.flows, report.ingest.flows);
+    assert!(
+        report.engine.attacks() > 0,
+        "spoofed flows must flag in Basic mode"
+    );
+    assert!(
+        !report.alerts.is_empty(),
+        "unfetched alerts surface in the final report"
+    );
+    assert_eq!(
+        missing_ingest_families(&report.exposition),
+        Vec::<&str>::new()
+    );
+    assert!(report.exposition.contains("# TYPE infilter_flows_total "));
+}

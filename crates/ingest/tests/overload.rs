@@ -1,0 +1,185 @@
+//! Overload behaviour, in-process and socket-free: flood the intake rings
+//! past the watermarks and watch the degradation ladder engage, shed, and
+//! recover — with every stage visible in the rendered Prometheus page.
+
+use std::sync::Arc;
+
+use infilter_core::{Effort, Mode, PeerId};
+use infilter_ingest::bootstrap::{bootstrap_engine, BootstrapConfig};
+use infilter_ingest::smoke::metric_value;
+use infilter_ingest::{Batch, DaemonConfig, IngestMetrics, IngestPump, Intake, LadderConfig};
+use infilter_netflow::FlowRecord;
+
+fn daemon_config(mode: Mode) -> DaemonConfig {
+    let mut cfg = DaemonConfig {
+        mode,
+        ..DaemonConfig::default()
+    };
+    cfg.peers
+        .push((PeerId(1), "3.0.0.0/11".parse().expect("static prefix")));
+    cfg.peers
+        .push((PeerId(2), "3.32.0.0/11".parse().expect("static prefix")));
+    cfg
+}
+
+fn legal_batch(i: u32) -> Batch {
+    Batch {
+        ingress: PeerId(1),
+        records: vec![FlowRecord {
+            src_addr: (0x0300_0100u32 + i % 512).into(),
+            dst_addr: "96.1.0.20".parse().unwrap(),
+            dst_port: 80,
+            protocol: 6,
+            input_if: 1,
+            packets: 12,
+            octets: 6000,
+            last_ms: 900,
+            ..FlowRecord::default()
+        }],
+    }
+}
+
+fn spoofed_batch(i: u32) -> Batch {
+    Batch {
+        ingress: PeerId(1),
+        records: vec![FlowRecord {
+            src_addr: (0x0320_0000u32 + i).into(),
+            ..legal_batch(0).records[0]
+        }],
+    }
+}
+
+#[test]
+fn ladder_degrades_sheds_and_recovers() {
+    let engine = bootstrap_engine(&daemon_config(Mode::Enhanced), &BootstrapConfig::default())
+        .expect("bootstrap");
+    let intake = Arc::new(Intake::new(1, 100, Arc::new(IngestMetrics::default())));
+    let ladder = LadderConfig {
+        skip_nns_above: 0.5,
+        bi_only_above: 0.8,
+        recover_below: 0.25,
+        recover_after: 3,
+    };
+    let mut pump = IngestPump::new(engine, intake.clone(), ladder, 10, 64);
+    assert_eq!(pump.effort(), Effort::Full);
+
+    // Calm traffic processes at full effort.
+    for i in 0..5 {
+        intake.push_batch(legal_batch(i));
+    }
+    assert!(pump.step() > 0);
+    assert_eq!(pump.effort(), Effort::Full);
+
+    // 60 % occupancy crosses the first watermark: the next step degrades
+    // to SkipNns before processing anything.
+    for i in 0..60 {
+        intake.push_batch(legal_batch(i));
+    }
+    pump.step();
+    assert_eq!(pump.effort(), Effort::SkipNns);
+
+    // 90 % crosses the second watermark.
+    for i in 0..40 {
+        intake.push_batch(legal_batch(i));
+    }
+    pump.step();
+    assert_eq!(pump.effort(), Effort::BiOnly);
+
+    // Past capacity the intake sheds — counted, never blocking.
+    for i in 0..120 {
+        intake.push_batch(legal_batch(i));
+    }
+    let shed = pump.metrics().snapshot();
+    assert!(shed.shed_batches > 0, "full ring must shed");
+    assert_eq!(shed.shed_flows, shed.shed_batches);
+
+    // Draining re-observes each step, so the backlog clears and calm
+    // steps walk the ladder back up one rung at a time.
+    pump.drain();
+    for _ in 0..20 {
+        pump.step();
+    }
+    assert_eq!(pump.effort(), Effort::Full, "ladder must recover when calm");
+
+    let snap = pump.metrics().snapshot();
+    assert!(snap.transitions >= 3, "down twice, up at least once");
+    assert!(
+        snap.flows_by_effort.iter().all(|&n| n > 0),
+        "every rung must have processed flows: {:?}",
+        snap.flows_by_effort
+    );
+    assert_eq!(
+        snap.flows_by_effort.iter().sum::<u64>() + snap.shed_flows,
+        225,
+        "every pushed flow is either processed at some rung or shed"
+    );
+
+    // The whole story is on the exposition page.
+    let page = pump.prometheus_text();
+    for label in ["full", "skip_nns", "bi_only"] {
+        let key = format!("infilterd_effort_transitions_total{{to=\"{label}\"}}");
+        assert!(
+            metric_value(&page, &key).unwrap_or(0.0) >= 1.0,
+            "{key} must record the transition"
+        );
+        let flows_key = format!("infilterd_flows_by_effort_total{{effort=\"{label}\"}}");
+        assert!(
+            metric_value(&page, &flows_key).unwrap_or(0.0) >= 1.0,
+            "{flows_key} must be visible"
+        );
+    }
+    assert_eq!(metric_value(&page, "infilterd_effort"), Some(0.0));
+    assert!(metric_value(&page, "infilterd_shed_batches_total").unwrap_or(0.0) >= 1.0);
+}
+
+#[test]
+fn skip_nns_and_bi_only_transitions_are_counted_separately() {
+    let engine = bootstrap_engine(&daemon_config(Mode::Enhanced), &BootstrapConfig::default())
+        .expect("bootstrap");
+    let intake = Arc::new(Intake::new(1, 10, Arc::new(IngestMetrics::default())));
+    let ladder = LadderConfig {
+        skip_nns_above: 0.3,
+        bi_only_above: 0.8,
+        recover_below: 0.1,
+        recover_after: 2,
+    };
+    let mut pump = IngestPump::new(engine, intake.clone(), ladder, 2, 16);
+
+    // Jumping straight past both watermarks transitions directly to the
+    // bottom rung — one transition, not two.
+    for i in 0..10 {
+        intake.push_batch(legal_batch(i));
+    }
+    pump.step();
+    assert_eq!(pump.effort(), Effort::BiOnly);
+    let page = pump.prometheus_text();
+    assert_eq!(
+        metric_value(&page, "infilterd_effort_transitions_total{to=\"bi_only\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(&page, "infilterd_effort_transitions_total{to=\"skip_nns\"}"),
+        Some(0.0)
+    );
+    assert_eq!(metric_value(&page, "infilterd_effort"), Some(2.0));
+}
+
+#[test]
+fn alert_spool_drops_oldest_with_accounting() {
+    // Basic mode: every spoofed flow is an immediate EIA-mismatch attack,
+    // so alert production is deterministic.
+    let engine = bootstrap_engine(&daemon_config(Mode::Basic), &BootstrapConfig::default())
+        .expect("bootstrap");
+    let intake = Arc::new(Intake::new(1, 100, Arc::new(IngestMetrics::default())));
+    let mut pump = IngestPump::new(engine, intake.clone(), LadderConfig::default(), 10, 2);
+
+    for i in 0..5 {
+        intake.push_batch(spoofed_batch(i));
+    }
+    pump.drain();
+    assert_eq!(pump.spooled(), 2, "spool is bounded");
+    assert_eq!(pump.metrics().snapshot().alerts_dropped, 3);
+    let drained = pump.take_alerts(0);
+    assert_eq!(drained.len(), 2);
+    assert_eq!(pump.spooled(), 0);
+}

@@ -1,0 +1,151 @@
+//! Wire-codec fuzz suite: the decoder must never panic on hostile input
+//! (the collector feeds it raw UDP payloads), and valid datagrams must
+//! round-trip byte-accurately through encode/decode.
+
+use infilter_netflow::{Datagram, DecodeError, FlowRecord, MAX_RECORDS_PER_DATAGRAM};
+use proptest::prelude::*;
+
+/// A record with every field drawn from its full range — the encoder must
+/// not lose or reorder any bit of it.
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        (
+            any::<u32>(), // src_addr
+            any::<u32>(), // dst_addr
+            any::<u32>(), // next_hop
+            any::<u16>(), // input_if
+            any::<u16>(), // output_if
+            any::<u32>(), // packets
+            any::<u32>(), // octets
+        ),
+        (
+            any::<u32>(), // first_ms
+            any::<u32>(), // last_ms
+            any::<u16>(), // src_port
+            any::<u16>(), // dst_port
+            any::<u8>(),  // tcp_flags
+            any::<u8>(),  // protocol
+            any::<u8>(),  // tos
+        ),
+        (
+            any::<u16>(), // src_as
+            any::<u16>(), // dst_as
+            any::<u8>(),  // src_mask
+            any::<u8>(),  // dst_mask
+        ),
+    )
+        .prop_map(
+            |(
+                (src_addr, dst_addr, next_hop, input_if, output_if, packets, octets),
+                (first_ms, last_ms, src_port, dst_port, tcp_flags, protocol, tos),
+                (src_as, dst_as, src_mask, dst_mask),
+            )| FlowRecord {
+                src_addr: src_addr.into(),
+                dst_addr: dst_addr.into(),
+                next_hop: next_hop.into(),
+                input_if,
+                output_if,
+                packets,
+                octets,
+                first_ms,
+                last_ms,
+                src_port,
+                dst_port,
+                tcp_flags,
+                protocol,
+                tos,
+                src_as,
+                dst_as,
+                src_mask,
+                dst_mask,
+            },
+        )
+}
+
+fn arb_datagram() -> impl Strategy<Value = Datagram> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(arb_record(), 0..=MAX_RECORDS_PER_DATAGRAM),
+    )
+        .prop_map(|(seq, uptime, records)| Datagram::new(seq, uptime, &records))
+}
+
+proptest! {
+    /// decode(encode(d)) reproduces `d` exactly, and re-encoding the
+    /// decoded value reproduces the original bytes — the codec is a
+    /// bijection on its image.
+    #[test]
+    fn round_trip_is_byte_accurate(datagram in arb_datagram()) {
+        let bytes = datagram.encode();
+        let decoded = Datagram::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &datagram);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Any truncation of a valid datagram is a clean `Truncated` or
+    /// `BadCount` error (the cut can land inside the count field), never a
+    /// panic and never a silently short parse.
+    #[test]
+    fn truncation_is_detected(datagram in arb_datagram(), cut in any::<prop::sample::Index>()) {
+        let bytes = datagram.encode();
+        let cut = cut.index(bytes.len());
+        match Datagram::decode(&bytes[..cut]) {
+            Ok(_) => prop_assert!(false, "decoded a {cut}-byte prefix of {}", bytes.len()),
+            Err(DecodeError::Truncated { need, have }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(need > have);
+            }
+            Err(DecodeError::BadCount(_)) | Err(DecodeError::WrongVersion(_)) => {
+                // A cut inside the header can expose garbage fields first.
+                prop_assert!(cut < 24, "field errors only arise from header cuts");
+            }
+        }
+    }
+
+    /// Arbitrary bytes — including oversized buffers well past the 1464-byte
+    /// v5 maximum — never panic the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Datagram::decode(&bytes);
+    }
+
+    /// Corrupting any single byte of a valid datagram either still decodes
+    /// (payload bytes are value-blind) or fails cleanly; a corrupted
+    /// version or count field must map to its dedicated error.
+    #[test]
+    fn single_byte_corruption_fails_cleanly(
+        datagram in arb_datagram(),
+        at in any::<prop::sample::Index>(),
+        value in any::<u8>(),
+    ) {
+        let mut bytes = datagram.encode().to_vec();
+        let at = at.index(bytes.len());
+        let original = bytes[at];
+        bytes[at] = value;
+        match (at, Datagram::decode(&bytes)) {
+            (0 | 1, Err(DecodeError::WrongVersion(v))) => {
+                prop_assert!(v != 5, "version error on a still-valid version field")
+            }
+            (2 | 3, Err(DecodeError::BadCount(c))) => {
+                prop_assert!(c as usize > MAX_RECORDS_PER_DATAGRAM)
+            }
+            (2 | 3, Err(DecodeError::Truncated { need, have })) => {
+                // A lowered count would decode; a raised one within range
+                // outruns the payload.
+                prop_assert!(need > have)
+            }
+            (_, Ok(decoded)) => {
+                // Value-blind positions decode to a datagram that differs
+                // at most in that field.
+                if value == original {
+                    prop_assert_eq!(decoded, datagram);
+                }
+            }
+            (at, Err(e)) => prop_assert!(
+                at < 4,
+                "byte {at} of the payload should be value-blind, got {e:?}"
+            ),
+        }
+    }
+}

@@ -33,16 +33,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // 3. Train the Enhanced InFilter pipeline (EIA → Scan Analysis → NNS).
-    let cfg = AnalyzerConfig {
-        nns: NnsParams {
+    let cfg = AnalyzerConfig::builder()
+        .nns(NnsParams {
             d: 0,
             m1: 2,
             m2: 10,
             m3: 3,
-        },
-        bits_per_feature: 32,
-        ..AnalyzerConfig::default()
-    };
+        })
+        .bits_per_feature(32)
+        .build()?;
     let mut analyzer = Trainer::new(cfg).train_enhanced(eia, &normal)?;
 
     // 4. Classify flows.

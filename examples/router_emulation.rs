@@ -105,16 +105,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|r| r.dst_port == 80)
         .copied()
         .collect();
-    let mut analyzer = Trainer::new(AnalyzerConfig {
-        nns: NnsParams {
-            d: 0,
-            m1: 2,
-            m2: 10,
-            m3: 3,
-        },
-        bits_per_feature: 32,
-        ..AnalyzerConfig::default()
-    })
+    let mut analyzer = Trainer::new(
+        AnalyzerConfig::builder()
+            .nns(NnsParams {
+                d: 0,
+                m1: 2,
+                m2: 10,
+                m3: 3,
+            })
+            .bits_per_feature(32)
+            .build()?,
+    )
     .train_enhanced(eia, &training)?;
 
     let mut attacks = 0;

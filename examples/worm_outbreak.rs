@@ -39,16 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         src_as: 0,
     });
     let training = trainer_dagflow.replay_records(&training_trace, 0);
-    let cfg = AnalyzerConfig {
-        nns: NnsParams {
+    let cfg = AnalyzerConfig::builder()
+        .nns(NnsParams {
             d: 0,
             m1: 2,
             m2: 10,
             m3: 3,
-        },
-        bits_per_feature: 32,
-        ..AnalyzerConfig::default()
-    };
+        })
+        .bits_per_feature(32)
+        .build()?;
     let mut analyzer = Trainer::new(cfg).train_enhanced(eia, &training)?;
 
     // The worm enters via Peer AS1, spoofing sources from the other nine

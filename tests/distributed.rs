@@ -37,16 +37,18 @@ fn figure9_deployment_over_udp_and_threads() {
         input_if: 0,
         src_as: 0,
     });
-    let analyzer = Trainer::new(AnalyzerConfig {
-        nns: NnsParams {
-            d: 0,
-            m1: 2,
-            m2: 8,
-            m3: 2,
-        },
-        bits_per_feature: 16,
-        ..AnalyzerConfig::default()
-    })
+    let analyzer = Trainer::new(
+        AnalyzerConfig::builder()
+            .nns(NnsParams {
+                d: 0,
+                m1: 2,
+                m2: 8,
+                m3: 2,
+            })
+            .bits_per_feature(16)
+            .build()
+            .expect("valid config"),
+    )
     .train_enhanced(eia, &trainer_flow.replay_records(&training_trace, 0))
     .expect("training succeeds");
     let shared = Arc::new(ConcurrentAnalyzer::new(

@@ -11,16 +11,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_analyzer_config() -> AnalyzerConfig {
-    AnalyzerConfig {
-        nns: NnsParams {
+    AnalyzerConfig::builder()
+        .nns(NnsParams {
             d: 0,
             m1: 2,
             m2: 8,
             m3: 2,
-        },
-        bits_per_feature: 16,
-        ..AnalyzerConfig::default()
-    }
+        })
+        .bits_per_feature(16)
+        .build()
+        .expect("valid config")
 }
 
 #[test]
