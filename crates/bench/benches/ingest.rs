@@ -1,11 +1,16 @@
 //! Throughput of the ingest path per degradation rung.
 //!
-//! Measures flows/second through `process_batch_with_effort` at each rung
-//! of the load-shedding ladder — full EI, skip-NNS, and BI-only — over a
+//! Measures flows/second through `process_flow_batch_into` — the
+//! struct-of-arrays batch path the daemon's pump drives — at each rung of
+//! the load-shedding ladder: full EI, skip-NNS, and BI-only, over a
 //! suspect-heavy mix (1 flow in 4 arrives at the wrong peer, the regime
 //! where the rungs actually differ; a ≥99 %-legal mix takes the fast path
 //! regardless of effort). Also measures the intake-ring enqueue/dequeue
 //! overhead the daemon adds around the engine.
+//!
+//! Besides the criterion report, a manual timing pass writes per-rung
+//! flows/s to `crates/bench/BENCH_ingest.json` so CI can diff the baseline
+//! machine-readably.
 //!
 //! Run with `cargo bench --bench ingest`; `-- --test` gives the CI smoke
 //! run. Results are recorded in EXPERIMENTS.md.
@@ -16,7 +21,7 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use infilter_core::{
     AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, Effort, EiaRegistry, Mode, PeerId,
-    Trainer,
+    Trainer, Verdict,
 };
 use infilter_ingest::{Batch, IngestMetrics, Intake};
 use infilter_netflow::FlowRecord;
@@ -118,16 +123,20 @@ fn bench_ladder(c: &mut Criterion) {
             BenchmarkId::new("effort", effort.as_label()),
             &effort,
             |b, &effort| {
+                let mut verdicts: Vec<Verdict> = Vec::new();
                 b.iter_custom(|iters| {
                     (0..iters)
                         .map(|_| {
                             let start = Instant::now();
                             for batch in &work {
-                                black_box(engine.process_batch_with_effort(
+                                verdicts.clear();
+                                engine.process_flow_batch_into(
                                     batch.ingress,
                                     &batch.records,
                                     effort,
-                                ));
+                                    &mut verdicts,
+                                );
+                                black_box(verdicts.len());
                             }
                             start.elapsed()
                         })
@@ -137,6 +146,53 @@ fn bench_ladder(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// Manual per-rung timing pass feeding the machine-readable baseline at
+/// `crates/bench/BENCH_ingest.json` (best of several passes; one pass in
+/// the `--test` smoke run). Hand-formatted JSON keeps the bench free of
+/// serialisation dependencies.
+fn baseline_json(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test");
+    let passes = if quick { 1 } else { 7 };
+    let work = batches(0x1f11);
+    let total_flows = (BATCHES * RECORDS_PER_BATCH) as u64;
+    let mut entries = Vec::new();
+    for effort in Effort::ALL {
+        let engine = engine();
+        let mut verdicts: Vec<Verdict> = Vec::new();
+        let mut best = f64::INFINITY;
+        for _ in 0..passes {
+            let start = Instant::now();
+            for batch in &work {
+                verdicts.clear();
+                engine.process_flow_batch_into(
+                    batch.ingress,
+                    &batch.records,
+                    effort,
+                    &mut verdicts,
+                );
+                black_box(verdicts.len());
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let flows_per_sec = total_flows as f64 / best;
+        entries.push(format!(
+            "    \"{}\": {:.0}",
+            effort.as_label(),
+            flows_per_sec
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"ingest_ladder\",\n  \"unit\": \"flows_per_sec\",\n  \
+         \"flows_per_iter\": {},\n  \"suspect_share\": 0.25,\n  \"rungs\": {{\n{}\n  }}\n}}\n",
+        total_flows,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_ingest.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
 }
 
 fn bench_intake_ring(c: &mut Criterion) {
@@ -156,9 +212,13 @@ fn bench_intake_ring(c: &mut Criterion) {
             let mut out = Vec::with_capacity(BATCHES);
             (0..iters)
                 .map(|_| {
+                    // Clone outside the timed region: duplicating a
+                    // struct-of-arrays batch is ~18 allocations, which
+                    // would otherwise dwarf the push/pop being measured.
+                    let round: Vec<Batch> = work.clone();
                     let start = Instant::now();
-                    for batch in &work {
-                        intake.push_batch(batch.clone());
+                    for batch in round {
+                        intake.push_batch(batch);
                     }
                     out.clear();
                     intake.pop_round(BATCHES, &mut out);
@@ -171,5 +231,5 @@ fn bench_intake_ring(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ladder, bench_intake_ring);
+criterion_group!(benches, bench_ladder, bench_intake_ring, baseline_json);
 criterion_main!(benches);

@@ -98,6 +98,14 @@ impl SubclusterModel {
         self.encoder.encode_into(&stats.as_features(), scratch);
     }
 
+    /// Collision-free fingerprint of the flow's encoding (see
+    /// [`UnaryEncoder::fingerprint`]): equal fingerprints guarantee equal
+    /// encoded vectors, hence equal (deterministic) search results. The
+    /// analyzers key their NNS memo on this.
+    pub fn fingerprint(&self, stats: &FlowStats) -> Option<u64> {
+        self.encoder.fingerprint(&stats.as_features())
+    }
+
     /// Distance from the flow to its (approximate) nearest normal
     /// neighbour. `None` when every probe missed — treated as maximally
     /// anomalous by the pipeline.

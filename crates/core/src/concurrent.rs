@@ -24,14 +24,17 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use infilter_netflow::FlowRecord;
+use infilter_netflow::{FlowBatch, FlowRecord};
 use infilter_nns::BitVec;
 use parking_lot::Mutex;
 
 use crate::eia::EiaSnapshot;
 use crate::metrics::ConcurrentMetrics;
 use crate::observe::{PipelineTelemetry, SuspectObservation};
-use crate::pipeline::{nns_stage, saturating_nanos, scan_stage, SuspectOutcome};
+use crate::pipeline::{
+    nns_stage, saturating_nanos, scan_stage, scan_verdict_stage, NnsMemo, SuspectOutcome,
+    SuspectRecord,
+};
 use crate::snapshot::{CachedSnapshot, SnapshotCell};
 use crate::{
     Analyzer, AnalyzerMetrics, AttackStage, ClusterModel, Effort, EiaRegistry, EiaVerdict,
@@ -96,6 +99,21 @@ thread_local! {
     /// to share across analyzers — `encode_into` resets length and contents
     /// on every use.
     static ENCODE_SCRATCH: RefCell<BitVec> = RefCell::new(BitVec::zeros(0));
+    /// Per-thread batch-path scratch: the sort permutation and precomputed
+    /// EIA verdicts for `process_flow_batch_into`. Cleared on every use.
+    static BATCH_SCRATCH: RefCell<(Vec<u32>, Vec<EiaVerdict>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-thread column buffer for the record-slice batch entry point.
+    /// Taken (not borrowed) for the duration of a batch so the flow-batch
+    /// path can use `BATCH_SCRATCH` freely.
+    static BATCH_COLUMNS: RefCell<FlowBatch> = RefCell::new(FlowBatch::new());
+    /// Per-thread NNS memo, keyed by the owning model. The key holds a
+    /// clone of the model `Arc` — not just its address — so a dropped
+    /// model's allocation can never be recycled into a new model that
+    /// would then replay the old model's memoized distances; a key
+    /// mismatch resets the memo.
+    static NNS_MEMO: RefCell<(Option<Arc<ClusterModel>>, NnsMemo)> =
+        RefCell::new((None, NnsMemo::default()));
 }
 
 /// The concurrent InFilter engine: `process` takes `&self` and scales with
@@ -244,6 +262,18 @@ impl ConcurrentAnalyzer {
         effort: Effort,
     ) -> Verdict {
         let n = self.metrics.flows.fetch_add(1, Ordering::Relaxed);
+        self.process_counted(n, ingress, flow, effort)
+    }
+
+    /// The per-flow pipeline after the flow counter; see the single-threaded
+    /// [`Analyzer`]'s equivalent for the contract on `n`.
+    fn process_counted(
+        &self,
+        n: u64,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        effort: Effort,
+    ) -> Verdict {
         let sample = self.ccfg.latency_sample_every;
         let started = if sample != 0 && n.is_multiple_of(sample) {
             Some(std::time::Instant::now())
@@ -255,32 +285,56 @@ impl ConcurrentAnalyzer {
         let snapshot = self.cached_snapshot();
         let eia_verdict = snapshot.classify(ingress, flow.src_addr);
         drop(snapshot);
-        if let EiaVerdict::Match = eia_verdict {
-            ConcurrentMetrics::bump(&self.metrics.eia_match);
-            let mut elapsed_ns = 0;
-            if let Some(started) = started {
-                let elapsed = started.elapsed();
-                elapsed_ns = saturating_nanos(elapsed);
-                self.metrics.fast_path.record(elapsed);
-                self.telemetry.observe_fast_latency(elapsed_ns);
+        match eia_verdict {
+            EiaVerdict::Match => {
+                ConcurrentMetrics::bump(&self.metrics.eia_match);
+                let mut elapsed_ns = 0;
+                if let Some(started) = started {
+                    let elapsed = started.elapsed();
+                    elapsed_ns = saturating_nanos(elapsed);
+                    self.metrics.fast_path.record(elapsed);
+                    self.telemetry.observe_fast_latency(elapsed_ns);
+                }
+                if self.telemetry.fast_sample_due(n) {
+                    self.telemetry.record_fast_path(
+                        self.shard_for(flow),
+                        ingress,
+                        flow,
+                        elapsed_ns,
+                    );
+                }
+                Verdict::Legal
             }
-            if self.telemetry.fast_sample_due(n) {
-                self.telemetry
-                    .record_fast_path(self.shard_for(flow), ingress, flow, elapsed_ns);
-            }
-            return Verdict::Legal;
+            EiaVerdict::Mismatch { expected } => self.suspect_counted(
+                started,
+                ingress,
+                flow,
+                expected,
+                effort,
+                SuspectRecord::Full,
+            ),
         }
-        ConcurrentMetrics::bump(&self.metrics.eia_suspect);
-        let expected = match eia_verdict {
-            EiaVerdict::Mismatch { expected } => expected,
-            EiaVerdict::Match => unreachable!("handled above"),
-        };
+    }
 
-        // Suspects are rare enough to always time when telemetry is on; the
-        // sampled `AtomicStageLatency` stays gated on `started` so its
+    /// Stages 2–3 plus alerting and suspect telemetry for one EIA-suspect
+    /// flow; the concurrent twin of the single-threaded suspect path.
+    fn suspect_counted(
+        &self,
+        started: Option<std::time::Instant>,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        expected: Option<PeerId>,
+        effort: Effort,
+        record: SuspectRecord,
+    ) -> Verdict {
+        ConcurrentMetrics::bump(&self.metrics.eia_suspect);
+        let observe = record.observed();
+        // Per-flow suspects are rare enough to always time when telemetry
+        // is on; the batch path samples instead (`SuspectRecord::Light`).
+        // The sampled `AtomicStageLatency` stays gated on `started` so its
         // semantics (1-in-N) are unchanged.
         let suspect_started =
-            started.or_else(|| self.telemetry.enabled().then(std::time::Instant::now));
+            started.or_else(|| (observe && self.telemetry.enabled()).then(std::time::Instant::now));
         let (verdict, observed) = match (self.cfg.mode, effort) {
             (Mode::Basic, _) | (Mode::Enhanced, Effort::BiOnly) => {
                 ConcurrentMetrics::bump(&self.metrics.eia_attacks);
@@ -289,7 +343,7 @@ impl ConcurrentAnalyzer {
                     SuspectObservation::default(),
                 )
             }
-            (Mode::Enhanced, effort) => self.enhanced_analysis(ingress, flow, effort),
+            (Mode::Enhanced, effort) => self.enhanced_analysis(ingress, flow, effort, observe),
         };
         if let Verdict::Attack(stage) = verdict {
             self.emit_alert(flow, ingress, stage);
@@ -300,15 +354,21 @@ impl ConcurrentAnalyzer {
                 .suspect_path
                 .record(elapsed.expect("timed when sampled"));
         }
-        self.telemetry.record_suspect(
-            self.shard_for(flow),
-            ingress,
-            expected,
-            flow,
-            &observed,
-            verdict,
-            elapsed.map_or(0, saturating_nanos),
-        );
+        match record {
+            SuspectRecord::Full => self.telemetry.record_suspect(
+                self.shard_for(flow),
+                ingress,
+                expected,
+                flow,
+                &observed,
+                verdict,
+                elapsed.map_or(0, saturating_nanos),
+            ),
+            SuspectRecord::Light(peer) => {
+                self.telemetry
+                    .record_suspect_light(self.shard_for(flow), peer, verdict)
+            }
+        }
         verdict
     }
 
@@ -326,10 +386,144 @@ impl ConcurrentAnalyzer {
         flows: &[FlowRecord],
         effort: Effort,
     ) -> Vec<Verdict> {
-        flows
-            .iter()
-            .map(|f| self.process_with_effort(ingress, f, effort))
-            .collect()
+        let mut out = Vec::with_capacity(flows.len());
+        self.process_batch_into(ingress, flows, effort, &mut out);
+        out
+    }
+
+    /// Record-slice batch entry point: transposes into a per-thread column
+    /// buffer and runs the grouped batch path, appending verdicts to `out`.
+    pub fn process_batch_into(
+        &self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        let mut batch = BATCH_COLUMNS.with(|b| std::mem::take(&mut *b.borrow_mut()));
+        batch.clear();
+        batch.extend_from_records(flows);
+        self.process_flow_batch_into(ingress, &batch, effort, out);
+        BATCH_COLUMNS.with(|b| *b.borrow_mut() = batch);
+    }
+
+    /// Batch-first hot path over a struct-of-arrays [`FlowBatch`]: the
+    /// concurrent twin of the single-threaded analyzer's grouped EIA pass.
+    ///
+    /// Phase A classifies the source column in sorted order against one
+    /// cached snapshot with an amortised [`crate::EiaClassifier`]; phase B
+    /// applies bookkeeping in original flow order. If a suspect's sighting
+    /// republishes the EIA snapshot mid-batch (an adoption landed), the
+    /// precomputed verdicts are stale for the remaining flows, so they fall
+    /// back to live per-flow classification — exactly when the per-flow
+    /// path's own `cached_snapshot` would have reloaded.
+    pub fn process_flow_batch_into(
+        &self,
+        ingress: PeerId,
+        batch: &FlowBatch,
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        let len = batch.len();
+        if len == 0 {
+            return;
+        }
+        out.reserve(len);
+        let n0 = self.metrics.flows.fetch_add(len as u64, Ordering::Relaxed);
+        let sample = self.ccfg.latency_sample_every;
+
+        let (mut idx, mut eia) = BATCH_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        let src = batch.src_addr_bits();
+        idx.clear();
+        idx.extend(0..len as u32);
+        idx.sort_unstable_by_key(|&i| src[i as usize]);
+        eia.clear();
+        eia.resize(len, EiaVerdict::Match);
+
+        // Phase A: grouped EIA classification against one snapshot. Timed
+        // as a whole only when some flow in this window samples latency;
+        // each sampled match then records its per-flow share.
+        let snap_id = self.eia.id();
+        let snapshot = self.cached_snapshot();
+        let sampling = sample != 0 && n0.next_multiple_of(sample) < n0 + len as u64;
+        let a_started = sampling.then(std::time::Instant::now);
+        {
+            let mut classifier = snapshot.classifier(ingress);
+            for &i in &idx {
+                eia[i as usize] = classifier.classify(std::net::Ipv4Addr::from(src[i as usize]));
+            }
+        }
+        let per_flow = a_started.map(|s| s.elapsed() / len as u32);
+        drop(snapshot);
+
+        // Phase B: bookkeeping and suspect analysis in original order.
+        // EIA-match bumps are batched into one fetch_add; stale-fallback
+        // flows go through `process_counted`, which bumps individually.
+        let mut matches = 0u64;
+        let mut stale = false;
+        // All suspects in this batch share one ingress: hoist their peer
+        // counter cell out of the loop, lazily so suspect-free batches
+        // never materialise it.
+        let mut peer: Option<std::sync::Arc<crate::observe::PeerCounters>> = None;
+        for (i, &eia_verdict) in eia.iter().enumerate() {
+            let n = n0 + i as u64;
+            if stale {
+                out.push(self.process_counted(n, ingress, &batch.record(i), effort));
+                continue;
+            }
+            match eia_verdict {
+                EiaVerdict::Match => {
+                    matches += 1;
+                    let mut elapsed_ns = 0;
+                    if sample != 0 && n.is_multiple_of(sample) {
+                        if let Some(share) = per_flow {
+                            elapsed_ns = saturating_nanos(share);
+                            self.metrics.fast_path.record(share);
+                            self.telemetry.observe_fast_latency(elapsed_ns);
+                        }
+                    }
+                    if self.telemetry.fast_sample_due(n) {
+                        let record = batch.record(i);
+                        self.telemetry.record_fast_path(
+                            self.shard_for(&record),
+                            ingress,
+                            &record,
+                            elapsed_ns,
+                        );
+                    }
+                    out.push(Verdict::Legal);
+                }
+                EiaVerdict::Mismatch { expected } => {
+                    let flow = batch.record(i);
+                    let started = if sample != 0 && n.is_multiple_of(sample) {
+                        Some(std::time::Instant::now())
+                    } else {
+                        None
+                    };
+                    // Sampled suspects get the full observation; the rest
+                    // take the counters-only path (see `SuspectRecord`).
+                    let record = if started.is_some() {
+                        SuspectRecord::Full
+                    } else {
+                        if peer.is_none() {
+                            peer = Some(self.telemetry.peer_cell(ingress));
+                        }
+                        SuspectRecord::Light(peer.as_deref().expect("hoisted above"))
+                    };
+                    out.push(
+                        self.suspect_counted(started, ingress, &flow, expected, effort, record),
+                    );
+                    if self.eia.id() != snap_id {
+                        stale = true;
+                    }
+                }
+            }
+        }
+        if matches > 0 {
+            self.metrics.eia_match.fetch_add(matches, Ordering::Relaxed);
+        }
+
+        BATCH_SCRATCH.with(|s| *s.borrow_mut() = (idx, eia));
     }
 
     fn enhanced_analysis(
@@ -337,11 +531,22 @@ impl ConcurrentAnalyzer {
         ingress: PeerId,
         flow: &FlowRecord,
         effort: Effort,
+        observe: bool,
     ) -> (Verdict, SuspectObservation) {
         // Stage 2: Scan Analysis under this suspect's shard lock only.
+        // When nothing will record the observation, skip the distinct-
+        // counter reads — the push still updates the scan state, so
+        // verdicts are unaffected.
         let (scan_hit, mut observed) = {
             let mut shard = self.shards[self.shard_for(flow)].lock();
-            scan_stage(&mut shard.scan, flow)
+            if observe {
+                scan_stage(&mut shard.scan, flow)
+            } else {
+                (
+                    scan_verdict_stage(shard.scan.push(flow)),
+                    SuspectObservation::default(),
+                )
+            }
         };
         if let Some(stage) = scan_hit {
             ConcurrentMetrics::bump(&self.metrics.scan_attacks);
@@ -357,14 +562,23 @@ impl ConcurrentAnalyzer {
 
         // Stage 3: NNS search — read-only, outside every lock, with the
         // thread-local query buffer.
-        let timed = self.telemetry.enabled();
+        let timed = observe && self.telemetry.enabled();
         let (outcome, nns) = ENCODE_SCRATCH.with(|scratch| {
-            nns_stage(
-                self.model.as_deref(),
-                flow,
-                &mut scratch.borrow_mut(),
-                timed,
-            )
+            NNS_MEMO.with(|memo| {
+                let mut memo = memo.borrow_mut();
+                let (held, entries) = &mut *memo;
+                if held.as_ref().map(Arc::as_ptr) != self.model.as_ref().map(Arc::as_ptr) {
+                    *held = self.model.clone();
+                    *entries = NnsMemo::default();
+                }
+                nns_stage(
+                    self.model.as_deref(),
+                    flow,
+                    &mut scratch.borrow_mut(),
+                    timed,
+                    entries,
+                )
+            })
         });
         observed.nns = Some(nns);
         let verdict = match outcome {
@@ -415,6 +629,12 @@ impl ConcurrentAnalyzer {
     /// Write-side sighting; republishes the snapshot once enough adoptions
     /// accumulate. Returns whether this sighting adopted the source.
     fn record_sighting(&self, ingress: PeerId, addr: std::net::Ipv4Addr) -> bool {
+        // Adoption disabled: the registry would refuse the sighting anyway
+        // (see `EiaRegistry::record_sighting`), so don't serialise every
+        // NNS-cleared suspect on the write-side mutex to learn that.
+        if self.cfg.adoption_threshold == 0 {
+            return false;
+        }
         let mut ws = self.write_side.lock();
         let adopted = ws.registry.record_sighting(ingress, addr);
         if adopted {

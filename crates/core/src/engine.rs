@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use infilter_netflow::FlowRecord;
+use infilter_netflow::{FlowBatch, FlowRecord};
 
 use crate::eia::EiaSnapshot;
 use crate::observe::PipelineTelemetry;
@@ -85,10 +85,43 @@ pub trait Engine {
         flows: &[FlowRecord],
         effort: Effort,
     ) -> Vec<Verdict> {
-        flows
-            .iter()
-            .map(|f| self.process_with_effort(ingress, f, effort))
-            .collect()
+        let mut out = Vec::with_capacity(flows.len());
+        self.process_batch_into(ingress, flows, effort, &mut out);
+        out
+    }
+
+    /// Runs a record-slice batch, appending one verdict per flow to `out`
+    /// (same order). Callers that process batches in a loop reuse one
+    /// verdict buffer instead of allocating a `Vec` per batch.
+    fn process_batch_into(
+        &mut self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        out.reserve(flows.len());
+        for f in flows {
+            let v = self.process_with_effort(ingress, f, effort);
+            out.push(v);
+        }
+    }
+
+    /// Runs a struct-of-arrays [`FlowBatch`], appending one verdict per
+    /// flow to `out` (same order). Engines with a columnar hot path
+    /// override this; the default materialises each record.
+    fn process_flow_batch_into(
+        &mut self,
+        ingress: PeerId,
+        batch: &FlowBatch,
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        out.reserve(batch.len());
+        for i in 0..batch.len() {
+            let v = self.process_with_effort(ingress, &batch.record(i), effort);
+            out.push(v);
+        }
     }
 }
 
@@ -132,6 +165,26 @@ impl Engine for Analyzer {
 
     fn reload_eia(&mut self, eia: EiaRegistry) -> usize {
         Analyzer::reload_eia(self, eia)
+    }
+
+    fn process_batch_into(
+        &mut self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        Analyzer::process_batch_into(self, ingress, flows, effort, out)
+    }
+
+    fn process_flow_batch_into(
+        &mut self,
+        ingress: PeerId,
+        batch: &FlowBatch,
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        Analyzer::process_flow_batch_into(self, ingress, batch, effort, out)
     }
 }
 
@@ -188,5 +241,25 @@ impl Engine for ConcurrentAnalyzer {
         effort: Effort,
     ) -> Vec<Verdict> {
         ConcurrentAnalyzer::process_batch_with_effort(self, ingress, flows, effort)
+    }
+
+    fn process_batch_into(
+        &mut self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        ConcurrentAnalyzer::process_batch_into(self, ingress, flows, effort, out)
+    }
+
+    fn process_flow_batch_into(
+        &mut self,
+        ingress: PeerId,
+        batch: &FlowBatch,
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        ConcurrentAnalyzer::process_flow_batch_into(self, ingress, batch, effort, out)
     }
 }

@@ -322,6 +322,29 @@ impl PipelineTelemetry {
         });
     }
 
+    /// The shared counter cell for one peer, for callers that resolve many
+    /// suspects from the same ingress (the batch path hoists this lookup
+    /// out of its per-suspect loop).
+    pub(crate) fn peer_cell(&self, ingress: PeerId) -> Arc<PeerCounters> {
+        self.peers.get(&ingress.0)
+    }
+
+    /// The counters-only subset of [`PipelineTelemetry::record_suspect`]:
+    /// exact per-peer and per-shard suspect counts, no histograms and no
+    /// flight-recorder entry. The batch path uses this for suspects the
+    /// latency sampler skipped, so batch-mode suspect telemetry is sampled
+    /// where per-flow telemetry is exhaustive — the counters stay exact
+    /// either way.
+    pub(crate) fn record_suspect_light(&self, shard: usize, peer: &PeerCounters, verdict: Verdict) {
+        peer.suspects.fetch_add(1, Ordering::Relaxed);
+        match verdict {
+            Verdict::Attack(_) => peer.attacks.fetch_add(1, Ordering::Relaxed),
+            Verdict::Forgiven => peer.forgiven.fetch_add(1, Ordering::Relaxed),
+            Verdict::Legal => 0, // unreachable: suspects are never Legal
+        };
+        self.shard_suspects[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts an adoption against the adopting peer.
     pub(crate) fn record_adoption(&self, ingress: PeerId) {
         self.peers

@@ -1,7 +1,7 @@
 use std::net::Ipv4Addr;
 use std::time::Instant;
 
-use infilter_netflow::FlowRecord;
+use infilter_netflow::{FlowBatch, FlowRecord};
 use infilter_nns::{BitVec, NnsParams};
 use infilter_traffic::AppClass;
 use serde::{Deserialize, Serialize};
@@ -467,6 +467,14 @@ pub struct Analyzer {
     /// Reusable NNS query buffer: suspect-flow encode + search performs
     /// zero heap allocations after the first suspect.
     nns_scratch: BitVec,
+    /// Batch-path scratch: sort permutation, per-flow EIA verdicts, and a
+    /// column buffer for record-slice batches. Reused so the steady-state
+    /// batch path allocates nothing.
+    batch_idx: Vec<u32>,
+    batch_eia: Vec<EiaVerdict>,
+    batch_scratch: FlowBatch,
+    /// Memoised NNS outcomes (the model is immutable after training).
+    nns_memo: NnsMemo,
 }
 
 impl Analyzer {
@@ -488,6 +496,10 @@ impl Analyzer {
             alerts: Vec::new(),
             next_alert_id: 0,
             nns_scratch: BitVec::zeros(0),
+            batch_idx: Vec::new(),
+            batch_eia: Vec::new(),
+            batch_scratch: FlowBatch::new(),
+            nns_memo: NnsMemo::default(),
         }
     }
 
@@ -566,40 +578,78 @@ impl Analyzer {
         effort: Effort,
     ) -> Verdict {
         let n = self.metrics.flows;
+        self.metrics.flows += 1;
+        self.process_counted(n, ingress, flow, effort)
+    }
+
+    /// The per-flow pipeline after the flow counter: `n` is this flow's
+    /// global sequence number (what latency sampling and the flight
+    /// recorder gate on). The batch path bulk-advances the counter and
+    /// calls this only for flows that fall off its precomputed fast path.
+    fn process_counted(
+        &mut self,
+        n: u64,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        effort: Effort,
+    ) -> Verdict {
         let sample = self.cfg.latency_sample_every;
         let started = if sample != 0 && n.is_multiple_of(sample) {
             Some(Instant::now())
         } else {
             None
         };
-        self.metrics.flows += 1;
 
         // Stage 1: EIA set analysis.
         let eia_verdict = self.eia.classify(ingress, flow.src_addr);
-        if let EiaVerdict::Match = eia_verdict {
-            self.metrics.eia_match += 1;
-            let mut elapsed_ns = 0;
-            if let Some(started) = started {
-                let elapsed = started.elapsed();
-                elapsed_ns = saturating_nanos(elapsed);
-                self.metrics.fast_path.record(elapsed);
-                self.telemetry.observe_fast_latency(elapsed_ns);
+        match eia_verdict {
+            EiaVerdict::Match => {
+                self.metrics.eia_match += 1;
+                let mut elapsed_ns = 0;
+                if let Some(started) = started {
+                    let elapsed = started.elapsed();
+                    elapsed_ns = saturating_nanos(elapsed);
+                    self.metrics.fast_path.record(elapsed);
+                    self.telemetry.observe_fast_latency(elapsed_ns);
+                }
+                if self.telemetry.fast_sample_due(n) {
+                    self.telemetry
+                        .record_fast_path(0, ingress, flow, elapsed_ns);
+                }
+                Verdict::Legal
             }
-            if self.telemetry.fast_sample_due(n) {
-                self.telemetry
-                    .record_fast_path(0, ingress, flow, elapsed_ns);
-            }
-            return Verdict::Legal;
+            EiaVerdict::Mismatch { expected } => self.suspect_path(
+                started,
+                ingress,
+                flow,
+                expected,
+                effort,
+                SuspectRecord::Full,
+            ),
         }
+    }
+
+    /// Stages 2–3 plus alerting and suspect telemetry for one EIA-suspect
+    /// flow. `started` carries the latency-sampling decision (and start
+    /// time) made by the caller.
+    fn suspect_path(
+        &mut self,
+        started: Option<Instant>,
+        ingress: PeerId,
+        flow: &FlowRecord,
+        expected: Option<PeerId>,
+        effort: Effort,
+        record: SuspectRecord,
+    ) -> Verdict {
         self.metrics.eia_suspect += 1;
-        let expected = match eia_verdict {
-            EiaVerdict::Mismatch { expected } => expected,
-            EiaVerdict::Match => unreachable!("handled above"),
-        };
-        // Suspects are rare and slow, so when telemetry is on they are all
-        // timed, not just the latency-sampled ones (the histogram needs the
-        // tail; `metrics.suspect_path` keeps its sampled semantics).
-        let suspect_started = started.or_else(|| self.telemetry.enabled().then(Instant::now));
+        let observe = record.observed();
+        // In the per-flow path suspects are rare and slow, so when
+        // telemetry is on they are all timed, not just the latency-sampled
+        // ones (the histogram needs the tail; `metrics.suspect_path` keeps
+        // its sampled semantics). The batch path instead samples suspect
+        // telemetry and passes `SuspectRecord::Light` for the rest.
+        let suspect_started =
+            started.or_else(|| (observe && self.telemetry.enabled()).then(Instant::now));
 
         let (verdict, observed) = match (self.cfg.mode, effort) {
             (Mode::Basic, _) | (Mode::Enhanced, Effort::BiOnly) => {
@@ -611,7 +661,7 @@ impl Analyzer {
                     SuspectObservation::default(),
                 )
             }
-            (Mode::Enhanced, effort) => self.enhanced_analysis(ingress, flow, effort),
+            (Mode::Enhanced, effort) => self.enhanced_analysis(ingress, flow, effort, observe),
         };
         if let Verdict::Attack(stage) = verdict {
             let alert = IdmefAlert::new(self.next_alert_id, flow, ingress, stage);
@@ -624,16 +674,144 @@ impl Analyzer {
                 .suspect_path
                 .record(elapsed.expect("timed when sampled"));
         }
-        self.telemetry.record_suspect(
-            0,
-            ingress,
-            expected,
-            flow,
-            &observed,
-            verdict,
-            elapsed.map_or(0, saturating_nanos),
-        );
+        match record {
+            SuspectRecord::Full => self.telemetry.record_suspect(
+                0,
+                ingress,
+                expected,
+                flow,
+                &observed,
+                verdict,
+                elapsed.map_or(0, saturating_nanos),
+            ),
+            SuspectRecord::Light(peer) => self.telemetry.record_suspect_light(0, peer, verdict),
+        }
         verdict
+    }
+
+    /// Batch-first hot path: classifies a struct-of-arrays batch from one
+    /// ingress, appending one verdict per flow to `out` (same order).
+    ///
+    /// Phase A sorts a row-index permutation by source address and walks
+    /// the EIA trie with an amortised [`crate::EiaClassifier`], so flows
+    /// sharing leading address bits — the common case inside one export
+    /// datagram — re-enter the trie mid-path. Phase B applies bookkeeping
+    /// in original flow order; EIA matches take a columnar fast path that
+    /// never materialises the record unless telemetry samples it, and
+    /// suspects run the identical `suspect_path` the per-flow API uses, so
+    /// verdicts agree by construction.
+    ///
+    /// If a suspect's sighting adopts a prefix mid-batch, the remaining
+    /// flows fall back to live per-flow classification — a later flow from
+    /// the adopted range must turn `Legal` exactly as it would have under
+    /// `process_with_effort`.
+    pub fn process_flow_batch_into(
+        &mut self,
+        ingress: PeerId,
+        batch: &FlowBatch,
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        let len = batch.len();
+        if len == 0 {
+            return;
+        }
+        out.reserve(len);
+        let n0 = self.metrics.flows;
+        self.metrics.flows += len as u64;
+        let sample = self.cfg.latency_sample_every;
+
+        // Phase A: grouped EIA classification over the source column.
+        let src = batch.src_addr_bits();
+        self.batch_idx.clear();
+        self.batch_idx.extend(0..len as u32);
+        self.batch_idx.sort_unstable_by_key(|&i| src[i as usize]);
+        self.batch_eia.clear();
+        self.batch_eia.resize(len, EiaVerdict::Match);
+        // Amortise the phase-A walk into the sampled fast-path latency:
+        // time the whole pass only when some flow in this window samples.
+        let sampling = sample != 0 && n0.next_multiple_of(sample) < n0 + len as u64;
+        let a_started = sampling.then(Instant::now);
+        {
+            let mut classifier = self.eia.classifier(ingress);
+            for &i in &self.batch_idx {
+                self.batch_eia[i as usize] = classifier.classify(Ipv4Addr::from(src[i as usize]));
+            }
+        }
+        let per_flow = a_started.map(|s| s.elapsed() / len as u32);
+
+        // Phase B: bookkeeping and suspect analysis in original order.
+        let adopted0 = self.eia.adopted_count();
+        let mut stale = false;
+        // All suspects in this batch share one ingress: hoist their peer
+        // counter cell out of the loop, lazily so suspect-free batches
+        // never materialise it.
+        let mut peer: Option<std::sync::Arc<crate::observe::PeerCounters>> = None;
+        for i in 0..len {
+            let n = n0 + i as u64;
+            if stale {
+                // An adoption invalidated the precomputed verdicts for the
+                // rest of the batch: classify live, per flow.
+                out.push(self.process_counted(n, ingress, &batch.record(i), effort));
+                continue;
+            }
+            match self.batch_eia[i] {
+                EiaVerdict::Match => {
+                    self.metrics.eia_match += 1;
+                    let mut elapsed_ns = 0;
+                    if sample != 0 && n.is_multiple_of(sample) {
+                        if let Some(share) = per_flow {
+                            elapsed_ns = saturating_nanos(share);
+                            self.metrics.fast_path.record(share);
+                            self.telemetry.observe_fast_latency(elapsed_ns);
+                        }
+                    }
+                    if self.telemetry.fast_sample_due(n) {
+                        self.telemetry
+                            .record_fast_path(0, ingress, &batch.record(i), elapsed_ns);
+                    }
+                    out.push(Verdict::Legal);
+                }
+                EiaVerdict::Mismatch { expected } => {
+                    let flow = batch.record(i);
+                    let started = if sample != 0 && n.is_multiple_of(sample) {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
+                    // Sampled suspects get the full observation; the rest
+                    // take the counters-only path (see `SuspectRecord`).
+                    let record = if started.is_some() {
+                        SuspectRecord::Full
+                    } else {
+                        if peer.is_none() {
+                            peer = Some(self.telemetry.peer_cell(ingress));
+                        }
+                        SuspectRecord::Light(peer.as_deref().expect("hoisted above"))
+                    };
+                    out.push(self.suspect_path(started, ingress, &flow, expected, effort, record));
+                    if self.eia.adopted_count() != adopted0 {
+                        stale = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Analyzer::process_flow_batch_into`] over a record slice, reusing
+    /// an internal column buffer for the transposition.
+    pub fn process_batch_into(
+        &mut self,
+        ingress: PeerId,
+        flows: &[FlowRecord],
+        effort: Effort,
+        out: &mut Vec<Verdict>,
+    ) {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
+        batch.extend_from_records(flows);
+        self.process_flow_batch_into(ingress, &batch, effort, out);
+        self.batch_scratch = batch;
     }
 
     fn enhanced_analysis(
@@ -641,9 +819,19 @@ impl Analyzer {
         ingress: PeerId,
         flow: &FlowRecord,
         effort: Effort,
+        observe: bool,
     ) -> (Verdict, SuspectObservation) {
-        // Stage 2: Scan Analysis.
-        let (scan_hit, mut observed) = scan_stage(&mut self.scan, flow);
+        // Stage 2: Scan Analysis. When nothing will record the observation
+        // (`observe` is false), skip the distinct-counter reads — the push
+        // itself still updates the scan state, so verdicts are unaffected.
+        let (scan_hit, mut observed) = if observe {
+            scan_stage(&mut self.scan, flow)
+        } else {
+            (
+                scan_verdict_stage(self.scan.push(flow)),
+                SuspectObservation::default(),
+            )
+        };
         if let Some(stage) = scan_hit {
             self.metrics.scan_attacks += 1;
             return (Verdict::Attack(stage), observed);
@@ -658,8 +846,14 @@ impl Analyzer {
         }
 
         // Stage 3: NNS analysis against the relevant subcluster.
-        let timed = self.telemetry.enabled();
-        let (outcome, nns) = nns_stage(self.model.as_ref(), flow, &mut self.nns_scratch, timed);
+        let timed = observe && self.telemetry.enabled();
+        let (outcome, nns) = nns_stage(
+            self.model.as_ref(),
+            flow,
+            &mut self.nns_scratch,
+            timed,
+            &mut self.nns_memo,
+        );
         observed.nns = Some(nns);
         let verdict = match outcome {
             SuspectOutcome::Cleared => {
@@ -707,11 +901,77 @@ pub(crate) fn saturating_nanos(elapsed: std::time::Duration) -> u64 {
 /// [`crate::ConcurrentAnalyzer`] flag identically by construction. Also
 /// reports the suspect's scan counters *at decision time* (two map lookups)
 /// for the flight recorder and scan-counter histograms.
-pub(crate) fn scan_stage(
-    scan: &mut ScanAnalyzer,
-    flow: &FlowRecord,
-) -> (Option<AttackStage>, SuspectObservation) {
-    let stage = match scan.push(flow) {
+/// Memoised NNS outcomes keyed by `(service class, encoding fingerprint)`.
+///
+/// The KOR search is a pure function of the encoded query (the permutation
+/// tables are immutable after training) and the fingerprint is
+/// collision-free, so a hit returns exactly what a live search would —
+/// suspects repeating a quantised feature profile skip encode and probe
+/// entirely. Bounded: the map resets once it reaches [`NnsMemo::CAP`]
+/// entries, so adversarial feature churn degrades to live searches, never
+/// to unbounded memory.
+#[derive(Debug, Default)]
+pub(crate) struct NnsMemo {
+    map: infilter_net::FxHashMap<(AppClass, u64), NnsMemoEntry>,
+}
+
+/// What a memo hit replays: the search result and its work accounting.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NnsMemoEntry {
+    pub(crate) distance: Option<u32>,
+    pub(crate) tables_probed: u32,
+}
+
+impl NnsMemo {
+    const CAP: usize = 1 << 16;
+
+    pub(crate) fn get(&self, class: AppClass, fingerprint: u64) -> Option<NnsMemoEntry> {
+        self.map.get(&(class, fingerprint)).copied()
+    }
+
+    pub(crate) fn insert(
+        &mut self,
+        class: AppClass,
+        fingerprint: u64,
+        distance: Option<u32>,
+        tables_probed: u32,
+    ) {
+        if self.map.len() >= Self::CAP {
+            self.map.clear();
+        }
+        self.map.insert(
+            (class, fingerprint),
+            NnsMemoEntry {
+                distance,
+                tables_probed,
+            },
+        );
+    }
+}
+
+/// How the suspect path should account a resolved suspect.
+pub(crate) enum SuspectRecord<'a> {
+    /// Full telemetry: scan-counter observation, histograms, and a
+    /// flight-recorder entry — the per-flow path, and sampled batch
+    /// suspects.
+    Full,
+    /// Exact counters only, against a peer cell the batch path hoisted
+    /// out of its loop. Unsampled batch suspects take this arm, keeping
+    /// the suspect hot path free of histogram and recorder writes.
+    Light(&'a crate::observe::PeerCounters),
+}
+
+impl SuspectRecord<'_> {
+    /// Whether this suspect's observation (scan counters, NNS timing)
+    /// will actually be recorded — when not, the stages skip gathering it.
+    pub(crate) fn observed(&self) -> bool {
+        matches!(self, SuspectRecord::Full)
+    }
+}
+
+/// Maps a scan verdict onto the attack stage it flags, if any.
+pub(crate) fn scan_verdict_stage(verdict: ScanVerdict) -> Option<AttackStage> {
+    match verdict {
         ScanVerdict::NetworkScan {
             dst_port,
             distinct_hosts,
@@ -727,7 +987,14 @@ pub(crate) fn scan_stage(
             distinct_ports,
         }),
         ScanVerdict::Pass => None,
-    };
+    }
+}
+
+pub(crate) fn scan_stage(
+    scan: &mut ScanAnalyzer,
+    flow: &FlowRecord,
+) -> (Option<AttackStage>, SuspectObservation) {
+    let stage = scan_verdict_stage(scan.push(flow));
     let observed = SuspectObservation {
         scan_distinct_hosts: scan.distinct_hosts_for_port(flow.input_if, flow.dst_port) as u32,
         scan_distinct_ports: scan.distinct_ports_for_host(flow.input_if, flow.dst_addr) as u32,
@@ -746,6 +1013,7 @@ pub(crate) fn nns_stage(
     flow: &FlowRecord,
     scratch: &mut BitVec,
     timed: bool,
+    memo: &mut NnsMemo,
 ) -> (SuspectOutcome, NnsObservation) {
     let class = AppClass::classify(flow.protocol, flow.dst_port);
     let mut observed = NnsObservation {
@@ -754,6 +1022,15 @@ pub(crate) fn nns_stage(
     };
     let assessment = model.and_then(|m| m.subcluster(class)).map(|sub| {
         let stats = flow.stats();
+        let fingerprint = sub.fingerprint(&stats);
+        if let Some(hit) = fingerprint.and_then(|fp| memo.get(class, fp)) {
+            observed.tables_probed = hit.tables_probed;
+            observed.threshold = sub.threshold();
+            if let Some(distance) = hit.distance {
+                observed.distance = distance;
+            }
+            return (sub.threshold(), hit.distance);
+        }
         let mut search_stats = infilter_nns::SearchStats::default();
         let started = timed.then(Instant::now);
         let distance = sub.nn_distance_observed(&stats, scratch, &mut search_stats);
@@ -764,6 +1041,9 @@ pub(crate) fn nns_stage(
         observed.threshold = sub.threshold();
         if let Some(distance) = distance {
             observed.distance = distance;
+        }
+        if let Some(fp) = fingerprint {
+            memo.insert(class, fp, distance, search_stats.tables_probed);
         }
         (sub.threshold(), distance)
     });

@@ -1,6 +1,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
+use infilter_net::{FxBuildHasher, FxHashMap};
 use infilter_netflow::FlowRecord;
 use serde::{Deserialize, Serialize};
 
@@ -105,8 +106,11 @@ impl ScanVerdict {
 pub struct ScanAnalyzer {
     cfg: ScanConfig,
     buffer: VecDeque<(u16, Ipv4Addr, u16)>,
-    hosts_by_port: HashMap<(u16, u16), HashMap<Ipv4Addr, usize>>,
-    ports_by_host: HashMap<(u16, Ipv4Addr), HashMap<u16, usize>>,
+    // Fx-hashed (not SipHash): these maps are hit several times per suspect
+    // flow with small integer keys, and the sliding buffer bounds what an
+    // attacker can keep resident, so DoS-resistant hashing buys nothing.
+    hosts_by_port: FxHashMap<(u16, u16), FxHashMap<Ipv4Addr, usize>>,
+    ports_by_host: FxHashMap<(u16, Ipv4Addr), FxHashMap<u16, usize>>,
 }
 
 impl ScanAnalyzer {
@@ -123,8 +127,14 @@ impl ScanAnalyzer {
         ScanAnalyzer {
             cfg,
             buffer: VecDeque::with_capacity(cfg.buffer_size),
-            hosts_by_port: HashMap::with_capacity(cfg.buffer_size),
-            ports_by_host: HashMap::with_capacity(cfg.buffer_size),
+            hosts_by_port: FxHashMap::with_capacity_and_hasher(
+                cfg.buffer_size,
+                FxBuildHasher::default(),
+            ),
+            ports_by_host: FxHashMap::with_capacity_and_hasher(
+                cfg.buffer_size,
+                FxBuildHasher::default(),
+            ),
         }
     }
 
@@ -193,7 +203,7 @@ impl ScanAnalyzer {
     }
 
     fn decrement<K: std::hash::Hash + Eq, V: std::hash::Hash + Eq>(
-        map: &mut HashMap<K, HashMap<V, usize>>,
+        map: &mut FxHashMap<K, FxHashMap<V, usize>>,
         key: K,
         value: V,
     ) {

@@ -214,3 +214,91 @@ fn observability_surface_matches() {
     assert_observable(&mut analyzer(Mode::Enhanced));
     assert_observable(&mut concurrent(Mode::Enhanced));
 }
+
+/// Property: for any flow mix, the batch path returns exactly the verdict
+/// sequence the per-flow path returns, on both engines, at every rung of
+/// the degradation ladder — including when a mid-batch adoption republishes
+/// the EIA table (the eia() registry here has adoption enabled, and the
+/// tight source-index range makes repeat sightings, hence adoptions,
+/// common). Path counters must agree too: the batch path's bulk counter
+/// updates may not drift from the per-flow ones.
+mod batch_parity {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// `kind` picks the source block (peer 1's, peer 2's — a spoof when
+    /// arriving via peer 1 — or unassigned space); `i` indexes a small
+    /// set of source hosts so adoption thresholds are actually crossed;
+    /// `shape` varies the flow statistics across scan-probe-sized and
+    /// NNS-normal/abnormal territory, and flips the HTTP/DNS app class.
+    fn flow_from(kind: u8, i: u32, shape: u8) -> FlowRecord {
+        let src = match kind % 3 {
+            0 => 0x0300_0000u32 + i,
+            1 => 0x0320_0000u32 + i,
+            _ => 0x0900_0000u32 + i,
+        };
+        let shape = u32::from(shape);
+        FlowRecord {
+            src_addr: src.into(),
+            dst_addr: (0x6001_0000u32 + (shape & 0x7)).into(),
+            dst_port: if shape % 2 == 0 { 80 } else { 53 },
+            protocol: if shape % 2 == 0 { 6 } else { 17 },
+            packets: 1 + (shape % 14),
+            octets: 1_000 + 500 * (shape % 12),
+            first_ms: 0,
+            last_ms: 400 + 100 * (shape % 5),
+            ..FlowRecord::default()
+        }
+    }
+
+    fn assert_batch_parity<E: Engine>(
+        per_flow: &mut E,
+        batched: &mut E,
+        records: &[FlowRecord],
+        effort: Effort,
+    ) {
+        let singles: Vec<Verdict> = records
+            .iter()
+            .map(|f| per_flow.process_with_effort(PeerId(1), f, effort))
+            .collect();
+        let batch = batched.process_batch_with_effort(PeerId(1), records, effort);
+        assert_eq!(singles, batch, "verdict parity at {effort:?}");
+        let (m1, m2) = (per_flow.metrics(), batched.metrics());
+        assert_eq!(m1.flows, m2.flows);
+        assert_eq!(m1.eia_match, m2.eia_match);
+        assert_eq!(m1.eia_suspect, m2.eia_suspect);
+        assert_eq!(m1.attacks(), m2.attacks());
+        assert_eq!(
+            per_flow.drain_alerts().len(),
+            batched.drain_alerts().len(),
+            "both paths alert on the same flows at {effort:?}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn batch_and_per_flow_verdicts_agree(
+            mix in proptest::collection::vec((0u8..3, 0u32..6, 0u8..=255), 1..96)
+        ) {
+            let records: Vec<FlowRecord> = mix
+                .iter()
+                .map(|&(kind, i, shape)| flow_from(kind, i, shape))
+                .collect();
+            for effort in Effort::ALL {
+                assert_batch_parity(
+                    &mut analyzer(Mode::Enhanced),
+                    &mut analyzer(Mode::Enhanced),
+                    &records,
+                    effort,
+                );
+                assert_batch_parity(
+                    &mut concurrent(Mode::Enhanced),
+                    &mut concurrent(Mode::Enhanced),
+                    &records,
+                    effort,
+                );
+            }
+        }
+    }
+}

@@ -152,4 +152,53 @@ fn suspect_path_encode_and_search_allocate_nothing_after_warmup() {
         "suspect pipeline with telemetry allocated {} times over 200 flows",
         after - before
     );
+
+    // --- Batch path: the same suspect-heavy traffic through the
+    // record-slice batch API (transpose into the column scratch, sorted
+    // EIA pass, suspect analysis with sampled telemetry) also allocates
+    // nothing once the column buffers, index permutation, NNS memo and
+    // verdict vector have warmed up.
+    let mix: Vec<FlowRecord> = (0..32u32)
+        .map(|i| {
+            if i % 4 == 0 {
+                suspect
+            } else {
+                FlowRecord {
+                    src_addr: (0x0300_0000u32 + i).into(),
+                    ..http_flow(i)
+                }
+            }
+        })
+        .collect();
+    let mut verdicts: Vec<infilter_core::Verdict> = Vec::new();
+    for _ in 0..20u32 {
+        verdicts.clear();
+        analyzer.process_batch_into(
+            infilter_core::PeerId(1),
+            &mix,
+            infilter_core::Effort::Full,
+            &mut verdicts,
+        );
+        assert_eq!(verdicts.len(), mix.len());
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..200u32 {
+        verdicts.clear();
+        analyzer.process_batch_into(
+            infilter_core::PeerId(1),
+            &mix,
+            infilter_core::Effort::Full,
+            &mut verdicts,
+        );
+        assert!(verdicts
+            .iter()
+            .all(|v| !matches!(v, infilter_core::Verdict::Attack(_))));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "batch suspect path allocated {} times over 200 batches",
+        after - before
+    );
 }

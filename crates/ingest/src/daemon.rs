@@ -33,6 +33,7 @@ use std::time::Duration;
 
 use infilter_core::{AnalyzerMetrics, Engine, FlowDecision, IdmefAlert, PeerId};
 use infilter_net::Prefix;
+use infilter_netflow::FlowBatch;
 
 use crate::config::{parse_eia_table, DaemonConfig};
 use crate::intake::Intake;
@@ -202,9 +203,12 @@ impl Daemon {
 
 fn listener_loop(socket: &UdpSocket, intake: &Intake, stop: &AtomicBool) {
     let mut buf = [0u8; MAX_DATAGRAM];
+    // One decode scratch per listener thread: well-formed datagrams reuse
+    // its column buffers instead of allocating per packet.
+    let mut scratch = FlowBatch::with_capacity(infilter_netflow::MAX_RECORDS_PER_DATAGRAM);
     while !stop.load(Ordering::Relaxed) {
         match socket.recv_from(&mut buf) {
-            Ok((n, _)) => intake.push_payload(&buf[..n]),
+            Ok((n, _)) => intake.push_payload_with(&buf[..n], &mut scratch),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut => {}

@@ -12,18 +12,20 @@ use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
 use infilter_core::PeerId;
-use infilter_netflow::{Datagram, FlowRecord};
+use infilter_netflow::{FlowBatch, FlowRecord};
 
 use crate::metrics::IngestMetrics;
 
 /// One ingress-uniform run of records — the unit the worker feeds to
-/// `Engine::process_batch_with_effort`.
+/// `Engine::process_flow_batch_into`. Records ride in struct-of-arrays
+/// form end to end: the listener decodes straight into columns and the
+/// engine's batch path consumes them without transposing.
 #[derive(Debug, Clone)]
 pub struct Batch {
     /// The peer AS these records arrived through.
     pub ingress: PeerId,
-    /// The decoded flow records.
-    pub records: Vec<FlowRecord>,
+    /// The decoded flow records, as columns.
+    pub records: FlowBatch,
 }
 
 /// The bounded rings plus the shared ingest counters.
@@ -54,21 +56,49 @@ impl Intake {
     }
 
     /// Decodes one datagram payload and enqueues its records as
-    /// per-ingress batches. Malformed payloads are counted and dropped;
-    /// this never panics and never blocks.
+    /// per-ingress batches, using a fresh decode buffer. Prefer
+    /// [`Intake::push_payload_with`] on the listener hot path.
     pub fn push_payload(&self, payload: &[u8]) {
-        match Datagram::decode(payload) {
-            Ok(datagram) => {
-                self.metrics.record_datagram(datagram.records.len() as u64);
-                self.push_records(&datagram.records);
+        self.push_payload_with(payload, &mut FlowBatch::new());
+    }
+
+    /// [`Intake::push_payload`] decoding into a caller-owned scratch
+    /// batch, so a listener thread reuses one set of column buffers for
+    /// every well-formed datagram instead of allocating per packet.
+    /// Malformed payloads are counted and dropped; this never panics and
+    /// never blocks.
+    pub fn push_payload_with(&self, payload: &[u8], scratch: &mut FlowBatch) {
+        scratch.clear();
+        match scratch.decode_datagram(payload) {
+            Ok(_) => {
+                self.metrics.record_datagram(scratch.len() as u64);
+                self.push_flow_batch(scratch);
             }
             Err(e) => self.metrics.record_decode_error(&e),
         }
     }
 
-    /// Splits records into consecutive same-ingress runs and enqueues
-    /// each; exporters batch per interface, so a datagram is usually one
-    /// run.
+    /// Splits a decoded batch into consecutive same-ingress runs and
+    /// enqueues each; exporters batch per interface, so a datagram is
+    /// usually one run (copied column-wise into the enqueued batch).
+    pub fn push_flow_batch(&self, batch: &FlowBatch) {
+        let ifs = batch.input_ifs();
+        let mut start = 0;
+        while start < ifs.len() {
+            let input_if = ifs[start];
+            let end = start + ifs[start..].iter().take_while(|&&i| i == input_if).count();
+            let mut records = FlowBatch::with_capacity(end - start);
+            records.extend_from(batch, start..end);
+            self.push_batch(Batch {
+                ingress: PeerId(input_if),
+                records,
+            });
+            start = end;
+        }
+    }
+
+    /// Splits a record slice into consecutive same-ingress runs and
+    /// enqueues each (row-major convenience for tests and replay tools).
     pub fn push_records(&self, records: &[FlowRecord]) {
         let mut rest = records;
         while let Some(first) = rest.first() {
@@ -78,7 +108,7 @@ impl Intake {
                 .count();
             self.push_batch(Batch {
                 ingress: PeerId(first.input_if),
-                records: rest[..run].to_vec(),
+                records: rest[..run].iter().copied().collect(),
             });
             rest = &rest[run..];
         }
@@ -136,6 +166,7 @@ impl Intake {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use infilter_netflow::Datagram;
 
     fn record(input_if: u16) -> FlowRecord {
         FlowRecord {
@@ -181,7 +212,7 @@ mod tests {
         for _ in 0..3 {
             intake.push_batch(Batch {
                 ingress: PeerId(1),
-                records: vec![record(1); 4],
+                records: (0..4).map(|_| record(1)).collect(),
             });
         }
         assert_eq!(intake.occupancy(), 1.0);

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use infilter_core::{Effort, Engine, IdmefAlert};
+use infilter_core::{Effort, Engine, IdmefAlert, Verdict};
 
 use crate::intake::{Batch, Intake};
 use crate::ladder::{Ladder, LadderConfig};
@@ -26,6 +26,9 @@ pub struct IngestPump<E: Engine> {
     alert_spool: usize,
     batch_budget: usize,
     scratch: Vec<Batch>,
+    /// Reused verdict buffer: one allocation serves every batch of every
+    /// step instead of a fresh `Vec` per batch.
+    verdicts: Vec<Verdict>,
 }
 
 impl<E: Engine> IngestPump<E> {
@@ -45,6 +48,7 @@ impl<E: Engine> IngestPump<E> {
             alert_spool: alert_spool.max(1),
             batch_budget: batch_budget.max(1),
             scratch: Vec::new(),
+            verdicts: Vec::new(),
         }
     }
 
@@ -87,8 +91,13 @@ impl<E: Engine> IngestPump<E> {
         let mut processed = 0;
         let batches = std::mem::take(&mut self.scratch);
         for batch in &batches {
-            self.engine
-                .process_batch_with_effort(batch.ingress, &batch.records, effort);
+            self.verdicts.clear();
+            self.engine.process_flow_batch_into(
+                batch.ingress,
+                &batch.records,
+                effort,
+                &mut self.verdicts,
+            );
             processed += batch.records.len();
         }
         self.scratch = batches;

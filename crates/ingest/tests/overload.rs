@@ -22,30 +22,35 @@ fn daemon_config(mode: Mode) -> DaemonConfig {
     cfg
 }
 
+fn legal_record(i: u32) -> FlowRecord {
+    FlowRecord {
+        src_addr: (0x0300_0100u32 + i % 512).into(),
+        dst_addr: "96.1.0.20".parse().unwrap(),
+        dst_port: 80,
+        protocol: 6,
+        input_if: 1,
+        packets: 12,
+        octets: 6000,
+        last_ms: 900,
+        ..FlowRecord::default()
+    }
+}
+
 fn legal_batch(i: u32) -> Batch {
     Batch {
         ingress: PeerId(1),
-        records: vec![FlowRecord {
-            src_addr: (0x0300_0100u32 + i % 512).into(),
-            dst_addr: "96.1.0.20".parse().unwrap(),
-            dst_port: 80,
-            protocol: 6,
-            input_if: 1,
-            packets: 12,
-            octets: 6000,
-            last_ms: 900,
-            ..FlowRecord::default()
-        }],
+        records: std::iter::once(legal_record(i)).collect(),
     }
 }
 
 fn spoofed_batch(i: u32) -> Batch {
     Batch {
         ingress: PeerId(1),
-        records: vec![FlowRecord {
+        records: std::iter::once(FlowRecord {
             src_addr: (0x0320_0000u32 + i).into(),
-            ..legal_batch(0).records[0]
-        }],
+            ..legal_record(0)
+        })
+        .collect(),
     }
 }
 

@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+mod hash;
 mod ids;
 mod prefix;
 mod trie;
 
 pub use blocks::{SubBlock, SubBlockRange};
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use ids::{Asn, RouterId};
 pub use prefix::{ParsePrefixError, Prefix};
-pub use trie::{Matches, PrefixTrie};
+pub use trie::{Matches, PrefixTrie, TrieWalker};

@@ -160,6 +160,22 @@ impl<V> PrefixTrie<V> {
         best
     }
 
+    /// Creates a [`TrieWalker`] for repeated lookups that share path work
+    /// between consecutive addresses. Feed it a batch sorted by address and
+    /// each lookup only descends the bits that differ from the previous
+    /// one; unsorted input still returns correct results.
+    pub fn walker(&self) -> TrieWalker<'_, V> {
+        TrieWalker {
+            trie: self,
+            path: [0; 33],
+            path_len: 0,
+            best: [(0, 0); 33],
+            best_len: 0,
+            prev_bits: 0,
+            primed: false,
+        }
+    }
+
     /// All stored prefixes that contain `addr`, yielded lazily from least
     /// to most specific. No allocation: callers that only want the first
     /// match (or to short-circuit) pay for exactly the nodes they walk.
@@ -257,6 +273,83 @@ impl<'a, V> Iterator for Matches<'a, V> {
             0,
             Some(self.node.map_or(0, |_| usize::from(33 - self.depth))),
         )
+    }
+}
+
+/// Incremental longest-prefix matcher that reuses the descent path between
+/// consecutive lookups. Created by [`PrefixTrie::walker`].
+///
+/// Two consecutive addresses sharing their first `k` bits re-enter the trie
+/// at depth `k` instead of the root, so a batch sorted by address costs
+/// roughly one node visit per *differing* bit instead of one per prefix
+/// bit. Results are identical to [`PrefixTrie::lookup`] for any input
+/// order; sorting only affects speed.
+///
+/// The walker borrows the trie immutably, so the trie cannot be mutated
+/// while a walker is alive. All walker state lives in fixed-size inline
+/// arrays (a descent is at most 33 nodes deep), so creating one per batch
+/// allocates nothing.
+#[derive(Debug)]
+pub struct TrieWalker<'a, V> {
+    trie: &'a PrefixTrie<V>,
+    /// Node indices along the current descent; `path[d]` matched the first
+    /// `d` address bits (`path[0]` is the root).
+    path: [u32; 33],
+    path_len: usize,
+    /// `(bits_matched, node)` for path nodes carrying a value, shallowest
+    /// first — the live longest-prefix candidates.
+    best: [(u8, u32); 33],
+    best_len: usize,
+    prev_bits: u32,
+    primed: bool,
+}
+
+impl<'a, V> TrieWalker<'a, V> {
+    /// Longest-prefix match for `addr`, resuming from the previous
+    /// lookup's path where the leading bits agree.
+    pub fn lookup(&mut self, addr: Ipv4Addr) -> Option<(Prefix, &'a V)> {
+        let bits = u32::from(addr);
+        if self.primed {
+            // A path node that matched `d` bits stays valid iff the new
+            // address agrees on those `d` bits, i.e. `d <= shared`.
+            let shared = (self.prev_bits ^ bits).leading_zeros().min(32) as usize;
+            self.path_len = self.path_len.min(shared + 1);
+            while self.best_len > 0 && self.best[self.best_len - 1].0 as usize >= self.path_len {
+                self.best_len -= 1;
+            }
+        } else {
+            self.primed = true;
+            self.path[0] = 0;
+            self.path_len = 1;
+            if self.trie.nodes[0].value.is_some() {
+                self.best[0] = (0, 0);
+                self.best_len = 1;
+            }
+        }
+        self.prev_bits = bits;
+        let trie = self.trie;
+        for depth in (self.path_len - 1)..32 {
+            let node = self.path[self.path_len - 1] as usize;
+            match trie.nodes[node].children[bit_at(bits, depth as u8)] {
+                Some(child) => {
+                    self.path[self.path_len] = child;
+                    self.path_len += 1;
+                    if trie.nodes[child as usize].value.is_some() {
+                        self.best[self.best_len] = (depth as u8 + 1, child);
+                        self.best_len += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        if self.best_len == 0 {
+            return None;
+        }
+        let (_, node) = self.best[self.best_len - 1];
+        trie.nodes[node as usize]
+            .value
+            .as_ref()
+            .map(|(p, v)| (*p, v))
     }
 }
 
@@ -394,6 +487,78 @@ mod tests {
         let mut want: Vec<String> = prefixes.iter().map(|s| s.to_string()).collect();
         want.sort();
         assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn walker_agrees_with_lookup_in_any_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0u32);
+        t.insert(p("3.0.0.0/11"), 1);
+        t.insert(p("3.32.0.0/11"), 2);
+        t.insert(p("3.33.0.0/16"), 3);
+        t.insert(p("3.33.0.9/32"), 4);
+        t.insert(p("10.0.0.0/8"), 5);
+        t.insert(p("10.96.0.0/11"), 6);
+
+        // Deterministic pseudo-random address stream spanning hits, misses
+        // (within the default route) and repeats.
+        let mut addrs: Vec<Ipv4Addr> = Vec::new();
+        let mut x = 0x1234_5678u32;
+        for _ in 0..512 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let base = match x % 4 {
+                0 => 0x0300_0000,
+                1 => 0x0320_0000,
+                2 => 0x0A60_0000,
+                _ => 0xC000_0000,
+            };
+            addrs.push(Ipv4Addr::from(base + (x >> 16 & 0xFFFF)));
+        }
+        addrs.push(a("3.33.0.9"));
+        addrs.push(a("3.33.0.9"));
+
+        // Unsorted: correctness must not depend on input order.
+        let mut w = t.walker();
+        for &addr in &addrs {
+            assert_eq!(
+                w.lookup(addr).map(|(pfx, v)| (pfx, *v)),
+                t.lookup(addr).map(|(pfx, v)| (pfx, *v)),
+                "walker diverged at {addr}"
+            );
+        }
+
+        // Sorted: the intended fast path takes the same answers.
+        addrs.sort();
+        let mut w = t.walker();
+        for &addr in &addrs {
+            assert_eq!(
+                w.lookup(addr).map(|(pfx, v)| (pfx, *v)),
+                t.lookup(addr).map(|(pfx, v)| (pfx, *v)),
+                "sorted walker diverged at {addr}"
+            );
+        }
+    }
+
+    #[test]
+    fn walker_on_empty_trie_finds_nothing() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        let mut w = t.walker();
+        assert!(w.lookup(a("1.2.3.4")).is_none());
+        assert!(w.lookup(a("1.2.3.4")).is_none());
+        assert!(w.lookup(a("200.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn walker_unshadows_when_leaving_a_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("8.0.0.0/8"), "outer");
+        t.insert(p("8.8.0.0/16"), "inner");
+        let mut w = t.walker();
+        assert_eq!(w.lookup(a("8.8.1.1")).unwrap().1, &"inner");
+        // Next address shares only /8: the /16 candidate must be dropped.
+        assert_eq!(w.lookup(a("8.9.1.1")).unwrap().1, &"outer");
+        assert_eq!(w.lookup(a("8.8.2.2")).unwrap().1, &"inner");
+        assert!(w.lookup(a("9.0.0.1")).is_none());
     }
 
     #[test]

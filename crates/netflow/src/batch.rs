@@ -1,0 +1,434 @@
+//! Struct-of-arrays flow batches: the column-oriented twin of
+//! [`Datagram`](crate::Datagram)'s record vector, built for the hot
+//! decode → classify path.
+//!
+//! A [`FlowBatch`] stores each NetFlow v5 record field in its own column,
+//! so the EIA stage can scan the source-address column without dragging
+//! the other 44 bytes of every record through cache, and a reused batch
+//! decodes datagram after datagram with zero per-packet allocation once
+//! the columns have grown to datagram size.
+
+use std::net::Ipv4Addr;
+use std::ops::Range;
+
+use bytes::Buf;
+
+use crate::wire::{DecodeError, Header, HEADER_LEN, MAX_RECORDS_PER_DATAGRAM, RECORD_LEN, VERSION};
+use crate::FlowRecord;
+
+/// A batch of NetFlow v5 flow records in struct-of-arrays layout: one
+/// parallel column per record field, indexed 0..`len()`.
+///
+/// # Examples
+///
+/// ```
+/// use infilter_netflow::{Datagram, FlowBatch, FlowRecord};
+///
+/// let record = FlowRecord {
+///     src_addr: "192.4.1.10".parse().unwrap(),
+///     dst_port: 80,
+///     protocol: 6,
+///     ..FlowRecord::default()
+/// };
+/// let wire = Datagram::new(0, 1_000, &[record]).encode();
+///
+/// let mut batch = FlowBatch::new();
+/// let header = batch.decode_datagram(&wire).unwrap();
+/// assert_eq!(header.count, 1);
+/// assert_eq!(batch.record(0), record);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowBatch {
+    src_addr: Vec<u32>,
+    dst_addr: Vec<u32>,
+    next_hop: Vec<u32>,
+    input_if: Vec<u16>,
+    output_if: Vec<u16>,
+    packets: Vec<u32>,
+    octets: Vec<u32>,
+    first_ms: Vec<u32>,
+    last_ms: Vec<u32>,
+    src_port: Vec<u16>,
+    dst_port: Vec<u16>,
+    tcp_flags: Vec<u8>,
+    protocol: Vec<u8>,
+    tos: Vec<u8>,
+    src_as: Vec<u16>,
+    dst_as: Vec<u16>,
+    src_mask: Vec<u8>,
+    dst_mask: Vec<u8>,
+}
+
+impl FlowBatch {
+    /// Creates an empty batch.
+    pub fn new() -> FlowBatch {
+        FlowBatch::default()
+    }
+
+    /// Creates an empty batch with every column sized for `flows` records.
+    /// `with_capacity(MAX_RECORDS_PER_DATAGRAM)` fits any single datagram.
+    pub fn with_capacity(flows: usize) -> FlowBatch {
+        FlowBatch {
+            src_addr: Vec::with_capacity(flows),
+            dst_addr: Vec::with_capacity(flows),
+            next_hop: Vec::with_capacity(flows),
+            input_if: Vec::with_capacity(flows),
+            output_if: Vec::with_capacity(flows),
+            packets: Vec::with_capacity(flows),
+            octets: Vec::with_capacity(flows),
+            first_ms: Vec::with_capacity(flows),
+            last_ms: Vec::with_capacity(flows),
+            src_port: Vec::with_capacity(flows),
+            dst_port: Vec::with_capacity(flows),
+            tcp_flags: Vec::with_capacity(flows),
+            protocol: Vec::with_capacity(flows),
+            tos: Vec::with_capacity(flows),
+            src_as: Vec::with_capacity(flows),
+            dst_as: Vec::with_capacity(flows),
+            src_mask: Vec::with_capacity(flows),
+            dst_mask: Vec::with_capacity(flows),
+        }
+    }
+
+    /// Number of flows in the batch.
+    pub fn len(&self) -> usize {
+        self.src_addr.len()
+    }
+
+    /// Whether the batch holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.src_addr.is_empty()
+    }
+
+    /// Empties every column, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.src_addr.clear();
+        self.dst_addr.clear();
+        self.next_hop.clear();
+        self.input_if.clear();
+        self.output_if.clear();
+        self.packets.clear();
+        self.octets.clear();
+        self.first_ms.clear();
+        self.last_ms.clear();
+        self.src_port.clear();
+        self.dst_port.clear();
+        self.tcp_flags.clear();
+        self.protocol.clear();
+        self.tos.clear();
+        self.src_as.clear();
+        self.dst_as.clear();
+        self.src_mask.clear();
+        self.dst_mask.clear();
+    }
+
+    /// Appends one record, splitting it across the columns.
+    pub fn push_record(&mut self, r: &FlowRecord) {
+        self.src_addr.push(r.src_addr.into());
+        self.dst_addr.push(r.dst_addr.into());
+        self.next_hop.push(r.next_hop.into());
+        self.input_if.push(r.input_if);
+        self.output_if.push(r.output_if);
+        self.packets.push(r.packets);
+        self.octets.push(r.octets);
+        self.first_ms.push(r.first_ms);
+        self.last_ms.push(r.last_ms);
+        self.src_port.push(r.src_port);
+        self.dst_port.push(r.dst_port);
+        self.tcp_flags.push(r.tcp_flags);
+        self.protocol.push(r.protocol);
+        self.tos.push(r.tos);
+        self.src_as.push(r.src_as);
+        self.dst_as.push(r.dst_as);
+        self.src_mask.push(r.src_mask);
+        self.dst_mask.push(r.dst_mask);
+    }
+
+    /// Appends a slice of records.
+    pub fn extend_from_records(&mut self, records: &[FlowRecord]) {
+        for r in records {
+            self.push_record(r);
+        }
+    }
+
+    /// Appends the row range `rows` of `other` to this batch — the
+    /// column-wise splice the intake uses to split a datagram into
+    /// per-ingress runs without round-tripping through [`FlowRecord`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is out of bounds for `other`.
+    pub fn extend_from(&mut self, other: &FlowBatch, rows: Range<usize>) {
+        self.src_addr
+            .extend_from_slice(&other.src_addr[rows.clone()]);
+        self.dst_addr
+            .extend_from_slice(&other.dst_addr[rows.clone()]);
+        self.next_hop
+            .extend_from_slice(&other.next_hop[rows.clone()]);
+        self.input_if
+            .extend_from_slice(&other.input_if[rows.clone()]);
+        self.output_if
+            .extend_from_slice(&other.output_if[rows.clone()]);
+        self.packets.extend_from_slice(&other.packets[rows.clone()]);
+        self.octets.extend_from_slice(&other.octets[rows.clone()]);
+        self.first_ms
+            .extend_from_slice(&other.first_ms[rows.clone()]);
+        self.last_ms.extend_from_slice(&other.last_ms[rows.clone()]);
+        self.src_port
+            .extend_from_slice(&other.src_port[rows.clone()]);
+        self.dst_port
+            .extend_from_slice(&other.dst_port[rows.clone()]);
+        self.tcp_flags
+            .extend_from_slice(&other.tcp_flags[rows.clone()]);
+        self.protocol
+            .extend_from_slice(&other.protocol[rows.clone()]);
+        self.tos.extend_from_slice(&other.tos[rows.clone()]);
+        self.src_as.extend_from_slice(&other.src_as[rows.clone()]);
+        self.dst_as.extend_from_slice(&other.dst_as[rows.clone()]);
+        self.src_mask
+            .extend_from_slice(&other.src_mask[rows.clone()]);
+        self.dst_mask.extend_from_slice(&other.dst_mask[rows]);
+    }
+
+    /// Reassembles row `i` as an owned [`FlowRecord`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn record(&self, i: usize) -> FlowRecord {
+        FlowRecord {
+            src_addr: Ipv4Addr::from(self.src_addr[i]),
+            dst_addr: Ipv4Addr::from(self.dst_addr[i]),
+            next_hop: Ipv4Addr::from(self.next_hop[i]),
+            input_if: self.input_if[i],
+            output_if: self.output_if[i],
+            packets: self.packets[i],
+            octets: self.octets[i],
+            first_ms: self.first_ms[i],
+            last_ms: self.last_ms[i],
+            src_port: self.src_port[i],
+            dst_port: self.dst_port[i],
+            tcp_flags: self.tcp_flags[i],
+            protocol: self.protocol[i],
+            tos: self.tos[i],
+            src_as: self.src_as[i],
+            dst_as: self.dst_as[i],
+            src_mask: self.src_mask[i],
+            dst_mask: self.dst_mask[i],
+        }
+    }
+
+    /// Iterates the rows as owned [`FlowRecord`]s.
+    pub fn iter(&self) -> impl Iterator<Item = FlowRecord> + '_ {
+        (0..self.len()).map(|i| self.record(i))
+    }
+
+    /// The source-address column as raw big-endian-decoded `u32` bits —
+    /// what the EIA prefix trie keys on.
+    pub fn src_addr_bits(&self) -> &[u32] {
+        &self.src_addr
+    }
+
+    /// The input-interface column, used to split per-ingress runs.
+    pub fn input_ifs(&self) -> &[u16] {
+        &self.input_if
+    }
+
+    /// Source address of row `i`.
+    pub fn src_addr(&self, i: usize) -> Ipv4Addr {
+        Ipv4Addr::from(self.src_addr[i])
+    }
+
+    /// Decodes one NetFlow v5 datagram, **appending** its records to the
+    /// batch, and returns the parsed header. Errors mirror
+    /// [`Datagram::decode`](crate::Datagram::decode) exactly and leave the
+    /// batch unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on a short buffer, wrong version, or a
+    /// record count that disagrees with the payload length.
+    pub fn decode_datagram(&mut self, mut buf: &[u8]) -> Result<Header, DecodeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                need: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        let version = buf.get_u16();
+        if version != VERSION {
+            return Err(DecodeError::WrongVersion(version));
+        }
+        let count = buf.get_u16();
+        if count as usize > MAX_RECORDS_PER_DATAGRAM {
+            return Err(DecodeError::BadCount(count));
+        }
+        let header = Header {
+            version,
+            count,
+            sys_uptime_ms: buf.get_u32(),
+            unix_secs: buf.get_u32(),
+            unix_nsecs: buf.get_u32(),
+            flow_sequence: buf.get_u32(),
+            engine_type: buf.get_u8(),
+            engine_id: buf.get_u8(),
+            sampling_interval: buf.get_u16(),
+        };
+        let need = count as usize * RECORD_LEN;
+        if buf.len() < need {
+            return Err(DecodeError::Truncated {
+                need: HEADER_LEN + need,
+                have: HEADER_LEN + buf.len(),
+            });
+        }
+        for _ in 0..count {
+            self.src_addr.push(buf.get_u32());
+            self.dst_addr.push(buf.get_u32());
+            self.next_hop.push(buf.get_u32());
+            self.input_if.push(buf.get_u16());
+            self.output_if.push(buf.get_u16());
+            self.packets.push(buf.get_u32());
+            self.octets.push(buf.get_u32());
+            self.first_ms.push(buf.get_u32());
+            self.last_ms.push(buf.get_u32());
+            self.src_port.push(buf.get_u16());
+            self.dst_port.push(buf.get_u16());
+            let _pad1 = buf.get_u8();
+            self.tcp_flags.push(buf.get_u8());
+            self.protocol.push(buf.get_u8());
+            self.tos.push(buf.get_u8());
+            self.src_as.push(buf.get_u16());
+            self.dst_as.push(buf.get_u16());
+            self.src_mask.push(buf.get_u8());
+            self.dst_mask.push(buf.get_u8());
+            let _pad2 = buf.get_u16();
+        }
+        Ok(header)
+    }
+}
+
+impl FromIterator<FlowRecord> for FlowBatch {
+    fn from_iter<I: IntoIterator<Item = FlowRecord>>(iter: I) -> FlowBatch {
+        let mut batch = FlowBatch::new();
+        for r in iter {
+            batch.push_record(&r);
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Datagram;
+
+    fn sample_record(i: u32) -> FlowRecord {
+        FlowRecord {
+            src_addr: Ipv4Addr::from(0x0a000001 + i),
+            dst_addr: Ipv4Addr::from(0x60010014),
+            next_hop: Ipv4Addr::from(0x59000001),
+            input_if: 3 + (i % 2) as u16,
+            output_if: 7,
+            packets: 10 + i,
+            octets: 4000 + i,
+            first_ms: 1000,
+            last_ms: 2000 + i,
+            src_port: 1024,
+            dst_port: 80,
+            tcp_flags: crate::TCP_SYN | crate::TCP_ACK,
+            protocol: 6,
+            tos: 0,
+            src_as: 65001,
+            dst_as: 65002,
+            src_mask: 11,
+            dst_mask: 16,
+        }
+    }
+
+    #[test]
+    fn decode_matches_datagram_decode() {
+        let records: Vec<FlowRecord> = (0..17).map(sample_record).collect();
+        let dg = Datagram::new(42, 123_456, &records);
+        let wire = dg.encode();
+
+        let mut batch = FlowBatch::new();
+        let header = batch.decode_datagram(&wire).unwrap();
+        let aos = Datagram::decode(&wire).unwrap();
+        assert_eq!(header, aos.header);
+        assert_eq!(batch.len(), aos.records.len());
+        let rows: Vec<FlowRecord> = batch.iter().collect();
+        assert_eq!(rows, aos.records);
+    }
+
+    #[test]
+    fn decode_appends_and_clear_keeps_capacity() {
+        let wire = Datagram::new(0, 0, &[sample_record(0), sample_record(1)]).encode();
+        let mut batch = FlowBatch::with_capacity(MAX_RECORDS_PER_DATAGRAM);
+        batch.decode_datagram(&wire).unwrap();
+        batch.decode_datagram(&wire).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.record(0), batch.record(2));
+        let cap = batch.src_addr.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.src_addr.capacity(), cap);
+    }
+
+    #[test]
+    fn decode_errors_mirror_wire_and_leave_batch_untouched() {
+        let wire = Datagram::new(0, 0, &[sample_record(0)]).encode();
+        let mut batch = FlowBatch::new();
+
+        assert_eq!(
+            batch.decode_datagram(&wire[..10]),
+            Err(DecodeError::Truncated { need: 24, have: 10 })
+        );
+        let mut wrong = wire.to_vec();
+        wrong[1] = 9;
+        assert_eq!(
+            batch.decode_datagram(&wrong),
+            Err(DecodeError::WrongVersion(9))
+        );
+        let mut oversized = wire.to_vec();
+        oversized[2] = 0;
+        oversized[3] = 31;
+        assert_eq!(
+            batch.decode_datagram(&oversized),
+            Err(DecodeError::BadCount(31))
+        );
+        assert!(matches!(
+            batch.decode_datagram(&wire[..40]),
+            Err(DecodeError::Truncated { need: 72, have: 40 })
+        ));
+        assert!(batch.is_empty(), "failed decodes must not append rows");
+
+        // Error variants agree with the row-oriented decoder on the same
+        // inputs.
+        for bad in [&wire[..10], &wrong[..], &oversized[..], &wire[..40]] {
+            assert_eq!(
+                batch.decode_datagram(bad).unwrap_err(),
+                Datagram::decode(bad).unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_records_and_column_splices() {
+        let records: Vec<FlowRecord> = (0..6).map(sample_record).collect();
+        let batch: FlowBatch = records.iter().copied().collect();
+        assert_eq!(batch.record(3), records[3]);
+        assert_eq!(batch.src_addr(3), records[3].src_addr);
+        assert_eq!(batch.src_addr_bits()[3], u32::from(records[3].src_addr));
+        assert_eq!(batch.input_ifs()[3], records[3].input_if);
+
+        let mut run = FlowBatch::new();
+        run.extend_from(&batch, 2..5);
+        assert_eq!(run.len(), 3);
+        let rows: Vec<FlowRecord> = run.iter().collect();
+        assert_eq!(rows, &records[2..5]);
+
+        let mut pushed = FlowBatch::new();
+        pushed.extend_from_records(&records);
+        assert_eq!(pushed, batch);
+    }
+}

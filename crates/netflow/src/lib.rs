@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 mod record;
 mod versions;
 mod wire;
 
+pub use batch::FlowBatch;
 pub use cache::{CacheConfig, ExpiryReason, FlowCache, PacketObs};
 pub use record::{FlowKey, FlowRecord, FlowStats};
 pub use versions::{decode_any, decode_v1, decode_v7, encode_v1, encode_v7};

@@ -10,9 +10,9 @@ use crate::FlowRecord;
 /// full datagram is 24 + 30 × 48 = 1464 bytes, fitting a 1500-byte MTU).
 pub const MAX_RECORDS_PER_DATAGRAM: usize = 30;
 
-const HEADER_LEN: usize = 24;
-const RECORD_LEN: usize = 48;
-const VERSION: u16 = 5;
+pub(crate) const HEADER_LEN: usize = 24;
+pub(crate) const RECORD_LEN: usize = 48;
+pub(crate) const VERSION: u16 = 5;
 
 /// The 24-byte NetFlow v5 datagram header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

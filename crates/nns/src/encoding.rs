@@ -167,6 +167,37 @@ impl UnaryEncoder {
         ((frac * bits as f64).floor().max(0.0) as usize).min(bits)
     }
 
+    /// Packs the interval indices of a feature vector into one `u64` — a
+    /// collision-free fingerprint of the encoding: two vectors fingerprint
+    /// equal iff [`UnaryEncoder::encode`] produces identical bit vectors,
+    /// because the unary code is fully determined by the per-feature
+    /// interval (the leading-ones count).
+    ///
+    /// Returns `None` when the packing cannot be exact — more than 8
+    /// features, or a feature wider than 255 bits — so callers can fall
+    /// back to comparing full encodings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the encoder's feature count.
+    pub fn fingerprint(&self, features: &[f64]) -> Option<u64> {
+        assert_eq!(
+            features.len(),
+            self.features.len(),
+            "expected {} features, got {}",
+            self.features.len(),
+            features.len()
+        );
+        if self.features.len() > 8 || self.features.iter().any(|&(_, bits)| bits > 255) {
+            return None;
+        }
+        let mut packed = 0u64;
+        for (idx, &value) in features.iter().enumerate() {
+            packed = (packed << 8) | self.interval(idx, value) as u64;
+        }
+        Some(packed)
+    }
+
     /// Encodes a feature vector.
     ///
     /// # Panics
@@ -291,6 +322,32 @@ mod tests {
         let mut dirty = BitVec::from_bits((0..7).map(|_| true));
         enc.encode_into(&[3.0, 40.0], &mut dirty);
         assert_eq!(dirty, enc.encode(&[3.0, 40.0]));
+    }
+
+    #[test]
+    fn fingerprint_equality_tracks_encoding_equality() {
+        let enc = UnaryEncoder::new(
+            vec![FeatureSpec::new(0.0, 10.0), FeatureSpec::new(0.0, 100.0)],
+            20,
+        )
+        .unwrap();
+        let vectors = [
+            [3.0, 40.0],
+            [3.2, 40.1],
+            [0.0, 0.0],
+            [10.0, 100.0],
+            [-5.0, 1e9],
+        ];
+        for a in vectors {
+            for b in vectors {
+                let same_fp = enc.fingerprint(&a) == enc.fingerprint(&b);
+                let same_code = enc.encode(&a) == enc.encode(&b);
+                assert_eq!(same_fp, same_code, "{a:?} vs {b:?}");
+            }
+        }
+        // Too many features for an exact packing: declined, not wrong.
+        let wide = UnaryEncoder::new(vec![FeatureSpec::new(0.0, 1.0); 9], 4).unwrap();
+        assert_eq!(wide.fingerprint(&[0.5; 9]), None);
     }
 
     #[test]
