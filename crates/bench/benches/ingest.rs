@@ -102,10 +102,7 @@ fn batches(seed: u64) -> Vec<Batch> {
                     }
                 })
                 .collect();
-            Batch {
-                ingress: PeerId(1),
-                records,
-            }
+            Batch::new(PeerId(1), records)
         })
         .collect()
 }

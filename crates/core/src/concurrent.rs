@@ -26,11 +26,12 @@ use std::sync::Arc;
 
 use infilter_netflow::{FlowBatch, FlowRecord};
 use infilter_nns::BitVec;
+use infilter_telemetry::trace;
 use parking_lot::Mutex;
 
 use crate::eia::EiaSnapshot;
 use crate::metrics::ConcurrentMetrics;
-use crate::observe::{PipelineTelemetry, SuspectObservation};
+use crate::observe::{JournalEvent, PipelineTelemetry, SuspectObservation};
 use crate::pipeline::{
     nns_stage, saturating_nanos, scan_stage, scan_verdict_stage, NnsMemo, SuspectOutcome,
     SuspectRecord,
@@ -447,12 +448,14 @@ impl ConcurrentAnalyzer {
         let snapshot = self.cached_snapshot();
         let sampling = sample != 0 && n0.next_multiple_of(sample) < n0 + len as u64;
         let a_started = sampling.then(std::time::Instant::now);
+        trace::start("eia");
         {
             let mut classifier = snapshot.classifier(ingress);
             for &i in &idx {
                 eia[i as usize] = classifier.classify(std::net::Ipv4Addr::from(src[i as usize]));
             }
         }
+        trace::end();
         let per_flow = a_started.map(|s| s.elapsed() / len as u32);
         drop(snapshot);
 
@@ -461,6 +464,7 @@ impl ConcurrentAnalyzer {
         // flows go through `process_counted`, which bumps individually.
         let mut matches = 0u64;
         let mut stale = false;
+        trace::start("verdict");
         // All suspects in this batch share one ingress: hoist their peer
         // counter cell out of the loop, lazily so suspect-free batches
         // never materialise it.
@@ -519,6 +523,7 @@ impl ConcurrentAnalyzer {
                 }
             }
         }
+        trace::end();
         if matches > 0 {
             self.metrics.eia_match.fetch_add(matches, Ordering::Relaxed);
         }
@@ -537,6 +542,7 @@ impl ConcurrentAnalyzer {
         // When nothing will record the observation, skip the distinct-
         // counter reads — the push still updates the scan state, so
         // verdicts are unaffected.
+        trace::start("scan");
         let (scan_hit, mut observed) = {
             let mut shard = self.shards[self.shard_for(flow)].lock();
             if observe {
@@ -548,6 +554,7 @@ impl ConcurrentAnalyzer {
                 )
             }
         };
+        trace::end();
         if let Some(stage) = scan_hit {
             ConcurrentMetrics::bump(&self.metrics.scan_attacks);
             return (Verdict::Attack(stage), observed);
@@ -671,12 +678,20 @@ impl ConcurrentAnalyzer {
         ws.dirty = 0;
         self.eia.publish(ws.registry.snapshot());
         self.telemetry.record_republish();
-        ws.registry.prefix_count()
+        let prefixes = ws.registry.prefix_count();
+        self.telemetry.journal_event(JournalEvent::EiaReload {
+            prefixes: prefixes.min(u32::MAX as usize) as u32,
+        });
+        prefixes
     }
 
     fn emit_alert(&self, flow: &FlowRecord, ingress: PeerId, stage: AttackStage) {
         let id = self.alert_seq.fetch_add(1, Ordering::Relaxed);
         let alert = IdmefAlert::new(id, flow, ingress, stage);
+        self.telemetry.journal_event(JournalEvent::Alert {
+            peer: ingress,
+            message_id: id,
+        });
         self.shards[self.shard_for(flow)].lock().alerts.push(alert);
     }
 

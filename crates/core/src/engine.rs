@@ -54,6 +54,13 @@ pub trait Engine {
     /// The most recent flight-recorder decisions, newest first.
     fn explain_last(&self, n: usize) -> Vec<FlowDecision>;
 
+    /// Renders the newest `n` structured journal events as the `/events`
+    /// JSON document (newest first). Provided: every engine exposes its
+    /// journal through [`Engine::telemetry`].
+    fn events_json(&self, n: usize) -> String {
+        crate::observe::render_events_json(&self.telemetry().journal().last(n))
+    }
+
     /// Drains pending IDMEF alerts in generation order.
     fn drain_alerts(&mut self) -> Vec<IdmefAlert>;
 

@@ -1,10 +1,12 @@
 //! Pipeline observability: stage histograms, per-peer/per-shard counter
-//! families, the flow-decision flight recorder, and Prometheus exposition.
+//! families, the flow-decision flight recorder, the structured event
+//! journal, and Prometheus exposition.
 //!
 //! Everything here rides the generic primitives in `infilter-telemetry`;
 //! this module supplies the domain: which stages get histograms, what a
 //! recorded decision looks like ([`FlowDecision`] — the full Figure-12
-//! chain), and how it all renders as one exposition page.
+//! chain), which state changes are journal-worthy ([`JournalEvent`]), and
+//! how it all renders as one exposition page.
 //!
 //! Cost model (the reason this can stay enabled by default):
 //!
@@ -20,10 +22,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use infilter_netflow::FlowRecord;
-use infilter_telemetry::{AtomicHistogram, Family, Histogram, PromText, Ring};
+use infilter_telemetry::{
+    trace, AtomicHistogram, Exemplar, Family, Histogram, Journal, PromText, Ring, SeqEvent,
+};
 use serde::{Deserialize, Serialize};
 
-use crate::{AnalyzerMetrics, PeerId, Verdict};
+use crate::{AnalyzerMetrics, Effort, PeerId, Verdict};
 
 /// Observability knobs, carried inside [`crate::AnalyzerConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +44,11 @@ pub struct TelemetryConfig {
     /// to the next power of two so the per-flow due check is a mask test
     /// rather than a 64-bit division.
     pub record_fast_path_every: u64,
+    /// Structured event journal retention ([`JournalEvent`] entries).
+    /// `0` retains nothing but still hands out sequence numbers, so
+    /// counters stay exact. Independent of `enabled` — journalled events
+    /// are rare state changes, not per-flow samples.
+    pub journal_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -48,8 +57,107 @@ impl Default for TelemetryConfig {
             enabled: true,
             recorder_capacity: 256,
             record_fast_path_every: 1024,
+            journal_capacity: 1024,
         }
     }
+}
+
+/// One journal-worthy state change: the rare, operator-relevant events
+/// whose *order* matters — the evidence chain counters cannot give.
+/// Recorded into [`PipelineTelemetry::journal`] by the engines and the
+/// ingest daemon, served at `/events`, and folded into the shutdown
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// The ingest load-shedding ladder moved to a new rung.
+    LadderTransition {
+        /// Rung before the move.
+        from: Effort,
+        /// Rung after the move.
+        to: Effort,
+    },
+    /// The EIA registry was hot-swapped (`reload_eia`).
+    EiaReload {
+        /// Preloaded prefixes now live.
+        prefixes: u32,
+    },
+    /// An intake ring shed a batch under backpressure.
+    RingDrop {
+        /// Which intake ring shed.
+        ring: u16,
+        /// Flows in the shed batch.
+        flows: u32,
+    },
+    /// A forgiven source was adopted into a peer's EIA set (§5.2).
+    Adoption {
+        /// The adopting ingress peer.
+        peer: PeerId,
+    },
+    /// An IDMEF alert was emitted.
+    Alert {
+        /// Ingress peer of the offending flow.
+        peer: PeerId,
+        /// The alert's message id.
+        message_id: u64,
+    },
+}
+
+impl JournalEvent {
+    /// Stable machine-readable event kind, used as the JSON `kind` field
+    /// and the Prometheus label value.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::LadderTransition { .. } => "ladder_transition",
+            JournalEvent::EiaReload { .. } => "eia_reload",
+            JournalEvent::RingDrop { .. } => "ring_drop",
+            JournalEvent::Adoption { .. } => "adoption",
+            JournalEvent::Alert { .. } => "alert",
+        }
+    }
+}
+
+impl std::fmt::Display for JournalEvent {
+    /// Human detail line; deliberately free of `"` and `\` so it can be
+    /// embedded in hand-rendered JSON without escaping.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalEvent::LadderTransition { from, to } => {
+                write!(f, "{} -> {}", from.as_label(), to.as_label())
+            }
+            JournalEvent::EiaReload { prefixes } => write!(f, "{prefixes} prefixes live"),
+            JournalEvent::RingDrop { ring, flows } => {
+                write!(f, "ring {ring} shed {flows} flows")
+            }
+            JournalEvent::Adoption { peer } => write!(f, "adopted into {peer}"),
+            JournalEvent::Alert { peer, message_id } => {
+                write!(f, "message {message_id} via {peer}")
+            }
+        }
+    }
+}
+
+/// Renders journal events (newest first, as [`Journal::last`] returns
+/// them) as one JSON document for the `/events` endpoint:
+/// `{"events":[{"seq":..,"at_ns":..,"kind":"..","detail":".."}]}`.
+pub fn render_events_json(events: &[SeqEvent<JournalEvent>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"events\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+            e.seq,
+            e.at_ns,
+            e.event.kind(),
+            e.event
+        );
+    }
+    out.push_str("\n]}\n");
+    out
 }
 
 /// One fully-resolved decision as the flight recorder saw it: the complete
@@ -178,6 +286,11 @@ pub struct PipelineTelemetry {
     shard_suspects: Vec<AtomicU64>,
     republishes: AtomicU64,
     recorders: Vec<Ring<FlowDecision>>,
+    /// Worst sampled latency seen with an active trace, per path — the
+    /// exemplar link from a histogram's tail bucket to a concrete trace.
+    fast_exemplar: Exemplar,
+    suspect_exemplar: Exemplar,
+    journal: Arc<Journal<JournalEvent>>,
 }
 
 impl PipelineTelemetry {
@@ -206,6 +319,9 @@ impl PipelineTelemetry {
             shard_suspects: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             republishes: AtomicU64::new(0),
             recorders: (0..shards).map(|_| Ring::new(capacity)).collect(),
+            fast_exemplar: Exemplar::new(),
+            suspect_exemplar: Exemplar::new(),
+            journal: Arc::new(Journal::new(cfg.journal_capacity)),
         }
     }
 
@@ -235,6 +351,7 @@ impl PipelineTelemetry {
     pub(crate) fn observe_fast_latency(&self, nanos: u64) {
         if self.cfg.enabled {
             self.fast_path_ns.record(nanos);
+            self.fast_exemplar.offer(nanos, trace::active());
         }
     }
 
@@ -290,6 +407,7 @@ impl PipelineTelemetry {
             return;
         }
         self.suspect_path_ns.record(elapsed_ns);
+        self.suspect_exemplar.offer(elapsed_ns, trace::active());
         self.scan_distinct_hosts
             .record(u64::from(obs.scan_distinct_hosts));
         self.scan_distinct_ports
@@ -345,12 +463,38 @@ impl PipelineTelemetry {
         self.shard_suspects[shard].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts an adoption against the adopting peer.
+    /// Counts an adoption against the adopting peer and journals it.
     pub(crate) fn record_adoption(&self, ingress: PeerId) {
         self.peers
             .get(&ingress.0)
             .adoptions
             .fetch_add(1, Ordering::Relaxed);
+        self.journal
+            .record(JournalEvent::Adoption { peer: ingress });
+    }
+
+    /// Records one journal-worthy state change.
+    pub(crate) fn journal_event(&self, event: JournalEvent) {
+        self.journal.record(event);
+    }
+
+    /// The shared structured event journal. The ingest layer clones the
+    /// `Arc` so listener and pump threads journal ring drops and ladder
+    /// transitions into the same ordered stream as engine events.
+    pub fn journal(&self) -> &Arc<Journal<JournalEvent>> {
+        &self.journal
+    }
+
+    /// The worst sampled fast-path latency observed while a trace was
+    /// active, as `(nanoseconds, trace_id)`.
+    pub fn fast_exemplar(&self) -> Option<(u64, u64)> {
+        self.fast_exemplar.get()
+    }
+
+    /// The worst suspect-path latency observed while a trace was active,
+    /// as `(nanoseconds, trace_id)`.
+    pub fn suspect_exemplar(&self) -> Option<(u64, u64)> {
+        self.suspect_exemplar.get()
     }
 
     /// Counts one EIA snapshot republish.
@@ -442,6 +586,8 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "infilter_adoptions_total",
     "infilter_snapshot_republish_total",
     "infilter_recorder_dropped_total",
+    "infilter_journal_events_total",
+    "infilter_journal_dropped_total",
     "infilter_peer_suspects_total",
     "infilter_peer_attacks_total",
     "infilter_peer_forgiven_total",
@@ -522,6 +668,16 @@ pub(crate) fn render_exposition(
         "Flight-recorder entries dropped on slot contention.",
         telemetry.recorder_dropped(),
     );
+    page.counter(
+        "infilter_journal_events_total",
+        "Structured events journalled (highest sequence number).",
+        telemetry.journal().recorded(),
+    );
+    page.counter(
+        "infilter_journal_dropped_total",
+        "Journal entries lost to slot contention.",
+        telemetry.journal().dropped(),
+    );
 
     let peers = telemetry.peer_counters();
     let peer_samples = |pick: fn(&PeerCounters) -> &AtomicU64| -> Vec<_> {
@@ -591,12 +747,22 @@ pub(crate) fn render_exposition(
         &telemetry.fast_path_latency(),
         LATENCY_BOUNDS_NS,
     );
+    if let Some((ns, trace_id)) = telemetry.fast_exemplar() {
+        page.comment(&format!(
+            "EXEMPLAR infilter_fast_path_latency_ns value={ns} trace_id={trace_id}"
+        ));
+    }
     page.histogram(
         "infilter_suspect_path_latency_ns",
         "Per-flow latency through the full suspect analysis.",
         &telemetry.suspect_path_latency(),
         LATENCY_BOUNDS_NS,
     );
+    if let Some((ns, trace_id)) = telemetry.suspect_exemplar() {
+        page.comment(&format!(
+            "EXEMPLAR infilter_suspect_path_latency_ns value={ns} trace_id={trace_id}"
+        ));
+    }
     page.histogram(
         "infilter_nns_search_latency_ns",
         "NNS nearest-neighbour search latency.",
@@ -773,6 +939,50 @@ mod tests {
         assert!(page.contains("infilter_peer_suspects_total{peer=\"3\"} 1"));
         assert!(page.contains("infilter_shard_scan_buffered{shard=\"0\"} 3"));
         assert!(page.contains("infilter_snapshot_republish_total 1"));
+    }
+
+    #[test]
+    fn journal_orders_events_and_renders_json() {
+        let telemetry = PipelineTelemetry::new(TelemetryConfig::default(), 1);
+        telemetry.journal_event(JournalEvent::EiaReload { prefixes: 7 });
+        telemetry.record_adoption(PeerId(2));
+        telemetry.journal_event(JournalEvent::LadderTransition {
+            from: Effort::Full,
+            to: Effort::SkipNns,
+        });
+        assert_eq!(telemetry.journal().recorded(), 3);
+        let events = telemetry.journal().last(10);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].event.kind(), "ladder_transition");
+        assert_eq!(events[2].seq, 1, "newest first");
+        let json = render_events_json(&events);
+        assert!(json.starts_with("{\"events\":["), "bad prefix: {json}");
+        assert!(json.contains("\"kind\":\"eia_reload\",\"detail\":\"7 prefixes live\""));
+        assert!(json.contains("\"kind\":\"adoption\",\"detail\":\"adopted into PeerAS2\""));
+        assert!(json.contains("\"detail\":\"full -> skip_nns\""));
+        assert!(json.ends_with("\n]}\n"), "bad suffix: {json}");
+        assert!(render_events_json(&[]).contains("{\"events\":[\n]}"));
+    }
+
+    #[test]
+    fn exemplars_link_histograms_to_traces() {
+        let telemetry = PipelineTelemetry::new(TelemetryConfig::default(), 1);
+        // No trace active: the offer is discarded, no exemplar comment.
+        telemetry.observe_fast_latency(900);
+        assert_eq!(telemetry.fast_exemplar(), None);
+        // With an active trace the worst sample wins and the exposition
+        // carries the link as a full-line comment.
+        infilter_telemetry::trace::begin(41);
+        telemetry.observe_fast_latency(4_000);
+        telemetry.observe_fast_latency(2_000);
+        infilter_telemetry::trace::abandon();
+        assert_eq!(telemetry.fast_exemplar(), Some((4_000, 41)));
+        let page = render_exposition(&AnalyzerMetrics::default(), &telemetry, &[(0, 0)]);
+        assert!(
+            page.contains("# EXEMPLAR infilter_fast_path_latency_ns value=4000 trace_id=41"),
+            "exemplar comment missing:\n{page}"
+        );
+        assert!(page.contains("# TYPE infilter_journal_events_total counter"));
     }
 
     #[test]

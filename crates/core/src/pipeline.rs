@@ -3,11 +3,14 @@ use std::time::Instant;
 
 use infilter_netflow::{FlowBatch, FlowRecord};
 use infilter_nns::{BitVec, NnsParams};
+use infilter_telemetry::trace;
 use infilter_traffic::AppClass;
 use serde::{Deserialize, Serialize};
 
 pub use crate::eia::PeerId;
-use crate::observe::{NnsObservation, PipelineTelemetry, SuspectObservation, TelemetryConfig};
+use crate::observe::{
+    JournalEvent, NnsObservation, PipelineTelemetry, SuspectObservation, TelemetryConfig,
+};
 use crate::{
     AnalyzerMetrics, ClusterModel, EiaRegistry, EiaVerdict, FlowDecision, IdmefAlert, ScanAnalyzer,
     ScanConfig, ScanVerdict, ThresholdPolicy, TrainError,
@@ -557,7 +560,11 @@ impl Analyzer {
         eia.set_adoption_threshold(self.cfg.adoption_threshold);
         eia.set_adoption_prefix_len(self.cfg.adoption_prefix_len);
         self.eia = eia;
-        self.eia.prefix_count()
+        let prefixes = self.eia.prefix_count();
+        self.telemetry.journal_event(JournalEvent::EiaReload {
+            prefixes: prefixes.min(u32::MAX as usize) as u32,
+        });
+        prefixes
     }
 
     /// Processes one flow observed at `ingress`, returning the verdict and
@@ -665,6 +672,10 @@ impl Analyzer {
         };
         if let Verdict::Attack(stage) = verdict {
             let alert = IdmefAlert::new(self.next_alert_id, flow, ingress, stage);
+            self.telemetry.journal_event(JournalEvent::Alert {
+                peer: ingress,
+                message_id: self.next_alert_id,
+            });
             self.next_alert_id += 1;
             self.alerts.push(alert);
         }
@@ -732,17 +743,20 @@ impl Analyzer {
         // time the whole pass only when some flow in this window samples.
         let sampling = sample != 0 && n0.next_multiple_of(sample) < n0 + len as u64;
         let a_started = sampling.then(Instant::now);
+        trace::start("eia");
         {
             let mut classifier = self.eia.classifier(ingress);
             for &i in &self.batch_idx {
                 self.batch_eia[i as usize] = classifier.classify(Ipv4Addr::from(src[i as usize]));
             }
         }
+        trace::end();
         let per_flow = a_started.map(|s| s.elapsed() / len as u32);
 
         // Phase B: bookkeeping and suspect analysis in original order.
         let adopted0 = self.eia.adopted_count();
         let mut stale = false;
+        trace::start("verdict");
         // All suspects in this batch share one ingress: hoist their peer
         // counter cell out of the loop, lazily so suspect-free batches
         // never materialise it.
@@ -796,6 +810,7 @@ impl Analyzer {
                 }
             }
         }
+        trace::end();
     }
 
     /// [`Analyzer::process_flow_batch_into`] over a record slice, reusing
@@ -824,6 +839,7 @@ impl Analyzer {
         // Stage 2: Scan Analysis. When nothing will record the observation
         // (`observe` is false), skip the distinct-counter reads — the push
         // itself still updates the scan state, so verdicts are unaffected.
+        trace::start("scan");
         let (scan_hit, mut observed) = if observe {
             scan_stage(&mut self.scan, flow)
         } else {
@@ -832,6 +848,7 @@ impl Analyzer {
                 SuspectObservation::default(),
             )
         };
+        trace::end();
         if let Some(stage) = scan_hit {
             self.metrics.scan_attacks += 1;
             return (Verdict::Attack(stage), observed);
@@ -1015,6 +1032,7 @@ pub(crate) fn nns_stage(
     timed: bool,
     memo: &mut NnsMemo,
 ) -> (SuspectOutcome, NnsObservation) {
+    trace::start("nns");
     let class = AppClass::classify(flow.protocol, flow.dst_port);
     let mut observed = NnsObservation {
         distance: u32::MAX,
@@ -1062,6 +1080,7 @@ pub(crate) fn nns_stage(
             class,
         }),
     };
+    trace::end();
     (outcome, observed)
 }
 

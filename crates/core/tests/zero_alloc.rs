@@ -201,4 +201,45 @@ fn suspect_path_encode_and_search_allocate_nothing_after_warmup() {
         "batch suspect path allocated {} times over 200 batches",
         after - before
     );
+    // Note the loop above also proves the tracing-disabled case: the span
+    // hooks (trace::start/end) were compiled into the batch path and ran
+    // inactive for every call without allocating.
+
+    // --- Tracing enabled: activating a trace around every batch adds span
+    // capture to the same path. Spans land in a pre-allocated thread-local
+    // buffer and each completed trace is a Copy value pushed into the
+    // tracer's pre-allocated ring, so steady state must stay at zero.
+    let tracer = infilter_telemetry::Tracer::new(1, 64);
+    let traced_batch = |analyzer: &mut infilter_core::Analyzer,
+                        verdicts: &mut Vec<infilter_core::Verdict>| {
+        let id = tracer.decide();
+        infilter_telemetry::trace::begin(id);
+        verdicts.clear();
+        analyzer.process_batch_into(
+            infilter_core::PeerId(1),
+            &mix,
+            infilter_core::Effort::Full,
+            verdicts,
+        );
+        infilter_telemetry::trace::finish(tracer.collector());
+    };
+    // Warmup: first activation faults in the thread-local span buffer.
+    for _ in 0..20u32 {
+        traced_batch(&mut analyzer, &mut verdicts);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..200u32 {
+        traced_batch(&mut analyzer, &mut verdicts);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "traced batch path allocated {} times over 200 batches",
+        after - before
+    );
+    assert!(
+        tracer.last(4).iter().any(|t| t.spans().len() > 2),
+        "traced batches must have captured engine spans"
+    );
 }

@@ -119,28 +119,40 @@ fn main() {
             println!("\n{}", report.exposition);
         }
         Some(addr) => {
-            serve_exposition(&addr, &report.exposition);
+            serve_report(&addr, &report);
         }
     }
 }
 
-/// Minimal blocking HTTP loop: answers every request with the exposition
-/// page under the Prometheus 0.0.4 content type.
-fn serve_exposition(addr: &str, exposition: &str) {
+/// Minimal blocking HTTP loop over the finished run: `/metrics` serves the
+/// Prometheus page, `/trace` the Chrome trace-event JSON (load it in
+/// Perfetto), `/events` the structured journal; anything else gets the
+/// exposition for backwards compatibility with bare scrapes.
+fn serve_report(addr: &str, report: &infilter_experiments::observe::ObserveReport) {
     use std::io::{Read, Write};
     let listener =
         std::net::TcpListener::bind(addr).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
-    println!("\nserving exposition on http://{addr}/metrics (ctrl-c to stop)");
-    let body = exposition.as_bytes();
-    let head = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
+    println!("\nserving http://{addr}/metrics /trace /events (ctrl-c to stop)");
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
         let mut buf = [0u8; 1024];
-        let _ = stream.read(&mut buf);
+        let n = stream.read(&mut buf).unwrap_or(0);
+        let request = String::from_utf8_lossy(&buf[..n]);
+        let path = request
+            .split_whitespace()
+            .nth(1)
+            .map(|p| p.split('?').next().unwrap_or(p))
+            .unwrap_or("/metrics");
+        let (content_type, body) = match path {
+            "/trace" => ("application/json", report.trace_json.as_str()),
+            "/events" => ("application/json", report.events_json.as_str()),
+            _ => ("text/plain; version=0.0.4", report.exposition.as_str()),
+        };
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
         let _ = stream.write_all(head.as_bytes());
-        let _ = stream.write_all(body);
+        let _ = stream.write_all(body.as_bytes());
     }
 }

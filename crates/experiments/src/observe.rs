@@ -8,12 +8,13 @@
 //! metric family that silently disappears fails `exp-observe --smoke`.
 
 use infilter_core::{
-    AnalyzerMetrics, ConcurrentAnalyzer, ConcurrentConfig, FlowDecision, PeerId, METRIC_FAMILIES,
+    render_events_json, AnalyzerMetrics, ConcurrentAnalyzer, ConcurrentConfig, Effort,
+    FlowDecision, PeerId, METRIC_FAMILIES,
 };
 use infilter_dagflow::{eia_table, AddressMapper, Dagflow, DagflowConfig, UdpReplayStats};
 use infilter_net::SubBlock;
-use infilter_netflow::Datagram;
-use infilter_telemetry::{DeltaReporter, RateSample};
+use infilter_netflow::{Datagram, FlowBatch};
+use infilter_telemetry::{chrome_trace_json, trace, DeltaReporter, RateSample, Tracer};
 use infilter_traffic::{AttackKind, NormalProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,6 +32,8 @@ pub struct ObserveConfig {
     pub shards: usize,
     /// Emit one delta-rate snapshot every this many datagrams.
     pub report_every: usize,
+    /// Trace 1 in this many datagrams (0 disables tracing).
+    pub trace_sample_every: u64,
 }
 
 impl Default for ObserveConfig {
@@ -40,6 +43,7 @@ impl Default for ObserveConfig {
             flows_per_peer: 1500,
             shards: 4,
             report_every: 32,
+            trace_sample_every: 16,
         }
     }
 }
@@ -59,6 +63,11 @@ pub struct ObserveReport {
     pub datagrams: usize,
     /// Flow records carried in those datagrams.
     pub wire_flows: u64,
+    /// Sampled spans as a Chrome trace-event JSON document (load it in
+    /// `chrome://tracing` or Perfetto).
+    pub trace_json: String,
+    /// The engine's structured event journal as the `/events` document.
+    pub events_json: String,
 }
 
 /// Metric families advertised in [`METRIC_FAMILIES`] but absent from a
@@ -142,11 +151,25 @@ pub fn run(cfg: ObserveConfig) -> ObserveReport {
     // from the export port, and batch-process the decoded records.
     let mut reporter = DeltaReporter::new();
     let mut rates = Vec::new();
+    let tracer = Tracer::new(cfg.trace_sample_every, 256);
+    let mut columns = FlowBatch::new();
+    let mut verdicts = Vec::new();
     let started = std::time::Instant::now();
     let mut last_report = 0.0f64;
     for (i, (port, datagram)) in wire.iter().enumerate() {
         let decoded = Datagram::decode(&datagram.encode()).expect("wire round-trip");
-        engine.process_batch(PeerId(port - 9000), &decoded.records);
+        columns.clear();
+        columns.extend_from_records(&decoded.records);
+        verdicts.clear();
+        // Head sampling at the same point the daemon decides: datagram
+        // ingress. A sampled datagram's batch call emits the engine spans
+        // (eia, scan, nns, verdict) under one trace.
+        let trace_id = tracer.decide();
+        trace::begin(trace_id);
+        engine.process_flow_batch_into(PeerId(port - 9000), &columns, Effort::Full, &mut verdicts);
+        if trace_id != 0 {
+            trace::finish(tracer.collector());
+        }
         if cfg.report_every != 0 && (i + 1) % cfg.report_every == 0 {
             let now = started.elapsed().as_secs_f64();
             rates.push(reporter.observe(engine.metrics().named_counters(), now - last_report));
@@ -167,6 +190,8 @@ pub fn run(cfg: ObserveConfig) -> ObserveReport {
         exposition: engine.prometheus_text(),
         datagrams: wire.len(),
         wire_flows: exported_flows,
+        trace_json: chrome_trace_json(&tracer.last(64)),
+        events_json: render_events_json(&engine.telemetry().journal().last(256)),
     }
 }
 
@@ -237,6 +262,10 @@ mod tests {
     fn smoke_run_exposes_every_family_and_records_the_attack() {
         let report = run(ObserveConfig {
             flows_per_peer: 400,
+            // Dagflow aggregates this workload into a few dozen datagrams;
+            // trace all of them so the attack datagrams are deterministically
+            // among the sampled set.
+            trace_sample_every: 1,
             ..ObserveConfig::default()
         });
         assert_eq!(
@@ -254,6 +283,21 @@ mod tests {
             "flight recorder must hold attack verdicts"
         );
         assert!(!report.rates.is_empty());
+        // The sampled traces carry the engine pipeline spans; Enhanced
+        // mode with injected attacks exercises every stage.
+        assert!(report.trace_json.starts_with("{\"traceEvents\":["));
+        for span in ["eia", "verdict", "scan", "nns"] {
+            assert!(
+                report.trace_json.contains(&format!("\"name\":\"{span}\"")),
+                "span `{span}` missing from trace:\n{}",
+                report.trace_json
+            );
+        }
+        assert!(
+            report.events_json.contains("\"kind\":\"alert\""),
+            "alert events missing from journal:\n{}",
+            report.events_json
+        );
     }
 
     #[test]

@@ -99,7 +99,8 @@ fn print_default_config() {
         "# infilterd defaults\nlisten = {}\nserve = {}\nlisteners = {}\nrings = {}\n\
          ring_capacity = {}\nshards = {}\nmode = enhanced\nbatch_budget = {}\n\
          alert_spool = {}\nskip_nns_above = {}\nbi_only_above = {}\nrecover_below = {}\n\
-         recover_after = {}\n# peer 1 3.0.0.0/11\n# peer 2 3.32.0.0/11",
+         recover_after = {}\ntrace_sample_every = {}\ntrace_capacity = {}\n\
+         journal_capacity = {}\n# peer 1 3.0.0.0/11\n# peer 2 3.32.0.0/11",
         d.listen,
         d.serve,
         d.listeners,
@@ -112,5 +113,8 @@ fn print_default_config() {
         d.ladder.bi_only_above,
         d.ladder.recover_below,
         d.ladder.recover_after,
+        d.trace_sample_every,
+        d.trace_capacity,
+        d.journal_capacity,
     );
 }

@@ -11,7 +11,8 @@
 use std::time::Duration;
 
 use infilter_core::{
-    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, ConfigError, Mode, Trainer,
+    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, ConfigError, Mode, TelemetryConfig,
+    Trainer,
 };
 use infilter_dagflow::{AddressMapper, Dagflow, DagflowConfig};
 use infilter_net::Prefix;
@@ -92,6 +93,10 @@ pub fn bootstrap_engine(
         .nns(boot.nns)
         .bits_per_feature(boot.bits_per_feature)
         .seed(boot.seed ^ 0x7e57)
+        .telemetry(TelemetryConfig {
+            journal_capacity: cfg.journal_capacity,
+            ..TelemetryConfig::default()
+        })
         .build()
         .map_err(BootstrapError::Config)?;
     let eia = cfg.eia_registry(analyzer_cfg.adoption_threshold);
@@ -157,7 +162,7 @@ pub fn run_until_shutdown(cfg: &DaemonConfig, boot: &BootstrapConfig) -> Result<
         daemon.udp_addr(),
         daemon.http_addr()
     );
-    println!("routes: /metrics /alerts /explain /healthz /reload /shutdown");
+    println!("routes: /metrics /alerts /explain /trace /events /healthz /reload /shutdown");
     daemon.wait();
     // Give the in-flight /shutdown response a beat to flush.
     std::thread::sleep(Duration::from_millis(50));

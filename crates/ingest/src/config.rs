@@ -41,6 +41,13 @@ pub struct DaemonConfig {
     pub alert_spool: usize,
     /// Degradation-ladder watermarks.
     pub ladder: LadderConfig,
+    /// Head sampling period: trace 1 in `trace_sample_every` datagrams
+    /// (0 disables tracing entirely, including forced traces).
+    pub trace_sample_every: u64,
+    /// Completed traces retained for `/trace`, newest first.
+    pub trace_capacity: usize,
+    /// Structured events retained for `/events`, newest first.
+    pub journal_capacity: usize,
     /// Per-peer expected prefixes (the preloaded EIA table).
     pub peers: Vec<(PeerId, Prefix)>,
 }
@@ -58,6 +65,9 @@ impl Default for DaemonConfig {
             batch_budget: 64,
             alert_spool: 4096,
             ladder: LadderConfig::default(),
+            trace_sample_every: 1024,
+            trace_capacity: 256,
+            journal_capacity: 1024,
             peers: Vec::new(),
         }
     }
@@ -132,6 +142,9 @@ impl DaemonConfig {
                 "shards" => cfg.shards = parse_num(key, value, n)?,
                 "batch_budget" => cfg.batch_budget = parse_num(key, value, n)?,
                 "alert_spool" => cfg.alert_spool = parse_num(key, value, n)?,
+                "trace_sample_every" => cfg.trace_sample_every = parse_num(key, value, n)?,
+                "trace_capacity" => cfg.trace_capacity = parse_num(key, value, n)?,
+                "journal_capacity" => cfg.journal_capacity = parse_num(key, value, n)?,
                 "mode" => {
                     cfg.mode = match value {
                         "basic" | "bi" => Mode::Basic,
@@ -252,6 +265,7 @@ mod tests {
         let cfg = DaemonConfig::parse(
             "# infilterd\nlisten = 0.0.0.0:2055\nserve = 127.0.0.1:9100\n\
              listeners = 3\nmode = basic # BI only\nskip_nns_above = 0.6\n\
+             trace_sample_every = 64\ntrace_capacity = 32\njournal_capacity = 128\n\
              peer 1 3.0.0.0/11\npeer 2 3.32.0.0/11\n",
         )
         .expect("parses");
@@ -259,6 +273,16 @@ mod tests {
         assert_eq!(cfg.listeners, 3);
         assert_eq!(cfg.mode, Mode::Basic);
         assert_eq!(cfg.ladder.skip_nns_above, 0.6);
+        assert_eq!(cfg.trace_sample_every, 64);
+        assert_eq!(cfg.trace_capacity, 32);
+        assert_eq!(cfg.journal_capacity, 128);
+        // Tracing can be switched off outright; 0 is not a config error.
+        assert_eq!(
+            DaemonConfig::parse("trace_sample_every = 0\n")
+                .expect("parses")
+                .trace_sample_every,
+            0
+        );
         assert_eq!(cfg.peers.len(), 2);
         assert_eq!(cfg.peers[0].0, PeerId(1));
     }

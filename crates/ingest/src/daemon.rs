@@ -31,9 +31,13 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use infilter_core::{AnalyzerMetrics, Engine, FlowDecision, IdmefAlert, PeerId};
+use infilter_core::{
+    render_events_json, AnalyzerMetrics, Engine, FlowDecision, IdmefAlert, JournalEvent, PeerId,
+};
 use infilter_net::Prefix;
 use infilter_netflow::FlowBatch;
+use infilter_telemetry::trace::now_ns;
+use infilter_telemetry::{chrome_trace_json, Journal, SeqEvent, Tracer};
 
 use crate::config::{parse_eia_table, DaemonConfig};
 use crate::intake::Intake;
@@ -62,6 +66,8 @@ pub struct FinalReport {
     pub alerts: Vec<IdmefAlert>,
     /// The final exposition page (engine + ingest families).
     pub exposition: String,
+    /// The newest structured journal events at shutdown, newest first.
+    pub events: Vec<SeqEvent<JournalEvent>>,
 }
 
 /// Requests the control plane forwards to the engine-owning worker.
@@ -95,7 +101,18 @@ impl Daemon {
         E: Engine + Send + 'static,
     {
         let metrics = Arc::new(IngestMetrics::default());
-        let intake = Arc::new(Intake::new(cfg.rings, cfg.ring_capacity, metrics));
+        let tracer = Arc::new(Tracer::new(cfg.trace_sample_every, cfg.trace_capacity));
+        // The journal is the engine's own (ladder moves, sheds, reloads and
+        // alerts all land in one ordered stream), shared with the intake
+        // and served by the control plane without a worker round-trip.
+        let journal = Arc::clone(engine.telemetry().journal());
+        let intake = Arc::new(Intake::with_observers(
+            cfg.rings,
+            cfg.ring_capacity,
+            metrics,
+            Arc::clone(&tracer),
+            Arc::clone(&journal),
+        ));
         let pump = IngestPump::new(
             engine,
             Arc::clone(&intake),
@@ -142,10 +159,14 @@ impl Daemon {
             let ctl_tx = ctl_tx.clone();
             let stop = Arc::clone(&stop);
             let stop_requested = Arc::clone(&stop_requested);
+            let tracer = Arc::clone(&tracer);
+            let journal = Arc::clone(&journal);
             threads.push(
                 std::thread::Builder::new()
                     .name("infilterd-http".to_string())
-                    .spawn(move || http_loop(&http, &ctl_tx, &stop, &stop_requested))
+                    .spawn(move || {
+                        http_loop(&http, &ctl_tx, &stop, &stop_requested, &tracer, &journal)
+                    })
                     .expect("spawn control plane"),
             );
         }
@@ -207,8 +228,11 @@ fn listener_loop(socket: &UdpSocket, intake: &Intake, stop: &AtomicBool) {
     // its column buffers instead of allocating per packet.
     let mut scratch = FlowBatch::with_capacity(infilter_netflow::MAX_RECORDS_PER_DATAGRAM);
     while !stop.load(Ordering::Relaxed) {
+        let recv_start_ns = now_ns();
         match socket.recv_from(&mut buf) {
-            Ok((n, _)) => intake.push_payload_with(&buf[..n], &mut scratch),
+            Ok((n, _)) => {
+                intake.push_payload_stamped(&buf[..n], &mut scratch, recv_start_ns, now_ns())
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
@@ -254,11 +278,13 @@ fn worker_loop<E: Engine>(
             pump.drain();
             pump.engine_mut().flush_adoptions();
             let exposition = pump.prometheus_text();
+            let events = pump.engine().telemetry().journal().last(256);
             let report = FinalReport {
                 engine: pump.engine().metrics(),
                 ingest: pump.metrics().snapshot(),
                 alerts: pump.take_alerts(0),
                 exposition,
+                events,
             };
             let _ = reply.send(report);
             return;
@@ -280,11 +306,13 @@ fn http_loop(
     ctl: &mpsc::Sender<Control>,
     stop: &AtomicBool,
     stop_requested: &AtomicBool,
+    tracer: &Arc<Tracer>,
+    journal: &Arc<Journal<JournalEvent>>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = handle_request(stream, ctl, stop_requested);
+                let _ = handle_request(stream, ctl, stop_requested, tracer, journal);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -302,6 +330,8 @@ fn handle_request(
     mut stream: TcpStream,
     ctl: &mpsc::Sender<Control>,
     stop_requested: &AtomicBool,
+    tracer: &Arc<Tracer>,
+    journal: &Arc<Journal<JournalEvent>>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     let (request_line, body) = read_request(&mut stream)?;
@@ -351,6 +381,24 @@ fn handle_request(
                 format!("bad EIA table: {e}\n"),
             ),
         },
+        // Both observability documents are served from shared state —
+        // no worker round-trip, so they stay readable under overload.
+        ("GET", "/trace") => {
+            let n = query_param(path, "last").unwrap_or(64);
+            (
+                "200 OK",
+                "application/json",
+                chrome_trace_json(&tracer.last(n)),
+            )
+        }
+        ("GET", "/events") => {
+            let n = query_param(path, "last").unwrap_or(256);
+            (
+                "200 OK",
+                "application/json",
+                render_events_json(&journal.last(n)),
+            )
+        }
         ("POST", "/shutdown") => {
             stop_requested.store(true, Ordering::SeqCst);
             ("200 OK", "text/plain", "shutting down\n".to_string())

@@ -11,10 +11,31 @@
 use std::sync::Arc;
 
 use crossbeam::queue::ArrayQueue;
-use infilter_core::PeerId;
+use infilter_core::{JournalEvent, PeerId};
 use infilter_netflow::{FlowBatch, FlowRecord};
+use infilter_telemetry::trace::now_ns;
+use infilter_telemetry::{Journal, Tracer};
 
 use crate::metrics::IngestMetrics;
+
+/// The ingest-side trace stamps riding with a [`Batch`] through the ring,
+/// so the worker can retroactively emit listener-side spans (recv, decode)
+/// and measure the ring **queue wait** as a first-class stage. All stamps
+/// are [`now_ns`] values against the shared process epoch; `trace_id` is
+/// zero for the (vast) unsampled majority.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchTrace {
+    /// Head-sampled trace id (0 = untraced).
+    pub trace_id: u64,
+    /// When the listener entered `recv_from` for this datagram.
+    pub recv_start_ns: u64,
+    /// When the datagram came off the socket.
+    pub recv_end_ns: u64,
+    /// When the wire decode finished.
+    pub decoded_ns: u64,
+    /// When the batch was enqueued (stamped by [`Intake::push_batch`]).
+    pub enqueued_ns: u64,
+}
 
 /// One ingress-uniform run of records — the unit the worker feeds to
 /// `Engine::process_flow_batch_into`. Records ride in struct-of-arrays
@@ -26,33 +47,82 @@ pub struct Batch {
     pub ingress: PeerId,
     /// The decoded flow records, as columns.
     pub records: FlowBatch,
+    /// Trace stamps (zeroed when untraced).
+    pub trace: BatchTrace,
 }
 
-/// The bounded rings plus the shared ingest counters.
+impl Batch {
+    /// An untraced batch (tests, replay tools, benches).
+    pub fn new(ingress: PeerId, records: FlowBatch) -> Batch {
+        Batch {
+            ingress,
+            records,
+            trace: BatchTrace::default(),
+        }
+    }
+}
+
+/// The bounded rings plus the shared ingest counters and observers.
 #[derive(Debug)]
 pub struct Intake {
     rings: Vec<ArrayQueue<Batch>>,
     metrics: Arc<IngestMetrics>,
+    tracer: Arc<Tracer>,
+    journal: Arc<Journal<JournalEvent>>,
 }
 
 impl Intake {
-    /// Creates `rings` rings of `capacity` batches each.
+    /// Creates `rings` rings of `capacity` batches each, with tracing
+    /// disabled and a retention-free journal. The daemon uses
+    /// [`Intake::with_observers`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `rings` or `capacity` is zero (the config parser rejects
     /// both upstream).
     pub fn new(rings: usize, capacity: usize, metrics: Arc<IngestMetrics>) -> Intake {
+        Intake::with_observers(
+            rings,
+            capacity,
+            metrics,
+            Arc::new(Tracer::new(0, 0)),
+            Arc::new(Journal::new(0)),
+        )
+    }
+
+    /// [`Intake::new`] wired to a shared span tracer and event journal:
+    /// datagram-ingress sampling decisions come from `tracer`, and ring
+    /// sheds are journalled (and force the next trace) so overload is
+    /// visible as ordered events, not just counters.
+    pub fn with_observers(
+        rings: usize,
+        capacity: usize,
+        metrics: Arc<IngestMetrics>,
+        tracer: Arc<Tracer>,
+        journal: Arc<Journal<JournalEvent>>,
+    ) -> Intake {
         assert!(rings > 0 && capacity > 0);
         Intake {
             rings: (0..rings).map(|_| ArrayQueue::new(capacity)).collect(),
             metrics,
+            tracer,
+            journal,
         }
     }
 
     /// The shared counters.
     pub fn metrics(&self) -> &Arc<IngestMetrics> {
         &self.metrics
+    }
+
+    /// The shared span tracer (sampling decisions, collected traces).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The shared structured event journal.
+    pub fn journal(&self) -> &Arc<Journal<JournalEvent>> {
+        &self.journal
     }
 
     /// Decodes one datagram payload and enqueues its records as
@@ -68,11 +138,33 @@ impl Intake {
     /// Malformed payloads are counted and dropped; this never panics and
     /// never blocks.
     pub fn push_payload_with(&self, payload: &[u8], scratch: &mut FlowBatch) {
+        let at = now_ns();
+        self.push_payload_stamped(payload, scratch, at, at);
+    }
+
+    /// [`Intake::push_payload_with`] carrying the listener's recv stamps —
+    /// the datagram-ingress point where the head-based trace sampling
+    /// decision is made. A sampled datagram's first same-ingress run
+    /// carries the trace id (and the recv/decode stamps) to the worker.
+    pub fn push_payload_stamped(
+        &self,
+        payload: &[u8],
+        scratch: &mut FlowBatch,
+        recv_start_ns: u64,
+        recv_end_ns: u64,
+    ) {
         scratch.clear();
         match scratch.decode_datagram(payload) {
             Ok(_) => {
                 self.metrics.record_datagram(scratch.len() as u64);
-                self.push_flow_batch(scratch);
+                let stamps = BatchTrace {
+                    trace_id: self.tracer.decide(),
+                    recv_start_ns,
+                    recv_end_ns,
+                    decoded_ns: now_ns(),
+                    enqueued_ns: 0,
+                };
+                self.push_flow_batch_stamped(scratch, stamps);
             }
             Err(e) => self.metrics.record_decode_error(&e),
         }
@@ -82,8 +174,16 @@ impl Intake {
     /// enqueues each; exporters batch per interface, so a datagram is
     /// usually one run (copied column-wise into the enqueued batch).
     pub fn push_flow_batch(&self, batch: &FlowBatch) {
+        self.push_flow_batch_stamped(batch, BatchTrace::default());
+    }
+
+    /// [`Intake::push_flow_batch`] with trace stamps. Only the first run
+    /// inherits the datagram's trace id — one datagram, one trace — but
+    /// every run gets the queue-wait stamp from [`Intake::push_batch`].
+    fn push_flow_batch_stamped(&self, batch: &FlowBatch, stamps: BatchTrace) {
         let ifs = batch.input_ifs();
         let mut start = 0;
+        let mut trace = stamps;
         while start < ifs.len() {
             let input_if = ifs[start];
             let end = start + ifs[start..].iter().take_while(|&&i| i == input_if).count();
@@ -92,7 +192,9 @@ impl Intake {
             self.push_batch(Batch {
                 ingress: PeerId(input_if),
                 records,
+                trace,
             });
+            trace = BatchTrace::default();
             start = end;
         }
     }
@@ -106,21 +208,31 @@ impl Intake {
                 .iter()
                 .take_while(|r| r.input_if == first.input_if)
                 .count();
-            self.push_batch(Batch {
-                ingress: PeerId(first.input_if),
-                records: rest[..run].iter().copied().collect(),
-            });
+            self.push_batch(Batch::new(
+                PeerId(first.input_if),
+                rest[..run].iter().copied().collect(),
+            ));
             rest = &rest[run..];
         }
     }
 
-    /// Enqueues one batch, shedding it (counted) if the target ring is
-    /// full.
-    pub fn push_batch(&self, batch: Batch) {
-        let ring = &self.rings[batch.ingress.0 as usize % self.rings.len()];
+    /// Enqueues one batch, shedding it (counted and journalled) if the
+    /// target ring is full. The enqueue stamp is taken here — when the
+    /// tracer is live — so the worker can measure ring wait.
+    pub fn push_batch(&self, mut batch: Batch) {
+        let ring_index = batch.ingress.0 as usize % self.rings.len();
+        let ring = &self.rings[ring_index];
+        batch.trace.enqueued_ns = now_ns();
         let flows = batch.records.len() as u64;
         if ring.push(batch).is_err() {
             self.metrics.record_shed(flows);
+            self.journal.record(JournalEvent::RingDrop {
+                ring: ring_index as u16,
+                flows: flows.min(u64::from(u32::MAX)) as u32,
+            });
+            // A shed is exactly the moment an operator wants a trace of
+            // the surviving traffic's queue wait: force the next decision.
+            self.tracer.force_next();
         }
     }
 
@@ -210,10 +322,7 @@ mod tests {
     fn full_ring_sheds_with_accounting() {
         let intake = intake(1, 2);
         for _ in 0..3 {
-            intake.push_batch(Batch {
-                ingress: PeerId(1),
-                records: (0..4).map(|_| record(1)).collect(),
-            });
+            intake.push_batch(Batch::new(PeerId(1), (0..4).map(|_| record(1)).collect()));
         }
         assert_eq!(intake.occupancy(), 1.0);
         let snap = intake.metrics().snapshot();

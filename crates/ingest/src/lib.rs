@@ -40,7 +40,7 @@ pub mod smoke;
 
 pub use config::{parse_eia_table, DaemonConfig, ParseError};
 pub use daemon::{Daemon, FinalReport};
-pub use intake::{Batch, Intake};
+pub use intake::{Batch, BatchTrace, Intake};
 pub use ladder::{Ladder, LadderConfig, Transition};
 pub use metrics::{missing_ingest_families, IngestMetrics, IngestSnapshot, INGEST_FAMILIES};
 pub use pump::IngestPump;

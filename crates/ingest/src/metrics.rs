@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use infilter_core::Effort;
 use infilter_netflow::DecodeError;
-use infilter_telemetry::PromText;
+use infilter_telemetry::{trace, AtomicHistogram, Exemplar, PromText, Tracer};
 
 /// The ingest metric families `infilterd` appends to the engine
 /// exposition, in page order — the CI contract for the daemon, mirroring
@@ -26,11 +26,32 @@ pub const INGEST_FAMILIES: &[&str] = &[
     "infilterd_shed_flows_total",
     "infilterd_queue_depth",
     "infilterd_queue_capacity",
+    "infilterd_queue_wait_ns",
+    "infilterd_traces_sampled_total",
+    "infilterd_traces_forced_total",
     "infilterd_effort",
     "infilterd_effort_transitions_total",
     "infilterd_flows_by_effort_total",
     "infilterd_alerts_spooled",
     "infilterd_alerts_dropped_total",
+    "infilter_uptime_seconds",
+    "infilter_build_info",
+];
+
+/// `le` bounds for the ring queue-wait histogram, nanoseconds. Queue wait
+/// spans "instant" (worker was idle) through multi-millisecond backlog, so
+/// the bounds reach wider than the engine's per-flow latency bounds.
+const QUEUE_WAIT_BOUNDS_NS: &[u64] = &[
+    1_000,
+    5_000,
+    25_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    25_000_000,
+    100_000_000,
+    1_000_000_000,
 ];
 
 /// Shared collector counters (one instance per daemon, `Arc`ed across the
@@ -57,6 +78,11 @@ pub struct IngestMetrics {
     pub transitions_to: [AtomicU64; 3],
     /// IDMEF alerts dropped from a full spool (oldest first).
     pub alerts_dropped: AtomicU64,
+    /// Ring wait per batch: enqueue stamp to the worker's dequeue stamp.
+    pub queue_wait_ns: AtomicHistogram,
+    /// Trace id of the worst queue wait seen, linking the histogram tail
+    /// to a concrete `/trace` entry.
+    pub queue_wait_exemplar: Exemplar,
 }
 
 impl IngestMetrics {
@@ -101,6 +127,13 @@ impl IngestMetrics {
         Self::bump(&self.alerts_dropped, n);
     }
 
+    /// Records one batch's ring wait, offering it as an exemplar when the
+    /// batch carried a sampled trace (`trace_id` 0 = untraced, ignored).
+    pub fn record_queue_wait(&self, wait_ns: u64, trace_id: u64) {
+        self.queue_wait_ns.record(wait_ns);
+        self.queue_wait_exemplar.offer(wait_ns, trace_id);
+    }
+
     /// Total ladder transitions recorded so far (any rung).
     pub fn transitions_total(&self) -> u64 {
         self.transitions_to
@@ -133,8 +166,15 @@ impl IngestMetrics {
     /// Renders the `infilterd_*` families (appended to the engine page by
     /// the daemon). `depths` is `(occupied, capacity)` per intake ring;
     /// `effort` the rung currently in force; `spooled` the alerts waiting
-    /// in the `/alerts` spool.
-    pub fn render(&self, depths: &[(usize, usize)], effort: Effort, spooled: usize) -> String {
+    /// in the `/alerts` spool; `tracer` supplies the sampling counters
+    /// (pass [`Tracer::disabled`] when there is no tracer).
+    pub fn render(
+        &self,
+        depths: &[(usize, usize)],
+        effort: Effort,
+        spooled: usize,
+        tracer: &Tracer,
+    ) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut page = PromText::new();
         page.counter(
@@ -195,6 +235,27 @@ impl IngestMetrics {
             "Bounded capacity of each intake ring",
             &cap_samples,
         );
+        page.histogram(
+            "infilterd_queue_wait_ns",
+            "Per-batch ring wait from enqueue to worker dequeue",
+            &self.queue_wait_ns.snapshot(),
+            QUEUE_WAIT_BOUNDS_NS,
+        );
+        if let Some((ns, trace_id)) = self.queue_wait_exemplar.get() {
+            page.comment(&format!(
+                "EXEMPLAR infilterd_queue_wait_ns value={ns} trace_id={trace_id}"
+            ));
+        }
+        page.counter(
+            "infilterd_traces_sampled_total",
+            "Flow traces captured by head sampling",
+            tracer.sampled(),
+        );
+        page.counter(
+            "infilterd_traces_forced_total",
+            "Flow traces forced by sheds, alerts, or ladder transitions",
+            tracer.forced(),
+        );
         page.gauge(
             "infilterd_effort",
             "Degradation rung in force (0=full, 1=skip_nns, 2=bi_only)",
@@ -237,6 +298,16 @@ impl IngestMetrics {
             "infilterd_alerts_dropped_total",
             "IDMEF alerts dropped from a full spool",
             load(&self.alerts_dropped),
+        );
+        page.gauge(
+            "infilter_uptime_seconds",
+            "Seconds since the tracing epoch (process start)",
+            trace::now_ns() as f64 / 1e9,
+        );
+        page.gauge_family(
+            "infilter_build_info",
+            "Build metadata carried as labels; value is always 1",
+            &[(vec![("version", env!("CARGO_PKG_VERSION").to_string())], 1)],
         );
         page.render()
     }
@@ -286,11 +357,20 @@ mod tests {
         m.record_shed(30);
         m.record_processed(Effort::SkipNns, 30);
         m.record_transition(Effort::SkipNns);
-        let page = m.render(&[(3, 512), (0, 512)], Effort::SkipNns, 7);
+        m.record_queue_wait(40_000, 9);
+        let page = m.render(
+            &[(3, 512), (0, 512)],
+            Effort::SkipNns,
+            7,
+            &Tracer::disabled(),
+        );
         assert_eq!(missing_ingest_families(&page), Vec::<&str>::new());
         assert!(page.contains("infilterd_decode_errors_total{reason=\"wrong_version\"} 1"));
         assert!(page.contains("infilterd_queue_depth{ring=\"0\"} 3"));
         assert!(page.contains("infilterd_effort 1"));
+        assert!(page.contains("infilterd_queue_wait_ns_count 1"));
+        assert!(page.contains("# EXEMPLAR infilterd_queue_wait_ns value=40000 trace_id=9"));
+        assert!(page.contains("infilter_build_info{version=\""));
         let snap = m.snapshot();
         assert_eq!(snap.flows, 30);
         assert_eq!(snap.shed_flows, 30);

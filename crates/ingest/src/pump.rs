@@ -10,7 +10,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use infilter_core::{Effort, Engine, IdmefAlert, Verdict};
+use infilter_core::{Effort, Engine, IdmefAlert, JournalEvent, Verdict};
+use infilter_telemetry::trace::{self, now_ns};
 
 use crate::intake::{Batch, Intake};
 use crate::ladder::{Ladder, LadderConfig};
@@ -84,13 +85,31 @@ impl<E: Engine> IngestPump<E> {
     pub fn step(&mut self) -> usize {
         if let Some(t) = self.ladder.observe(self.intake.occupancy()) {
             self.metrics().record_transition(t.to);
+            self.intake
+                .journal()
+                .record(JournalEvent::LadderTransition {
+                    from: t.from,
+                    to: t.to,
+                });
+            // A ladder move is exactly when an operator wants to see what
+            // latency looks like on the new rung.
+            self.intake.tracer().force_next();
         }
         let effort = self.ladder.effort();
         self.scratch.clear();
         self.intake.pop_round(self.batch_budget, &mut self.scratch);
         let mut processed = 0;
         let batches = std::mem::take(&mut self.scratch);
+        // One dequeue stamp covers the whole round: ring wait is dominated
+        // by time *in* the ring, not by the worker's position in this loop.
+        let dequeued_ns = if batches.is_empty() { 0 } else { now_ns() };
         for batch in &batches {
+            let wait_ns = dequeued_ns.saturating_sub(batch.trace.enqueued_ns);
+            self.metrics()
+                .record_queue_wait(wait_ns, batch.trace.trace_id);
+            if batch.trace.trace_id != 0 {
+                self.replay_listener_spans(&batch.trace, dequeued_ns);
+            }
             self.verdicts.clear();
             self.engine.process_flow_batch_into(
                 batch.ingress,
@@ -98,6 +117,9 @@ impl<E: Engine> IngestPump<E> {
                 effort,
                 &mut self.verdicts,
             );
+            if batch.trace.trace_id != 0 {
+                trace::finish(self.intake.tracer().collector());
+            }
             processed += batch.records.len();
         }
         self.scratch = batches;
@@ -106,6 +128,23 @@ impl<E: Engine> IngestPump<E> {
             self.spool_alerts();
         }
         processed
+    }
+
+    /// Activates a sampled batch's trace and back-fills the listener-side
+    /// spans (recv, decode, ring queue wait) from the stamps it carried, so
+    /// the engine spans the upcoming batch call emits land under the same
+    /// trace id.
+    fn replay_listener_spans(&self, stamps: &crate::intake::BatchTrace, dequeued_ns: u64) {
+        trace::begin(stamps.trace_id);
+        if stamps.recv_end_ns >= stamps.recv_start_ns && stamps.recv_end_ns != 0 {
+            trace::record("recv", stamps.recv_start_ns, stamps.recv_end_ns);
+        }
+        if stamps.decoded_ns >= stamps.recv_end_ns && stamps.decoded_ns != 0 {
+            trace::record("decode", stamps.recv_end_ns, stamps.decoded_ns);
+        }
+        if stamps.enqueued_ns != 0 {
+            trace::record("queue_wait", stamps.enqueued_ns, dequeued_ns);
+        }
     }
 
     /// Pumps until the rings are empty (shutdown flush; also useful in
@@ -123,12 +162,19 @@ impl<E: Engine> IngestPump<E> {
     }
 
     fn spool_alerts(&mut self) {
+        let mut drained = false;
         for alert in self.engine.drain_alerts() {
+            drained = true;
             if self.alerts.len() >= self.alert_spool {
                 self.alerts.pop_front();
                 self.metrics().record_alerts_dropped(1);
             }
             self.alerts.push_back(alert);
+        }
+        if drained {
+            // Alert-bearing traffic is the interesting traffic: make sure
+            // the next datagram is traced regardless of the sampling phase.
+            self.intake.tracer().force_next();
         }
     }
 
@@ -156,6 +202,7 @@ impl<E: Engine> IngestPump<E> {
             &self.intake.depths(),
             self.ladder.effort(),
             self.alerts.len(),
+            self.intake.tracer(),
         ));
         page
     }

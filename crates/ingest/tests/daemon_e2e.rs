@@ -25,6 +25,9 @@ fn daemon_ingests_alerts_and_shuts_down_gracefully() {
         mode: Mode::Basic,
         listeners: 2,
         rings: 2,
+        // Trace every datagram so /trace has content by the time the
+        // replay finishes (head sampling, forced to 1-in-1).
+        trace_sample_every: 1,
         ..DaemonConfig::default()
     };
     for (i, blocks) in eia.iter().enumerate() {
@@ -83,6 +86,34 @@ fn daemon_ingests_alerts_and_shuts_down_gracefully() {
     assert_eq!(http_get(http, "/healthz").expect("healthz"), "ok\n");
     assert!(http_get(http, "/nope").is_err(), "unknown routes 404");
 
+    // /trace serves Chrome trace-event JSON with the full span pipeline:
+    // every datagram is sampled above, so the listener-side spans (recv,
+    // decode, queue_wait) and the engine spans (eia, verdict) must all be
+    // present. (scan/nns spans need Enhanced mode — covered by exp-observe.)
+    let trace = http_get(http, "/trace?last=64").expect("trace route");
+    assert!(
+        trace.starts_with("{\"traceEvents\":["),
+        "chrome JSON: {trace}"
+    );
+    assert!(trace.trim_end().ends_with("]}"), "chrome JSON: {trace}");
+    for span in ["recv", "decode", "queue_wait", "eia", "verdict"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{span}\"")),
+            "span `{span}` missing from /trace:\n{trace}"
+        );
+    }
+    assert!(trace.contains("\"ph\":\"X\""), "complete events: {trace}");
+
+    // /events serves the ordered journal; the spoofed replay above must
+    // have journalled alert emissions.
+    let events = http_get(http, "/events?last=256").expect("events route");
+    assert!(events.starts_with("{\"events\":["), "events JSON: {events}");
+    assert!(
+        events.contains("\"kind\":\"alert\""),
+        "alert events missing from /events:\n{events}"
+    );
+    assert!(events.contains("\"seq\":"), "sequence numbers: {events}");
+
     // HTTP-initiated shutdown: the flag flips, wait() unblocks, and the
     // graceful teardown drains everything into the final report.
     assert!(!daemon.stop_requested());
@@ -105,4 +136,12 @@ fn daemon_ingests_alerts_and_shuts_down_gracefully() {
         Vec::<&str>::new()
     );
     assert!(report.exposition.contains("# TYPE infilter_flows_total "));
+    assert!(
+        !report.events.is_empty(),
+        "alert emissions must appear in the final journal"
+    );
+    assert!(
+        report.exposition.contains("infilterd_traces_sampled_total"),
+        "trace counters must be on the exposition page"
+    );
 }

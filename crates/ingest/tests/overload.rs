@@ -37,21 +37,18 @@ fn legal_record(i: u32) -> FlowRecord {
 }
 
 fn legal_batch(i: u32) -> Batch {
-    Batch {
-        ingress: PeerId(1),
-        records: std::iter::once(legal_record(i)).collect(),
-    }
+    Batch::new(PeerId(1), std::iter::once(legal_record(i)).collect())
 }
 
 fn spoofed_batch(i: u32) -> Batch {
-    Batch {
-        ingress: PeerId(1),
-        records: std::iter::once(FlowRecord {
+    Batch::new(
+        PeerId(1),
+        std::iter::once(FlowRecord {
             src_addr: (0x0320_0000u32 + i).into(),
             ..legal_record(0)
         })
         .collect(),
-    }
+    )
 }
 
 #[test]

@@ -17,18 +17,28 @@
 //! * [`PromText`] — a Prometheus text-format (0.0.4) exposition renderer.
 //! * [`DeltaReporter`] — turns successive counter snapshots into
 //!   per-interval deltas and rates for periodic reporting.
+//! * [`trace`] — a sampled span tracer: head-based 1-in-N decisions
+//!   ([`Tracer`]), pre-allocated thread-local span buffers, a lock-free
+//!   collector ring of [`CompletedTrace`]s, Chrome trace-event export,
+//!   and histogram [`Exemplar`] linkage.
+//! * [`Journal`] — a bounded, sequence-numbered structured event journal
+//!   whose gapless sequence numbers make retention losses auditable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod family;
 mod histogram;
+mod journal;
 mod prometheus;
 mod report;
 mod ring;
+pub mod trace;
 
 pub use family::Family;
 pub use histogram::{AtomicHistogram, Histogram, LatencySummary, BUCKETS, SUB_BUCKET_BITS};
+pub use journal::{Journal, SeqEvent};
 pub use prometheus::PromText;
 pub use report::{DeltaReporter, RateSample};
 pub use ring::Ring;
+pub use trace::{chrome_trace_json, CompletedTrace, Exemplar, Span, Tracer, MAX_SPANS};

@@ -92,6 +92,15 @@ impl PromText {
         self.sample(&format!("{name}_count"), &[], hist.count());
     }
 
+    /// A full-line comment. Prometheus parsers skip any `#` line that is
+    /// not `HELP`/`TYPE`, so this is the spec-safe place to attach
+    /// out-of-band annotations — e.g. exemplar trace IDs for a histogram.
+    /// `text` must not contain newlines (they would corrupt the page).
+    pub fn comment(&mut self, text: &str) {
+        debug_assert!(!text.contains('\n'), "comment must be one line");
+        let _ = writeln!(self.out, "# {}", text.replace('\n', " "));
+    }
+
     /// Finishes the page.
     pub fn render(self) -> String {
         self.out

@@ -1,0 +1,677 @@
+//! Sampled span tracing for the ingest path.
+//!
+//! The tracer answers "where did this datagram's time go" without a
+//! debugger: a head-based 1-in-N sampling decision is taken once per
+//! datagram at ingress ([`Tracer::decide`]), and a sampled flow then
+//! carries a trace ID through the pipeline. Each pipeline stage opens and
+//! closes [`Span`]s against a **pre-allocated thread-local buffer** — no
+//! heap allocation, no locks on the hot path — and the completed trace is
+//! drained into a lock-free collector [`Ring`] when the flow's verdict is
+//! out ([`finish`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Tracing off must cost nothing measurable.** Every stage hook is a
+//!    single thread-local `Cell` read when no trace is active.
+//! 2. **Tracing on must not allocate.** Spans are `Copy`, the active
+//!    buffer is a fixed array, and [`CompletedTrace`] is a fixed array, so
+//!    pushing one into the collector ring moves ~1 KiB but never touches
+//!    the allocator.
+//! 3. **Interesting flows are always caught.** [`Tracer::force_next`] arms
+//!    the *next* sampling decision, so shed, alert, and ladder-transition
+//!    events promote the following datagram to sampled even when the 1-in-N
+//!    counter would skip it (head sampling cannot retroactively trace the
+//!    triggering datagram itself).
+//!
+//! Timestamps are nanoseconds since a process-wide epoch ([`now_ns`]), so
+//! spans recorded on different threads (listener vs. worker) share one
+//! monotonic timeline. [`chrome_trace_json`] exports completed traces as
+//! Chrome trace-event JSON loadable in `chrome://tracing` or Perfetto.
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::ring::Ring;
+
+/// Spans one trace can hold; stages past the cap are dropped and the
+/// trace is marked truncated.
+pub const MAX_SPANS: usize = 24;
+
+/// Maximum nesting depth of simultaneously open spans.
+pub const MAX_DEPTH: usize = 8;
+
+/// Sentinel span ID for a start that could not get a slot (buffer full):
+/// its matching `end` must still pop the stack but writes nowhere.
+const DROPPED: u16 = u16::MAX;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide trace epoch (the first call from any
+/// thread pins the epoch). Monotonic and shared across threads, so spans
+/// stamped by the listener nest correctly against spans stamped by the
+/// worker.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One timed stage of a sampled flow's journey.
+///
+/// `name` is `&'static str` so recording never allocates; names must be
+/// JSON-safe (no quotes or backslashes) because the exporter writes them
+/// verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name, e.g. `"decode"` or `"queue_wait"`.
+    pub name: &'static str,
+    /// Span ID, unique within its trace, 1-based.
+    pub id: u16,
+    /// Parent span ID within the same trace; 0 = top-level.
+    pub parent: u16,
+    /// Start, nanoseconds since [`now_ns`]'s epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since [`now_ns`]'s epoch; always `>= start_ns`.
+    pub end_ns: u64,
+}
+
+const EMPTY_SPAN: Span = Span {
+    name: "",
+    id: 0,
+    parent: 0,
+    start_ns: 0,
+    end_ns: 0,
+};
+
+/// A finished trace: a fixed-size, `Copy` span table so pushing into the
+/// collector [`Ring`] never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedTrace {
+    /// The trace ID handed out by [`Tracer::decide`] (never 0).
+    pub id: u64,
+    /// Spans actually recorded (`spans[..len]` are valid).
+    pub len: usize,
+    /// True if more than [`MAX_SPANS`] stages were recorded and the
+    /// overflow was dropped.
+    pub truncated: bool,
+    /// The span table; only `spans[..len]` is meaningful.
+    pub spans: [Span; MAX_SPANS],
+}
+
+impl CompletedTrace {
+    /// The recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans[..self.len.min(MAX_SPANS)]
+    }
+}
+
+/// The per-thread active-trace buffer. Fixed arrays, `Copy` contents —
+/// zero allocation for the life of the thread.
+struct Buf {
+    len: usize,
+    depth: usize,
+    /// Opens past [`MAX_DEPTH`]: counted so the matching `end` calls
+    /// balance without touching the stack.
+    over: usize,
+    truncated: bool,
+    open: [u16; MAX_DEPTH],
+    spans: [Span; MAX_SPANS],
+}
+
+impl Buf {
+    /// The innermost open span that actually got a slot — a span opened
+    /// while the buffer was full leaves a [`DROPPED`] marker on the stack,
+    /// and children must not point at a span that does not exist.
+    fn parent(&self) -> u16 {
+        self.open[..self.depth]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&id| id != DROPPED)
+            .unwrap_or(0)
+    }
+}
+
+thread_local! {
+    /// The active trace ID (0 = no trace): the one-read fast path every
+    /// stage hook takes when tracing is off or this flow is unsampled.
+    static ACTIVE_ID: Cell<u64> = const { Cell::new(0) };
+    static BUF: RefCell<Buf> = const {
+        RefCell::new(Buf {
+            len: 0,
+            depth: 0,
+            over: 0,
+            truncated: false,
+            open: [0; MAX_DEPTH],
+            spans: [EMPTY_SPAN; MAX_SPANS],
+        })
+    };
+}
+
+/// The trace ID active on this thread, or 0.
+#[inline]
+pub fn active() -> u64 {
+    ACTIVE_ID.with(|c| c.get())
+}
+
+/// Activates a trace on this thread, resetting the span buffer. `id` 0 is
+/// a no-op, so callers can pass [`Tracer::decide`]'s result straight in.
+pub fn begin(id: u64) {
+    if id == 0 {
+        return;
+    }
+    ACTIVE_ID.with(|c| c.set(id));
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        b.len = 0;
+        b.depth = 0;
+        b.over = 0;
+        b.truncated = false;
+    });
+}
+
+/// Opens a span. No-op (one thread-local read) when no trace is active.
+/// Must be balanced by [`end`].
+#[inline]
+pub fn start(name: &'static str) {
+    if active() == 0 {
+        return;
+    }
+    start_slow(name);
+}
+
+#[cold]
+fn start_slow(name: &'static str) {
+    let t = now_ns();
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        if b.depth >= MAX_DEPTH {
+            b.over += 1;
+            b.truncated = true;
+            return;
+        }
+        let len = b.len;
+        let id = if len < MAX_SPANS {
+            let id = (len + 1) as u16;
+            let parent = b.parent();
+            b.spans[len] = Span {
+                name,
+                id,
+                parent,
+                start_ns: t,
+                end_ns: t,
+            };
+            b.len = len + 1;
+            id
+        } else {
+            b.truncated = true;
+            DROPPED
+        };
+        let depth = b.depth;
+        b.open[depth] = id;
+        b.depth = depth + 1;
+    });
+}
+
+/// Closes the innermost open span. No-op when no trace is active or
+/// nothing is open.
+#[inline]
+pub fn end() {
+    if active() == 0 {
+        return;
+    }
+    end_slow();
+}
+
+#[cold]
+fn end_slow() {
+    let t = now_ns();
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        if b.over > 0 {
+            b.over -= 1;
+            return;
+        }
+        if b.depth == 0 {
+            return;
+        }
+        b.depth -= 1;
+        let id = b.open[b.depth];
+        if id != 0 && id != DROPPED {
+            b.spans[(id - 1) as usize].end_ns = t;
+        }
+    });
+}
+
+/// Records an already-closed span from explicit timestamps — how the pump
+/// retrofits the listener-side stages (recv, decode, queue wait) it learns
+/// from the batch's carried stamps. Parented under the innermost open
+/// span, if any.
+pub fn record(name: &'static str, start_ns: u64, end_ns: u64) {
+    if active() == 0 {
+        return;
+    }
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        if b.len >= MAX_SPANS {
+            b.truncated = true;
+            return;
+        }
+        let len = b.len;
+        let id = (len + 1) as u16;
+        let parent = b.parent();
+        b.spans[len] = Span {
+            name,
+            id,
+            parent,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        };
+        b.len = len + 1;
+    });
+}
+
+/// Finishes the active trace: closes any still-open spans at "now", pushes
+/// the completed trace into `collector`, and deactivates tracing on this
+/// thread. No-op when no trace is active.
+pub fn finish(collector: &Ring<CompletedTrace>) {
+    let id = active();
+    if id == 0 {
+        return;
+    }
+    let t = now_ns();
+    let trace = BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        while b.depth > 0 {
+            b.depth -= 1;
+            let sid = b.open[b.depth];
+            if sid != 0 && sid != DROPPED {
+                b.spans[(sid - 1) as usize].end_ns = t;
+            }
+        }
+        b.over = 0;
+        CompletedTrace {
+            id,
+            len: b.len,
+            truncated: b.truncated,
+            spans: b.spans,
+        }
+    });
+    ACTIVE_ID.with(|c| c.set(0));
+    collector.push(trace);
+}
+
+/// Deactivates the active trace without collecting it (shed paths).
+pub fn abandon() {
+    ACTIVE_ID.with(|c| c.set(0));
+}
+
+/// The sampling gate and collector: decides once per datagram whether the
+/// flow is traced, hands out trace IDs, and owns the ring completed traces
+/// drain into.
+#[derive(Debug)]
+pub struct Tracer {
+    /// 1-in-N sampling cadence; 0 disables tracing entirely (including
+    /// forced samples), which is the zero-overhead production default gate.
+    sample_every: u64,
+    counter: AtomicU64,
+    force: AtomicBool,
+    next_id: AtomicU64,
+    sampled: AtomicU64,
+    forced: AtomicU64,
+    collector: Ring<CompletedTrace>,
+}
+
+impl Tracer {
+    /// A tracer sampling 1 in `sample_every` datagrams into a collector of
+    /// `capacity` completed traces. `sample_every` 0 disables tracing.
+    pub fn new(sample_every: u64, capacity: usize) -> Tracer {
+        Tracer {
+            sample_every,
+            counter: AtomicU64::new(0),
+            force: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            forced: AtomicU64::new(0),
+            collector: Ring::new(capacity),
+        }
+    }
+
+    /// A tracer that never samples and collects nothing.
+    pub fn disabled() -> Tracer {
+        Tracer::new(0, 0)
+    }
+
+    /// Whether sampling is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.sample_every != 0
+    }
+
+    /// The configured 1-in-N cadence (0 = disabled).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// The head sampling decision, taken once per datagram at ingress:
+    /// returns a fresh nonzero trace ID for a sampled datagram, 0 for an
+    /// unsampled one. A pending [`force_next`](Tracer::force_next) always
+    /// samples (and clears the arm).
+    pub fn decide(&self) -> u64 {
+        if self.sample_every == 0 {
+            return 0;
+        }
+        let forced =
+            self.force.load(Ordering::Relaxed) && self.force.swap(false, Ordering::Relaxed);
+        let due = self
+            .counter
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.sample_every);
+        if forced || due {
+            self.sampled.fetch_add(1, Ordering::Relaxed);
+            if forced {
+                self.forced.fetch_add(1, Ordering::Relaxed);
+            }
+            self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            0
+        }
+    }
+
+    /// Arms the next [`decide`](Tracer::decide) to sample regardless of the
+    /// 1-in-N counter. Called on shed, alert, and ladder-transition events
+    /// so the traffic that *follows* an incident is always traced (head
+    /// sampling cannot go back and trace the triggering datagram).
+    pub fn force_next(&self) {
+        if self.sample_every != 0 {
+            self.force.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// The ring completed traces drain into; hand this to [`finish`].
+    pub fn collector(&self) -> &Ring<CompletedTrace> {
+        &self.collector
+    }
+
+    /// Datagrams promoted to sampled so far.
+    pub fn sampled(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Sampled datagrams that were force-promoted by an incident.
+    pub fn forced(&self) -> u64 {
+        self.forced.load(Ordering::Relaxed)
+    }
+
+    /// The newest `n` completed traces, newest first.
+    pub fn last(&self, n: usize) -> Vec<CompletedTrace> {
+        self.collector.last(n)
+    }
+}
+
+/// Links a latency histogram to a concrete trace: a lock-free
+/// max-tracking `(value, trace_id)` pair, so the exposition page can point
+/// the p999 tail at a trace the operator can actually open.
+///
+/// `offer` races value and trace stores deliberately: a torn pair can at
+/// worst attribute the maximum to a near-maximal trace, which is fine for
+/// an exemplar (observability, not accounting).
+#[derive(Debug, Default)]
+pub struct Exemplar {
+    value: AtomicU64,
+    trace: AtomicU64,
+}
+
+impl Exemplar {
+    /// An empty exemplar.
+    pub fn new() -> Exemplar {
+        Exemplar::default()
+    }
+
+    /// Offers an observation; kept only if it beats the current maximum.
+    /// `trace_id` 0 (no active trace) is ignored.
+    pub fn offer(&self, value: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let mut cur = self.value.load(Ordering::Relaxed);
+        while value > cur {
+            match self
+                .value
+                .compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.trace.store(trace_id, Ordering::Relaxed);
+                    break;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current `(value, trace_id)` maximum, if any trace ever offered.
+    pub fn get(&self) -> Option<(u64, u64)> {
+        let trace = self.trace.load(Ordering::Relaxed);
+        if trace == 0 {
+            None
+        } else {
+            Some((self.value.load(Ordering::Relaxed), trace))
+        }
+    }
+}
+
+/// Renders completed traces as Chrome trace-event JSON — an object with a
+/// `traceEvents` array of `"ph":"X"` complete events — loadable directly
+/// in `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are
+/// microseconds (fractional, nanosecond precision) on the shared process
+/// timeline; each trace renders as its own `tid` lane under `pid` 1.
+pub fn chrome_trace_json(traces: &[CompletedTrace]) -> String {
+    let mut out = String::with_capacity(128 + 160 * traces.len() * 8);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for t in traces {
+        for s in t.spans() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let dur = s.end_ns.saturating_sub(s.start_ns);
+            let _ = write!(
+                out,
+                "\n{{\"name\":\"{}\",\"cat\":\"infilter\",\"ph\":\"X\",\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"trace_id\":{},\"span\":{},\"parent\":{}}}}}",
+                s.name,
+                s.start_ns / 1_000,
+                s.start_ns % 1_000,
+                dur / 1_000,
+                dur % 1_000,
+                t.id,
+                t.id,
+                s.id,
+                s.parent
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_active() {
+        // Tests share threads; make sure no trace leaks between them.
+        abandon();
+    }
+
+    #[test]
+    fn unsampled_thread_records_nothing() {
+        drain_active();
+        let ring = Ring::new(8);
+        start("eia");
+        end();
+        record("decode", 10, 20);
+        finish(&ring);
+        assert_eq!(ring.pushed(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_collect() {
+        drain_active();
+        let ring = Ring::new(8);
+        begin(7);
+        record("recv", 100, 200);
+        start("verdict");
+        start("scan");
+        end();
+        start("nns");
+        end();
+        end();
+        finish(&ring);
+        let traces = ring.last(8);
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.id, 7);
+        assert!(!t.truncated);
+        let names: Vec<&str> = t.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["recv", "verdict", "scan", "nns"]);
+        let verdict = t.spans()[1];
+        assert_eq!(t.spans()[0].parent, 0);
+        assert_eq!(verdict.parent, 0);
+        assert_eq!(t.spans()[2].parent, verdict.id);
+        assert_eq!(t.spans()[3].parent, verdict.id);
+        for s in t.spans() {
+            assert!(s.end_ns >= s.start_ns);
+        }
+        // Finishing deactivates: a second finish pushes nothing.
+        finish(&ring);
+        assert_eq!(ring.pushed(), 1);
+    }
+
+    #[test]
+    fn overflow_truncates_without_unbalancing() {
+        drain_active();
+        let ring = Ring::new(2);
+        begin(1);
+        for _ in 0..MAX_SPANS + 5 {
+            start("s");
+            end();
+        }
+        finish(&ring);
+        let t = ring.last(1)[0];
+        assert_eq!(t.len, MAX_SPANS);
+        assert!(t.truncated);
+    }
+
+    #[test]
+    fn depth_overflow_balances() {
+        drain_active();
+        let ring = Ring::new(2);
+        begin(2);
+        for _ in 0..MAX_DEPTH + 3 {
+            start("deep");
+        }
+        for _ in 0..MAX_DEPTH + 3 {
+            end();
+        }
+        start("after");
+        end();
+        finish(&ring);
+        let t = ring.last(1)[0];
+        assert!(t.truncated);
+        let after = t.spans().iter().find(|s| s.name == "after").expect("kept");
+        assert_eq!(after.parent, 0, "stack must rebalance after deep overflow");
+    }
+
+    #[test]
+    fn finish_closes_open_spans() {
+        drain_active();
+        let ring = Ring::new(2);
+        begin(3);
+        start("left_open");
+        finish(&ring);
+        let t = ring.last(1)[0];
+        assert_eq!(t.len, 1);
+        assert!(t.spans()[0].end_ns >= t.spans()[0].start_ns);
+    }
+
+    #[test]
+    fn tracer_samples_one_in_n_and_forces() {
+        let tracer = Tracer::new(4, 8);
+        let ids: Vec<u64> = (0..8).map(|_| tracer.decide()).collect();
+        assert_eq!(ids.iter().filter(|&&id| id != 0).count(), 2);
+        assert_ne!(ids[0], 0, "head sampling fires on the first datagram");
+        tracer.force_next();
+        assert_ne!(tracer.decide(), 0, "forced decision samples");
+        assert_eq!(tracer.forced(), 1);
+        let disabled = Tracer::disabled();
+        disabled.force_next();
+        assert_eq!(disabled.decide(), 0, "disabled tracer never samples");
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let tracer = Tracer::new(1, 8);
+        let a = tracer.decide();
+        let b = tracer.decide();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_maximum() {
+        let ex = Exemplar::new();
+        assert_eq!(ex.get(), None);
+        ex.offer(100, 0);
+        assert_eq!(ex.get(), None, "no active trace, no exemplar");
+        ex.offer(100, 5);
+        ex.offer(50, 6);
+        assert_eq!(ex.get(), Some((100, 5)));
+        ex.offer(200, 7);
+        assert_eq!(ex.get(), Some((200, 7)));
+    }
+
+    /// Golden output: the exporter's JSON, byte for byte, from hand-built
+    /// spans with fixed timestamps.
+    #[test]
+    fn golden_chrome_trace_json() {
+        let mut spans = [EMPTY_SPAN; MAX_SPANS];
+        spans[0] = Span {
+            name: "recv",
+            id: 1,
+            parent: 0,
+            start_ns: 1_000,
+            end_ns: 3_500,
+        };
+        spans[1] = Span {
+            name: "queue_wait",
+            id: 2,
+            parent: 0,
+            start_ns: 3_500,
+            end_ns: 10_001,
+        };
+        spans[2] = Span {
+            name: "nns",
+            id: 3,
+            parent: 2,
+            start_ns: 4_000,
+            end_ns: 4_250,
+        };
+        let trace = CompletedTrace {
+            id: 42,
+            len: 3,
+            truncated: false,
+            spans,
+        };
+        let expected = "{\"traceEvents\":[\n\
+            {\"name\":\"recv\",\"cat\":\"infilter\",\"ph\":\"X\",\"ts\":1.000,\"dur\":2.500,\"pid\":1,\"tid\":42,\"args\":{\"trace_id\":42,\"span\":1,\"parent\":0}},\n\
+            {\"name\":\"queue_wait\",\"cat\":\"infilter\",\"ph\":\"X\",\"ts\":3.500,\"dur\":6.501,\"pid\":1,\"tid\":42,\"args\":{\"trace_id\":42,\"span\":2,\"parent\":0}},\n\
+            {\"name\":\"nns\",\"cat\":\"infilter\",\"ph\":\"X\",\"ts\":4.000,\"dur\":0.250,\"pid\":1,\"tid\":42,\"args\":{\"trace_id\":42,\"span\":3,\"parent\":2}}\n\
+            ]}\n";
+        assert_eq!(chrome_trace_json(&[trace]), expected);
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n]}\n");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property test: whatever interleaving of tracing operations a pipeline
+//! performs — starts, ends (balanced or not), direct records, buffer and
+//! depth overflow — the emitted span trees are well-formed: every parent
+//! ID names a span that exists in the *same* trace, every span's `end_ns`
+//! is at or after its `start_ns`, span IDs are unique, and spans never
+//! leak across consecutive traces on the same thread.
+
+use infilter_telemetry::trace;
+use infilter_telemetry::{CompletedTrace, Ring};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start,
+    End,
+    Record,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u8..3).prop_map(|x| match x {
+        0 => Op::Start,
+        1 => Op::End,
+        _ => Op::Record,
+    })
+}
+
+const NAMES: [&str; 4] = ["eia", "scan", "nns", "verdict"];
+
+fn run_trace(id: u64, ops: &[Op], ring: &Ring<CompletedTrace>) -> CompletedTrace {
+    trace::begin(id);
+    for (i, op) in ops.iter().enumerate() {
+        let name = NAMES[i % NAMES.len()];
+        match op {
+            Op::Start => trace::start(name),
+            Op::End => trace::end(),
+            Op::Record => {
+                let t = trace::now_ns();
+                trace::record(name, t.saturating_sub(50), t);
+            }
+        }
+    }
+    trace::finish(ring);
+    ring.last(1).pop().expect("finish pushed the trace")
+}
+
+fn assert_well_formed(t: &CompletedTrace) {
+    let spans = t.spans();
+    assert!(spans.len() <= infilter_telemetry::MAX_SPANS);
+    for (i, s) in spans.iter().enumerate() {
+        assert_eq!(s.id as usize, i + 1, "span IDs are dense and 1-based");
+        assert!(
+            s.end_ns >= s.start_ns,
+            "span {} ends before it starts",
+            s.id
+        );
+        if s.parent != 0 {
+            assert!(
+                spans.iter().any(|p| p.id == s.parent),
+                "span {} has parent {} which does not exist in trace {}",
+                s.id,
+                s.parent,
+                t.id
+            );
+            assert!(s.parent < s.id, "parents are always opened before children");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn span_trees_are_well_formed(
+        ops_a in proptest::collection::vec(op(), 0..96),
+        ops_b in proptest::collection::vec(op(), 0..96),
+    ) {
+        let ring = Ring::new(4);
+        // Two consecutive traces on the same thread, reusing the same
+        // thread-local buffer: both must be independently well-formed and
+        // share nothing.
+        let ta = run_trace(1, &ops_a, &ring);
+        let tb = run_trace(2, &ops_b, &ring);
+        prop_assert_eq!(ta.id, 1);
+        prop_assert_eq!(tb.id, 2);
+        assert_well_formed(&ta);
+        assert_well_formed(&tb);
+        // No cross-trace leakage: trace B's span count is determined by
+        // its own ops alone (every Start/Record attempt past MAX_SPANS is
+        // truncated, never spliced from trace A's buffer).
+        let attempts = ops_b
+            .iter()
+            .filter(|o| matches!(o, Op::Start | Op::Record))
+            .count();
+        prop_assert!(tb.len <= attempts);
+        prop_assert_eq!(
+            tb.truncated,
+            attempts > infilter_telemetry::MAX_SPANS
+                || exceeds_depth(&ops_b),
+            "truncation flag must reflect overflow exactly"
+        );
+        // The collector saw exactly the two finishes.
+        prop_assert_eq!(ring.pushed(), 2);
+    }
+}
+
+/// Whether an op sequence ever holds more than `MAX_DEPTH` spans open.
+fn exceeds_depth(ops: &[Op]) -> bool {
+    let mut depth = 0usize;
+    let mut len = 0usize;
+    for op in ops {
+        match op {
+            Op::Start => {
+                if depth >= 8 {
+                    return true;
+                }
+                if len >= infilter_telemetry::MAX_SPANS {
+                    return true;
+                }
+                len += 1;
+                depth += 1;
+            }
+            Op::End => depth = depth.saturating_sub(1),
+            Op::Record => {
+                if len >= infilter_telemetry::MAX_SPANS {
+                    return true;
+                }
+                len += 1;
+            }
+        }
+    }
+    false
+}
