@@ -1,0 +1,182 @@
+//! Lookup cost of the EIA substrate: dynamic binary trie vs the frozen
+//! multi-bit-stride LPM compiled at snapshot publish.
+//!
+//! Four contenders over the same synthetic peer table (see
+//! [`infilter_bench::synthetic_peer_table`]) at 10k / 100k / 1M prefixes:
+//!
+//! * `trie` — [`PrefixTrie::lookup`], random probe order (the per-flow
+//!   dynamic path).
+//! * `walker` — [`TrieWalker`] over *sorted* probes, its best case and
+//!   exactly what the batch phase A did before the frozen structure.
+//! * `frozen` — [`FrozenLpm::lookup_bits`], random order (no sort needed).
+//! * `frozen_batch` — [`FrozenLpm::lookup_batch`] over the same column.
+//!
+//! Besides the criterion report, a manual pass writes ns/lookup, the
+//! frozen structure's bytes/prefix, and the frozen-vs-walker speedup to
+//! `crates/bench/BENCH_lpm.json` so CI can gate machine-readably (the
+//! acceptance bar: ≥ 3× over the walker and ≤ 32 bytes/prefix at 1M).
+//!
+//! Run with `cargo bench --bench lpm`; `-- --test` gives the CI smoke
+//! run. Results are recorded in EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use infilter_bench::synthetic_peer_table;
+use infilter_core::PeerId;
+use infilter_net::{FrozenLpm, PrefixTrie};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SIZES: &[usize] = &[10_000, 100_000, 1_000_000];
+const PROBES: usize = 65_536;
+const PEERS: u16 = 64;
+
+struct Fixture {
+    trie: PrefixTrie<PeerId>,
+    lpm: FrozenLpm<PeerId>,
+    /// Random probe order, as flows arrive.
+    probes: Vec<u32>,
+    /// The same probes sorted — the walker's amortised best case.
+    sorted: Vec<u32>,
+}
+
+fn fixture(size: usize, seed: u64) -> Fixture {
+    let trie: PrefixTrie<PeerId> = synthetic_peer_table(size, PEERS, seed)
+        .into_iter()
+        .map(|(peer, prefix)| (prefix, peer))
+        .collect();
+    let lpm = FrozenLpm::compile(&trie);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let probes: Vec<u32> = (0..PROBES).map(|_| rng.gen()).collect();
+    let mut sorted = probes.clone();
+    sorted.sort_unstable();
+    Fixture {
+        trie,
+        lpm,
+        probes,
+        sorted,
+    }
+}
+
+/// One full probe sweep per contender; returns a checksum so the work
+/// cannot be optimised away.
+fn sweep_trie(f: &Fixture) -> u64 {
+    let mut acc = 0u64;
+    for &bits in &f.probes {
+        if let Some((_, peer)) = f.trie.lookup(std::net::Ipv4Addr::from(bits)) {
+            acc = acc.wrapping_add(u64::from(peer.0));
+        }
+    }
+    acc
+}
+
+fn sweep_walker(f: &Fixture) -> u64 {
+    let mut acc = 0u64;
+    let mut walker = f.trie.walker();
+    for &bits in &f.sorted {
+        if let Some((_, peer)) = walker.lookup(std::net::Ipv4Addr::from(bits)) {
+            acc = acc.wrapping_add(u64::from(peer.0));
+        }
+    }
+    acc
+}
+
+fn sweep_frozen(f: &Fixture) -> u64 {
+    let mut acc = 0u64;
+    for &bits in &f.probes {
+        if let Some((_, peer)) = f.lpm.lookup_bits(bits) {
+            acc = acc.wrapping_add(u64::from(peer.0));
+        }
+    }
+    acc
+}
+
+fn sweep_frozen_batch(f: &Fixture) -> u64 {
+    let mut acc = 0u64;
+    f.lpm.lookup_batch(&f.probes, |_, hit| {
+        if let Some((_, peer)) = hit {
+            acc = acc.wrapping_add(u64::from(peer.0));
+        }
+    });
+    acc
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm_lookup");
+    group.throughput(Throughput::Elements(PROBES as u64));
+    group.sample_size(10);
+    for &size in SIZES {
+        let f = fixture(size, 0x10f1);
+        group.bench_with_input(BenchmarkId::new("trie", size), &f, |b, f| {
+            b.iter(|| black_box(sweep_trie(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("walker_sorted", size), &f, |b, f| {
+            b.iter(|| black_box(sweep_walker(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("frozen", size), &f, |b, f| {
+            b.iter(|| black_box(sweep_frozen(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("frozen_batch", size), &f, |b, f| {
+            b.iter(|| black_box(sweep_frozen_batch(f)))
+        });
+    }
+    group.finish();
+}
+
+/// Manual timing pass feeding the machine-readable baseline at
+/// `crates/bench/BENCH_lpm.json` (best of several passes; one pass in the
+/// `--test` smoke run). Hand-formatted JSON keeps the bench free of
+/// serialisation dependencies. All four contenders agree on the checksum
+/// first — a wrong structure must not publish a fast number.
+fn baseline_json(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test");
+    let passes = if quick { 1 } else { 7 };
+    let mut tables = Vec::new();
+    for &size in SIZES {
+        let f = fixture(size, 0x10f1);
+        let trie_sum = sweep_trie(&f);
+        assert_eq!(trie_sum, sweep_frozen(&f), "frozen diverges at {size}");
+        assert_eq!(trie_sum, sweep_frozen_batch(&f), "batch diverges at {size}");
+        let mut best = [f64::INFINITY; 4];
+        let sweeps: [&dyn Fn(&Fixture) -> u64; 4] = [
+            &sweep_trie,
+            &sweep_walker,
+            &sweep_frozen,
+            &sweep_frozen_batch,
+        ];
+        for _ in 0..passes {
+            for (slot, sweep) in best.iter_mut().zip(sweeps) {
+                let start = Instant::now();
+                black_box(sweep(&f));
+                *slot = slot.min(start.elapsed().as_secs_f64() * 1e9 / PROBES as f64);
+            }
+        }
+        let bytes_per_prefix = f.lpm.approx_bytes() as f64 / f.lpm.len() as f64;
+        tables.push(format!(
+            "    \"{}\": {{\n      \"trie\": {:.1},\n      \"walker_sorted\": {:.1},\n      \
+             \"frozen\": {:.1},\n      \"frozen_batch\": {:.1},\n      \
+             \"bytes_per_prefix\": {:.1},\n      \"speedup_vs_walker\": {:.2}\n    }}",
+            size,
+            best[0],
+            best[1],
+            best[2],
+            best[3],
+            bytes_per_prefix,
+            best[1] / best[3],
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"lpm\",\n  \"unit\": \"ns_per_lookup\",\n  \"probes\": {},\n  \
+         \"tables\": {{\n{}\n  }}\n}}\n",
+        PROBES,
+        tables.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_lpm.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}
+
+criterion_group!(benches, bench_lookup, baseline_json);
+criterion_main!(benches);

@@ -100,10 +100,9 @@ thread_local! {
     /// to share across analyzers — `encode_into` resets length and contents
     /// on every use.
     static ENCODE_SCRATCH: RefCell<BitVec> = RefCell::new(BitVec::zeros(0));
-    /// Per-thread batch-path scratch: the sort permutation and precomputed
-    /// EIA verdicts for `process_flow_batch_into`. Cleared on every use.
-    static BATCH_SCRATCH: RefCell<(Vec<u32>, Vec<EiaVerdict>)> =
-        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-thread batch-path scratch: the precomputed EIA verdicts for
+    /// `process_flow_batch_into`. Cleared on every use.
+    static BATCH_SCRATCH: RefCell<Vec<EiaVerdict>> = const { RefCell::new(Vec::new()) };
     /// Per-thread column buffer for the record-slice batch entry point.
     /// Taken (not borrowed) for the duration of a batch so the flow-batch
     /// path can use `BATCH_SCRATCH` freely.
@@ -244,7 +243,13 @@ impl ConcurrentAnalyzer {
                 (shard.scan.buffered(), shard.scan.counter_entries())
             })
             .collect();
-        crate::observe::render_exposition(&self.metrics.snapshot(), &self.telemetry, &occupancy)
+        let snap = self.eia.load();
+        crate::observe::render_exposition(
+            &self.metrics.snapshot(),
+            &self.telemetry,
+            &occupancy,
+            (snap.prefix_count(), snap.approx_bytes()),
+        )
     }
 
     /// Processes one flow observed at `ingress` (Figure 12), callable from
@@ -411,13 +416,15 @@ impl ConcurrentAnalyzer {
     /// Batch-first hot path over a struct-of-arrays [`FlowBatch`]: the
     /// concurrent twin of the single-threaded analyzer's grouped EIA pass.
     ///
-    /// Phase A classifies the source column in sorted order against one
-    /// cached snapshot with an amortised [`crate::EiaClassifier`]; phase B
-    /// applies bookkeeping in original flow order. If a suspect's sighting
-    /// republishes the EIA snapshot mid-batch (an adoption landed), the
-    /// precomputed verdicts are stale for the remaining flows, so they fall
-    /// back to live per-flow classification — exactly when the per-flow
-    /// path's own `cached_snapshot` would have reloaded.
+    /// Phase A classifies the source column against one cached snapshot's
+    /// frozen LPM — no sort permutation needed, since a frozen lookup
+    /// costs the same constant number of memory touches for any input
+    /// order. Phase B applies bookkeeping in original flow order. If a
+    /// suspect's sighting republishes the EIA snapshot mid-batch (an
+    /// adoption landed), the precomputed verdicts are stale for the
+    /// remaining flows, so they fall back to live per-flow classification
+    /// — exactly when the per-flow path's own `cached_snapshot` would
+    /// have reloaded.
     pub fn process_flow_batch_into(
         &self,
         ingress: PeerId,
@@ -433,28 +440,18 @@ impl ConcurrentAnalyzer {
         let n0 = self.metrics.flows.fetch_add(len as u64, Ordering::Relaxed);
         let sample = self.ccfg.latency_sample_every;
 
-        let (mut idx, mut eia) = BATCH_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        let mut eia = BATCH_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
         let src = batch.src_addr_bits();
-        idx.clear();
-        idx.extend(0..len as u32);
-        idx.sort_unstable_by_key(|&i| src[i as usize]);
-        eia.clear();
-        eia.resize(len, EiaVerdict::Match);
 
         // Phase A: grouped EIA classification against one snapshot. Timed
         // as a whole only when some flow in this window samples latency;
         // each sampled match then records its per-flow share.
-        let snap_id = self.eia.id();
+        let snap_version = self.eia.version();
         let snapshot = self.cached_snapshot();
         let sampling = sample != 0 && n0.next_multiple_of(sample) < n0 + len as u64;
         let a_started = sampling.then(std::time::Instant::now);
         trace::start("eia");
-        {
-            let mut classifier = snapshot.classifier(ingress);
-            for &i in &idx {
-                eia[i as usize] = classifier.classify(std::net::Ipv4Addr::from(src[i as usize]));
-            }
-        }
+        snapshot.classify_batch_into(ingress, src, &mut eia);
         trace::end();
         let per_flow = a_started.map(|s| s.elapsed() / len as u32);
         drop(snapshot);
@@ -517,7 +514,7 @@ impl ConcurrentAnalyzer {
                     out.push(
                         self.suspect_counted(started, ingress, &flow, expected, effort, record),
                     );
-                    if self.eia.id() != snap_id {
+                    if self.eia.version() != snap_version {
                         stale = true;
                     }
                 }
@@ -528,7 +525,7 @@ impl ConcurrentAnalyzer {
             self.metrics.eia_match.fetch_add(matches, Ordering::Relaxed);
         }
 
-        BATCH_SCRATCH.with(|s| *s.borrow_mut() = (idx, eia));
+        BATCH_SCRATCH.with(|s| *s.borrow_mut() = eia);
     }
 
     fn enhanced_analysis(

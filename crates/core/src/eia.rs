@@ -1,7 +1,7 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use infilter_net::{FxHashMap, Prefix, PrefixTrie, TrieWalker};
+use infilter_net::{FrozenLpm, FxHashMap, Prefix, PrefixTrie, TrieWalker};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a peer AS / border-router ingress point of the target
@@ -38,34 +38,63 @@ impl EiaVerdict {
     }
 }
 
-/// An immutable, point-in-time view of the EIA sets: the longest-prefix
-/// trie without the adoption bookkeeping.
+/// An immutable, point-in-time view of the EIA sets, compiled at publish
+/// time into a frozen multi-bit-stride LPM ([`FrozenLpm`]): a direct /16
+/// root table plus stride-8 nodes, so every classification costs at most
+/// three memory touches instead of up to 32 binary-trie node hops.
 ///
-/// This is the read side of the concurrency split in
-/// [`crate::ConcurrentAnalyzer`]: snapshots are published behind an
-/// [`crate::SnapshotCell`] and classified against without any lock, while
-/// sightings and adoptions go through the authoritative [`EiaRegistry`] on
-/// the (rarely taken) write side.
+/// This is the read side of the concurrency split: snapshots are published
+/// behind an [`crate::SnapshotCell`] (the [`crate::ConcurrentAnalyzer`]
+/// case) or held directly by the single-threaded [`crate::Analyzer`], and
+/// classified against without any lock. Sightings and adoptions go through
+/// the authoritative [`EiaRegistry`] on the (rarely taken) write side,
+/// which recompiles a snapshot per publish.
 #[derive(Debug, Clone)]
 pub struct EiaSnapshot {
-    trie: PrefixTrie<PeerId>,
+    lpm: FrozenLpm<PeerId>,
     adopted: u64,
 }
 
 impl EiaSnapshot {
     /// The peer whose EIA set contains `addr` (most specific prefix wins).
     pub fn expected_peer(&self, addr: Ipv4Addr) -> Option<PeerId> {
-        self.trie.lookup(addr).map(|(_, p)| *p)
+        self.lpm.lookup(addr).map(|(_, p)| *p)
     }
 
     /// The basic InFilter check against this snapshot.
     pub fn classify(&self, observed: PeerId, addr: Ipv4Addr) -> EiaVerdict {
-        verdict_for(self.expected_peer(addr), observed)
+        self.classify_bits(observed, u32::from(addr))
+    }
+
+    /// [`EiaSnapshot::classify`] over raw big-endian address bits — the
+    /// form the batch pipeline's source-address column carries.
+    #[inline]
+    pub fn classify_bits(&self, observed: PeerId, bits: u32) -> EiaVerdict {
+        verdict_for(self.lpm.lookup_value_bits(bits).copied(), observed)
+    }
+
+    /// Classifies a whole source-address column observed at one ingress,
+    /// replacing `out` with one verdict per address (same order). This is
+    /// the grouped phase-A walk of the batch hot path: no sort is needed,
+    /// because a frozen lookup costs the same for any input order.
+    pub fn classify_batch_into(&self, observed: PeerId, src: &[u32], out: &mut Vec<EiaVerdict>) {
+        out.clear();
+        out.reserve(src.len());
+        out.extend(
+            src.iter()
+                .map(|&bits| verdict_for(self.lpm.lookup_value_bits(bits).copied(), observed)),
+        );
     }
 
     /// Number of prefixes across all EIA sets at snapshot time.
     pub fn prefix_count(&self) -> usize {
-        self.trie.len()
+        self.lpm.len()
+    }
+
+    /// Approximate resident bytes of the frozen lookup structure (the
+    /// `infilter_eia_bytes` gauge).
+    pub fn approx_bytes(&self) -> usize {
+        self.lpm.approx_bytes()
     }
 
     /// Sources that had been adopted dynamically at snapshot time.
@@ -73,33 +102,47 @@ impl EiaSnapshot {
         self.adopted
     }
 
-    /// A batch classifier for flows observed at `observed`, sharing trie
-    /// path work between consecutive lookups (fastest on address-sorted
-    /// input, correct for any order).
+    /// A batch classifier for flows observed at `observed`, backed by the
+    /// frozen LPM (input order does not matter).
     pub fn classifier(&self, observed: PeerId) -> EiaClassifier<'_> {
         EiaClassifier {
-            walker: self.trie.walker(),
+            inner: ClassifierInner::Frozen(&self.lpm),
             observed,
         }
     }
 }
 
-/// Amortised EIA checker for a run of flows sharing one ingress: wraps a
-/// [`TrieWalker`] so consecutive source addresses with common leading bits
-/// re-enter the prefix trie mid-path instead of at the root. Created by
-/// [`EiaSnapshot::classifier`] or [`EiaRegistry::classifier`]; borrows the
-/// underlying trie, so the registry cannot adopt while one is alive.
+/// Amortised EIA checker for a run of flows sharing one ingress. Created
+/// by [`EiaSnapshot::classifier`] (frozen-LPM backed: every lookup is a
+/// constant number of memory touches) or [`EiaRegistry::classifier`]
+/// (backed by a [`TrieWalker`] over the live trie, fastest on
+/// address-sorted input). Both borrow the underlying table, so the
+/// registry cannot adopt while one is alive; outcomes are identical to
+/// [`EiaSnapshot::classify`] / [`EiaRegistry::classify`] on the same data.
 #[derive(Debug)]
 pub struct EiaClassifier<'a> {
-    walker: TrieWalker<'a, PeerId>,
+    inner: ClassifierInner<'a>,
     observed: PeerId,
+}
+
+#[derive(Debug)]
+enum ClassifierInner<'a> {
+    Frozen(&'a FrozenLpm<PeerId>),
+    // Boxed: a walker carries its full 32-level resume path, and nothing
+    // hot constructs this variant (the batch paths classify against the
+    // frozen snapshot directly).
+    Walker(Box<TrieWalker<'a, PeerId>>),
 }
 
 impl EiaClassifier<'_> {
     /// The basic InFilter check for one flow, identical in outcome to
     /// [`EiaSnapshot::classify`] on the same data.
     pub fn classify(&mut self, addr: Ipv4Addr) -> EiaVerdict {
-        verdict_for(self.walker.lookup(addr).map(|(_, p)| *p), self.observed)
+        let expected = match &mut self.inner {
+            ClassifierInner::Frozen(lpm) => lpm.lookup(addr).map(|(_, p)| *p),
+            ClassifierInner::Walker(walker) => walker.lookup(addr).map(|(_, p)| *p),
+        };
+        verdict_for(expected, self.observed)
     }
 }
 
@@ -170,16 +213,35 @@ impl EiaRegistry {
         self.adoption_prefix_len = len;
     }
 
-    /// Bulk preload.
+    /// Bulk preload. Releases excess trie arena capacity afterwards, so
+    /// the write side does not keep peak-build allocations around between
+    /// republishes.
     pub fn preload_all<I: IntoIterator<Item = (PeerId, Prefix)>>(&mut self, assignments: I) {
         for (peer, prefix) in assignments {
             self.preload(peer, prefix);
         }
+        self.trie.shrink_to_fit();
     }
 
     /// Number of prefixes across all EIA sets.
     pub fn prefix_count(&self) -> usize {
         self.trie.len()
+    }
+
+    /// Trie nodes backing the write-side EIA sets (structural size).
+    pub fn node_count(&self) -> usize {
+        self.trie.node_count()
+    }
+
+    /// Approximate resident bytes of the write-side trie arena.
+    pub fn approx_bytes(&self) -> usize {
+        self.trie.approx_bytes()
+    }
+
+    /// Releases excess write-side trie capacity left by bulk builds; see
+    /// [`infilter_net::PrefixTrie::shrink_to_fit`].
+    pub fn shrink_to_fit(&mut self) {
+        self.trie.shrink_to_fit();
     }
 
     /// Sources adopted dynamically so far.
@@ -198,20 +260,24 @@ impl EiaRegistry {
         verdict_for(self.expected_peer(addr), observed)
     }
 
-    /// A batch classifier for flows observed at `observed`; see
-    /// [`EiaSnapshot::classifier`].
+    /// A batch classifier for flows observed at `observed`, walking the
+    /// live trie; see [`EiaClassifier`].
     pub fn classifier(&self, observed: PeerId) -> EiaClassifier<'_> {
         EiaClassifier {
-            walker: self.trie.walker(),
+            inner: ClassifierInner::Walker(Box::new(self.trie.walker())),
             observed,
         }
     }
 
-    /// Clones the current EIA sets into an immutable snapshot for lock-free
-    /// readers.
+    /// Compiles the current EIA sets into an immutable snapshot for
+    /// lock-free readers: the dynamic trie is flattened into a
+    /// [`FrozenLpm`] so every subsequent classification costs a constant
+    /// number of memory touches. This is the publish step of the
+    /// read/write split — called once per adoption batch or reload, then
+    /// amortised over millions of lookups.
     pub fn snapshot(&self) -> EiaSnapshot {
         EiaSnapshot {
-            trie: self.trie.clone(),
+            lpm: FrozenLpm::compile(&self.trie),
             adopted: self.adopted,
         }
     }
@@ -378,6 +444,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_batch_classification_matches_scalar() {
+        let mut r = registry();
+        r.preload(PeerId(2), "3.1.2.0/24".parse().unwrap());
+        let snap = r.snapshot();
+        let src: Vec<u32> = ["3.0.5.5", "3.40.5.5", "3.1.2.9", "3.1.3.9", "200.1.1.1"]
+            .iter()
+            .map(|s| u32::from(addr(s)))
+            .collect();
+        let mut out = Vec::new();
+        for peer in [PeerId(1), PeerId(2)] {
+            snap.classify_batch_into(peer, &src, &mut out);
+            assert_eq!(out.len(), src.len());
+            for (i, &bits) in src.iter().enumerate() {
+                let a = Ipv4Addr::from(bits);
+                assert_eq!(out[i], snap.classify(peer, a), "snapshot scalar {a}");
+                assert_eq!(out[i], snap.classify_bits(peer, bits));
+                assert_eq!(out[i], r.classify(peer, a), "registry oracle {a}");
+            }
+        }
+        assert!(snap.approx_bytes() > 0);
     }
 
     #[test]

@@ -167,7 +167,7 @@ impl Engine for Analyzer {
     }
 
     fn eia_snapshot(&self) -> Arc<EiaSnapshot> {
-        Arc::new(self.eia().snapshot())
+        Arc::new(self.eia_view().clone())
     }
 
     fn reload_eia(&mut self, eia: EiaRegistry) -> usize {

@@ -584,6 +584,8 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "infilter_attacks_total",
     "infilter_forgiven_total",
     "infilter_adoptions_total",
+    "infilter_eia_prefixes",
+    "infilter_eia_bytes",
     "infilter_snapshot_republish_total",
     "infilter_recorder_dropped_total",
     "infilter_journal_events_total",
@@ -616,12 +618,14 @@ const DISTANCE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
 const SCAN_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
 /// Renders one Prometheus 0.0.4 exposition page from a counter snapshot,
-/// the telemetry state, and per-shard scan occupancy `(buffered flows,
-/// counter entries)` gauges polled at scrape time.
+/// the telemetry state, per-shard scan occupancy `(buffered flows,
+/// counter entries)` gauges polled at scrape time, and the published
+/// frozen-EIA table size as `(prefixes, approximate resident bytes)`.
 pub(crate) fn render_exposition(
     metrics: &AnalyzerMetrics,
     telemetry: &PipelineTelemetry,
     shard_occupancy: &[(usize, usize)],
+    eia_table: (usize, usize),
 ) -> String {
     let mut page = PromText::new();
     page.counter(
@@ -657,6 +661,16 @@ pub(crate) fn render_exposition(
         "infilter_adoptions_total",
         "Sources dynamically adopted into EIA sets.",
         metrics.adoptions,
+    );
+    page.gauge(
+        "infilter_eia_prefixes",
+        "Prefixes in the published frozen EIA table.",
+        eia_table.0 as f64,
+    );
+    page.gauge(
+        "infilter_eia_bytes",
+        "Approximate resident bytes of the published frozen EIA table.",
+        eia_table.1 as f64,
     );
     page.counter(
         "infilter_snapshot_republish_total",
@@ -928,7 +942,7 @@ mod tests {
             eia_attacks: 1,
             ..AnalyzerMetrics::default()
         };
-        let page = render_exposition(&metrics, &telemetry, &[(3, 2), (0, 0)]);
+        let page = render_exposition(&metrics, &telemetry, &[(3, 2), (0, 0)], (42, 4096));
         for family in METRIC_FAMILIES {
             assert!(
                 page.contains(&format!("# TYPE {family} ")),
@@ -977,7 +991,7 @@ mod tests {
         telemetry.observe_fast_latency(2_000);
         infilter_telemetry::trace::abandon();
         assert_eq!(telemetry.fast_exemplar(), Some((4_000, 41)));
-        let page = render_exposition(&AnalyzerMetrics::default(), &telemetry, &[(0, 0)]);
+        let page = render_exposition(&AnalyzerMetrics::default(), &telemetry, &[(0, 0)], (0, 0));
         assert!(
             page.contains("# EXEMPLAR infilter_fast_path_latency_ns value=4000 trace_id=41"),
             "exemplar comment missing:\n{page}"

@@ -12,8 +12,8 @@ use crate::observe::{
     JournalEvent, NnsObservation, PipelineTelemetry, SuspectObservation, TelemetryConfig,
 };
 use crate::{
-    AnalyzerMetrics, ClusterModel, EiaRegistry, EiaVerdict, FlowDecision, IdmefAlert, ScanAnalyzer,
-    ScanConfig, ScanVerdict, ThresholdPolicy, TrainError,
+    AnalyzerMetrics, ClusterModel, EiaRegistry, EiaSnapshot, EiaVerdict, FlowDecision, IdmefAlert,
+    ScanAnalyzer, ScanConfig, ScanVerdict, ThresholdPolicy, TrainError,
 };
 
 /// Software configuration (§6.3): `BI` assesses traffic with EIA analysis
@@ -461,6 +461,11 @@ impl Trainer {
 pub struct Analyzer {
     cfg: AnalyzerConfig,
     eia: EiaRegistry,
+    /// Frozen compilation of `eia` the hot path classifies against
+    /// (constant memory touches per lookup). Rebuilt whenever the registry
+    /// mutates: adoptions and reloads, the same cadence at which the
+    /// concurrent engine republishes its snapshot.
+    eia_view: EiaSnapshot,
     scan: ScanAnalyzer,
     model: Option<ClusterModel>,
     metrics: AnalyzerMetrics,
@@ -470,10 +475,9 @@ pub struct Analyzer {
     /// Reusable NNS query buffer: suspect-flow encode + search performs
     /// zero heap allocations after the first suspect.
     nns_scratch: BitVec,
-    /// Batch-path scratch: sort permutation, per-flow EIA verdicts, and a
-    /// column buffer for record-slice batches. Reused so the steady-state
-    /// batch path allocates nothing.
-    batch_idx: Vec<u32>,
+    /// Batch-path scratch: per-flow EIA verdicts and a column buffer for
+    /// record-slice batches. Reused so the steady-state batch path
+    /// allocates nothing.
     batch_eia: Vec<EiaVerdict>,
     batch_scratch: FlowBatch,
     /// Memoised NNS outcomes (the model is immutable after training).
@@ -489,17 +493,19 @@ impl Analyzer {
         // The registry's adoption policy follows the analyzer config.
         eia.set_adoption_threshold(cfg.adoption_threshold);
         eia.set_adoption_prefix_len(cfg.adoption_prefix_len);
+        eia.shrink_to_fit();
+        let eia_view = eia.snapshot();
         Analyzer {
             scan: ScanAnalyzer::new(cfg.scan),
             telemetry: PipelineTelemetry::new(cfg.telemetry, 1),
             cfg,
             eia,
+            eia_view,
             model,
             metrics: AnalyzerMetrics::default(),
             alerts: Vec::new(),
             next_alert_id: 0,
             nns_scratch: BitVec::zeros(0),
-            batch_idx: Vec::new(),
             batch_eia: Vec::new(),
             batch_scratch: FlowBatch::new(),
             nns_memo: NnsMemo::default(),
@@ -533,6 +539,7 @@ impl Analyzer {
             &self.metrics,
             &self.telemetry,
             &[(self.scan.buffered(), self.scan.counter_entries())],
+            (self.eia_view.prefix_count(), self.eia_view.approx_bytes()),
         )
     }
 
@@ -546,9 +553,16 @@ impl Analyzer {
         std::mem::take(&mut self.alerts)
     }
 
-    /// Read access to the EIA registry.
+    /// Read access to the EIA registry (the write side).
     pub fn eia(&self) -> &EiaRegistry {
         &self.eia
+    }
+
+    /// The frozen EIA view the hot path classifies against. Recompiled on
+    /// every registry mutation (adoption, reload), so it always agrees
+    /// with [`Analyzer::eia`].
+    pub fn eia_view(&self) -> &EiaSnapshot {
+        &self.eia_view
     }
 
     /// Replaces the EIA registry wholesale — the config hot-reload path.
@@ -559,7 +573,9 @@ impl Analyzer {
     pub fn reload_eia(&mut self, mut eia: EiaRegistry) -> usize {
         eia.set_adoption_threshold(self.cfg.adoption_threshold);
         eia.set_adoption_prefix_len(self.cfg.adoption_prefix_len);
+        eia.shrink_to_fit();
         self.eia = eia;
+        self.eia_view = self.eia.snapshot();
         let prefixes = self.eia.prefix_count();
         self.telemetry.journal_event(JournalEvent::EiaReload {
             prefixes: prefixes.min(u32::MAX as usize) as u32,
@@ -607,8 +623,9 @@ impl Analyzer {
             None
         };
 
-        // Stage 1: EIA set analysis.
-        let eia_verdict = self.eia.classify(ingress, flow.src_addr);
+        // Stage 1: EIA set analysis against the frozen view (≤ 3 memory
+        // touches; recompiled on every adoption, so never stale).
+        let eia_verdict = self.eia_view.classify(ingress, flow.src_addr);
         match eia_verdict {
             EiaVerdict::Match => {
                 self.metrics.eia_match += 1;
@@ -703,14 +720,14 @@ impl Analyzer {
     /// Batch-first hot path: classifies a struct-of-arrays batch from one
     /// ingress, appending one verdict per flow to `out` (same order).
     ///
-    /// Phase A sorts a row-index permutation by source address and walks
-    /// the EIA trie with an amortised [`crate::EiaClassifier`], so flows
-    /// sharing leading address bits — the common case inside one export
-    /// datagram — re-enter the trie mid-path. Phase B applies bookkeeping
-    /// in original flow order; EIA matches take a columnar fast path that
-    /// never materialises the record unless telemetry samples it, and
-    /// suspects run the identical `suspect_path` the per-flow API uses, so
-    /// verdicts agree by construction.
+    /// Phase A classifies the source column against the frozen EIA view —
+    /// no sort permutation needed, since a [`FrozenLpm`](infilter_net::FrozenLpm)
+    /// lookup costs the same constant number of memory touches for any
+    /// input order. Phase B applies bookkeeping in original flow order;
+    /// EIA matches take a columnar fast path that never materialises the
+    /// record unless telemetry samples it, and suspects run the identical
+    /// `suspect_path` the per-flow API uses, so verdicts agree by
+    /// construction.
     ///
     /// If a suspect's sighting adopts a prefix mid-batch, the remaining
     /// flows fall back to live per-flow classification — a later flow from
@@ -732,24 +749,16 @@ impl Analyzer {
         self.metrics.flows += len as u64;
         let sample = self.cfg.latency_sample_every;
 
-        // Phase A: grouped EIA classification over the source column.
+        // Phase A: grouped EIA classification over the source column,
+        // against the frozen view.
         let src = batch.src_addr_bits();
-        self.batch_idx.clear();
-        self.batch_idx.extend(0..len as u32);
-        self.batch_idx.sort_unstable_by_key(|&i| src[i as usize]);
-        self.batch_eia.clear();
-        self.batch_eia.resize(len, EiaVerdict::Match);
         // Amortise the phase-A walk into the sampled fast-path latency:
         // time the whole pass only when some flow in this window samples.
         let sampling = sample != 0 && n0.next_multiple_of(sample) < n0 + len as u64;
         let a_started = sampling.then(Instant::now);
         trace::start("eia");
-        {
-            let mut classifier = self.eia.classifier(ingress);
-            for &i in &self.batch_idx {
-                self.batch_eia[i as usize] = classifier.classify(Ipv4Addr::from(src[i as usize]));
-            }
-        }
+        self.eia_view
+            .classify_batch_into(ingress, src, &mut self.batch_eia);
         trace::end();
         let per_flow = a_started.map(|s| s.elapsed() / len as u32);
 
@@ -878,6 +887,10 @@ impl Analyzer {
                 // dynamic EIA adoption (§5.2(a)).
                 self.metrics.forgiven += 1;
                 if self.eia.record_sighting(ingress, flow.src_addr) {
+                    // The registry mutated: recompile the frozen view so
+                    // the very next flow classifies against the adoption,
+                    // exactly as the live trie would.
+                    self.eia_view = self.eia.snapshot();
                     self.metrics.adoptions += 1;
                     self.telemetry.record_adoption(ingress);
                 }

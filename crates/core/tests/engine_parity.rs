@@ -215,6 +215,86 @@ fn observability_surface_matches() {
     assert_observable(&mut concurrent(Mode::Enhanced));
 }
 
+/// The frozen LPM each engine publishes via `eia_snapshot()` is
+/// verdict-for-verdict identical to live dynamic-trie classification.
+/// Checked twice: after a workload whose adoptions mutate the table (the
+/// two engines' frozen tables must also agree with each other), and after
+/// a hot reload to a deliberately nasty nested table (default route,
+/// shadowing /24, host route) against a dynamic-registry oracle kept on
+/// the side. The snapshot's batch API must agree with its scalar one.
+#[test]
+fn frozen_snapshot_matches_dynamic_classification() {
+    let sweep: Vec<u32> = [
+        0x0300_0000u32, // 3.0.0.0    — peer 1's block
+        0x0300_0400,    // 3.0.4.0    — shadowed /24 inside it
+        0x0300_04ff,    // 3.0.4.255
+        0x0300_0500,    // 3.0.5.0    — just past the shadow
+        0x0320_0000,    // 3.32.0.0   — peer 2's block
+        0x0320_0009,    // 3.32.0.9   — host route
+        0x0320_000a,    // 3.32.0.10  — its neighbour
+        0x033f_ffff,    // 3.63.255.255 — last covered address
+        0x0340_0000,    // 3.64.0.0   — first uncovered
+        0x0900_0000,    // 9.0.0.0    — unassigned space
+        0x0000_0000,
+        0xffff_ffff,
+    ]
+    .into_iter()
+    .flat_map(|base: u32| [base, base.wrapping_add(1), base.wrapping_sub(1)])
+    .collect();
+
+    fn nasty_table() -> EiaRegistry {
+        let mut r = EiaRegistry::new(3);
+        r.preload(PeerId(2), "0.0.0.0/0".parse().unwrap());
+        r.preload(PeerId(1), "3.0.0.0/11".parse().unwrap());
+        r.preload(PeerId(2), "3.0.4.0/24".parse().unwrap());
+        r.preload(PeerId(2), "3.32.0.0/11".parse().unwrap());
+        r.preload(PeerId(1), "3.32.0.9/32".parse().unwrap());
+        r
+    }
+
+    fn assert_frozen_oracle_parity<E: Engine>(engine: &mut E, sweep: &[u32]) {
+        run_workload(engine);
+        assert_eq!(engine.reload_eia(nasty_table()), 5);
+        let oracle = nasty_table();
+        let snap = engine.eia_snapshot();
+        assert_eq!(snap.prefix_count(), 5);
+        assert!(snap.approx_bytes() > 0);
+        let mut batch = Vec::new();
+        for observed in [PeerId(1), PeerId(2), PeerId(3)] {
+            snap.classify_batch_into(observed, sweep, &mut batch);
+            for (i, &bits) in sweep.iter().enumerate() {
+                let addr = std::net::Ipv4Addr::from(bits);
+                let want = oracle.classify(observed, addr);
+                assert_eq!(snap.classify(observed, addr), want, "scalar at {addr}");
+                assert_eq!(batch[i], want, "batch at {addr}");
+            }
+        }
+    }
+
+    // Adoption parity: after the same workload, both engines publish
+    // frozen tables that classify identically.
+    let mut single = analyzer(Mode::Enhanced);
+    let mut sharded = concurrent(Mode::Enhanced);
+    run_workload(&mut single);
+    run_workload(&mut sharded);
+    let (s1, s2) = (
+        Engine::eia_snapshot(&single),
+        Engine::eia_snapshot(&sharded),
+    );
+    assert_eq!(s1.prefix_count(), s2.prefix_count());
+    for &bits in &sweep {
+        let addr = std::net::Ipv4Addr::from(bits);
+        assert_eq!(
+            s1.expected_peer(addr),
+            s2.expected_peer(addr),
+            "adopted frozen tables diverge at {addr}"
+        );
+    }
+
+    assert_frozen_oracle_parity(&mut analyzer(Mode::Enhanced), &sweep);
+    assert_frozen_oracle_parity(&mut concurrent(Mode::Enhanced), &sweep);
+}
+
 /// Property: for any flow mix, the batch path returns exactly the verdict
 /// sequence the per-flow path returns, on both engines, at every rung of
 /// the degradation ladder — including when a mid-batch adoption republishes

@@ -10,6 +10,9 @@
 //!   parsing and formatting.
 //! * [`PrefixTrie`] — a binary trie keyed by prefixes with longest-prefix
 //!   matching, the substrate for EIA sets and BGP RIBs.
+//! * [`FrozenLpm`] — an immutable multi-bit-stride compilation of a trie
+//!   (direct /16 root table + stride-8 nodes) for read-mostly hot paths:
+//!   ≤ 3 memory touches per lookup instead of ≤ 32 node hops.
 //! * [`blocks`] — the Table 1 block scheme and the `1a..125h` notation.
 //! * [`Asn`] / [`RouterId`] — newtypes so autonomous-system numbers and
 //!   router identities cannot be confused with ordinary integers.
@@ -38,11 +41,13 @@
 pub mod blocks;
 mod hash;
 mod ids;
+mod lpm;
 mod prefix;
 mod trie;
 
 pub use blocks::{SubBlock, SubBlockRange};
 pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use ids::{Asn, RouterId};
+pub use lpm::FrozenLpm;
 pub use prefix::{ParsePrefixError, Prefix};
 pub use trie::{Matches, PrefixTrie, TrieWalker};

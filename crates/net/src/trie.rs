@@ -72,6 +72,28 @@ impl<V> PrefixTrie<V> {
         self.nodes.capacity()
     }
 
+    /// Nodes currently in the arena (including the root and interior
+    /// nodes left behind by [`PrefixTrie::remove`]). One node exists per
+    /// distinct stored prefix bit, so this tracks the structural — not
+    /// just the prefix-count — size of the trie.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate resident bytes of the node arena (allocated capacity,
+    /// not just occupied nodes — the number an operator watching memory
+    /// growth actually cares about).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node<V>>()
+    }
+
+    /// Releases excess arena capacity left over from bulk builds, so a
+    /// write-side trie stops holding peak-capacity allocations between
+    /// republishes. Call after bulk loads (EIA preloads, RIB dumps).
+    pub fn shrink_to_fit(&mut self) {
+        self.nodes.shrink_to_fit();
+    }
+
     /// Number of prefixes stored.
     pub fn len(&self) -> usize {
         self.len
@@ -559,6 +581,20 @@ mod tests {
         assert_eq!(w.lookup(a("8.9.1.1")).unwrap().1, &"outer");
         assert_eq!(w.lookup(a("8.8.2.2")).unwrap().1, &"inner");
         assert!(w.lookup(a("9.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn node_accounting_and_shrink() {
+        let mut t: PrefixTrie<u8> = PrefixTrie::with_capacity(1024);
+        assert_eq!(t.node_count(), 1, "root only");
+        t.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(t.node_count(), 9, "root + one node per prefix bit");
+        let peak = t.approx_bytes();
+        t.shrink_to_fit();
+        assert!(t.approx_bytes() <= peak);
+        assert!(t.node_capacity() >= t.node_count());
+        // Shrinking is purely an allocation affair: lookups are unchanged.
+        assert_eq!(t.lookup(a("10.1.1.1")).unwrap().1, &1);
     }
 
     #[test]

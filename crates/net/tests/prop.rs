@@ -3,11 +3,29 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use infilter_net::{Prefix, PrefixTrie, SubBlock, SubBlockRange};
+use infilter_net::{FrozenLpm, Prefix, PrefixTrie, SubBlock, SubBlockRange};
 use proptest::prelude::*;
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len))
+}
+
+/// A deliberately nested, sibling-heavy prefix set: every prefix is a
+/// truncation of a small perturbation of one base address, so default
+/// routes, host routes, shadowing and adjacent siblings all occur with
+/// high probability — the cases where a multi-bit-stride LPM can diverge
+/// from bit-at-a-time matching.
+fn arb_nested_set() -> impl Strategy<Value = Vec<Prefix>> {
+    (
+        any::<u32>(),
+        proptest::collection::vec((any::<u16>(), 0u8..=32), 1..48),
+    )
+        .prop_map(|(base, tweaks)| {
+            tweaks
+                .into_iter()
+                .map(|(delta, len)| Prefix::new(Ipv4Addr::from(base ^ u32::from(delta)), len))
+                .collect()
+        })
 }
 
 /// Oracle: linear scan for the most specific containing prefix.
@@ -76,6 +94,59 @@ proptest! {
         }
         let addr = Ipv4Addr::from(probe);
         prop_assert_eq!(trie.lookup(addr).map(|(p, v)| (p, *v)), naive_lpm(&table, addr));
+    }
+
+    #[test]
+    fn frozen_lpm_matches_trie_and_walker(
+        entries in proptest::collection::hash_map(arb_prefix(), any::<u32>(), 0..64),
+        probes in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let trie: PrefixTrie<u32> = entries.iter().map(|(p, v)| (*p, *v)).collect();
+        let lpm = FrozenLpm::compile(&trie);
+        prop_assert_eq!(lpm.len(), trie.len());
+        let mut walker = trie.walker();
+        for bits in probes {
+            let addr = Ipv4Addr::from(bits);
+            let want = trie.lookup(addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(lpm.lookup(addr).map(|(p, v)| (p, *v)), want);
+            prop_assert_eq!(lpm.lookup_bits(bits).map(|(p, v)| (p, *v)), want);
+            prop_assert_eq!(walker.lookup(addr).map(|(p, v)| (p, *v)), want);
+        }
+    }
+
+    #[test]
+    fn frozen_lpm_handles_nested_sibling_sets(
+        prefixes in arb_nested_set(),
+        deltas in proptest::collection::vec(any::<u16>(), 1..64),
+    ) {
+        let trie: PrefixTrie<u32> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect();
+        let lpm = FrozenLpm::compile(&trie);
+        // Probe around the cluster: prefix bounds plus nearby addresses.
+        let base = prefixes[0].bits();
+        let probes: Vec<u32> = prefixes
+            .iter()
+            .flat_map(|p| [p.bits(), u32::from(p.last())])
+            .chain(deltas.iter().map(|&d| base ^ u32::from(d)))
+            .collect();
+        for bits in &probes {
+            let addr = Ipv4Addr::from(*bits);
+            prop_assert_eq!(
+                lpm.lookup(addr).map(|(p, v)| (p, *v)),
+                trie.lookup(addr).map(|(p, v)| (p, *v))
+            );
+        }
+        // The batch API agrees with scalar lookups, by index.
+        let mut batched: Vec<Option<u32>> = Vec::new();
+        lpm.lookup_batch(&probes, |_, r| batched.push(r.map(|(_, v)| *v)));
+        let scalar: Vec<Option<u32>> = probes
+            .iter()
+            .map(|&b| lpm.lookup_bits(b).map(|(_, v)| *v))
+            .collect();
+        prop_assert_eq!(batched, scalar);
     }
 
     #[test]
