@@ -1,0 +1,65 @@
+//! ns/update cost of the attack-shape sketch primitives at the shapes the
+//! pipeline instantiates them with — the numbers behind the sampled
+//! suspect-path budget (one Count-Min + two SpaceSaving + one HLL update
+//! per sampled suspect).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use infilter_telemetry::{CountMin, Hll, SpaceSaving, WindowRing};
+
+/// Cheap xorshift so key generation doesn't dominate the measurement.
+fn next_key(v: &mut u64) -> u64 {
+    *v ^= *v << 13;
+    *v ^= *v >> 7;
+    *v ^= *v << 17;
+    *v
+}
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch");
+
+    // The pipeline's shapes: 2048x4 Count-Min, 64-entry SpaceSaving,
+    // 2^10-register HLL.
+    let mut cm = CountMin::new(2048, 4);
+    let mut v = 0x9e3779b97f4a7c15u64;
+    group.bench_function("count_min_record", |b| {
+        b.iter(|| cm.record(black_box(next_key(&mut v) % 10_000), 1))
+    });
+    group.bench_function("count_min_estimate", |b| {
+        b.iter(|| black_box(cm.estimate(black_box(next_key(&mut v) % 10_000))))
+    });
+
+    // Monitored-key hits (the steady state under one dominant attack
+    // source) vs uniform churn (every record contends for the minimum
+    // slot — the eviction worst case).
+    let mut ss_hit = SpaceSaving::new(64);
+    for k in 0..64u64 {
+        ss_hit.record(k, 1);
+    }
+    group.bench_function("space_saving_record_hit", |b| {
+        b.iter(|| ss_hit.record(black_box(next_key(&mut v) % 64), 1))
+    });
+    let mut ss_churn = SpaceSaving::new(64);
+    group.bench_function("space_saving_record_churn", |b| {
+        b.iter(|| ss_churn.record(black_box(next_key(&mut v)), 1))
+    });
+
+    let mut hll = Hll::new(10);
+    group.bench_function("hll_record", |b| {
+        b.iter(|| hll.record(black_box(next_key(&mut v))))
+    });
+    group.bench_function("hll_estimate", |b| b.iter(|| black_box(hll.estimate())));
+
+    let mut ring: WindowRing<[u64; 8]> = WindowRing::new(24);
+    let mut seq = 0u64;
+    group.bench_function("window_ring_push", |b| {
+        b.iter(|| {
+            seq += 1;
+            ring.push(black_box(seq), black_box([seq; 8]));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

@@ -370,10 +370,13 @@ impl ConcurrentAnalyzer {
                 verdict,
                 elapsed.map_or(0, saturating_nanos),
             ),
-            SuspectRecord::Light(peer) => {
-                self.telemetry
-                    .record_suspect_light(self.shard_for(flow), peer, verdict)
-            }
+            SuspectRecord::Light(peer) => self.telemetry.record_suspect_light(
+                self.shard_for(flow),
+                ingress,
+                flow.src_addr,
+                peer,
+                verdict,
+            ),
         }
         verdict
     }

@@ -61,6 +61,13 @@ pub trait Engine {
         crate::observe::render_events_json(&self.telemetry().journal().last(n))
     }
 
+    /// Renders the `/ops` attack-shape JSON document covering the newest
+    /// `window` sealed intervals plus the cumulative top-K and per-peer
+    /// health tables. Provided: the shape state lives in the telemetry.
+    fn ops_json(&self, window: usize) -> String {
+        self.telemetry().ops_json(window)
+    }
+
     /// Drains pending IDMEF alerts in generation order.
     fn drain_alerts(&mut self) -> Vec<IdmefAlert>;
 

@@ -66,8 +66,8 @@ pub use eia::{EiaClassifier, EiaRegistry, EiaSnapshot, EiaVerdict, PeerId};
 pub use engine::Engine;
 pub use metrics::{AnalyzerMetrics, AtomicStageLatency, ConcurrentMetrics, StageLatency};
 pub use observe::{
-    render_events_json, FlowDecision, JournalEvent, PeerCounters, PipelineTelemetry,
-    TelemetryConfig, METRIC_FAMILIES,
+    render_events_json, FlowDecision, JournalEvent, PeerCounters, PeerShapeSummary, PeerWindow,
+    PipelineTelemetry, ShapeSummary, ShapeWindow, SnapshotHealth, TelemetryConfig, METRIC_FAMILIES,
 };
 pub use pipeline::{
     Analyzer, AnalyzerConfig, AnalyzerConfigBuilder, AttackStage, ConfigError, Effort, Mode,

@@ -19,11 +19,12 @@
 
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use infilter_netflow::FlowRecord;
 use infilter_telemetry::{
-    trace, AtomicHistogram, Exemplar, Family, Histogram, Journal, PromText, Ring, SeqEvent,
+    trace, AtomicHistogram, CountMin, Exemplar, Family, Histogram, Hll, Journal, PromText, Ring,
+    SeqEvent, SpaceSaving, TopEntry, WindowRing,
 };
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +50,51 @@ pub struct TelemetryConfig {
     /// counters stay exact. Independent of `enabled` — journalled events
     /// are rare state changes, not per-flow samples.
     pub journal_capacity: usize,
+    /// Feed the attack-shape sketches on every N-th suspect *per peer*
+    /// (rounded up to a power of two; `0` disables the shape layer).
+    /// Sampling rides the per-peer suspect counter the pipeline already
+    /// increments, so the unsampled suspect path pays one mask test and
+    /// nothing else.
+    #[serde(default = "default_shape_sample_every")]
+    pub shape_sample_every: u64,
+    /// How many top spoofed sources / top peers the `/ops` tables and the
+    /// labeled gauges report (clamped to 16).
+    #[serde(default = "default_shape_top_k")]
+    pub shape_top_k: usize,
+    /// Length of one attack-shape aggregation interval, seconds.
+    #[serde(default = "default_shape_window_secs")]
+    pub shape_window_secs: u64,
+    /// How many sealed intervals the shape window ring retains.
+    #[serde(default = "default_shape_windows")]
+    pub shape_windows: usize,
+    /// Per-peer EIA drift score (0..=1000) at or above which a
+    /// [`JournalEvent::PeerDrift`] is emitted (edge-triggered).
+    #[serde(default = "default_drift_threshold_milli")]
+    pub drift_threshold_milli: u32,
+    /// Maximum distinct peers the per-peer counter family tracks; new
+    /// peers past the cap share one overflow aggregate cell (`0` =
+    /// unbounded).
+    #[serde(default = "default_peer_family_cap")]
+    pub peer_family_cap: usize,
+}
+
+fn default_shape_sample_every() -> u64 {
+    128
+}
+fn default_shape_top_k() -> usize {
+    8
+}
+fn default_shape_window_secs() -> u64 {
+    5
+}
+fn default_shape_windows() -> usize {
+    24
+}
+fn default_drift_threshold_milli() -> u32 {
+    600
+}
+fn default_peer_family_cap() -> usize {
+    1024
 }
 
 impl Default for TelemetryConfig {
@@ -58,6 +104,12 @@ impl Default for TelemetryConfig {
             recorder_capacity: 256,
             record_fast_path_every: 1024,
             journal_capacity: 1024,
+            shape_sample_every: default_shape_sample_every(),
+            shape_top_k: default_shape_top_k(),
+            shape_window_secs: default_shape_window_secs(),
+            shape_windows: default_shape_windows(),
+            drift_threshold_milli: default_drift_threshold_milli(),
+            peer_family_cap: default_peer_family_cap(),
         }
     }
 }
@@ -100,6 +152,14 @@ pub enum JournalEvent {
         /// The alert's message id.
         message_id: u64,
     },
+    /// A peer's EIA health/drift score crossed the configured threshold
+    /// (edge-triggered: one event per excursion above the line).
+    PeerDrift {
+        /// The drifting ingress peer.
+        peer: PeerId,
+        /// The drift score at crossing, in thousandths (0..=1000).
+        score_milli: u32,
+    },
 }
 
 impl JournalEvent {
@@ -112,6 +172,7 @@ impl JournalEvent {
             JournalEvent::RingDrop { .. } => "ring_drop",
             JournalEvent::Adoption { .. } => "adoption",
             JournalEvent::Alert { .. } => "alert",
+            JournalEvent::PeerDrift { .. } => "peer_drift",
         }
     }
 }
@@ -131,6 +192,9 @@ impl std::fmt::Display for JournalEvent {
             JournalEvent::Adoption { peer } => write!(f, "adopted into {peer}"),
             JournalEvent::Alert { peer, message_id } => {
                 write!(f, "message {message_id} via {peer}")
+            }
+            JournalEvent::PeerDrift { peer, score_milli } => {
+                write!(f, "{peer} drift score {score_milli}/1000")
             }
         }
     }
@@ -264,6 +328,226 @@ pub(crate) struct NnsObservation {
     pub tables_probed: u32,
 }
 
+/// Version and wall-clock age of the EIA snapshot readers currently see.
+///
+/// Shared as an `Arc` between the engine (which notes every publish —
+/// hot reloads and adoption recompiles alike) and the daemon's HTTP
+/// thread, so `/healthz` answers staleness questions without a worker
+/// round-trip.
+#[derive(Debug)]
+pub struct SnapshotHealth {
+    version: AtomicU64,
+    published_at_ns: AtomicU64,
+}
+
+impl Default for SnapshotHealth {
+    fn default() -> SnapshotHealth {
+        SnapshotHealth {
+            version: AtomicU64::new(0),
+            published_at_ns: AtomicU64::new(trace::now_ns()),
+        }
+    }
+}
+
+impl SnapshotHealth {
+    /// Notes one snapshot publication: bumps the version and restarts the
+    /// age clock.
+    pub fn note_publish(&self) {
+        self.version.fetch_add(1, Ordering::Relaxed);
+        self.published_at_ns
+            .store(trace::now_ns(), Ordering::Relaxed);
+    }
+
+    /// Publications noted so far (0 = still on the boot-time table).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the last publication (boot, if none yet).
+    pub fn age_seconds(&self) -> u64 {
+        let published = self.published_at_ns.load(Ordering::Relaxed);
+        trace::now_ns().saturating_sub(published) / 1_000_000_000
+    }
+}
+
+/// Top-source slots carried per sealed window (fixed so sealing stays
+/// allocation-free).
+const SHAPE_TOP_SLOTS: usize = 16;
+/// Per-peer shape slots: distinct peers the shape layer tracks. A
+/// Figure-1 deployment has a handful of BGP peers; overflowing peers are
+/// counted in `shape_dropped`.
+const SHAPE_PEER_SLOTS: usize = 32;
+/// Count-Min geometry: 2048 × 4 u64 counters = 64 KiB, ε = e/2048 ≈ 0.13%
+/// of sampled suspect volume, δ = e⁻⁴ ≈ 1.8%.
+const SHAPE_CM_WIDTH: usize = 2048;
+const SHAPE_CM_DEPTH: usize = 4;
+/// SpaceSaving capacity: per-entry error ≤ N/64 of sampled volume.
+const SHAPE_SS_CAP: usize = 64;
+/// HLL precision: 2^10 registers = 1 KiB per peer, ≈3.2% standard error.
+const SHAPE_HLL_P: u32 = 10;
+/// Snapshot age at which the drift score's staleness term saturates.
+const DRIFT_AGE_SATURATION_SECS: u64 = 300;
+
+/// One peer's row in a sealed [`ShapeWindow`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerWindow {
+    /// The ingress peer AS number.
+    pub peer: u16,
+    /// Sampled suspect flows this interval (multiply by the shape stride
+    /// to estimate the real count).
+    pub suspects: u64,
+    /// Sampled fast-path flows this interval.
+    pub fast: u64,
+    /// Adoptions into this peer's EIA set this interval.
+    pub adoptions: u64,
+    /// Estimated distinct suspect sources seen from this peer (cumulative
+    /// HLL estimate at seal time).
+    pub distinct_sources: u64,
+    /// EIA drift score at seal time, thousandths.
+    pub drift_milli: u32,
+}
+
+/// One sealed attack-shape interval: verdict mix, the interval's top
+/// spoofed sources, and per-peer health. `Copy` with fixed arrays so the
+/// window ring holds it without indirection and sealing never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeWindow {
+    /// Monotonic timestamp when the interval was sealed, nanoseconds.
+    pub sealed_at_ns: u64,
+    /// Sampled suspects this interval (all peers).
+    pub suspects: u64,
+    /// ... of which attack verdicts.
+    pub attacks: u64,
+    /// ... of which forgiven.
+    pub forgiven: u64,
+    /// Sampled fast-path flows this interval.
+    pub fast: u64,
+    /// This interval's top suspect sources as `(addr, sampled count)`,
+    /// descending; only the first `top_len` entries are valid.
+    pub top_sources: [(u32, u64); SHAPE_TOP_SLOTS],
+    /// Valid prefix of `top_sources`.
+    pub top_len: usize,
+    /// Per-peer rows; only the first `peer_len` entries are valid.
+    pub peers: [PeerWindow; SHAPE_PEER_SLOTS],
+    /// Valid prefix of `peers`.
+    pub peer_len: usize,
+}
+
+impl Default for ShapeWindow {
+    fn default() -> ShapeWindow {
+        ShapeWindow {
+            sealed_at_ns: 0,
+            suspects: 0,
+            attacks: 0,
+            forgiven: 0,
+            fast: 0,
+            top_sources: [(0, 0); SHAPE_TOP_SLOTS],
+            top_len: 0,
+            peers: [PeerWindow::default(); SHAPE_PEER_SLOTS],
+            peer_len: 0,
+        }
+    }
+}
+
+/// Live per-peer shape state (inside the shape mutex).
+#[derive(Debug)]
+struct PeerShape {
+    peer: u16,
+    /// Distinct suspect sources, cumulative.
+    hll: Hll,
+    /// Cumulative sampled counts (for the `/ops` health table).
+    suspect_samples: u64,
+    fast_samples: u64,
+    adoptions: u64,
+    /// Current-interval accumulators, reset at seal.
+    win_suspects: u64,
+    win_fast: u64,
+    win_adoptions: u64,
+    /// Last computed drift score, thousandths.
+    drift_milli: u32,
+    /// Whether the score sat at/above the threshold at the last seal
+    /// (edge-trigger latch for [`JournalEvent::PeerDrift`]).
+    above: bool,
+}
+
+impl PeerShape {
+    fn new(peer: u16) -> PeerShape {
+        PeerShape {
+            peer,
+            hll: Hll::new(SHAPE_HLL_P),
+            suspect_samples: 0,
+            fast_samples: 0,
+            adoptions: 0,
+            win_suspects: 0,
+            win_fast: 0,
+            win_adoptions: 0,
+            drift_milli: 0,
+            above: false,
+        }
+    }
+}
+
+/// All sketch state behind [`PipelineTelemetry`]'s shape mutex. Memory is
+/// fixed at construction (≈130 KiB at defaults: 64 KiB Count-Min, two
+/// 64-entry SpaceSaving summaries, up to 32 KiB of per-peer HLLs, and the
+/// window ring); nothing grows with the keyspace.
+#[derive(Debug)]
+struct ShapeState {
+    /// Point-frequency sketch over all sampled suspect sources.
+    src_freq: CountMin,
+    /// Cumulative top suspect sources.
+    src_total: SpaceSaving,
+    /// Current interval's top suspect sources (reset at seal).
+    src_win: SpaceSaving,
+    /// Cumulative top peers by sampled suspect count.
+    peer_total: SpaceSaving,
+    /// Per-peer shape rows, first-come first-tracked up to
+    /// [`SHAPE_PEER_SLOTS`].
+    peers: Vec<PeerShape>,
+    /// Interval accumulators.
+    interval_start_ns: u64,
+    win_suspects: u64,
+    win_attacks: u64,
+    win_forgiven: u64,
+    win_fast: u64,
+    /// Sealed intervals, oldest overwritten first.
+    windows: WindowRing<ShapeWindow>,
+    /// Interval sequence number handed to the ring.
+    interval_seq: u64,
+}
+
+impl ShapeState {
+    fn new(windows: usize) -> ShapeState {
+        ShapeState {
+            src_freq: CountMin::new(SHAPE_CM_WIDTH, SHAPE_CM_DEPTH),
+            src_total: SpaceSaving::new(SHAPE_SS_CAP),
+            src_win: SpaceSaving::new(SHAPE_SS_CAP),
+            peer_total: SpaceSaving::new(SHAPE_SS_CAP),
+            peers: Vec::with_capacity(SHAPE_PEER_SLOTS),
+            interval_start_ns: trace::now_ns(),
+            win_suspects: 0,
+            win_attacks: 0,
+            win_forgiven: 0,
+            win_fast: 0,
+            windows: WindowRing::new(windows.max(1)),
+            interval_seq: 0,
+        }
+    }
+
+    /// The tracked row for `peer`, created on first sight while slots
+    /// remain. Returns `None` once [`SHAPE_PEER_SLOTS`] peers are live.
+    fn peer_row(&mut self, peer: u16) -> Option<&mut PeerShape> {
+        if let Some(i) = self.peers.iter().position(|p| p.peer == peer) {
+            return Some(&mut self.peers[i]);
+        }
+        if self.peers.len() >= SHAPE_PEER_SLOTS {
+            return None;
+        }
+        self.peers.push(PeerShape::new(peer));
+        self.peers.last_mut()
+    }
+}
+
 /// All telemetry state for one analyzer: histograms, counter families,
 /// and the per-shard flight recorder. Every method takes `&self`; all
 /// internal state is atomic or behind non-blocking locks, so the sharded
@@ -291,6 +575,23 @@ pub struct PipelineTelemetry {
     fast_exemplar: Exemplar,
     suspect_exemplar: Exemplar,
     journal: Arc<Journal<JournalEvent>>,
+    /// `shape_sample_every` rounded up to a power of two, minus one;
+    /// `None` when the shape layer is off. The per-peer suspect counter
+    /// the pipeline already bumps doubles as the sample tick, so the
+    /// unsampled path pays only the mask test.
+    shape_mask: Option<u64>,
+    /// Effective suspect sampling stride (mask + 1), for scaling sampled
+    /// counts back to flow estimates.
+    shape_stride: u64,
+    /// Effective fast-path stride (`record_fast_path_every` rounded up).
+    fast_stride: u64,
+    /// Attack-shape sketches; `try_lock` on the record side so a scrape
+    /// holding the lock never blocks the pipeline.
+    shape: Mutex<ShapeState>,
+    /// Shape samples discarded: lock contention or peer-slot overflow.
+    shape_dropped: AtomicU64,
+    /// EIA snapshot version + age, shared with the daemon's HTTP thread.
+    snapshot_health: Arc<SnapshotHealth>,
 }
 
 impl PipelineTelemetry {
@@ -304,6 +605,8 @@ impl PipelineTelemetry {
         };
         let fast_sample_mask = (cfg.enabled && cfg.record_fast_path_every != 0)
             .then(|| cfg.record_fast_path_every.next_power_of_two() - 1);
+        let shape_mask = (cfg.enabled && cfg.shape_sample_every != 0)
+            .then(|| cfg.shape_sample_every.next_power_of_two() - 1);
         PipelineTelemetry {
             cfg,
             fast_sample_mask,
@@ -315,13 +618,23 @@ impl PipelineTelemetry {
             nns_tables_probed: AtomicHistogram::new(),
             scan_distinct_hosts: AtomicHistogram::new(),
             scan_distinct_ports: AtomicHistogram::new(),
-            peers: Family::new(),
+            peers: if cfg.peer_family_cap == 0 {
+                Family::new()
+            } else {
+                Family::bounded(cfg.peer_family_cap)
+            },
             shard_suspects: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             republishes: AtomicU64::new(0),
             recorders: (0..shards).map(|_| Ring::new(capacity)).collect(),
             fast_exemplar: Exemplar::new(),
             suspect_exemplar: Exemplar::new(),
             journal: Arc::new(Journal::new(cfg.journal_capacity)),
+            shape_mask,
+            shape_stride: shape_mask.map_or(0, |m| m + 1),
+            fast_stride: fast_sample_mask.map_or(0, |m| m + 1),
+            shape: Mutex::new(ShapeState::new(cfg.shape_windows)),
+            shape_dropped: AtomicU64::new(0),
+            snapshot_health: Arc::new(SnapshotHealth::default()),
         }
     }
 
@@ -355,7 +668,9 @@ impl PipelineTelemetry {
         }
     }
 
-    /// Records a sampled fast-path (legal) flow into the flight recorder.
+    /// Records a sampled fast-path (legal) flow into the flight recorder
+    /// and the per-peer shape row (same sampling stride, so the EI-miss
+    /// ratio compares like with like after scaling).
     pub(crate) fn record_fast_path(
         &self,
         shard: usize,
@@ -363,6 +678,7 @@ impl PipelineTelemetry {
         flow: &FlowRecord,
         elapsed_ns: u64,
     ) {
+        self.shape_fast(ingress);
         self.recorders[shard].push(FlowDecision {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             ingress,
@@ -395,13 +711,16 @@ impl PipelineTelemetry {
         elapsed_ns: u64,
     ) {
         let peer = self.peers.get(&ingress.0);
-        peer.suspects.fetch_add(1, Ordering::Relaxed);
+        let nth = peer.suspects.fetch_add(1, Ordering::Relaxed);
         match verdict {
             Verdict::Attack(_) => peer.attacks.fetch_add(1, Ordering::Relaxed),
             Verdict::Forgiven => peer.forgiven.fetch_add(1, Ordering::Relaxed),
             Verdict::Legal => 0, // unreachable: suspects are never Legal
         };
         self.shard_suspects[shard].fetch_add(1, Ordering::Relaxed);
+        if self.shape_due(nth) {
+            self.shape_suspect(ingress, flow.src_addr, verdict);
+        }
 
         if !self.cfg.enabled {
             return;
@@ -448,22 +767,34 @@ impl PipelineTelemetry {
     }
 
     /// The counters-only subset of [`PipelineTelemetry::record_suspect`]:
-    /// exact per-peer and per-shard suspect counts, no histograms and no
-    /// flight-recorder entry. The batch path uses this for suspects the
-    /// latency sampler skipped, so batch-mode suspect telemetry is sampled
-    /// where per-flow telemetry is exhaustive — the counters stay exact
-    /// either way.
-    pub(crate) fn record_suspect_light(&self, shard: usize, peer: &PeerCounters, verdict: Verdict) {
-        peer.suspects.fetch_add(1, Ordering::Relaxed);
+    /// exact per-peer and per-shard suspect counts plus the sampled
+    /// attack-shape feed, no histograms and no flight-recorder entry. The
+    /// batch path uses this for suspects the latency sampler skipped, so
+    /// batch-mode suspect telemetry is sampled where per-flow telemetry is
+    /// exhaustive — the counters stay exact either way.
+    pub(crate) fn record_suspect_light(
+        &self,
+        shard: usize,
+        ingress: PeerId,
+        src_addr: Ipv4Addr,
+        peer: &PeerCounters,
+        verdict: Verdict,
+    ) {
+        let nth = peer.suspects.fetch_add(1, Ordering::Relaxed);
         match verdict {
             Verdict::Attack(_) => peer.attacks.fetch_add(1, Ordering::Relaxed),
             Verdict::Forgiven => peer.forgiven.fetch_add(1, Ordering::Relaxed),
             Verdict::Legal => 0, // unreachable: suspects are never Legal
         };
         self.shard_suspects[shard].fetch_add(1, Ordering::Relaxed);
+        if self.shape_due(nth) {
+            self.shape_suspect(ingress, src_addr, verdict);
+        }
     }
 
-    /// Counts an adoption against the adopting peer and journals it.
+    /// Counts an adoption against the adopting peer, journals it, and
+    /// feeds the peer's shape row (adoptions drive the churn term of the
+    /// drift score; they are rare, so this is never sampled).
     pub(crate) fn record_adoption(&self, ingress: PeerId) {
         self.peers
             .get(&ingress.0)
@@ -471,6 +802,19 @@ impl PipelineTelemetry {
             .fetch_add(1, Ordering::Relaxed);
         self.journal
             .record(JournalEvent::Adoption { peer: ingress });
+        if self.shape_mask.is_some() {
+            match self.shape.try_lock() {
+                Ok(mut shape) => {
+                    if let Some(row) = shape.peer_row(ingress.0) {
+                        row.adoptions += 1;
+                        row.win_adoptions += 1;
+                    }
+                }
+                Err(_) => {
+                    self.shape_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// Records one journal-worthy state change.
@@ -497,9 +841,334 @@ impl PipelineTelemetry {
         self.suspect_exemplar.get()
     }
 
-    /// Counts one EIA snapshot republish.
+    /// Counts one EIA snapshot republish and restarts the staleness clock.
     pub(crate) fn record_republish(&self) {
         self.republishes.fetch_add(1, Ordering::Relaxed);
+        self.snapshot_health.note_publish();
+    }
+
+    /// Notes a snapshot publication that isn't counted as a republish
+    /// (the single-threaded analyzer's in-place recompiles).
+    pub(crate) fn note_snapshot_publish(&self) {
+        self.snapshot_health.note_publish();
+    }
+
+    /// The EIA snapshot version/age cell, shared with HTTP threads so
+    /// `/healthz` answers without a worker round-trip.
+    pub fn snapshot_health(&self) -> &Arc<SnapshotHealth> {
+        &self.snapshot_health
+    }
+
+    /// Shape samples discarded on lock contention or peer-slot overflow.
+    pub fn shape_dropped(&self) -> u64 {
+        self.shape_dropped.load(Ordering::Relaxed)
+    }
+
+    /// `get` calls on the per-peer counter family folded into the shared
+    /// overflow cell because the peer cap was reached.
+    pub fn peer_folded(&self) -> u64 {
+        self.peers.folded_gets()
+    }
+
+    /// Whether suspect number `nth` (per peer) feeds the shape sketches.
+    #[inline]
+    fn shape_due(&self, nth: u64) -> bool {
+        self.shape_mask.is_some_and(|mask| nth & mask == 0)
+    }
+
+    /// Feeds one sampled suspect into the shape sketches. Never blocks:
+    /// a scrape holding the lock costs one dropped sample, counted.
+    fn shape_suspect(&self, ingress: PeerId, src_addr: Ipv4Addr, verdict: Verdict) {
+        let Ok(mut shape) = self.shape.try_lock() else {
+            self.shape_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let key = u64::from(u32::from(src_addr));
+        shape.src_freq.record(key, 1);
+        shape.src_total.record(key, 1);
+        shape.src_win.record(key, 1);
+        shape.peer_total.record(u64::from(ingress.0), 1);
+        shape.win_suspects += 1;
+        match verdict {
+            Verdict::Attack(_) => shape.win_attacks += 1,
+            Verdict::Forgiven => shape.win_forgiven += 1,
+            Verdict::Legal => {}
+        }
+        match shape.peer_row(ingress.0) {
+            Some(row) => {
+                row.hll.record(key);
+                row.suspect_samples += 1;
+                row.win_suspects += 1;
+            }
+            None => {
+                self.shape_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.maybe_seal(&mut shape);
+    }
+
+    /// Feeds one sampled fast-path flow into the peer's shape row.
+    fn shape_fast(&self, ingress: PeerId) {
+        if self.shape_mask.is_none() {
+            return;
+        }
+        let Ok(mut shape) = self.shape.try_lock() else {
+            self.shape_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        shape.win_fast += 1;
+        if let Some(row) = shape.peer_row(ingress.0) {
+            row.fast_samples += 1;
+            row.win_fast += 1;
+        }
+        self.maybe_seal(&mut shape);
+    }
+
+    /// Seals the current interval if it has run its configured length.
+    fn maybe_seal(&self, shape: &mut ShapeState) {
+        let now = trace::now_ns();
+        let interval_ns = self
+            .cfg
+            .shape_window_secs
+            .max(1)
+            .saturating_mul(1_000_000_000);
+        if now.saturating_sub(shape.interval_start_ns) >= interval_ns {
+            self.seal(shape, now);
+        }
+    }
+
+    /// Test hook: seals the current interval immediately, regardless of
+    /// how long it has actually run — drift scoring is time-gated and
+    /// tests cannot wait out a real interval.
+    #[cfg(test)]
+    fn seal_now(&self) {
+        let mut shape = self
+            .shape
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.seal(&mut shape, trace::now_ns());
+    }
+
+    /// Seals one interval: computes per-peer drift scores (emitting
+    /// edge-triggered [`JournalEvent::PeerDrift`]s), pushes the window,
+    /// and resets the interval accumulators. Allocation-free: the window
+    /// is a `Copy` value built from fixed arrays.
+    fn seal(&self, shape: &mut ShapeState, now: u64) {
+        let age_secs = self.snapshot_health.age_seconds();
+        let age_milli = ((age_secs * 1000) / DRIFT_AGE_SATURATION_SECS).min(1000) as u32;
+        let mut win = ShapeWindow {
+            sealed_at_ns: now,
+            suspects: shape.win_suspects,
+            attacks: shape.win_attacks,
+            forgiven: shape.win_forgiven,
+            fast: shape.win_fast,
+            ..ShapeWindow::default()
+        };
+        let mut scratch = [TopEntry {
+            key: 0,
+            count: 0,
+            err: 0,
+        }; SHAPE_TOP_SLOTS];
+        win.top_len = shape.src_win.top_into(&mut scratch);
+        for (slot, entry) in win.top_sources.iter_mut().zip(&scratch[..win.top_len]) {
+            *slot = (entry.key as u32, entry.count);
+        }
+        for row in shape.peers.iter_mut() {
+            // EI-miss ratio: both sides scaled back by their strides so
+            // sampled suspects compare against sampled fast-path flows.
+            let s = row.win_suspects.saturating_mul(self.shape_stride);
+            let f = row.win_fast.saturating_mul(self.fast_stride);
+            let miss_milli = s.saturating_mul(1000).checked_div(s + f).unwrap_or(0) as u32;
+            // Churn saturates at 4 adoptions per interval.
+            let churn_milli = (row.win_adoptions.saturating_mul(250)).min(1000) as u32;
+            let drift = (500 * miss_milli + 300 * churn_milli + 200 * age_milli) / 1000;
+            row.drift_milli = drift;
+            if drift >= self.cfg.drift_threshold_milli {
+                if !row.above {
+                    row.above = true;
+                    self.journal.record(JournalEvent::PeerDrift {
+                        peer: PeerId(row.peer),
+                        score_milli: drift,
+                    });
+                }
+            } else {
+                row.above = false;
+            }
+            if win.peer_len < SHAPE_PEER_SLOTS {
+                win.peers[win.peer_len] = PeerWindow {
+                    peer: row.peer,
+                    suspects: row.win_suspects,
+                    fast: row.win_fast,
+                    adoptions: row.win_adoptions,
+                    distinct_sources: row.hll.estimate(),
+                    drift_milli: drift,
+                };
+                win.peer_len += 1;
+            }
+            row.win_suspects = 0;
+            row.win_fast = 0;
+            row.win_adoptions = 0;
+        }
+        shape.src_win.reset();
+        shape.windows.push(shape.interval_seq, win);
+        shape.interval_seq += 1;
+        shape.interval_start_ns = now;
+        shape.win_suspects = 0;
+        shape.win_attacks = 0;
+        shape.win_forgiven = 0;
+        shape.win_fast = 0;
+    }
+
+    /// The cumulative attack-shape summary for the exposition page:
+    /// top suspected sources (counts scaled back to flow estimates by the
+    /// sampling stride), per-peer distinct-source cardinalities, and
+    /// per-peer drift scores. Takes the shape lock blocking — scrape-side
+    /// only — and seals the current interval first if it is due.
+    pub fn shape_summary(&self) -> ShapeSummary {
+        let mut shape = self
+            .shape
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if self.shape_mask.is_some() {
+            self.maybe_seal(&mut shape);
+        }
+        let k = self.cfg.shape_top_k.clamp(1, SHAPE_TOP_SLOTS);
+        ShapeSummary {
+            top_sources: shape
+                .src_total
+                .top(k)
+                .iter()
+                .map(|e| {
+                    (
+                        Ipv4Addr::from(e.key as u32),
+                        e.count.saturating_mul(self.shape_stride),
+                    )
+                })
+                .collect(),
+            peers: shape
+                .peers
+                .iter()
+                .map(|p| PeerShapeSummary {
+                    peer: p.peer,
+                    distinct_sources: p.hll.estimate(),
+                    drift_milli: p.drift_milli,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the `/ops` attack-shape document: cumulative top-K tables,
+    /// per-peer health, EIA snapshot version/age, and the newest `window`
+    /// sealed intervals. Seals the current interval first if due, so a
+    /// quiet pipeline still reports fresh windows.
+    pub fn ops_json(&self, window: usize) -> String {
+        use std::fmt::Write as _;
+        let mut shape = self
+            .shape
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if self.shape_mask.is_some() {
+            self.maybe_seal(&mut shape);
+        }
+        let k = self.cfg.shape_top_k.clamp(1, SHAPE_TOP_SLOTS);
+        let stride = self.shape_stride;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"window_secs\":{},\"sample_stride\":{},\"shape_dropped\":{},\
+             \"eia\":{{\"version\":{},\"age_seconds\":{}}}",
+            self.cfg.shape_window_secs,
+            stride,
+            self.shape_dropped(),
+            self.snapshot_health.version(),
+            self.snapshot_health.age_seconds(),
+        );
+        out.push_str(",\"top_sources\":[");
+        for (i, e) in shape.src_total.top(k).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // `flows_est` comes from the SpaceSaving summary (ranking),
+            // `cms_est` from the independent Count-Min sketch — disagreeing
+            // estimates flag a summary under churn pressure.
+            let _ = write!(
+                out,
+                "{{\"addr\":\"{}\",\"flows_est\":{},\"err_est\":{},\"cms_est\":{}}}",
+                Ipv4Addr::from(e.key as u32),
+                e.count.saturating_mul(stride),
+                e.err.saturating_mul(stride),
+                shape.src_freq.estimate(e.key).saturating_mul(stride),
+            );
+        }
+        out.push_str("],\"top_peers\":[");
+        for (i, e) in shape.peer_total.top(k).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"peer\":{},\"flows_est\":{}}}",
+                e.key,
+                e.count.saturating_mul(stride),
+            );
+        }
+        out.push_str("],\"peers\":[");
+        for (i, p) in shape.peers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"peer\":{},\"distinct_sources\":{},\"drift_milli\":{},\
+                 \"suspect_samples\":{},\"fast_samples\":{},\"adoptions\":{}}}",
+                p.peer,
+                p.hll.estimate(),
+                p.drift_milli,
+                p.suspect_samples,
+                p.fast_samples,
+                p.adoptions,
+            );
+        }
+        out.push_str("],\"windows\":[");
+        let mut first = true;
+        shape.windows.for_each_last(window, |seq, w| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{{\"seq\":{},\"sealed_at_ns\":{},\"suspects\":{},\"attacks\":{},\
+                 \"forgiven\":{},\"fast\":{},\"top_sources\":[",
+                seq, w.sealed_at_ns, w.suspects, w.attacks, w.forgiven, w.fast,
+            );
+            for (i, (addr, count)) in w.top_sources[..w.top_len.min(k)].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"addr\":\"{}\",\"count\":{}}}",
+                    Ipv4Addr::from(*addr),
+                    count,
+                );
+            }
+            out.push_str("],\"peers\":[");
+            for (i, p) in w.peers[..w.peer_len].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"peer\":{},\"suspects\":{},\"fast\":{},\"adoptions\":{},\
+                     \"distinct_sources\":{},\"drift_milli\":{}}}",
+                    p.peer, p.suspects, p.fast, p.adoptions, p.distinct_sources, p.drift_milli,
+                );
+            }
+            out.push_str("]}");
+        });
+        out.push_str("\n]}\n");
+        out
     }
 
     /// The most recent `n` decisions across all shards, newest first,
@@ -575,6 +1244,28 @@ impl PipelineTelemetry {
     }
 }
 
+/// The cumulative attack-shape summary [`PipelineTelemetry::shape_summary`]
+/// returns for the exposition page.
+#[derive(Debug, Clone, Default)]
+pub struct ShapeSummary {
+    /// Top suspected spoofed sources as `(addr, estimated flows)` —
+    /// sampled counts scaled back by the sampling stride, descending.
+    pub top_sources: Vec<(Ipv4Addr, u64)>,
+    /// Per-peer cardinality and drift, in first-seen order.
+    pub peers: Vec<PeerShapeSummary>,
+}
+
+/// One peer's row in a [`ShapeSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerShapeSummary {
+    /// The ingress peer AS number.
+    pub peer: u16,
+    /// Estimated distinct suspect sources seen from this peer.
+    pub distinct_sources: u64,
+    /// Latest EIA drift score, thousandths.
+    pub drift_milli: u32,
+}
+
 /// Every metric family the exposition page emits — the contract the
 /// `exp-observe --smoke` CI check verifies against live output.
 pub const METRIC_FAMILIES: &[&str] = &[
@@ -604,6 +1295,12 @@ pub const METRIC_FAMILIES: &[&str] = &[
     "infilter_nns_tables_probed",
     "infilter_scan_distinct_hosts",
     "infilter_scan_distinct_ports",
+    "infilter_top_source_suspects",
+    "infilter_peer_distinct_sources",
+    "infilter_peer_drift_score",
+    "infilter_shape_dropped_total",
+    "infilter_peer_folded_total",
+    "infilter_eia_snapshot_age_seconds",
 ];
 
 /// `le` bounds for latency histograms, nanoseconds (250 ns – 10 ms).
@@ -807,6 +1504,53 @@ pub(crate) fn render_exposition(
         &telemetry.scan_ports_histogram(),
         SCAN_BOUNDS,
     );
+
+    let shape = telemetry.shape_summary();
+    let top_samples: Vec<_> = shape
+        .top_sources
+        .iter()
+        .map(|(addr, est)| (vec![("addr", addr.to_string())], *est))
+        .collect();
+    page.gauge_family(
+        "infilter_top_source_suspects",
+        "Top suspected spoofed sources: estimated suspect flows (sampled count x stride).",
+        &top_samples,
+    );
+    let cardinality: Vec<_> = shape
+        .peers
+        .iter()
+        .map(|p| (vec![("peer", p.peer.to_string())], p.distinct_sources))
+        .collect();
+    page.gauge_family(
+        "infilter_peer_distinct_sources",
+        "Estimated distinct suspect sources per ingress peer (HLL).",
+        &cardinality,
+    );
+    let drift: Vec<_> = shape
+        .peers
+        .iter()
+        .map(|p| (vec![("peer", p.peer.to_string())], u64::from(p.drift_milli)))
+        .collect();
+    page.gauge_family(
+        "infilter_peer_drift_score",
+        "Per-peer EIA health/drift score, thousandths (0-1000).",
+        &drift,
+    );
+    page.counter(
+        "infilter_shape_dropped_total",
+        "Attack-shape samples discarded (lock contention or peer-slot overflow).",
+        telemetry.shape_dropped(),
+    );
+    page.counter(
+        "infilter_peer_folded_total",
+        "Per-peer counter lookups folded into the overflow cell past the peer cap.",
+        telemetry.peer_folded(),
+    );
+    page.gauge(
+        "infilter_eia_snapshot_age_seconds",
+        "Seconds since the EIA snapshot readers see was published.",
+        telemetry.snapshot_health().age_seconds() as f64,
+    );
     page.render()
 }
 
@@ -976,6 +1720,80 @@ mod tests {
         assert!(json.contains("\"detail\":\"full -> skip_nns\""));
         assert!(json.ends_with("\n]}\n"), "bad suffix: {json}");
         assert!(render_events_json(&[]).contains("{\"events\":[\n]}"));
+    }
+
+    #[test]
+    fn drift_score_rises_for_the_attacked_peer_and_journals_one_edge() {
+        let telemetry = PipelineTelemetry::new(
+            TelemetryConfig {
+                shape_sample_every: 1,
+                drift_threshold_milli: 400,
+                ..TelemetryConfig::default()
+            },
+            1,
+        );
+        let attacked = telemetry.peer_cell(PeerId(1));
+        let healthy = telemetry.peer_cell(PeerId(2));
+        // Peer 1 emits nothing but suspects (EI-miss ratio 1.0); peer 2
+        // rides the fast path with one stray suspect.
+        let spoof = |i: u32| Ipv4Addr::from(0x0a00_0000u32 + i);
+        for i in 0..32u32 {
+            telemetry.record_suspect_light(0, PeerId(1), spoof(i), &attacked, Verdict::Forgiven);
+        }
+        for _ in 0..8u32 {
+            telemetry.record_fast_path(0, PeerId(2), &flow(), 0);
+        }
+        telemetry.record_suspect_light(0, PeerId(2), spoof(99), &healthy, Verdict::Forgiven);
+        telemetry.seal_now();
+
+        let summary = telemetry.shape_summary();
+        let score = |peer: u16| {
+            summary
+                .peers
+                .iter()
+                .find(|p| p.peer == peer)
+                .expect("peer tracked")
+                .drift_milli
+        };
+        // Pure misses put peer 1 at the miss term's full weight (500);
+        // peer 2's one sampled suspect is drowned out by its stride-scaled
+        // fast-path volume.
+        assert!(score(1) >= 400, "attacked peer at {}/1000", score(1));
+        assert!(score(2) < 400, "healthy peer at {}/1000", score(2));
+        let drift_events = |telemetry: &PipelineTelemetry| {
+            telemetry
+                .journal()
+                .last(32)
+                .iter()
+                .filter(|e| e.event.kind() == "peer_drift")
+                .count()
+        };
+        assert_eq!(drift_events(&telemetry), 1, "one edge-triggered event");
+
+        // Still above the line next interval: no second event (the latch
+        // holds until the score drops below the threshold).
+        for i in 0..32u32 {
+            telemetry.record_suspect_light(0, PeerId(1), spoof(i), &attacked, Verdict::Forgiven);
+        }
+        telemetry.seal_now();
+        assert_eq!(drift_events(&telemetry), 1, "latch holds while above");
+
+        // Recovery (fast-path-only interval) re-arms the edge; the next
+        // excursion journals again.
+        for _ in 0..8u32 {
+            telemetry.record_fast_path(0, PeerId(1), &flow(), 0);
+        }
+        telemetry.seal_now();
+        for i in 0..32u32 {
+            telemetry.record_suspect_light(0, PeerId(1), spoof(i), &attacked, Verdict::Forgiven);
+        }
+        telemetry.seal_now();
+        assert_eq!(drift_events(&telemetry), 2, "re-armed after recovery");
+
+        // The sealed windows are visible to `/ops`, newest first.
+        let ops = telemetry.ops_json(4);
+        assert!(ops.contains("\"windows\":[\n{\"seq\":3,"), "ops: {ops}");
+        assert!(ops.contains("\"drift_milli\":"), "ops: {ops}");
     }
 
     #[test]

@@ -394,6 +394,24 @@ impl AnalyzerConfigBuilder {
                 "enabled telemetry needs at least one flight-recorder slot",
             ));
         }
+        if c.telemetry.shape_sample_every != 0 && c.telemetry.shape_top_k == 0 {
+            return Err(ConfigError::new(
+                "telemetry.shape_top_k",
+                "the attack-shape layer needs at least one top-K slot",
+            ));
+        }
+        if c.telemetry.shape_sample_every != 0 && c.telemetry.shape_windows == 0 {
+            return Err(ConfigError::new(
+                "telemetry.shape_windows",
+                "the attack-shape layer needs at least one window slot",
+            ));
+        }
+        if c.telemetry.drift_threshold_milli > 1000 {
+            return Err(ConfigError::new(
+                "telemetry.drift_threshold_milli",
+                format!("{} outside 0..=1000", c.telemetry.drift_threshold_milli),
+            ));
+        }
         Ok(self.cfg)
     }
 }
@@ -576,6 +594,7 @@ impl Analyzer {
         eia.shrink_to_fit();
         self.eia = eia;
         self.eia_view = self.eia.snapshot();
+        self.telemetry.note_snapshot_publish();
         let prefixes = self.eia.prefix_count();
         self.telemetry.journal_event(JournalEvent::EiaReload {
             prefixes: prefixes.min(u32::MAX as usize) as u32,
@@ -712,7 +731,10 @@ impl Analyzer {
                 verdict,
                 elapsed.map_or(0, saturating_nanos),
             ),
-            SuspectRecord::Light(peer) => self.telemetry.record_suspect_light(0, peer, verdict),
+            SuspectRecord::Light(peer) => {
+                self.telemetry
+                    .record_suspect_light(0, ingress, flow.src_addr, peer, verdict)
+            }
         }
         verdict
     }
@@ -891,6 +913,7 @@ impl Analyzer {
                     // the very next flow classifies against the adoption,
                     // exactly as the live trie would.
                     self.eia_view = self.eia.snapshot();
+                    self.telemetry.note_snapshot_publish();
                     self.metrics.adoptions += 1;
                     self.telemetry.record_adoption(ingress);
                 }

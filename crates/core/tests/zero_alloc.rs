@@ -1,7 +1,9 @@
 //! Proves the suspect-flow NNS hot path is allocation-free: a counting
 //! global allocator wraps the system allocator, and after one warmup call
 //! the encode + search of a suspect flow must perform zero heap
-//! allocations.
+//! allocations. Later sections extend the proof to the whole pipeline with
+//! telemetry on, the batch path, span tracing, and the attack-shape
+//! sketches sampling every suspect.
 //!
 //! This file intentionally holds a single `#[test]` — a second test running
 //! concurrently in the same binary would allocate under the shared counter
@@ -151,6 +153,70 @@ fn suspect_path_encode_and_search_allocate_nothing_after_warmup() {
         0,
         "suspect pipeline with telemetry allocated {} times over 200 flows",
         after - before
+    );
+
+    // --- Sketches at full rate: `shape_sample_every = 1` feeds the
+    // Count-Min, SpaceSaving and HLL attack-shape sketches on *every*
+    // suspect instead of every 128th. All sketch storage is pre-sized at
+    // construction and the per-peer shape row is created during warmup, so
+    // the sampled suspect path must stay allocation-free — even across a
+    // rotating set of distinct spoofed sources (new SpaceSaving keys evict
+    // in place; new HLL keys only max a register).
+    let mut eia = infilter_core::EiaRegistry::new(0);
+    eia.preload(
+        infilter_core::PeerId(1),
+        "3.0.0.0/11".parse().expect("static prefix"),
+    );
+    eia.preload(
+        infilter_core::PeerId(2),
+        "3.32.0.0/11".parse().expect("static prefix"),
+    );
+    let mut shaped = infilter_core::Trainer::new(
+        infilter_core::AnalyzerConfig::builder()
+            .mode(infilter_core::Mode::Enhanced)
+            .nns(NnsParams {
+                d: 0,
+                m1: 2,
+                m2: 8,
+                m3: 2,
+            })
+            .bits_per_feature(12)
+            .adoption_threshold(0)
+            .telemetry(infilter_core::TelemetryConfig {
+                shape_sample_every: 1,
+                ..infilter_core::TelemetryConfig::default()
+            })
+            .build()
+            .expect("valid config"),
+    )
+    .train_enhanced(eia, &flows)
+    .expect("training succeeds");
+    let spoofed: Vec<FlowRecord> = (0..8u32)
+        .map(|i| FlowRecord {
+            src_addr: (0x0321_0009u32 + (i << 8)).into(),
+            ..http_flow(i)
+        })
+        .collect();
+    for round in 0..40u32 {
+        let flow = &spoofed[(round % 8) as usize];
+        assert!(shaped.process(infilter_core::PeerId(1), flow).is_forgiven());
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 0..200u32 {
+        let flow = &spoofed[(round % 8) as usize];
+        assert!(shaped.process(infilter_core::PeerId(1), flow).is_forgiven());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "suspect pipeline with every-flow sketches allocated {} times over 200 flows",
+        after - before
+    );
+    let summary = shaped.telemetry().shape_summary();
+    assert!(
+        !summary.top_sources.is_empty(),
+        "sketches must have observed the spoofed sources"
     );
 
     // --- Batch path: the same suspect-heavy traffic through the

@@ -106,6 +106,21 @@ fn main() {
             );
             std::process::exit(1);
         }
+        let src = observe::attack_source(&ObserveConfig {
+            seed,
+            flows_per_peer,
+            ..ObserveConfig::default()
+        });
+        if !report
+            .ops_json
+            .contains(&format!("\"top_sources\":[{{\"addr\":\"{src}\""))
+        {
+            eprintln!(
+                "SMOKE FAIL: attack source {src} not ranked first in /ops:\n{}",
+                report.ops_json
+            );
+            std::process::exit(1);
+        }
         println!(
             "\nSMOKE OK: {} metric families exposed, {} attacks flagged",
             infilter_core::METRIC_FAMILIES.len(),
@@ -126,13 +141,14 @@ fn main() {
 
 /// Minimal blocking HTTP loop over the finished run: `/metrics` serves the
 /// Prometheus page, `/trace` the Chrome trace-event JSON (load it in
-/// Perfetto), `/events` the structured journal; anything else gets the
-/// exposition for backwards compatibility with bare scrapes.
+/// Perfetto), `/events` the structured journal, `/ops` the attack-shape
+/// document; anything else gets the exposition for backwards compatibility
+/// with bare scrapes.
 fn serve_report(addr: &str, report: &infilter_experiments::observe::ObserveReport) {
     use std::io::{Read, Write};
     let listener =
         std::net::TcpListener::bind(addr).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
-    println!("\nserving http://{addr}/metrics /trace /events (ctrl-c to stop)");
+    println!("\nserving http://{addr}/metrics /trace /events /ops (ctrl-c to stop)");
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
         let mut buf = [0u8; 1024];
@@ -146,6 +162,7 @@ fn serve_report(addr: &str, report: &infilter_experiments::observe::ObserveRepor
         let (content_type, body) = match path {
             "/trace" => ("application/json", report.trace_json.as_str()),
             "/events" => ("application/json", report.events_json.as_str()),
+            "/ops" => ("application/json", report.ops_json.as_str()),
             _ => ("text/plain; version=0.0.4", report.exposition.as_str()),
         };
         let head = format!(

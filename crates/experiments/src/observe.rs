@@ -7,6 +7,8 @@
 //! live exposition page against [`infilter_core::METRIC_FAMILIES`], so a
 //! metric family that silently disappears fails `exp-observe --smoke`.
 
+use std::net::Ipv4Addr;
+
 use infilter_core::{
     render_events_json, AnalyzerMetrics, ConcurrentAnalyzer, ConcurrentConfig, Effort,
     FlowDecision, PeerId, METRIC_FAMILIES,
@@ -20,6 +22,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::{Testbed, TestbedConfig};
+
+/// The source slot every injected attack flow is pinned to, so the whole
+/// spoofed burst arrives from one address and the attack-shape top-K has a
+/// deterministic winner ([`attack_source`]).
+pub const ATTACK_SRC_SLOT: u64 = 7;
 
 /// Knobs for one observed replay run.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +75,31 @@ pub struct ObserveReport {
     pub trace_json: String,
     /// The engine's structured event journal as the `/events` document.
     pub events_json: String,
+    /// The attack-shape document (`/ops`): top-K suspected sources and
+    /// peers, per-peer drift health, and the windowed time series.
+    pub ops_json: String,
+}
+
+/// The one address all injected attack flows carry: the foreign-block
+/// mapper's image of [`ATTACK_SRC_SLOT`] under `cfg`'s testbed shape. The
+/// `/ops` top-K table must rank it first after a replay.
+pub fn attack_source(cfg: &ObserveConfig) -> Ipv4Addr {
+    let bed_cfg = TestbedConfig {
+        normal_flows_per_peer: cfg.flows_per_peer,
+        ..TestbedConfig::small(cfg.seed)
+    };
+    let foreign: Vec<SubBlock> = (bed_cfg.blocks_per_peer
+        ..bed_cfg.n_peers * bed_cfg.blocks_per_peer)
+        .map(|i| SubBlock::from_linear(i).expect("in range"))
+        .collect();
+    AddressMapper::from_sub_blocks(foreign).addr_for_slot(ATTACK_SRC_SLOT)
+}
+
+/// Pins every flow in an attack trace to [`ATTACK_SRC_SLOT`].
+fn pin_attack_source(trace: &mut infilter_traffic::Trace) {
+    for f in &mut trace.flows {
+        f.src_slot = ATTACK_SRC_SLOT;
+    }
 }
 
 /// Metric families advertised in [`METRIC_FAMILIES`] but absent from a
@@ -140,10 +172,13 @@ pub fn run(cfg: ObserveConfig) -> ObserveReport {
     // per-shard distinct-host counts dilute under sharding, so it exercises
     // the NNS stage) and a host scan (one host, many ports — all probes
     // land on one shard, so the scan stage reliably fires).
-    let slammer = AttackKind::Slammer.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0xbad), 1024);
+    let mut slammer =
+        AttackKind::Slammer.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0xbad), 1024);
+    pin_attack_source(&mut slammer.trace);
     wire.extend(attack.replay_datagrams(&slammer.trace, span_ms as u32 / 2));
-    let host_scan =
+    let mut host_scan =
         AttackKind::HostScan.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0x5ca7), 1024);
+    pin_attack_source(&mut host_scan.trace);
     wire.extend(attack.replay_datagrams(&host_scan.trace, span_ms as u32 / 3));
     exported_flows += attack.replay_stats().flows;
 
@@ -192,6 +227,7 @@ pub fn run(cfg: ObserveConfig) -> ObserveReport {
         wire_flows: exported_flows,
         trace_json: chrome_trace_json(&tracer.last(64)),
         events_json: render_events_json(&engine.telemetry().journal().last(256)),
+        ops_json: engine.telemetry().ops_json(24),
     }
 }
 
@@ -245,10 +281,13 @@ pub fn replay_workload_to<A: std::net::ToSocketAddrs + Copy>(
         input_if: 1,
         src_as: 1,
     });
-    let slammer = AttackKind::Slammer.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0xbad), 1024);
+    let mut slammer =
+        AttackKind::Slammer.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0xbad), 1024);
+    pin_attack_source(&mut slammer.trace);
     tally(attack.replay_to(&slammer.trace, bed_cfg.span_ms as u32 / 2, to, pace)?);
-    let host_scan =
+    let mut host_scan =
         AttackKind::HostScan.generate(&mut StdRng::seed_from_u64(cfg.seed ^ 0x5ca7), 1024);
+    pin_attack_source(&mut host_scan.trace);
     tally(attack.replay_to(&host_scan.trace, bed_cfg.span_ms as u32 / 3, to, pace)?);
     Ok(total)
 }
@@ -298,6 +337,32 @@ mod tests {
             "alert events missing from journal:\n{}",
             report.events_json
         );
+    }
+
+    #[test]
+    fn ops_document_ranks_the_pinned_attack_source_first() {
+        let cfg = ObserveConfig {
+            flows_per_peer: 400,
+            ..ObserveConfig::default()
+        };
+        let report = run(cfg);
+        let src = attack_source(&cfg);
+        // All attack flows carry one pinned source and normal traffic is
+        // EIA-legal, so the suspect sketches see exactly that address.
+        assert!(
+            report
+                .ops_json
+                .contains(&format!("\"top_sources\":[{{\"addr\":\"{src}\"")),
+            "attack source {src} must rank first in /ops:\n{}",
+            report.ops_json
+        );
+        for key in ["\"top_peers\"", "\"peers\"", "\"windows\"", "\"eia\""] {
+            assert!(
+                report.ops_json.contains(key),
+                "`{key}` missing from /ops:\n{}",
+                report.ops_json
+            );
+        }
     }
 
     #[test]

@@ -95,6 +95,12 @@ pub fn bootstrap_engine(
         .seed(boot.seed ^ 0x7e57)
         .telemetry(TelemetryConfig {
             journal_capacity: cfg.journal_capacity,
+            shape_sample_every: cfg.shape_sample_every,
+            shape_top_k: cfg.shape_top_k,
+            shape_window_secs: cfg.shape_window_secs,
+            shape_windows: cfg.shape_windows,
+            drift_threshold_milli: (cfg.drift_threshold * 1000.0).round() as u32,
+            peer_family_cap: cfg.peer_family_cap,
             ..TelemetryConfig::default()
         })
         .build()
@@ -162,7 +168,7 @@ pub fn run_until_shutdown(cfg: &DaemonConfig, boot: &BootstrapConfig) -> Result<
         daemon.udp_addr(),
         daemon.http_addr()
     );
-    println!("routes: /metrics /alerts /explain /trace /events /healthz /reload /shutdown");
+    println!("routes: /metrics /alerts /explain /ops /trace /events /healthz /reload /shutdown");
     daemon.wait();
     // Give the in-flight /shutdown response a beat to flush.
     std::thread::sleep(Duration::from_millis(50));

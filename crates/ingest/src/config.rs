@@ -48,6 +48,21 @@ pub struct DaemonConfig {
     pub trace_capacity: usize,
     /// Structured events retained for `/events`, newest first.
     pub journal_capacity: usize,
+    /// Feed the attack-shape sketches on every N-th suspect per peer
+    /// (0 disables the `/ops` shape layer).
+    pub shape_sample_every: u64,
+    /// Top-K table size for `/ops` and the labeled shape gauges.
+    pub shape_top_k: usize,
+    /// Length of one attack-shape interval, seconds.
+    pub shape_window_secs: u64,
+    /// Sealed attack-shape intervals retained for `/ops?window=N`.
+    pub shape_windows: usize,
+    /// Per-peer drift score (0.0..=1.0) at which a `peer_drift` journal
+    /// event fires.
+    pub drift_threshold: f64,
+    /// Maximum distinct peers tracked by per-peer counter families
+    /// (0 = unbounded); overflow peers share one aggregate cell.
+    pub peer_family_cap: usize,
     /// Per-peer expected prefixes (the preloaded EIA table).
     pub peers: Vec<(PeerId, Prefix)>,
 }
@@ -68,6 +83,12 @@ impl Default for DaemonConfig {
             trace_sample_every: 1024,
             trace_capacity: 256,
             journal_capacity: 1024,
+            shape_sample_every: 128,
+            shape_top_k: 8,
+            shape_window_secs: 5,
+            shape_windows: 24,
+            drift_threshold: 0.6,
+            peer_family_cap: 1024,
             peers: Vec::new(),
         }
     }
@@ -145,6 +166,12 @@ impl DaemonConfig {
                 "trace_sample_every" => cfg.trace_sample_every = parse_num(key, value, n)?,
                 "trace_capacity" => cfg.trace_capacity = parse_num(key, value, n)?,
                 "journal_capacity" => cfg.journal_capacity = parse_num(key, value, n)?,
+                "shape_sample_every" => cfg.shape_sample_every = parse_num(key, value, n)?,
+                "shape_top_k" => cfg.shape_top_k = parse_num(key, value, n)?,
+                "shape_window_secs" => cfg.shape_window_secs = parse_num(key, value, n)?,
+                "shape_windows" => cfg.shape_windows = parse_num(key, value, n)?,
+                "drift_threshold" => cfg.drift_threshold = parse_frac(key, value, n)?,
+                "peer_family_cap" => cfg.peer_family_cap = parse_num(key, value, n)?,
                 "mode" => {
                     cfg.mode = match value {
                         "basic" | "bi" => Mode::Basic,
@@ -181,6 +208,12 @@ impl DaemonConfig {
         }
         if self.alert_spool == 0 {
             return Err("alert_spool must be >= 1".into());
+        }
+        if self.shape_sample_every != 0 && self.shape_top_k == 0 {
+            return Err("shape_top_k must be >= 1 while the shape layer is on".into());
+        }
+        if self.shape_sample_every != 0 && self.shape_windows == 0 {
+            return Err("shape_windows must be >= 1 while the shape layer is on".into());
         }
         self.ladder.validate()
     }
@@ -276,6 +309,23 @@ mod tests {
         assert_eq!(cfg.trace_sample_every, 64);
         assert_eq!(cfg.trace_capacity, 32);
         assert_eq!(cfg.journal_capacity, 128);
+        let shaped = DaemonConfig::parse(
+            "shape_sample_every = 1\nshape_top_k = 4\nshape_window_secs = 2\n\
+             shape_windows = 12\ndrift_threshold = 0.5\npeer_family_cap = 64\n",
+        )
+        .expect("parses");
+        assert_eq!(shaped.shape_sample_every, 1);
+        assert_eq!(shaped.shape_top_k, 4);
+        assert_eq!(shaped.shape_window_secs, 2);
+        assert_eq!(shaped.shape_windows, 12);
+        assert_eq!(shaped.drift_threshold, 0.5);
+        assert_eq!(shaped.peer_family_cap, 64);
+        // The shape layer can be switched off; its sibling knobs are then
+        // allowed to be zero.
+        assert!(DaemonConfig::parse("shape_sample_every = 0\nshape_top_k = 0\n").is_ok());
+        assert!(DaemonConfig::parse("shape_top_k = 0\n").is_err());
+        assert!(DaemonConfig::parse("shape_windows = 0\n").is_err());
+        assert!(DaemonConfig::parse("drift_threshold = 1.5\n").is_err());
         // Tracing can be switched off outright; 0 is not a config error.
         assert_eq!(
             DaemonConfig::parse("trace_sample_every = 0\n")

@@ -13,11 +13,12 @@
 //!   surface) and runs the [`IngestPump`] loop, interleaving control
 //!   requests between pump steps.
 //! * **One control thread** serves HTTP on the `serve` socket:
-//!   `GET /metrics`, `GET /alerts`, `GET /explain`, `GET /healthz`,
-//!   `POST /reload` (EIA hot-reload), `POST /shutdown`. Requests that need
-//!   engine state are forwarded to the worker over a channel with a
-//!   per-request reply channel; `/healthz` answers locally, so liveness
-//!   checks keep working even if the worker wedges.
+//!   `GET /metrics`, `GET /alerts`, `GET /explain`, `GET /ops`,
+//!   `GET /healthz`, `POST /reload` (EIA hot-reload), `POST /shutdown`.
+//!   Requests that need engine state are forwarded to the worker over a
+//!   channel with a per-request reply channel; `/healthz` answers locally
+//!   (from the shared [`SnapshotHealth`]), so liveness checks keep working
+//!   even if the worker wedges.
 //!
 //! Shutdown ([`DaemonHandle::shutdown`]) is graceful by construction:
 //! listeners stop accepting, the worker drains every ring to empty,
@@ -33,6 +34,7 @@ use std::time::Duration;
 
 use infilter_core::{
     render_events_json, AnalyzerMetrics, Engine, FlowDecision, IdmefAlert, JournalEvent, PeerId,
+    SnapshotHealth,
 };
 use infilter_net::Prefix;
 use infilter_netflow::FlowBatch;
@@ -75,6 +77,7 @@ enum Control {
     Metrics(mpsc::Sender<String>),
     Alerts(usize, mpsc::Sender<Vec<IdmefAlert>>),
     Explain(usize, mpsc::Sender<Vec<FlowDecision>>),
+    Ops(usize, mpsc::Sender<String>),
     Reload(Vec<(PeerId, Prefix)>, mpsc::Sender<usize>),
     Finish(mpsc::Sender<FinalReport>),
 }
@@ -106,6 +109,9 @@ impl Daemon {
         // alerts all land in one ordered stream), shared with the intake
         // and served by the control plane without a worker round-trip.
         let journal = Arc::clone(engine.telemetry().journal());
+        // Snapshot health is shared the same way so `/healthz` can report
+        // EIA version and age without a worker round-trip.
+        let health = Arc::clone(engine.telemetry().snapshot_health());
         let intake = Arc::new(Intake::with_observers(
             cfg.rings,
             cfg.ring_capacity,
@@ -161,11 +167,20 @@ impl Daemon {
             let stop_requested = Arc::clone(&stop_requested);
             let tracer = Arc::clone(&tracer);
             let journal = Arc::clone(&journal);
+            let health = Arc::clone(&health);
             threads.push(
                 std::thread::Builder::new()
                     .name("infilterd-http".to_string())
                     .spawn(move || {
-                        http_loop(&http, &ctl_tx, &stop, &stop_requested, &tracer, &journal)
+                        http_loop(
+                            &http,
+                            &ctl_tx,
+                            &stop,
+                            &stop_requested,
+                            &tracer,
+                            &journal,
+                            &health,
+                        )
                     })
                     .expect("spawn control plane"),
             );
@@ -259,6 +274,9 @@ fn worker_loop<E: Engine>(
                 Control::Explain(n, reply) => {
                     let _ = reply.send(pump.engine().explain_last(n));
                 }
+                Control::Ops(n, reply) => {
+                    let _ = reply.send(pump.engine().ops_json(n));
+                }
                 Control::Reload(peers, reply) => {
                     let threshold = pump.engine().config().adoption_threshold;
                     let mut eia = infilter_core::EiaRegistry::new(threshold);
@@ -308,11 +326,12 @@ fn http_loop(
     stop_requested: &AtomicBool,
     tracer: &Arc<Tracer>,
     journal: &Arc<Journal<JournalEvent>>,
+    health: &Arc<SnapshotHealth>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = handle_request(stream, ctl, stop_requested, tracer, journal);
+                let _ = handle_request(stream, ctl, stop_requested, tracer, journal, health);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -332,6 +351,7 @@ fn handle_request(
     stop_requested: &AtomicBool,
     tracer: &Arc<Tracer>,
     journal: &Arc<Journal<JournalEvent>>,
+    health: &Arc<SnapshotHealth>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     let (request_line, body) = read_request(&mut stream)?;
@@ -341,7 +361,15 @@ fn handle_request(
     let path_only = path.split('?').next().unwrap_or(path);
 
     let (status, content_type, body) = match (method, path_only) {
-        ("GET", "/healthz") => ("200 OK", "text/plain", "ok\n".to_string()),
+        ("GET", "/healthz") => (
+            "200 OK",
+            "text/plain",
+            format!(
+                "ok eia_version={} eia_age_seconds={}\n",
+                health.version(),
+                health.age_seconds()
+            ),
+        ),
         ("GET", "/metrics") => match ask(ctl, Control::Metrics) {
             Some(page) => ("200 OK", "text/plain; version=0.0.4", page),
             None => unavailable(),
@@ -363,6 +391,13 @@ fn handle_request(
                     let text: String = decisions.iter().map(|d| d.describe() + "\n").collect();
                     ("200 OK", "text/plain", text)
                 }
+                None => unavailable(),
+            }
+        }
+        ("GET", "/ops") => {
+            let n = query_param(path, "window").unwrap_or(12);
+            match ask(ctl, |reply| Control::Ops(n, reply)) {
+                Some(json) => ("200 OK", "application/json", json),
                 None => unavailable(),
             }
         }

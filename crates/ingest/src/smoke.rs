@@ -155,8 +155,18 @@ pub fn run_smoke(seed: u64) -> Result<SmokeReport, String> {
         return Err(format!("exposition missing families: {missing:?}"));
     }
 
-    if http_get(http, "/healthz")? != "ok\n" {
-        return Err("healthz did not answer ok".into());
+    let healthz = http_get(http, "/healthz")?;
+    if !healthz.starts_with("ok ") || !healthz.contains("eia_version=") {
+        return Err(format!(
+            "healthz did not answer ok with EIA health: {healthz:?}"
+        ));
+    }
+    // The attack-shape document must be well-formed and populated: the
+    // Slammer/host-scan replays are suspect-heavy, so the sampled sketches
+    // see them even at the default stride.
+    let ops = http_get(http, "/ops?window=4")?;
+    if !ops.starts_with('{') || !ops.contains("\"top_sources\"") || !ops.contains("\"peers\"") {
+        return Err(format!("ops document malformed: {ops:?}"));
     }
     let alerts_xml = http_get(http, "/alerts?max=50")?;
     let drained_alerts = alerts_xml.matches("<idmef:Alert").count();

@@ -28,6 +28,9 @@ fn daemon_ingests_alerts_and_shuts_down_gracefully() {
         // Trace every datagram so /trace has content by the time the
         // replay finishes (head sampling, forced to 1-in-1).
         trace_sample_every: 1,
+        // Sketch every suspect so /ops ranks the pinned spoofed source
+        // deterministically.
+        shape_sample_every: 1,
         ..DaemonConfig::default()
     };
     for (i, blocks) in eia.iter().enumerate() {
@@ -54,7 +57,14 @@ fn daemon_ingests_alerts_and_shuts_down_gracefully() {
     let foreign: Vec<SubBlock> = (blocks_per_peer..2 * blocks_per_peer)
         .map(|i| SubBlock::from_linear(i).expect("in range"))
         .collect();
-    let spoof_trace = NormalProfile::default().generate(&mut StdRng::seed_from_u64(13), 40, 5_000);
+    let mut spoof_trace =
+        NormalProfile::default().generate(&mut StdRng::seed_from_u64(13), 40, 5_000);
+    // Pin every spoofed flow to one source slot so a single address
+    // dominates the attack-shape top-K below.
+    for f in &mut spoof_trace.flows {
+        f.src_slot = 7;
+    }
+    let spoofed_src = AddressMapper::from_sub_blocks(foreign.iter().copied()).addr_for_slot(7);
     let mut spoofer = Dagflow::new(DagflowConfig {
         sources: AddressMapper::from_sub_blocks(foreign),
         target_prefix: boot.target_prefix,
@@ -83,8 +93,32 @@ fn daemon_ingests_alerts_and_shuts_down_gracefully() {
         std::thread::sleep(Duration::from_millis(50));
     }
 
-    assert_eq!(http_get(http, "/healthz").expect("healthz"), "ok\n");
+    let healthz = http_get(http, "/healthz").expect("healthz");
+    assert!(
+        healthz.starts_with("ok eia_version=") && healthz.contains(" eia_age_seconds="),
+        "healthz reports snapshot health: {healthz:?}"
+    );
     assert!(http_get(http, "/nope").is_err(), "unknown routes 404");
+
+    // /ops serves the attack-shape document: well-formed JSON whose top-K
+    // suspected-source table ranks the pinned spoofed address first.
+    let ops = http_get(http, "/ops?window=8").expect("ops route");
+    assert!(ops.starts_with('{'), "ops JSON: {ops}");
+    assert!(ops.trim_end().ends_with('}'), "ops JSON: {ops}");
+    for key in [
+        "\"window_secs\"",
+        "\"eia\"",
+        "\"top_sources\"",
+        "\"top_peers\"",
+        "\"peers\"",
+        "\"windows\"",
+    ] {
+        assert!(ops.contains(key), "`{key}` missing from /ops:\n{ops}");
+    }
+    assert!(
+        ops.contains(&format!("\"top_sources\":[{{\"addr\":\"{spoofed_src}\"")),
+        "spoofed source {spoofed_src} must rank first in /ops top_sources:\n{ops}"
+    );
 
     // /trace serves Chrome trace-event JSON with the full span pipeline:
     // every datagram is sampled above, so the listener-side spans (recv,

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// A lazily-populated map from label key to a shared, default-constructed
@@ -11,20 +12,48 @@ use std::sync::{Arc, RwLock};
 /// an `Arc` clone, so concurrent writers on *different* keys never contend
 /// beyond the shared-reader lock. The write lock is taken once per new key.
 /// Intended for low-rate paths (suspects, adoptions), not per-flow hot code.
-#[derive(Debug, Default)]
+///
+/// Cardinality can be bounded with [`Family::bounded`]: once `cap`
+/// distinct keys exist, further new keys all share one overflow aggregate
+/// cell instead of allocating a new one — a hostile keyspace (spoofed
+/// sources are arbitrary addresses) then costs O(cap) memory, not O(keys).
+#[derive(Debug)]
 pub struct Family<K, C> {
     cells: RwLock<HashMap<K, Arc<C>>>,
+    /// `usize::MAX` = unbounded (the default).
+    cap: usize,
+    /// Shared aggregate cell for keys folded past the cap.
+    overflow: Arc<C>,
+    /// How many `get` calls were folded into the overflow cell.
+    folded: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone + Ord, C: Default> Default for Family<K, C> {
+    fn default() -> Family<K, C> {
+        Family::new()
+    }
 }
 
 impl<K: Eq + Hash + Clone + Ord, C: Default> Family<K, C> {
-    /// Creates an empty family.
+    /// Creates an empty, unbounded family.
     pub fn new() -> Family<K, C> {
+        Family::bounded(usize::MAX)
+    }
+
+    /// Creates an empty family holding at most `cap` distinct keys
+    /// (minimum 1); new keys beyond the cap share one overflow cell.
+    pub fn bounded(cap: usize) -> Family<K, C> {
         Family {
             cells: RwLock::new(HashMap::new()),
+            cap: cap.max(1),
+            overflow: Arc::new(C::default()),
+            folded: AtomicU64::new(0),
         }
     }
 
-    /// Returns the cell for `key`, creating it on first use.
+    /// Returns the cell for `key`, creating it on first use. Once the
+    /// family holds `cap` distinct keys, unseen keys get the shared
+    /// overflow cell instead (existing keys keep their own cell).
     pub fn get(&self, key: &K) -> Arc<C> {
         if let Some(cell) = self
             .cells
@@ -38,7 +67,21 @@ impl<K: Eq + Hash + Clone + Ord, C: Default> Family<K, C> {
             .cells
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if cells.len() >= self.cap && !cells.contains_key(key) {
+            self.folded.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&self.overflow);
+        }
         Arc::clone(cells.entry(key.clone()).or_default())
+    }
+
+    /// The shared aggregate cell that absorbs keys past the cap.
+    pub fn overflow_cell(&self) -> &Arc<C> {
+        &self.overflow
+    }
+
+    /// Number of `get` calls folded into the overflow cell so far.
+    pub fn folded_gets(&self) -> u64 {
+        self.folded.load(Ordering::Relaxed)
     }
 
     /// Number of distinct keys seen.
@@ -114,5 +157,33 @@ mod tests {
             .map(|(_, c)| c.hits.load(Ordering::Relaxed))
             .sum();
         assert_eq!(total, 4_000);
+    }
+
+    #[test]
+    fn bounded_family_folds_new_keys_past_cap() {
+        let family: Family<u32, Cell> = Family::bounded(3);
+        for key in 0..10u32 {
+            family.get(&key).hits.fetch_add(1, Ordering::Relaxed);
+        }
+        // Only the first 3 keys got their own cell.
+        assert_eq!(family.len(), 3);
+        assert_eq!(family.folded_gets(), 7);
+        assert_eq!(family.overflow_cell().hits.load(Ordering::Relaxed), 7);
+        // Existing keys keep working past the cap.
+        family.get(&1).hits.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(family.folded_gets(), 7);
+        let snap = family.snapshot();
+        assert_eq!(snap[1].1.hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unbounded_family_never_folds() {
+        let family: Family<u32, Cell> = Family::new();
+        for key in 0..100u32 {
+            family.get(&key).hits.fetch_add(1, Ordering::Relaxed);
+        }
+        assert_eq!(family.len(), 100);
+        assert_eq!(family.folded_gets(), 0);
+        assert_eq!(family.overflow_cell().hits.load(Ordering::Relaxed), 0);
     }
 }

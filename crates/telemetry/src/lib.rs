@@ -23,6 +23,11 @@
 //!   and histogram [`Exemplar`] linkage.
 //! * [`Journal`] — a bounded, sequence-numbered structured event journal
 //!   whose gapless sequence numbers make retention losses auditable.
+//! * [`CountMin`] / [`SpaceSaving`] / [`Hll`] — fixed-memory, mergeable
+//!   streaming sketches with proven error bounds, for attack-shape
+//!   summaries (point frequency, top-K heavy hitters, distinct counts).
+//! * [`WindowRing`] — a pre-allocated ring of per-interval aggregate
+//!   snapshots answering "last N intervals" queries in bounded memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +38,9 @@ mod journal;
 mod prometheus;
 mod report;
 mod ring;
+mod sketch;
 pub mod trace;
+mod window;
 
 pub use family::Family;
 pub use histogram::{AtomicHistogram, Histogram, LatencySummary, BUCKETS, SUB_BUCKET_BITS};
@@ -41,4 +48,6 @@ pub use journal::{Journal, SeqEvent};
 pub use prometheus::PromText;
 pub use report::{DeltaReporter, RateSample};
 pub use ring::Ring;
+pub use sketch::{CountMin, Hll, SpaceSaving, TopEntry};
 pub use trace::{chrome_trace_json, CompletedTrace, Exemplar, Span, Tracer, MAX_SPANS};
+pub use window::WindowRing;

@@ -1,0 +1,146 @@
+//! Fixed-capacity ring of per-interval aggregate snapshots.
+//!
+//! The attack-shape layer seals one aggregate value per time interval
+//! (verdict mix, rates, top-K tables). [`WindowRing`] keeps the newest
+//! `capacity` of them in a pre-allocated ring: pushing the
+//! `capacity + 1`-th interval overwrites the oldest deterministically, so
+//! "what did the last N intervals look like?" is answerable forever in
+//! memory fixed at construction.
+//!
+//! Slots carry the caller's interval sequence number, so a reader can
+//! detect gaps (intervals that were never sealed because nothing ran)
+//! rather than silently misattributing values to the wrong wall-clock
+//! span.
+
+/// A pre-allocated ring of `(sequence, value)` interval slots.
+///
+/// Single-writer like the sketches; `push` moves the value in without
+/// allocating. Wraparound is deterministic: after `k` pushes the ring
+/// holds exactly the last `min(k, capacity)` values in push order.
+#[derive(Debug)]
+pub struct WindowRing<T> {
+    slots: Vec<(u64, T)>,
+    capacity: usize,
+    /// Total pushes ever; `len = min(pushed, capacity)`.
+    pushed: u64,
+}
+
+impl<T: Default + Clone> WindowRing<T> {
+    /// Creates a ring holding at most `capacity` intervals (minimum 1).
+    /// All slots are default-constructed up front so later pushes never
+    /// allocate (for `T` whose clone is allocation-free, e.g. `Copy`).
+    pub fn new(capacity: usize) -> WindowRing<T> {
+        let capacity = capacity.max(1);
+        WindowRing {
+            slots: vec![(0, T::default()); capacity],
+            capacity,
+            pushed: 0,
+        }
+    }
+
+    /// Seals one interval: stores `value` under the caller's interval
+    /// sequence number, overwriting the oldest slot once full.
+    pub fn push(&mut self, seq: u64, value: T) {
+        let idx = (self.pushed % self.capacity as u64) as usize;
+        self.slots[idx] = (seq, value);
+        self.pushed += 1;
+    }
+
+    /// Number of intervals currently held.
+    pub fn len(&self) -> usize {
+        self.pushed.min(self.capacity as u64) as usize
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Maximum number of intervals held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total intervals ever pushed (including overwritten ones).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The newest `n` intervals, newest first, as `(seq, value)` clones.
+    pub fn last(&self, n: usize) -> Vec<(u64, T)> {
+        let held = self.len();
+        let n = n.min(held);
+        let mut out = Vec::with_capacity(n);
+        for back in 0..n {
+            let idx = ((self.pushed - 1 - back as u64) % self.capacity as u64) as usize;
+            out.push(self.slots[idx].clone());
+        }
+        out
+    }
+
+    /// Visits the newest `n` intervals, newest first, without cloning —
+    /// for render paths that must not allocate per slot.
+    pub fn for_each_last(&self, n: usize, mut f: impl FnMut(u64, &T)) {
+        let held = self.len();
+        let n = n.min(held);
+        for back in 0..n {
+            let idx = ((self.pushed - 1 - back as u64) % self.capacity as u64) as usize;
+            let (seq, ref value) = self.slots[idx];
+            f(seq, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_deterministically() {
+        let mut ring: WindowRing<u64> = WindowRing::new(4);
+        assert!(ring.is_empty());
+        for seq in 0..10u64 {
+            ring.push(seq, seq * 100);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pushed(), 10);
+        // Newest first: seqs 9, 8, 7, 6.
+        let last = ring.last(10);
+        assert_eq!(
+            last,
+            vec![(9, 900), (8, 800), (7, 700), (6, 600)],
+            "wraparound must keep exactly the newest capacity slots"
+        );
+    }
+
+    #[test]
+    fn last_n_truncates_to_held() {
+        let mut ring: WindowRing<u8> = WindowRing::new(8);
+        ring.push(1, 10);
+        ring.push(2, 20);
+        assert_eq!(ring.last(5), vec![(2, 20), (1, 10)]);
+        assert_eq!(ring.last(1), vec![(2, 20)]);
+        assert_eq!(ring.last(0), vec![]);
+    }
+
+    #[test]
+    fn for_each_last_matches_last() {
+        let mut ring: WindowRing<u32> = WindowRing::new(3);
+        for seq in 0..7u64 {
+            ring.push(seq, seq as u32);
+        }
+        let mut seen = Vec::new();
+        ring.for_each_last(3, |seq, v| seen.push((seq, *v)));
+        assert_eq!(seen, ring.last(3));
+    }
+
+    #[test]
+    fn seq_gaps_are_preserved() {
+        let mut ring: WindowRing<u8> = WindowRing::new(4);
+        ring.push(3, 1);
+        ring.push(9, 2); // intervals 4..=8 never sealed
+        let last = ring.last(2);
+        assert_eq!(last[0].0, 9);
+        assert_eq!(last[1].0, 3);
+    }
+}

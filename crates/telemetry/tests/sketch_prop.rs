@@ -1,0 +1,160 @@
+//! Property tests pinning the sketches' advertised guarantees against
+//! exact oracles, and the window ring's wraparound determinism.
+//!
+//! These are the contracts DESIGN.md §18 quotes; if a refactor of
+//! `sketch.rs` weakens a bound, these fail before any dashboard does.
+
+use std::collections::HashMap;
+
+use infilter_telemetry::{CountMin, Hll, SpaceSaving, TopEntry, WindowRing};
+use proptest::prelude::*;
+
+/// A skewed stream: a handful of hot keys plus a long tail, the shape a
+/// spoofed-source top-K actually sees.
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        // 3-in-4 draws land on one of 8 hot keys, the rest on a long tail.
+        (0u64..40_000).prop_map(|raw| {
+            if raw < 30_000 {
+                raw % 8
+            } else {
+                8 + raw % 10_000
+            }
+        }),
+        1..600,
+    )
+}
+
+fn exact_counts(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut exact = HashMap::new();
+    for &k in keys {
+        *exact.entry(k).or_insert(0u64) += 1;
+    }
+    exact
+}
+
+proptest! {
+    /// Count-Min one-sided bound: `true ≤ estimate` always, and
+    /// `estimate ≤ true + εN` with `ε = e/width` — checked per row-count
+    /// probability by requiring EVERY key to respect the deterministic
+    /// worst case `true + N` and the vast majority to sit within `εN`.
+    /// (With depth 4 the per-key failure odds are `e⁻⁴ ≈ 1.8%`; a full
+    /// stream failing the εN bound on every key is impossible.)
+    #[test]
+    fn count_min_overestimate_bound(keys in stream()) {
+        let mut cm = CountMin::new(128, 4);
+        for &k in &keys {
+            cm.record(k, 1);
+        }
+        let exact = exact_counts(&keys);
+        let n = cm.total();
+        prop_assert_eq!(n, keys.len() as u64);
+        let epsilon_n = ((std::f64::consts::E / cm.width() as f64) * n as f64).ceil() as u64;
+        let mut within = 0usize;
+        for (&k, &truth) in &exact {
+            let est = cm.estimate(k);
+            prop_assert!(est >= truth, "key {} underestimated: {} < {}", k, est, truth);
+            if est <= truth + epsilon_n {
+                within += 1;
+            }
+        }
+        // δ = e⁻⁴ per key; demand ≥ 90% of keys inside the εN bound,
+        // far looser than the expected ~98% but immune to unlucky draws.
+        prop_assert!(
+            within * 10 >= exact.len() * 9,
+            "only {}/{} keys within the epsilon-N bound",
+            within,
+            exact.len()
+        );
+    }
+
+    /// SpaceSaving guarantees (deterministic, not probabilistic):
+    /// counts never underestimate, `count − err` never overestimates,
+    /// per-entry error is ≤ N/capacity, and every key whose true count
+    /// exceeds N/capacity is monitored.
+    #[test]
+    fn space_saving_topk_guarantee(keys in stream()) {
+        const CAP: usize = 12;
+        let mut ss = SpaceSaving::new(CAP);
+        for &k in &keys {
+            ss.record(k, 1);
+        }
+        let exact = exact_counts(&keys);
+        let n = ss.total();
+        prop_assert_eq!(n, keys.len() as u64);
+        let bound = n / CAP as u64;
+        let top = ss.top(CAP);
+        for e in &top {
+            let truth = exact.get(&e.key).copied().unwrap_or(0);
+            prop_assert!(e.count >= truth, "count underestimates");
+            prop_assert!(e.count - e.err <= truth, "guaranteed floor overestimates");
+            prop_assert!(e.err <= bound, "err {} > N/m {}", e.err, bound);
+        }
+        for (&k, &truth) in &exact {
+            if truth > bound {
+                prop_assert!(
+                    top.iter().any(|e| e.key == k),
+                    "heavy hitter {} (count {}) not monitored",
+                    k,
+                    truth
+                );
+            }
+        }
+    }
+
+    /// `top_into` into a caller slice returns exactly what the
+    /// allocating `top` does, for every k.
+    #[test]
+    fn space_saving_top_into_parity(keys in stream(), k in 1usize..16) {
+        let mut ss = SpaceSaving::new(12);
+        for &key in &keys {
+            ss.record(key, 1);
+        }
+        let mut buf = vec![TopEntry { key: 0, count: 0, err: 0 }; k];
+        let n = ss.top_into(&mut buf);
+        let allocating = ss.top(k);
+        prop_assert_eq!(&buf[..n], allocating.as_slice());
+    }
+
+    /// HLL never loses distinct keys on merge: union estimate equals the
+    /// estimate of the concatenated stream, and duplicates never inflate.
+    #[test]
+    fn hll_merge_matches_concatenation(a in stream(), b in stream()) {
+        let mut ha = Hll::new(8);
+        let mut hb = Hll::new(8);
+        let mut whole = Hll::new(8);
+        for &k in &a {
+            ha.record(k);
+            whole.record(k);
+        }
+        for &k in &b {
+            hb.record(k);
+            whole.record(k);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.estimate(), whole.estimate());
+    }
+
+    /// Window-ring wraparound determinism: after any push sequence the
+    /// ring holds exactly the newest `min(pushes, capacity)` values in
+    /// reverse push order — same result as a naive unbounded log.
+    #[test]
+    fn window_ring_wraparound_matches_log(
+        values in prop::collection::vec(any::<u32>(), 1..100),
+        capacity in 1usize..12,
+    ) {
+        let mut ring: WindowRing<u32> = WindowRing::new(capacity);
+        let mut log: Vec<(u64, u32)> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            ring.push(i as u64, v);
+            log.push((i as u64, v));
+        }
+        prop_assert_eq!(ring.len(), values.len().min(capacity));
+        prop_assert_eq!(ring.pushed(), values.len() as u64);
+        let expect: Vec<(u64, u32)> = log.iter().rev().take(capacity).copied().collect();
+        prop_assert_eq!(ring.last(capacity), expect);
+        let mut visited = Vec::new();
+        ring.for_each_last(capacity, |seq, v| visited.push((seq, *v)));
+        prop_assert_eq!(visited, ring.last(capacity));
+    }
+}
