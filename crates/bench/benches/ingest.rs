@@ -20,12 +20,13 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use infilter_core::{
-    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, Effort, EiaRegistry, Mode, PeerId,
-    Trainer, Verdict,
+    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, Effort, EiaRegistry, Engine, Mode,
+    PeerId, Trainer, Verdict,
 };
 use infilter_ingest::{Batch, IngestMetrics, Intake};
 use infilter_netflow::FlowRecord;
 use infilter_nns::NnsParams;
+use infilter_store::{DiskStore, EiaStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -179,6 +180,45 @@ fn baseline_json(_c: &mut Criterion) {
             effort.as_label(),
             flows_per_sec
         ));
+    }
+    // The full rung again with the durable EIA store attached, driven the
+    // way the daemon's pump drives it: drain adoption events after every
+    // batch and append any to disk. Adoption stays disabled, so this
+    // measures the steady-state wiring cost on the hot path — the CI gate
+    // holds it within a few percent of the bare full rung.
+    {
+        let dir = std::env::temp_dir().join(format!("infilter-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut engine = engine();
+        let mut store = DiskStore::open(&dir).expect("open bench store");
+        let mut events = Vec::new();
+        let mut verdicts: Vec<Verdict> = Vec::new();
+        let mut best = f64::INFINITY;
+        for _ in 0..passes {
+            let start = Instant::now();
+            for batch in &work {
+                verdicts.clear();
+                engine.process_flow_batch_into(
+                    batch.ingress,
+                    &batch.records,
+                    Effort::Full,
+                    &mut verdicts,
+                );
+                black_box(verdicts.len());
+                events.clear();
+                Engine::adoption_events(&mut engine, &mut events);
+                if !events.is_empty() {
+                    store.append(&events).expect("append");
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        entries.push(format!(
+            "    \"full_store\": {:.0}",
+            total_flows as f64 / best
+        ));
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
     let json = format!(
         "{{\n  \"bench\": \"ingest_ladder\",\n  \"unit\": \"flows_per_sec\",\n  \

@@ -655,6 +655,13 @@ impl ConcurrentAnalyzer {
         adopted
     }
 
+    /// Drains buffered adoption events off the write-side registry; see
+    /// [`crate::Engine::adoption_events`]. Briefly takes the write-side
+    /// lock, so callers should drain in batches, not per flow.
+    pub fn adoption_events(&self, sink: &mut Vec<crate::AdoptionEvent>) {
+        self.write_side.lock().registry.drain_events(sink);
+    }
+
     /// Publishes any adoptions still buffered below the batch threshold.
     /// A no-op with the default batch of 1.
     pub fn flush_adoptions(&self) {

@@ -18,6 +18,38 @@ impl fmt::Display for PeerId {
     }
 }
 
+/// What happened to one EIA entry — the verb of a durable adoption
+/// record. `Expired` is reserved for future aging/anti-entropy use; the
+/// registry only emits `Adopted` today, but the on-disk codec carries the
+/// action byte so the same log format can later serve as the federation
+/// delta stream without a version bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdoptionAction {
+    /// The prefix was adopted into the peer's EIA set (§5.2(a)).
+    Adopted,
+    /// The prefix was removed from the peer's EIA set.
+    Expired,
+}
+
+/// One write-side EIA state change, buffered by [`EiaRegistry`] for a
+/// persistence layer to drain (see `infilter-store`). Events carry the
+/// full entry so a log replay can rebuild the registry without consulting
+/// any other state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdoptionEvent {
+    /// The peer whose EIA set changed.
+    pub peer: PeerId,
+    /// The prefix that was adopted or expired.
+    pub prefix: Prefix,
+    /// What happened to it.
+    pub action: AdoptionAction,
+}
+
+/// Undrained adoption events kept before the registry starts shedding the
+/// newest ones (a daemon without a configured store never drains; memory
+/// must stay bounded regardless).
+const EVENT_BUFFER_CAP: usize = 65_536;
+
 /// Outcome of the basic InFilter EIA check for one flow (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EiaVerdict {
@@ -49,7 +81,7 @@ impl EiaVerdict {
 /// classified against without any lock. Sightings and adoptions go through
 /// the authoritative [`EiaRegistry`] on the (rarely taken) write side,
 /// which recompiles a snapshot per publish.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EiaSnapshot {
     lpm: FrozenLpm<PeerId>,
     adopted: u64,
@@ -100,6 +132,14 @@ impl EiaSnapshot {
     /// Sources that had been adopted dynamically at snapshot time.
     pub fn adopted_count(&self) -> u64 {
         self.adopted
+    }
+
+    /// Every `(prefix, peer)` entry in the snapshot. [`FrozenLpm::compile`]
+    /// sorts entries canonically, so two snapshots over the same logical
+    /// table iterate identically regardless of insertion order — the
+    /// property store sealing and the bit-identity recovery tests rely on.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, PeerId)> + '_ {
+        self.lpm.iter().map(|(p, v)| (p, *v))
     }
 
     /// A batch classifier for flows observed at `observed`, backed by the
@@ -171,6 +211,10 @@ pub struct EiaRegistry {
     adoption_prefix_len: u8,
     sightings: FxHashMap<(PeerId, Prefix), u32>,
     adopted: u64,
+    /// Adoption events since the last [`EiaRegistry::drain_events`],
+    /// bounded by [`EVENT_BUFFER_CAP`] (overflow is counted, not stored).
+    events: Vec<AdoptionEvent>,
+    events_dropped: u64,
 }
 
 impl EiaRegistry {
@@ -184,6 +228,8 @@ impl EiaRegistry {
             adoption_prefix_len: 32,
             sightings: FxHashMap::default(),
             adopted: 0,
+            events: Vec::new(),
+            events_dropped: 0,
         }
     }
 
@@ -249,6 +295,50 @@ impl EiaRegistry {
         self.adopted
     }
 
+    /// Moves every adoption event buffered since the last drain into
+    /// `sink`, in occurrence order. The buffer empties; capacity is kept
+    /// for reuse.
+    pub fn drain_events(&mut self, sink: &mut Vec<AdoptionEvent>) {
+        sink.append(&mut self.events);
+    }
+
+    /// Adoption events currently buffered and not yet drained.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Adoption events shed because nothing drained the buffer before it
+    /// filled (the store-less deployment case).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Re-applies one durably logged adoption during replay: inserts the
+    /// entry and counts it as adopted, without emitting a new event (the
+    /// record is already in the log) and without consulting the sighting
+    /// threshold (it was crossed before the crash).
+    pub fn apply_adoption(&mut self, peer: PeerId, prefix: Prefix) {
+        self.trie.insert(prefix, peer);
+        self.adopted += 1;
+    }
+
+    /// Restores the adopted counter from a sealed snapshot's header.
+    /// Snapshot entries are re-inserted via [`EiaRegistry::preload`] (they
+    /// do not distinguish preloaded from adopted prefixes), so recovery
+    /// sets the counter explicitly and lets [`EiaRegistry::apply_adoption`]
+    /// advance it per replayed log record.
+    pub fn set_adopted_count(&mut self, adopted: u64) {
+        self.adopted = adopted;
+    }
+
+    fn push_event(&mut self, event: AdoptionEvent) {
+        if self.events.len() >= EVENT_BUFFER_CAP {
+            self.events_dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
     /// The peer whose EIA set contains `addr` (most specific prefix wins).
     pub fn expected_peer(&self, addr: Ipv4Addr) -> Option<PeerId> {
         self.trie.lookup(addr).map(|(_, p)| *p)
@@ -302,6 +392,11 @@ impl EiaRegistry {
             self.sightings.remove(&(observed, range));
             self.trie.insert(range, observed);
             self.adopted += 1;
+            self.push_event(AdoptionEvent {
+                peer: observed,
+                prefix: range,
+                action: AdoptionAction::Adopted,
+            });
             true
         } else {
             false
@@ -467,6 +562,73 @@ mod tests {
             }
         }
         assert!(snap.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn adoptions_buffer_events_until_drained() {
+        let mut r = registry();
+        let mut sink = Vec::new();
+        r.drain_events(&mut sink);
+        assert!(sink.is_empty());
+        for _ in 0..3 {
+            r.record_sighting(PeerId(1), addr("77.1.2.3"));
+        }
+        for _ in 0..3 {
+            r.record_sighting(PeerId(2), addr("88.1.2.3"));
+        }
+        assert_eq!(r.pending_events(), 2);
+        r.drain_events(&mut sink);
+        assert_eq!(
+            sink,
+            vec![
+                AdoptionEvent {
+                    peer: PeerId(1),
+                    prefix: "77.1.2.3/32".parse().unwrap(),
+                    action: AdoptionAction::Adopted,
+                },
+                AdoptionEvent {
+                    peer: PeerId(2),
+                    prefix: "88.1.2.3/32".parse().unwrap(),
+                    action: AdoptionAction::Adopted,
+                },
+            ]
+        );
+        assert_eq!(r.pending_events(), 0);
+        assert_eq!(r.events_dropped(), 0);
+    }
+
+    #[test]
+    fn replayed_adoptions_rebuild_a_bit_identical_snapshot() {
+        // The crash-recovery contract in miniature: preloads + replayed
+        // adoption events reproduce the exact snapshot, without emitting
+        // fresh events.
+        let mut live = registry();
+        for a in ["77.1.2.3", "88.1.2.3", "3.33.9.9"] {
+            for _ in 0..3 {
+                live.record_sighting(PeerId(1), addr(a));
+            }
+        }
+        let mut events = Vec::new();
+        live.drain_events(&mut events);
+        assert_eq!(events.len(), 3);
+
+        let mut recovered = registry();
+        for e in &events {
+            recovered.apply_adoption(e.peer, e.prefix);
+        }
+        assert_eq!(recovered.pending_events(), 0);
+        assert_eq!(recovered.adopted_count(), live.adopted_count());
+        assert_eq!(recovered.snapshot(), live.snapshot());
+    }
+
+    #[test]
+    fn snapshot_restore_sets_the_adopted_base() {
+        let mut r = registry();
+        r.preload(PeerId(1), "77.1.2.3/32".parse().unwrap());
+        r.set_adopted_count(1);
+        r.apply_adoption(PeerId(1), "88.1.2.3/32".parse().unwrap());
+        assert_eq!(r.adopted_count(), 2);
+        assert_eq!(r.snapshot().adopted_count(), 2);
     }
 
     #[test]

@@ -21,8 +21,8 @@ use infilter_netflow::{FlowBatch, FlowRecord};
 use crate::eia::EiaSnapshot;
 use crate::observe::PipelineTelemetry;
 use crate::{
-    Analyzer, AnalyzerConfig, AnalyzerMetrics, ConcurrentAnalyzer, Effort, EiaRegistry,
-    FlowDecision, IdmefAlert, PeerId, Verdict,
+    AdoptionEvent, Analyzer, AnalyzerConfig, AnalyzerMetrics, ConcurrentAnalyzer, Effort,
+    EiaRegistry, FlowDecision, IdmefAlert, PeerId, Verdict,
 };
 
 /// The full InFilter pipeline plus its operational surface, abstracted over
@@ -81,6 +81,15 @@ pub trait Engine {
     /// Publishes any adoptions still buffered below a publish batch.
     /// A no-op for engines that publish eagerly.
     fn flush_adoptions(&mut self) {}
+
+    /// Drains the adoption/expiry events buffered on the EIA write side
+    /// since the last drain, appending them to `sink` in occurrence order.
+    /// This is the narrow hook persistence (`infilter-store`) observes
+    /// adoptions through without downcasting to a concrete analyzer.
+    /// Engines without durable-event support leave `sink` untouched.
+    fn adoption_events(&mut self, sink: &mut Vec<AdoptionEvent>) {
+        let _ = sink;
+    }
 
     /// Runs one flow at full effort.
     fn process(&mut self, ingress: PeerId, flow: &FlowRecord) -> Verdict {
@@ -181,6 +190,10 @@ impl Engine for Analyzer {
         Analyzer::reload_eia(self, eia)
     }
 
+    fn adoption_events(&mut self, sink: &mut Vec<AdoptionEvent>) {
+        Analyzer::adoption_events(self, sink)
+    }
+
     fn process_batch_into(
         &mut self,
         ingress: PeerId,
@@ -246,6 +259,10 @@ impl Engine for ConcurrentAnalyzer {
 
     fn flush_adoptions(&mut self) {
         ConcurrentAnalyzer::flush_adoptions(self)
+    }
+
+    fn adoption_events(&mut self, sink: &mut Vec<AdoptionEvent>) {
+        ConcurrentAnalyzer::adoption_events(self, sink)
     }
 
     fn process_batch_with_effort(

@@ -62,7 +62,9 @@ mod traceback;
 pub use alert::{IdmefAlert, ParseAlertError};
 pub use cluster::{ClusterModel, SubclusterModel, ThresholdPolicy, TrainError};
 pub use concurrent::{ConcurrentAnalyzer, ConcurrentConfig};
-pub use eia::{EiaClassifier, EiaRegistry, EiaSnapshot, EiaVerdict, PeerId};
+pub use eia::{
+    AdoptionAction, AdoptionEvent, EiaClassifier, EiaRegistry, EiaSnapshot, EiaVerdict, PeerId,
+};
 pub use engine::Engine;
 pub use metrics::{AnalyzerMetrics, AtomicStageLatency, ConcurrentMetrics, StageLatency};
 pub use observe::{

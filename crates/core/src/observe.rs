@@ -160,6 +160,21 @@ pub enum JournalEvent {
         /// The drift score at crossing, in thousandths (0..=1000).
         score_milli: u32,
     },
+    /// Durable EIA state was replayed at boot (warm restart).
+    StoreRecovery {
+        /// Adoption records replayed from the log.
+        records: u32,
+        /// Log segments scanned.
+        segments: u32,
+        /// Age of the sealed snapshot the replay started from, seconds
+        /// (`u32::MAX`: recovery found no snapshot).
+        snapshot_age_seconds: u32,
+    },
+    /// The durable store sealed a compacted EIA snapshot.
+    StoreSeal {
+        /// EIA entries in the sealed snapshot.
+        entries: u32,
+    },
 }
 
 impl JournalEvent {
@@ -173,6 +188,8 @@ impl JournalEvent {
             JournalEvent::Adoption { .. } => "adoption",
             JournalEvent::Alert { .. } => "alert",
             JournalEvent::PeerDrift { .. } => "peer_drift",
+            JournalEvent::StoreRecovery { .. } => "store_recovery",
+            JournalEvent::StoreSeal { .. } => "store_seal",
         }
     }
 }
@@ -195,6 +212,21 @@ impl std::fmt::Display for JournalEvent {
             }
             JournalEvent::PeerDrift { peer, score_milli } => {
                 write!(f, "{peer} drift score {score_milli}/1000")
+            }
+            JournalEvent::StoreRecovery {
+                records,
+                segments,
+                snapshot_age_seconds,
+            } => {
+                write!(f, "replayed {records} records from {segments} segments")?;
+                if *snapshot_age_seconds == u32::MAX {
+                    write!(f, ", no snapshot")
+                } else {
+                    write!(f, ", snapshot {snapshot_age_seconds}s old")
+                }
+            }
+            JournalEvent::StoreSeal { entries } => {
+                write!(f, "sealed snapshot of {entries} entries")
             }
         }
     }
@@ -592,6 +624,10 @@ pub struct PipelineTelemetry {
     shape_dropped: AtomicU64,
     /// EIA snapshot version + age, shared with the daemon's HTTP thread.
     snapshot_health: Arc<SnapshotHealth>,
+    /// Warm-restart recovery summary for `/ops`: `[recovered flag,
+    /// records replayed, segments scanned, snapshot age seconds]`. Written
+    /// once at boot by the store wiring; zero until then.
+    store_recovery: [AtomicU64; 4],
 }
 
 impl PipelineTelemetry {
@@ -635,7 +671,30 @@ impl PipelineTelemetry {
             shape: Mutex::new(ShapeState::new(cfg.shape_windows)),
             shape_dropped: AtomicU64::new(0),
             snapshot_health: Arc::new(SnapshotHealth::default()),
+            store_recovery: Default::default(),
         }
+    }
+
+    /// Notes a completed warm-restart replay so `/ops` can answer what was
+    /// recovered without a store round-trip. Pass `u64::MAX` for
+    /// `snapshot_age_seconds` when recovery found no sealed snapshot.
+    pub fn note_store_recovery(&self, records: u64, segments: u64, snapshot_age_seconds: u64) {
+        self.store_recovery[0].store(1, Ordering::Relaxed);
+        self.store_recovery[1].store(records, Ordering::Relaxed);
+        self.store_recovery[2].store(segments, Ordering::Relaxed);
+        self.store_recovery[3].store(snapshot_age_seconds, Ordering::Relaxed);
+    }
+
+    /// What [`note_store_recovery`](Self::note_store_recovery) recorded:
+    /// `(recovered, records, segments, snapshot_age_seconds)`. All zeros
+    /// with `recovered == false` until a warm restart is noted.
+    pub fn store_recovery(&self) -> (bool, u64, u64, u64) {
+        (
+            self.store_recovery[0].load(Ordering::Relaxed) != 0,
+            self.store_recovery[1].load(Ordering::Relaxed),
+            self.store_recovery[2].load(Ordering::Relaxed),
+            self.store_recovery[3].load(Ordering::Relaxed),
+        )
     }
 
     /// The knobs in force.
@@ -1082,6 +1141,16 @@ impl PipelineTelemetry {
             self.shape_dropped(),
             self.snapshot_health.version(),
             self.snapshot_health.age_seconds(),
+        );
+        let recovered = self.store_recovery[0].load(Ordering::Relaxed) != 0;
+        let _ = write!(
+            out,
+            ",\"store\":{{\"recovered\":{},\"records_replayed\":{},\"segments\":{},\
+             \"snapshot_age_seconds\":{}}}",
+            recovered,
+            self.store_recovery[1].load(Ordering::Relaxed),
+            self.store_recovery[2].load(Ordering::Relaxed),
+            self.store_recovery[3].load(Ordering::Relaxed),
         );
         out.push_str(",\"top_sources\":[");
         for (i, e) in shape.src_total.top(k).iter().enumerate() {

@@ -583,6 +583,12 @@ impl Analyzer {
         &self.eia_view
     }
 
+    /// Drains buffered adoption events off the registry; see
+    /// [`crate::Engine::adoption_events`].
+    pub fn adoption_events(&mut self, sink: &mut Vec<crate::AdoptionEvent>) {
+        self.eia.drain_events(sink);
+    }
+
     /// Replaces the EIA registry wholesale — the config hot-reload path.
     /// The new registry takes over this analyzer's adoption policy;
     /// dynamic adoptions accumulated in the old registry are discarded

@@ -215,6 +215,53 @@ fn observability_surface_matches() {
     assert_observable(&mut concurrent(Mode::Enhanced));
 }
 
+/// The persistence hook is part of the trait contract: after the same
+/// workload, both engines hand the same adoption events to a sink, a
+/// second drain yields nothing, and replaying the drained events into a
+/// fresh registry reproduces the engine's published table exactly — the
+/// property `infilterd`'s durable store leans on.
+#[test]
+fn adoption_events_parity() {
+    fn drained<E: Engine>(engine: &mut E) -> Vec<infilter_core::AdoptionEvent> {
+        run_workload(engine);
+        // The workload's spoofed sources are all distinct (one sighting
+        // each), so drive a single source past the adoption threshold.
+        // Not source 0: its /32 would sit on the 3.32.0.0/11 network
+        // address and shadow it in the LPM check below.
+        for _ in 0..engine.config().adoption_threshold {
+            engine.process(PeerId(1), &spoofed_flow(1));
+        }
+        engine.flush_adoptions();
+        let mut sink = Vec::new();
+        engine.adoption_events(&mut sink);
+        let mut again = Vec::new();
+        engine.adoption_events(&mut again);
+        assert!(again.is_empty(), "a drain must leave the buffer empty");
+        sink
+    }
+
+    let mut single = analyzer(Mode::Enhanced);
+    let mut sharded = concurrent(Mode::Enhanced);
+    let e1 = drained(&mut single);
+    let e2 = drained(&mut sharded);
+    assert!(!e1.is_empty(), "the workload must adopt something");
+    assert_eq!(e1, e2, "both engines emit the same adoption events");
+
+    let mut replayed = eia();
+    for event in &e1 {
+        replayed.apply_adoption(event.peer, event.prefix);
+    }
+    let snap = Engine::eia_snapshot(&single);
+    assert_eq!(
+        replayed.snapshot().prefix_count(),
+        snap.prefix_count(),
+        "replaying drained events rebuilds the adopted table"
+    );
+    for (prefix, peer) in replayed.snapshot().iter() {
+        assert_eq!(snap.expected_peer(prefix.network()), Some(peer));
+    }
+}
+
 /// The frozen LPM each engine publishes via `eia_snapshot()` is
 /// verdict-for-verdict identical to live dynamic-trie classification.
 /// Checked twice: after a workload whose adoptions mutate the table (the

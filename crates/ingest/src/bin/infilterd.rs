@@ -6,6 +6,7 @@
 //! ```text
 //! infilterd --config infilterd.conf     # serve until POST /shutdown
 //! infilterd --smoke [seed]              # CI gate: loopback end-to-end run
+//! infilterd --smoke-restart [seed]      # CI gate: kill + warm-restart recovery
 //! infilterd --print-config              # dump the built-in defaults
 //! ```
 
@@ -20,6 +21,28 @@ fn main() {
     }
     if args.iter().any(|a| a == "--print-config") {
         print_default_config();
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke-restart") {
+        let seed = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        match smoke::run_restart_smoke(seed) {
+            Ok(report) => {
+                println!(
+                    "RESTART SMOKE OK: replayed {} adoption records, warm boot published \
+                     {} EIA prefixes, sealed snapshot carries {} adoptions",
+                    report.replayed, report.warm_prefixes, report.sealed_adopted
+                );
+            }
+            Err(why) => {
+                eprintln!("RESTART SMOKE FAIL: {why}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if args.iter().any(|a| a == "--smoke") {
@@ -84,9 +107,10 @@ fn main() {
 fn print_help() {
     println!(
         "infilterd — NetFlow v5 ingest daemon for the InFilter engine\n\n\
-         USAGE:\n  infilterd --config <path>    serve until POST /shutdown\n  \
-         infilterd --smoke [seed]     run the loopback end-to-end gate\n  \
-         infilterd --print-config     dump a commented default config\n\n\
+         USAGE:\n  infilterd --config <path>        serve until POST /shutdown\n  \
+         infilterd --smoke [seed]         run the loopback end-to-end gate\n  \
+         infilterd --smoke-restart [seed] run the kill + warm-restart gate\n  \
+         infilterd --print-config         dump a commented default config\n\n\
          The config file is `key = value` lines plus `peer <id> <prefix>`\n\
          EIA entries; POST a fresh table to /reload to hot-swap the EIA\n\
          registry without a restart."
@@ -100,7 +124,8 @@ fn print_default_config() {
          ring_capacity = {}\nshards = {}\nmode = enhanced\nbatch_budget = {}\n\
          alert_spool = {}\nskip_nns_above = {}\nbi_only_above = {}\nrecover_below = {}\n\
          recover_after = {}\ntrace_sample_every = {}\ntrace_capacity = {}\n\
-         journal_capacity = {}\n# peer 1 3.0.0.0/11\n# peer 2 3.32.0.0/11",
+         journal_capacity = {}\n\n[store]\n# dir = /var/lib/infilterd/eia\n\
+         segment_bytes = {}\ncompact_every = {}\n\n# peer 1 3.0.0.0/11\n# peer 2 3.32.0.0/11",
         d.listen,
         d.serve,
         d.listeners,
@@ -116,5 +141,7 @@ fn print_default_config() {
         d.trace_sample_every,
         d.trace_capacity,
         d.journal_capacity,
+        d.store_segment_bytes,
+        d.store_compact_every,
     );
 }

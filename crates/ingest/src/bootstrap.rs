@@ -11,12 +11,13 @@
 use std::time::Duration;
 
 use infilter_core::{
-    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, ConfigError, Mode, TelemetryConfig,
-    Trainer,
+    AnalyzerConfig, ConcurrentAnalyzer, ConcurrentConfig, ConfigError, Engine, JournalEvent, Mode,
+    TelemetryConfig, Trainer,
 };
 use infilter_dagflow::{AddressMapper, Dagflow, DagflowConfig};
 use infilter_net::Prefix;
 use infilter_nns::NnsParams;
+use infilter_store::{restore_registry, DiskOptions, DiskStore, EiaStore, ReplayReport};
 use infilter_traffic::NormalProfile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,6 +64,8 @@ pub enum BootstrapError {
     Config(ConfigError),
     /// Enhanced-mode training failed (e.g. no peers to synthesize from).
     Train(String),
+    /// The durable store could not be opened or replayed.
+    Store(std::io::Error),
 }
 
 impl std::fmt::Display for BootstrapError {
@@ -70,6 +73,7 @@ impl std::fmt::Display for BootstrapError {
         match self {
             BootstrapError::Config(e) => write!(f, "analyzer config: {e}"),
             BootstrapError::Train(why) => write!(f, "training: {why}"),
+            BootstrapError::Store(e) => write!(f, "durable store: {e}"),
         }
     }
 }
@@ -88,6 +92,28 @@ pub fn bootstrap_engine(
     cfg: &DaemonConfig,
     boot: &BootstrapConfig,
 ) -> Result<ConcurrentAnalyzer, BootstrapError> {
+    bootstrap_with_store(cfg, boot).map(|(engine, _)| engine)
+}
+
+/// [`bootstrap_engine`], plus the durable EIA store when `cfg.store_dir`
+/// is set: the store is opened *before* training, its snapshot and
+/// adoption log are replayed into the EIA registry (the warm restart —
+/// previously adopted prefixes skip the sighting threshold entirely),
+/// and the recovery is journaled. The returned store, if any, should be
+/// handed to [`Daemon::spawn_with_store`](crate::Daemon::spawn_with_store)
+/// so new adoptions keep flowing to disk.
+///
+/// # Errors
+///
+/// Returns [`BootstrapError`] if the analyzer config fails validation,
+/// Enhanced training cannot proceed, or the store directory cannot be
+/// opened. A corrupt or torn log is *not* an error: recovery truncates
+/// to the longest clean prefix and continues.
+#[allow(clippy::type_complexity)]
+pub fn bootstrap_with_store(
+    cfg: &DaemonConfig,
+    boot: &BootstrapConfig,
+) -> Result<(ConcurrentAnalyzer, Option<Box<dyn EiaStore + Send>>), BootstrapError> {
     let analyzer_cfg: AnalyzerConfig = AnalyzerConfig::builder()
         .mode(cfg.mode)
         .nns(boot.nns)
@@ -105,7 +131,27 @@ pub fn bootstrap_engine(
         })
         .build()
         .map_err(BootstrapError::Config)?;
-    let eia = cfg.eia_registry(analyzer_cfg.adoption_threshold);
+    let mut eia = cfg.eia_registry(analyzer_cfg.adoption_threshold);
+    // Warm restart: replay durable state into the registry *before*
+    // training so the trained engine publishes the recovered table from
+    // its very first snapshot.
+    let mut store: Option<Box<dyn EiaStore + Send>> = None;
+    let mut recovery: Option<ReplayReport> = None;
+    if let Some(dir) = &cfg.store_dir {
+        let disk = DiskStore::open_with(
+            dir,
+            DiskOptions {
+                segment_bytes: cfg.store_segment_bytes,
+            },
+        )
+        .map_err(|e| BootstrapError::Store(e.into_io()))?;
+        let replay = disk
+            .replay()
+            .map_err(|e| BootstrapError::Store(e.into_io()))?;
+        restore_registry(&replay, &mut eia);
+        recovery = Some(replay.report);
+        store = Some(Box::new(disk));
+    }
     let trainer = Trainer::new(analyzer_cfg);
     let analyzer = match cfg.mode {
         Mode::Basic => trainer.train_basic(eia),
@@ -122,13 +168,39 @@ pub fn bootstrap_engine(
                 .map_err(|e| BootstrapError::Train(e.to_string()))?
         }
     };
-    Ok(ConcurrentAnalyzer::new(
+    let engine = ConcurrentAnalyzer::new(
         analyzer,
         ConcurrentConfig {
             shards: cfg.shards,
             ..ConcurrentConfig::default()
         },
-    ))
+    );
+    if let Some(report) = recovery {
+        let age_seconds = report
+            .snapshot_sealed_at_ms
+            .map(|sealed| wall_ms().saturating_sub(sealed) / 1000)
+            .unwrap_or(u64::MAX);
+        let telemetry = Engine::telemetry(&engine);
+        telemetry.note_store_recovery(
+            report.records_replayed,
+            u64::from(report.segments_scanned),
+            age_seconds,
+        );
+        telemetry.journal().record(JournalEvent::StoreRecovery {
+            records: report.records_replayed.min(u64::from(u32::MAX)) as u32,
+            segments: report.segments_scanned,
+            snapshot_age_seconds: age_seconds.min(u64::from(u32::MAX)) as u32,
+        });
+    }
+    Ok((engine, store))
+}
+
+/// Milliseconds since the Unix epoch, for snapshot-age reporting.
+fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// Synthesizes the normal training cluster over the configured peers'
@@ -161,14 +233,24 @@ fn synthesize_training(
 ///
 /// Propagates [`BootstrapError`] and socket errors as strings.
 pub fn run_until_shutdown(cfg: &DaemonConfig, boot: &BootstrapConfig) -> Result<(), String> {
-    let engine = bootstrap_engine(cfg, boot).map_err(|e| e.to_string())?;
-    let daemon = crate::Daemon::spawn(engine, cfg).map_err(|e| e.to_string())?;
+    let (engine, store) = bootstrap_with_store(cfg, boot).map_err(|e| e.to_string())?;
+    let warm = Engine::telemetry(&engine).store_recovery();
+    let daemon = crate::Daemon::spawn_with_store(engine, cfg, store).map_err(|e| e.to_string())?;
     println!(
         "infilterd: NetFlow v5 on udp://{} — control on http://{}",
         daemon.udp_addr(),
         daemon.http_addr()
     );
-    println!("routes: /metrics /alerts /explain /ops /trace /events /healthz /reload /shutdown");
+    println!(
+        "routes: /v1/{{metrics alerts explain ops store trace events healthz reload shutdown}} \
+         (unversioned aliases kept)"
+    );
+    if warm.0 {
+        println!(
+            "warm restart: replayed {} adoption records from {} segments",
+            warm.1, warm.2
+        );
+    }
     daemon.wait();
     // Give the in-flight /shutdown response a beat to flush.
     std::thread::sleep(Duration::from_millis(50));

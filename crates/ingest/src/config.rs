@@ -17,7 +17,13 @@ use crate::ladder::LadderConfig;
 
 /// Everything `infilterd` needs to come up, with testing-friendly
 /// defaults (loopback, ephemeral ports).
+///
+/// Marked `#[non_exhaustive]`: out-of-crate construction goes through
+/// [`DaemonConfig::builder`] (which validates) or [`DaemonConfig::parse`],
+/// so new knobs — like the `store_*` family this struct just grew — can
+/// keep arriving without breaking callers.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct DaemonConfig {
     /// UDP socket NetFlow v5 exporters send to.
     pub listen: String,
@@ -63,6 +69,15 @@ pub struct DaemonConfig {
     /// Maximum distinct peers tracked by per-peer counter families
     /// (0 = unbounded); overflow peers share one aggregate cell.
     pub peer_family_cap: usize,
+    /// Directory of the durable EIA store (`None` = persistence off; the
+    /// daemon then forgets dynamic adoptions on restart).
+    pub store_dir: Option<String>,
+    /// Roll (and fsync) a store log segment once it reaches this many
+    /// bytes.
+    pub store_segment_bytes: u64,
+    /// Compact the store — seal a snapshot and drop the log it covers —
+    /// every N appended adoption records (0 = seal only at shutdown).
+    pub store_compact_every: u64,
     /// Per-peer expected prefixes (the preloaded EIA table).
     pub peers: Vec<(PeerId, Prefix)>,
 }
@@ -89,8 +104,102 @@ impl Default for DaemonConfig {
             shape_windows: 24,
             drift_threshold: 0.6,
             peer_family_cap: 1024,
+            store_dir: None,
+            store_segment_bytes: 1 << 20,
+            store_compact_every: 8192,
             peers: Vec::new(),
         }
+    }
+}
+
+/// Builder for [`DaemonConfig`] — the only way to construct one outside
+/// this crate besides [`DaemonConfig::parse`]. `build()` runs the same
+/// validation the parser does, so an impossible config (zero rings, an
+/// inverted ladder) is caught at construction, not at bind time.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonConfigBuilder {
+    cfg: DaemonConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.cfg.$name = value;
+            self
+        }
+    )*};
+}
+
+impl DaemonConfigBuilder {
+    builder_setters! {
+        /// UDP socket NetFlow v5 exporters send to.
+        listen: String,
+        /// TCP socket serving the control plane.
+        serve: String,
+        /// UDP listener threads.
+        listeners: usize,
+        /// Intake rings.
+        rings: usize,
+        /// Bounded capacity of each intake ring, in batches.
+        ring_capacity: usize,
+        /// Suspect-path shards for the concurrent engine.
+        shards: usize,
+        /// BI or EI.
+        mode: Mode,
+        /// Maximum batches drained per worker step.
+        batch_budget: usize,
+        /// IDMEF alert spool size.
+        alert_spool: usize,
+        /// Degradation-ladder watermarks.
+        ladder: LadderConfig,
+        /// Head sampling period for tracing (0 disables).
+        trace_sample_every: u64,
+        /// Completed traces retained for `/trace`.
+        trace_capacity: usize,
+        /// Structured events retained for `/events`.
+        journal_capacity: usize,
+        /// Shape-sketch sampling stride (0 disables the shape layer).
+        shape_sample_every: u64,
+        /// Top-K table size for `/ops`.
+        shape_top_k: usize,
+        /// Length of one attack-shape interval, seconds.
+        shape_window_secs: u64,
+        /// Sealed shape intervals retained.
+        shape_windows: usize,
+        /// Drift score at which a `peer_drift` event fires.
+        drift_threshold: f64,
+        /// Per-peer counter family cap (0 = unbounded).
+        peer_family_cap: usize,
+        /// Durable EIA store directory (`None` = persistence off).
+        store_dir: Option<String>,
+        /// Store log segment roll size, bytes.
+        store_segment_bytes: u64,
+        /// Store compaction cadence in appended records (0 = at shutdown).
+        store_compact_every: u64,
+    }
+
+    /// Adds one preloaded EIA entry.
+    pub fn peer(mut self, peer: PeerId, prefix: Prefix) -> Self {
+        self.cfg.peers.push((peer, prefix));
+        self
+    }
+
+    /// Adds many preloaded EIA entries.
+    pub fn peers<I: IntoIterator<Item = (PeerId, Prefix)>>(mut self, peers: I) -> Self {
+        self.cfg.peers.extend(peers);
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ParseError`] shape the file parser uses (line 0)
+    /// when a value is out of range or the ladder is inconsistent.
+    pub fn build(self) -> Result<DaemonConfig, ParseError> {
+        self.cfg.validate().map_err(|why| err(0, why))?;
+        Ok(self.cfg)
     }
 }
 
@@ -119,9 +228,15 @@ fn err(line: usize, why: impl Into<String>) -> ParseError {
 }
 
 impl DaemonConfig {
-    /// Parses the daemon config format. Unknown keys are errors (a typoed
-    /// watermark silently falling back to its default is how overload
-    /// protection quietly disappears in production).
+    /// Starts a builder seeded with the defaults.
+    pub fn builder() -> DaemonConfigBuilder {
+        DaemonConfigBuilder::default()
+    }
+
+    /// Parses the daemon config format. Unknown keys are errors with a
+    /// nearest-known-key suggestion (a typoed watermark silently falling
+    /// back to its default is how overload protection quietly disappears
+    /// in production).
     ///
     /// ```text
     /// listen = 127.0.0.1:2055
@@ -133,20 +248,37 @@ impl DaemonConfig {
     /// recover_below  = 0.25
     /// recover_after  = 64
     /// peer 1 3.0.0.0/11
+    ///
+    /// [store]
+    /// dir = /var/lib/infilterd/eia
+    /// segment_bytes = 1048576
+    /// compact_every = 8192
     /// ```
+    ///
+    /// The `[store]` section keys are also accepted flat anywhere as
+    /// `store_dir`, `store_segment_bytes`, `store_compact_every`.
     ///
     /// # Errors
     ///
     /// Returns the first offending line.
     pub fn parse(text: &str) -> Result<DaemonConfig, ParseError> {
         let mut cfg = DaemonConfig::default();
+        let mut in_store_section = false;
         for (i, raw) in text.lines().enumerate() {
             let n = i + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
+            if let Some(section) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+                match section.trim() {
+                    "store" => in_store_section = true,
+                    other => return Err(err(n, format!("unknown section `[{other}]`"))),
+                }
+                continue;
+            }
             if let Some(rest) = line.strip_prefix("peer ") {
+                in_store_section = false;
                 cfg.peers.push(parse_peer_line(rest, n)?);
                 continue;
             }
@@ -154,6 +286,15 @@ impl DaemonConfig {
                 return Err(err(n, format!("expected `key = value`, got `{line}`")));
             };
             let (key, value) = (key.trim(), value.trim());
+            // `[store] dir = ...` and a flat `store_dir = ...` are the
+            // same key; normalise before matching.
+            let scoped;
+            let key = if in_store_section && !key.starts_with("store_") {
+                scoped = format!("store_{key}");
+                scoped.as_str()
+            } else {
+                key
+            };
             match key {
                 "listen" => cfg.listen = value.to_string(),
                 "serve" => cfg.serve = value.to_string(),
@@ -183,7 +324,20 @@ impl DaemonConfig {
                 "bi_only_above" => cfg.ladder.bi_only_above = parse_frac(key, value, n)?,
                 "recover_below" => cfg.ladder.recover_below = parse_frac(key, value, n)?,
                 "recover_after" => cfg.ladder.recover_after = parse_num(key, value, n)?,
-                other => return Err(err(n, format!("unknown key `{other}`"))),
+                "store_dir" => {
+                    cfg.store_dir = (!value.is_empty()).then(|| value.to_string());
+                }
+                "store_segment_bytes" => cfg.store_segment_bytes = parse_num(key, value, n)?,
+                "store_compact_every" => cfg.store_compact_every = parse_num(key, value, n)?,
+                other => {
+                    let why = match suggest_key(other) {
+                        Some(known) => {
+                            format!("unknown key `{other}` (did you mean `{known}`?)")
+                        }
+                        None => format!("unknown key `{other}`"),
+                    };
+                    return Err(err(n, why));
+                }
             }
         }
         cfg.validate().map_err(|why| err(0, why))?;
@@ -215,6 +369,9 @@ impl DaemonConfig {
         if self.shape_sample_every != 0 && self.shape_windows == 0 {
             return Err("shape_windows must be >= 1 while the shape layer is on".into());
         }
+        if self.store_dir.is_some() && self.store_segment_bytes == 0 {
+            return Err("store_segment_bytes must be >= 1 while the store is on".into());
+        }
         self.ladder.validate()
     }
 
@@ -243,7 +400,7 @@ pub fn parse_eia_table(text: &str) -> Result<Vec<(PeerId, Prefix)>, ParseError> 
     for (i, raw) in text.lines().enumerate() {
         let n = i + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() || line.contains('=') {
+        if line.is_empty() || line.contains('=') || line.starts_with('[') {
             continue;
         }
         let rest = line
@@ -255,6 +412,63 @@ pub fn parse_eia_table(text: &str) -> Result<Vec<(PeerId, Prefix)>, ParseError> 
         return Err(err(0, "EIA table holds no peer lines"));
     }
     Ok(peers)
+}
+
+/// Every key [`DaemonConfig::parse`] accepts, for typo suggestions.
+const KNOWN_KEYS: &[&str] = &[
+    "listen",
+    "serve",
+    "listeners",
+    "rings",
+    "ring_capacity",
+    "shards",
+    "batch_budget",
+    "alert_spool",
+    "trace_sample_every",
+    "trace_capacity",
+    "journal_capacity",
+    "shape_sample_every",
+    "shape_top_k",
+    "shape_window_secs",
+    "shape_windows",
+    "drift_threshold",
+    "peer_family_cap",
+    "mode",
+    "skip_nns_above",
+    "bi_only_above",
+    "recover_below",
+    "recover_after",
+    "store_dir",
+    "store_segment_bytes",
+    "store_compact_every",
+];
+
+/// The nearest known key within a small edit distance, if any — enough to
+/// turn `skip_nns_abvoe` into an actionable error.
+fn suggest_key(unknown: &str) -> Option<&'static str> {
+    KNOWN_KEYS
+        .iter()
+        .map(|&k| (edit_distance(unknown, k), k))
+        .min()
+        .filter(|&(d, k)| d <= 2 || d * 3 <= k.len())
+        .map(|(_, k)| k)
+}
+
+/// Plain Levenshtein distance, two-row rolling table. Config keys are a
+/// couple dozen characters at most, so O(nm) is nothing.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 fn parse_peer_line(rest: &str, n: usize) -> Result<(PeerId, Prefix), ParseError> {
@@ -335,6 +549,70 @@ mod tests {
         );
         assert_eq!(cfg.peers.len(), 2);
         assert_eq!(cfg.peers[0].0, PeerId(1));
+    }
+
+    #[test]
+    fn builder_validates_like_the_parser() {
+        let cfg = DaemonConfig::builder()
+            .listeners(3)
+            .mode(Mode::Basic)
+            .store_dir(Some("/tmp/eia".into()))
+            .store_compact_every(64)
+            .peer(PeerId(1), "3.0.0.0/11".parse().unwrap())
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.listeners, 3);
+        assert_eq!(cfg.store_dir.as_deref(), Some("/tmp/eia"));
+        assert_eq!(cfg.store_compact_every, 64);
+        assert_eq!(cfg.peers.len(), 1);
+        assert!(DaemonConfig::builder().rings(0).build().is_err());
+        assert!(DaemonConfig::builder()
+            .store_dir(Some("/tmp/eia".into()))
+            .store_segment_bytes(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn parses_the_store_section_and_flat_aliases() {
+        let cfg = DaemonConfig::parse(
+            "listen = 127.0.0.1:2055\n\n[store]\ndir = /var/lib/infilterd/eia\n\
+             segment_bytes = 65536\ncompact_every = 100\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.store_dir.as_deref(), Some("/var/lib/infilterd/eia"));
+        assert_eq!(cfg.store_segment_bytes, 65536);
+        assert_eq!(cfg.store_compact_every, 100);
+        let flat = DaemonConfig::parse(
+            "store_dir = ./eia\nstore_segment_bytes = 4096\nstore_compact_every = 0\n",
+        )
+        .expect("parses");
+        assert_eq!(flat.store_dir.as_deref(), Some("./eia"));
+        assert_eq!(flat.store_segment_bytes, 4096);
+        // Persistence stays off by default and on an empty dir value.
+        assert_eq!(DaemonConfig::parse("").unwrap().store_dir, None);
+        assert_eq!(
+            DaemonConfig::parse("store_dir =\n").unwrap().store_dir,
+            None
+        );
+        assert!(DaemonConfig::parse("[stoer]\n")
+            .unwrap_err()
+            .why
+            .contains("unknown section"));
+        assert!(DaemonConfig::parse("[store]\nlisten = 1.2.3.4:1\n").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_come_with_a_suggestion() {
+        let e = DaemonConfig::parse("skip_nns_abvoe = 0.5\n").unwrap_err();
+        assert!(e.why.contains("unknown key"), "{e}");
+        assert!(e.why.contains("did you mean `skip_nns_above`?"), "{e}");
+        let e = DaemonConfig::parse("[store]\nsegment_byte = 1\n").unwrap_err();
+        assert!(e.why.contains("did you mean `store_segment_bytes`?"), "{e}");
+        // Nothing close: no misleading suggestion.
+        let e = DaemonConfig::parse("zzzzqqqq = 1\n").unwrap_err();
+        assert!(e.why.contains("unknown key"), "{e}");
+        assert!(!e.why.contains("did you mean"), "{e}");
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //!   what lets the daemon be generic over [`Engine`]'s `&mut self`
 //!   surface) and runs the [`IngestPump`] loop, interleaving control
 //!   requests between pump steps.
-//! * **One control thread** serves HTTP on the `serve` socket:
-//!   `GET /metrics`, `GET /alerts`, `GET /explain`, `GET /ops`,
-//!   `GET /healthz`, `POST /reload` (EIA hot-reload), `POST /shutdown`.
-//!   Requests that need engine state are forwarded to the worker over a
-//!   channel with a per-request reply channel; `/healthz` answers locally
-//!   (from the shared [`SnapshotHealth`]), so liveness checks keep working
-//!   even if the worker wedges.
+//! * **One control thread** serves HTTP on the `serve` socket. The
+//!   surface is versioned under `/v1/` (`/v1/metrics`, `/v1/alerts`,
+//!   `/v1/explain`, `/v1/ops`, `/v1/store`, `/v1/reload`,
+//!   `/v1/shutdown`, …) with the original unversioned paths kept as
+//!   aliases; one table ([`ROUTES`]) defines every route. Requests that
+//!   need engine state are forwarded to the worker over a channel with a
+//!   per-request reply channel; `/healthz` answers locally (from the
+//!   shared [`SnapshotHealth`]), so liveness checks keep working even if
+//!   the worker wedges.
 //!
 //! Shutdown ([`DaemonHandle::shutdown`]) is graceful by construction:
 //! listeners stop accepting, the worker drains every ring to empty,
@@ -38,6 +40,7 @@ use infilter_core::{
 };
 use infilter_net::Prefix;
 use infilter_netflow::FlowBatch;
+use infilter_store::EiaStore;
 use infilter_telemetry::trace::now_ns;
 use infilter_telemetry::{chrome_trace_json, Journal, SeqEvent, Tracer};
 
@@ -78,6 +81,7 @@ enum Control {
     Alerts(usize, mpsc::Sender<Vec<IdmefAlert>>),
     Explain(usize, mpsc::Sender<Vec<FlowDecision>>),
     Ops(usize, mpsc::Sender<String>),
+    Store(mpsc::Sender<String>),
     Reload(Vec<(PeerId, Prefix)>, mpsc::Sender<usize>),
     Finish(mpsc::Sender<FinalReport>),
 }
@@ -103,6 +107,25 @@ impl Daemon {
     where
         E: Engine + Send + 'static,
     {
+        Daemon::spawn_with_store(engine, cfg, None)
+    }
+
+    /// [`Daemon::spawn`], with an optional durable EIA store. The worker
+    /// thread takes ownership: adoption events drain into it between pump
+    /// steps, it compacts every `cfg.store_compact_every` records, and
+    /// shutdown seals a final snapshot before the report is produced.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either socket cannot bind or clone.
+    pub fn spawn_with_store<E>(
+        engine: E,
+        cfg: &DaemonConfig,
+        store: Option<Box<dyn EiaStore + Send>>,
+    ) -> std::io::Result<Daemon>
+    where
+        E: Engine + Send + 'static,
+    {
         let metrics = Arc::new(IngestMetrics::default());
         let tracer = Arc::new(Tracer::new(cfg.trace_sample_every, cfg.trace_capacity));
         // The journal is the engine's own (ladder moves, sheds, reloads and
@@ -119,13 +142,16 @@ impl Daemon {
             Arc::clone(&tracer),
             Arc::clone(&journal),
         ));
-        let pump = IngestPump::new(
+        let mut pump = IngestPump::new(
             engine,
             Arc::clone(&intake),
             cfg.ladder,
             cfg.batch_budget,
             cfg.alert_spool,
         );
+        if let Some(store) = store {
+            pump.set_store(store, cfg.store_compact_every);
+        }
 
         let udp = UdpSocket::bind(&cfg.listen)?;
         udp.set_read_timeout(Some(RECV_TIMEOUT))?;
@@ -277,13 +303,11 @@ fn worker_loop<E: Engine>(
                 Control::Ops(n, reply) => {
                     let _ = reply.send(pump.engine().ops_json(n));
                 }
+                Control::Store(reply) => {
+                    let _ = reply.send(pump.store_json());
+                }
                 Control::Reload(peers, reply) => {
-                    let threshold = pump.engine().config().adoption_threshold;
-                    let mut eia = infilter_core::EiaRegistry::new(threshold);
-                    for (peer, prefix) in peers {
-                        eia.preload(peer, prefix);
-                    }
-                    let _ = reply.send(pump.engine_mut().reload_eia(eia));
+                    let _ = reply.send(pump.reload_eia_table(peers));
                 }
                 Control::Finish(reply) => {
                     finish = Some(reply);
@@ -295,6 +319,9 @@ fn worker_loop<E: Engine>(
             stop.store(true, Ordering::SeqCst);
             pump.drain();
             pump.engine_mut().flush_adoptions();
+            // Flush published adoption events and seal the final table so
+            // the next boot replays exactly what this run adopted.
+            pump.finish_store();
             let exposition = pump.prometheus_text();
             let events = pump.engine().telemetry().journal().last(256);
             let report = FinalReport {
@@ -308,9 +335,11 @@ fn worker_loop<E: Engine>(
             return;
         }
         if stop.load(Ordering::Relaxed) {
-            // Shutdown without a Finish request (handle dropped): drain
-            // and exit so the join in `shutdown` never hangs.
+            // Shutdown without a Finish request (handle dropped): drain,
+            // still seal the store, and exit so the join never hangs.
             pump.drain();
+            pump.engine_mut().flush_adoptions();
+            pump.finish_store();
             return;
         }
         if pump.step() == 0 {
@@ -345,6 +374,52 @@ fn http_loop(
 /// 503s, not hung scrapes.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Every control-plane endpoint, dispatched from the [`ROUTES`] table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Healthz,
+    Metrics,
+    Alerts,
+    Explain,
+    Ops,
+    Store,
+    Trace,
+    Events,
+    Reload,
+    Shutdown,
+}
+
+/// The control-plane routing table: `(method, unversioned path, route)`.
+/// Each entry is served both at its canonical versioned path
+/// (`/v1/metrics`) and at the legacy unversioned alias (`/metrics`).
+const ROUTES: &[(&str, &str, Route)] = &[
+    ("GET", "/healthz", Route::Healthz),
+    ("GET", "/metrics", Route::Metrics),
+    ("GET", "/alerts", Route::Alerts),
+    ("GET", "/explain", Route::Explain),
+    ("GET", "/ops", Route::Ops),
+    ("GET", "/store", Route::Store),
+    ("GET", "/trace", Route::Trace),
+    ("GET", "/events", Route::Events),
+    ("POST", "/reload", Route::Reload),
+    ("POST", "/shutdown", Route::Shutdown),
+];
+
+/// Resolves a request line against [`ROUTES`], accepting both the
+/// versioned (`/v1/...`) and legacy unversioned spellings.
+fn resolve_route(method: &str, path_only: &str) -> Option<Route> {
+    let unversioned = match path_only.strip_prefix("/v1") {
+        // `/v1/metrics` → `/metrics`; a bare `/v1` or `/v1x...` is not a
+        // versioned path.
+        Some(rest) if rest.starts_with('/') => rest,
+        _ => path_only,
+    };
+    ROUTES
+        .iter()
+        .find(|(m, p, _)| *m == method && *p == unversioned)
+        .map(|&(_, _, route)| route)
+}
+
 fn handle_request(
     mut stream: TcpStream,
     ctl: &mpsc::Sender<Control>,
@@ -360,8 +435,8 @@ fn handle_request(
     let path = parts.next().unwrap_or("");
     let path_only = path.split('?').next().unwrap_or(path);
 
-    let (status, content_type, body) = match (method, path_only) {
-        ("GET", "/healthz") => (
+    let (status, content_type, body) = match resolve_route(method, path_only) {
+        Some(Route::Healthz) => (
             "200 OK",
             "text/plain",
             format!(
@@ -370,11 +445,11 @@ fn handle_request(
                 health.age_seconds()
             ),
         ),
-        ("GET", "/metrics") => match ask(ctl, Control::Metrics) {
+        Some(Route::Metrics) => match ask(ctl, Control::Metrics) {
             Some(page) => ("200 OK", "text/plain; version=0.0.4", page),
             None => unavailable(),
         },
-        ("GET", "/alerts") => {
+        Some(Route::Alerts) => {
             let max = query_param(path, "max").unwrap_or(0);
             match ask(ctl, |reply| Control::Alerts(max, reply)) {
                 Some(alerts) => {
@@ -384,7 +459,7 @@ fn handle_request(
                 None => unavailable(),
             }
         }
-        ("GET", "/explain") => {
+        Some(Route::Explain) => {
             let n = query_param(path, "n").unwrap_or(16);
             match ask(ctl, |reply| Control::Explain(n, reply)) {
                 Some(decisions) => {
@@ -394,14 +469,18 @@ fn handle_request(
                 None => unavailable(),
             }
         }
-        ("GET", "/ops") => {
+        Some(Route::Ops) => {
             let n = query_param(path, "window").unwrap_or(12);
             match ask(ctl, |reply| Control::Ops(n, reply)) {
                 Some(json) => ("200 OK", "application/json", json),
                 None => unavailable(),
             }
         }
-        ("POST", "/reload") => match parse_eia_table(&body) {
+        Some(Route::Store) => match ask(ctl, Control::Store) {
+            Some(json) => ("200 OK", "application/json", json),
+            None => unavailable(),
+        },
+        Some(Route::Reload) => match parse_eia_table(&body) {
             Ok(peers) => match ask(ctl, |reply| Control::Reload(peers, reply)) {
                 Some(prefixes) => (
                     "200 OK",
@@ -418,7 +497,7 @@ fn handle_request(
         },
         // Both observability documents are served from shared state —
         // no worker round-trip, so they stay readable under overload.
-        ("GET", "/trace") => {
+        Some(Route::Trace) => {
             let n = query_param(path, "last").unwrap_or(64);
             (
                 "200 OK",
@@ -426,7 +505,7 @@ fn handle_request(
                 chrome_trace_json(&tracer.last(n)),
             )
         }
-        ("GET", "/events") => {
+        Some(Route::Events) => {
             let n = query_param(path, "last").unwrap_or(256);
             (
                 "200 OK",
@@ -434,11 +513,11 @@ fn handle_request(
                 render_events_json(&journal.last(n)),
             )
         }
-        ("POST", "/shutdown") => {
+        Some(Route::Shutdown) => {
             stop_requested.store(true, Ordering::SeqCst);
             ("200 OK", "text/plain", "shutting down\n".to_string())
         }
-        _ => (
+        None => (
             "404 Not Found",
             "text/plain",
             format!("no route for {method} {path_only}\n"),
@@ -520,4 +599,21 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<(String, String)> {
     }
     body.truncate(content_length);
     Ok((request_line, String::from_utf8_lossy(&body).to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versioned_and_legacy_paths_resolve_to_the_same_route() {
+        for (method, path, route) in ROUTES {
+            assert_eq!(resolve_route(method, path), Some(*route));
+            assert_eq!(resolve_route(method, &format!("/v1{path}")), Some(*route));
+        }
+        assert_eq!(resolve_route("GET", "/v1"), None);
+        assert_eq!(resolve_route("GET", "/v1metrics"), None);
+        assert_eq!(resolve_route("POST", "/metrics"), None);
+        assert_eq!(resolve_route("GET", "/nope"), None);
+    }
 }

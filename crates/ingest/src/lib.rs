@@ -38,7 +38,7 @@ mod metrics;
 mod pump;
 pub mod smoke;
 
-pub use config::{parse_eia_table, DaemonConfig, ParseError};
+pub use config::{parse_eia_table, DaemonConfig, DaemonConfigBuilder, ParseError};
 pub use daemon::{Daemon, FinalReport};
 pub use intake::{Batch, BatchTrace, Intake};
 pub use ladder::{Ladder, LadderConfig, Transition};

@@ -10,12 +10,36 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use infilter_core::{Effort, Engine, IdmefAlert, JournalEvent, Verdict};
+use infilter_core::{AdoptionEvent, Effort, Engine, IdmefAlert, JournalEvent, PeerId, Verdict};
+use infilter_net::Prefix;
+use infilter_store::{snapshot_entries, EiaStore};
 use infilter_telemetry::trace::{self, now_ns};
 
 use crate::intake::{Batch, Intake};
 use crate::ladder::{Ladder, LadderConfig};
 use crate::metrics::IngestMetrics;
+
+/// The worker-side end of the durable EIA store: the store handle plus
+/// the drain buffer and compaction cadence.
+struct StoreSide {
+    store: Box<dyn EiaStore + Send>,
+    /// Reused event sink for [`Engine::adoption_events`] drains.
+    events: Vec<AdoptionEvent>,
+    /// Compact after this many appended records (0 = only at shutdown).
+    compact_every: u64,
+    appended_since_compact: u64,
+    /// Failed store operations; the daemon keeps serving either way.
+    write_errors: u64,
+}
+
+impl std::fmt::Debug for StoreSide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreSide")
+            .field("stats", &self.store.stats())
+            .field("compact_every", &self.compact_every)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Pairs an owned engine with the shared intake and the ladder state.
 #[derive(Debug)]
@@ -30,6 +54,8 @@ pub struct IngestPump<E: Engine> {
     /// Reused verdict buffer: one allocation serves every batch of every
     /// step instead of a fresh `Vec` per batch.
     verdicts: Vec<Verdict>,
+    /// Durable EIA persistence, when configured.
+    store: Option<StoreSide>,
 }
 
 impl<E: Engine> IngestPump<E> {
@@ -50,7 +76,27 @@ impl<E: Engine> IngestPump<E> {
             batch_budget: batch_budget.max(1),
             scratch: Vec::new(),
             verdicts: Vec::new(),
+            store: None,
         }
+    }
+
+    /// Attaches the durable EIA store. From here on the pump drains the
+    /// engine's adoption events into it after every productive step,
+    /// compacts every `compact_every` appended records, and
+    /// [`finish_store`](Self::finish_store) seals it at shutdown.
+    pub fn set_store(&mut self, store: Box<dyn EiaStore + Send>, compact_every: u64) {
+        self.store = Some(StoreSide {
+            store,
+            events: Vec::new(),
+            compact_every,
+            appended_since_compact: 0,
+            write_errors: 0,
+        });
+    }
+
+    /// Whether a durable store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
     }
 
     /// The shared intake (the producer side).
@@ -126,8 +172,135 @@ impl<E: Engine> IngestPump<E> {
         if processed > 0 {
             self.metrics().record_processed(effort, processed as u64);
             self.spool_alerts();
+            // Adoption events surface at the engine's batched republish
+            // cadence, so this drain is almost always empty and costs one
+            // virtual call — the hot path never waits on a disk write.
+            self.persist_adoptions();
         }
         processed
+    }
+
+    /// Drains the engine's buffered adoption events into the durable
+    /// store, compacting once the configured record budget is spent.
+    fn persist_adoptions(&mut self) {
+        let Some(side) = self.store.as_mut() else {
+            return;
+        };
+        side.events.clear();
+        self.engine.adoption_events(&mut side.events);
+        if side.events.is_empty() {
+            return;
+        }
+        match side.store.append(&side.events) {
+            Ok(_) => side.appended_since_compact += side.events.len() as u64,
+            Err(_) => side.write_errors += 1,
+        }
+        side.events.clear();
+        if side.compact_every > 0 && side.appended_since_compact >= side.compact_every {
+            self.compact_store();
+        }
+    }
+
+    /// Seals a snapshot of the engine's *published* table and drops the
+    /// log it supersedes. Publishes pending adoptions first so the sealed
+    /// snapshot covers every record the log held.
+    fn compact_store(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        self.engine.flush_adoptions();
+        self.persist_published_then(|side, entries, adopted| side.store.compact(entries, adopted));
+    }
+
+    /// Shutdown path: drain any last adoption events, seal a snapshot of
+    /// the final table, and force everything to stable storage. Journals
+    /// a `store_seal` event on success.
+    pub fn finish_store(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        self.persist_adoptions();
+        self.persist_published_then(|side, entries, adopted| {
+            side.store.seal_snapshot(entries, adopted)?;
+            side.store.sync()
+        });
+    }
+
+    /// Common tail of compaction and shutdown sealing: snapshot the
+    /// published table, run `op` against the store, journal the seal.
+    fn persist_published_then<F>(&mut self, op: F)
+    where
+        F: FnOnce(
+            &mut StoreSide,
+            &[(PeerId, Prefix)],
+            u64,
+        ) -> Result<(), infilter_store::StoreError>,
+    {
+        let snap = self.engine.eia_snapshot();
+        let entries = snapshot_entries(&snap);
+        let Some(side) = self.store.as_mut() else {
+            return;
+        };
+        match op(side, &entries, snap.adopted_count()) {
+            Ok(()) => {
+                side.appended_since_compact = 0;
+                self.engine
+                    .telemetry()
+                    .journal()
+                    .record(JournalEvent::StoreSeal {
+                        entries: entries.len() as u32,
+                    });
+            }
+            Err(_) => side.write_errors += 1,
+        }
+    }
+
+    /// Hot-reloads the EIA table from `peer` lines (the `/reload` route).
+    /// With a store attached, the old adoption log no longer describes
+    /// the hot-swapped registry, so the store is compacted against a
+    /// fresh snapshot of the new table in the same breath.
+    pub fn reload_eia_table(&mut self, peers: Vec<(PeerId, Prefix)>) -> usize {
+        let threshold = self.engine.config().adoption_threshold;
+        let mut eia = infilter_core::EiaRegistry::new(threshold);
+        for (peer, prefix) in peers {
+            eia.preload(peer, prefix);
+        }
+        let prefixes = self.engine.reload_eia(eia);
+        if self.store.is_some() {
+            self.compact_store();
+        }
+        prefixes
+    }
+
+    /// The `/v1/store` document, hand-rendered like the rest of the JSON
+    /// surface: store counters plus what boot recovery replayed.
+    pub fn store_json(&self) -> String {
+        let (recovered, records, segments, age) = self.engine.telemetry().store_recovery();
+        match &self.store {
+            None => "{\"enabled\":false}".to_string(),
+            Some(side) => {
+                let s = side.store.stats();
+                format!(
+                    "{{\"enabled\":true,\"backend\":\"{}\",\"last_seq\":{},\
+                     \"appended_records\":{},\"segments\":{},\"log_bytes\":{},\
+                     \"seals\":{},\"write_errors\":{},\"pending_compact\":{},\
+                     \"recovery\":{{\"recovered\":{},\"records_replayed\":{},\
+                     \"segments_scanned\":{},\"snapshot_age_seconds\":{}}}}}",
+                    s.backend,
+                    s.last_seq,
+                    s.appended_records,
+                    s.segments,
+                    s.log_bytes,
+                    s.seals,
+                    side.write_errors,
+                    side.appended_since_compact,
+                    recovered,
+                    records,
+                    segments,
+                    age,
+                )
+            }
+        }
     }
 
     /// Activates a sampled batch's trace and back-fills the listener-side

@@ -15,7 +15,7 @@ use infilter_traffic::{AttackKind, NormalProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::bootstrap::{bootstrap_engine, BootstrapConfig};
+use crate::bootstrap::{bootstrap_engine, bootstrap_with_store, BootstrapConfig};
 use crate::config::DaemonConfig;
 use crate::metrics::missing_ingest_families;
 use crate::Daemon;
@@ -48,19 +48,17 @@ pub struct SmokeReport {
 pub fn run_smoke(seed: u64) -> Result<SmokeReport, String> {
     let blocks_per_peer = 40;
     let eia = eia_table(2, blocks_per_peer);
-    let mut cfg = DaemonConfig {
-        listeners: 2,
-        rings: 2,
-        ring_capacity: 256,
-        shards: 2,
-        ..DaemonConfig::default()
-    };
+    let mut builder = DaemonConfig::builder()
+        .listeners(2)
+        .rings(2)
+        .ring_capacity(256)
+        .shards(2);
     for (i, blocks) in eia.iter().enumerate() {
         for b in blocks {
-            cfg.peers
-                .push((infilter_core::PeerId(i as u16 + 1), b.prefix()));
+            builder = builder.peer(infilter_core::PeerId(i as u16 + 1), b.prefix());
         }
     }
+    let cfg = builder.build().map_err(|e| e.to_string())?;
     let boot = BootstrapConfig {
         seed,
         ..BootstrapConfig::default()
@@ -223,6 +221,164 @@ pub fn run_smoke(seed: u64) -> Result<SmokeReport, String> {
         decode_errors: report.ingest.decode_errors,
         attacks: report.engine.attacks(),
         alerts: drained_alerts + report.alerts.len(),
+    })
+}
+
+/// What the restart gate measured; printed by `infilterd --smoke-restart`.
+#[derive(Debug)]
+pub struct RestartReport {
+    /// Adoption records the warm boot replayed from the log.
+    pub replayed: u64,
+    /// EIA prefixes published immediately after the warm boot.
+    pub warm_prefixes: u64,
+    /// Adopted count recovered from the snapshot the shutdown sealed.
+    pub sealed_adopted: u64,
+}
+
+/// The kill-and-restart recovery gate behind `infilterd --smoke-restart`:
+/// a first "run" adopts sources through the real sighting path and is
+/// killed after a sync but *before* any snapshot seal; the daemon then
+/// boots on the same store directory and must come up warm — the
+/// recovered table bit-identical, `/v1/store` and the journal reporting
+/// the replay, and `infilter_eia_prefixes` at full size before a single
+/// datagram arrives (no re-training window). Shutdown must seal, and the
+/// sealed state must round-trip once more.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first failed assertion.
+pub fn run_restart_smoke(seed: u64) -> Result<RestartReport, String> {
+    use infilter_core::PeerId;
+    use infilter_store::{restore_registry, DiskStore, EiaStore};
+
+    let threshold = infilter_core::AnalyzerConfig::default().adoption_threshold;
+    let dir = std::env::temp_dir().join(format!(
+        "infilterd-restart-smoke-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let eia = eia_table(2, 8);
+    let mut builder = DaemonConfig::builder()
+        .mode(infilter_core::Mode::Basic)
+        .listeners(1)
+        .rings(1)
+        .ring_capacity(64)
+        .shards(1)
+        .store_dir(Some(dir.to_string_lossy().into_owned()));
+    for (i, blocks) in eia.iter().enumerate() {
+        for b in blocks {
+            builder = builder.peer(PeerId(i as u16 + 1), b.prefix());
+        }
+    }
+    let cfg = builder.build().map_err(|e| e.to_string())?;
+
+    // Phase 1 — the previous run: adopt hosts through the real sighting
+    // path, drain each batch of events to disk, sync, and "crash" (drop
+    // the store without sealing a snapshot).
+    const ADOPTED: u8 = 12;
+    let mut live = cfg.eia_registry(threshold);
+    {
+        let mut store = DiskStore::open(&dir).map_err(|e| e.to_string())?;
+        let mut events = Vec::new();
+        for host in 0..ADOPTED {
+            let addr = std::net::Ipv4Addr::new(198, 51, 100, host);
+            for _ in 0..threshold {
+                live.record_sighting(PeerId(1), addr);
+            }
+            live.drain_events(&mut events);
+            store.append(&events).map_err(|e| e.to_string())?;
+            events.clear();
+        }
+        store.sync().map_err(|e| e.to_string())?;
+    }
+
+    // Recovery must rebuild the exact table the killed run last had.
+    {
+        let store = DiskStore::open(&dir).map_err(|e| e.to_string())?;
+        let replay = store.replay().map_err(|e| e.to_string())?;
+        if replay.report.records_replayed != u64::from(ADOPTED) {
+            return Err(format!(
+                "expected {ADOPTED} replayed records, got {}",
+                replay.report.records_replayed
+            ));
+        }
+        let mut recovered = cfg.eia_registry(threshold);
+        restore_registry(&replay, &mut recovered);
+        if recovered.snapshot() != live.snapshot() {
+            return Err("recovered EIA snapshot is not bit-identical to the killed run's".into());
+        }
+    }
+    let expected_prefixes = live.snapshot().prefix_count() as u64;
+
+    // Phase 2 — warm restart: the daemon boots on the same directory and
+    // must publish the recovered table before any traffic arrives.
+    let boot = BootstrapConfig {
+        seed,
+        ..BootstrapConfig::default()
+    };
+    let (engine, store) = bootstrap_with_store(&cfg, &boot).map_err(|e| e.to_string())?;
+    let daemon =
+        Daemon::spawn_with_store(engine, &cfg, store).map_err(|e| format!("spawn: {e}"))?;
+    let http = daemon.http_addr();
+
+    let store_doc = http_get(http, "/v1/store")?;
+    for needle in [
+        "\"enabled\":true",
+        "\"recovered\":true",
+        &format!("\"records_replayed\":{ADOPTED}"),
+    ] {
+        if !store_doc.contains(needle) {
+            return Err(format!("/v1/store missing {needle}: {store_doc}"));
+        }
+    }
+    if !http_get(http, "/v1/events")?.contains("store_recovery") {
+        return Err("journal has no store_recovery event after a warm boot".into());
+    }
+    let page = http_get(http, "/v1/metrics")?;
+    let warm_prefixes = metric_value(&page, "infilter_eia_prefixes").unwrap_or(-1.0) as u64;
+    if warm_prefixes != expected_prefixes {
+        return Err(format!(
+            "warm boot published {warm_prefixes} EIA prefixes, expected {expected_prefixes} \
+             (re-training window not skipped?)"
+        ));
+    }
+    // The unversioned alias must serve the same document family.
+    if !http_get(http, "/metrics")?.contains("infilter_eia_prefixes") {
+        return Err("legacy /metrics alias broken".into());
+    }
+    http_post(http, "/v1/shutdown", "")?;
+    let report = daemon.shutdown();
+    if !report.events.iter().any(|e| e.event.kind() == "store_seal") {
+        return Err("shutdown did not journal a store_seal".into());
+    }
+
+    // Phase 3 — the state the shutdown sealed round-trips once more.
+    let sealed_adopted = {
+        let store = DiskStore::open(&dir).map_err(|e| e.to_string())?;
+        let replay = store.replay().map_err(|e| e.to_string())?;
+        let doc = replay
+            .snapshot
+            .as_ref()
+            .ok_or("shutdown left no sealed snapshot")?;
+        let mut recovered = cfg.eia_registry(threshold);
+        restore_registry(&replay, &mut recovered);
+        if recovered.snapshot() != live.snapshot() {
+            return Err("post-shutdown recovery is not bit-identical".into());
+        }
+        doc.adopted
+    };
+    if sealed_adopted != u64::from(ADOPTED) {
+        return Err(format!(
+            "sealed snapshot carries adopted={sealed_adopted}, expected {ADOPTED}"
+        ));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(RestartReport {
+        replayed: u64::from(ADOPTED),
+        warm_prefixes,
+        sealed_adopted,
     })
 }
 

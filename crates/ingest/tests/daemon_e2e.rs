@@ -21,23 +21,22 @@ const PACE: Duration = Duration::from_micros(200);
 fn daemon_ingests_alerts_and_shuts_down_gracefully() {
     let blocks_per_peer = 40;
     let eia = eia_table(2, blocks_per_peer);
-    let mut cfg = DaemonConfig {
-        mode: Mode::Basic,
-        listeners: 2,
-        rings: 2,
+    let mut builder = DaemonConfig::builder()
+        .mode(Mode::Basic)
+        .listeners(2)
+        .rings(2)
         // Trace every datagram so /trace has content by the time the
         // replay finishes (head sampling, forced to 1-in-1).
-        trace_sample_every: 1,
+        .trace_sample_every(1)
         // Sketch every suspect so /ops ranks the pinned spoofed source
         // deterministically.
-        shape_sample_every: 1,
-        ..DaemonConfig::default()
-    };
+        .shape_sample_every(1);
     for (i, blocks) in eia.iter().enumerate() {
         for b in blocks {
-            cfg.peers.push((PeerId(i as u16 + 1), b.prefix()));
+            builder = builder.peer(PeerId(i as u16 + 1), b.prefix());
         }
     }
+    let cfg = builder.build().expect("valid config");
     let boot = BootstrapConfig::default();
     let engine = bootstrap_engine(&cfg, &boot).expect("bootstrap");
     let daemon = Daemon::spawn(engine, &cfg).expect("spawn");

@@ -11,15 +11,12 @@ use infilter_ingest::{Batch, DaemonConfig, IngestMetrics, IngestPump, Intake, La
 use infilter_netflow::FlowRecord;
 
 fn daemon_config(mode: Mode) -> DaemonConfig {
-    let mut cfg = DaemonConfig {
-        mode,
-        ..DaemonConfig::default()
-    };
-    cfg.peers
-        .push((PeerId(1), "3.0.0.0/11".parse().expect("static prefix")));
-    cfg.peers
-        .push((PeerId(2), "3.32.0.0/11".parse().expect("static prefix")));
-    cfg
+    DaemonConfig::builder()
+        .mode(mode)
+        .peer(PeerId(1), "3.0.0.0/11".parse().expect("static prefix"))
+        .peer(PeerId(2), "3.32.0.0/11".parse().expect("static prefix"))
+        .build()
+        .expect("valid config")
 }
 
 fn legal_record(i: u32) -> FlowRecord {

@@ -48,7 +48,7 @@ const NO_MATCH: u32 = 0x7FFF_FFFF;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrozenLpm<V> {
     /// Direct-index table over the top 16 address bits. Each entry is
     /// either a leaf result (index into `values`, or [`NO_MATCH`]) or, with
@@ -73,7 +73,7 @@ pub struct FrozenLpm<V> {
 /// `leaf_bitmap` bits at or below the slot: a set bit marks the start of a
 /// run of equal leaf-pushed results, so only run boundaries are stored.
 /// Bit 0 of `leaf_bitmap` is always set, making every leaf rank ≥ 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct LpmNode {
     child_bitmap: [u64; 4],
     leaf_bitmap: [u64; 4],

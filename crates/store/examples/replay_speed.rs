@@ -1,0 +1,66 @@
+//! Warm-restart replay speed: append N adoption records to a fresh
+//! `DiskStore`, reopen the directory cold, and time each leg of recovery
+//! — the numbers behind EXPERIMENTS.md's cold-vs-warm table.
+//!
+//! ```text
+//! cargo run --release -p infilter-store --example replay_speed [records]
+//! ```
+
+use std::time::Instant;
+
+use infilter_core::{AdoptionAction, AdoptionEvent, EiaRegistry, PeerId};
+use infilter_net::Prefix;
+use infilter_store::{restore_registry, DiskStore, EiaStore};
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let dir = std::env::temp_dir().join(format!("infilter-replay-speed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Write side: the daemon appends in small batches as republishes drain.
+    let events: Vec<AdoptionEvent> = (0..n)
+        .map(|i| AdoptionEvent {
+            peer: PeerId((i % 64) as u16 + 1),
+            prefix: Prefix::new(std::net::Ipv4Addr::from(0x0a00_0000u32.wrapping_add(i)), 32),
+            action: AdoptionAction::Adopted,
+        })
+        .collect();
+    let mut store = DiskStore::open(&dir).expect("open store dir");
+    let t = Instant::now();
+    for chunk in events.chunks(32) {
+        store.append(chunk).expect("append");
+    }
+    store.sync().expect("sync");
+    let write = t.elapsed();
+    let log_bytes = store.stats().log_bytes;
+    drop(store); // crash-equivalent: no seal
+
+    // Cold boot: scan + checksum every frame, then rebuild the registry
+    // and compile its first published snapshot.
+    let t = Instant::now();
+    let store = DiskStore::open(&dir).expect("reopen");
+    let replay = store.replay().expect("replay");
+    let scan = t.elapsed();
+    let t = Instant::now();
+    let mut registry = EiaRegistry::new(5);
+    let applied = restore_registry(&replay, &mut registry);
+    let snapshot = registry.snapshot();
+    let restore = t.elapsed();
+
+    let rate = |d: std::time::Duration| f64::from(n) / d.as_secs_f64() / 1e6;
+    println!(
+        "{n} records ({log_bytes} log bytes):\n\
+         \x20 append+sync   {write:>12.3?}  ({:.1} M rec/s)\n\
+         \x20 open+scan     {scan:>12.3?}  ({:.1} M rec/s)\n\
+         \x20 restore+snap  {restore:>12.3?}  ({:.1} M rec/s)\n\
+         \x20 replayed {applied}, snapshot holds {} prefixes",
+        rate(write),
+        rate(scan),
+        rate(restore),
+        snapshot.prefix_count(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,551 @@
+//! The on-disk [`EiaStore`] backend: a directory of append-only log
+//! segments plus sealed snapshot files.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! store/
+//!   seg-0000000000000001.log   # frames, first sequence in the name
+//!   seg-00000000000003a8.log
+//!   snap-00000000000003a7.eia  # sealed table, watermark in the name
+//! ```
+//!
+//! Durability discipline: appends are buffered and reach stable storage
+//! at segment rolls (default every ~1 MiB), at seals, and on explicit
+//! [`sync`](EiaStore::sync) — never per append, which is what keeps the
+//! full-EI ingest rung inside its throughput gate with persistence on.
+//! Snapshots are written to a temp file, fsync'd, renamed into place,
+//! and the directory fsync'd, so a crash mid-seal leaves either the old
+//! state or the new, never a half-written snapshot under a valid name.
+//!
+//! Recovery at [`DiskStore::open`] mirrors the NetFlow wire decoder's
+//! fuzz discipline: it never panics on any byte sequence. The newest
+//! snapshot that decodes cleanly wins (older ones, then full log replay,
+//! are the fallbacks); segments are scanned in order and the scan stops
+//! at the first frame that fails for any reason — the segment is
+//! truncated at the last clean frame and later segments are deleted, so
+//! the on-disk log and the recovered state agree exactly.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use infilter_core::{AdoptionEvent, PeerId};
+use infilter_net::Prefix;
+
+use crate::codec::{self, SnapshotDoc};
+use crate::{EiaRecord, EiaStore, Replay, ReplayReport, StoreError, StoreStats};
+
+const SEG_PREFIX: &str = "seg-";
+const SEG_SUFFIX: &str = ".log";
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".eia";
+
+/// Tunables for [`DiskStore::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskOptions {
+    /// Roll (and fsync) the live segment once it reaches this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for DiskOptions {
+    fn default() -> Self {
+        DiskOptions {
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Append-only durable store rooted at one directory. See the module
+/// docs for layout and durability discipline.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    options: DiskOptions,
+    writer: BufWriter<File>,
+    seg_path: PathBuf,
+    seg_bytes: u64,
+    sealed_segments: Vec<PathBuf>,
+    sealed_bytes: u64,
+    next_seq: u64,
+    recovered: Replay,
+    appended: u64,
+    seals: u64,
+    scratch: Vec<u8>,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store at `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(dir, DiskOptions::default())
+    }
+
+    /// Opens (creating if needed) the store at `dir`, runs recovery, and
+    /// starts a fresh live segment. The recovery result is cached and
+    /// served by [`replay`](EiaStore::replay).
+    pub fn open_with(dir: impl AsRef<Path>, options: DiskOptions) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let mut snapshots = list_numbered(&dir, SNAP_PREFIX, SNAP_SUFFIX)?;
+        // Newest first: the highest watermark that decodes cleanly wins.
+        snapshots.sort_by_key(|snap| std::cmp::Reverse(snap.0));
+        let mut snapshot: Option<SnapshotDoc> = None;
+        for (_, path) in &snapshots {
+            if let Ok(bytes) = fs::read(path) {
+                if let Ok(doc) = codec::decode_snapshot(&bytes) {
+                    snapshot = Some(doc);
+                    break;
+                }
+            }
+        }
+        let watermark = snapshot.as_ref().map_or(0, |s| s.watermark);
+
+        let mut segments = list_numbered(&dir, SEG_PREFIX, SEG_SUFFIX)?;
+        segments.sort_by_key(|(seq, _)| *seq);
+        let mut records: Vec<EiaRecord> = Vec::new();
+        let mut last_seq = watermark;
+        let mut sealed_segments = Vec::new();
+        let mut sealed_bytes = 0u64;
+        let mut scanned = 0u32;
+        let mut truncated = false;
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let bytes = fs::read(path)?;
+            scanned += 1;
+            let scan = codec::scan_log(&bytes);
+            for record in &scan.records {
+                last_seq = last_seq.max(record.seq);
+            }
+            records.extend(scan.records.into_iter().filter(|r| r.seq > watermark));
+            if scan.error.is_some() {
+                // The sequence is broken here: keep the clean prefix of
+                // this segment, drop everything after it so the on-disk
+                // log equals the recovered state.
+                truncated = true;
+                if scan.clean_len as u64 != bytes.len() as u64 {
+                    OpenOptions::new()
+                        .write(true)
+                        .open(path)?
+                        .set_len(scan.clean_len as u64)?;
+                }
+                for (_, later) in &segments[i + 1..] {
+                    fs::remove_file(later)?;
+                }
+                sealed_segments.push(path.clone());
+                sealed_bytes += scan.clean_len as u64;
+                break;
+            }
+            sealed_segments.push(path.clone());
+            sealed_bytes += bytes.len() as u64;
+        }
+
+        let next_seq = last_seq + 1;
+        let recovered = Replay {
+            report: ReplayReport {
+                records_replayed: records.len() as u64,
+                segments_scanned: scanned,
+                snapshot_sealed_at_ms: snapshot.as_ref().map(|s| s.sealed_at_ms),
+                truncated,
+            },
+            snapshot,
+            records,
+        };
+
+        // Always start a fresh live segment: the previous one (if any) is
+        // immutable history from here on. A name collision is only
+        // possible with an empty prior segment, where truncation by
+        // `File::create` is harmless.
+        let seg_path = dir.join(segment_name(next_seq));
+        sealed_segments.retain(|p| *p != seg_path);
+        let writer = BufWriter::new(File::create(&seg_path)?);
+        fsync_dir(&dir)?;
+
+        Ok(DiskStore {
+            dir,
+            options,
+            writer,
+            seg_path,
+            seg_bytes: 0,
+            sealed_segments,
+            sealed_bytes,
+            next_seq,
+            recovered,
+            appended: 0,
+            seals: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn roll_segment(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        self.sealed_segments.push(self.seg_path.clone());
+        self.sealed_bytes += self.seg_bytes;
+        self.seg_path = self.dir.join(segment_name(self.next_seq));
+        self.writer = BufWriter::new(File::create(&self.seg_path)?);
+        self.seg_bytes = 0;
+        fsync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    fn flush_and_sync(&mut self) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    fn write_snapshot(
+        &mut self,
+        entries: &[(PeerId, Prefix)],
+        adopted: u64,
+    ) -> Result<PathBuf, StoreError> {
+        // Log first, snapshot second: the snapshot's watermark must never
+        // cover records that could still be lost from the log.
+        self.flush_and_sync()?;
+        let watermark = self.next_seq - 1;
+        let bytes = codec::encode_snapshot(entries, watermark, adopted, now_ms());
+        let final_path = self.dir.join(snapshot_name(watermark));
+        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(watermark)));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&bytes)?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        fsync_dir(&self.dir)?;
+        self.seals += 1;
+        Ok(final_path)
+    }
+}
+
+impl EiaStore for DiskStore {
+    fn append(&mut self, events: &[AdoptionEvent]) -> Result<u64, StoreError> {
+        for &event in events {
+            let record = EiaRecord {
+                seq: self.next_seq,
+                timestamp_ms: now_ms(),
+                event,
+            };
+            self.scratch.clear();
+            codec::encode_record(&record, &mut self.scratch);
+            self.writer.write_all(&self.scratch)?;
+            self.seg_bytes += self.scratch.len() as u64;
+            self.next_seq += 1;
+            self.appended += 1;
+            if self.seg_bytes >= self.options.segment_bytes {
+                self.roll_segment()?;
+            }
+        }
+        Ok(self.next_seq - 1)
+    }
+
+    fn seal_snapshot(
+        &mut self,
+        entries: &[(PeerId, Prefix)],
+        adopted: u64,
+    ) -> Result<(), StoreError> {
+        self.write_snapshot(entries, adopted)?;
+        Ok(())
+    }
+
+    fn compact(&mut self, entries: &[(PeerId, Prefix)], adopted: u64) -> Result<(), StoreError> {
+        let kept = self.write_snapshot(entries, adopted)?;
+        // The snapshot now carries everything: drop the log it
+        // supersedes and any older snapshots, then start a fresh live
+        // segment.
+        for path in self.sealed_segments.drain(..) {
+            let _ = fs::remove_file(path);
+        }
+        self.sealed_bytes = 0;
+        let _ = fs::remove_file(&self.seg_path);
+        for (_, path) in list_numbered(&self.dir, SNAP_PREFIX, SNAP_SUFFIX)? {
+            if path != kept {
+                let _ = fs::remove_file(path);
+            }
+        }
+        self.seg_path = self.dir.join(segment_name(self.next_seq));
+        self.writer = BufWriter::new(File::create(&self.seg_path)?);
+        self.seg_bytes = 0;
+        fsync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    fn replay(&self) -> Result<Replay, StoreError> {
+        Ok(self.recovered.clone())
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.flush_and_sync()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            backend: "disk",
+            last_seq: self.next_seq - 1,
+            appended_records: self.appended,
+            segments: self.sealed_segments.len() as u32 + 1,
+            log_bytes: self.sealed_bytes + self.seg_bytes,
+            seals: self.seals,
+        }
+    }
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("{SEG_PREFIX}{first_seq:016x}{SEG_SUFFIX}")
+}
+
+fn snapshot_name(watermark: u64) -> String {
+    format!("{SNAP_PREFIX}{watermark:016x}{SNAP_SUFFIX}")
+}
+
+/// Lists `dir` entries named `{prefix}{16 hex digits}{suffix}`, returning
+/// the parsed number and full path. Anything else is ignored.
+fn list_numbered(
+    dir: &Path,
+    prefix: &str,
+    suffix: &str,
+) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(prefix) else {
+            continue;
+        };
+        let Some(hex) = rest.strip_suffix(suffix) else {
+            continue;
+        };
+        if hex.len() != 16 {
+            continue;
+        }
+        if let Ok(seq) = u64::from_str_radix(hex, 16) {
+            out.push((seq, entry.path()));
+        }
+    }
+    Ok(out)
+}
+
+fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    // Directory fsync makes renames and creations durable on Linux; on
+    // platforms where opening a directory fails, skip it rather than
+    // refuse to run.
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+    Ok(())
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_core::AdoptionAction;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("infilter-store-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn event(peer: u16, prefix: &str) -> AdoptionEvent {
+        AdoptionEvent {
+            peer: PeerId(peer),
+            prefix: prefix.parse().unwrap(),
+            action: AdoptionAction::Adopted,
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_appended_records() {
+        let dir = temp_store_dir("reopen");
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store
+                .append(&[event(1, "10.0.0.0/24"), event(2, "10.0.1.0/24")])
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0].event, event(1, "10.0.0.0/24"));
+        assert_eq!(replay.records[1].seq, 2);
+        assert!(!replay.report.truncated);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_crash_without_sync_loses_at_most_the_tail_and_never_panics() {
+        let dir = temp_store_dir("crash");
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.append(&[event(1, "10.0.0.0/24")]).unwrap();
+            // Dropped without sync: a crash. BufWriter flushes on drop
+            // but nothing forces the page cache out; recovery must cope
+            // with whatever subset of bytes made it.
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert!(replay.records.len() <= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_torn_tail_is_truncated_on_open_and_stays_truncated() {
+        let dir = temp_store_dir("torn");
+        let seg_path;
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store
+                .append(&[event(1, "10.0.0.0/24"), event(2, "10.0.1.0/24")])
+                .unwrap();
+            store.sync().unwrap();
+            seg_path = store.seg_path.clone();
+        }
+        // Tear the tail: chop 5 bytes off the last frame.
+        let bytes = fs::read(&seg_path).unwrap();
+        let torn_len = bytes.len() as u64 - 5;
+        OpenOptions::new()
+            .write(true)
+            .open(&seg_path)
+            .unwrap()
+            .set_len(torn_len)
+            .unwrap();
+
+        let store = DiskStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.report.truncated);
+        assert_eq!(
+            fs::metadata(&seg_path).unwrap().len(),
+            codec::FRAME_LEN as u64
+        );
+        drop(store);
+
+        // A second open sees the already-clean log: no truncation report.
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(!store.replay().unwrap().report.truncated);
+        assert_eq!(store.replay().unwrap().records.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_mid_log_drops_later_segments_too() {
+        let dir = temp_store_dir("midlog");
+        {
+            let mut store = DiskStore::open_with(
+                &dir,
+                DiskOptions {
+                    // Tiny segments: every record rolls.
+                    segment_bytes: 1,
+                },
+            )
+            .unwrap();
+            for i in 0..4u16 {
+                store
+                    .append(&[event(i, &format!("10.0.{i}.0/24"))])
+                    .unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Flip a bit in the second segment.
+        let mut segs = list_numbered(&dir, SEG_PREFIX, SEG_SUFFIX).unwrap();
+        segs.sort_by_key(|(seq, _)| *seq);
+        let mut bytes = fs::read(&segs[1].1).unwrap();
+        bytes[12] ^= 0x01;
+        fs::write(&segs[1].1, &bytes).unwrap();
+
+        let store = DiskStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        // Only the record before the corruption survives.
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].seq, 1);
+        assert!(replay.report.truncated);
+        // Later segments are gone; appends continue from the clean seq.
+        assert_eq!(store.stats().last_seq, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_plus_suffix_replay_and_compaction() {
+        let dir = temp_store_dir("snap");
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.append(&[event(1, "10.0.0.0/24")]).unwrap();
+            store
+                .seal_snapshot(&[(PeerId(1), "10.0.0.0/24".parse().unwrap())], 1)
+                .unwrap();
+            store.append(&[event(2, "10.0.1.0/24")]).unwrap();
+            store.sync().unwrap();
+        }
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            let replay = store.replay().unwrap();
+            let snap = replay.snapshot.as_ref().expect("snapshot recovered");
+            assert_eq!(snap.watermark, 1);
+            assert_eq!(snap.adopted, 1);
+            assert_eq!(replay.records.len(), 1);
+            assert_eq!(replay.records[0].seq, 2);
+        }
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store
+                .compact(
+                    &[
+                        (PeerId(1), "10.0.0.0/24".parse().unwrap()),
+                        (PeerId(2), "10.0.1.0/24".parse().unwrap()),
+                    ],
+                    2,
+                )
+                .unwrap();
+            assert_eq!(store.stats().log_bytes, 0);
+        }
+        let snaps = list_numbered(&dir, SNAP_PREFIX, SNAP_SUFFIX).unwrap();
+        assert_eq!(snaps.len(), 1, "compaction keeps exactly one snapshot");
+        let store = DiskStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.snapshot.unwrap().entries.len(), 2);
+        assert!(replay.records.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupt_snapshot_falls_back_to_the_log() {
+        let dir = temp_store_dir("badsnap");
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.append(&[event(1, "10.0.0.0/24")]).unwrap();
+            store
+                .seal_snapshot(&[(PeerId(1), "10.0.0.0/24".parse().unwrap())], 1)
+                .unwrap();
+        }
+        let snaps = list_numbered(&dir, SNAP_PREFIX, SNAP_SUFFIX).unwrap();
+        let mut bytes = fs::read(&snaps[0].1).unwrap();
+        let len = bytes.len();
+        bytes[len - 2] ^= 0xff;
+        fs::write(&snaps[0].1, &bytes).unwrap();
+
+        let store = DiskStore::open(&dir).unwrap();
+        let replay = store.replay().unwrap();
+        assert!(replay.snapshot.is_none());
+        assert_eq!(replay.records.len(), 1, "full log replay covers the gap");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,239 @@
+//! Durable EIA state behind the narrow [`EiaStore`] API.
+//!
+//! InFilter's detection quality is a function of its **Expected IP
+//! Address** sets, and the dynamic part of those sets — prefixes adopted
+//! from live traffic after repeated sightings (§3) — is exactly the part
+//! a restart used to throw away. A rebooted `infilterd` re-entered its
+//! bootstrap training window blind, and every flow that arrived during
+//! re-training was judged against an emptier table than the one the
+//! process had just spent hours earning.
+//!
+//! This crate makes that state durable without touching the hot read
+//! path. The write side drains [`AdoptionEvent`]s at its existing batched
+//! republish cadence and hands them to an [`EiaStore`]; the store appends
+//! them to a checksummed, length-prefixed log and periodically seals a
+//! compacted snapshot of the full table. On boot, [`EiaStore::replay`]
+//! returns the sealed snapshot plus the log suffix past its watermark,
+//! and [`restore_registry`] folds both into a fresh [`EiaRegistry`] —
+//! bit-identical (by [`EiaSnapshot`](infilter_core::EiaSnapshot) equality)
+//! to the registry the previous process last published.
+//!
+//! Two backends:
+//!
+//! * [`MemStore`] — an in-memory byte log sharing the exact on-disk
+//!   codec; deterministic timestamps; test hooks for corrupting the log.
+//! * [`DiskStore`] — a directory of append-only segment files plus
+//!   snapshot files, fsync'd at segment rolls and seals (not per append),
+//!   with torn-tail-tolerant recovery that truncates at the first bad
+//!   frame and never panics.
+//!
+//! Records are self-describing and versioned (peer, prefix, action,
+//! sequence, wall time) so the same format can later serve as the
+//! anti-entropy delta stream between federated collectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod disk;
+mod mem;
+
+use infilter_core::{AdoptionAction, AdoptionEvent, EiaRegistry, PeerId};
+use infilter_net::Prefix;
+
+pub use codec::{FrameError, LogScan, SnapshotDoc};
+pub use disk::{DiskOptions, DiskStore};
+pub use mem::MemStore;
+
+/// One durable adoption-log record: an [`AdoptionEvent`] stamped with the
+/// store-assigned sequence number and the wall time of the append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EiaRecord {
+    /// Monotonic sequence number assigned at append; snapshot watermarks
+    /// and replay cutoffs are expressed in this space.
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch at append time.
+    pub timestamp_ms: u64,
+    /// The adoption itself: peer, prefix, action.
+    pub event: AdoptionEvent,
+}
+
+/// Why a store operation failed.
+///
+/// Corruption is deliberately *not* here: a torn or bit-flipped log tail
+/// is an expected crash artifact, handled inside recovery by truncating
+/// to the last clean frame and noted in [`ReplayReport::truncated`].
+/// `StoreError` is for the failures that genuinely stop the store —
+/// filesystem errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl StoreError {
+    /// Unwraps the underlying I/O error.
+    pub fn into_io(self) -> std::io::Error {
+        match self {
+            StoreError::Io(e) => e,
+        }
+    }
+}
+
+/// What recovery found, in detail — journaled and exported at `/v1/store`
+/// so an operator can see exactly what a warm boot was built from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Log records past the snapshot watermark that replay returned.
+    pub records_replayed: u64,
+    /// Log segments (or buffers) the scan walked.
+    pub segments_scanned: u32,
+    /// Seal wall time of the snapshot recovery started from, if any.
+    pub snapshot_sealed_at_ms: Option<u64>,
+    /// True when a torn or corrupt log tail was found and discarded.
+    pub truncated: bool,
+}
+
+/// The recovered state a store hands back at boot: the newest valid
+/// sealed snapshot (if any), the clean log records past its watermark in
+/// append order, and a [`ReplayReport`] describing the recovery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Replay {
+    /// Newest snapshot that decoded cleanly, or `None` for full-log replay.
+    pub snapshot: Option<SnapshotDoc>,
+    /// Records with `seq > snapshot.watermark` (all records when there is
+    /// no snapshot), in log order.
+    pub records: Vec<EiaRecord>,
+    /// How recovery went.
+    pub report: ReplayReport,
+}
+
+/// Point-in-time counters for a store, exported at `/v1/store`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Which backend this is: `"disk"` or `"mem"`.
+    pub backend: &'static str,
+    /// Highest sequence number assigned so far (0 = nothing appended).
+    pub last_seq: u64,
+    /// Records appended through this handle since it was opened.
+    pub appended_records: u64,
+    /// Live log segments (1 for the in-memory backend's single buffer).
+    pub segments: u32,
+    /// Bytes of live log, across all segments.
+    pub log_bytes: u64,
+    /// Snapshots sealed through this handle since it was opened.
+    pub seals: u64,
+}
+
+/// The narrow contract `infilterd` persists EIA state through.
+///
+/// The daemon's write side calls [`append`](EiaStore::append) with the
+/// events drained at each batched snapshot republish,
+/// [`seal_snapshot`](EiaStore::seal_snapshot) /
+/// [`compact`](EiaStore::compact) at its compaction cadence and on
+/// drain-at-shutdown, and [`replay`](EiaStore::replay) once at boot. The
+/// hot read path never sees the store.
+pub trait EiaStore {
+    /// Appends `events` to the durable log in order, assigning each a
+    /// sequence number. Returns the last sequence assigned (unchanged
+    /// when `events` is empty). Durability is batched: bytes are
+    /// buffered, and reach stable storage at segment rolls, seals, and
+    /// [`sync`](EiaStore::sync) — a crash between syncs loses at most the
+    /// unsynced tail, which recovery then cleanly truncates.
+    fn append(&mut self, events: &[AdoptionEvent]) -> Result<u64, StoreError>;
+
+    /// Seals a snapshot of the full EIA table (`entries` plus the
+    /// registry's adopted counter) at the current sequence watermark.
+    /// Replay will start from the newest valid snapshot and skip log
+    /// records at or below its watermark. The log is kept.
+    fn seal_snapshot(
+        &mut self,
+        entries: &[(PeerId, Prefix)],
+        adopted: u64,
+    ) -> Result<(), StoreError>;
+
+    /// Seals a snapshot and then drops the log (and older snapshots) it
+    /// supersedes, bounding store size.
+    fn compact(&mut self, entries: &[(PeerId, Prefix)], adopted: u64) -> Result<(), StoreError>;
+
+    /// Returns the recovered state: newest valid snapshot plus the clean
+    /// log records past its watermark. For the disk backend this is the
+    /// recovery computed when the store was opened (call it before
+    /// appending); the in-memory backend recomputes it live.
+    fn replay(&self) -> Result<Replay, StoreError>;
+
+    /// Forces all buffered appends to stable storage.
+    fn sync(&mut self) -> Result<(), StoreError>;
+
+    /// Point-in-time counters for observability.
+    fn stats(&self) -> StoreStats;
+}
+
+/// Folds a [`Replay`] into `registry`, layering snapshot entries under
+/// log records exactly as the original process built the state:
+///
+/// 1. snapshot entries enter via [`EiaRegistry::preload`] (idempotent
+///    against config preloads already applied),
+/// 2. the adopted counter is set from the snapshot header,
+/// 3. each replayed `Adopted` record advances the table and the counter
+///    via [`EiaRegistry::apply_adoption`].
+///
+/// `Expired` records are reserved for future expiry support and are
+/// skipped (the registry has no removal yet). Sub-threshold sighting
+/// counts are not persisted — a prefix partway toward adoption at crash
+/// time restarts its count — which is the documented trade for keeping
+/// the record format to adoptions only.
+///
+/// Returns the number of log records applied. The resulting registry's
+/// published [`EiaSnapshot`](infilter_core::EiaSnapshot) is bit-identical
+/// to the one the recovered state described.
+pub fn restore_registry(replay: &Replay, registry: &mut EiaRegistry) -> u64 {
+    if let Some(snapshot) = &replay.snapshot {
+        for &(peer, prefix) in &snapshot.entries {
+            registry.preload(peer, prefix);
+        }
+        registry.set_adopted_count(snapshot.adopted);
+    }
+    let mut applied = 0;
+    for record in &replay.records {
+        match record.event.action {
+            AdoptionAction::Adopted => {
+                registry.apply_adoption(record.event.peer, record.event.prefix);
+                applied += 1;
+            }
+            AdoptionAction::Expired => {}
+        }
+    }
+    applied
+}
+
+/// Extracts the `(peer, prefix)` entries of a published snapshot in the
+/// shape [`EiaStore::seal_snapshot`] wants.
+pub fn snapshot_entries(snapshot: &infilter_core::EiaSnapshot) -> Vec<(PeerId, Prefix)> {
+    snapshot
+        .iter()
+        .map(|(prefix, peer)| (peer, prefix))
+        .collect()
+}

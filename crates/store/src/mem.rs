@@ -1,0 +1,247 @@
+//! The in-memory [`EiaStore`] backend: one flat byte log plus an optional
+//! snapshot buffer, sharing the exact on-disk codec.
+//!
+//! Exists for tests and for running `infilterd` with durability disabled
+//! but the persistence plumbing still exercised. Because it encodes
+//! through [`codec`](crate::codec) byte-for-byte like
+//! [`DiskStore`](crate::DiskStore), property tests can corrupt its buffers
+//! directly and
+//! cover the recovery path without touching a filesystem.
+
+use infilter_core::{AdoptionEvent, PeerId};
+use infilter_net::Prefix;
+
+use crate::codec::{self, SnapshotDoc};
+use crate::{EiaRecord, EiaStore, Replay, ReplayReport, StoreError, StoreStats};
+
+/// In-memory store. Timestamps are a deterministic counter (one tick per
+/// record) so tests round-trip byte-identically.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    log: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+    next_seq: u64,
+    clock_ms: u64,
+    appended: u64,
+    seals: u64,
+}
+
+impl MemStore {
+    /// An empty store; the first record gets sequence 1.
+    pub fn new() -> Self {
+        MemStore {
+            log: Vec::new(),
+            snapshot: None,
+            next_seq: 1,
+            clock_ms: 0,
+            appended: 0,
+            seals: 0,
+        }
+    }
+
+    /// The raw encoded log — for tests that corrupt it.
+    pub fn log_bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Replaces the raw log, e.g. with a truncated or bit-flipped copy.
+    pub fn set_log_bytes(&mut self, bytes: Vec<u8>) {
+        self.log = bytes;
+    }
+
+    /// The raw encoded snapshot, if one has been sealed.
+    pub fn snapshot_bytes(&self) -> Option<&[u8]> {
+        self.snapshot.as_deref()
+    }
+
+    /// Replaces the raw snapshot buffer.
+    pub fn set_snapshot_bytes(&mut self, bytes: Option<Vec<u8>>) {
+        self.snapshot = bytes;
+    }
+
+    fn seal(&mut self, entries: &[(PeerId, Prefix)], adopted: u64) {
+        self.clock_ms += 1;
+        let watermark = self.next_seq - 1;
+        self.snapshot = Some(codec::encode_snapshot(
+            entries,
+            watermark,
+            adopted,
+            self.clock_ms,
+        ));
+        self.seals += 1;
+    }
+
+    fn decode_snapshot(&self) -> Option<SnapshotDoc> {
+        self.snapshot
+            .as_deref()
+            .and_then(|buf| codec::decode_snapshot(buf).ok())
+    }
+}
+
+impl EiaStore for MemStore {
+    fn append(&mut self, events: &[AdoptionEvent]) -> Result<u64, StoreError> {
+        for &event in events {
+            self.clock_ms += 1;
+            let record = EiaRecord {
+                seq: self.next_seq,
+                timestamp_ms: self.clock_ms,
+                event,
+            };
+            codec::encode_record(&record, &mut self.log);
+            self.next_seq += 1;
+            self.appended += 1;
+        }
+        Ok(self.next_seq - 1)
+    }
+
+    fn seal_snapshot(
+        &mut self,
+        entries: &[(PeerId, Prefix)],
+        adopted: u64,
+    ) -> Result<(), StoreError> {
+        self.seal(entries, adopted);
+        Ok(())
+    }
+
+    fn compact(&mut self, entries: &[(PeerId, Prefix)], adopted: u64) -> Result<(), StoreError> {
+        self.seal(entries, adopted);
+        self.log.clear();
+        Ok(())
+    }
+
+    fn replay(&self) -> Result<Replay, StoreError> {
+        let snapshot = self.decode_snapshot();
+        let watermark = snapshot.as_ref().map_or(0, |s| s.watermark);
+        let scan = codec::scan_log(&self.log);
+        let records: Vec<EiaRecord> = scan
+            .records
+            .into_iter()
+            .filter(|r| r.seq > watermark)
+            .collect();
+        let report = ReplayReport {
+            records_replayed: records.len() as u64,
+            segments_scanned: 1,
+            snapshot_sealed_at_ms: snapshot.as_ref().map(|s| s.sealed_at_ms),
+            truncated: scan.error.is_some(),
+        };
+        Ok(Replay {
+            snapshot,
+            records,
+            report,
+        })
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            backend: "mem",
+            last_seq: self.next_seq - 1,
+            appended_records: self.appended,
+            segments: 1,
+            log_bytes: self.log.len() as u64,
+            seals: self.seals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infilter_core::AdoptionAction;
+
+    fn event(peer: u16, prefix: &str) -> AdoptionEvent {
+        AdoptionEvent {
+            peer: PeerId(peer),
+            prefix: prefix.parse().unwrap(),
+            action: AdoptionAction::Adopted,
+        }
+    }
+
+    #[test]
+    fn append_then_replay_returns_everything_in_order() {
+        let mut store = MemStore::new();
+        let events = vec![event(1, "10.0.0.0/24"), event(2, "10.0.1.0/24")];
+        let last = store.append(&events).unwrap();
+        assert_eq!(last, 2);
+        let replay = store.replay().unwrap();
+        assert!(replay.snapshot.is_none());
+        assert_eq!(
+            replay.records.iter().map(|r| r.event).collect::<Vec<_>>(),
+            events
+        );
+        assert_eq!(replay.records[0].seq, 1);
+        assert_eq!(replay.records[1].seq, 2);
+        assert!(!replay.report.truncated);
+    }
+
+    #[test]
+    fn seal_sets_the_watermark_and_replay_skips_covered_records() {
+        let mut store = MemStore::new();
+        store.append(&[event(1, "10.0.0.0/24")]).unwrap();
+        store
+            .seal_snapshot(&[(PeerId(1), "10.0.0.0/24".parse().unwrap())], 1)
+            .unwrap();
+        store.append(&[event(2, "10.0.1.0/24")]).unwrap();
+        let replay = store.replay().unwrap();
+        let snapshot = replay.snapshot.expect("snapshot present");
+        assert_eq!(snapshot.watermark, 1);
+        assert_eq!(snapshot.adopted, 1);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].seq, 2);
+        assert_eq!(replay.report.records_replayed, 1);
+    }
+
+    #[test]
+    fn compact_drops_the_log_but_keeps_state_recoverable() {
+        let mut store = MemStore::new();
+        store
+            .append(&[event(1, "10.0.0.0/24"), event(1, "10.0.1.0/24")])
+            .unwrap();
+        store
+            .compact(
+                &[
+                    (PeerId(1), "10.0.0.0/24".parse().unwrap()),
+                    (PeerId(1), "10.0.1.0/24".parse().unwrap()),
+                ],
+                2,
+            )
+            .unwrap();
+        assert!(store.log_bytes().is_empty());
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.snapshot.unwrap().entries.len(), 2);
+        assert!(replay.records.is_empty());
+    }
+
+    #[test]
+    fn a_corrupt_snapshot_falls_back_to_full_log_replay() {
+        let mut store = MemStore::new();
+        store.append(&[event(1, "10.0.0.0/24")]).unwrap();
+        store
+            .seal_snapshot(&[(PeerId(1), "10.0.0.0/24".parse().unwrap())], 1)
+            .unwrap();
+        let mut bad = store.snapshot_bytes().unwrap().to_vec();
+        bad[12] ^= 0xff;
+        store.set_snapshot_bytes(Some(bad));
+        let replay = store.replay().unwrap();
+        assert!(replay.snapshot.is_none());
+        // Watermark falls back to 0, so the full log replays.
+        assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn a_torn_log_tail_is_reported_and_skipped() {
+        let mut store = MemStore::new();
+        store
+            .append(&[event(1, "10.0.0.0/24"), event(2, "10.0.1.0/24")])
+            .unwrap();
+        let mut torn = store.log_bytes().to_vec();
+        torn.truncate(torn.len() - 5);
+        store.set_log_bytes(torn);
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.report.truncated);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the adoption-record codec: byte-accurate
+//! round-trips, and total recovery — any truncation or bit-flip of a log
+//! yields a clean prefix of the original records, never a panic and
+//! never a record the writer didn't append.
+
+use infilter_core::{AdoptionAction, AdoptionEvent, PeerId};
+use infilter_net::Prefix;
+use infilter_store::codec::{self, FRAME_LEN};
+use infilter_store::{EiaRecord, EiaStore, MemStore};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from(bits), len))
+}
+
+fn arb_event() -> impl Strategy<Value = AdoptionEvent> {
+    (any::<u16>(), arb_prefix(), any::<bool>()).prop_map(|(peer, prefix, expired)| AdoptionEvent {
+        peer: PeerId(peer),
+        prefix,
+        action: if expired {
+            AdoptionAction::Expired
+        } else {
+            AdoptionAction::Adopted
+        },
+    })
+}
+
+fn arb_record() -> impl Strategy<Value = EiaRecord> {
+    (any::<u64>(), any::<u64>(), arb_event()).prop_map(|(seq, timestamp_ms, event)| EiaRecord {
+        seq,
+        timestamp_ms,
+        event,
+    })
+}
+
+fn encode_all(records: &[EiaRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for r in records {
+        codec::encode_record(r, &mut buf);
+    }
+    buf
+}
+
+proptest! {
+    /// Every record round-trips byte-accurately: decode(encode(r)) == r
+    /// and re-encoding reproduces the identical bytes.
+    #[test]
+    fn records_round_trip_byte_accurately(records in prop::collection::vec(arb_record(), 0..64)) {
+        let buf = encode_all(&records);
+        prop_assert_eq!(buf.len(), records.len() * FRAME_LEN);
+        let scan = codec::scan_log(&buf);
+        prop_assert_eq!(scan.error, None);
+        prop_assert_eq!(scan.clean_len, buf.len());
+        prop_assert_eq!(&scan.records, &records);
+        prop_assert_eq!(encode_all(&scan.records), buf);
+    }
+
+    /// Truncating a log anywhere recovers the whole-frame prefix — never
+    /// a panic, never a partial record.
+    #[test]
+    fn truncation_recovers_a_consistent_prefix(
+        records in prop::collection::vec(arb_record(), 1..32),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let buf = encode_all(&records);
+        let cut = (buf.len() as f64 * cut_frac) as usize;
+        let scan = codec::scan_log(&buf[..cut]);
+        let whole = cut / FRAME_LEN;
+        prop_assert_eq!(scan.records.len(), whole);
+        prop_assert_eq!(&scan.records[..], &records[..whole]);
+        prop_assert_eq!(scan.clean_len, whole * FRAME_LEN);
+        if !cut.is_multiple_of(FRAME_LEN) {
+            prop_assert!(scan.error.is_some());
+        }
+    }
+
+    /// Flipping any single bit of a log never panics and always recovers
+    /// a prefix of the original records (CRC-32 detects every single-bit
+    /// error, so the damaged frame can't masquerade as valid).
+    #[test]
+    fn bit_flips_recover_a_consistent_prefix(
+        records in prop::collection::vec(arb_record(), 1..32),
+        flip_at_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let buf = encode_all(&records);
+        let mut bad = buf.clone();
+        let at = ((buf.len() - 1) as f64 * flip_at_frac) as usize;
+        bad[at] ^= 1 << flip_bit;
+        let scan = codec::scan_log(&bad);
+        let damaged_frame = at / FRAME_LEN;
+        prop_assert_eq!(scan.records.len(), damaged_frame);
+        prop_assert_eq!(&scan.records[..], &records[..damaged_frame]);
+        prop_assert!(scan.error.is_some());
+        prop_assert_eq!(scan.clean_len, damaged_frame * FRAME_LEN);
+    }
+
+    /// Arbitrary bytes never panic the scanner, and whatever it does
+    /// decode re-encodes into a prefix of the input.
+    #[test]
+    fn arbitrary_bytes_never_panic(junk in prop::collection::vec(any::<u8>(), 0..512)) {
+        let scan = codec::scan_log(&junk);
+        prop_assert!(scan.clean_len <= junk.len());
+        prop_assert_eq!(encode_all(&scan.records), &junk[..scan.clean_len]);
+    }
+
+    /// Snapshot documents round-trip exactly, including the header.
+    #[test]
+    fn snapshots_round_trip(
+        entries in prop::collection::vec((any::<u16>(), arb_prefix()), 0..64),
+        watermark in any::<u64>(),
+        adopted in any::<u64>(),
+        sealed_at_ms in any::<u64>(),
+    ) {
+        let entries: Vec<_> = entries.into_iter().map(|(p, pre)| (PeerId(p), pre)).collect();
+        let buf = codec::encode_snapshot(&entries, watermark, adopted, sealed_at_ms);
+        let doc = codec::decode_snapshot(&buf).expect("round trip");
+        prop_assert_eq!(doc.watermark, watermark);
+        prop_assert_eq!(doc.adopted, adopted);
+        prop_assert_eq!(doc.sealed_at_ms, sealed_at_ms);
+        prop_assert_eq!(doc.entries, entries);
+    }
+
+    /// Corrupting any single byte of a snapshot is always detected.
+    #[test]
+    fn snapshot_corruption_is_always_detected(
+        entries in prop::collection::vec((any::<u16>(), arb_prefix()), 1..16),
+        flip_at_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let entries: Vec<_> = entries.into_iter().map(|(p, pre)| (PeerId(p), pre)).collect();
+        let buf = codec::encode_snapshot(&entries, 7, 3, 11);
+        let mut bad = buf.clone();
+        let at = ((buf.len() - 1) as f64 * flip_at_frac) as usize;
+        bad[at] ^= 1 << flip_bit;
+        prop_assert_eq!(codec::decode_snapshot(&bad), Err(codec::FrameError::BadSnapshot));
+    }
+
+    /// End to end through the MemStore: append, corrupt the raw log
+    /// arbitrarily, and replay still returns a clean prefix of the
+    /// appended events without panicking.
+    #[test]
+    fn memstore_replay_survives_arbitrary_log_damage(
+        events in prop::collection::vec(arb_event(), 1..32),
+        cut_frac in 0.0f64..1.0,
+        do_flip in any::<bool>(),
+        flip_at in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut store = MemStore::new();
+        store.append(&events).unwrap();
+        let mut log = store.log_bytes().to_vec();
+        let cut = (log.len() as f64 * cut_frac) as usize;
+        log.truncate(cut);
+        if do_flip && !log.is_empty() {
+            let at = flip_at as usize % log.len();
+            log[at] ^= 1 << flip_bit;
+        }
+        store.set_log_bytes(log);
+        let replay = store.replay().unwrap();
+        prop_assert!(replay.records.len() <= events.len());
+        let got: Vec<_> = replay.records.iter().map(|r| r.event).collect();
+        prop_assert_eq!(&got[..], &events[..got.len()]);
+    }
+}
